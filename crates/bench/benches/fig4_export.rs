@@ -1,0 +1,120 @@
+//! The headline measurement behind Figure 4: what does an `export` call cost
+//! on real hardware when the framework must buffer (memcpy) the object,
+//! versus when buddy-help lets it skip the copy?
+//!
+//! Run with `cargo bench -p couplink-bench --bench fig4_export`.
+
+use couplink_proto::{ConnectionId, ExportAction, ExportPort, RepAnswer, RequestId};
+use couplink_runtime::CoupledSim;
+use couplink_time::{ts, MatchPolicy, Tolerance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+/// One exporter process's piece of the paper's array: 512×512 f64 = 2 MiB.
+const PIECE_CELLS: usize = 512 * 512;
+
+/// Baseline path: no request information, every export must memcpy into the
+/// framework buffer (Figure 4(a)/(b) and the pre-optimal phase of (c)/(d)).
+fn bench_buffer_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("export_call");
+    group.throughput(Throughput::Bytes((PIECE_CELLS * 8) as u64));
+    group.bench_function("buffer_memcpy_2MiB", |b| {
+        let data = vec![1.25_f64; PIECE_CELLS];
+        b.iter_batched(
+            || {
+                (
+                    ExportPort::new(
+                        ConnectionId(0),
+                        MatchPolicy::RegL,
+                        Tolerance::new(2.5).unwrap(),
+                    ),
+                    BTreeMap::<couplink_time::Timestamp, Vec<f64>>::new(),
+                    0u32,
+                )
+            },
+            |(mut port, mut store, mut i)| {
+                // 16 exports per batch, all buffered (no request known).
+                for _ in 0..16 {
+                    i += 1;
+                    let t = ts(i as f64);
+                    let fx = port.on_export(t).unwrap();
+                    if fx.action.unwrap().copies() {
+                        store.insert(t, data.clone());
+                    }
+                    for f in &fx.freed {
+                        store.remove(f);
+                    }
+                }
+                black_box(store.len())
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    // Buddy-help path: the match for each window is known in advance, so 19
+    // out of 20 exports skip the memcpy entirely (the optimal state).
+    group.bench_function("buddy_help_skip_2MiB", |b| {
+        let data = vec![1.25_f64; PIECE_CELLS];
+        b.iter_batched(
+            || {
+                let mut port = ExportPort::new(
+                    ConnectionId(0),
+                    MatchPolicy::RegL,
+                    Tolerance::new(2.5).unwrap(),
+                );
+                // A request for @20 with buddy-help answer @16 means exports
+                // 1..16 are decided before they happen.
+                port.on_request(RequestId(0), ts(20.0)).unwrap();
+                port.on_buddy_help(RequestId(0), RepAnswer::Match(ts(19.0)))
+                    .unwrap();
+                (port, BTreeMap::<couplink_time::Timestamp, Vec<f64>>::new(), 0u32)
+            },
+            |(mut port, mut store, mut i)| {
+                for _ in 0..16 {
+                    i += 1;
+                    let t = ts(i as f64);
+                    let fx = port.on_export(t).unwrap();
+                    match fx.action.unwrap() {
+                        ExportAction::Skip => {}
+                        _ => {
+                            store.insert(t, data.clone());
+                        }
+                    }
+                    for f in &fx.freed {
+                        store.remove(f);
+                    }
+                }
+                black_box(store.len())
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+/// End-to-end discrete-event reproduction speed for shortened Figure 4
+/// panels (simulator throughput, not virtual time).
+fn bench_des_panels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_des_panel");
+    group.sample_size(10);
+    for u_procs in [4usize, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(u_procs),
+            &u_procs,
+            |b, &u_procs| {
+                let mut params = couplink_diffusion::fig4::Fig4Params::panel(u_procs);
+                params.exports = 201;
+                b.iter(|| {
+                    let cfg = couplink_diffusion::fig4::fig4_config(params);
+                    let report = CoupledSim::new(cfg).unwrap().run().unwrap();
+                    black_box(report.duration)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer_path, bench_des_panels);
+criterion_main!(benches);

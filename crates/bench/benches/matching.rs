@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the approximate matching engine: the per-request and
+//! per-export control-plane costs that the framework adds over an ad-hoc
+//! tightly coupled exchange (the §4.1 overhead discussion).
+
+use couplink_time::{evaluate, ts, ExportHistory, MatchPolicy, Tolerance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate");
+    for &n in &[100usize, 10_000] {
+        let mut history = ExportHistory::new();
+        for i in 0..n {
+            history.record(ts(i as f64 + 0.6)).unwrap();
+        }
+        let request = ts(n as f64 * 0.75);
+        for policy in [MatchPolicy::RegL, MatchPolicy::RegU, MatchPolicy::Reg] {
+            let region = policy.region(request, Tolerance::new(2.5).unwrap());
+            group.bench_with_input(
+                BenchmarkId::new(policy.as_str(), n),
+                &region,
+                |b, region| {
+                    b.iter(|| black_box(evaluate(region, &history).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history");
+    group.bench_function("record_10k", |b| {
+        b.iter(|| {
+            let mut h = ExportHistory::new();
+            for i in 0..10_000 {
+                h.record(ts(i as f64)).unwrap();
+            }
+            black_box(h.retained())
+        });
+    });
+    group.bench_function("record_with_rolling_prune_10k", |b| {
+        b.iter(|| {
+            let mut h = ExportHistory::new();
+            for i in 0..10_000 {
+                h.record(ts(i as f64)).unwrap();
+                if i % 20 == 0 && i > 100 {
+                    h.prune_below(ts((i - 100) as f64));
+                }
+            }
+            black_box(h.retained())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate, bench_history);
+criterion_main!(benches);

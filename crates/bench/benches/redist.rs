@@ -1,0 +1,64 @@
+//! Benchmarks of the M×N redistribution substrate: plan construction and
+//! in-memory execution (pack + unpack of every transfer) for the paper's
+//! 1024×1024 array moving from 2×2 quadrants to n row blocks.
+
+use couplink_layout::{Decomposition, Extent2, LocalArray, RedistPlan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_plan_build(c: &mut Criterion) {
+    let e = Extent2::new(1024, 1024);
+    let src = Decomposition::block_2d(e, 2, 2).unwrap();
+    let mut group = c.benchmark_group("plan_build");
+    for &n in &[4usize, 8, 16, 32] {
+        let dst = Decomposition::row_block(e, n).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dst, |b, dst| {
+            b.iter(|| black_box(RedistPlan::build(src, *dst).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let e = Extent2::new(1024, 1024);
+    let src = Decomposition::block_2d(e, 2, 2).unwrap();
+    let mut group = c.benchmark_group("plan_execute");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes((e.cells() * 8) as u64));
+    for &n in &[4usize, 32] {
+        let dst = Decomposition::row_block(e, n).unwrap();
+        let plan = RedistPlan::build(src, dst).unwrap();
+        let src_pieces: Vec<LocalArray> = (0..src.procs())
+            .map(|r| LocalArray::from_fn(src.owned(r), |a, b| (a * 7 + b) as f64))
+            .collect();
+        let mut dst_pieces: Vec<LocalArray> = (0..dst.procs())
+            .map(|r| LocalArray::zeros(dst.owned(r)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &plan, |b, plan| {
+            b.iter(|| {
+                plan.execute(&src_pieces, &mut dst_pieces);
+                black_box(dst_pieces[0].as_slice()[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let owned = couplink_layout::Rect::new(0, 0, 512, 512);
+    let arr = LocalArray::from_fn(owned, |r, c| (r + c) as f64);
+    let sub = couplink_layout::Rect::new(128, 0, 256, 512);
+    let mut group = c.benchmark_group("pack");
+    group.throughput(Throughput::Bytes((sub.cells() * 8) as u64));
+    group.bench_function("contiguous_rows_1MiB", |b| {
+        b.iter(|| black_box(arr.pack(&sub)));
+    });
+    let strided = couplink_layout::Rect::new(0, 128, 512, 256);
+    group.bench_function("strided_rows_1MiB", |b| {
+        b.iter(|| black_box(arr.pack(&strided)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_build, bench_execute, bench_pack);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benchmarks of the rep control gateway: request fan-out/aggregation cost
+//! per collective request as the exporting program scales (the "low-overhead
+//! control gateway" claim of §4).
+
+use couplink_proto::{ExporterRep, ImporterRep, ProcResponse, Rank, RequestId};
+use couplink_time::ts;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_exporter_rep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exporter_rep_request");
+    for &procs in &[4usize, 32, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
+            b.iter_batched(
+                || ExporterRep::new(procs, true),
+                |mut rep| {
+                    // 100 requests; half the ranks answer PENDING first and
+                    // get buddy-help when the first MATCH lands.
+                    for j in 0..100u64 {
+                        let x = 20.0 * (j + 1) as f64;
+                        rep.on_import_request(RequestId(j), ts(x)).unwrap();
+                        for r in 0..procs / 2 {
+                            rep.on_response(
+                                Rank(r as u32),
+                                RequestId(j),
+                                ProcResponse::Pending { latest: None },
+                            )
+                            .unwrap();
+                        }
+                        for r in procs / 2..procs {
+                            rep.on_response(
+                                Rank(r as u32),
+                                RequestId(j),
+                                ProcResponse::Match(ts(x - 0.4)),
+                            )
+                            .unwrap();
+                        }
+                    }
+                    black_box(rep.inflight_len())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_importer_rep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("importer_rep_call");
+    for &procs in &[4usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
+            b.iter_batched(
+                || ImporterRep::new(procs),
+                |mut rep| {
+                    for j in 0..100u64 {
+                        let x = 20.0 * (j + 1) as f64;
+                        for r in 0..procs {
+                            rep.on_import_call(Rank(r as u32), ts(x)).unwrap();
+                        }
+                        rep.on_answer(
+                            RequestId(j),
+                            couplink_proto::RepAnswer::Match(ts(x - 0.4)),
+                        )
+                        .unwrap();
+                    }
+                    black_box(rep.issued())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exporter_rep, bench_importer_rep);
+criterion_main!(benches);

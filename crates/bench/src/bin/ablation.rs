@@ -1,0 +1,102 @@
+//! Ablation sweep the paper discusses in §5 but does not plot: the benefit
+//! of buddy-help as a function of the ratio between the acceptable-region
+//! size (tolerance) and the importer request inter-arrival time, and of the
+//! match policy.
+//!
+//! Usage: `cargo run -p couplink-bench --release --bin ablation [out_dir]`
+
+use couplink::series::{write_csv, Column};
+use couplink_layout::{Decomposition, Extent2};
+use couplink_runtime::{CostModel, CoupledConfig, CoupledSim};
+use couplink_time::MatchPolicy;
+
+fn config(
+    policy: MatchPolicy,
+    tolerance: f64,
+    import_dt: f64,
+    buddy_help: bool,
+) -> CoupledConfig {
+    let grid = Extent2::new(256, 256);
+    CoupledConfig {
+        exporter_decomp: Decomposition::block_2d(grid, 2, 2).unwrap(),
+        importer_decomp: Decomposition::row_block(grid, 16).unwrap(),
+        policy,
+        tolerance,
+        buddy_help,
+        exports: 601,
+        export_t0: 1.6,
+        export_dt: 1.0,
+        imports: ((600.0 / import_dt) as usize).clamp(1, 120),
+        import_t0: import_dt,
+        import_dt,
+        exporter_compute: vec![1.0e-3, 1.0e-3, 1.0e-3, 2.0e-3],
+        importer_compute: 3.0e-3,
+        importer_startup: 20.0e-3,
+        cost: CostModel::default(),
+        buffer_capacity: None,
+    }
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    println!("Ablation: buddy-help benefit vs tolerance/request-period ratio and policy");
+    println!("(256x256 array, fast 16-process importer, slow exporter rank 3)");
+    println!();
+    println!(
+        "{:>7} {:>10} {:>10} {:>8} {:>14} {:>14} {:>12}",
+        "policy", "tolerance", "period", "ratio", "skips w/ help", "skips w/o", "T_ub w/ : w/o"
+    );
+
+    let mut ratio_col = Vec::new();
+    let mut saved_col = Vec::new();
+    for policy in [MatchPolicy::RegL, MatchPolicy::RegU, MatchPolicy::Reg] {
+        for tolerance in [0.5, 2.5, 5.0, 10.0] {
+            for import_dt in [10.0, 20.0, 40.0] {
+                let with = CoupledSim::new(config(policy, tolerance, import_dt, true))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                let without = CoupledSim::new(config(policy, tolerance, import_dt, false))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                let slow = 3;
+                let sw = with.stats[slow].skips;
+                let swo = without.stats[slow].skips;
+                let ubw = with.stats[slow].t_ub_in_region_count();
+                let ubwo = without.stats[slow].t_ub_in_region_count();
+                println!(
+                    "{:>7} {:>10} {:>10} {:>8.3} {:>14} {:>14} {:>8} : {:<4}",
+                    policy.as_str(),
+                    tolerance,
+                    import_dt,
+                    tolerance / import_dt,
+                    sw,
+                    swo,
+                    ubw,
+                    ubwo
+                );
+                if policy == MatchPolicy::RegL {
+                    ratio_col.push(tolerance / import_dt);
+                    saved_col.push(swo as f64 - sw as f64);
+                }
+            }
+        }
+    }
+    write_csv(
+        format!("{out_dir}/ablation_regl.csv"),
+        "row",
+        &[
+            Column::new("tolerance_over_period", ratio_col),
+            Column::new("extra_skips_without_help_minus_with", saved_col),
+        ],
+    )
+    .expect("write CSV");
+    println!();
+    println!("CSV written to {out_dir}/ablation_regl.csv");
+    println!("Expected: the in-region T_ub saved by buddy-help grows with the number of");
+    println!("exports per acceptable region (tolerance x export rate), and is zero only");
+    println!("when at most one export fits in a region.");
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Figure 5** of the paper: the typical buddy-help scenario on
+//! the slow exporter process (REGL, tolerance 2.5, requests at 20 and 40).
+//!
+//! Usage: `cargo run -p couplink-bench --bin fig5_trace`
+
+use couplink_bench::figure5_trace;
+
+fn main() {
+    let trace = figure5_trace();
+    println!("Figure 5: a typical buddy-help scenario (REGL, tolerance 2.5)");
+    println!();
+    print!("{}", trace.render());
+    let (copied, skipped) = trace.export_counts();
+    println!();
+    println!("memcpys called: {copied}, memcpys skipped: {skipped}");
+    println!("paper: 4 skips in the first window (lines 10-13), 7 in the second (26-29)");
+}

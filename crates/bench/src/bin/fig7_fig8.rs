@@ -1,0 +1,37 @@
+//! Regenerates **Figures 7 and 8** of the paper: the same REGL/tolerance-5.0
+//! scenario with and without buddy-help. With buddy-help only the match is
+//! copied; without it every acceptable candidate is copied and then
+//! superseded, costing `n(i) − 1` unnecessary memcpys (Equation 1).
+//!
+//! Usage: `cargo run -p couplink-bench --bin fig7_fig8`
+
+use couplink_bench::figure78_run;
+
+fn main() {
+    let with = figure78_run(true);
+    let without = figure78_run(false);
+
+    println!("Figure 7: WITH buddy-help (REGL, tolerance 5.0, request @10.0)");
+    println!();
+    print!("{}", with.trace.render());
+    println!();
+    println!("Figure 8: WITHOUT buddy-help (same scenario)");
+    println!();
+    print!("{}", without.trace.render());
+    println!();
+    println!(
+        "{:<22} {:>8} {:>8} {:>24}",
+        "", "memcpys", "skips", "unnecessary in-region"
+    );
+    println!(
+        "{:<22} {:>8} {:>8} {:>24}",
+        "with buddy-help", with.copied, with.skipped, with.unnecessary_in_region
+    );
+    println!(
+        "{:<22} {:>8} {:>8} {:>24}",
+        "without buddy-help", without.copied, without.skipped, without.unnecessary_in_region
+    );
+    println!();
+    println!("paper: without buddy-help, lines 8-18 copy every in-region candidate and");
+    println!("free its predecessor; with buddy-help, lines 8-11 skip them all.");
+}

@@ -1,0 +1,62 @@
+//! `cfgcheck` — validate a couplink configuration file and print its
+//! deployment and coupling structure (the framework's initialization-time
+//! checks, runnable standalone).
+//!
+//! Usage: `cargo run -p couplink-config --bin cfgcheck -- <file>`
+//! (or pipe the file on stdin with no argument).
+
+use couplink_config::parse;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let input = match std::env::args().nth(1) {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cfgcheck: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("cfgcheck: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            s
+        }
+    };
+
+    let config = match parse(&input) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cfgcheck: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("programs ({}):", config.programs.len());
+    for p in &config.programs {
+        let exports = config.exports_of(&p.name).count();
+        let imports = config.imports_of(&p.name).count();
+        println!(
+            "  {:<10} {:>4} procs on {:<12} {}  ({} export conn, {} import conn)",
+            p.name, p.procs, p.cluster, p.executable, exports, imports
+        );
+    }
+    println!();
+    println!("connections ({}):", config.connections.len());
+    for c in &config.connections {
+        println!(
+            "  {:<14} -> {:<14} {:<5} tolerance {}",
+            c.exporter.to_string(),
+            c.importer.to_string(),
+            c.policy.as_str(),
+            c.tolerance
+        );
+    }
+    println!();
+    println!("ok: configuration is well-formed");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,33 @@
+//! The framework-level configuration file (Figure 2 of the paper).
+//!
+//! A configuration file connects independently developed programs without
+//! recompiling them. It has two sections separated by a line starting with
+//! `#`:
+//!
+//! ```text
+//! P0 cluster0 /home/meou/bin/P0 16
+//! P1 cluster1 /home/meou/bin/P1 8
+//! P2 cluster1 /home/meou/bin/P2 32
+//! P4 cluster1 /home/meou/bin/P4 4
+//! #
+//! P0.r1 P1.r1 REGL 0.2
+//! P0.r1 P2.r3 REG  0.1
+//! P0.r2 P4.r2 REGU 0.3
+//! ```
+//!
+//! The first section lists the participating programs (name, cluster,
+//! executable path, process count, optional extra arguments); the second
+//! lists the export→import connections with a match policy and tolerance.
+//! Parsing validates the file in the spirit of §3.1: every connection must
+//! reference declared programs, and [`Config::validate_regions`] supports
+//! the framework's initialization-time checks (an imported region with no
+//! exporter is an error; an exported region no one imports gets the
+//! zero-overhead flag).
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod parser;
+
+pub use model::{Config, ConnectionSpec, ProgramSpec, RegionRef, RegionReport};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,272 @@
+//! Configuration data model and semantic queries.
+
+use couplink_time::{MatchPolicy, Tolerance};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One program deployment line of the first section.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramSpec {
+    /// Program name (e.g. `P0`).
+    pub name: String,
+    /// Cluster the program runs on.
+    pub cluster: String,
+    /// Executable path.
+    pub executable: String,
+    /// Number of processes.
+    pub procs: usize,
+    /// Any further tokens on the line, passed through verbatim.
+    pub extra: Vec<String>,
+}
+
+impl fmt::Display for ProgramSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.name, self.cluster, self.executable, self.procs
+        )?;
+        for e in &self.extra {
+            write!(f, " {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A `program.region` reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionRef {
+    /// Program name.
+    pub program: String,
+    /// Region name within that program.
+    pub region: String,
+}
+
+impl RegionRef {
+    /// Creates a reference.
+    pub fn new(program: impl Into<String>, region: impl Into<String>) -> Self {
+        RegionRef {
+            program: program.into(),
+            region: region.into(),
+        }
+    }
+}
+
+impl fmt::Display for RegionRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.program, self.region)
+    }
+}
+
+/// One connection line of the second section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionSpec {
+    /// The exporting side.
+    pub exporter: RegionRef,
+    /// The importing side.
+    pub importer: RegionRef,
+    /// Match policy of the connection.
+    pub policy: MatchPolicy,
+    /// Matching tolerance.
+    pub tolerance: Tolerance,
+}
+
+impl fmt::Display for ConnectionSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.exporter, self.importer, self.policy, self.tolerance
+        )
+    }
+}
+
+/// The result of validating a program's declared regions against the
+/// connection specification (§3's initialization-stage checks).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegionReport {
+    /// Declared exported regions no connection imports: legal, and the
+    /// framework can run them with zero buffering overhead.
+    pub unimported_exports: Vec<String>,
+    /// Declared imported regions with no exporting connection: a coupling
+    /// error detected before the run starts.
+    pub unmatched_imports: Vec<String>,
+    /// Regions referenced by connections but not declared by the program.
+    pub undeclared: Vec<String>,
+}
+
+impl RegionReport {
+    /// Whether the configuration is usable for this program.
+    pub fn is_ok(&self) -> bool {
+        self.unmatched_imports.is_empty() && self.undeclared.is_empty()
+    }
+}
+
+/// A parsed, semantically valid configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// Program deployment section.
+    pub programs: Vec<ProgramSpec>,
+    /// Connection section.
+    pub connections: Vec<ConnectionSpec>,
+}
+
+impl Config {
+    /// Looks up a program by name.
+    pub fn program(&self, name: &str) -> Option<&ProgramSpec> {
+        self.programs.iter().find(|p| p.name == name)
+    }
+
+    /// The connections exporting from `program`.
+    pub fn exports_of<'a>(&'a self, program: &'a str) -> impl Iterator<Item = &'a ConnectionSpec> {
+        self.connections
+            .iter()
+            .filter(move |c| c.exporter.program == program)
+    }
+
+    /// The connections importing into `program`.
+    pub fn imports_of<'a>(&'a self, program: &'a str) -> impl Iterator<Item = &'a ConnectionSpec> {
+        self.connections
+            .iter()
+            .filter(move |c| c.importer.program == program)
+    }
+
+    /// Validates the regions a program declares at initialization against
+    /// the connection specification.
+    ///
+    /// * An *exported* region that no connection imports is reported as
+    ///   `unimported_exports` — legal, and the framework skips all buffering
+    ///   for it (the paper's low-overhead path).
+    /// * An *imported* region with no exporting connection is an error
+    ///   (`unmatched_imports`): the import could never be satisfied.
+    /// * Connections referencing regions the program did not declare are
+    ///   reported as `undeclared`.
+    pub fn validate_regions(
+        &self,
+        program: &str,
+        exported: &[&str],
+        imported: &[&str],
+    ) -> RegionReport {
+        let mut report = RegionReport::default();
+        for region in exported {
+            if !self
+                .exports_of(program)
+                .any(|c| c.exporter.region == *region)
+            {
+                report.unimported_exports.push((*region).to_owned());
+            }
+        }
+        for region in imported {
+            if !self
+                .imports_of(program)
+                .any(|c| c.importer.region == *region)
+            {
+                report.unmatched_imports.push((*region).to_owned());
+            }
+        }
+        for c in &self.connections {
+            if c.exporter.program == program && !exported.contains(&c.exporter.region.as_str()) {
+                report.undeclared.push(c.exporter.region.clone());
+            }
+            if c.importer.program == program && !imported.contains(&c.importer.region.as_str()) {
+                report.undeclared.push(c.importer.region.clone());
+            }
+        }
+        report.undeclared.sort();
+        report.undeclared.dedup();
+        report
+    }
+
+    /// Renders the configuration back into the file format (round-trips
+    /// through [`crate::parse`]).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for p in &self.programs {
+            writeln!(out, "{p}").expect("writing to String");
+        }
+        out.push_str("#\n");
+        for c in &self.connections {
+            writeln!(out, "{c}").expect("writing to String");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use couplink_time::MatchPolicy;
+
+    fn figure2() -> Config {
+        crate::parse(
+            "P0 cluster0 /home/meou/bin/P0 16\n\
+             P1 cluster1 /home/meou/bin/P1 8\n\
+             P2 cluster1 /home/meou/bin/P2 32\n\
+             P4 cluster1 /home/meou/bin/P4 4\n\
+             #\n\
+             P0.r1 P1.r1 REGL 0.2\n\
+             P0.r1 P2.r3 REG 0.1\n\
+             P0.r2 P4.r2 REGU 0.3\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn program_lookup() {
+        let cfg = figure2();
+        assert_eq!(cfg.program("P2").unwrap().procs, 32);
+        assert!(cfg.program("P9").is_none());
+    }
+
+    #[test]
+    fn exports_and_imports_queries() {
+        let cfg = figure2();
+        assert_eq!(cfg.exports_of("P0").count(), 3);
+        assert_eq!(cfg.imports_of("P0").count(), 0);
+        assert_eq!(cfg.imports_of("P1").count(), 1);
+        let c = cfg.imports_of("P2").next().unwrap();
+        assert_eq!(c.policy, MatchPolicy::Reg);
+        assert_eq!(c.importer.region, "r3");
+    }
+
+    #[test]
+    fn validate_regions_flags_unimported_export() {
+        let cfg = figure2();
+        // P0 declares r1, r2, r3 (like Figure 1); r3 has no connection.
+        let report = cfg.validate_regions("P0", &["r1", "r2", "r3"], &[]);
+        assert_eq!(report.unimported_exports, vec!["r3".to_owned()]);
+        assert!(report.unmatched_imports.is_empty());
+        assert!(report.undeclared.is_empty());
+        assert!(report.is_ok());
+    }
+
+    #[test]
+    fn validate_regions_flags_unmatched_import() {
+        let cfg = figure2();
+        let report = cfg.validate_regions("P1", &[], &["r1", "r9"]);
+        assert_eq!(report.unmatched_imports, vec!["r9".to_owned()]);
+        assert!(!report.is_ok());
+    }
+
+    #[test]
+    fn validate_regions_flags_undeclared() {
+        let cfg = figure2();
+        // P0 forgot to declare r2, which a connection exports.
+        let report = cfg.validate_regions("P0", &["r1"], &[]);
+        assert_eq!(report.undeclared, vec!["r2".to_owned()]);
+        assert!(!report.is_ok());
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let cfg = figure2();
+        let again = crate::parse(&cfg.render()).unwrap();
+        assert_eq!(cfg, again);
+    }
+
+    #[test]
+    fn region_ref_display() {
+        assert_eq!(RegionRef::new("P0", "r1").to_string(), "P0.r1");
+    }
+}

@@ -1,0 +1,342 @@
+//! Parser for the two-section configuration-file format.
+
+use crate::model::{Config, ConnectionSpec, ProgramSpec, RegionRef};
+use couplink_time::{MatchPolicy, Tolerance};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A parse or validation error, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The kinds of configuration errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A program line did not have at least name, cluster, path and procs.
+    MalformedProgramLine,
+    /// The process count was not a positive integer.
+    BadProcessCount(String),
+    /// Two programs share a name.
+    DuplicateProgram(String),
+    /// A connection line did not have exactly four fields.
+    MalformedConnectionLine,
+    /// A region reference was not of the form `program.region`.
+    BadRegionRef(String),
+    /// Unknown match policy.
+    BadPolicy(String),
+    /// Tolerance was not a non-negative finite number.
+    BadTolerance(String),
+    /// A connection references an undeclared program.
+    UnknownProgram(String),
+    /// A program exports a region to itself.
+    SelfConnection,
+    /// Two identical connection lines.
+    DuplicateConnection,
+    /// The file has no `#` section separator.
+    MissingSeparator,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::MalformedProgramLine => {
+                write!(f, "expected `name cluster executable procs [extra...]`")
+            }
+            ParseErrorKind::BadProcessCount(s) => {
+                write!(f, "process count `{s}` is not a positive integer")
+            }
+            ParseErrorKind::DuplicateProgram(p) => write!(f, "program `{p}` declared twice"),
+            ParseErrorKind::MalformedConnectionLine => {
+                write!(f, "expected `exp.region imp.region POLICY tolerance`")
+            }
+            ParseErrorKind::BadRegionRef(s) => {
+                write!(f, "`{s}` is not of the form `program.region`")
+            }
+            ParseErrorKind::BadPolicy(s) => write!(f, "unknown policy `{s}`"),
+            ParseErrorKind::BadTolerance(s) => {
+                write!(f, "tolerance `{s}` must be a non-negative finite number")
+            }
+            ParseErrorKind::UnknownProgram(p) => {
+                write!(f, "connection references undeclared program `{p}`")
+            }
+            ParseErrorKind::SelfConnection => {
+                write!(f, "a program cannot import its own exported region")
+            }
+            ParseErrorKind::DuplicateConnection => write!(f, "duplicate connection"),
+            ParseErrorKind::MissingSeparator => {
+                write!(f, "missing `#` separator between programs and connections")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, kind: ParseErrorKind) -> ParseError {
+    ParseError { line, kind }
+}
+
+fn parse_region_ref(token: &str, line: usize) -> Result<RegionRef, ParseError> {
+    match token.split_once('.') {
+        Some((p, r)) if !p.is_empty() && !r.is_empty() && !r.contains('.') => {
+            Ok(RegionRef::new(p, r))
+        }
+        _ => Err(err(line, ParseErrorKind::BadRegionRef(token.to_owned()))),
+    }
+}
+
+/// Parses a configuration file.
+///
+/// # Example
+///
+/// ```
+/// let config = couplink_config::parse(
+///     "P0 cluster0 /bin/p0 16\nP1 cluster1 /bin/p1 8\n#\nP0.r1 P1.r1 REGL 0.2\n",
+/// )?;
+/// assert_eq!(config.programs.len(), 2);
+/// assert_eq!(config.connections[0].tolerance.value(), 0.2);
+/// # Ok::<(), couplink_config::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Config, ParseError> {
+    let mut programs: Vec<ProgramSpec> = Vec::new();
+    let mut connections: Vec<ConnectionSpec> = Vec::new();
+    let mut names = HashSet::new();
+    let mut in_connections = false;
+    let mut saw_separator = false;
+
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') {
+            if !in_connections {
+                in_connections = true;
+                saw_separator = true;
+            }
+            // After the separator, `#`-prefixed lines are comments.
+            continue;
+        }
+        if !in_connections {
+            let mut tokens = line.split_whitespace();
+            let name = tokens.next();
+            let cluster = tokens.next();
+            let executable = tokens.next();
+            let procs = tokens.next();
+            let (name, cluster, executable, procs) = match (name, cluster, executable, procs) {
+                (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+                _ => return Err(err(lineno, ParseErrorKind::MalformedProgramLine)),
+            };
+            let procs: usize = procs
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| err(lineno, ParseErrorKind::BadProcessCount(procs.to_owned())))?;
+            if !names.insert(name.to_owned()) {
+                return Err(err(lineno, ParseErrorKind::DuplicateProgram(name.to_owned())));
+            }
+            programs.push(ProgramSpec {
+                name: name.to_owned(),
+                cluster: cluster.to_owned(),
+                executable: executable.to_owned(),
+                procs,
+                extra: tokens.map(str::to_owned).collect(),
+            });
+        } else {
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            if tokens.len() != 4 {
+                return Err(err(lineno, ParseErrorKind::MalformedConnectionLine));
+            }
+            let exporter = parse_region_ref(tokens[0], lineno)?;
+            let importer = parse_region_ref(tokens[1], lineno)?;
+            let policy: MatchPolicy = tokens[2]
+                .parse()
+                .map_err(|_| err(lineno, ParseErrorKind::BadPolicy(tokens[2].to_owned())))?;
+            let tolerance = tokens[3]
+                .parse::<f64>()
+                .ok()
+                .and_then(|v| Tolerance::new(v).ok())
+                .ok_or_else(|| err(lineno, ParseErrorKind::BadTolerance(tokens[3].to_owned())))?;
+            for side in [&exporter, &importer] {
+                if !names.contains(&side.program) {
+                    return Err(err(
+                        lineno,
+                        ParseErrorKind::UnknownProgram(side.program.clone()),
+                    ));
+                }
+            }
+            if exporter.program == importer.program {
+                return Err(err(lineno, ParseErrorKind::SelfConnection));
+            }
+            let spec = ConnectionSpec {
+                exporter,
+                importer,
+                policy,
+                tolerance,
+            };
+            if connections.iter().any(|c| {
+                c.exporter == spec.exporter && c.importer == spec.importer
+            }) {
+                return Err(err(lineno, ParseErrorKind::DuplicateConnection));
+            }
+            connections.push(spec);
+        }
+    }
+    if !saw_separator {
+        return Err(err(0, ParseErrorKind::MissingSeparator));
+    }
+    Ok(Config {
+        programs,
+        connections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE2: &str = "\
+P0 cluster0 /home/meou/bin/P0 16
+P1 cluster1 /home/meou/bin/P1 8
+P2 cluster1 /home/meou/bin/P2 32
+P4 cluster1 /home/meou/bin/P4 4
+#
+P0.r1 P1.r1 REGL 0.2
+P0.r1 P2.r3 REG 0.1
+P0.r2 P4.r2 REGU 0.3
+";
+
+    #[test]
+    fn parses_figure2() {
+        let cfg = parse(FIGURE2).unwrap();
+        assert_eq!(cfg.programs.len(), 4);
+        assert_eq!(cfg.connections.len(), 3);
+        assert_eq!(cfg.programs[0].name, "P0");
+        assert_eq!(cfg.programs[0].procs, 16);
+        let c0 = &cfg.connections[0];
+        assert_eq!(c0.exporter, RegionRef::new("P0", "r1"));
+        assert_eq!(c0.importer, RegionRef::new("P1", "r1"));
+        assert_eq!(c0.policy, MatchPolicy::RegL);
+        assert_eq!(c0.tolerance.value(), 0.2);
+    }
+
+    #[test]
+    fn extra_tokens_preserved() {
+        let cfg = parse("P0 c0 /bin/p0 4 --foo bar\n#\n").unwrap();
+        assert_eq!(cfg.programs[0].extra, vec!["--foo".to_owned(), "bar".to_owned()]);
+    }
+
+    #[test]
+    fn empty_lines_and_comments_skipped() {
+        let cfg = parse("\nP0 c0 /bin/p0 4\nP1 c0 /bin/p1 2\n\n#\n# a comment\nP0.r P1.r REG 1.0\n\n").unwrap();
+        assert_eq!(cfg.connections.len(), 1);
+    }
+
+    #[test]
+    fn missing_separator_is_error() {
+        let e = parse("P0 c0 /bin/p0 4\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::MissingSeparator);
+    }
+
+    #[test]
+    fn malformed_program_line() {
+        let e = parse("P0 c0 /bin/p0\n#\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::MalformedProgramLine);
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn bad_process_count() {
+        assert_eq!(
+            parse("P0 c0 /bin/p0 zero\n#\n").unwrap_err().kind,
+            ParseErrorKind::BadProcessCount("zero".into())
+        );
+        assert_eq!(
+            parse("P0 c0 /bin/p0 0\n#\n").unwrap_err().kind,
+            ParseErrorKind::BadProcessCount("0".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_program_rejected() {
+        let e = parse("P0 c0 /bin/a 1\nP0 c1 /bin/b 2\n#\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::DuplicateProgram("P0".into()));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn malformed_connection_line() {
+        let e = parse("P0 c0 /bin/a 1\nP1 c0 /bin/b 1\n#\nP0.r P1.r REGL\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::MalformedConnectionLine);
+    }
+
+    #[test]
+    fn bad_region_refs() {
+        for bad in ["P0r", "P0.", ".r1", "P0.r.x"] {
+            let input = format!("P0 c0 /bin/a 1\nP1 c0 /bin/b 1\n#\n{bad} P1.r REGL 0.5\n");
+            let e = parse(&input).unwrap_err();
+            assert_eq!(e.kind, ParseErrorKind::BadRegionRef(bad.into()), "{bad}");
+        }
+    }
+
+    #[test]
+    fn bad_policy_and_tolerance() {
+        let base = "P0 c0 /bin/a 1\nP1 c0 /bin/b 1\n#\n";
+        assert_eq!(
+            parse(&format!("{base}P0.r P1.r REGX 0.5\n")).unwrap_err().kind,
+            ParseErrorKind::BadPolicy("REGX".into())
+        );
+        assert_eq!(
+            parse(&format!("{base}P0.r P1.r REGL -0.5\n")).unwrap_err().kind,
+            ParseErrorKind::BadTolerance("-0.5".into())
+        );
+        assert_eq!(
+            parse(&format!("{base}P0.r P1.r REGL nan\n")).unwrap_err().kind,
+            ParseErrorKind::BadTolerance("nan".into())
+        );
+    }
+
+    #[test]
+    fn unknown_program_in_connection() {
+        let e = parse("P0 c0 /bin/a 1\n#\nP0.r P9.r REGL 0.5\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnknownProgram("P9".into()));
+    }
+
+    #[test]
+    fn self_connection_rejected() {
+        let e = parse("P0 c0 /bin/a 2\n#\nP0.r1 P0.r2 REGL 0.5\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::SelfConnection);
+    }
+
+    #[test]
+    fn duplicate_connection_rejected() {
+        let e = parse(
+            "P0 c0 /bin/a 1\nP1 c0 /bin/b 1\n#\nP0.r P1.r REGL 0.5\nP0.r P1.r REG 0.1\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::DuplicateConnection);
+    }
+
+    #[test]
+    fn one_exported_region_to_two_importers_is_fine() {
+        let cfg = parse(
+            "P0 c0 /bin/a 1\nP1 c0 /bin/b 1\nP2 c0 /bin/c 1\n#\n\
+             P0.r P1.r REGL 0.5\nP0.r P2.q REG 0.1\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.exports_of("P0").count(), 2);
+    }
+
+    #[test]
+    fn zero_tolerance_is_exact_matching() {
+        let cfg = parse("P0 c0 /bin/a 1\nP1 c0 /bin/b 1\n#\nP0.r P1.r REG 0\n").unwrap();
+        assert_eq!(cfg.connections[0].tolerance.value(), 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! **couplink** — a loosely coupled simulation coupling framework with
+//! approximate temporal matching and the *buddy-help* collective
+//! optimization.
+//!
+//! This crate is the public face of a from-scratch Rust reproduction of
+//! *"Taking Advantage of Collective Operation Semantics for Loosely Coupled
+//! Simulations"* (Wu & Sussman, IPDPS 2007). The framework couples
+//! independently developed data-parallel programs: each program declares
+//! *regions* of a distributed array once, then exports or imports data as
+//! often as it likes, tagged with increasing simulation timestamps. A
+//! framework-level configuration file — not the programs — declares who is
+//! connected to whom, with what match policy (`REGL`/`REGU`/`REG`) and
+//! tolerance.
+//!
+//! Exported objects are buffered by the framework until it can prove they
+//! will never be requested. Because export and import operations are
+//! *collective* (every process of a program performs the same sequence),
+//! the answer computed by the fastest process of an exporting program can be
+//! forwarded to its slower peers — **buddy-help** — letting them skip
+//! buffering entirely for objects that are already known not to match.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use couplink::prelude::*;
+//! use std::time::Duration;
+//!
+//! // One 64x64 array: exporter F holds 2x2 quadrants, importer U holds
+//! // 2 row blocks.
+//! let grid = Extent2::new(64, 64);
+//! let f = Decomposition::block_2d(grid, 2, 2).unwrap();
+//! let u = Decomposition::row_block(grid, 2).unwrap();
+//!
+//! let config = couplink::config::parse(
+//!     "F c0 /bin/f 4\nU c0 /bin/u 2\n#\nF.force U.force REGL 2.5\n",
+//! ).unwrap();
+//! let mut session = SessionBuilder::new(config)
+//!     .bind("F", "force", f)
+//!     .bind("U", "force", u)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Spawn one thread per process of each program; each thread drives its
+//! // ProcessHandle: exporters call `export`, importers call `import`.
+//! let mut handles = session.take_program("F").unwrap();
+//! let mut rank0 = handles.take_process(0);
+//! let piece = LocalArray::zeros(f.owned(0));
+//! rank0.export_region("force").unwrap().export(ts(1.6), &piece).unwrap();
+//! ```
+//!
+//! # Crate map
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | timestamps & matching | `couplink-time` | policies, acceptable regions, MATCH/NO MATCH/PENDING engine |
+//! | data layout | `couplink-layout` | decompositions, M×N redistribution plans |
+//! | protocol | `couplink-proto` | buffer manager, rep aggregation, buddy-help (sans-IO) |
+//! | runtimes | `couplink-runtime` | deterministic DES + threaded fabric |
+//! | configuration | `couplink-config` | Figure-2 config file format |
+//! | this crate | `couplink` | config-driven sessions, experiment series output |
+
+#![warn(missing_docs)]
+
+pub mod series;
+pub mod session;
+
+/// Re-export of the configuration crate.
+pub mod config {
+    pub use couplink_config::*;
+}
+
+/// Everything needed by typical applications.
+pub mod prelude {
+    pub use crate::session::{ProcessHandle, ProgramHandles, Session, SessionBuilder, SessionError};
+    pub use couplink_config::{Config, ConnectionSpec, ProgramSpec, RegionRef};
+    pub use couplink_layout::{Decomposition, Extent2, LocalArray, Rect, RedistPlan};
+    pub use couplink_runtime::threaded::ExportOutcome;
+    pub use couplink_runtime::CostModel;
+    pub use couplink_time::{ts, MatchPolicy, MatchResult, Timestamp, Tolerance};
+}
+
+pub use prelude::*;

@@ -1,0 +1,110 @@
+//! Experiment series output: the CSV files the figure harnesses write.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A named column of numbers (one figure curve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Header name.
+    pub name: String,
+    /// Values, one per row.
+    pub values: Vec<f64>,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Column {
+            name: name.into(),
+            values,
+        }
+    }
+}
+
+/// Renders columns as CSV with an index column. Shorter columns leave blank
+/// cells.
+pub fn to_csv(index_name: &str, columns: &[Column]) -> String {
+    let mut out = String::new();
+    out.push_str(index_name);
+    for c in columns {
+        out.push(',');
+        out.push_str(&c.name);
+    }
+    out.push('\n');
+    let rows = columns.iter().map(|c| c.values.len()).max().unwrap_or(0);
+    for row in 0..rows {
+        write!(out, "{row}").expect("writing to String");
+        for c in columns {
+            out.push(',');
+            if let Some(v) = c.values.get(row) {
+                write!(out, "{v}").expect("writing to String");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes columns as a CSV file.
+pub fn write_csv(path: impl AsRef<Path>, index_name: &str, columns: &[Column]) -> io::Result<()> {
+    std::fs::write(path, to_csv(index_name, columns))
+}
+
+/// Downsamples a series by averaging consecutive windows of `window` points
+/// (used to de-noise per-iteration plots the way the paper's figures do).
+pub fn window_mean(values: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    values
+        .chunks(window)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_layout() {
+        let csv = to_csv(
+            "iter",
+            &[
+                Column::new("a", vec![1.0, 2.0]),
+                Column::new("b", vec![0.5]),
+            ],
+        );
+        assert_eq!(csv, "iter,a,b\n0,1,0.5\n1,2,\n");
+    }
+
+    #[test]
+    fn empty_columns() {
+        assert_eq!(to_csv("i", &[]), "i\n");
+        assert_eq!(to_csv("i", &[Column::new("x", vec![])]), "i,x\n");
+    }
+
+    #[test]
+    fn window_mean_averages() {
+        assert_eq!(window_mean(&[1.0, 3.0, 5.0, 7.0], 2), vec![2.0, 6.0]);
+        // Trailing partial window averages what is left.
+        assert_eq!(window_mean(&[1.0, 3.0, 8.0], 2), vec![2.0, 8.0]);
+        assert_eq!(window_mean(&[], 4), Vec::<f64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        window_mean(&[1.0], 0);
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("couplink-series-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        write_csv(&path, "i", &[Column::new("v", vec![1.5])]).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "i,v\n0,1.5\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

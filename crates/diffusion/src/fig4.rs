@@ -1,0 +1,198 @@
+//! The four Figure-4 configurations, calibrated for the discrete-event
+//! runtime.
+//!
+//! The paper's setup: program `F` (the exporter) has four processes, each
+//! computing a 512×512 quadrant of the forcing array; `p_s` (rank 3) does
+//! extra work and is the slowest process of `F`. Program `U` (the importer)
+//! distributes the same 1024×1024 array over 4, 8, 16 or 32 processes;
+//! because the array size is fixed, more importer processes mean less
+//! computation per process and a faster importer. `F` exports every time
+//! unit (timestamps 1.6, 2.6, …, 1001 exports), `U` imports every 20 time
+//! units with policy `REGL` and tolerance 2.5, so one export in twenty is
+//! transferred.
+//!
+//! # Calibration
+//!
+//! The DES charges each buffering memcpy 2 MiB / 1.5 GB/s ≈ 1.40 ms (the
+//! per-process piece of `F`). Compute costs are chosen so that the paper's
+//! regimes are reproduced:
+//!
+//! * `U` at 4 or 8 processes is slower than the full-buffering exporter
+//!   window of 20·(c_ps + memcpy) ≈ 68 ms → requests always arrive after
+//!   the fact and every export is buffered (flat Figure 4(a)/(b)).
+//! * `U` at 16 processes is *marginally* faster than that window → each
+//!   cycle the request arrives slightly earlier, skips accumulate, and the
+//!   run converges to the optimal state after a few hundred iterations
+//!   (Figure 4(c)).
+//! * `U` at 32 processes is twice as fast again → the optimal state is
+//!   reached within tens of iterations (Figure 4(d)).
+
+use couplink_layout::{Decomposition, Extent2};
+use couplink_runtime::{CostModel, CoupledConfig};
+use couplink_time::MatchPolicy;
+
+/// The benchmark's global array: 1024×1024 `f64`s.
+pub const GRID: Extent2 = Extent2::new(1024, 1024);
+
+/// Compute seconds per iteration for the three fast `F` processes.
+pub const F_FAST_COMPUTE: f64 = 1.0e-3;
+/// Compute seconds per iteration for the slow process `p_s` (extra load).
+pub const F_SLOW_COMPUTE: f64 = 2.0e-3;
+/// Total importer compute per iteration across the program; one process
+/// computes `U_TOTAL_COMPUTE / n` (fixed-size array, strong scaling).
+pub const U_TOTAL_COMPUTE: f64 = 0.976;
+/// Total importer one-time startup cost across the program (framework and
+/// data-structure initialization); one process pays `U_INIT_TOTAL / n`.
+/// This is the exporter head start the request stream must erode before
+/// buddy-help starts saving memcpys — the knob behind the paper's ~400- vs
+/// ~25-iteration optimal-state entry points.
+pub const U_INIT_TOTAL: f64 = 1.2;
+/// Number of exports per run (the paper's 1001).
+pub const EXPORTS: usize = 1001;
+/// Number of imports per run: one per 20 exports.
+pub const IMPORTS: usize = 50;
+
+/// Parameters of one Figure-4 panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig4Params {
+    /// Importer process count: 4, 8, 16 or 32 in the paper.
+    pub u_procs: usize,
+    /// Whether buddy-help is enabled.
+    pub buddy_help: bool,
+    /// Export iterations (defaults to [`EXPORTS`]).
+    pub exports: usize,
+}
+
+impl Fig4Params {
+    /// The paper's panel for `u_procs` importer processes, buddy-help on.
+    pub fn panel(u_procs: usize) -> Self {
+        Fig4Params {
+            u_procs,
+            buddy_help: true,
+            exports: EXPORTS,
+        }
+    }
+
+    /// Same panel with buddy-help disabled (the ablation baseline).
+    pub fn without_buddy_help(mut self) -> Self {
+        self.buddy_help = false;
+        self
+    }
+}
+
+/// Builds the calibrated coupled-pair configuration for one panel.
+pub fn fig4_config(params: Fig4Params) -> CoupledConfig {
+    let exporter_decomp =
+        Decomposition::block_2d(GRID, 2, 2).expect("1024x1024 over 2x2 quadrants");
+    let importer_decomp =
+        Decomposition::row_block(GRID, params.u_procs).expect("row blocks over importer");
+    // Rank 3 is p_s, the artificially loaded slowest process of F.
+    let exporter_compute = vec![F_FAST_COMPUTE, F_FAST_COMPUTE, F_FAST_COMPUTE, F_SLOW_COMPUTE];
+    let imports = params.exports.div_ceil(20).clamp(1, IMPORTS);
+    CoupledConfig {
+        exporter_decomp,
+        importer_decomp,
+        policy: MatchPolicy::RegL,
+        tolerance: 2.5,
+        buddy_help: params.buddy_help,
+        exports: params.exports,
+        export_t0: 1.6,
+        export_dt: 1.0,
+        imports,
+        import_t0: 20.0,
+        import_dt: 20.0,
+        exporter_compute,
+        importer_compute: U_TOTAL_COMPUTE / params.u_procs as f64,
+        importer_startup: U_INIT_TOTAL / params.u_procs as f64,
+        cost: CostModel::default(),
+        buffer_capacity: None,
+    }
+}
+
+/// The rank index of `p_s` in program `F`.
+pub const SLOW_RANK: usize = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use couplink_runtime::{ActionKind, CoupledSim};
+
+    fn run(params: Fig4Params) -> couplink_runtime::CoupledReport {
+        CoupledSim::new(fig4_config(params)).unwrap().run().unwrap()
+    }
+
+    #[test]
+    fn panel_a_4_importers_buffers_everything() {
+        // Importer slower than exporter: flat profile, essentially every
+        // export of p_s is copied.
+        let report = run(Fig4Params {
+            exports: 401,
+            ..Fig4Params::panel(4)
+        });
+        let copies = report.action_series[SLOW_RANK]
+            .iter()
+            .filter(|a| **a != ActionKind::Skip)
+            .count();
+        assert!(
+            copies as f64 > 0.97 * 401.0,
+            "expected a flat all-copy profile, got {copies}/401 copies"
+        );
+    }
+
+    #[test]
+    fn panel_c_16_importers_reaches_optimal_state_gradually() {
+        let report = run(Fig4Params::panel(16));
+        let entry = report
+            .optimal_entry(SLOW_RANK)
+            .expect("16-importer run must settle into the optimal state");
+        assert!(
+            (100..900).contains(&entry),
+            "gradual convergence expected (paper: ~400), got {entry}"
+        );
+    }
+
+    #[test]
+    fn panel_d_32_importers_reaches_optimal_state_fast() {
+        let report = run(Fig4Params::panel(32));
+        let entry32 = report
+            .optimal_entry(SLOW_RANK)
+            .expect("32-importer run must settle into the optimal state");
+        assert!(entry32 < 100, "paper: ~25 iterations, got {entry32}");
+        let report16 = run(Fig4Params::panel(16));
+        let entry16 = report16.optimal_entry(SLOW_RANK).unwrap();
+        assert!(
+            entry32 < entry16 / 4,
+            "32 importers must settle much faster than 16 ({entry32} vs {entry16})"
+        );
+    }
+
+    #[test]
+    fn buddy_help_ablation_at_16_importers() {
+        let with = run(Fig4Params::panel(16));
+        let without = run(Fig4Params::panel(16).without_buddy_help());
+        // Buddy-help reduces unnecessary in-region buffering on p_s ...
+        let ub_with = with.stats[SLOW_RANK].t_ub_in_region_count();
+        let ub_without = without.stats[SLOW_RANK].t_ub_in_region_count();
+        assert!(
+            ub_with * 2 < ub_without.max(1),
+            "buddy-help should remove unnecessary buffering: {ub_with} vs {ub_without}"
+        );
+        // ... and eliminates it entirely once the optimal state is reached,
+        // which never happens without it (T_i > 0 for every late region).
+        assert!(with.stats[SLOW_RANK].optimal_over_last(20));
+        assert!(!without.stats[SLOW_RANK].optimal_over_last(20));
+        assert!(without.optimal_entry(SLOW_RANK).is_none());
+        // And the transferred data is the same either way.
+        assert_eq!(with.stats[SLOW_RANK].sends, without.stats[SLOW_RANK].sends);
+    }
+
+    #[test]
+    fn one_in_twenty_exports_is_transferred() {
+        let report = run(Fig4Params::panel(16));
+        for rank in 0..4 {
+            assert_eq!(report.stats[rank].exports, EXPORTS as u64);
+            assert_eq!(report.stats[rank].sends, IMPORTS as u64);
+        }
+        assert_eq!(report.importer_done, vec![IMPORTS; 16]);
+    }
+}

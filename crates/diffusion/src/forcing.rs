@@ -1,0 +1,83 @@
+//! The forcing function program `F` computes: an analytic, time-dependent
+//! source `f(t, x, y)` — a Gaussian pulse orbiting the domain centre. Being
+//! analytic, every process of `F` can evaluate its own quadrant without
+//! intra-program communication, matching the paper's setup where `p_s`
+//! exchanges no data with its peers.
+
+use couplink_layout::{Extent2, LocalArray, Rect};
+
+/// Evaluates the forcing at simulation time `t` and unit-square coordinates
+/// `(x, y)`: a Gaussian source of width 0.1 orbiting the centre at radius
+/// 0.25 with period 40 time units, plus a weak standing component.
+pub fn forcing_at(t: f64, x: f64, y: f64) -> f64 {
+    let omega = 2.0 * std::f64::consts::PI / 40.0;
+    let cx = 0.5 + 0.25 * (omega * t).cos();
+    let cy = 0.5 + 0.25 * (omega * t).sin();
+    let d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+    let pulse = (-d2 / (2.0 * 0.1 * 0.1)).exp();
+    let standing = 0.05 * (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin();
+    pulse + standing
+}
+
+/// Fills one process's piece of the forcing array at time `t`, mapping
+/// global indices onto the unit square.
+pub fn fill_forcing(grid: Extent2, owned: Rect, t: f64) -> LocalArray {
+    let inv_r = 1.0 / grid.rows as f64;
+    let inv_c = 1.0 / grid.cols as f64;
+    LocalArray::from_fn(owned, |row, col| {
+        let y = (row as f64 + 0.5) * inv_r;
+        let x = (col as f64 + 0.5) * inv_c;
+        forcing_at(t, x, y)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulse_peaks_near_its_centre() {
+        // At t = 0 the pulse sits at (0.75, 0.5).
+        let at_centre = forcing_at(0.0, 0.75, 0.5);
+        let far = forcing_at(0.0, 0.1, 0.1);
+        assert!(at_centre > 0.9, "{at_centre}");
+        assert!(far < at_centre / 2.0);
+    }
+
+    #[test]
+    fn pulse_orbits_with_period_40() {
+        for (x, y) in [(0.3, 0.4), (0.75, 0.5), (0.5, 0.25)] {
+            let a = forcing_at(3.0, x, y);
+            let b = forcing_at(43.0, x, y);
+            assert!((a - b).abs() < 1e-9, "not periodic at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn quadrant_pieces_tile_the_full_array() {
+        let grid = Extent2::new(16, 16);
+        let t = 7.5;
+        let full = fill_forcing(grid, grid.full_rect(), t);
+        for (r0, c0) in [(0, 0), (0, 8), (8, 0), (8, 8)] {
+            let quad = fill_forcing(grid, Rect::new(r0, c0, 8, 8), t);
+            for r in r0..r0 + 8 {
+                for c in c0..c0 + 8 {
+                    assert_eq!(quad.get(r, c), full.get(r, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forcing_values_are_finite_and_bounded() {
+        let grid = Extent2::new(32, 32);
+        for step in 0..50 {
+            let t = step as f64 * 1.7;
+            let f = fill_forcing(grid, grid.full_rect(), t);
+            for v in f.as_slice() {
+                assert!(v.is_finite());
+                assert!(v.abs() <= 1.1);
+            }
+        }
+    }
+}

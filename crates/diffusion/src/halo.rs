@@ -1,0 +1,134 @@
+//! Intra-program halo exchange for row-block ranks.
+//!
+//! The paper's program `U` is an MPI program: neighbouring ranks swap
+//! boundary rows every step. In this reproduction each rank is a thread, so
+//! the exchange rides on crossbeam channels wired once at startup by
+//! [`ring`].
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// One rank's links to its row-block neighbours.
+pub struct HaloLink {
+    up_send: Option<Sender<Vec<f64>>>,
+    up_recv: Option<Receiver<Vec<f64>>>,
+    down_send: Option<Sender<Vec<f64>>>,
+    down_recv: Option<Receiver<Vec<f64>>>,
+}
+
+impl HaloLink {
+    /// Whether this rank has a neighbour above.
+    pub fn has_up(&self) -> bool {
+        self.up_send.is_some()
+    }
+
+    /// Whether this rank has a neighbour below.
+    pub fn has_down(&self) -> bool {
+        self.down_send.is_some()
+    }
+
+    /// Swaps boundary rows with both neighbours: sends `top` up and
+    /// `bottom` down, returns `(row_from_above, row_from_below)`.
+    ///
+    /// Sends happen before receives, so a full ring of ranks calling
+    /// `exchange` concurrently cannot deadlock.
+    pub fn exchange(
+        &self,
+        top: Vec<f64>,
+        bottom: Vec<f64>,
+    ) -> (Option<Vec<f64>>, Option<Vec<f64>>) {
+        if let Some(s) = &self.up_send {
+            s.send(top).expect("neighbour above hung up");
+        }
+        if let Some(s) = &self.down_send {
+            s.send(bottom).expect("neighbour below hung up");
+        }
+        let above = self
+            .up_recv
+            .as_ref()
+            .map(|r| r.recv().expect("neighbour above hung up"));
+        let below = self
+            .down_recv
+            .as_ref()
+            .map(|r| r.recv().expect("neighbour below hung up"));
+        (above, below)
+    }
+}
+
+/// Wires `n` ranks into a row-block chain and returns each rank's link
+/// (index = rank, rank 0 on top).
+pub fn ring(n: usize) -> Vec<HaloLink> {
+    let mut links: Vec<HaloLink> = (0..n)
+        .map(|_| HaloLink {
+            up_send: None,
+            up_recv: None,
+            down_send: None,
+            down_recv: None,
+        })
+        .collect();
+    for upper in 0..n.saturating_sub(1) {
+        let lower = upper + 1;
+        let (s_down, r_down) = unbounded(); // upper -> lower
+        let (s_up, r_up) = unbounded(); // lower -> upper
+        links[upper].down_send = Some(s_down);
+        links[upper].down_recv = Some(r_up);
+        links[lower].up_send = Some(s_up);
+        links[lower].up_recv = Some(r_down);
+    }
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_has_no_neighbours() {
+        let links = ring(1);
+        assert!(!links[0].has_up());
+        assert!(!links[0].has_down());
+        let (a, b) = links[0].exchange(vec![1.0], vec![2.0]);
+        assert_eq!(a, None);
+        assert_eq!(b, None);
+    }
+
+    #[test]
+    fn three_rank_chain_exchanges_rows() {
+        let mut links = ring(3);
+        let l2 = links.pop().unwrap();
+        let l1 = links.pop().unwrap();
+        let l0 = links.pop().unwrap();
+        let t0 = std::thread::spawn(move || l0.exchange(vec![0.1], vec![0.9]));
+        let t1 = std::thread::spawn(move || l1.exchange(vec![1.1], vec![1.9]));
+        let t2 = std::thread::spawn(move || l2.exchange(vec![2.1], vec![2.9]));
+        let (a0, b0) = t0.join().unwrap();
+        let (a1, b1) = t1.join().unwrap();
+        let (a2, b2) = t2.join().unwrap();
+        // Rank 0: nothing above, rank 1's top below.
+        assert_eq!(a0, None);
+        assert_eq!(b0, Some(vec![1.1]));
+        // Rank 1: rank 0's bottom above, rank 2's top below.
+        assert_eq!(a1, Some(vec![0.9]));
+        assert_eq!(b1, Some(vec![2.1]));
+        // Rank 2: rank 1's bottom above, nothing below.
+        assert_eq!(a2, Some(vec![1.9]));
+        assert_eq!(b2, None);
+    }
+
+    #[test]
+    fn repeated_exchanges_stay_ordered() {
+        let mut links = ring(2);
+        let l1 = links.pop().unwrap();
+        let l0 = links.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                let (_, below) = l0.exchange(vec![], vec![i as f64]);
+                assert_eq!(below, Some(vec![i as f64 * 2.0]));
+            }
+        });
+        for i in 0..100 {
+            let (above, _) = l1.exchange(vec![i as f64 * 2.0], vec![]);
+            assert_eq!(above, Some(vec![i as f64]));
+        }
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,35 @@
+//! The paper's §5 micro-benchmark application, built on couplink.
+//!
+//! Two programs:
+//!
+//! * **Program `U`** solves the forced 2-D wave equation
+//!   `u_tt = u_xx + u_yy + f(t, x, y)` on a 1024×1024 grid distributed as
+//!   row blocks over 4, 8, 16 or 32 processes ([`solver::Leapfrog`], with
+//!   [`halo::ring`] providing the intra-program halo exchange that MPI
+//!   provides in the paper's setup).
+//! * **Program `F`** computes the forcing function `f(t, x, y)` on four
+//!   512×512 quadrants ([`forcing`]), exporting every time step. One of its
+//!   processes, `p_s`, carries extra computational load and is the slowest
+//!   process of the whole coupled system in the interesting configurations.
+//!
+//! The two are coupled on the full 1024×1024 array with match policy `REGL`
+//! and tolerance (precision) 2.5; `F` exports at `t = 1.6, 2.6, …` and `U`
+//! imports at `t = 20, 40, …`, so exactly one in twenty exported objects is
+//! transferred — the paper's multi-resolution coupling.
+//!
+//! [`fig4`] packages the four configurations with calibrated compute costs
+//! for the discrete-event runtime so that the paper's Figure 4 shapes
+//! (flat at 4/8 importer processes, optimal state after ~hundreds of
+//! iterations at 16, after ~tens at 32) are reproduced deterministically.
+
+#![warn(missing_docs)]
+
+pub mod fig4;
+pub mod forcing;
+pub mod halo;
+pub mod solver;
+
+pub use fig4::{fig4_config, Fig4Params, GRID};
+pub use forcing::{fill_forcing, forcing_at};
+pub use halo::{ring, HaloLink};
+pub use solver::Leapfrog;

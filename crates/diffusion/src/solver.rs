@@ -1,0 +1,301 @@
+//! A leapfrog finite-difference solver for the forced 2-D wave equation
+//! `u_tt = u_xx + u_yy + f(t, x, y)` with homogeneous Dirichlet boundaries.
+//!
+//! Each process owns a full-width row block of the global grid (program `U`
+//! distributes its 1024×1024 array that way) and keeps one halo row above
+//! and below; [`Leapfrog::step`] advances the owned rows given the forcing
+//! on them, and [`crate::halo`] moves boundary rows between neighbouring
+//! ranks between steps.
+
+use couplink_layout::{Extent2, LocalArray, Rect};
+
+/// Explicit leapfrog integrator for one rank's row block.
+///
+/// Storage is `(rows + 2) × cols`: row 0 and row `rows + 1` are halo rows
+/// (zero at the global boundary). The update is the standard second-order
+/// scheme `u⁺ = 2u − u⁻ + λ²·∇²u + dt²·f` with `λ = dt/dx`, stable for
+/// `λ ≤ 1/√2` on a 2-D grid.
+#[derive(Debug, Clone)]
+pub struct Leapfrog {
+    grid: Extent2,
+    owned: Rect,
+    dx: f64,
+    dt: f64,
+    prev: Vec<f64>,
+    curr: Vec<f64>,
+    next: Vec<f64>,
+    steps: u64,
+}
+
+impl Leapfrog {
+    /// Creates a zero-initialized solver for a full-width row block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not span the full grid width, if it is
+    /// empty, or if the CFL condition `dt/dx ≤ 1/√2` is violated.
+    pub fn new(grid: Extent2, owned: Rect, dx: f64, dt: f64) -> Self {
+        assert!(
+            owned.col0 == 0 && owned.cols == grid.cols,
+            "row-block decomposition required (full-width rows)"
+        );
+        assert!(!owned.is_empty(), "empty row block");
+        assert!(dx > 0.0 && dt > 0.0, "positive steps required");
+        let lambda = dt / dx;
+        assert!(
+            lambda <= 1.0 / std::f64::consts::SQRT_2 + 1e-12,
+            "CFL violated: dt/dx = {lambda} > 1/sqrt(2)"
+        );
+        let padded = (owned.rows + 2) * owned.cols;
+        Leapfrog {
+            grid,
+            owned,
+            dx,
+            dt,
+            prev: vec![0.0; padded],
+            curr: vec![0.0; padded],
+            next: vec![0.0; padded],
+            steps: 0,
+        }
+    }
+
+    /// The rank's owned rows.
+    pub fn owned(&self) -> Rect {
+        self.owned
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    #[inline]
+    fn idx(&self, local_row: usize, col: usize) -> usize {
+        local_row * self.owned.cols + col
+    }
+
+    /// Sets the current solution from a function of global `(row, col)`.
+    pub fn set_initial(&mut self, mut u0: impl FnMut(usize, usize) -> f64) {
+        for r in 0..self.owned.rows {
+            for c in 0..self.owned.cols {
+                let v = u0(self.owned.row0 + r, c);
+                let i = self.idx(r + 1, c);
+                self.curr[i] = v;
+                self.prev[i] = v; // starts at rest (u_t = 0)
+            }
+        }
+    }
+
+    /// The current value at global `(row, col)` (must be owned).
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        assert!(self.owned.contains(row, col), "({row},{col}) not owned");
+        self.curr[self.idx(row - self.owned.row0 + 1, col)]
+    }
+
+    /// Copies the topmost owned row (for sending to the rank above).
+    pub fn top_row(&self) -> Vec<f64> {
+        let i = self.idx(1, 0);
+        self.curr[i..i + self.owned.cols].to_vec()
+    }
+
+    /// Copies the bottommost owned row (for sending to the rank below).
+    pub fn bottom_row(&self) -> Vec<f64> {
+        let i = self.idx(self.owned.rows, 0);
+        self.curr[i..i + self.owned.cols].to_vec()
+    }
+
+    /// Installs the halo row above the block (from the neighbouring rank);
+    /// without it the global boundary value 0 is used.
+    pub fn set_halo_above(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.owned.cols, "halo width mismatch");
+        let i = self.idx(0, 0);
+        self.curr[i..i + self.owned.cols].copy_from_slice(row);
+    }
+
+    /// Installs the halo row below the block.
+    pub fn set_halo_below(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.owned.cols, "halo width mismatch");
+        let i = self.idx(self.owned.rows + 1, 0);
+        self.curr[i..i + self.owned.cols].copy_from_slice(row);
+    }
+
+    /// Advances one time step given the forcing sampled on the owned rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` does not cover exactly the owned rectangle.
+    pub fn step(&mut self, f: &LocalArray) {
+        assert_eq!(f.owned(), self.owned, "forcing must cover the owned block");
+        let lambda2 = (self.dt / self.dx) * (self.dt / self.dx);
+        let dt2 = self.dt * self.dt;
+        let cols = self.owned.cols;
+        for r in 0..self.owned.rows {
+            let lr = r + 1;
+            for c in 0..cols {
+                let i = self.idx(lr, c);
+                // Dirichlet zero on the global column boundary.
+                let left = if c == 0 { 0.0 } else { self.curr[i - 1] };
+                let right = if c + 1 == cols { 0.0 } else { self.curr[i + 1] };
+                let up = self.curr[self.idx(lr - 1, c)];
+                let down = self.curr[self.idx(lr + 1, c)];
+                let lap = left + right + up + down - 4.0 * self.curr[i];
+                self.next[i] = 2.0 * self.curr[i] - self.prev[i]
+                    + lambda2 * lap
+                    + dt2 * f.get(self.owned.row0 + r, c);
+            }
+        }
+        std::mem::swap(&mut self.prev, &mut self.curr);
+        std::mem::swap(&mut self.curr, &mut self.next);
+        // Halo rows are stale after the swap; callers re-exchange each step.
+        self.steps += 1;
+    }
+
+    /// Snapshot of the owned rows as a [`LocalArray`].
+    pub fn snapshot(&self) -> LocalArray {
+        LocalArray::from_fn(self.owned, |r, c| self.value(r, c))
+    }
+
+    /// Maximum absolute value over the owned rows.
+    pub fn max_abs(&self) -> f64 {
+        let mut m: f64 = 0.0;
+        for r in 0..self.owned.rows {
+            for c in 0..self.owned.cols {
+                m = m.max(self.curr[self.idx(r + 1, c)].abs());
+            }
+        }
+        m
+    }
+
+    /// The global grid shape.
+    pub fn grid(&self) -> Extent2 {
+        self.grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zero_forcing(owned: Rect) -> LocalArray {
+        LocalArray::zeros(owned)
+    }
+
+    #[test]
+    fn zero_everything_stays_zero() {
+        let grid = Extent2::new(16, 16);
+        let mut s = Leapfrog::new(grid, grid.full_rect(), 1.0, 0.5);
+        let f = zero_forcing(grid.full_rect());
+        for _ in 0..50 {
+            s.step(&f);
+        }
+        assert_eq!(s.max_abs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "CFL violated")]
+    fn cfl_checked() {
+        let grid = Extent2::new(8, 8);
+        Leapfrog::new(grid, grid.full_rect(), 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-block decomposition required")]
+    fn partial_width_rejected() {
+        let grid = Extent2::new(8, 8);
+        Leapfrog::new(grid, Rect::new(0, 0, 8, 4), 1.0, 0.5);
+    }
+
+    /// The standing wave `u = sin(πx/L) sin(πy/L) cos(ωt)` with
+    /// `ω = √2·π/L` solves the unforced wave equation with Dirichlet
+    /// boundaries; the leapfrog solution must track it to second order.
+    #[test]
+    fn standing_wave_accuracy() {
+        let n = 33; // grid points, spacing dx = 1/(n+1) inside the unit square
+        let grid = Extent2::new(n, n);
+        let dx = 1.0 / (n as f64 + 1.0);
+        let dt = dx / 2.0;
+        let mut s = Leapfrog::new(grid, grid.full_rect(), dx, dt);
+        let pi = std::f64::consts::PI;
+        // Interior point (row, col) sits at x = (col+1)dx, y = (row+1)dx.
+        s.set_initial(|r, c| {
+            (pi * (c as f64 + 1.0) * dx).sin() * (pi * (r as f64 + 1.0) * dx).sin()
+        });
+        let f = zero_forcing(grid.full_rect());
+        let steps = 40;
+        for _ in 0..steps {
+            s.step(&f);
+        }
+        let omega = std::f64::consts::SQRT_2 * pi;
+        let t = steps as f64 * dt;
+        let mut max_err: f64 = 0.0;
+        for r in 0..n {
+            for c in 0..n {
+                let exact = (pi * (c as f64 + 1.0) * dx).sin()
+                    * (pi * (r as f64 + 1.0) * dx).sin()
+                    * (omega * t).cos();
+                max_err = max_err.max((s.value(r, c) - exact).abs());
+            }
+        }
+        assert!(max_err < 0.02, "max error {max_err}");
+    }
+
+    /// Forcing drives the solution away from zero.
+    #[test]
+    fn forcing_injects_energy() {
+        let grid = Extent2::new(16, 16);
+        let mut s = Leapfrog::new(grid, grid.full_rect(), 1.0, 0.5);
+        let f = LocalArray::from_fn(grid.full_rect(), |r, c| {
+            if r == 8 && c == 8 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        for _ in 0..10 {
+            s.step(&f);
+        }
+        assert!(s.max_abs() > 0.0);
+        // The disturbance propagates at finite speed: corners still quiet.
+        assert_eq!(s.value(0, 0), 0.0);
+    }
+
+    /// A two-rank split with proper halo exchange reproduces the single-rank
+    /// solution exactly.
+    #[test]
+    fn split_solver_matches_monolithic() {
+        let grid = Extent2::new(16, 12);
+        let dx = 1.0;
+        let dt = 0.5;
+        let f_fn = |r: usize, c: usize| ((r * 13 + c * 7) % 5) as f64 * 0.1;
+
+        let mut whole = Leapfrog::new(grid, grid.full_rect(), dx, dt);
+        whole.set_initial(|r, c| ((r + c) % 3) as f64);
+        let f_whole = LocalArray::from_fn(grid.full_rect(), f_fn);
+
+        let top_rect = Rect::new(0, 0, 8, 12);
+        let bot_rect = Rect::new(8, 0, 8, 12);
+        let mut top = Leapfrog::new(grid, top_rect, dx, dt);
+        let mut bot = Leapfrog::new(grid, bot_rect, dx, dt);
+        top.set_initial(|r, c| ((r + c) % 3) as f64);
+        bot.set_initial(|r, c| ((r + c) % 3) as f64);
+        let f_top = LocalArray::from_fn(top_rect, f_fn);
+        let f_bot = LocalArray::from_fn(bot_rect, f_fn);
+
+        for _ in 0..20 {
+            // Exchange halos, then step both halves.
+            let t_edge = top.bottom_row();
+            let b_edge = bot.top_row();
+            top.set_halo_below(&b_edge);
+            bot.set_halo_above(&t_edge);
+            top.step(&f_top);
+            bot.step(&f_bot);
+            whole.step(&f_whole);
+        }
+        for r in 0..16 {
+            for c in 0..12 {
+                let split = if r < 8 { top.value(r, c) } else { bot.value(r, c) };
+                assert_eq!(split, whole.value(r, c), "({r},{c})");
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Process-local storage for a rectangular piece of a global 2-D array.
+
+use crate::rect::Rect;
+use std::fmt;
+
+/// The piece of a global `f64` array owned by one process: a dense, row-major
+/// buffer covering the global rectangle `owned`.
+///
+/// All indexing is in *global* coordinates; the array translates to local
+/// offsets internally. Sub-rectangle pack/unpack are the primitives the
+/// redistribution plan (and the framework's buffering memcpys) are built on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalArray {
+    owned: Rect,
+    data: Vec<f64>,
+}
+
+impl LocalArray {
+    /// Creates a zero-filled local array covering `owned`.
+    pub fn zeros(owned: Rect) -> Self {
+        LocalArray {
+            owned,
+            data: vec![0.0; owned.cells()],
+        }
+    }
+
+    /// Creates a local array covering `owned` filled by `f(row, col)` in
+    /// global coordinates.
+    pub fn from_fn(owned: Rect, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(owned.cells());
+        for row in owned.row0..owned.row_end() {
+            for col in owned.col0..owned.col_end() {
+                data.push(f(row, col));
+            }
+        }
+        LocalArray { owned, data }
+    }
+
+    /// The global rectangle this piece covers.
+    #[inline]
+    pub fn owned(&self) -> Rect {
+        self.owned
+    }
+
+    /// The raw row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Number of locally stored cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the piece is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn offset(&self, row: usize, col: usize) -> usize {
+        debug_assert!(self.owned.contains(row, col), "({row},{col}) not owned");
+        (row - self.owned.row0) * self.owned.cols + (col - self.owned.col0)
+    }
+
+    /// Reads the value at global cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds via `debug_assert`, in release via slice
+    /// bounds) if the cell is not owned.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[self.offset(row, col)]
+    }
+
+    /// Writes the value at global cell `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        let off = self.offset(row, col);
+        self.data[off] = value;
+    }
+
+    /// Copies the sub-rectangle `rect` (global coordinates, must be owned)
+    /// into a fresh contiguous row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rect` is not fully contained in the owned rectangle.
+    pub fn pack(&self, rect: &Rect) -> Vec<f64> {
+        assert!(
+            self.owned.contains_rect(rect),
+            "pack rect {rect} not within owned {}",
+            self.owned
+        );
+        let mut out = Vec::with_capacity(rect.cells());
+        for row in rect.row0..rect.row_end() {
+            let start = self.offset(row, rect.col0);
+            out.extend_from_slice(&self.data[start..start + rect.cols]);
+        }
+        out
+    }
+
+    /// Copies a contiguous row-major buffer produced by [`LocalArray::pack`]
+    /// into the sub-rectangle `rect` (global coordinates, must be owned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rect` is not owned or `src` has the wrong length.
+    pub fn unpack(&mut self, rect: &Rect, src: &[f64]) {
+        assert!(
+            self.owned.contains_rect(rect),
+            "unpack rect {rect} not within owned {}",
+            self.owned
+        );
+        assert_eq!(src.len(), rect.cells(), "unpack buffer length mismatch");
+        for (i, row) in (rect.row0..rect.row_end()).enumerate() {
+            let dst = self.offset(row, rect.col0);
+            self.data[dst..dst + rect.cols].copy_from_slice(&src[i * rect.cols..(i + 1) * rect.cols]);
+        }
+    }
+
+    /// Sum of all locally stored values (useful for conservation checks).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+impl fmt::Display for LocalArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LocalArray{} ({} cells)", self.owned, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_get() {
+        let a = LocalArray::from_fn(Rect::new(2, 3, 2, 2), |r, c| (r * 10 + c) as f64);
+        assert_eq!(a.get(2, 3), 23.0);
+        assert_eq!(a.get(2, 4), 24.0);
+        assert_eq!(a.get(3, 3), 33.0);
+        assert_eq!(a.get(3, 4), 34.0);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut a = LocalArray::zeros(Rect::new(0, 0, 3, 3));
+        a.set(1, 2, 7.5);
+        assert_eq!(a.get(1, 2), 7.5);
+        assert_eq!(a.get(2, 1), 0.0);
+    }
+
+    #[test]
+    fn pack_extracts_row_major_subrect() {
+        let a = LocalArray::from_fn(Rect::new(0, 0, 4, 4), |r, c| (r * 4 + c) as f64);
+        let packed = a.pack(&Rect::new(1, 1, 2, 3));
+        assert_eq!(packed, vec![5.0, 6.0, 7.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let src = LocalArray::from_fn(Rect::new(4, 8, 6, 5), |r, c| (r as f64) * 0.5 + c as f64);
+        let sub = Rect::new(5, 9, 3, 3);
+        let packed = src.pack(&sub);
+        let mut dst = LocalArray::zeros(Rect::new(4, 8, 6, 5));
+        dst.unpack(&sub, &packed);
+        for row in sub.row0..sub.row_end() {
+            for col in sub.col0..sub.col_end() {
+                assert_eq!(dst.get(row, col), src.get(row, col));
+            }
+        }
+        // Outside the sub-rect, dst is untouched.
+        assert_eq!(dst.get(4, 8), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not within owned")]
+    fn pack_outside_owned_panics() {
+        let a = LocalArray::zeros(Rect::new(0, 0, 2, 2));
+        a.pack(&Rect::new(1, 1, 2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn unpack_wrong_length_panics() {
+        let mut a = LocalArray::zeros(Rect::new(0, 0, 2, 2));
+        a.unpack(&Rect::new(0, 0, 2, 2), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_over_cells() {
+        let a = LocalArray::from_fn(Rect::new(0, 0, 2, 2), |_, _| 1.25);
+        assert_eq!(a.sum(), 5.0);
+    }
+
+    #[test]
+    fn empty_rect_array() {
+        let a = LocalArray::zeros(Rect::EMPTY);
+        assert!(a.is_empty());
+        assert_eq!(a.pack(&Rect::EMPTY), Vec::<f64>::new());
+    }
+}

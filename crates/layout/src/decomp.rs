@@ -1,0 +1,330 @@
+//! Block decompositions of a global 2-D grid over the ranks of a program.
+
+use crate::rect::{Extent2, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error constructing a [`Decomposition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompError {
+    /// The process count was zero.
+    ZeroProcesses,
+    /// A 2-D process grid does not match the requested rank count.
+    BadProcessGrid {
+        /// Rows of the process grid.
+        proc_rows: usize,
+        /// Columns of the process grid.
+        proc_cols: usize,
+    },
+    /// More processes than rows/columns to distribute.
+    TooManyProcesses {
+        /// The axis length being split.
+        extent: usize,
+        /// The number of processes requested along it.
+        procs: usize,
+    },
+}
+
+impl fmt::Display for DecompError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompError::ZeroProcesses => write!(f, "decomposition needs at least one process"),
+            DecompError::BadProcessGrid {
+                proc_rows,
+                proc_cols,
+            } => write!(f, "process grid {proc_rows}x{proc_cols} is empty"),
+            DecompError::TooManyProcesses { extent, procs } => write!(
+                f,
+                "cannot split an axis of length {extent} over {procs} processes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecompError {}
+
+/// How a global 2-D grid is partitioned over the `n` processes of a program.
+///
+/// All variants produce a *partition*: every global cell is owned by exactly
+/// one rank (tested by property tests). Blocks are as even as possible, with
+/// the first `extent % procs` blocks one element larger — the standard block
+/// distribution rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decomposition {
+    /// Contiguous row blocks, rank `r` owning the `r`-th block.
+    RowBlock {
+        /// Global grid shape.
+        extent: Extent2,
+        /// Number of processes.
+        procs: usize,
+    },
+    /// Contiguous column blocks.
+    ColBlock {
+        /// Global grid shape.
+        extent: Extent2,
+        /// Number of processes.
+        procs: usize,
+    },
+    /// A 2-D process grid of `proc_rows × proc_cols` blocks, rank
+    /// `pr * proc_cols + pc` owning block `(pr, pc)` (row-major ranks).
+    Block2D {
+        /// Global grid shape.
+        extent: Extent2,
+        /// Rows of the process grid.
+        proc_rows: usize,
+        /// Columns of the process grid.
+        proc_cols: usize,
+    },
+}
+
+/// Splits `extent` into `procs` near-even contiguous blocks and returns the
+/// `(start, len)` of block `idx`.
+fn block_bounds(extent: usize, procs: usize, idx: usize) -> (usize, usize) {
+    debug_assert!(idx < procs);
+    let base = extent / procs;
+    let extra = extent % procs;
+    if idx < extra {
+        (idx * (base + 1), base + 1)
+    } else {
+        (extra * (base + 1) + (idx - extra) * base, base)
+    }
+}
+
+impl Decomposition {
+    /// Row-block decomposition over `procs` processes.
+    pub fn row_block(extent: Extent2, procs: usize) -> Result<Self, DecompError> {
+        if procs == 0 {
+            return Err(DecompError::ZeroProcesses);
+        }
+        if procs > extent.rows {
+            return Err(DecompError::TooManyProcesses {
+                extent: extent.rows,
+                procs,
+            });
+        }
+        Ok(Decomposition::RowBlock { extent, procs })
+    }
+
+    /// Column-block decomposition over `procs` processes.
+    pub fn col_block(extent: Extent2, procs: usize) -> Result<Self, DecompError> {
+        if procs == 0 {
+            return Err(DecompError::ZeroProcesses);
+        }
+        if procs > extent.cols {
+            return Err(DecompError::TooManyProcesses {
+                extent: extent.cols,
+                procs,
+            });
+        }
+        Ok(Decomposition::ColBlock { extent, procs })
+    }
+
+    /// 2-D block decomposition over a `proc_rows × proc_cols` process grid.
+    pub fn block_2d(
+        extent: Extent2,
+        proc_rows: usize,
+        proc_cols: usize,
+    ) -> Result<Self, DecompError> {
+        if proc_rows == 0 || proc_cols == 0 {
+            return Err(DecompError::BadProcessGrid {
+                proc_rows,
+                proc_cols,
+            });
+        }
+        if proc_rows > extent.rows {
+            return Err(DecompError::TooManyProcesses {
+                extent: extent.rows,
+                procs: proc_rows,
+            });
+        }
+        if proc_cols > extent.cols {
+            return Err(DecompError::TooManyProcesses {
+                extent: extent.cols,
+                procs: proc_cols,
+            });
+        }
+        Ok(Decomposition::Block2D {
+            extent,
+            proc_rows,
+            proc_cols,
+        })
+    }
+
+    /// The global grid shape.
+    pub fn extent(&self) -> Extent2 {
+        match *self {
+            Decomposition::RowBlock { extent, .. }
+            | Decomposition::ColBlock { extent, .. }
+            | Decomposition::Block2D { extent, .. } => extent,
+        }
+    }
+
+    /// Number of processes (ranks) in the decomposition.
+    pub fn procs(&self) -> usize {
+        match *self {
+            Decomposition::RowBlock { procs, .. } | Decomposition::ColBlock { procs, .. } => procs,
+            Decomposition::Block2D {
+                proc_rows,
+                proc_cols,
+                ..
+            } => proc_rows * proc_cols,
+        }
+    }
+
+    /// The rectangle of global cells owned by `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= self.procs()`.
+    pub fn owned(&self, rank: usize) -> Rect {
+        assert!(rank < self.procs(), "rank {rank} out of range");
+        match *self {
+            Decomposition::RowBlock { extent, procs } => {
+                let (row0, rows) = block_bounds(extent.rows, procs, rank);
+                Rect::new(row0, 0, rows, extent.cols)
+            }
+            Decomposition::ColBlock { extent, procs } => {
+                let (col0, cols) = block_bounds(extent.cols, procs, rank);
+                Rect::new(0, col0, extent.rows, cols)
+            }
+            Decomposition::Block2D {
+                extent,
+                proc_rows,
+                proc_cols,
+            } => {
+                let pr = rank / proc_cols;
+                let pc = rank % proc_cols;
+                let (row0, rows) = block_bounds(extent.rows, proc_rows, pr);
+                let (col0, cols) = block_bounds(extent.cols, proc_cols, pc);
+                Rect::new(row0, col0, rows, cols)
+            }
+        }
+    }
+
+    /// The rank owning global cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is outside the global extent.
+    pub fn rank_of(&self, row: usize, col: usize) -> usize {
+        let e = self.extent();
+        assert!(row < e.rows && col < e.cols, "cell ({row},{col}) outside {e}");
+        match *self {
+            Decomposition::RowBlock { extent, procs } => {
+                block_index(extent.rows, procs, row)
+            }
+            Decomposition::ColBlock { extent, procs } => {
+                block_index(extent.cols, procs, col)
+            }
+            Decomposition::Block2D {
+                extent,
+                proc_rows,
+                proc_cols,
+            } => {
+                let pr = block_index(extent.rows, proc_rows, row);
+                let pc = block_index(extent.cols, proc_cols, col);
+                pr * proc_cols + pc
+            }
+        }
+    }
+}
+
+/// The block index owning position `i` of an axis of length `extent` split
+/// into `procs` near-even blocks (inverse of [`block_bounds`]).
+fn block_index(extent: usize, procs: usize, i: usize) -> usize {
+    let base = extent / procs;
+    let extra = extent % procs;
+    let big = (base + 1) * extra; // cells covered by the larger blocks
+    if i < big {
+        i / (base + 1)
+    } else {
+        extra + (i - big) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_block_even_split() {
+        let d = Decomposition::row_block(Extent2::new(1024, 1024), 4).unwrap();
+        assert_eq!(d.procs(), 4);
+        assert_eq!(d.owned(0), Rect::new(0, 0, 256, 1024));
+        assert_eq!(d.owned(3), Rect::new(768, 0, 256, 1024));
+    }
+
+    #[test]
+    fn row_block_uneven_split() {
+        let d = Decomposition::row_block(Extent2::new(10, 4), 3).unwrap();
+        // 10 = 4 + 3 + 3
+        assert_eq!(d.owned(0), Rect::new(0, 0, 4, 4));
+        assert_eq!(d.owned(1), Rect::new(4, 0, 3, 4));
+        assert_eq!(d.owned(2), Rect::new(7, 0, 3, 4));
+    }
+
+    #[test]
+    fn block2d_quadrants() {
+        // The paper's program F: 1024x1024 over a 2x2 process grid.
+        let d = Decomposition::block_2d(Extent2::new(1024, 1024), 2, 2).unwrap();
+        assert_eq!(d.procs(), 4);
+        assert_eq!(d.owned(0), Rect::new(0, 0, 512, 512));
+        assert_eq!(d.owned(1), Rect::new(0, 512, 512, 512));
+        assert_eq!(d.owned(2), Rect::new(512, 0, 512, 512));
+        assert_eq!(d.owned(3), Rect::new(512, 512, 512, 512));
+    }
+
+    #[test]
+    fn rank_of_inverts_owned() {
+        for d in [
+            Decomposition::row_block(Extent2::new(13, 7), 5).unwrap(),
+            Decomposition::col_block(Extent2::new(7, 13), 5).unwrap(),
+            Decomposition::block_2d(Extent2::new(9, 11), 3, 2).unwrap(),
+        ] {
+            for rank in 0..d.procs() {
+                let r = d.owned(rank);
+                for row in r.row0..r.row_end() {
+                    for col in r.col0..r.col_end() {
+                        assert_eq!(d.rank_of(row, col), rank, "{d:?} cell ({row},{col})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owned_rects_partition_grid() {
+        let d = Decomposition::block_2d(Extent2::new(10, 10), 3, 3).unwrap();
+        let mut count = [0u8; 100];
+        for rank in 0..d.procs() {
+            let r = d.owned(rank);
+            for row in r.row0..r.row_end() {
+                for col in r.col0..r.col_end() {
+                    count[row * 10 + col] += 1;
+                }
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn construction_errors() {
+        let e = Extent2::new(4, 4);
+        assert_eq!(
+            Decomposition::row_block(e, 0),
+            Err(DecompError::ZeroProcesses)
+        );
+        assert!(Decomposition::row_block(e, 5).is_err());
+        assert!(Decomposition::col_block(e, 5).is_err());
+        assert!(Decomposition::block_2d(e, 0, 2).is_err());
+        assert!(Decomposition::block_2d(e, 5, 1).is_err());
+        assert!(Decomposition::block_2d(e, 1, 5).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 4 out of range")]
+    fn owned_panics_on_bad_rank() {
+        let d = Decomposition::row_block(Extent2::new(8, 8), 4).unwrap();
+        d.owned(4);
+    }
+}

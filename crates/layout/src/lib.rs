@@ -1,0 +1,28 @@
+//! Distributed-array layout: block decompositions, rectangular region
+//! intersection and M×N redistribution schedules.
+//!
+//! The coupling framework moves a logically global 2-D array between two
+//! parallel programs whose processes own different pieces of it (e.g. the
+//! paper's program `F` — four 512×512 quadrants — exporting to program `U` —
+//! `n` row blocks of a 1024×1024 grid). This crate computes *who sends what
+//! to whom*: for a source and destination [`Decomposition`], the
+//! [`RedistPlan`] lists, per (source rank, destination rank) pair, the
+//! rectangular intersection of their owned pieces, along with packers that
+//! copy those rectangles into and out of contiguous message buffers.
+//!
+//! This is the InterComm-style substrate the paper's framework builds on; it
+//! is independent of timestamps and matching.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod decomp;
+pub mod partition;
+pub mod rect;
+pub mod redist;
+
+pub use array::LocalArray;
+pub use decomp::{DecompError, Decomposition};
+pub use partition::{Partition, PartitionError};
+pub use rect::{Extent2, Rect};
+pub use redist::{RedistPlan, Transfer};

@@ -1,0 +1,251 @@
+//! Irregular partitions: arbitrary rectangle-per-rank ownership.
+//!
+//! The regular [`crate::Decomposition`]s cover the paper's benchmark, but an
+//! InterComm-style substrate must accept whatever ownership an application
+//! declares — e.g. a load-balanced split with unequal rectangles. A
+//! [`Partition`] is a validated list of rectangles, one per rank, that
+//! exactly tiles the global grid; [`crate::RedistPlan`] accepts any pair of
+//! partitions.
+
+use crate::decomp::Decomposition;
+use crate::rect::{Extent2, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error validating a [`Partition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// No rectangles given.
+    Empty,
+    /// A rectangle covers no cells.
+    EmptyRect {
+        /// The offending rank.
+        rank: usize,
+    },
+    /// A rectangle sticks out of the grid.
+    OutOfBounds {
+        /// The offending rank.
+        rank: usize,
+        /// Its rectangle.
+        rect: Rect,
+    },
+    /// Two rectangles overlap.
+    Overlap {
+        /// First overlapping rank.
+        a: usize,
+        /// Second overlapping rank.
+        b: usize,
+    },
+    /// The rectangles are disjoint and in-bounds but do not cover the grid.
+    Incomplete {
+        /// Cells covered.
+        covered: usize,
+        /// Cells in the grid.
+        total: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Empty => write!(f, "a partition needs at least one rectangle"),
+            PartitionError::EmptyRect { rank } => write!(f, "rank {rank} owns no cells"),
+            PartitionError::OutOfBounds { rank, rect } => {
+                write!(f, "rank {rank}'s rectangle {rect} exceeds the grid")
+            }
+            PartitionError::Overlap { a, b } => {
+                write!(f, "ranks {a} and {b} own overlapping rectangles")
+            }
+            PartitionError::Incomplete { covered, total } => {
+                write!(f, "partition covers {covered} of {total} cells")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A validated, possibly irregular tiling of a global grid: rank `r` owns
+/// `rects[r]`; the rectangles are pairwise disjoint and cover every cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    extent: Extent2,
+    rects: Vec<Rect>,
+}
+
+impl Partition {
+    /// Validates and builds a partition.
+    ///
+    /// Disjointness plus total-area equality plus in-bounds implies exact
+    /// cover, so validation is `O(n²)` in the rank count, independent of the
+    /// grid size.
+    pub fn new(extent: Extent2, rects: Vec<Rect>) -> Result<Self, PartitionError> {
+        if rects.is_empty() {
+            return Err(PartitionError::Empty);
+        }
+        let mut covered = 0usize;
+        for (rank, r) in rects.iter().enumerate() {
+            if r.is_empty() {
+                return Err(PartitionError::EmptyRect { rank });
+            }
+            if !r.fits(extent) {
+                return Err(PartitionError::OutOfBounds { rank, rect: *r });
+            }
+            covered += r.cells();
+        }
+        for (a, ra) in rects.iter().enumerate() {
+            for (b, rb) in rects.iter().enumerate().skip(a + 1) {
+                if !ra.intersect(rb).is_empty() {
+                    return Err(PartitionError::Overlap { a, b });
+                }
+            }
+        }
+        if covered != extent.cells() {
+            return Err(PartitionError::Incomplete {
+                covered,
+                total: extent.cells(),
+            });
+        }
+        Ok(Partition { extent, rects })
+    }
+
+    /// The partition induced by a regular decomposition.
+    pub fn from_decomposition(d: &Decomposition) -> Self {
+        Partition {
+            extent: d.extent(),
+            rects: (0..d.procs()).map(|r| d.owned(r)).collect(),
+        }
+    }
+
+    /// The grid shape.
+    pub fn extent(&self) -> Extent2 {
+        self.extent
+    }
+
+    /// Number of ranks.
+    pub fn procs(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// The rectangle owned by `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn owned(&self, rank: usize) -> Rect {
+        self.rects[rank]
+    }
+
+    /// All owned rectangles, rank order.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// The rank owning global cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is outside the grid.
+    pub fn rank_of(&self, row: usize, col: usize) -> usize {
+        assert!(
+            row < self.extent.rows && col < self.extent.cols,
+            "cell ({row},{col}) outside {}",
+            self.extent
+        );
+        self.rects
+            .iter()
+            .position(|r| r.contains(row, col))
+            .expect("a partition covers every cell")
+    }
+}
+
+impl From<Decomposition> for Partition {
+    fn from(d: Decomposition) -> Self {
+        Partition::from_decomposition(&d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An L-shaped three-rank tiling of a 4x4 grid.
+    fn l_shape() -> Partition {
+        Partition::new(
+            Extent2::new(4, 4),
+            vec![
+                Rect::new(0, 0, 2, 4), // top half
+                Rect::new(2, 0, 2, 1), // bottom-left column
+                Rect::new(2, 1, 2, 3), // bottom-right block
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn irregular_partition_validates() {
+        let p = l_shape();
+        assert_eq!(p.procs(), 3);
+        assert_eq!(p.rank_of(0, 3), 0);
+        assert_eq!(p.rank_of(3, 0), 1);
+        assert_eq!(p.rank_of(3, 3), 2);
+    }
+
+    #[test]
+    fn from_regular_decomposition() {
+        let d = Decomposition::block_2d(Extent2::new(8, 8), 2, 2).unwrap();
+        let p = Partition::from_decomposition(&d);
+        assert_eq!(p.procs(), 4);
+        for rank in 0..4 {
+            assert_eq!(p.owned(rank), d.owned(rank));
+        }
+        for row in 0..8 {
+            for col in 0..8 {
+                assert_eq!(p.rank_of(row, col), d.rank_of(row, col));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let err = Partition::new(
+            Extent2::new(2, 2),
+            vec![Rect::new(0, 0, 2, 2), Rect::new(1, 1, 1, 1)],
+        )
+        .unwrap_err();
+        assert_eq!(err, PartitionError::Overlap { a: 0, b: 1 });
+    }
+
+    #[test]
+    fn rejects_gap() {
+        let err = Partition::new(
+            Extent2::new(2, 2),
+            vec![Rect::new(0, 0, 1, 2), Rect::new(1, 0, 1, 1)],
+        )
+        .unwrap_err();
+        assert_eq!(err, PartitionError::Incomplete { covered: 3, total: 4 });
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_and_empty() {
+        assert_eq!(
+            Partition::new(Extent2::new(2, 2), vec![]).unwrap_err(),
+            PartitionError::Empty
+        );
+        assert_eq!(
+            Partition::new(Extent2::new(2, 2), vec![Rect::new(0, 0, 2, 3)]).unwrap_err(),
+            PartitionError::OutOfBounds {
+                rank: 0,
+                rect: Rect::new(0, 0, 2, 3)
+            }
+        );
+        assert_eq!(
+            Partition::new(
+                Extent2::new(2, 2),
+                vec![Rect::new(0, 0, 2, 2), Rect::EMPTY]
+            )
+            .unwrap_err(),
+            PartitionError::EmptyRect { rank: 1 }
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Rectangular index regions of a global 2-D grid.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The extent (shape) of a 2-D grid: `rows × cols`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Extent2 {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Extent2 {
+    /// Creates an extent.
+    pub const fn new(rows: usize, cols: usize) -> Self {
+        Extent2 { rows, cols }
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub const fn cells(self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The rectangle covering the whole grid.
+    pub const fn full_rect(self) -> Rect {
+        Rect {
+            row0: 0,
+            col0: 0,
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+}
+
+impl fmt::Display for Extent2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// A (possibly empty) axis-aligned rectangle of global indices:
+/// rows `row0 .. row0+rows`, columns `col0 .. col0+cols`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// First row (inclusive).
+    pub row0: usize,
+    /// First column (inclusive).
+    pub col0: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    pub const fn new(row0: usize, col0: usize, rows: usize, cols: usize) -> Self {
+        Rect {
+            row0,
+            col0,
+            rows,
+            cols,
+        }
+    }
+
+    /// An empty rectangle.
+    pub const EMPTY: Rect = Rect::new(0, 0, 0, 0);
+
+    /// Number of cells covered.
+    #[inline]
+    pub const fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the rectangle covers no cells.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// One-past-the-last row.
+    #[inline]
+    pub const fn row_end(&self) -> usize {
+        self.row0 + self.rows
+    }
+
+    /// One-past-the-last column.
+    #[inline]
+    pub const fn col_end(&self) -> usize {
+        self.col0 + self.cols
+    }
+
+    /// Whether the global cell `(row, col)` lies inside.
+    #[inline]
+    pub const fn contains(&self, row: usize, col: usize) -> bool {
+        row >= self.row0 && row < self.row_end() && col >= self.col0 && col < self.col_end()
+    }
+
+    /// The intersection with `other` (empty rect if disjoint).
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        let row0 = self.row0.max(other.row0);
+        let col0 = self.col0.max(other.col0);
+        let row_end = self.row_end().min(other.row_end());
+        let col_end = self.col_end().min(other.col_end());
+        if row0 < row_end && col0 < col_end {
+            Rect::new(row0, col0, row_end - row0, col_end - col0)
+        } else {
+            Rect::EMPTY
+        }
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (other.row0 >= self.row0
+                && other.row_end() <= self.row_end()
+                && other.col0 >= self.col0
+                && other.col_end() <= self.col_end())
+    }
+
+    /// Whether the rectangle fits inside a grid of the given extent.
+    pub fn fits(&self, extent: Extent2) -> bool {
+        self.row_end() <= extent.rows && self.col_end() <= extent.cols
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}..{}, {}..{}]",
+            self.row0,
+            self.row_end(),
+            self.col0,
+            self.col_end()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extent_cells() {
+        assert_eq!(Extent2::new(1024, 1024).cells(), 1024 * 1024);
+        assert_eq!(Extent2::new(0, 7).cells(), 0);
+    }
+
+    #[test]
+    fn full_rect_covers_grid() {
+        let e = Extent2::new(4, 6);
+        let r = e.full_rect();
+        assert_eq!(r.cells(), 24);
+        assert!(r.contains(0, 0));
+        assert!(r.contains(3, 5));
+        assert!(!r.contains(4, 0));
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(2, 2, 4, 4);
+        let i = a.intersect(&b);
+        assert_eq!(i, Rect::new(2, 2, 2, 2));
+        assert_eq!(b.intersect(&a), i);
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(2, 0, 2, 2); // touching edge, not overlapping
+        assert!(a.intersect(&b).is_empty());
+        let c = Rect::new(10, 10, 3, 3);
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn intersect_nested() {
+        let outer = Rect::new(0, 0, 10, 10);
+        let inner = Rect::new(3, 4, 2, 2);
+        assert_eq!(outer.intersect(&inner), inner);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+    }
+
+    #[test]
+    fn empty_rect_properties() {
+        assert!(Rect::EMPTY.is_empty());
+        assert_eq!(Rect::EMPTY.cells(), 0);
+        let a = Rect::new(0, 0, 5, 5);
+        assert!(a.contains_rect(&Rect::EMPTY));
+    }
+
+    #[test]
+    fn fits_extent() {
+        let e = Extent2::new(8, 8);
+        assert!(Rect::new(0, 0, 8, 8).fits(e));
+        assert!(Rect::new(4, 4, 4, 4).fits(e));
+        assert!(!Rect::new(4, 4, 5, 4).fits(e));
+    }
+}

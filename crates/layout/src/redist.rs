@@ -1,0 +1,303 @@
+//! M×N redistribution schedules between two decompositions of one grid.
+
+use crate::array::LocalArray;
+use crate::decomp::Decomposition;
+use crate::partition::Partition;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One message of a redistribution schedule: source rank `src` sends the
+/// global rectangle `rect` (the intersection of its owned piece with
+/// destination rank `dst`'s owned piece).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Sending rank in the source program.
+    pub src: usize,
+    /// Receiving rank in the destination program.
+    pub dst: usize,
+    /// The global rectangle carried by this message.
+    pub rect: Rect,
+}
+
+/// Error computing a [`RedistPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedistError {
+    /// Source and destination grids have different shapes.
+    ExtentMismatch {
+        /// Source grid shape.
+        src: crate::rect::Extent2,
+        /// Destination grid shape.
+        dst: crate::rect::Extent2,
+    },
+}
+
+impl fmt::Display for RedistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RedistError::ExtentMismatch { src, dst } => {
+                write!(f, "cannot redistribute {src} grid into {dst} grid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RedistError {}
+
+/// The full message schedule for moving a distributed array from a source
+/// decomposition (the exporting program) to a destination decomposition (the
+/// importing program).
+///
+/// The plan is computed once per connection at initialization — this is the
+/// "define regions once, transfer many times" pattern of the paper's §3 —
+/// and reused for every matched data transfer.
+///
+/// # Example
+///
+/// ```
+/// use couplink_layout::{Decomposition, Extent2, RedistPlan};
+///
+/// let grid = Extent2::new(1024, 1024);
+/// let f = Decomposition::block_2d(grid, 2, 2)?;     // exporter quadrants
+/// let u = Decomposition::row_block(grid, 16)?;      // importer row blocks
+/// let plan = RedistPlan::build(f, u)?;
+/// assert_eq!(plan.total_cells(), 1024 * 1024);      // every cell moves once
+/// // Quadrant 0 (rows 0..512) feeds importer ranks 0..8 (64 rows each).
+/// assert_eq!(plan.sends_from(0).count(), 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RedistPlan {
+    src: Partition,
+    dst: Partition,
+    transfers: Vec<Transfer>,
+}
+
+impl RedistPlan {
+    /// Computes the schedule between two regular decompositions.
+    pub fn build(src: Decomposition, dst: Decomposition) -> Result<Self, RedistError> {
+        Self::between(Partition::from_decomposition(&src), Partition::from_decomposition(&dst))
+    }
+
+    /// Computes the schedule between two (possibly irregular) partitions:
+    /// all non-empty pairwise intersections of source and destination owned
+    /// rectangles.
+    pub fn between(src: Partition, dst: Partition) -> Result<Self, RedistError> {
+        if src.extent() != dst.extent() {
+            return Err(RedistError::ExtentMismatch {
+                src: src.extent(),
+                dst: dst.extent(),
+            });
+        }
+        let mut transfers = Vec::new();
+        for s in 0..src.procs() {
+            let srect = src.owned(s);
+            for d in 0..dst.procs() {
+                let rect = srect.intersect(&dst.owned(d));
+                if !rect.is_empty() {
+                    transfers.push(Transfer { src: s, dst: d, rect });
+                }
+            }
+        }
+        Ok(RedistPlan {
+            src,
+            dst,
+            transfers,
+        })
+    }
+
+    /// The source partition.
+    pub fn src(&self) -> &Partition {
+        &self.src
+    }
+
+    /// The destination partition.
+    pub fn dst(&self) -> &Partition {
+        &self.dst
+    }
+
+    /// All transfers in the schedule.
+    pub fn transfers(&self) -> &[Transfer] {
+        &self.transfers
+    }
+
+    /// The transfers sent by source rank `src_rank`.
+    pub fn sends_from(&self, src_rank: usize) -> impl Iterator<Item = &Transfer> {
+        self.transfers.iter().filter(move |t| t.src == src_rank)
+    }
+
+    /// The transfers received by destination rank `dst_rank`.
+    pub fn recvs_to(&self, dst_rank: usize) -> impl Iterator<Item = &Transfer> {
+        self.transfers.iter().filter(move |t| t.dst == dst_rank)
+    }
+
+    /// Total number of cells moved (equals the grid size for a full
+    /// redistribution, since owned rectangles partition the grid).
+    pub fn total_cells(&self) -> usize {
+        self.transfers.iter().map(|t| t.rect.cells()).sum()
+    }
+
+    /// Executes the plan in-memory: packs every transfer out of the source
+    /// pieces and unpacks into the destination pieces. This is the
+    /// single-address-space equivalent of the cross-program data exchange
+    /// (runtimes split the same pack/unpack across their message fabric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pieces do not match the plan's decompositions.
+    pub fn execute(&self, src_pieces: &[LocalArray], dst_pieces: &mut [LocalArray]) {
+        assert_eq!(src_pieces.len(), self.src.procs(), "source piece count");
+        assert_eq!(dst_pieces.len(), self.dst.procs(), "destination piece count");
+        for t in &self.transfers {
+            let packed = src_pieces[t.src].pack(&t.rect);
+            dst_pieces[t.dst].unpack(&t.rect, &packed);
+        }
+    }
+}
+
+impl fmt::Display for RedistPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RedistPlan {} procs -> {} procs, {} transfers, {} cells",
+            self.src.procs(),
+            self.dst.procs(),
+            self.transfers.len(),
+            self.total_cells()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Extent2;
+
+    fn pieces(d: &Decomposition, f: impl Fn(usize, usize) -> f64 + Copy) -> Vec<LocalArray> {
+        (0..d.procs())
+            .map(|r| LocalArray::from_fn(d.owned(r), f))
+            .collect()
+    }
+
+    #[test]
+    fn quadrants_to_row_blocks_schedule() {
+        // The paper's transfer: F (2x2 quadrants) -> U (4 row blocks).
+        let e = Extent2::new(8, 8);
+        let src = Decomposition::block_2d(e, 2, 2).unwrap();
+        let dst = Decomposition::row_block(e, 4).unwrap();
+        let plan = RedistPlan::build(src, dst).unwrap();
+        // Each quadrant (4 rows tall) overlaps two row blocks (2 rows each),
+        // so 4 quadrants x 2 = 8 transfers.
+        assert_eq!(plan.transfers().len(), 8);
+        assert_eq!(plan.total_cells(), 64);
+    }
+
+    #[test]
+    fn schedule_covers_grid_exactly_once() {
+        let e = Extent2::new(12, 10);
+        let src = Decomposition::block_2d(e, 3, 2).unwrap();
+        let dst = Decomposition::col_block(e, 5).unwrap();
+        let plan = RedistPlan::build(src, dst).unwrap();
+        let mut cover = vec![0u8; e.cells()];
+        for t in plan.transfers() {
+            for row in t.rect.row0..t.rect.row_end() {
+                for col in t.rect.col0..t.rect.col_end() {
+                    cover[row * e.cols + col] += 1;
+                }
+            }
+        }
+        assert!(cover.iter().all(|&c| c == 1), "every cell moved exactly once");
+    }
+
+    #[test]
+    fn execute_preserves_values() {
+        let e = Extent2::new(16, 16);
+        let src = Decomposition::block_2d(e, 2, 2).unwrap();
+        let dst = Decomposition::row_block(e, 3).unwrap();
+        let plan = RedistPlan::build(src, dst).unwrap();
+        let value = |r: usize, c: usize| (r * 31 + c) as f64 * 0.25;
+        let src_pieces = pieces(&src, value);
+        let mut dst_pieces = pieces(&dst, |_, _| -1.0);
+        plan.execute(&src_pieces, &mut dst_pieces);
+        for (rank, piece) in dst_pieces.iter().enumerate() {
+            let r = dst.owned(rank);
+            for row in r.row0..r.row_end() {
+                for col in r.col0..r.col_end() {
+                    assert_eq!(piece.get(row, col), value(row, col));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_decomposition_is_identity_schedule() {
+        let e = Extent2::new(8, 8);
+        let d = Decomposition::row_block(e, 4).unwrap();
+        let plan = RedistPlan::build(d, d).unwrap();
+        assert_eq!(plan.transfers().len(), 4);
+        for t in plan.transfers() {
+            assert_eq!(t.src, t.dst);
+            assert_eq!(t.rect, d.owned(t.src));
+        }
+    }
+
+    #[test]
+    fn irregular_to_regular_redistribution() {
+        let e = Extent2::new(4, 4);
+        let irregular = Partition::new(
+            e,
+            vec![
+                Rect::new(0, 0, 2, 4),
+                Rect::new(2, 0, 2, 1),
+                Rect::new(2, 1, 2, 3),
+            ],
+        )
+        .unwrap();
+        let regular = Partition::from_decomposition(&Decomposition::col_block(e, 2).unwrap());
+        let plan = RedistPlan::between(irregular.clone(), regular.clone()).unwrap();
+        assert_eq!(plan.total_cells(), 16);
+        let value = |r: usize, c: usize| (r * 10 + c) as f64;
+        let src_pieces: Vec<LocalArray> = irregular
+            .rects()
+            .iter()
+            .map(|r| LocalArray::from_fn(*r, value))
+            .collect();
+        let mut dst_pieces: Vec<LocalArray> = regular
+            .rects()
+            .iter()
+            .map(|r| LocalArray::zeros(*r))
+            .collect();
+        plan.execute(&src_pieces, &mut dst_pieces);
+        for (rank, piece) in dst_pieces.iter().enumerate() {
+            let owned = regular.owned(rank);
+            for row in owned.row0..owned.row_end() {
+                for col in owned.col0..owned.col_end() {
+                    assert_eq!(piece.get(row, col), value(row, col));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extent_mismatch_rejected() {
+        let a = Decomposition::row_block(Extent2::new(8, 8), 2).unwrap();
+        let b = Decomposition::row_block(Extent2::new(8, 9), 2).unwrap();
+        assert!(RedistPlan::build(a, b).is_err());
+    }
+
+    #[test]
+    fn sends_and_recvs_filters() {
+        let e = Extent2::new(8, 8);
+        let src = Decomposition::block_2d(e, 2, 2).unwrap();
+        let dst = Decomposition::row_block(e, 4).unwrap();
+        let plan = RedistPlan::build(src, dst).unwrap();
+        // Quadrant 0 (rows 0..4, cols 0..4) overlaps row blocks 0 and 1.
+        let sends: Vec<_> = plan.sends_from(0).collect();
+        assert_eq!(sends.len(), 2);
+        assert!(sends.iter().all(|t| t.rect.col0 == 0 && t.rect.cols == 4));
+        // Row block 0 (rows 0..2) receives from quadrants 0 and 1.
+        let recvs: Vec<_> = plan.recvs_to(0).collect();
+        assert_eq!(recvs.len(), 2);
+        assert!(recvs.iter().all(|t| t.rect.row0 == 0 && t.rect.rows == 2));
+    }
+}

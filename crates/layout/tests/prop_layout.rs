@@ -1,0 +1,192 @@
+//! Property tests for decompositions and redistribution schedules.
+
+use couplink_layout::{Decomposition, Extent2, LocalArray, Partition, Rect, RedistPlan};
+use proptest::prelude::*;
+
+/// Recursively splits a rectangle into an irregular tiling, driven by a
+/// sequence of cut decisions.
+fn split_rect(rect: Rect, cuts: &[(bool, u8)], depth: usize, out: &mut Vec<Rect>) {
+    if depth >= cuts.len() || rect.cells() <= 1 {
+        out.push(rect);
+        return;
+    }
+    let (horizontal, frac) = cuts[depth];
+    if horizontal && rect.rows > 1 {
+        let at = 1 + (frac as usize) % (rect.rows - 1);
+        split_rect(Rect::new(rect.row0, rect.col0, at, rect.cols), cuts, depth + 1, out);
+        split_rect(
+            Rect::new(rect.row0 + at, rect.col0, rect.rows - at, rect.cols),
+            cuts,
+            depth + 1,
+            out,
+        );
+    } else if !horizontal && rect.cols > 1 {
+        let at = 1 + (frac as usize) % (rect.cols - 1);
+        split_rect(Rect::new(rect.row0, rect.col0, rect.rows, at), cuts, depth + 1, out);
+        split_rect(
+            Rect::new(rect.row0, rect.col0 + at, rect.rows, rect.cols - at),
+            cuts,
+            depth + 1,
+            out,
+        );
+    } else {
+        out.push(rect);
+    }
+}
+
+/// Strategy: a random valid decomposition of the given extent.
+fn decomp_for(extent: Extent2) -> impl Strategy<Value = Decomposition> {
+    let rows = extent.rows;
+    let cols = extent.cols;
+    prop_oneof![
+        (1..=rows).prop_map(move |p| Decomposition::row_block(extent, p).unwrap()),
+        (1..=cols).prop_map(move |p| Decomposition::col_block(extent, p).unwrap()),
+        (1..=rows.min(4), 1..=cols.min(4))
+            .prop_map(move |(pr, pc)| Decomposition::block_2d(extent, pr, pc).unwrap()),
+    ]
+}
+
+fn extent() -> impl Strategy<Value = Extent2> {
+    (1usize..24, 1usize..24).prop_map(|(r, c)| Extent2::new(r, c))
+}
+
+fn extent_and_decomp() -> impl Strategy<Value = (Extent2, Decomposition)> {
+    extent().prop_flat_map(|e| decomp_for(e).prop_map(move |d| (e, d)))
+}
+
+proptest! {
+    /// Owned rectangles of any decomposition partition the grid: every cell
+    /// owned by exactly one rank, and `rank_of` agrees with `owned`.
+    #[test]
+    fn decomposition_is_a_partition((e, d) in extent_and_decomp()) {
+        let mut owner = vec![usize::MAX; e.cells()];
+        for rank in 0..d.procs() {
+            let r = d.owned(rank);
+            for row in r.row0..r.row_end() {
+                for col in r.col0..r.col_end() {
+                    let idx = row * e.cols + col;
+                    prop_assert_eq!(owner[idx], usize::MAX, "cell owned twice");
+                    owner[idx] = rank;
+                }
+            }
+        }
+        for row in 0..e.rows {
+            for col in 0..e.cols {
+                let idx = row * e.cols + col;
+                prop_assert!(owner[idx] != usize::MAX, "cell unowned");
+                prop_assert_eq!(d.rank_of(row, col), owner[idx]);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A redistribution between any two decompositions of the same grid moves
+    /// every cell exactly once and preserves all values.
+    #[test]
+    fn redistribution_roundtrip(
+        e in extent(),
+        src_procs in 1usize..6,
+        dst_procs in 1usize..6,
+        salt in 0u64..u64::MAX,
+    ) {
+        let src_procs = src_procs.min(e.rows);
+        let dst_procs = dst_procs.min(e.cols);
+        let src = Decomposition::row_block(e, src_procs).unwrap();
+        let dst = Decomposition::col_block(e, dst_procs).unwrap();
+        let plan = RedistPlan::build(src, dst).unwrap();
+        prop_assert_eq!(plan.total_cells(), e.cells());
+
+        let value = |r: usize, c: usize| ((r * 131 + c * 31) as f64) + (salt % 97) as f64;
+        let src_pieces: Vec<_> = (0..src.procs())
+            .map(|r| LocalArray::from_fn(src.owned(r), value))
+            .collect();
+        let mut dst_pieces: Vec<_> = (0..dst.procs())
+            .map(|r| LocalArray::from_fn(dst.owned(r), |_, _| f64::NEG_INFINITY))
+            .collect();
+        plan.execute(&src_pieces, &mut dst_pieces);
+        for (rank, piece) in dst_pieces.iter().enumerate() {
+            let r = dst.owned(rank);
+            for row in r.row0..r.row_end() {
+                for col in r.col0..r.col_end() {
+                    prop_assert_eq!(piece.get(row, col), value(row, col));
+                }
+            }
+        }
+    }
+
+    /// Any recursively split irregular tiling validates as a partition, and
+    /// redistributing into (and out of) it preserves every value.
+    #[test]
+    fn irregular_partitions_roundtrip(
+        rows in 2usize..20,
+        cols in 2usize..20,
+        cuts in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..5),
+    ) {
+        let e = Extent2::new(rows, cols);
+        let mut rects = Vec::new();
+        split_rect(e.full_rect(), &cuts, 0, &mut rects);
+        let irregular = Partition::new(e, rects).expect("recursive splits tile the grid");
+        let regular = Partition::from_decomposition(
+            &Decomposition::row_block(e, (rows / 2).max(1)).unwrap(),
+        );
+        let plan = RedistPlan::between(regular.clone(), irregular.clone()).unwrap();
+        prop_assert_eq!(plan.total_cells(), e.cells());
+        let value = |r: usize, c: usize| (r * 131 + c * 31) as f64;
+        let src: Vec<LocalArray> = regular
+            .rects()
+            .iter()
+            .map(|r| LocalArray::from_fn(*r, value))
+            .collect();
+        let mut dst: Vec<LocalArray> = irregular
+            .rects()
+            .iter()
+            .map(|r| LocalArray::zeros(*r))
+            .collect();
+        plan.execute(&src, &mut dst);
+        for (rank, piece) in dst.iter().enumerate() {
+            let owned = irregular.owned(rank);
+            for row in owned.row0..owned.row_end() {
+                for col in owned.col0..owned.col_end() {
+                    prop_assert_eq!(piece.get(row, col), value(row, col));
+                }
+            }
+        }
+    }
+
+    /// Pack/unpack of any owned sub-rectangle is lossless and touches nothing
+    /// outside the rectangle.
+    #[test]
+    fn pack_unpack_subrect(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        sub_row in 0usize..12,
+        sub_col in 0usize..12,
+        sub_rows in 1usize..12,
+        sub_cols in 1usize..12,
+    ) {
+        use couplink_layout::Rect;
+        let owned = Rect::new(0, 0, rows, cols);
+        let sub_row = sub_row % rows;
+        let sub_col = sub_col % cols;
+        let sub = Rect::new(
+            sub_row,
+            sub_col,
+            sub_rows.min(rows - sub_row),
+            sub_cols.min(cols - sub_col),
+        );
+        let src = LocalArray::from_fn(owned, |r, c| (r * cols + c) as f64);
+        let packed = src.pack(&sub);
+        prop_assert_eq!(packed.len(), sub.cells());
+        let mut dst = LocalArray::zeros(owned);
+        dst.unpack(&sub, &packed);
+        for r in 0..rows {
+            for c in 0..cols {
+                let expect = if sub.contains(r, c) { (r * cols + c) as f64 } else { 0.0 };
+                prop_assert_eq!(dst.get(r, c), expect);
+            }
+        }
+    }
+}

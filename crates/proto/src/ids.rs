@@ -1,0 +1,72 @@
+//! Identifier newtypes used throughout the protocol.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a participating program (e.g. `P0` in a configuration file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProgramId(pub u32);
+
+impl fmt::Display for ProgramId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A process rank within one program (`0 .. procs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Rank(pub u32);
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+/// Identifies one export→import connection (one line of the connection
+/// section of a configuration file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConnectionId(pub u32);
+
+impl fmt::Display for ConnectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn{}", self.0)
+    }
+}
+
+/// Identifies one import request on a connection. Assigned by the importer's
+/// rep, strictly increasing per connection (like the request timestamps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// The next request id.
+    pub fn next(self) -> RequestId {
+        RequestId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProgramId(3).to_string(), "P3");
+        assert_eq!(Rank(0).to_string(), "rank0");
+        assert_eq!(ConnectionId(2).to_string(), "conn2");
+        assert_eq!(RequestId(7).to_string(), "req7");
+    }
+
+    #[test]
+    fn request_id_next() {
+        assert_eq!(RequestId(0).next(), RequestId(1));
+        assert!(RequestId(1) > RequestId(0));
+    }
+}

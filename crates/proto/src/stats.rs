@@ -1,0 +1,130 @@
+//! Statistics implementing the paper's Equations (1)–(2) in event counts.
+//!
+//! The proto layer is clockless, so "time spent on unnecessary buffering"
+//! is recorded here as *counts of unnecessary memcpys*; the runtimes convert
+//! counts × per-object memcpy cost into the paper's `T_i` / `T_ub` seconds
+//! (all objects on one connection have the same size, so the conversion is a
+//! single multiplication).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by one [`crate::ExportPort`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExportStats {
+    /// Import requests seen (forwarded by the rep).
+    pub requests: u64,
+    /// Export calls made by the process.
+    pub exports: u64,
+    /// Export calls that copied the object into the framework buffer.
+    pub memcpys: u64,
+    /// Export calls whose memcpy was skipped (the buddy-help saving).
+    pub skips: u64,
+    /// Objects transferred to the importer.
+    pub sends: u64,
+    /// Buffered objects freed after having been sent (useful buffering).
+    pub freed_sent: u64,
+    /// Buffered objects freed without ever being sent (unnecessary
+    /// buffering — the quantity Equations (1)–(2) sum).
+    pub freed_unsent: u64,
+    /// Buddy-help messages consumed.
+    pub buddy_helps: u64,
+    /// High-water mark of buffered objects (peak framework memory in
+    /// objects; × object bytes = peak buffer footprint — the finite-buffer
+    /// question the paper's §6 leaves as future work).
+    pub buffered_hwm: usize,
+    /// Export attempts rejected because a bounded buffer was full (each is
+    /// one stall of the exporting process).
+    pub buffer_full_stalls: u64,
+    /// Equation (1) attribution: `unnecessary_by_request[i]` is the number
+    /// of unnecessarily buffered objects that fell inside the acceptable
+    /// region `R_i` of the `i`-th request (the paper's `n(i) − 1` when the
+    /// region got a match).
+    pub unnecessary_by_request: Vec<u64>,
+    /// Unnecessarily buffered objects that fell in no acceptable region
+    /// (exported between regions, pruned when a later request arrived).
+    pub unnecessary_inter_region: u64,
+}
+
+impl ExportStats {
+    /// Equation (2) in counts: total unnecessary memcpys attributed to
+    /// acceptable regions, `Σ_i (n(i) − 1)`.
+    pub fn t_ub_in_region_count(&self) -> u64 {
+        self.unnecessary_by_request.iter().sum()
+    }
+
+    /// All unnecessary memcpys, in and between regions.
+    pub fn unnecessary_total(&self) -> u64 {
+        self.t_ub_in_region_count() + self.unnecessary_inter_region
+    }
+
+    /// Fraction of export calls whose memcpy was skipped.
+    pub fn skip_ratio(&self) -> f64 {
+        if self.exports == 0 {
+            0.0
+        } else {
+            self.skips as f64 / self.exports as f64
+        }
+    }
+
+    /// Whether the port has reached the paper's *optimal state* over the
+    /// last `window` requests: no unnecessary in-region buffering
+    /// (`T_i = 0`, Figure 6). Requests beyond the attribution vector's end
+    /// had zero unnecessary copies (the vector only grows on attribution).
+    pub fn optimal_over_last(&self, window: usize) -> bool {
+        let total = self.requests as usize;
+        let start = total.saturating_sub(window);
+        (start..total).all(|i| self.unnecessary_by_request.get(i).copied().unwrap_or(0) == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation2_sums_per_region_terms() {
+        let s = ExportStats {
+            unnecessary_by_request: vec![4, 7, 0, 2],
+            unnecessary_inter_region: 12,
+            ..Default::default()
+        };
+        assert_eq!(s.t_ub_in_region_count(), 13);
+        assert_eq!(s.unnecessary_total(), 25);
+    }
+
+    #[test]
+    fn skip_ratio_handles_zero_exports() {
+        assert_eq!(ExportStats::default().skip_ratio(), 0.0);
+        let s = ExportStats {
+            exports: 10,
+            skips: 4,
+            ..Default::default()
+        };
+        assert!((s.skip_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_state_window() {
+        let s = ExportStats {
+            requests: 5,
+            unnecessary_by_request: vec![4, 7, 0, 0, 0],
+            ..Default::default()
+        };
+        assert!(s.optimal_over_last(3));
+        assert!(!s.optimal_over_last(4));
+        assert!(ExportStats::default().optimal_over_last(5));
+    }
+
+    #[test]
+    fn optimal_state_counts_unrecorded_trailing_requests_as_clean() {
+        // 10 requests, attribution vector only reached index 1: requests
+        // 2..10 buffered nothing unnecessarily.
+        let s = ExportStats {
+            requests: 10,
+            unnecessary_by_request: vec![3, 2],
+            ..Default::default()
+        };
+        assert!(s.optimal_over_last(8));
+        assert!(!s.optimal_over_last(9));
+    }
+}

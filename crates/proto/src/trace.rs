@@ -1,0 +1,238 @@
+//! Event traces in the style of the paper's Figures 5, 7 and 8.
+//!
+//! The figure harnesses drive an [`crate::ExportPort`] and record one
+//! [`TraceEvent`] per protocol step; `Display` renders lines matching the
+//! paper's notation (`export D@15.6, skip memcpy.`), so the regenerated
+//! traces can be compared to the figures by eye.
+
+use crate::export_port::{ExportAction, ExportEffects, HelpEffects, RequestEffects};
+use crate::ids::RequestId;
+use crate::messages::{ProcResponse, RepAnswer};
+use couplink_time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One line of a buffering trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// `export D@t, call memcpy.` / `export D@t, skip memcpy.`
+    Export {
+        /// The exported timestamp.
+        t: Timestamp,
+        /// Whether the framework copied the object.
+        copied: bool,
+    },
+    /// `receive request for D@x, reply {...}.`
+    Request {
+        /// The requested timestamp.
+        x: Timestamp,
+        /// This process's reply.
+        reply: ProcResponse,
+    },
+    /// `receive buddy-help {D@x, YES/NO, D@m}.`
+    BuddyHelp {
+        /// The requested timestamp.
+        x: Timestamp,
+        /// The final answer.
+        answer: RepAnswer,
+    },
+    /// `remove D@a, ..., D@b.` (buffer frees)
+    Remove {
+        /// The freed timestamps, ascending.
+        freed: Vec<Timestamp>,
+    },
+    /// `send D@m out.`
+    Send {
+        /// The transferred timestamp.
+        m: Timestamp,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Export { t, copied: true } => write!(f, "export D{t}, call memcpy."),
+            TraceEvent::Export { t, copied: false } => write!(f, "export D{t}, skip memcpy."),
+            TraceEvent::Request { x, reply } => {
+                write!(f, "receive request for D{x}, reply {{D{x}, {reply}}}.")
+            }
+            TraceEvent::BuddyHelp { x, answer } => {
+                write!(f, "receive buddy-help {{D{x}, {answer}}}.")
+            }
+            TraceEvent::Remove { freed } => match freed.as_slice() {
+                [] => write!(f, "remove nothing."),
+                [one] => write!(f, "remove D{one}."),
+                [first, .., last] => write!(f, "remove D{first}, ..., D{last}."),
+            },
+            TraceEvent::Send { m } => write!(f, "send D{m} out."),
+        }
+    }
+}
+
+/// An append-only trace recorder with helpers that translate port effects
+/// into events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Records an export call and its effects.
+    pub fn record_export(&mut self, t: Timestamp, fx: &ExportEffects) {
+        let copied = fx.action.is_some_and(ExportAction::copies);
+        self.events.push(TraceEvent::Export { t, copied });
+        if !fx.freed.is_empty() {
+            self.events.push(TraceEvent::Remove {
+                freed: fx.freed.clone(),
+            });
+        }
+        if let ExportAction::BufferAndSend { .. } = fx.action.unwrap_or(ExportAction::Skip) {
+            self.events.push(TraceEvent::Send { m: t });
+        }
+        for r in &fx.resolutions {
+            if let Some(m) = r.send {
+                self.events.push(TraceEvent::Send { m });
+            }
+        }
+    }
+
+    /// Records a forwarded request and its effects.
+    pub fn record_request(&mut self, x: Timestamp, fx: &RequestEffects) {
+        self.events.push(TraceEvent::Request {
+            x,
+            reply: fx.response,
+        });
+        if !fx.freed.is_empty() {
+            self.events.push(TraceEvent::Remove {
+                freed: fx.freed.clone(),
+            });
+        }
+        if let Some(m) = fx.send {
+            self.events.push(TraceEvent::Send { m });
+        }
+    }
+
+    /// Records a buddy-help message and its effects.
+    pub fn record_buddy_help(
+        &mut self,
+        x: Timestamp,
+        _req: RequestId,
+        answer: RepAnswer,
+        fx: &HelpEffects,
+    ) {
+        self.events.push(TraceEvent::BuddyHelp { x, answer });
+        if !fx.freed.is_empty() {
+            self.events.push(TraceEvent::Remove {
+                freed: fx.freed.clone(),
+            });
+        }
+        if let Some(m) = fx.send {
+            self.events.push(TraceEvent::Send { m });
+        }
+    }
+
+    /// Renders the trace as numbered lines, like the paper's figures.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            writeln!(out, "{:>3}  {ev}", i + 1).expect("writing to String");
+        }
+        out
+    }
+
+    /// Counts memcpy'd and skipped exports in the trace.
+    pub fn export_counts(&self) -> (usize, usize) {
+        let mut copied = 0;
+        let mut skipped = 0;
+        for ev in &self.events {
+            if let TraceEvent::Export { copied: c, .. } = ev {
+                if *c {
+                    copied += 1;
+                } else {
+                    skipped += 1;
+                }
+            }
+        }
+        (copied, skipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use couplink_time::ts;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(
+            TraceEvent::Export {
+                t: ts(15.6),
+                copied: false
+            }
+            .to_string(),
+            "export D@15.6, skip memcpy."
+        );
+        assert_eq!(
+            TraceEvent::Export {
+                t: ts(1.6),
+                copied: true
+            }
+            .to_string(),
+            "export D@1.6, call memcpy."
+        );
+        assert_eq!(
+            TraceEvent::BuddyHelp {
+                x: ts(20.0),
+                answer: RepAnswer::Match(ts(19.6))
+            }
+            .to_string(),
+            "receive buddy-help {D@20, YES @19.6}."
+        );
+        assert_eq!(TraceEvent::Send { m: ts(19.6) }.to_string(), "send D@19.6 out.");
+        assert_eq!(
+            TraceEvent::Remove {
+                freed: vec![ts(1.6), ts(2.6), ts(14.6)]
+            }
+            .to_string(),
+            "remove D@1.6, ..., D@14.6."
+        );
+        assert_eq!(
+            TraceEvent::Remove { freed: vec![ts(31.6)] }.to_string(),
+            "remove D@31.6."
+        );
+    }
+
+    #[test]
+    fn export_counts() {
+        let mut trace = Trace::new();
+        trace.events.push(TraceEvent::Export {
+            t: ts(1.0),
+            copied: true,
+        });
+        trace.events.push(TraceEvent::Export {
+            t: ts(2.0),
+            copied: false,
+        });
+        trace.events.push(TraceEvent::Send { m: ts(1.0) });
+        assert_eq!(trace.export_counts(), (1, 1));
+    }
+
+    #[test]
+    fn render_numbers_lines() {
+        let mut trace = Trace::new();
+        trace.events.push(TraceEvent::Send { m: ts(9.6) });
+        let text = trace.render();
+        assert!(text.contains("  1  send D@9.6 out."));
+    }
+}

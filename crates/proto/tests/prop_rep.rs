@@ -1,0 +1,156 @@
+//! Property-based tests of the exporter rep's collective aggregation: for
+//! any *legal* interleaving of responses (PENDING-then-consistent-definitive
+//! per rank), the rep answers the importer exactly once, with the right
+//! answer, helps exactly the PENDING ranks (when enabled), and completes.
+//! Any *illegal* set (conflicting definitive answers) is rejected.
+
+use couplink_proto::{ExporterRep, ProcResponse, Rank, RepAnswer, RequestId};
+use couplink_time::{ts, Timestamp};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum RankPlan {
+    /// Responds definitively right away.
+    Immediate,
+    /// Responds PENDING first, later updates definitively (unless helped).
+    PendingThenResolve,
+}
+
+fn plans() -> impl Strategy<Value = (Vec<RankPlan>, bool, bool)> {
+    (
+        proptest::collection::vec(
+            prop_oneof![Just(RankPlan::Immediate), Just(RankPlan::PendingThenResolve)],
+            1..12,
+        ),
+        any::<bool>(), // buddy-help enabled
+        any::<bool>(), // answer is MATCH (vs NO MATCH)
+    )
+}
+
+fn definitive(is_match: bool, m: Timestamp) -> ProcResponse {
+    if is_match {
+        ProcResponse::Match(m)
+    } else {
+        ProcResponse::NoMatch
+    }
+}
+
+proptest! {
+    #[test]
+    fn legal_interleavings_converge((plans, buddy, is_match) in plans(), order_seed in 0u64..1000) {
+        let n = plans.len();
+        let m = ts(19.6);
+        let expected = if is_match { RepAnswer::Match(m) } else { RepAnswer::NoMatch };
+        let mut rep = ExporterRep::new(n, buddy);
+        let fx = rep.on_import_request(RequestId(0), ts(20.0)).unwrap();
+        prop_assert_eq!(fx.forward, Some((RequestId(0), ts(20.0))));
+
+        // Phase 1: first responses, in a seed-rotated order.
+        let mut answered: Option<RepAnswer> = None;
+        let mut helped: Vec<u32> = Vec::new();
+        let mut completed = false;
+        let rot = (order_seed as usize) % n;
+        let order: Vec<usize> = (0..n).map(|i| (i + rot) % n).collect();
+        for &r in &order {
+            let resp = match plans[r] {
+                RankPlan::Immediate => definitive(is_match, m),
+                RankPlan::PendingThenResolve => ProcResponse::Pending { latest: None },
+            };
+            let fx = rep.on_response(Rank(r as u32), RequestId(0), resp).unwrap();
+            if let Some((req, ans)) = fx.answer {
+                prop_assert_eq!(req, RequestId(0));
+                prop_assert_eq!(ans, expected);
+                prop_assert!(answered.is_none(), "answered the importer twice");
+                answered = Some(ans);
+            }
+            for (rank, req, ans) in fx.buddy_help {
+                prop_assert!(buddy);
+                prop_assert_eq!(req, RequestId(0));
+                prop_assert_eq!(ans, expected);
+                helped.push(rank.0);
+            }
+            if fx.completed.is_some() {
+                prop_assert!(!completed);
+                completed = true;
+            }
+        }
+        let any_immediate = plans.iter().any(|p| matches!(p, RankPlan::Immediate));
+        prop_assert_eq!(answered.is_some(), any_immediate);
+
+        // Phase 2: unhelped pending ranks resolve locally.
+        if any_immediate {
+            for &r in &order {
+                if matches!(plans[r], RankPlan::PendingThenResolve)
+                    && !helped.contains(&(r as u32))
+                {
+                    let fx = rep
+                        .on_response(Rank(r as u32), RequestId(0), definitive(is_match, m))
+                        .unwrap();
+                    if fx.completed.is_some() {
+                        prop_assert!(!completed);
+                        completed = true;
+                    }
+                }
+            }
+            prop_assert!(completed, "request never completed");
+            if buddy {
+                // Exactly the pending ranks that responded before the first
+                // immediate one plus those after it got help... in this
+                // drive, every pending rank is helped (the answer exists
+                // when each pending response lands or is pushed when the
+                // first definitive arrives).
+                let mut expect: Vec<u32> = plans
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| matches!(p, RankPlan::PendingThenResolve))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                expect.sort_unstable();
+                helped.sort_unstable();
+                prop_assert_eq!(helped, expect);
+            } else {
+                prop_assert!(helped.is_empty());
+            }
+        } else {
+            // All pending: nothing decided yet; resolve everyone now.
+            for &r in &order {
+                rep.on_response(Rank(r as u32), RequestId(0), definitive(is_match, m))
+                    .unwrap();
+            }
+            prop_assert_eq!(rep.inflight_len(), 0);
+        }
+    }
+
+    /// Any two conflicting definitive answers — MATCH vs NO MATCH or two
+    /// different matched timestamps — are rejected wherever they appear in
+    /// the interleaving.
+    #[test]
+    fn conflicting_definitives_always_detected(
+        n in 2usize..8,
+        first in 0usize..8,
+        second in 0usize..8,
+        pendings in 0usize..6,
+        kind in 0..2,
+    ) {
+        let first = first % n;
+        let second = (first + 1 + second % (n - 1)) % n;
+        let mut rep = ExporterRep::new(n, true);
+        rep.on_import_request(RequestId(0), ts(20.0)).unwrap();
+        // Some pending noise first.
+        for r in 0..pendings.min(n) {
+            if r != first && r != second {
+                rep.on_response(Rank(r as u32), RequestId(0), ProcResponse::Pending { latest: None })
+                    .unwrap();
+            }
+        }
+        rep.on_response(Rank(first as u32), RequestId(0), ProcResponse::Match(ts(19.6)))
+            .unwrap();
+        let conflicting = if kind == 0 {
+            ProcResponse::NoMatch
+        } else {
+            ProcResponse::Match(ts(18.6))
+        };
+        let result = rep.on_response(Rank(second as u32), RequestId(0), conflicting);
+        prop_assert!(result.is_err(), "conflict not detected");
+    }
+}

@@ -1,0 +1,107 @@
+//! The cost model used by the discrete-event runtime.
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual-time costs of the operations the framework performs.
+///
+/// Defaults approximate the paper's testbed (Pentium 4 2.8 GHz nodes on
+/// Gigabit Ethernet): ~1.5 GB/s memory copy bandwidth, ~60 µs small-message
+/// latency, ~110 MB/s effective TCP throughput. Absolute figure values are
+/// not expected to match the paper (different hardware); shapes are.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Framework buffering (memcpy) bandwidth, bytes per second.
+    pub memcpy_bytes_per_sec: f64,
+    /// Fixed overhead of an export call that does not copy (bookkeeping
+    /// only), seconds.
+    pub export_overhead: f64,
+    /// One-way latency of a small control message (request, response,
+    /// buddy-help, answer), seconds.
+    pub ctrl_latency: f64,
+    /// One-way latency component of a data message, seconds.
+    pub net_latency: f64,
+    /// Network bandwidth for data transfers, bytes per second.
+    pub net_bytes_per_sec: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            memcpy_bytes_per_sec: 1.5e9,
+            export_overhead: 2.0e-6,
+            ctrl_latency: 60.0e-6,
+            net_latency: 100.0e-6,
+            net_bytes_per_sec: 110.0e6,
+        }
+    }
+}
+
+impl CostModel {
+    /// Seconds to memcpy `bytes` into the framework buffer.
+    pub fn memcpy_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.memcpy_bytes_per_sec
+    }
+
+    /// Seconds for a data message of `bytes` to reach the destination.
+    pub fn data_time(&self, bytes: usize) -> f64 {
+        self.net_latency + bytes as f64 / self.net_bytes_per_sec
+    }
+
+    /// Seconds for a control message to reach the destination.
+    pub fn ctrl_time(&self) -> f64 {
+        self.ctrl_latency
+    }
+
+    /// A zero-cost model (all operations instantaneous) — useful in tests
+    /// that check protocol logic rather than timing.
+    pub fn free() -> Self {
+        CostModel {
+            memcpy_bytes_per_sec: f64::INFINITY,
+            export_overhead: 0.0,
+            ctrl_latency: 0.0,
+            net_latency: 0.0,
+            net_bytes_per_sec: f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memcpy_time_scales_with_bytes() {
+        let c = CostModel {
+            memcpy_bytes_per_sec: 1e9,
+            ..CostModel::default()
+        };
+        assert!((c.memcpy_time(1_000_000_000) - 1.0).abs() < 1e-12);
+        assert_eq!(c.memcpy_time(0), 0.0);
+    }
+
+    #[test]
+    fn data_time_includes_latency() {
+        let c = CostModel {
+            net_latency: 0.5,
+            net_bytes_per_sec: 2.0,
+            ..CostModel::default()
+        };
+        assert!((c.data_time(4) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_model_is_zero_cost() {
+        let c = CostModel::free();
+        assert_eq!(c.memcpy_time(1 << 30), 0.0);
+        assert_eq!(c.data_time(1 << 30), 0.0);
+        assert_eq!(c.ctrl_time(), 0.0);
+    }
+
+    #[test]
+    fn default_is_gige_scale() {
+        let c = CostModel::default();
+        // An 8 MB piece (1024x1024 f64 / 1 proc share of F) copies in ~5 ms.
+        let t = c.memcpy_time(8 << 20);
+        assert!(t > 1e-3 && t < 20e-3, "memcpy time {t}");
+    }
+}

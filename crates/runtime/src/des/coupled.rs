@@ -1,0 +1,825 @@
+//! Deterministic discrete-event simulation of one exporter→importer coupled
+//! pair — the configuration behind every Figure-4 style experiment.
+//!
+//! The simulated world matches the paper's micro-benchmark: an exporting
+//! program with `E` processes (one of which may be artificially slowed — the
+//! paper's `p_s`), an importing program with `I` processes, one connection
+//! with a match policy and tolerance, and strictly periodic export/import
+//! timestamp schedules. Compute phases advance the virtual clock by
+//! configurable per-rank amounts; framework buffering charges
+//! `CostModel::memcpy_time` for the process's piece of the distributed
+//! array; control and data messages incur latency/bandwidth costs.
+//!
+//! The simulation is fully deterministic: same configuration, same report.
+
+use crate::cost::CostModel;
+use crate::des::EventQueue;
+use couplink_layout::{Decomposition, RedistPlan};
+use couplink_proto::export_port::{ExportAction, ExportPort, PortError};
+use couplink_proto::import_port::{ImportError, ImportPort, ImportState};
+use couplink_proto::rep::{ExporterRep, ImporterRep, RepError};
+use couplink_proto::{ProcResponse, Rank, RepAnswer, RequestId};
+use couplink_time::{MatchPolicy, PeriodicSchedule, Timestamp, TimestampError, Tolerance};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration of a coupled-pair simulation.
+#[derive(Debug, Clone)]
+pub struct CoupledConfig {
+    /// How the exported array is decomposed over the exporting program.
+    pub exporter_decomp: Decomposition,
+    /// How the same array is decomposed over the importing program.
+    pub importer_decomp: Decomposition,
+    /// Match policy of the connection.
+    pub policy: MatchPolicy,
+    /// Tolerance (the paper's "precision").
+    pub tolerance: f64,
+    /// Whether the buddy-help optimization is enabled.
+    pub buddy_help: bool,
+    /// Number of export iterations each exporter process performs.
+    pub exports: usize,
+    /// Timestamp of export `i` is `export_t0 + i * export_dt`.
+    pub export_t0: f64,
+    /// Export timestamp step.
+    pub export_dt: f64,
+    /// Number of import iterations each importer process performs.
+    pub imports: usize,
+    /// Timestamp of import `j` is `import_t0 + j * import_dt`.
+    pub import_t0: f64,
+    /// Import timestamp step.
+    pub import_dt: f64,
+    /// Per-rank compute seconds per exporter iteration (index = rank).
+    pub exporter_compute: Vec<f64>,
+    /// Compute seconds per importer iteration (same for all ranks).
+    pub importer_compute: f64,
+    /// One-time importer startup cost before its first iteration
+    /// (framework/data-structure initialization — the paper's §5 notes its
+    /// effect on early iterations). Determines how large a head start the
+    /// exporter has before the request stream begins.
+    pub importer_startup: f64,
+    /// Operation costs.
+    pub cost: CostModel,
+    /// Per-process framework buffer capacity in objects (`None` =
+    /// unbounded, the paper's setting). With a bound, an exporter process
+    /// stalls when its buffer is full and resumes when control traffic
+    /// frees space — the §6 finite-buffer-space scenario.
+    pub buffer_capacity: Option<usize>,
+}
+
+/// What happened to one export call (Figure-4 series data point kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// Copied into the framework buffer.
+    Copy,
+    /// Copied and immediately sent (the known match).
+    CopySend,
+    /// Memcpy skipped.
+    Skip,
+}
+
+impl From<ExportAction> for ActionKind {
+    fn from(a: ExportAction) -> Self {
+        match a {
+            ExportAction::Buffer => ActionKind::Copy,
+            ExportAction::BufferAndSend { .. } => ActionKind::CopySend,
+            ExportAction::Skip => ActionKind::Skip,
+        }
+    }
+}
+
+/// Results of a coupled-pair run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoupledReport {
+    /// Per exporter rank: seconds charged to each export call (the Figure 4
+    /// y-axis for the slowest rank).
+    pub export_time_series: Vec<Vec<f64>>,
+    /// Per exporter rank: what each export call did.
+    pub action_series: Vec<Vec<ActionKind>>,
+    /// Per exporter rank: final port statistics.
+    pub stats: Vec<couplink_proto::ExportStats>,
+    /// Per exporter rank: virtual seconds spent on unnecessary buffering
+    /// (Equation 2, counts × per-object memcpy time).
+    pub t_ub_seconds: Vec<f64>,
+    /// Per importer rank: completed import iterations.
+    pub importer_done: Vec<usize>,
+    /// Virtual time at which the last event executed.
+    pub duration: f64,
+    /// First export iteration whose timestamp lies beyond the final
+    /// request's acceptable region. Exports from here on are buffered no
+    /// matter what (no request can ever resolve them), so they are excluded
+    /// from skip-profile analysis.
+    pub tail_start: usize,
+    /// The export/import timestamp schedule of the run (used to convert
+    /// request indices to export iterations).
+    pub schedule: Schedule,
+    /// Per exporter rank, per request: the rank's export-iteration count at
+    /// the moment the forwarded request arrived (phase diagnostics — how far
+    /// ahead of the slow process the request stream runs).
+    pub request_arrival_iter: Vec<Vec<usize>>,
+}
+
+/// The timestamp schedule a coupled run used.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Timestamp of export `i` is `export_t0 + i * export_dt`.
+    pub export_t0: f64,
+    /// Export timestamp step.
+    pub export_dt: f64,
+    /// Timestamp of import `j` is `import_t0 + j * import_dt`.
+    pub import_t0: f64,
+    /// Import timestamp step.
+    pub import_dt: f64,
+    /// Connection tolerance.
+    pub tolerance: f64,
+    /// Total imports of the run.
+    pub imports: usize,
+}
+
+impl CoupledReport {
+    /// The paper's *optimal state* entry point for `rank`, in export
+    /// iterations: from this iteration on, every acceptable region buffers
+    /// only its match (`T_i = 0`, Figure 6). Exports *between* regions are
+    /// still buffered-and-pruned even in the optimal state (the next
+    /// request's region is unknowable; see Figure 5 lines 17–20) and do not
+    /// count, exactly like the paper's Equation (1), which only sums objects
+    /// located inside acceptable regions. `None` if the run never settles.
+    pub fn optimal_entry(&self, rank: usize) -> Option<usize> {
+        let req = self.optimal_entry_request(rank)?;
+        // The first export iteration inside (or after) that request's
+        // acceptable region.
+        let sched = &self.schedule;
+        let region_lo = sched.import_t0 + req as f64 * sched.import_dt - sched.tolerance;
+        let iter = ((region_lo - sched.export_t0) / sched.export_dt).ceil();
+        Some(iter.max(0.0) as usize)
+    }
+
+    /// The first request index from which no acceptable region suffers
+    /// unnecessary buffering on `rank` (`T_i = 0` for all later requests).
+    pub fn optimal_entry_request(&self, rank: usize) -> Option<usize> {
+        let per_req = &self.stats[rank].unnecessary_by_request;
+        // Requests beyond the recorded vector had zero unnecessary copies.
+        let last_bad = per_req.iter().rposition(|&n| n > 0);
+        match last_bad {
+            None => Some(0),
+            // The run must prove at least one later region stayed clean.
+            Some(i) if i + 1 < self.schedule.imports => Some(i + 1),
+            Some(_) => None,
+        }
+    }
+
+    /// Mean export-call time for `rank` over the closed iteration window.
+    pub fn mean_export_time(&self, rank: usize, from: usize, to: usize) -> f64 {
+        let s = &self.export_time_series[rank];
+        let to = to.min(s.len());
+        if from >= to {
+            return 0.0;
+        }
+        s[from..to].iter().sum::<f64>() / (to - from) as f64
+    }
+}
+
+/// Error aborting a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An exporter port rejected an event.
+    Port(PortError),
+    /// A rep rejected an event.
+    Rep(RepError),
+    /// An importer port rejected an event.
+    Import(ImportError),
+    /// A timestamp in the schedule was not finite.
+    Timestamp(TimestampError),
+    /// The configuration was inconsistent.
+    Config(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Port(e) => write!(f, "export port: {e}"),
+            SimError::Rep(e) => write!(f, "rep: {e}"),
+            SimError::Import(e) => write!(f, "import port: {e}"),
+            SimError::Timestamp(e) => write!(f, "timestamp: {e}"),
+            SimError::Config(s) => write!(f, "bad configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<PortError> for SimError {
+    fn from(e: PortError) -> Self {
+        SimError::Port(e)
+    }
+}
+impl From<RepError> for SimError {
+    fn from(e: RepError) -> Self {
+        SimError::Rep(e)
+    }
+}
+impl From<ImportError> for SimError {
+    fn from(e: ImportError) -> Self {
+        SimError::Import(e)
+    }
+}
+impl From<TimestampError> for SimError {
+    fn from(e: TimestampError) -> Self {
+        SimError::Timestamp(e)
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Exporter `rank` finishes its compute phase and performs its export.
+    ExpExport { rank: usize },
+    /// Importer `rank` makes its next collective import call.
+    ImpCall { rank: usize },
+    /// Message deliveries.
+    ToExpRep(ExpRepMsg),
+    ToImpRep(ImpRepMsg),
+    ToExpProc { rank: usize, msg: ExpProcMsg },
+    ToImpProc { rank: usize, msg: ImpProcMsg },
+}
+
+#[derive(Debug)]
+enum ExpRepMsg {
+    ImportRequest { req: RequestId, ts: Timestamp },
+    Response { rank: Rank, req: RequestId, resp: ProcResponse },
+}
+
+#[derive(Debug)]
+enum ImpRepMsg {
+    ImportCall { rank: Rank, ts: Timestamp },
+    Answer { req: RequestId, answer: RepAnswer },
+}
+
+#[derive(Debug)]
+enum ExpProcMsg {
+    ForwardRequest { req: RequestId, ts: Timestamp },
+    BuddyHelp { req: RequestId, answer: RepAnswer },
+}
+
+#[derive(Debug)]
+enum ImpProcMsg {
+    Answer { req: RequestId, answer: RepAnswer },
+    Piece { req: RequestId },
+}
+
+struct ExpProcState {
+    port: ExportPort,
+    iter: usize,
+    times: Vec<f64>,
+    actions: Vec<ActionKind>,
+    request_arrivals: Vec<usize>,
+    /// Blocked on a full buffer, waiting for control traffic to free space.
+    blocked: bool,
+}
+
+struct ImpProcState {
+    port: ImportPort,
+    iter: usize,
+    waiting: bool,
+}
+
+/// The coupled-pair simulator. Construct with [`CoupledSim::new`], run with
+/// [`CoupledSim::run`].
+pub struct CoupledSim {
+    cfg: CoupledConfig,
+    plan: RedistPlan,
+    queue: EventQueue<Event>,
+    exp_procs: Vec<ExpProcState>,
+    imp_procs: Vec<ImpProcState>,
+    exp_rep: ExporterRep,
+    imp_rep: ImporterRep,
+    /// Bytes of one exporter rank's piece (for memcpy cost), per rank.
+    piece_bytes: Vec<usize>,
+}
+
+impl CoupledSim {
+    /// Builds the simulation, validating the configuration.
+    pub fn new(cfg: CoupledConfig) -> Result<Self, SimError> {
+        let ne = cfg.exporter_decomp.procs();
+        let ni = cfg.importer_decomp.procs();
+        if cfg.exporter_compute.len() != ne {
+            return Err(SimError::Config(format!(
+                "exporter_compute has {} entries for {} processes",
+                cfg.exporter_compute.len(),
+                ne
+            )));
+        }
+        if cfg.export_dt <= 0.0 || cfg.import_dt <= 0.0 {
+            return Err(SimError::Config("timestamp steps must be positive".into()));
+        }
+        let plan = RedistPlan::build(cfg.exporter_decomp, cfg.importer_decomp)
+            .map_err(|e| SimError::Config(e.to_string()))?;
+        let tol = Tolerance::new(cfg.tolerance)?;
+        let conn = couplink_proto::ConnectionId(0);
+        let exp_procs = (0..ne)
+            .map(|_| ExpProcState {
+                port: match cfg.buffer_capacity {
+                    Some(cap) => ExportPort::with_capacity(conn, cfg.policy, tol, cap),
+                    None => ExportPort::new(conn, cfg.policy, tol),
+                },
+                iter: 0,
+                times: Vec::with_capacity(cfg.exports),
+                actions: Vec::with_capacity(cfg.exports),
+                request_arrivals: Vec::new(),
+                blocked: false,
+            })
+            .collect();
+        let imp_procs = (0..ni)
+            .map(|rank| ImpProcState {
+                port: ImportPort::new(plan.recvs_to(rank).count()),
+                iter: 0,
+                waiting: false,
+            })
+            .collect();
+        let piece_bytes = (0..ne)
+            .map(|rank| cfg.exporter_decomp.owned(rank).cells() * std::mem::size_of::<f64>())
+            .collect();
+        let exp_rep = ExporterRep::new(ne, cfg.buddy_help);
+        let imp_rep = ImporterRep::new(ni);
+        Ok(CoupledSim {
+            cfg,
+            plan,
+            queue: EventQueue::new(),
+            exp_procs,
+            imp_procs,
+            exp_rep,
+            imp_rep,
+            piece_bytes,
+        })
+    }
+
+    fn export_ts(&self, iter: usize) -> Result<Timestamp, SimError> {
+        Ok(PeriodicSchedule::new(self.cfg.export_t0, self.cfg.export_dt)?.at(iter)?)
+    }
+
+    fn import_ts(&self, iter: usize) -> Result<Timestamp, SimError> {
+        Ok(PeriodicSchedule::new(self.cfg.import_t0, self.cfg.import_dt)?.at(iter)?)
+    }
+
+    /// Schedules the data pieces rank `rank` must send for a matched
+    /// transfer, charging network costs.
+    fn send_pieces(&mut self, rank: usize, req: RequestId, extra_delay: f64) {
+        let cost = self.cfg.cost;
+        let sends: Vec<(usize, usize)> = self
+            .plan
+            .sends_from(rank)
+            .map(|t| (t.dst, t.rect.cells() * std::mem::size_of::<f64>()))
+            .collect();
+        for (dst, bytes) in sends {
+            self.queue.schedule(
+                extra_delay + cost.data_time(bytes),
+                Event::ToImpProc {
+                    rank: dst,
+                    msg: ImpProcMsg::Piece { req },
+                },
+            );
+        }
+    }
+
+    /// Runs to completion and returns the report.
+    pub fn run(mut self) -> Result<CoupledReport, SimError> {
+        // Kick off every process: exporters compute before their first
+        // export; importers compute before their first import call.
+        for rank in 0..self.exp_procs.len() {
+            self.queue
+                .schedule(self.cfg.exporter_compute[rank], Event::ExpExport { rank });
+        }
+        for rank in 0..self.imp_procs.len() {
+            self.queue.schedule(
+                self.cfg.importer_startup + self.cfg.importer_compute,
+                Event::ImpCall { rank },
+            );
+        }
+
+        while let Some((_, event)) = self.queue.pop() {
+            self.dispatch(event)?;
+        }
+
+        let duration = self.queue.now().0;
+        // Timestamp upper bound of the final request's acceptable region.
+        let last_x = self.cfg.import_t0 + (self.cfg.imports.max(1) - 1) as f64 * self.cfg.import_dt;
+        let last_hi = match self.cfg.policy {
+            MatchPolicy::RegL => last_x,
+            MatchPolicy::RegU | MatchPolicy::Reg => last_x + self.cfg.tolerance,
+        };
+        let tail_start = if self.cfg.imports == 0 {
+            0
+        } else {
+            let mut i = ((last_hi - self.cfg.export_t0) / self.cfg.export_dt).floor() as i64 + 1;
+            i = i.clamp(0, self.cfg.exports as i64);
+            i as usize
+        };
+        let mut report = CoupledReport {
+            export_time_series: Vec::new(),
+            action_series: Vec::new(),
+            stats: Vec::new(),
+            t_ub_seconds: Vec::new(),
+            importer_done: self.imp_procs.iter().map(|p| p.iter).collect(),
+            duration,
+            tail_start,
+            request_arrival_iter: self
+                .exp_procs
+                .iter()
+                .map(|p| p.request_arrivals.clone())
+                .collect(),
+            schedule: Schedule {
+                export_t0: self.cfg.export_t0,
+                export_dt: self.cfg.export_dt,
+                import_t0: self.cfg.import_t0,
+                import_dt: self.cfg.import_dt,
+                tolerance: self.cfg.tolerance,
+                imports: self.cfg.imports,
+            },
+        };
+        for (rank, p) in self.exp_procs.iter().enumerate() {
+            report.export_time_series.push(p.times.clone());
+            report.action_series.push(p.actions.clone());
+            report.stats.push(p.port.stats().clone());
+            let per_copy = self.cfg.cost.memcpy_time(self.piece_bytes[rank]);
+            report
+                .t_ub_seconds
+                .push(p.port.stats().unnecessary_total() as f64 * per_copy);
+        }
+        Ok(report)
+    }
+
+    fn dispatch(&mut self, event: Event) -> Result<(), SimError> {
+        let ctrl = self.cfg.cost.ctrl_time();
+        match event {
+            Event::ExpExport { rank } => {
+                let iter = self.exp_procs[rank].iter;
+                let ts = self.export_ts(iter)?;
+                let fx = match self.exp_procs[rank].port.on_export(ts) {
+                    Err(PortError::BufferFull { .. }) => {
+                        // Stall: the export retries when a control message
+                        // frees buffer space.
+                        self.exp_procs[rank].blocked = true;
+                        return Ok(());
+                    }
+                    other => other?,
+                };
+                let action = fx.action.expect("on_export always decides an action");
+                let call_cost = if action.copies() {
+                    self.cfg.cost.memcpy_time(self.piece_bytes[rank])
+                        + self.cfg.cost.export_overhead
+                } else {
+                    self.cfg.cost.export_overhead
+                };
+                {
+                    let p = &mut self.exp_procs[rank];
+                    p.times.push(call_cost);
+                    p.actions.push(action.into());
+                    p.iter += 1;
+                }
+                if let ExportAction::BufferAndSend { request } = action {
+                    self.send_pieces(rank, request, call_cost);
+                }
+                for r in &fx.resolutions {
+                    self.queue.schedule(
+                        call_cost + ctrl,
+                        Event::ToExpRep(ExpRepMsg::Response {
+                            rank: Rank(rank as u32),
+                            req: r.request,
+                            resp: match r.answer {
+                                RepAnswer::Match(m) => ProcResponse::Match(m),
+                                RepAnswer::NoMatch => ProcResponse::NoMatch,
+                            },
+                        }),
+                    );
+                }
+                let sends: Vec<RequestId> = fx
+                    .resolutions
+                    .iter()
+                    .filter(|r| r.send.is_some())
+                    .map(|r| r.request)
+                    .collect();
+                for req in sends {
+                    self.send_pieces(rank, req, call_cost);
+                }
+                let iter = self.exp_procs[rank].iter;
+                if iter < self.cfg.exports {
+                    self.queue.schedule(
+                        call_cost + self.cfg.exporter_compute[rank],
+                        Event::ExpExport { rank },
+                    );
+                }
+            }
+
+            Event::ImpCall { rank } => {
+                let iter = self.imp_procs[rank].iter;
+                if iter >= self.cfg.imports {
+                    return Ok(());
+                }
+                let ts = self.import_ts(iter)?;
+                self.imp_procs[rank].port.begin_import(ts)?;
+                self.imp_procs[rank].waiting = true;
+                self.queue.schedule(
+                    ctrl,
+                    Event::ToImpRep(ImpRepMsg::ImportCall {
+                        rank: Rank(rank as u32),
+                        ts,
+                    }),
+                );
+                self.check_import_done(rank)?;
+            }
+
+            Event::ToImpRep(msg) => match msg {
+                ImpRepMsg::ImportCall { rank, ts } => {
+                    let fx = self.imp_rep.on_import_call(rank, ts)?;
+                    if let Some((req, ts)) = fx.request {
+                        self.queue.schedule(
+                            ctrl,
+                            Event::ToExpRep(ExpRepMsg::ImportRequest { req, ts }),
+                        );
+                    }
+                    for (rank, req, answer) in fx.deliver {
+                        self.queue.schedule(
+                            ctrl,
+                            Event::ToImpProc {
+                                rank: rank.0 as usize,
+                                msg: ImpProcMsg::Answer { req, answer },
+                            },
+                        );
+                    }
+                }
+                ImpRepMsg::Answer { req, answer } => {
+                    let fx = self.imp_rep.on_answer(req, answer)?;
+                    for (rank, req, answer) in fx.deliver {
+                        self.queue.schedule(
+                            ctrl,
+                            Event::ToImpProc {
+                                rank: rank.0 as usize,
+                                msg: ImpProcMsg::Answer { req, answer },
+                            },
+                        );
+                    }
+                }
+            },
+
+            Event::ToExpRep(msg) => {
+                let fx = match msg {
+                    ExpRepMsg::ImportRequest { req, ts } => {
+                        self.exp_rep.on_import_request(req, ts)?
+                    }
+                    ExpRepMsg::Response { rank, req, resp } => {
+                        self.exp_rep.on_response(rank, req, resp)?
+                    }
+                };
+                if let Some((req, ts)) = fx.forward {
+                    for rank in 0..self.exp_procs.len() {
+                        self.queue.schedule(
+                            ctrl,
+                            Event::ToExpProc {
+                                rank,
+                                msg: ExpProcMsg::ForwardRequest { req, ts },
+                            },
+                        );
+                    }
+                }
+                if let Some((req, answer)) = fx.answer {
+                    self.queue
+                        .schedule(ctrl, Event::ToImpRep(ImpRepMsg::Answer { req, answer }));
+                }
+                for (rank, req, answer) in fx.buddy_help {
+                    self.queue.schedule(
+                        ctrl,
+                        Event::ToExpProc {
+                            rank: rank.0 as usize,
+                            msg: ExpProcMsg::BuddyHelp { req, answer },
+                        },
+                    );
+                }
+            }
+
+            Event::ToExpProc { rank, msg } => {
+                match msg {
+                ExpProcMsg::ForwardRequest { req, ts } => {
+                    let iter_now = self.exp_procs[rank].iter;
+                    self.exp_procs[rank].request_arrivals.push(iter_now);
+                    let fx = self.exp_procs[rank].port.on_request(req, ts)?;
+                    self.queue.schedule(
+                        ctrl,
+                        Event::ToExpRep(ExpRepMsg::Response {
+                            rank: Rank(rank as u32),
+                            req,
+                            resp: fx.response,
+                        }),
+                    );
+                    if fx.send.is_some() {
+                        self.send_pieces(rank, req, 0.0);
+                    }
+                }
+                ExpProcMsg::BuddyHelp { req, answer } => {
+                    let fx = self.exp_procs[rank].port.on_buddy_help(req, answer)?;
+                    if fx.send.is_some() {
+                        self.send_pieces(rank, req, 0.0);
+                    }
+                }
+                }
+                // Control traffic may have freed buffer space: wake a
+                // stalled exporter.
+                if self.exp_procs[rank].blocked {
+                    self.exp_procs[rank].blocked = false;
+                    self.queue.schedule(0.0, Event::ExpExport { rank });
+                }
+            }
+
+            Event::ToImpProc { rank, msg } => {
+                match msg {
+                    ImpProcMsg::Answer { req, answer } => {
+                        self.imp_procs[rank].port.on_answer(req, answer)?;
+                    }
+                    ImpProcMsg::Piece { req } => {
+                        self.imp_procs[rank].port.on_piece(req)?;
+                    }
+                }
+                self.check_import_done(rank)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// If importer `rank` is waiting and its current import has finished,
+    /// advance it to the next iteration.
+    fn check_import_done(&mut self, rank: usize) -> Result<(), SimError> {
+        let p = &mut self.imp_procs[rank];
+        if p.waiting && matches!(p.port.state(), ImportState::Done { .. }) {
+            p.port.finish();
+            p.waiting = false;
+            p.iter += 1;
+            if p.iter < self.cfg.imports {
+                self.queue
+                    .schedule(self.cfg.importer_compute, Event::ImpCall { rank });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use couplink_layout::Extent2;
+
+    /// A small but complete coupled run with the paper's timestamp pattern:
+    /// exports every 1.0 from 1.6, imports every 20.0 from 20.0, REGL 2.5.
+    fn small_config(buddy_help: bool, importer_compute: f64) -> CoupledConfig {
+        let e = Extent2::new(64, 64);
+        CoupledConfig {
+            exporter_decomp: Decomposition::block_2d(e, 2, 2).unwrap(),
+            importer_decomp: Decomposition::row_block(e, 4).unwrap(),
+            policy: MatchPolicy::RegL,
+            tolerance: 2.5,
+            buddy_help,
+            exports: 101,
+            export_t0: 1.6,
+            export_dt: 1.0,
+            imports: 5,
+            import_t0: 20.0,
+            import_dt: 20.0,
+            exporter_compute: vec![1e-4, 1e-4, 1e-4, 5e-3], // rank 3 is p_s
+            importer_compute,
+            importer_startup: 0.0,
+            cost: CostModel::default(),
+            buffer_capacity: None,
+        }
+    }
+
+    #[test]
+    fn run_completes_all_transfers() {
+        let report = CoupledSim::new(small_config(true, 1e-3)).unwrap().run().unwrap();
+        // Every importer rank completed all 5 imports.
+        assert_eq!(report.importer_done, vec![5; 4]);
+        // Every exporter rank sent exactly 5 matched objects.
+        for stats in &report.stats {
+            assert_eq!(stats.sends, 5, "{stats:?}");
+            assert_eq!(stats.exports, 101);
+        }
+    }
+
+    #[test]
+    fn deterministic_repeat() {
+        let a = CoupledSim::new(small_config(true, 1e-3)).unwrap().run().unwrap();
+        let b = CoupledSim::new(small_config(true, 1e-3)).unwrap().run().unwrap();
+        assert_eq!(a.export_time_series, b.export_time_series);
+        assert_eq!(a.action_series, b.action_series);
+        assert_eq!(a.duration, b.duration);
+    }
+
+    #[test]
+    fn buddy_help_skips_memcpys_on_slow_rank() {
+        let with = CoupledSim::new(small_config(true, 1e-3)).unwrap().run().unwrap();
+        let without = CoupledSim::new(small_config(false, 1e-3)).unwrap().run().unwrap();
+        let slow = 3;
+        assert!(
+            with.stats[slow].skips > without.stats[slow].skips,
+            "buddy-help must increase skips: {} vs {}",
+            with.stats[slow].skips,
+            without.stats[slow].skips
+        );
+        // The data transferred is identical either way: same sends.
+        assert_eq!(with.stats[slow].sends, without.stats[slow].sends);
+    }
+
+    #[test]
+    fn fast_importer_reaches_optimal_state() {
+        // A fast importer queries ahead of the slow exporter: after warm-up
+        // the slow rank should only skip or copy-send (optimal state).
+        let report = CoupledSim::new(small_config(true, 1e-4)).unwrap().run().unwrap();
+        let slow = 3;
+        let entry = report.optimal_entry(slow);
+        assert!(entry.is_some(), "never entered the optimal state");
+        assert!(
+            entry.unwrap() < 90,
+            "optimal state too late: {:?}",
+            entry
+        );
+    }
+
+    #[test]
+    fn slow_importer_buffers_everything() {
+        // When the importer lags far behind, requests arrive long after the
+        // exports they match: nearly every export must be buffered
+        // (Figure 4(a) flat profile).
+        let mut cfg = small_config(true, 1.0); // importer takes 1 s per iter
+        cfg.imports = 2;
+        let report = CoupledSim::new(cfg).unwrap().run().unwrap();
+        let slow = 3;
+        let copies = report.action_series[slow]
+            .iter()
+            .filter(|a| **a == ActionKind::Copy)
+            .count();
+        assert!(
+            copies > 90,
+            "expected nearly all 101 exports copied, got {copies}"
+        );
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let mut cfg = small_config(true, 1e-3);
+        cfg.exporter_compute.pop();
+        assert!(matches!(CoupledSim::new(cfg), Err(SimError::Config(_))));
+        let mut cfg = small_config(true, 1e-3);
+        cfg.export_dt = 0.0;
+        assert!(matches!(CoupledSim::new(cfg), Err(SimError::Config(_))));
+    }
+
+    #[test]
+    fn export_series_lengths_match_iterations() {
+        let report = CoupledSim::new(small_config(true, 1e-3)).unwrap().run().unwrap();
+        for rank in 0..4 {
+            assert_eq!(report.export_time_series[rank].len(), 101);
+            assert_eq!(report.action_series[rank].len(), 101);
+        }
+    }
+
+    #[test]
+    fn bounded_buffer_stalls_exporter_until_requests_free_space() {
+        // Capacity 4 with a slow importer: the exporter fills its buffer
+        // and stalls; each request prunes the buffer and lets it continue.
+        let mut cfg = small_config(true, 5e-2);
+        cfg.buffer_capacity = Some(4);
+        let report = CoupledSim::new(cfg).unwrap().run().unwrap();
+        // All transfers still complete, correctness is unaffected.
+        assert_eq!(report.importer_done, vec![5; 4]);
+        for stats in &report.stats {
+            assert_eq!(stats.sends, 5);
+            assert!(stats.buffer_full_stalls > 0, "{stats:?}");
+            assert!(stats.buffered_hwm <= 4);
+        }
+        // The stalls cost real (virtual) time versus the unbounded run.
+        let mut unbounded = small_config(true, 5e-2);
+        unbounded.buffer_capacity = None;
+        let free_run = CoupledSim::new(unbounded).unwrap().run().unwrap();
+        assert!(report.duration > free_run.duration);
+    }
+
+    #[test]
+    fn buddy_help_lowers_peak_buffer_occupancy() {
+        // A fast importer with buddy-help keeps the slow rank's buffer
+        // nearly empty; without buddy-help every candidate is buffered.
+        let with = CoupledSim::new(small_config(true, 1e-4)).unwrap().run().unwrap();
+        let without = CoupledSim::new(small_config(false, 1e-4)).unwrap().run().unwrap();
+        let slow = 3;
+        assert!(
+            with.stats[slow].buffered_hwm <= without.stats[slow].buffered_hwm,
+            "{} vs {}",
+            with.stats[slow].buffered_hwm,
+            without.stats[slow].buffered_hwm
+        );
+    }
+
+    #[test]
+    fn t_ub_counts_convert_to_seconds() {
+        let report = CoupledSim::new(small_config(false, 1e-3)).unwrap().run().unwrap();
+        for rank in 0..4 {
+            let per_copy = CostModel::default().memcpy_time(64 * 64 / 4 * 8);
+            let expect = report.stats[rank].unnecessary_total() as f64 * per_copy;
+            assert!((report.t_ub_seconds[rank] - expect).abs() < 1e-12);
+        }
+    }
+}

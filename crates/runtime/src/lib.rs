@@ -1,0 +1,34 @@
+//! Runtimes that drive the `couplink-proto` state machines.
+//!
+//! The protocol layer is sans-IO; this crate supplies the two environments it
+//! runs in:
+//!
+//! * [`des`] — a deterministic single-threaded **discrete-event simulator**
+//!   with a virtual clock and a calibrated [`cost::CostModel`] (memcpy
+//!   bandwidth, control-message latency, network bandwidth). This is how the
+//!   paper's figures are regenerated exactly and repeatably: the same
+//!   configuration always produces the same per-iteration export-time
+//!   series.
+//! * [`threaded`] — an in-process **multi-program fabric**: every simulated
+//!   process is an OS thread, every program has a rep thread, messages move
+//!   over crossbeam channels, and buffering performs *real* memcpys of real
+//!   `f64` arrays. This is what the examples and the Criterion benches use;
+//!   it exhibits the paper's timing races on real hardware.
+//!
+//! Both runtimes implement the same protocol flow (§4 of the paper):
+//! importer processes make collective `import` calls through their rep; the
+//! exporter rep forwards each request to every exporter process, aggregates
+//! the collective responses, answers the importer, and (optionally) sends
+//! buddy-help to the PENDING processes.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod des;
+pub mod threaded;
+
+pub use cost::CostModel;
+pub use des::coupled::{ActionKind, CoupledConfig, CoupledReport, CoupledSim, Schedule};
+pub use threaded::{
+    CoupledPair, ExporterHandle, ImporterHandle, PairConfig, ThreadedError,
+};

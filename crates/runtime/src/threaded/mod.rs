@@ -1,0 +1,968 @@
+//! The threaded in-process runtime: real threads, real channels, real
+//! memcpys.
+//!
+//! Each simulated *program* is a set of OS threads. User code (an example, a
+//! bench, a test) drives one [`ExporterHandle`] or [`ImporterHandle`] per
+//! process from its own thread — exactly like an SPMD rank calling the
+//! framework library. Per program there is one *rep* thread (the paper's
+//! low-overhead control gateway), and per exporter process a small *agent*
+//! thread standing in for the framework's asynchronous progress engine: it
+//! answers forwarded requests and consumes buddy-help while the application
+//! thread is busy computing.
+//!
+//! Buffering is a real `memcpy`: the framework clones the process's
+//! `LocalArray` piece into its buffer, so `export()` latency measured by the
+//! benches reflects genuine copy costs, and skipped buffering is a genuine
+//! saving.
+
+use couplink_layout::{LocalArray, Rect, RedistPlan};
+use couplink_proto::export_port::{ExportAction, ExportPort, PortError};
+use couplink_proto::import_port::{ImportError, ImportPort, ImportState};
+use couplink_proto::rep::{ExporterRep, ImporterRep};
+use couplink_proto::{ConnectionId, ProcResponse, Rank, RepAnswer, RequestId};
+use couplink_time::{MatchPolicy, Timestamp, Tolerance};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Error from the threaded runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThreadedError {
+    /// A protocol machine rejected an event.
+    Port(PortError),
+    /// An importer port rejected an event.
+    Import(ImportError),
+    /// A rep thread died on a protocol violation; the message describes it.
+    RepFailed(String),
+    /// A channel was disconnected (a peer thread exited early).
+    Disconnected,
+    /// `import` timed out waiting for an answer or data.
+    Timeout,
+    /// Bad configuration.
+    Config(String),
+}
+
+impl fmt::Display for ThreadedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadedError::Port(e) => write!(f, "export port: {e}"),
+            ThreadedError::Import(e) => write!(f, "import port: {e}"),
+            ThreadedError::RepFailed(s) => write!(f, "rep failed: {s}"),
+            ThreadedError::Disconnected => write!(f, "peer thread disconnected"),
+            ThreadedError::Timeout => write!(f, "import timed out"),
+            ThreadedError::Config(s) => write!(f, "bad configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ThreadedError {}
+
+impl From<PortError> for ThreadedError {
+    fn from(e: PortError) -> Self {
+        ThreadedError::Port(e)
+    }
+}
+impl From<ImportError> for ThreadedError {
+    fn from(e: ImportError) -> Self {
+        ThreadedError::Import(e)
+    }
+}
+
+/// Configuration of a threaded coupled pair (one connection).
+#[derive(Debug, Clone)]
+pub struct PairConfig {
+    /// Decomposition of the array over the exporting program.
+    pub exporter_decomp: couplink_layout::Decomposition,
+    /// Decomposition of the same array over the importing program.
+    pub importer_decomp: couplink_layout::Decomposition,
+    /// Match policy.
+    pub policy: MatchPolicy,
+    /// Tolerance.
+    pub tolerance: f64,
+    /// Whether buddy-help is enabled.
+    pub buddy_help: bool,
+    /// How long an `import` waits before giving up.
+    pub import_timeout: Duration,
+    /// Per-process framework buffer capacity in objects (`None` =
+    /// unbounded). With a bound, `export` blocks while the buffer is full
+    /// and resumes when control traffic frees space (§6's finite-buffer
+    /// scenario); it gives up with [`ThreadedError::Timeout`] after the
+    /// import timeout.
+    pub buffer_capacity: Option<usize>,
+}
+
+impl PairConfig {
+    /// A sensible default timeout.
+    pub fn new(
+        exporter_decomp: couplink_layout::Decomposition,
+        importer_decomp: couplink_layout::Decomposition,
+        policy: MatchPolicy,
+        tolerance: f64,
+        buddy_help: bool,
+    ) -> Self {
+        PairConfig {
+            exporter_decomp,
+            importer_decomp,
+            policy,
+            tolerance,
+            buddy_help,
+            import_timeout: Duration::from_secs(30),
+            buffer_capacity: None,
+        }
+    }
+}
+
+// --- message types ---
+
+enum ExpRepMsg {
+    ImportRequest { req: RequestId, ts: Timestamp },
+    Response { rank: Rank, req: RequestId, resp: ProcResponse },
+    Shutdown,
+}
+
+enum ImpRepMsg {
+    Call { rank: Rank, ts: Timestamp },
+    Answer { req: RequestId, answer: RepAnswer },
+    Shutdown,
+}
+
+enum AgentMsg {
+    Forward { req: RequestId, ts: Timestamp },
+    BuddyHelp { req: RequestId, answer: RepAnswer },
+    Shutdown,
+}
+
+enum ImpMsg {
+    Answer { req: RequestId, answer: RepAnswer },
+    Piece { req: RequestId, rect: Rect, payload: Vec<f64> },
+}
+
+struct ExpShared {
+    port: ExportPort,
+    store: BTreeMap<Timestamp, LocalArray>,
+}
+
+/// One exporter process's shared state plus its buffer-freed condvar
+/// (parking_lot condvars are bound to a single mutex, so each rank pairs
+/// its own).
+struct ExpCell {
+    state: Mutex<ExpShared>,
+    freed: Condvar,
+}
+
+/// What one `export` call did, with its measured duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExportOutcome {
+    /// Whether the object was copied, copied-and-sent, or skipped.
+    pub action: crate::des::coupled::ActionKind,
+    /// Wall-clock duration of the export call (the Figure 4 measurement).
+    pub elapsed: Duration,
+}
+
+/// The per-process exporter API of the framework.
+pub struct ExporterHandle {
+    rank: usize,
+    shared: Arc<ExpCell>,
+    plan: Arc<RedistPlan>,
+    to_rep: Sender<ExpRepMsg>,
+    to_imps: Vec<Sender<ImpMsg>>,
+    block_timeout: Duration,
+    err: Arc<Mutex<Option<String>>>,
+}
+
+impl ExporterHandle {
+    /// This process's rank in the exporting program.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Exports the process's piece of the distributed array at simulation
+    /// time `ts`. The framework buffers (clones) the piece unless it can
+    /// prove the object will never be needed.
+    pub fn export(&mut self, ts: Timestamp, data: &LocalArray) -> Result<ExportOutcome, ThreadedError> {
+        self.check_rep()?;
+        let start = Instant::now();
+        let deadline = start + self.block_timeout;
+        let mut shared = self.shared.state.lock();
+        let fx = loop {
+            match shared.port.on_export(ts) {
+                Err(PortError::BufferFull { .. }) => {
+                    // Finite buffer: stall until the agent's control traffic
+                    // frees space, then retry the same export.
+                    if self
+                        .shared
+                        .freed
+                        .wait_until(&mut shared, deadline)
+                        .timed_out()
+                    {
+                        return Err(ThreadedError::Timeout);
+                    }
+                }
+                other => break other?,
+            }
+        };
+        let action = fx.action.expect("on_export always decides");
+        if action.copies() {
+            // The real buffering memcpy the paper is about.
+            shared.store.insert(ts, data.clone());
+        }
+        // Sends must be executed before frees: the port may free a matched
+        // object in the very step that requests its transfer (the next
+        // request's region bound already passed it).
+        if let ExportAction::BufferAndSend { request } = action {
+            send_pieces(&self.plan, self.rank, request, ts, &shared.store, &self.to_imps);
+        }
+        for r in &fx.resolutions {
+            if let Some(m) = r.send {
+                send_pieces(&self.plan, self.rank, r.request, m, &shared.store, &self.to_imps);
+            }
+            let resp = match r.answer {
+                RepAnswer::Match(m) => ProcResponse::Match(m),
+                RepAnswer::NoMatch => ProcResponse::NoMatch,
+            };
+            self.to_rep
+                .send(ExpRepMsg::Response {
+                    rank: Rank(self.rank as u32),
+                    req: r.request,
+                    resp,
+                })
+                .map_err(|_| ThreadedError::Disconnected)?;
+        }
+        for t in &fx.freed {
+            shared.store.remove(t);
+        }
+        drop(shared);
+        let elapsed = start.elapsed();
+        Ok(ExportOutcome {
+            action: action.into(),
+            elapsed,
+        })
+    }
+
+    /// A snapshot of this process's export statistics.
+    pub fn stats(&self) -> couplink_proto::ExportStats {
+        self.shared.state.lock().port.stats().clone()
+    }
+
+    /// Number of objects currently buffered by the framework for this
+    /// process.
+    pub fn buffered_len(&self) -> usize {
+        self.shared.state.lock().port.buffered_len()
+    }
+
+    fn check_rep(&self) -> Result<(), ThreadedError> {
+        if let Some(e) = self.err.lock().clone() {
+            return Err(ThreadedError::RepFailed(e));
+        }
+        Ok(())
+    }
+}
+
+/// The per-process importer API of the framework.
+pub struct ImporterHandle {
+    rank: usize,
+    port: ImportPort,
+    from_fabric: Receiver<ImpMsg>,
+    to_rep: Sender<ImpRepMsg>,
+    pieces: HashMap<RequestId, Vec<(Rect, Vec<f64>)>>,
+    timeout: Duration,
+    err: Arc<Mutex<Option<String>>>,
+}
+
+impl ImporterHandle {
+    /// This process's rank in the importing program.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Collectively imports the data matched to `ts` into `dest` (this
+    /// process's piece). Blocks until the framework answers. Returns the
+    /// matched timestamp, or `None` if the request had no match (in which
+    /// case `dest` is untouched).
+    pub fn import(
+        &mut self,
+        ts: Timestamp,
+        dest: &mut LocalArray,
+    ) -> Result<Option<Timestamp>, ThreadedError> {
+        let req = self.port.begin_import(ts)?;
+        self.to_rep
+            .send(ImpRepMsg::Call {
+                rank: Rank(self.rank as u32),
+                ts,
+            })
+            .map_err(|_| ThreadedError::Disconnected)?;
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            if let ImportState::Done { answer, .. } = self.port.state() {
+                self.port.finish();
+                return match answer {
+                    RepAnswer::NoMatch => {
+                        self.pieces.remove(&req);
+                        Ok(None)
+                    }
+                    RepAnswer::Match(m) => {
+                        for (rect, payload) in self.pieces.remove(&req).unwrap_or_default() {
+                            dest.unpack(&rect, &payload);
+                        }
+                        Ok(Some(m))
+                    }
+                };
+            }
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(ThreadedError::Timeout)?;
+            match self.from_fabric.recv_timeout(remaining) {
+                Ok(ImpMsg::Answer { req, answer }) => self.port.on_answer(req, answer)?,
+                Ok(ImpMsg::Piece { req, rect, payload }) => {
+                    self.port.on_piece(req)?;
+                    self.pieces.entry(req).or_default().push((rect, payload));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(e) = self.err.lock().clone() {
+                        return Err(ThreadedError::RepFailed(e));
+                    }
+                    return Err(ThreadedError::Timeout);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    if let Some(e) = self.err.lock().clone() {
+                        return Err(ThreadedError::RepFailed(e));
+                    }
+                    return Err(ThreadedError::Disconnected);
+                }
+            }
+        }
+    }
+}
+
+/// Packs and sends rank `rank`'s share of the matched object `m`.
+fn send_pieces(
+    plan: &RedistPlan,
+    rank: usize,
+    req: RequestId,
+    m: Timestamp,
+    store: &BTreeMap<Timestamp, LocalArray>,
+    to_imps: &[Sender<ImpMsg>],
+) {
+    let obj = match store.get(&m) {
+        Some(o) => o,
+        // The object must be buffered when a send is requested; a missing
+        // object would already have been reported as a collective violation
+        // by the port, so this is unreachable in practice.
+        None => return,
+    };
+    for t in plan.sends_from(rank) {
+        let payload = obj.pack(&t.rect);
+        // Ignore disconnects: the importer may already be shutting down.
+        let _ = to_imps[t.dst].send(ImpMsg::Piece {
+            req,
+            rect: t.rect,
+            payload,
+        });
+    }
+}
+
+/// A running coupled pair: one exporting and one importing program connected
+/// by one region connection, with rep and agent threads live.
+pub struct CoupledPair {
+    exporters: Vec<Option<ExporterHandle>>,
+    importers: Vec<Option<ImporterHandle>>,
+    shared: Vec<Arc<ExpCell>>,
+    agents: Vec<(Sender<AgentMsg>, JoinHandle<()>)>,
+    exp_rep: Option<(Sender<ExpRepMsg>, JoinHandle<()>)>,
+    imp_rep: Option<(Sender<ImpRepMsg>, JoinHandle<()>)>,
+    err: Arc<Mutex<Option<String>>>,
+}
+
+impl CoupledPair {
+    /// Builds the pair and spawns its control threads.
+    pub fn new(cfg: PairConfig) -> Result<Self, ThreadedError> {
+        let ne = cfg.exporter_decomp.procs();
+        let ni = cfg.importer_decomp.procs();
+        let plan = Arc::new(
+            RedistPlan::build(cfg.exporter_decomp, cfg.importer_decomp)
+                .map_err(|e| ThreadedError::Config(e.to_string()))?,
+        );
+        let tol = Tolerance::new(cfg.tolerance)
+            .map_err(|e| ThreadedError::Config(e.to_string()))?;
+        let err = Arc::new(Mutex::new(None::<String>));
+        let conn = ConnectionId(0);
+
+        let (to_exp_rep, exp_rep_rx) = unbounded::<ExpRepMsg>();
+        let (to_imp_rep, imp_rep_rx) = unbounded::<ImpRepMsg>();
+        let imp_channels: Vec<(Sender<ImpMsg>, Receiver<ImpMsg>)> =
+            (0..ni).map(|_| unbounded()).collect();
+        let to_imps: Vec<Sender<ImpMsg>> = imp_channels.iter().map(|(s, _)| s.clone()).collect();
+
+        // Exporter process state + agent threads.
+        let mut shared_ports = Vec::with_capacity(ne);
+        let mut agents = Vec::with_capacity(ne);
+        let mut agent_senders = Vec::with_capacity(ne);
+        for rank in 0..ne {
+            let shared = Arc::new(ExpCell {
+                state: Mutex::new(ExpShared {
+                    port: match cfg.buffer_capacity {
+                        Some(cap) => ExportPort::with_capacity(conn, cfg.policy, tol, cap),
+                        None => ExportPort::new(conn, cfg.policy, tol),
+                    },
+                    store: BTreeMap::new(),
+                }),
+                freed: Condvar::new(),
+            });
+            shared_ports.push(shared.clone());
+            let (tx, rx) = unbounded::<AgentMsg>();
+            agent_senders.push(tx.clone());
+            let plan = plan.clone();
+            let to_rep = to_exp_rep.clone();
+            let to_imps = to_imps.clone();
+            let err = err.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("couplink-agent-{rank}"))
+                .spawn(move || {
+                    agent_loop(rank, shared, rx, plan, to_rep, to_imps, err);
+                })
+                .expect("spawning agent thread");
+            agents.push((tx, handle));
+        }
+
+        // Exporter rep thread.
+        let exp_rep_handle = {
+            let agent_senders = agent_senders.clone();
+            let to_imp_rep = to_imp_rep.clone();
+            let err = err.clone();
+            let buddy = cfg.buddy_help;
+            std::thread::Builder::new()
+                .name("couplink-exp-rep".into())
+                .spawn(move || {
+                    exp_rep_loop(ne, buddy, exp_rep_rx, agent_senders, to_imp_rep, err);
+                })
+                .expect("spawning exporter rep thread")
+        };
+
+        // Importer rep thread.
+        let imp_rep_handle = {
+            let to_exp_rep = to_exp_rep.clone();
+            let to_imps = to_imps.clone();
+            let err = err.clone();
+            std::thread::Builder::new()
+                .name("couplink-imp-rep".into())
+                .spawn(move || {
+                    imp_rep_loop(ni, imp_rep_rx, to_exp_rep, to_imps, err);
+                })
+                .expect("spawning importer rep thread")
+        };
+
+        let exporters = (0..ne)
+            .map(|rank| {
+                Some(ExporterHandle {
+                    rank,
+                    shared: shared_ports[rank].clone(),
+                    plan: plan.clone(),
+                    to_rep: to_exp_rep.clone(),
+                    to_imps: to_imps.clone(),
+                    block_timeout: cfg.import_timeout,
+                    err: err.clone(),
+                })
+            })
+            .collect();
+        let importers = imp_channels
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (_, rx))| {
+                Some(ImporterHandle {
+                    rank,
+                    port: ImportPort::new(plan.recvs_to(rank).count()),
+                    from_fabric: rx,
+                    to_rep: to_imp_rep.clone(),
+                    pieces: HashMap::new(),
+                    timeout: cfg.import_timeout,
+                    err: err.clone(),
+                })
+            })
+            .collect();
+
+        Ok(CoupledPair {
+            exporters,
+            importers,
+            shared: shared_ports,
+            agents,
+            exp_rep: Some((to_exp_rep, exp_rep_handle)),
+            imp_rep: Some((to_imp_rep, imp_rep_handle)),
+            err,
+        })
+    }
+
+    /// Takes the handle for exporter process `rank` (once).
+    pub fn take_exporter(&mut self, rank: usize) -> ExporterHandle {
+        self.exporters[rank].take().expect("exporter handle already taken")
+    }
+
+    /// Takes the handle for importer process `rank` (once).
+    pub fn take_importer(&mut self, rank: usize) -> ImporterHandle {
+        self.importers[rank].take().expect("importer handle already taken")
+    }
+
+    /// Stops all control threads and returns per-exporter-rank statistics.
+    /// Call after the application threads have finished and dropped their
+    /// handles.
+    pub fn shutdown(mut self) -> Result<Vec<couplink_proto::ExportStats>, ThreadedError> {
+        for (tx, _) in &self.agents {
+            let _ = tx.send(AgentMsg::Shutdown);
+        }
+        if let Some((tx, h)) = self.exp_rep.take() {
+            let _ = tx.send(ExpRepMsg::Shutdown);
+            let _ = h.join();
+        }
+        if let Some((tx, h)) = self.imp_rep.take() {
+            let _ = tx.send(ImpRepMsg::Shutdown);
+            let _ = h.join();
+        }
+        for (_, h) in self.agents.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(e) = self.err.lock().clone() {
+            return Err(ThreadedError::RepFailed(e));
+        }
+        Ok(self
+            .shared
+            .iter()
+            .map(|s| s.state.lock().port.stats().clone())
+            .collect())
+    }
+}
+
+fn record_err(slot: &Arc<Mutex<Option<String>>>, e: impl fmt::Display) {
+    let mut guard = slot.lock();
+    if guard.is_none() {
+        *guard = Some(e.to_string());
+    }
+}
+
+fn agent_loop(
+    rank: usize,
+    shared: Arc<ExpCell>,
+    rx: Receiver<AgentMsg>,
+    plan: Arc<RedistPlan>,
+    to_rep: Sender<ExpRepMsg>,
+    to_imps: Vec<Sender<ImpMsg>>,
+    err: Arc<Mutex<Option<String>>>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            AgentMsg::Shutdown => break,
+            AgentMsg::Forward { req, ts } => {
+                let mut guard = shared.state.lock();
+                match guard.port.on_request(req, ts) {
+                    Ok(fx) => {
+                        if let Some(m) = fx.send {
+                            send_pieces(&plan, rank, req, m, &guard.store, &to_imps);
+                        }
+                        for t in &fx.freed {
+                            guard.store.remove(t);
+                        }
+                        let resp = fx.response;
+                        drop(guard);
+                        // Buffer space may have been freed: wake a stalled
+                        // exporter thread.
+                        shared.freed.notify_all();
+                        let _ = to_rep.send(ExpRepMsg::Response {
+                            rank: Rank(rank as u32),
+                            req,
+                            resp,
+                        });
+                    }
+                    Err(e) => {
+                        record_err(&err, e);
+                        break;
+                    }
+                }
+            }
+            AgentMsg::BuddyHelp { req, answer } => {
+                let mut guard = shared.state.lock();
+                match guard.port.on_buddy_help(req, answer) {
+                    Ok(fx) => {
+                        if let Some(m) = fx.send {
+                            send_pieces(&plan, rank, req, m, &guard.store, &to_imps);
+                        }
+                        for t in &fx.freed {
+                            guard.store.remove(t);
+                        }
+                        drop(guard);
+                        shared.freed.notify_all();
+                    }
+                    Err(e) => {
+                        record_err(&err, e);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn exp_rep_loop(
+    n_procs: usize,
+    buddy_help: bool,
+    rx: Receiver<ExpRepMsg>,
+    agents: Vec<Sender<AgentMsg>>,
+    to_imp_rep: Sender<ImpRepMsg>,
+    err: Arc<Mutex<Option<String>>>,
+) {
+    let mut rep = ExporterRep::new(n_procs, buddy_help);
+    while let Ok(msg) = rx.recv() {
+        let fx = match msg {
+            ExpRepMsg::Shutdown => break,
+            ExpRepMsg::ImportRequest { req, ts } => rep.on_import_request(req, ts),
+            ExpRepMsg::Response { rank, req, resp } => rep.on_response(rank, req, resp),
+        };
+        match fx {
+            Ok(fx) => {
+                if let Some((req, ts)) = fx.forward {
+                    for a in &agents {
+                        let _ = a.send(AgentMsg::Forward { req, ts });
+                    }
+                }
+                if let Some((req, answer)) = fx.answer {
+                    let _ = to_imp_rep.send(ImpRepMsg::Answer { req, answer });
+                }
+                for (rank, req, answer) in fx.buddy_help {
+                    let _ = agents[rank.0 as usize].send(AgentMsg::BuddyHelp { req, answer });
+                }
+            }
+            Err(e) => {
+                record_err(&err, e);
+                break;
+            }
+        }
+    }
+}
+
+fn imp_rep_loop(
+    n_procs: usize,
+    rx: Receiver<ImpRepMsg>,
+    to_exp_rep: Sender<ExpRepMsg>,
+    to_imps: Vec<Sender<ImpMsg>>,
+    err: Arc<Mutex<Option<String>>>,
+) {
+    let mut rep = ImporterRep::new(n_procs);
+    while let Ok(msg) = rx.recv() {
+        let fx = match msg {
+            ImpRepMsg::Shutdown => break,
+            ImpRepMsg::Call { rank, ts } => rep.on_import_call(rank, ts),
+            ImpRepMsg::Answer { req, answer } => rep.on_answer(req, answer),
+        };
+        match fx {
+            Ok(fx) => {
+                if let Some((req, ts)) = fx.request {
+                    let _ = to_exp_rep.send(ExpRepMsg::ImportRequest { req, ts });
+                }
+                for (rank, req, answer) in fx.deliver {
+                    let _ = to_imps[rank.0 as usize].send(ImpMsg::Answer { req, answer });
+                }
+            }
+            Err(e) => {
+                record_err(&err, e);
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use couplink_layout::{Decomposition, Extent2};
+    use couplink_time::ts;
+
+    fn pair(buddy: bool) -> (CoupledPair, Decomposition, Decomposition) {
+        let e = Extent2::new(32, 32);
+        let exp = Decomposition::block_2d(e, 2, 2).unwrap();
+        let imp = Decomposition::row_block(e, 2).unwrap();
+        let cfg = PairConfig::new(exp, imp, MatchPolicy::RegL, 2.5, buddy);
+        (CoupledPair::new(cfg).unwrap(), exp, imp)
+    }
+
+    /// Full end-to-end coupled run on real threads: 4 exporter threads, 2
+    /// importer threads, 60 exports, 3 imports, values verified.
+    #[test]
+    fn end_to_end_transfer() {
+        let (mut pair, exp_d, imp_d) = pair(true);
+        let mut exp_threads = Vec::new();
+        for rank in 0..4 {
+            let mut h = pair.take_exporter(rank);
+            let owned = exp_d.owned(rank);
+            exp_threads.push(std::thread::spawn(move || {
+                for i in 0..60 {
+                    let t = 1.6 + i as f64;
+                    // Cell value encodes (timestamp, position) so the importer
+                    // can verify which version it received.
+                    let data =
+                        LocalArray::from_fn(owned, |r, c| t * 1e6 + (r * 32 + c) as f64);
+                    h.export(ts(t), &data).unwrap();
+                }
+            }));
+        }
+        let mut imp_threads = Vec::new();
+        for rank in 0..2 {
+            let mut h = pair.take_importer(rank);
+            let owned = imp_d.owned(rank);
+            imp_threads.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for j in 1..=3 {
+                    let x = 20.0 * j as f64;
+                    let mut dest = LocalArray::zeros(owned);
+                    let m = h.import(ts(x), &mut dest).unwrap();
+                    got.push((m, dest));
+                }
+                got
+            }));
+        }
+        for t in exp_threads {
+            t.join().unwrap();
+        }
+        for t in imp_threads {
+            let results = t.join().unwrap();
+            for (j, (m, dest)) in results.iter().enumerate() {
+                let x = 20.0 * (j + 1) as f64;
+                // REGL tol 2.5 over exports at i+0.6: match is x - 0.4.
+                let expect = x - 0.4;
+                assert_eq!(*m, Some(ts(expect)));
+                let owned = dest.owned();
+                for r in owned.row0..owned.row_end() {
+                    for c in owned.col0..owned.col_end() {
+                        assert_eq!(dest.get(r, c), expect * 1e6 + (r * 32 + c) as f64);
+                    }
+                }
+            }
+        }
+        // Stats are read after every import completed: each exporter rank
+        // transferred exactly its share of the 3 matched objects.
+        let stats = pair.shutdown().unwrap();
+        for s in &stats {
+            assert_eq!(s.sends, 3, "{s:?}");
+            assert_eq!(s.exports, 60);
+        }
+    }
+
+    /// Buddy-help must not change what is transferred, only how much is
+    /// buffered.
+    #[test]
+    fn buddy_help_transfers_identical_data() {
+        let run = |buddy: bool| {
+            let (mut pair, exp_d, imp_d) = pair(buddy);
+            let mut threads = Vec::new();
+            for rank in 0..4 {
+                let mut h = pair.take_exporter(rank);
+                let owned = exp_d.owned(rank);
+                threads.push(std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let t = 1.6 + i as f64;
+                        let data = LocalArray::from_fn(owned, |r, c| {
+                            t + ((r * 37 + c * 11) % 97) as f64
+                        });
+                        // Slow the last rank so buddy-help has someone to help.
+                        if rank == 3 {
+                            std::thread::sleep(Duration::from_micros(300));
+                        }
+                        h.export(ts(t), &data).unwrap();
+                    }
+                }));
+            }
+            let mut imp = pair.take_importer(0);
+            let owned = imp_d.owned(0);
+            let mut sums = Vec::new();
+            for j in 1..=2 {
+                let mut dest = LocalArray::zeros(owned);
+                let m = imp.import(ts(20.0 * j as f64), &mut dest).unwrap();
+                sums.push((m, dest.sum()));
+            }
+            let mut imp1 = pair.take_importer(1);
+            let owned1 = imp_d.owned(1);
+            for j in 1..=2 {
+                let mut dest = LocalArray::zeros(owned1);
+                imp1.import(ts(20.0 * j as f64), &mut dest).unwrap();
+            }
+            for t in threads {
+                t.join().unwrap();
+            }
+            drop(imp);
+            drop(imp1);
+            pair.shutdown().unwrap();
+            sums
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn no_match_import_returns_none() {
+        let (mut pair, exp_d, imp_d) = pair(true);
+        let mut exp_threads = Vec::new();
+        for rank in 0..4 {
+            let mut h = pair.take_exporter(rank);
+            let owned = exp_d.owned(rank);
+            exp_threads.push(std::thread::spawn(move || {
+                // Exports jump straight over [17.5, 20].
+                for t in [1.0, 10.0, 17.0, 21.0, 30.0] {
+                    let data = LocalArray::zeros(owned);
+                    h.export(ts(t), &data).unwrap();
+                }
+            }));
+        }
+        let mut imp_threads = Vec::new();
+        for rank in 0..2 {
+            let mut h = pair.take_importer(rank);
+            let owned = imp_d.owned(rank);
+            imp_threads.push(std::thread::spawn(move || {
+                let mut dest = LocalArray::zeros(owned);
+                h.import(ts(20.0), &mut dest).unwrap()
+            }));
+        }
+        for t in exp_threads {
+            t.join().unwrap();
+        }
+        for t in imp_threads {
+            assert_eq!(t.join().unwrap(), None);
+        }
+        pair.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stats_reflect_skips_with_slow_exporter() {
+        let (mut pair, exp_d, imp_d) = pair(true);
+        // Importer requests first, then the exporter (slowly) produces: with
+        // buddy-help the non-matching exports in flight should skip.
+        let mut imp_threads = Vec::new();
+        for rank in 0..2 {
+            let mut h = pair.take_importer(rank);
+            let owned = imp_d.owned(rank);
+            imp_threads.push(std::thread::spawn(move || {
+                let mut dest = LocalArray::zeros(owned);
+                h.import(ts(20.0), &mut dest).unwrap()
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let mut exp_threads = Vec::new();
+        for rank in 0..4 {
+            let mut h = pair.take_exporter(rank);
+            let owned = exp_d.owned(rank);
+            exp_threads.push(std::thread::spawn(move || {
+                let mut skips = 0;
+                for i in 0..25 {
+                    let t = 1.6 + i as f64;
+                    let data = LocalArray::zeros(owned);
+                    let out = h.export(ts(t), &data).unwrap();
+                    if out.action == crate::des::coupled::ActionKind::Skip {
+                        skips += 1;
+                    }
+                }
+                skips
+            }));
+        }
+        let mut total_skips = 0;
+        for t in exp_threads {
+            total_skips += t.join().unwrap();
+        }
+        for t in imp_threads {
+            assert_eq!(t.join().unwrap(), Some(ts(19.6)));
+        }
+        // The request (region [17.5, 20]) was known before any export, so
+        // exports 1.6 .. 16.6 skip on every rank.
+        assert!(total_skips >= 4 * 16, "skips = {total_skips}");
+        pair.shutdown().unwrap();
+    }
+
+    #[test]
+    fn bounded_buffer_blocks_export_until_request_frees_space() {
+        let e = Extent2::new(8, 8);
+        let exp = Decomposition::row_block(e, 1).unwrap();
+        let imp = Decomposition::row_block(e, 1).unwrap();
+        let mut cfg = PairConfig::new(exp, imp, MatchPolicy::RegL, 2.5, true);
+        cfg.buffer_capacity = Some(5);
+        cfg.import_timeout = Duration::from_secs(10);
+        let mut pair = CoupledPair::new(cfg).unwrap();
+        let mut exporter = pair.take_exporter(0);
+        let mut importer = pair.take_importer(0);
+        let owned = exp.owned(0);
+        let exporter_thread = std::thread::spawn(move || {
+            let data = LocalArray::zeros(owned);
+            let start = Instant::now();
+            // The sixth export must block until the importer's request frees
+            // the first five buffered objects. (Exports stop at 21.6: with a
+            // single request, anything buffered beyond it stays buffered, so
+            // running further would legitimately fill the buffer again.)
+            for i in 1..=20 {
+                exporter.export(ts(1.6 + i as f64), &data).unwrap();
+            }
+            (exporter.stats(), start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(200));
+        let mut dest = LocalArray::zeros(imp.owned(0));
+        let m = importer.import(ts(20.0), &mut dest).unwrap();
+        assert_eq!(m, Some(ts(19.6)));
+        let (stats, elapsed) = exporter_thread.join().unwrap();
+        assert!(stats.buffer_full_stalls > 0, "{stats:?}");
+        assert!(stats.buffered_hwm <= 5);
+        assert!(
+            elapsed >= Duration::from_millis(150),
+            "exporter should have blocked: {elapsed:?}"
+        );
+        drop(importer);
+        pair.shutdown().unwrap();
+    }
+
+    #[test]
+    fn import_timeout_fires() {
+        let e = Extent2::new(8, 8);
+        let exp = Decomposition::row_block(e, 1).unwrap();
+        let imp = Decomposition::row_block(e, 1).unwrap();
+        let mut cfg = PairConfig::new(exp, imp, MatchPolicy::RegL, 1.0, true);
+        cfg.import_timeout = Duration::from_millis(100);
+        let mut pair = CoupledPair::new(cfg).unwrap();
+        let mut h = pair.take_importer(0);
+        let mut dest = LocalArray::zeros(imp.owned(0));
+        // Nobody ever exports: the import must time out, not hang.
+        assert_eq!(h.import(ts(5.0), &mut dest), Err(ThreadedError::Timeout));
+        drop(h);
+        pair.shutdown().unwrap();
+    }
+
+    #[test]
+    fn collective_violation_surfaces_at_shutdown() {
+        let e = Extent2::new(8, 8);
+        let exp = Decomposition::row_block(e, 2).unwrap();
+        let imp = Decomposition::row_block(e, 1).unwrap();
+        let mut cfg = PairConfig::new(exp, imp, MatchPolicy::RegL, 1.0, true);
+        cfg.import_timeout = Duration::from_millis(500);
+        let mut pair = CoupledPair::new(cfg).unwrap();
+        let mut e0 = pair.take_exporter(0);
+        let mut e1 = pair.take_exporter(1);
+        let d0 = LocalArray::zeros(exp.owned(0));
+        let d1 = LocalArray::zeros(exp.owned(1));
+        // Rank 0 and rank 1 export different timestamp sequences — a direct
+        // Property 1 violation. Both export past the request's region so each
+        // reaches a *definitive* (and conflicting) local answer.
+        e0.export(ts(4.5), &d0).unwrap();
+        e1.export(ts(4.8), &d1).unwrap();
+        let imp_h = pair.take_importer(0);
+        let owned = imp.owned(0);
+        let import_result = std::thread::spawn(move || {
+            let mut imp_h = imp_h;
+            let mut dest = LocalArray::zeros(owned);
+            imp_h.import(ts(5.0), &mut dest).map(|m| m.map(|t| t.value()))
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        e0.export(ts(6.0), &d0).unwrap();
+        e1.export(ts(6.5), &d1).unwrap();
+        let _ = import_result.join().unwrap();
+        drop(e0);
+        drop(e1);
+        let res = pair.shutdown();
+        assert!(
+            matches!(res, Err(ThreadedError::RepFailed(_))),
+            "expected a rep failure, got {res:?}"
+        );
+    }
+}

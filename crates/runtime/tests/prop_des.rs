@@ -1,0 +1,119 @@
+//! Property-based tests of the discrete-event coupled simulation: for random
+//! (but well-posed) configurations, the run completes every guaranteed
+//! transfer, is deterministic, and buddy-help never changes what is
+//! transferred.
+
+use couplink_layout::{Decomposition, Extent2};
+use couplink_runtime::{CostModel, CoupledConfig, CoupledSim};
+use couplink_time::MatchPolicy;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Cfg {
+    exp_procs_grid: (usize, usize),
+    imp_procs: usize,
+    policy: MatchPolicy,
+    tolerance: f64,
+    windows: usize,
+    slow_factor: f64,
+    importer_compute: f64,
+    buddy_help: bool,
+}
+
+fn cfg() -> impl Strategy<Value = Cfg> {
+    (
+        prop_oneof![Just((1usize, 1usize)), Just((2, 1)), Just((2, 2))],
+        1usize..6,
+        prop_oneof![
+            Just(MatchPolicy::RegL),
+            Just(MatchPolicy::RegU),
+            Just(MatchPolicy::Reg)
+        ],
+        0.7f64..4.9,
+        1usize..6,
+        1.0f64..20.0,
+        1e-5f64..1e-2,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(exp_procs_grid, imp_procs, policy, tolerance, windows, slow_factor, importer_compute, buddy_help)| Cfg {
+                exp_procs_grid,
+                imp_procs,
+                policy,
+                tolerance,
+                windows,
+                slow_factor,
+                importer_compute,
+                buddy_help,
+            },
+        )
+}
+
+fn build(c: &Cfg) -> CoupledConfig {
+    let grid = Extent2::new(16, 16);
+    let (pr, pc) = c.exp_procs_grid;
+    let exporter_decomp = Decomposition::block_2d(grid, pr, pc).unwrap();
+    let importer_decomp = Decomposition::row_block(grid, c.imp_procs).unwrap();
+    let ne = exporter_decomp.procs();
+    let mut exporter_compute = vec![1e-4; ne];
+    exporter_compute[ne - 1] = 1e-4 * c.slow_factor;
+    CoupledConfig {
+        exporter_decomp,
+        importer_decomp,
+        policy: c.policy,
+        tolerance: c.tolerance,
+        buddy_help: c.buddy_help,
+        // Exports at x.6 cover every request window with margin.
+        exports: c.windows * 20 + 25,
+        export_t0: 1.6,
+        export_dt: 1.0,
+        imports: c.windows,
+        import_t0: 20.0,
+        import_dt: 20.0,
+        exporter_compute,
+        importer_compute: c.importer_compute,
+        importer_startup: 0.0,
+        cost: CostModel::default(),
+        buffer_capacity: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With exports at `x.6` every time unit and tolerance ≥ 0.7, every
+    /// request at a multiple of 20 has a match under every policy: all
+    /// importer ranks finish, every exporter rank sends one piece per
+    /// request, and no collective violation fires.
+    #[test]
+    fn all_guaranteed_transfers_complete(c in cfg()) {
+        let report = CoupledSim::new(build(&c)).unwrap().run().unwrap();
+        prop_assert_eq!(&report.importer_done, &vec![c.windows; c.imp_procs]);
+        for stats in &report.stats {
+            prop_assert_eq!(stats.sends, c.windows as u64, "{:?}", stats);
+            prop_assert_eq!(stats.requests, c.windows as u64);
+        }
+    }
+
+    /// Identical configurations produce identical reports (virtual-time
+    /// determinism), and buddy-help changes only buffering effort.
+    #[test]
+    fn deterministic_and_transfer_invariant(c in cfg()) {
+        let a = CoupledSim::new(build(&c)).unwrap().run().unwrap();
+        let b = CoupledSim::new(build(&c)).unwrap().run().unwrap();
+        prop_assert_eq!(&a.export_time_series, &b.export_time_series);
+        prop_assert_eq!(&a.action_series, &b.action_series);
+        prop_assert_eq!(a.duration, b.duration);
+
+        let mut flipped = c.clone();
+        flipped.buddy_help = !c.buddy_help;
+        let f = CoupledSim::new(build(&flipped)).unwrap().run().unwrap();
+        prop_assert_eq!(&f.importer_done, &a.importer_done);
+        for (x, y) in a.stats.iter().zip(f.stats.iter()) {
+            prop_assert_eq!(x.sends, y.sends);
+            // The run with buddy-help enabled never copies more.
+            let (with, without) = if c.buddy_help { (x, y) } else { (y, x) };
+            prop_assert!(with.memcpys <= without.memcpys);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Export histories and request streams — the increasing-timestamp invariants.
+
+use crate::timestamp::Timestamp;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Violation of the increasing-timestamp invariants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HistoryError {
+    /// A new export/request timestamp was not strictly greater than the last.
+    NotIncreasing {
+        /// The last accepted timestamp.
+        last: Timestamp,
+        /// The offending new timestamp.
+        offered: Timestamp,
+    },
+    /// A queried timestamp fell below the pruning watermark, so the history
+    /// can no longer answer questions about it.
+    BelowWatermark {
+        /// The current watermark.
+        watermark: Timestamp,
+        /// The timestamp asked about.
+        asked: Timestamp,
+    },
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::NotIncreasing { last, offered } => write!(
+                f,
+                "timestamp {offered} is not strictly greater than the previous {last}"
+            ),
+            HistoryError::BelowWatermark { watermark, asked } => write!(
+                f,
+                "timestamp {asked} is below the pruning watermark {watermark}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+/// The strictly increasing sequence of timestamps exported so far on one
+/// region, with safe pruning of entries that can no longer matter.
+///
+/// The matching engine queries this structure for the in-region candidates of
+/// an acceptable region. Because both exports and requests increase, entries
+/// below the lower bound of the most recent request's region can never be a
+/// candidate again and may be pruned ([`ExportHistory::prune_below`]).
+#[derive(Debug, Clone, Default)]
+pub struct ExportHistory {
+    /// Retained timestamps, strictly increasing.
+    entries: VecDeque<Timestamp>,
+    /// Latest timestamp ever recorded (survives pruning).
+    latest: Option<Timestamp>,
+    /// Everything strictly below this may have been pruned.
+    watermark: Option<Timestamp>,
+    /// Total number of timestamps ever recorded.
+    recorded: u64,
+}
+
+impl ExportHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a new exported timestamp; must exceed all previous ones.
+    pub fn record(&mut self, t: Timestamp) -> Result<(), HistoryError> {
+        if let Some(last) = self.latest {
+            if t <= last {
+                return Err(HistoryError::NotIncreasing { last, offered: t });
+            }
+        }
+        self.entries.push_back(t);
+        self.latest = Some(t);
+        self.recorded += 1;
+        Ok(())
+    }
+
+    /// The most recent exported timestamp, if any.
+    #[inline]
+    pub fn latest(&self) -> Option<Timestamp> {
+        self.latest
+    }
+
+    /// Total number of timestamps ever recorded (pruned ones included).
+    #[inline]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Number of timestamps currently retained.
+    #[inline]
+    pub fn retained(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Discards all retained entries strictly below `bound`.
+    ///
+    /// Safe whenever the caller knows no future acceptable region can extend
+    /// below `bound` (requests increase, so region lower bounds do too).
+    pub fn prune_below(&mut self, bound: Timestamp) {
+        while let Some(&front) = self.entries.front() {
+            if front < bound {
+                self.entries.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.watermark = Some(match self.watermark {
+            Some(w) => w.max(bound),
+            None => bound,
+        });
+    }
+
+    /// The pruning watermark: queries about timestamps below it may be
+    /// answered incompletely and return [`HistoryError::BelowWatermark`].
+    #[inline]
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.watermark
+    }
+
+    /// The largest retained timestamp in the closed interval `[lo, hi]`.
+    ///
+    /// A found candidate is always correct, even if `lo` dips below the
+    /// pruning watermark: every pruned entry is strictly below the watermark
+    /// and hence below any retained candidate, so it could not have been the
+    /// maximum. Only when *no* retained candidate exists and `lo` is below
+    /// the watermark is the answer unknowable, and an error is returned.
+    pub fn max_in(&self, lo: Timestamp, hi: Timestamp) -> Result<Option<Timestamp>, HistoryError> {
+        // Binary search for the partition point of `> hi`.
+        let idx = self.entries.partition_point(|&t| t <= hi);
+        if idx > 0 {
+            let candidate = self.entries[idx - 1];
+            if candidate >= lo {
+                return Ok(Some(candidate));
+            }
+        }
+        self.check_watermark(lo)?;
+        Ok(None)
+    }
+
+    /// The smallest retained timestamp in the closed interval `[lo, hi]`.
+    pub fn min_in(&self, lo: Timestamp, hi: Timestamp) -> Result<Option<Timestamp>, HistoryError> {
+        self.check_watermark(lo)?;
+        let idx = self.entries.partition_point(|&t| t < lo);
+        if idx == self.entries.len() {
+            return Ok(None);
+        }
+        let candidate = self.entries[idx];
+        Ok(if candidate <= hi { Some(candidate) } else { None })
+    }
+
+    /// Whether the exact timestamp `t` is retained.
+    pub fn contains(&self, t: Timestamp) -> Result<bool, HistoryError> {
+        self.check_watermark(t)?;
+        Ok(self
+            .entries
+            .binary_search_by(|probe| probe.cmp(&t))
+            .is_ok())
+    }
+
+    fn check_watermark(&self, asked: Timestamp) -> Result<(), HistoryError> {
+        if let Some(w) = self.watermark {
+            if asked < w {
+                return Err(HistoryError::BelowWatermark { watermark: w, asked });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The strictly increasing sequence of request timestamps on one connection.
+///
+/// The paper's temporal-consistency model requires import requests to arrive
+/// with increasing timestamps; this type enforces that and remembers the most
+/// recent request, which bounds future acceptable regions from below.
+#[derive(Debug, Clone, Default)]
+pub struct RequestStream {
+    last: Option<Timestamp>,
+    count: u64,
+}
+
+impl RequestStream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts the next request timestamp; must exceed all previous ones.
+    pub fn accept(&mut self, t: Timestamp) -> Result<(), HistoryError> {
+        if let Some(last) = self.last {
+            if t <= last {
+                return Err(HistoryError::NotIncreasing { last, offered: t });
+            }
+        }
+        self.last = Some(t);
+        self.count += 1;
+        Ok(())
+    }
+
+    /// The most recent accepted request timestamp.
+    #[inline]
+    pub fn last(&self) -> Option<Timestamp> {
+        self.last
+    }
+
+    /// Number of requests accepted.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestamp::ts;
+
+    #[test]
+    fn record_requires_strict_increase() {
+        let mut h = ExportHistory::new();
+        h.record(ts(1.0)).unwrap();
+        h.record(ts(2.0)).unwrap();
+        let err = h.record(ts(2.0)).unwrap_err();
+        assert_eq!(
+            err,
+            HistoryError::NotIncreasing {
+                last: ts(2.0),
+                offered: ts(2.0)
+            }
+        );
+        assert!(h.record(ts(1.5)).is_err());
+        assert_eq!(h.latest(), Some(ts(2.0)));
+        assert_eq!(h.recorded(), 2);
+    }
+
+    #[test]
+    fn max_min_in_interval() {
+        let mut h = ExportHistory::new();
+        for i in 1..=10 {
+            h.record(ts(i as f64)).unwrap();
+        }
+        assert_eq!(h.max_in(ts(2.5), ts(7.5)).unwrap(), Some(ts(7.0)));
+        assert_eq!(h.min_in(ts(2.5), ts(7.5)).unwrap(), Some(ts(3.0)));
+        assert_eq!(h.max_in(ts(10.5), ts(20.0)).unwrap(), None);
+        assert_eq!(h.min_in(ts(0.0), ts(0.5)).unwrap(), None);
+        // Closed-interval endpoints are included.
+        assert_eq!(h.max_in(ts(3.0), ts(3.0)).unwrap(), Some(ts(3.0)));
+        assert_eq!(h.min_in(ts(3.0), ts(3.0)).unwrap(), Some(ts(3.0)));
+    }
+
+    #[test]
+    fn empty_history_has_no_candidates() {
+        let h = ExportHistory::new();
+        assert_eq!(h.latest(), None);
+        assert_eq!(h.max_in(ts(0.0), ts(100.0)).unwrap(), None);
+        assert_eq!(h.min_in(ts(0.0), ts(100.0)).unwrap(), None);
+    }
+
+    #[test]
+    fn pruning_drops_entries_and_sets_watermark() {
+        let mut h = ExportHistory::new();
+        for i in 1..=10 {
+            h.record(ts(i as f64)).unwrap();
+        }
+        h.prune_below(ts(5.0));
+        assert_eq!(h.retained(), 6); // 5..=10
+        assert_eq!(h.watermark(), Some(ts(5.0)));
+        // Queries entirely above the watermark still work.
+        assert_eq!(h.max_in(ts(5.0), ts(10.0)).unwrap(), Some(ts(10.0)));
+        // A query dipping below the watermark is fine when a retained
+        // candidate answers it (the candidate dominates anything pruned) ...
+        assert_eq!(h.max_in(ts(4.0), ts(10.0)).unwrap(), Some(ts(10.0)));
+        // ... but errors when no retained candidate exists, because a pruned
+        // entry might have been the answer.
+        assert!(matches!(
+            h.max_in(ts(3.0), ts(4.5)),
+            Err(HistoryError::BelowWatermark { .. })
+        ));
+        // Latest survives pruning.
+        h.prune_below(ts(100.0));
+        assert_eq!(h.retained(), 0);
+        assert_eq!(h.latest(), Some(ts(10.0)));
+    }
+
+    #[test]
+    fn watermark_is_monotone() {
+        let mut h = ExportHistory::new();
+        h.record(ts(1.0)).unwrap();
+        h.prune_below(ts(5.0));
+        h.prune_below(ts(3.0)); // must not lower the watermark
+        assert_eq!(h.watermark(), Some(ts(5.0)));
+    }
+
+    #[test]
+    fn contains_exact() {
+        let mut h = ExportHistory::new();
+        h.record(ts(1.5)).unwrap();
+        h.record(ts(2.5)).unwrap();
+        assert!(h.contains(ts(1.5)).unwrap());
+        assert!(!h.contains(ts(2.0)).unwrap());
+    }
+
+    #[test]
+    fn request_stream_enforces_increase() {
+        let mut r = RequestStream::new();
+        r.accept(ts(20.0)).unwrap();
+        r.accept(ts(40.0)).unwrap();
+        assert!(r.accept(ts(40.0)).is_err());
+        assert!(r.accept(ts(30.0)).is_err());
+        assert_eq!(r.last(), Some(ts(40.0)));
+        assert_eq!(r.count(), 2);
+    }
+}

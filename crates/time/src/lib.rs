@@ -1,0 +1,39 @@
+//! Simulation time, match policies and the approximate matching engine.
+//!
+//! The coupling framework described in Wu & Sussman (IPDPS 2007) associates an
+//! increasing *simulation timestamp* with every data object exported from (or
+//! imported into) a region. An import request carries the timestamp the
+//! importer wants; the framework answers it with *approximate matching*: a
+//! per-connection [`MatchPolicy`] and [`Tolerance`] define an
+//! [`AcceptableRegion`] around the requested timestamp, and the exported
+//! timestamp inside that region closest to the request is the match.
+//!
+//! Because exports arrive over time, evaluating a request against the exports
+//! seen *so far* yields one of three results ([`MatchResult`]):
+//!
+//! * [`MatchResult::Match`] — the best match is decided and can never be
+//!   improved by a future export,
+//! * [`MatchResult::NoMatch`] — no export fell inside the acceptable region
+//!   and none ever can,
+//! * [`MatchResult::Pending`] — a future export might still be (a better)
+//!   match.
+//!
+//! The engine in [`matching`] is pure and deterministic: it is the single
+//! source of truth used by every process of an exporting program, which is
+//! what makes the paper's Property 1 (collective consistency) hold — all
+//! processes evaluating the same request against the same (eventual) export
+//! sequence reach the same decision.
+
+#![warn(missing_docs)]
+
+pub mod history;
+pub mod matching;
+pub mod policy;
+pub mod schedule;
+pub mod timestamp;
+
+pub use history::{ExportHistory, HistoryError, RequestStream};
+pub use matching::{evaluate, MatchResult};
+pub use policy::{AcceptableRegion, MatchPolicy, Tolerance};
+pub use schedule::PeriodicSchedule;
+pub use timestamp::{ts, Timestamp, TimestampError};

@@ -1,0 +1,346 @@
+//! The approximate matching engine: evaluating a request against the exports
+//! seen so far.
+
+use crate::history::{ExportHistory, HistoryError};
+use crate::policy::{AcceptableRegion, MatchPolicy};
+use crate::timestamp::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The result of evaluating one import request against an export history.
+///
+/// `Pending` is the distinguishing feature of *approximate* matching: the
+/// best match cannot yet be decided, either because no acceptable export has
+/// been generated or because a future export might be closer to the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchResult {
+    /// The match is decided: this exported timestamp satisfies the request
+    /// and no future export can improve on it.
+    Match(Timestamp),
+    /// No exported timestamp fell in the acceptable region, and none ever
+    /// will (the exporter has already moved past the region).
+    NoMatch,
+    /// The best match cannot yet be decided.
+    Pending,
+}
+
+impl MatchResult {
+    /// Whether this result is final (not [`MatchResult::Pending`]).
+    #[inline]
+    pub fn is_decided(self) -> bool {
+        !matches!(self, MatchResult::Pending)
+    }
+
+    /// The matched timestamp, if this is a [`MatchResult::Match`].
+    #[inline]
+    pub fn matched(self) -> Option<Timestamp> {
+        match self {
+            MatchResult::Match(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MatchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchResult::Match(t) => write!(f, "MATCH({t})"),
+            MatchResult::NoMatch => write!(f, "NO MATCH"),
+            MatchResult::Pending => write!(f, "PENDING"),
+        }
+    }
+}
+
+/// Evaluates `region` against the exports recorded in `history`.
+///
+/// The decision is *final-by-construction*: once this returns
+/// [`MatchResult::Match`] or [`MatchResult::NoMatch`] for a region, appending
+/// further (strictly larger) exports to the history can never change the
+/// answer. This is what lets one fast process decide for its whole program
+/// (Property 1) and what makes buddy-help sound.
+///
+/// Decision rules, exploiting that exports strictly increase:
+///
+/// * `REGL` (`[x−tol, x]`): candidates are below-or-at `x`; a later export
+///   closer to `x` may still arrive, so the result stays `Pending` until the
+///   history's latest export reaches `x`. Then the largest in-region export
+///   is the match (or `NoMatch` if the exporter jumped the region).
+/// * `REGU` (`[x, x+tol]`): the first in-region export is the closest one
+///   possible, so it decides immediately; an export beyond `x+tol` without a
+///   candidate decides `NoMatch`.
+/// * `REG` (`[x−tol, x+tol]`): pending until the latest export reaches `x`;
+///   then the closer of {largest export ≤ x, smallest export ≥ x} in-region
+///   wins, ties resolving to the earlier timestamp.
+///
+/// # Example
+///
+/// ```
+/// use couplink_time::{evaluate, ts, ExportHistory, MatchPolicy, MatchResult, Tolerance};
+///
+/// let mut history = ExportHistory::new();
+/// for i in 1..=21 {
+///     history.record(ts(i as f64 + 0.6))?;
+/// }
+/// // REGL with tolerance 2.5: the acceptable region for a request at 20
+/// // is [17.5, 20], and the closest export at-or-below 20 wins.
+/// let region = MatchPolicy::RegL.region(ts(20.0), Tolerance::new(2.5).unwrap());
+/// assert_eq!(evaluate(&region, &history)?, MatchResult::Match(ts(19.6)));
+/// # Ok::<(), couplink_time::HistoryError>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`HistoryError::BelowWatermark`] if the history was pruned past
+/// the region's lower bound, which would make the answer unreliable.
+pub fn evaluate(
+    region: &AcceptableRegion,
+    history: &ExportHistory,
+) -> Result<MatchResult, HistoryError> {
+    let latest = match history.latest() {
+        Some(l) => l,
+        None => return Ok(MatchResult::Pending),
+    };
+    let x = region.request();
+    match region.policy() {
+        MatchPolicy::RegL => {
+            if latest < region.hi() {
+                return Ok(MatchResult::Pending);
+            }
+            let best = history.max_in(region.lo(), region.hi())?;
+            Ok(best.map_or(MatchResult::NoMatch, MatchResult::Match))
+        }
+        MatchPolicy::RegU => {
+            let best = history.min_in(region.lo(), region.hi())?;
+            match best {
+                Some(t) => Ok(MatchResult::Match(t)),
+                None if latest > region.hi() => Ok(MatchResult::NoMatch),
+                None => Ok(MatchResult::Pending),
+            }
+        }
+        MatchPolicy::Reg => {
+            if latest < x {
+                return Ok(MatchResult::Pending);
+            }
+            let below = history.max_in(region.lo(), x)?;
+            let above = history.min_in(x, region.hi())?;
+            let best = match (below, above) {
+                (Some(b), Some(a)) => Some(region.prefer(b, a)),
+                (Some(b), None) => Some(b),
+                (None, Some(a)) => Some(a),
+                (None, None) => None,
+            };
+            Ok(best.map_or(MatchResult::NoMatch, MatchResult::Match))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{MatchPolicy, Tolerance};
+    use crate::timestamp::ts;
+
+    fn history(times: &[f64]) -> ExportHistory {
+        let mut h = ExportHistory::new();
+        for &t in times {
+            h.record(ts(t)).unwrap();
+        }
+        h
+    }
+
+    fn regl(x: f64, tol: f64) -> AcceptableRegion {
+        MatchPolicy::RegL.region(ts(x), Tolerance::new(tol).unwrap())
+    }
+    fn regu(x: f64, tol: f64) -> AcceptableRegion {
+        MatchPolicy::RegU.region(ts(x), Tolerance::new(tol).unwrap())
+    }
+    fn reg(x: f64, tol: f64) -> AcceptableRegion {
+        MatchPolicy::Reg.region(ts(x), Tolerance::new(tol).unwrap())
+    }
+
+    // --- the paper's Figure 5 scenario: REGL, tol 2.5, request @20 ---
+
+    #[test]
+    fn figure5_pending_before_region_upper_bound() {
+        // Exports 1.6, 2.6, ..., 14.6 then a request for D@20 arrives:
+        // acceptable region [17.5, 20], latest export 14.6 → PENDING.
+        let h = history(&(1..=14).map(|i| i as f64 + 0.6).collect::<Vec<_>>());
+        assert_eq!(evaluate(&regl(20.0, 2.5), &h).unwrap(), MatchResult::Pending);
+    }
+
+    #[test]
+    fn figure5_match_once_region_passed() {
+        // The fastest process has exported up to 20.6 → match is D@19.6.
+        let h = history(&(1..=20).map(|i| i as f64 + 0.6).collect::<Vec<_>>());
+        assert_eq!(
+            evaluate(&regl(20.0, 2.5), &h).unwrap(),
+            MatchResult::Match(ts(19.6))
+        );
+    }
+
+    #[test]
+    fn regl_exact_hit_decides_immediately() {
+        let h = history(&[18.0, 20.0]);
+        assert_eq!(
+            evaluate(&regl(20.0, 2.5), &h).unwrap(),
+            MatchResult::Match(ts(20.0))
+        );
+    }
+
+    #[test]
+    fn regl_in_region_candidate_is_still_pending() {
+        // 19.0 is acceptable but 19.5 could still arrive → PENDING.
+        let h = history(&[19.0]);
+        assert_eq!(evaluate(&regl(20.0, 2.5), &h).unwrap(), MatchResult::Pending);
+    }
+
+    #[test]
+    fn regl_no_match_when_region_jumped() {
+        // Exporter jumped from 17.0 straight past 20 → nothing in [17.5, 20].
+        let h = history(&[17.0, 21.0]);
+        assert_eq!(evaluate(&regl(20.0, 2.5), &h).unwrap(), MatchResult::NoMatch);
+    }
+
+    #[test]
+    fn regl_picks_largest_candidate() {
+        let h = history(&[17.5, 18.5, 19.5, 20.5]);
+        assert_eq!(
+            evaluate(&regl(20.0, 2.5), &h).unwrap(),
+            MatchResult::Match(ts(19.5))
+        );
+    }
+
+    #[test]
+    fn empty_history_is_pending() {
+        let h = ExportHistory::new();
+        assert_eq!(evaluate(&regl(20.0, 2.5), &h).unwrap(), MatchResult::Pending);
+        assert_eq!(evaluate(&regu(20.0, 2.5), &h).unwrap(), MatchResult::Pending);
+        assert_eq!(evaluate(&reg(20.0, 2.5), &h).unwrap(), MatchResult::Pending);
+    }
+
+    // --- REGU ---
+
+    #[test]
+    fn regu_first_in_region_export_decides() {
+        let h = history(&[9.0, 10.1]);
+        assert_eq!(
+            evaluate(&regu(10.0, 0.3), &h).unwrap(),
+            MatchResult::Match(ts(10.1))
+        );
+    }
+
+    #[test]
+    fn regu_pending_below_region() {
+        let h = history(&[9.0, 9.9]);
+        assert_eq!(evaluate(&regu(10.0, 0.3), &h).unwrap(), MatchResult::Pending);
+    }
+
+    #[test]
+    fn regu_no_match_when_jumped() {
+        let h = history(&[9.0, 10.4]);
+        assert_eq!(evaluate(&regu(10.0, 0.3), &h).unwrap(), MatchResult::NoMatch);
+    }
+
+    #[test]
+    fn regu_exact_hit() {
+        let h = history(&[10.0]);
+        assert_eq!(
+            evaluate(&regu(10.0, 0.3), &h).unwrap(),
+            MatchResult::Match(ts(10.0))
+        );
+    }
+
+    // --- REG ---
+
+    #[test]
+    fn reg_pending_until_request_reached() {
+        // 9.95 is in [9.9, 10.1] but an export at 10.0 would be better.
+        let h = history(&[9.95]);
+        assert_eq!(evaluate(&reg(10.0, 0.1), &h).unwrap(), MatchResult::Pending);
+    }
+
+    #[test]
+    fn reg_decides_on_first_export_at_or_above_request() {
+        // Equidistant candidates (up to float rounding): the earlier one wins.
+        let h = history(&[9.95, 10.05]);
+        assert_eq!(
+            evaluate(&reg(10.0, 0.1), &h).unwrap(),
+            MatchResult::Match(ts(9.95))
+        );
+    }
+
+    #[test]
+    fn reg_below_candidate_wins_when_closer() {
+        let h = history(&[9.99, 10.05]);
+        assert_eq!(
+            evaluate(&reg(10.0, 0.1), &h).unwrap(),
+            MatchResult::Match(ts(9.99))
+        );
+    }
+
+    #[test]
+    fn reg_tie_resolves_to_earlier() {
+        let h = history(&[9.5, 10.5]);
+        assert_eq!(
+            evaluate(&reg(10.0, 1.0), &h).unwrap(),
+            MatchResult::Match(ts(9.5))
+        );
+    }
+
+    #[test]
+    fn reg_no_match_when_region_empty_and_passed() {
+        let h = history(&[8.0, 11.0]);
+        assert_eq!(evaluate(&reg(10.0, 0.5), &h).unwrap(), MatchResult::NoMatch);
+    }
+
+    #[test]
+    fn reg_above_only() {
+        let h = history(&[8.0, 10.4]);
+        assert_eq!(
+            evaluate(&reg(10.0, 0.5), &h).unwrap(),
+            MatchResult::Match(ts(10.4))
+        );
+    }
+
+    // --- pruning interaction ---
+
+    #[test]
+    fn evaluate_after_safe_prune_is_identical() {
+        let mut h = history(&(1..=25).map(|i| i as f64 + 0.6).collect::<Vec<_>>());
+        let r = regl(20.0, 2.5);
+        let before = evaluate(&r, &h).unwrap();
+        h.prune_below(r.lo());
+        assert_eq!(evaluate(&r, &h).unwrap(), before);
+    }
+
+    #[test]
+    fn evaluate_after_unsafe_prune_errors() {
+        // 18.0 was the only in-region export and it was pruned away: the
+        // engine must refuse to answer rather than claim NO MATCH.
+        let mut h = history(&[18.0, 21.0]);
+        h.prune_below(ts(19.0));
+        assert!(evaluate(&regl(20.0, 2.5), &h).is_err());
+    }
+
+    #[test]
+    fn evaluate_with_retained_candidate_survives_deep_prune() {
+        // Pruning past the region's lower bound is harmless as long as a
+        // retained candidate can answer the query: anything pruned was
+        // smaller and could not have been the REGL match.
+        let mut h = history(&[18.0, 19.0, 21.0]);
+        h.prune_below(ts(19.0));
+        assert_eq!(
+            evaluate(&regl(20.0, 2.5), &h).unwrap(),
+            MatchResult::Match(ts(19.0))
+        );
+    }
+
+    #[test]
+    fn decidedness_helpers() {
+        assert!(MatchResult::Match(ts(1.0)).is_decided());
+        assert!(MatchResult::NoMatch.is_decided());
+        assert!(!MatchResult::Pending.is_decided());
+        assert_eq!(MatchResult::Match(ts(1.0)).matched(), Some(ts(1.0)));
+        assert_eq!(MatchResult::NoMatch.matched(), None);
+    }
+}

@@ -1,0 +1,273 @@
+//! Match policies, tolerances and acceptable regions.
+
+use crate::timestamp::{Timestamp, TimestampError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A per-connection approximate-matching policy.
+///
+/// Given a requested timestamp `x` and a [`Tolerance`] `tol`, the policy
+/// defines the *acceptable region* of exported timestamps that may satisfy
+/// the request (§3.1 of the paper):
+///
+/// * `RegL` → `[x − tol, x]` (only older-or-equal data is acceptable),
+/// * `RegU` → `[x, x + tol]` (only newer-or-equal data is acceptable),
+/// * `Reg`  → `[x − tol, x + tol]` (both directions).
+///
+/// Among the exported timestamps inside the region, the one **closest to
+/// `x`** is the match. For `Reg`, an exact distance tie between a candidate
+/// below `x` and one above resolves to the *earlier* timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchPolicy {
+    /// `REGL`: acceptable region `[x − tol, x]`.
+    RegL,
+    /// `REGU`: acceptable region `[x, x + tol]`.
+    RegU,
+    /// `REG`: acceptable region `[x − tol, x + tol]`.
+    Reg,
+}
+
+impl MatchPolicy {
+    /// Builds the acceptable region for a request at `request` with `tol`.
+    pub fn region(self, request: Timestamp, tol: Tolerance) -> AcceptableRegion {
+        let t = tol.value();
+        let (lo, hi) = match self {
+            MatchPolicy::RegL => (request.offset(-t), request),
+            MatchPolicy::RegU => (request, request.offset(t)),
+            MatchPolicy::Reg => (request.offset(-t), request.offset(t)),
+        };
+        AcceptableRegion {
+            policy: self,
+            request,
+            lo,
+            hi,
+        }
+    }
+
+    /// Canonical configuration-file spelling (`REGL`, `REGU`, `REG`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MatchPolicy::RegL => "REGL",
+            MatchPolicy::RegU => "REGU",
+            MatchPolicy::Reg => "REG",
+        }
+    }
+}
+
+impl fmt::Display for MatchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing a [`MatchPolicy`] from its configuration-file spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(pub String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown match policy `{}` (expected REGL, REGU or REG)", self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for MatchPolicy {
+    type Err = ParsePolicyError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "REGL" => Ok(MatchPolicy::RegL),
+            "REGU" => Ok(MatchPolicy::RegU),
+            "REG" => Ok(MatchPolicy::Reg),
+            other => Err(ParsePolicyError(other.to_owned())),
+        }
+    }
+}
+
+/// A non-negative, finite matching tolerance (the paper's "precision").
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Tolerance(f64);
+
+impl Tolerance {
+    /// Creates a tolerance; must be finite and ≥ 0.
+    pub fn new(value: f64) -> Result<Self, TimestampError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(Tolerance(value))
+        } else {
+            Err(TimestampError::NotFinite)
+        }
+    }
+
+    /// The raw tolerance value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Tolerance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The closed interval of exported timestamps acceptable for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceptableRegion {
+    policy: MatchPolicy,
+    request: Timestamp,
+    lo: Timestamp,
+    hi: Timestamp,
+}
+
+impl AcceptableRegion {
+    /// The policy that produced this region.
+    #[inline]
+    pub fn policy(&self) -> MatchPolicy {
+        self.policy
+    }
+
+    /// The requested timestamp `x`.
+    #[inline]
+    pub fn request(&self) -> Timestamp {
+        self.request
+    }
+
+    /// Inclusive lower bound.
+    #[inline]
+    pub fn lo(&self) -> Timestamp {
+        self.lo
+    }
+
+    /// Inclusive upper bound.
+    #[inline]
+    pub fn hi(&self) -> Timestamp {
+        self.hi
+    }
+
+    /// Whether `t` lies inside the (closed) region.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.lo <= t && t <= self.hi
+    }
+
+    /// Whether this region overlaps another.
+    pub fn overlaps(&self, other: &AcceptableRegion) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Of two in-region candidates, returns the one preferred as the match.
+    ///
+    /// Preference is distance to the request; on an exact tie the earlier
+    /// timestamp wins (only reachable under [`MatchPolicy::Reg`]).
+    pub fn prefer(&self, a: Timestamp, b: Timestamp) -> Timestamp {
+        debug_assert!(self.contains(a) && self.contains(b));
+        let da = a.distance(self.request);
+        let db = b.distance(self.request);
+        if da < db || (da == db && a <= b) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+impl fmt::Display for AcceptableRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}, {}] for {}",
+            self.policy,
+            self.lo.value(),
+            self.hi.value(),
+            self.request
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestamp::ts;
+
+    fn tol(v: f64) -> Tolerance {
+        Tolerance::new(v).unwrap()
+    }
+
+    #[test]
+    fn regl_region_bounds() {
+        let r = MatchPolicy::RegL.region(ts(20.0), tol(2.5));
+        assert_eq!(r.lo(), ts(17.5));
+        assert_eq!(r.hi(), ts(20.0));
+        assert!(r.contains(ts(17.5)));
+        assert!(r.contains(ts(20.0)));
+        assert!(!r.contains(ts(20.1)));
+        assert!(!r.contains(ts(17.4)));
+    }
+
+    #[test]
+    fn regu_region_bounds() {
+        let r = MatchPolicy::RegU.region(ts(10.0), tol(0.3));
+        assert_eq!(r.lo(), ts(10.0));
+        assert_eq!(r.hi(), ts(10.3));
+    }
+
+    #[test]
+    fn reg_region_bounds() {
+        let r = MatchPolicy::Reg.region(ts(10.0), tol(0.1));
+        assert_eq!(r.lo(), ts(9.9));
+        assert_eq!(r.hi(), ts(10.1));
+    }
+
+    #[test]
+    fn zero_tolerance_is_exact_matching() {
+        let r = MatchPolicy::Reg.region(ts(5.0), tol(0.0));
+        assert_eq!(r.lo(), ts(5.0));
+        assert_eq!(r.hi(), ts(5.0));
+        assert!(r.contains(ts(5.0)));
+        assert!(!r.contains(ts(5.0000001)));
+    }
+
+    #[test]
+    fn negative_tolerance_rejected() {
+        assert!(Tolerance::new(-0.1).is_err());
+        assert!(Tolerance::new(f64::NAN).is_err());
+        assert!(Tolerance::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn policy_parse_roundtrip() {
+        for p in [MatchPolicy::RegL, MatchPolicy::RegU, MatchPolicy::Reg] {
+            assert_eq!(p.as_str().parse::<MatchPolicy>().unwrap(), p);
+        }
+        assert!("regl".parse::<MatchPolicy>().is_err());
+        assert!("REGX".parse::<MatchPolicy>().is_err());
+    }
+
+    #[test]
+    fn prefer_closest() {
+        let r = MatchPolicy::Reg.region(ts(10.0), tol(5.0));
+        assert_eq!(r.prefer(ts(9.0), ts(12.0)), ts(9.0));
+        assert_eq!(r.prefer(ts(12.0), ts(9.0)), ts(9.0));
+        assert_eq!(r.prefer(ts(9.5), ts(10.2)), ts(10.2));
+    }
+
+    #[test]
+    fn prefer_tie_resolves_earlier() {
+        let r = MatchPolicy::Reg.region(ts(10.0), tol(5.0));
+        assert_eq!(r.prefer(ts(9.0), ts(11.0)), ts(9.0));
+        assert_eq!(r.prefer(ts(11.0), ts(9.0)), ts(9.0));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = MatchPolicy::RegL.region(ts(20.0), tol(2.5));
+        let b = MatchPolicy::RegL.region(ts(22.0), tol(2.5));
+        let c = MatchPolicy::RegL.region(ts(40.0), tol(2.5));
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+}

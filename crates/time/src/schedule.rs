@@ -1,0 +1,130 @@
+//! Periodic timestamp schedules — the `t₀ + i·Δt` patterns every timestep
+//! loop in the paper uses (`F` exports at `1.6, 2.6, …`; `U` imports at
+//! `20, 40, …`).
+
+use crate::timestamp::{Timestamp, TimestampError};
+use serde::{Deserialize, Serialize};
+
+/// A strictly increasing arithmetic sequence of timestamps.
+///
+/// # Example
+///
+/// ```
+/// use couplink_time::{PeriodicSchedule, ts};
+///
+/// let exports = PeriodicSchedule::new(1.6, 1.0)?;
+/// assert_eq!(exports.at(0)?, ts(1.6));
+/// assert_eq!(exports.at(18)?, ts(19.6));
+/// // The last export at-or-below a request timestamp (the REGL match
+/// // candidate when the tolerance covers the gap):
+/// assert_eq!(exports.last_index_at_or_below(ts(20.0)), Some(18));
+/// # Ok::<(), couplink_time::TimestampError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicSchedule {
+    t0: f64,
+    dt: f64,
+}
+
+impl PeriodicSchedule {
+    /// Creates a schedule starting at `t0` with step `dt` (finite, > 0).
+    pub fn new(t0: f64, dt: f64) -> Result<Self, TimestampError> {
+        if !t0.is_finite() || !dt.is_finite() || dt <= 0.0 {
+            return Err(TimestampError::NotFinite);
+        }
+        Ok(PeriodicSchedule { t0, dt })
+    }
+
+    /// The first timestamp.
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+
+    /// The step.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The `i`-th timestamp, `t0 + i·dt`.
+    pub fn at(&self, i: usize) -> Result<Timestamp, TimestampError> {
+        Timestamp::new(self.t0 + i as f64 * self.dt)
+    }
+
+    /// The largest index whose timestamp is `≤ t`, if any.
+    pub fn last_index_at_or_below(&self, t: Timestamp) -> Option<usize> {
+        let k = (t.value() - self.t0) / self.dt;
+        if k < 0.0 {
+            None
+        } else {
+            Some(k.floor() as usize)
+        }
+    }
+
+    /// The smallest index whose timestamp is `≥ t` (0 if `t` precedes the
+    /// schedule).
+    pub fn first_index_at_or_above(&self, t: Timestamp) -> usize {
+        let k = (t.value() - self.t0) / self.dt;
+        if k <= 0.0 {
+            0
+        } else {
+            k.ceil() as usize
+        }
+    }
+
+    /// Iterates the first `n` timestamps.
+    pub fn take(&self, n: usize) -> impl Iterator<Item = Timestamp> + '_ {
+        (0..n).map(move |i| self.at(i).expect("finite schedule prefix"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestamp::ts;
+
+    #[test]
+    fn rejects_degenerate_steps() {
+        assert!(PeriodicSchedule::new(0.0, 0.0).is_err());
+        assert!(PeriodicSchedule::new(0.0, -1.0).is_err());
+        assert!(PeriodicSchedule::new(f64::NAN, 1.0).is_err());
+        assert!(PeriodicSchedule::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn indexing() {
+        let s = PeriodicSchedule::new(1.6, 1.0).unwrap();
+        assert_eq!(s.at(0).unwrap(), ts(1.6));
+        assert_eq!(s.at(13).unwrap(), ts(14.6));
+        let imports = PeriodicSchedule::new(20.0, 20.0).unwrap();
+        assert_eq!(imports.at(2).unwrap(), ts(60.0));
+    }
+
+    #[test]
+    fn boundary_searches() {
+        let s = PeriodicSchedule::new(1.6, 1.0).unwrap();
+        assert_eq!(s.last_index_at_or_below(ts(20.0)), Some(18)); // 19.6
+        assert_eq!(s.last_index_at_or_below(ts(19.6)), Some(18)); // exact
+        assert_eq!(s.last_index_at_or_below(ts(1.0)), None);
+        assert_eq!(s.first_index_at_or_above(ts(17.5)), 16); // 17.6
+        assert_eq!(s.first_index_at_or_above(ts(0.0)), 0);
+        assert_eq!(s.first_index_at_or_above(ts(2.6)), 1); // exact hit
+    }
+
+    #[test]
+    fn take_iterates_prefix() {
+        let s = PeriodicSchedule::new(0.5, 0.25).unwrap();
+        let v: Vec<f64> = s.take(4).map(|t| t.value()).collect();
+        assert_eq!(v, vec![0.5, 0.75, 1.0, 1.25]);
+    }
+
+    #[test]
+    fn schedule_feeds_a_history_legally() {
+        use crate::history::ExportHistory;
+        let s = PeriodicSchedule::new(1.6, 1.0).unwrap();
+        let mut h = ExportHistory::new();
+        for t in s.take(100) {
+            h.record(t).unwrap();
+        }
+        assert_eq!(h.recorded(), 100);
+    }
+}

@@ -1,0 +1,174 @@
+//! Finite, totally ordered simulation timestamps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error constructing a [`Timestamp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimestampError {
+    /// The value was NaN or infinite.
+    NotFinite,
+}
+
+impl fmt::Display for TimestampError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimestampError::NotFinite => write!(f, "timestamp must be a finite number"),
+        }
+    }
+}
+
+impl std::error::Error for TimestampError {}
+
+/// A simulation timestamp: a finite `f64` with a total order.
+///
+/// Timestamps are the currency of the coupling framework: every exported data
+/// object carries one, every import request asks for one, and both sequences
+/// must be strictly increasing per region (enforced by
+/// [`crate::ExportHistory`] / [`crate::RequestStream`]).
+///
+/// The inner value is guaranteed finite, so `Ord`/`Eq` are well defined.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Timestamp(f64);
+
+impl Timestamp {
+    /// The smallest representable timestamp; useful as a watermark sentinel.
+    pub const MIN: Timestamp = Timestamp(f64::MIN);
+    /// The largest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(f64::MAX);
+    /// Time zero.
+    pub const ZERO: Timestamp = Timestamp(0.0);
+
+    /// Creates a timestamp, rejecting NaN and infinities.
+    pub fn new(value: f64) -> Result<Self, TimestampError> {
+        if value.is_finite() {
+            Ok(Timestamp(value))
+        } else {
+            Err(TimestampError::NotFinite)
+        }
+    }
+
+    /// Returns the raw value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Offsets this timestamp by `delta` (saturating at the finite range).
+    ///
+    /// Used to build acceptable-region bounds (`x - tol`, `x + tol`).
+    pub fn offset(self, delta: f64) -> Timestamp {
+        debug_assert!(delta.is_finite());
+        let v = self.0 + delta;
+        if v.is_finite() {
+            Timestamp(v)
+        } else if v > 0.0 {
+            Timestamp::MAX
+        } else {
+            Timestamp::MIN
+        }
+    }
+
+    /// Absolute distance to another timestamp.
+    #[inline]
+    pub fn distance(self, other: Timestamp) -> f64 {
+        (self.0 - other.0).abs()
+    }
+}
+
+impl Eq for Timestamp {}
+
+impl PartialOrd for Timestamp {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Timestamp {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Inner values are finite, so partial_cmp never fails.
+        self.0.partial_cmp(&other.0).expect("timestamps are finite")
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Timestamp {
+    type Error = TimestampError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Timestamp::new(value)
+    }
+}
+
+/// Convenience constructor for tests and examples; panics on non-finite input.
+pub fn ts(value: f64) -> Timestamp {
+    Timestamp::new(value).expect("finite timestamp")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_nan_and_infinity() {
+        assert_eq!(Timestamp::new(f64::NAN), Err(TimestampError::NotFinite));
+        assert_eq!(
+            Timestamp::new(f64::INFINITY),
+            Err(TimestampError::NotFinite)
+        );
+        assert_eq!(
+            Timestamp::new(f64::NEG_INFINITY),
+            Err(TimestampError::NotFinite)
+        );
+    }
+
+    #[test]
+    fn accepts_finite_values() {
+        assert!(Timestamp::new(0.0).is_ok());
+        assert!(Timestamp::new(-1.5e300).is_ok());
+        assert!(Timestamp::new(f64::MAX).is_ok());
+    }
+
+    #[test]
+    fn total_order() {
+        let a = ts(1.0);
+        let b = ts(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(ts(3.0), ts(3.0));
+    }
+
+    #[test]
+    fn offset_saturates() {
+        assert_eq!(Timestamp::MAX.offset(f64::MAX), Timestamp::MAX);
+        assert_eq!(Timestamp::MIN.offset(f64::MIN), Timestamp::MIN);
+        assert_eq!(ts(1.0).offset(2.5), ts(3.5));
+        assert_eq!(ts(1.0).offset(-2.5), ts(-1.5));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        assert_eq!(ts(1.0).distance(ts(4.0)), 3.0);
+        assert_eq!(ts(4.0).distance(ts(1.0)), 3.0);
+        assert_eq!(ts(2.0).distance(ts(2.0)), 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ts(19.6).to_string(), "@19.6");
+    }
+
+    #[test]
+    fn try_from_f64() {
+        assert_eq!(Timestamp::try_from(2.5).unwrap(), ts(2.5));
+        assert!(Timestamp::try_from(f64::NAN).is_err());
+    }
+}

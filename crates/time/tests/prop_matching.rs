@@ -1,0 +1,182 @@
+//! Property-based tests for the approximate matching engine.
+//!
+//! These check the invariants the buddy-help optimization relies on:
+//! finality (a decided result never changes as more exports arrive),
+//! best-candidate optimality, and pruning safety.
+
+use couplink_time::{evaluate, ts, ExportHistory, MatchPolicy, MatchResult, Tolerance};
+use proptest::prelude::*;
+
+/// Strategy: a strictly increasing export sequence of 0..60 timestamps in a
+/// modest range with irregular gaps.
+fn export_seq() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..5.0, 0..60).prop_map(|gaps| {
+        let mut acc = 0.0;
+        gaps.iter()
+            .map(|g| {
+                acc += *g;
+                acc
+            })
+            .collect()
+    })
+}
+
+fn any_policy() -> impl Strategy<Value = MatchPolicy> {
+    prop_oneof![
+        Just(MatchPolicy::RegL),
+        Just(MatchPolicy::RegU),
+        Just(MatchPolicy::Reg),
+    ]
+}
+
+fn build(times: &[f64]) -> ExportHistory {
+    let mut h = ExportHistory::new();
+    for &t in times {
+        h.record(ts(t)).unwrap();
+    }
+    h
+}
+
+proptest! {
+    /// Finality: once a prefix of the export sequence decides the request,
+    /// every longer prefix reaches the same decision. This is the soundness
+    /// condition for buddy-help — the fastest process's answer must be the
+    /// answer every slower process eventually computes.
+    #[test]
+    fn decisions_are_final(
+        exports in export_seq(),
+        policy in any_policy(),
+        request in 0.0f64..120.0,
+        tol in 0.0f64..10.0,
+    ) {
+        let region = policy.region(ts(request), Tolerance::new(tol).unwrap());
+        let mut decided: Option<MatchResult> = None;
+        let mut h = ExportHistory::new();
+        for &t in &exports {
+            h.record(ts(t)).unwrap();
+            let r = evaluate(&region, &h).unwrap();
+            if let Some(d) = decided {
+                prop_assert_eq!(r, d, "decision changed after more exports");
+            } else if r.is_decided() {
+                decided = Some(r);
+            }
+        }
+    }
+
+    /// A matched timestamp is always an in-region member of the history, and
+    /// no other in-region export is strictly closer to the request.
+    #[test]
+    fn match_is_best_in_region(
+        exports in export_seq(),
+        policy in any_policy(),
+        request in 0.0f64..120.0,
+        tol in 0.0f64..10.0,
+    ) {
+        let region = policy.region(ts(request), Tolerance::new(tol).unwrap());
+        let h = build(&exports);
+        if let MatchResult::Match(m) = evaluate(&region, &h).unwrap() {
+            prop_assert!(region.contains(m));
+            prop_assert!(exports.iter().any(|&t| ts(t) == m));
+            let dm = m.distance(region.request());
+            for &t in &exports {
+                let t = ts(t);
+                if region.contains(t) {
+                    prop_assert!(
+                        t.distance(region.request()) >= dm,
+                        "{} is closer than match {}", t, m
+                    );
+                }
+            }
+        }
+    }
+
+    /// NoMatch implies the region really is empty of exports and the
+    /// exporter has moved past it.
+    #[test]
+    fn no_match_is_justified(
+        exports in export_seq(),
+        policy in any_policy(),
+        request in 0.0f64..120.0,
+        tol in 0.0f64..10.0,
+    ) {
+        let region = policy.region(ts(request), Tolerance::new(tol).unwrap());
+        let h = build(&exports);
+        if evaluate(&region, &h).unwrap() == MatchResult::NoMatch {
+            for &t in &exports {
+                prop_assert!(!region.contains(ts(t)));
+            }
+            let latest = h.latest().expect("NoMatch needs at least one export");
+            prop_assert!(latest > region.hi());
+        }
+    }
+
+    /// Pending implies a future export could still (better) match: there is
+    /// some strictly larger timestamp whose arrival would change or set the
+    /// match.
+    #[test]
+    fn pending_is_justified(
+        exports in export_seq(),
+        policy in any_policy(),
+        request in 0.0f64..120.0,
+        tol in 0.0f64..10.0,
+    ) {
+        let region = policy.region(ts(request), Tolerance::new(tol).unwrap());
+        let h = build(&exports);
+        if evaluate(&region, &h).unwrap() == MatchResult::Pending {
+            // Appending an export exactly at the request timestamp (or just
+            // above the latest if that's already past) must be legal and
+            // decide the request as a Match — i.e. the engine was right to
+            // keep waiting.
+            let mut h2 = h.clone();
+            let probe = match h2.latest() {
+                Some(l) if l >= region.request() => l.offset(1e-9),
+                _ => region.request(),
+            };
+            if region.contains(probe) {
+                h2.record(probe).unwrap();
+                prop_assert_eq!(
+                    evaluate(&region, &h2).unwrap(),
+                    MatchResult::Match(probe)
+                );
+            }
+        }
+    }
+
+    /// Pruning below the region lower bound never changes the decision.
+    #[test]
+    fn prune_below_region_is_safe(
+        exports in export_seq(),
+        policy in any_policy(),
+        request in 0.0f64..120.0,
+        tol in 0.0f64..10.0,
+    ) {
+        let region = policy.region(ts(request), Tolerance::new(tol).unwrap());
+        let mut h = build(&exports);
+        let before = evaluate(&region, &h).unwrap();
+        h.prune_below(region.lo());
+        prop_assert_eq!(evaluate(&region, &h).unwrap(), before);
+    }
+
+    /// Collective consistency (Property 1 core): any two processes that have
+    /// seen different-length prefixes of the same export sequence can only
+    /// disagree in that the shorter one is Pending. MATCH vs NO MATCH, or two
+    /// different matched timestamps, are impossible.
+    #[test]
+    fn prefixes_never_conflict(
+        exports in export_seq(),
+        policy in any_policy(),
+        request in 0.0f64..120.0,
+        tol in 0.0f64..10.0,
+        split in 0usize..60,
+    ) {
+        let region = policy.region(ts(request), Tolerance::new(tol).unwrap());
+        let split = split.min(exports.len());
+        let fast = build(&exports);
+        let slow = build(&exports[..split]);
+        let rf = evaluate(&region, &fast).unwrap();
+        let rs = evaluate(&region, &slow).unwrap();
+        if rs.is_decided() {
+            prop_assert_eq!(rs, rf);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! The `couplink-examples` package only carries runnable example binaries:
+//!
+//! * `quickstart` — minimal exporter/importer pair (paper Figure 1).
+//! * `diffusion_coupling` — the §5 micro-benchmark end to end on real
+//!   threads: wave solver + halo exchange importing an analytic forcing.
+//! * `multirate_config` — a Figure-2 style config-driven deployment with
+//!   one exported region feeding two importers at different rates/policies.
+//! * `fig4_des` — one Figure-4 panel on the deterministic simulator with an
+//!   ASCII per-window export-time profile.

@@ -1,0 +1,1 @@
+//! Test-only package: the actual tests live in `tests/tests/`.

@@ -1,0 +1,155 @@
+//! Failure injection: Property 1 violations must be detected, not silently
+//! tolerated — through the protocol machines and through the public API.
+
+use couplink::prelude::*;
+use couplink_proto::{
+    ExporterRep, ImporterRep, PortError, ProcResponse, Rank, RepAnswer, RepError, RequestId,
+};
+use couplink_runtime::threaded::ThreadedError;
+use couplink_time::ts;
+use std::time::Duration;
+
+// --- protocol-machine level ---
+
+#[test]
+fn rep_rejects_match_no_match_mixture() {
+    let mut rep = ExporterRep::new(3, true);
+    rep.on_import_request(RequestId(0), ts(20.0)).unwrap();
+    rep.on_response(Rank(0), RequestId(0), ProcResponse::Match(ts(19.6)))
+        .unwrap();
+    rep.on_response(Rank(1), RequestId(0), ProcResponse::Pending { latest: None })
+        .unwrap();
+    let err = rep
+        .on_response(Rank(2), RequestId(0), ProcResponse::NoMatch)
+        .unwrap_err();
+    assert!(matches!(err, RepError::CollectiveViolation { .. }));
+}
+
+#[test]
+fn rep_rejects_conflicting_match_timestamps_even_after_completion() {
+    let mut rep = ExporterRep::new(2, true);
+    rep.on_import_request(RequestId(0), ts(20.0)).unwrap();
+    rep.on_response(Rank(0), RequestId(0), ProcResponse::Match(ts(19.6)))
+        .unwrap();
+    let fx = rep
+        .on_response(Rank(1), RequestId(0), ProcResponse::Pending { latest: None })
+        .unwrap();
+    assert_eq!(fx.completed, Some(RequestId(0)));
+    // A late, conflicting local resolution from rank 1 must still trip the
+    // violation detector.
+    let err = rep
+        .on_response(Rank(1), RequestId(0), ProcResponse::Match(ts(18.6)))
+        .unwrap_err();
+    assert!(matches!(err, RepError::CollectiveViolation { .. }));
+    // A late *consistent* one is fine.
+    let mut rep = ExporterRep::new(2, true);
+    rep.on_import_request(RequestId(0), ts(20.0)).unwrap();
+    rep.on_response(Rank(0), RequestId(0), ProcResponse::Match(ts(19.6)))
+        .unwrap();
+    rep.on_response(Rank(1), RequestId(0), ProcResponse::Pending { latest: None })
+        .unwrap();
+    rep.on_response(Rank(1), RequestId(0), ProcResponse::Match(ts(19.6)))
+        .unwrap();
+}
+
+#[test]
+fn importer_rep_rejects_diverging_collective_import_calls() {
+    let mut rep = ImporterRep::new(2);
+    rep.on_import_call(Rank(0), ts(20.0)).unwrap();
+    let err = rep.on_import_call(Rank(1), ts(20.5)).unwrap_err();
+    assert!(matches!(err, RepError::CollectiveViolation { .. }));
+}
+
+#[test]
+fn port_rejects_buddy_help_contradicting_local_knowledge() {
+    use couplink_proto::{ConnectionId, ExportPort};
+    use couplink_time::{MatchPolicy, Tolerance};
+    let mut port = ExportPort::new(ConnectionId(0), MatchPolicy::RegL, Tolerance::new(2.5).unwrap());
+    for i in 1..=19 {
+        port.on_export(ts(i as f64 + 0.6)).unwrap();
+    }
+    port.on_request(RequestId(0), ts(20.0)).unwrap();
+    // The rep claims the match is 18.6, but this process has already
+    // exported 19.6, which would be a strictly better REGL match — the
+    // collective decision cannot be 18.6.
+    let err = port
+        .on_buddy_help(RequestId(0), RepAnswer::Match(ts(18.6)))
+        .unwrap_err();
+    assert!(matches!(err, PortError::CollectiveViolation { .. }), "{err:?}");
+}
+
+// --- public-API level ---
+
+#[test]
+fn diverging_export_sequences_fail_the_session() {
+    let config = couplink::config::parse("F c0 /bin/f 2\nU c0 /bin/u 1\n#\nF.r U.r REGL 1.0\n")
+        .unwrap();
+    let grid = Extent2::new(8, 8);
+    let f = Decomposition::row_block(grid, 2).unwrap();
+    let u = Decomposition::row_block(grid, 1).unwrap();
+    let mut session = SessionBuilder::new(config)
+        .bind("F", "r", f)
+        .bind("U", "r", u)
+        .import_timeout(Duration::from_millis(500))
+        .build()
+        .unwrap();
+    let mut fh = session.take_program("F").unwrap();
+    let mut uh = session.take_program("U").unwrap();
+    let mut p0 = fh.take_process(0);
+    let mut p1 = fh.take_process(1);
+    let d0 = LocalArray::zeros(f.owned(0));
+    let d1 = LocalArray::zeros(f.owned(1));
+    // Property 1 requires identical export sequences; these differ.
+    p0.export_region("r").unwrap().export(ts(4.5), &d0).unwrap();
+    p1.export_region("r").unwrap().export(ts(4.8), &d1).unwrap();
+    let mut uproc = uh.take_process(0);
+    let owned = u.owned(0);
+    let importer = std::thread::spawn(move || {
+        let mut dest = LocalArray::zeros(owned);
+        let _ = uproc.import_region("r").unwrap().import(ts(5.0), &mut dest);
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    // Both processes move past the region, reaching conflicting matches.
+    p0.export_region("r").unwrap().export(ts(6.0), &d0).unwrap();
+    p1.export_region("r").unwrap().export(ts(6.5), &d1).unwrap();
+    importer.join().unwrap();
+    drop(p0);
+    drop(p1);
+    let result = session.shutdown();
+    assert!(
+        matches!(
+            result,
+            Err(couplink::SessionError::Runtime(ThreadedError::RepFailed(_)))
+        ),
+        "expected a detected collective violation, got {result:?}"
+    );
+}
+
+#[test]
+fn non_increasing_exports_rejected_at_the_source() {
+    let config = couplink::config::parse("F c0 /bin/f 1\nU c0 /bin/u 1\n#\nF.r U.r REGL 1.0\n")
+        .unwrap();
+    let grid = Extent2::new(4, 4);
+    let d = Decomposition::row_block(grid, 1).unwrap();
+    let mut session = SessionBuilder::new(config)
+        .bind("F", "r", d)
+        .bind("U", "r", d)
+        .build()
+        .unwrap();
+    let mut fh = session.take_program("F").unwrap();
+    let mut p = fh.take_process(0);
+    let data = LocalArray::zeros(d.owned(0));
+    p.export_region("r").unwrap().export(ts(5.0), &data).unwrap();
+    let err = p
+        .export_region("r")
+        .unwrap()
+        .export(ts(5.0), &data)
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        couplink::SessionError::Runtime(ThreadedError::Port(PortError::History(_)))
+    ));
+    drop(p);
+    session.shutdown().unwrap();
+}

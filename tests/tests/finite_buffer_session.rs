@@ -1,0 +1,85 @@
+//! Finite framework buffers through the public session API: exports block
+//! on a full buffer and resume when the importer's requests free space,
+//! without changing what is transferred.
+
+use couplink::prelude::*;
+use std::time::Duration;
+
+fn run(buffer_capacity: Option<usize>) -> (Vec<Option<f64>>, Vec<couplink_proto::ExportStats>) {
+    let config = couplink::config::parse("F c0 /bin/f 2\nU c0 /bin/u 2\n#\nF.r U.r REGL 2.5\n")
+        .expect("valid config");
+    let grid = Extent2::new(16, 16);
+    let d2 = Decomposition::row_block(grid, 2).unwrap();
+    let mut builder = SessionBuilder::new(config)
+        .bind("F", "r", d2)
+        .bind("U", "r", d2)
+        .import_timeout(Duration::from_secs(20));
+    if let Some(cap) = buffer_capacity {
+        builder = builder.buffer_capacity(cap);
+    }
+    let mut session = builder.build().unwrap();
+    let mut f = session.take_program("F").unwrap();
+    let mut u = session.take_program("U").unwrap();
+
+    let mut threads = Vec::new();
+    for rank in 0..2 {
+        let mut proc = f.take_process(rank);
+        let owned = d2.owned(rank);
+        threads.push(std::thread::spawn(move || {
+            let region = proc.export_region("r").unwrap();
+            // 42 exports end at 42.6: after the final match (39.6) the tail
+            // 39.6..42.6 holds 4 objects, within the capacity-6 bound (a
+            // longer tail would legitimately fill the buffer for good —
+            // there is no later request to prune it).
+            for i in 0..42 {
+                let t = 1.6 + i as f64;
+                let data = LocalArray::from_fn(owned, |_, _| t);
+                region.export(ts(t), &data).unwrap();
+            }
+        }));
+    }
+    let mut results = Vec::new();
+    let mut imp_threads = Vec::new();
+    for rank in 0..2 {
+        let mut proc = u.take_process(rank);
+        let owned = d2.owned(rank);
+        imp_threads.push(std::thread::spawn(move || {
+            let region = proc.import_region("r").unwrap();
+            let mut got = Vec::new();
+            for j in 1..=2 {
+                // Slow importer: the exporter hits its buffer bound first.
+                std::thread::sleep(Duration::from_millis(60));
+                let mut dest = LocalArray::zeros(owned);
+                let m = region.import(ts(20.0 * j as f64), &mut dest).unwrap();
+                got.push(m.map(|t| t.value()));
+            }
+            got
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    for t in imp_threads {
+        results = t.join().unwrap();
+    }
+    let stats = session.shutdown().unwrap().remove(0);
+    (results, stats)
+}
+
+#[test]
+fn bounded_session_transfers_identically_but_stalls() {
+    let (unbounded_results, unbounded_stats) = run(None);
+    let (bounded_results, bounded_stats) = run(Some(6));
+    // Same matches either way.
+    assert_eq!(unbounded_results, bounded_results);
+    assert_eq!(bounded_results, vec![Some(19.6), Some(39.6)]);
+    // The bound was respected and actually bit.
+    for s in &bounded_stats {
+        assert!(s.buffered_hwm <= 6, "{s:?}");
+        assert!(s.buffer_full_stalls > 0, "{s:?}");
+    }
+    for s in &unbounded_stats {
+        assert_eq!(s.buffer_full_stalls, 0);
+        assert!(s.buffered_hwm > 6, "{s:?}");
+    }
+}

@@ -1,0 +1,234 @@
+//! Property-based oracle testing of the exporter buffer manager.
+//!
+//! For random export schedules, request streams and buddy-help timings, the
+//! port must (1) transfer exactly the objects a full-knowledge matcher says
+//! are the matches, (2) never skip the memcpy of an object that turns out to
+//! be a match, (3) behave observably identically with and without
+//! buddy-help, and (4) never copy *more* with buddy-help than without.
+
+use couplink_proto::{ConnectionId, ExportPort, RepAnswer, RequestId};
+use couplink_time::{
+    evaluate, ts, ExportHistory, MatchPolicy, MatchResult, Timestamp, Tolerance,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+struct Req {
+    x: f64,
+    /// Export index at which the forwarded request arrives.
+    arrival: usize,
+    /// Export indices after arrival at which buddy-help lands.
+    help_delay: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    policy: MatchPolicy,
+    tol: f64,
+    exports: Vec<f64>,
+    requests: Vec<Req>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    let policy = prop_oneof![
+        Just(MatchPolicy::RegL),
+        Just(MatchPolicy::RegU),
+        Just(MatchPolicy::Reg),
+    ];
+    (
+        policy,
+        0.0f64..8.0,
+        proptest::collection::vec(0.05f64..3.0, 10..60),
+        proptest::collection::vec((0.5f64..4.0, 0usize..60, 0usize..20), 0..5),
+    )
+        .prop_map(|(policy, tol, gaps, raw_reqs)| {
+            let mut acc = 0.0;
+            let exports: Vec<f64> = gaps
+                .iter()
+                .map(|g| {
+                    acc += *g;
+                    acc
+                })
+                .collect();
+            // Requests: strictly increasing timestamps, non-decreasing
+            // arrival positions (the rep forwards them in order).
+            let mut xs: Vec<f64> = raw_reqs.iter().map(|(dx, _, _)| *dx).collect();
+            let mut x_acc = 0.0;
+            for x in &mut xs {
+                x_acc += *x;
+                *x = x_acc;
+            }
+            let mut arrivals: Vec<usize> =
+                raw_reqs.iter().map(|(_, a, _)| *a % (exports.len() + 1)).collect();
+            arrivals.sort_unstable();
+            let requests = xs
+                .into_iter()
+                .zip(arrivals)
+                .zip(raw_reqs.iter().map(|(_, _, h)| *h))
+                .map(|((x, arrival), help_delay)| Req { x, arrival, help_delay })
+                .collect();
+            Scenario {
+                policy,
+                tol,
+                exports,
+                requests,
+            }
+        })
+}
+
+/// The full-knowledge matcher: the final answer for each request.
+fn oracle(s: &Scenario) -> Vec<MatchResult> {
+    let mut history = ExportHistory::new();
+    for &e in &s.exports {
+        history.record(ts(e)).unwrap();
+    }
+    let tol = Tolerance::new(s.tol).unwrap();
+    s.requests
+        .iter()
+        .map(|r| evaluate(&s.policy.region(ts(r.x), tol), &history).unwrap())
+        .collect()
+}
+
+#[derive(Debug, Default, PartialEq)]
+struct Observed {
+    /// Per request id: the timestamps transferred for it.
+    sends: BTreeMap<u64, Vec<Timestamp>>,
+    /// Timestamps whose memcpy was skipped.
+    skipped: Vec<Timestamp>,
+    memcpys: u64,
+}
+
+/// Drives one port through the scenario; with `buddy_help`, PENDING requests
+/// receive the oracle's final answer after their configured delay.
+fn drive(s: &Scenario, answers: &[MatchResult], buddy_help: bool) -> Observed {
+    let tol = Tolerance::new(s.tol).unwrap();
+    let mut port = ExportPort::new(ConnectionId(0), s.policy, tol);
+    let mut obs = Observed::default();
+    // (export index, request idx) at which help should be delivered.
+    let mut pending_help: Vec<(usize, usize)> = Vec::new();
+
+    let deliver_due_help = |port: &mut ExportPort,
+                                obs: &mut Observed,
+                                pending_help: &mut Vec<(usize, usize)>,
+                                now: usize| {
+        let due: Vec<(usize, usize)> = pending_help
+            .iter()
+            .copied()
+            .filter(|(at, _)| *at <= now)
+            .collect();
+        pending_help.retain(|(at, _)| *at > now);
+        for (_, req_idx) in due {
+            let answer = match answers[req_idx] {
+                MatchResult::Match(m) => RepAnswer::Match(m),
+                MatchResult::NoMatch => RepAnswer::NoMatch,
+                MatchResult::Pending => continue,
+            };
+            let fx = port
+                .on_buddy_help(RequestId(req_idx as u64), answer)
+                .expect("oracle-consistent buddy-help is always legal");
+            if let Some(m) = fx.send {
+                obs.sends.entry(req_idx as u64).or_default().push(m);
+            }
+        }
+    };
+
+    let mut next_req = 0usize;
+    for (i, &e) in s.exports.iter().enumerate() {
+        // Requests arriving before this export.
+        while next_req < s.requests.len() && s.requests[next_req].arrival <= i {
+            let r = &s.requests[next_req];
+            let fx = port
+                .on_request(RequestId(next_req as u64), ts(r.x))
+                .expect("well-formed request stream");
+            if let Some(m) = fx.send {
+                obs.sends.entry(next_req as u64).or_default().push(m);
+            }
+            if buddy_help && fx.response.decided().is_none() {
+                pending_help.push((i + r.help_delay, next_req));
+            }
+            next_req += 1;
+        }
+        if buddy_help {
+            deliver_due_help(&mut port, &mut obs, &mut pending_help, i);
+        }
+        let fx = port.on_export(ts(e)).expect("well-formed export stream");
+        match fx.action.expect("on_export decides") {
+            couplink_proto::ExportAction::Skip => obs.skipped.push(ts(e)),
+            couplink_proto::ExportAction::Buffer => obs.memcpys += 1,
+            couplink_proto::ExportAction::BufferAndSend { request } => {
+                obs.memcpys += 1;
+                obs.sends.entry(request.0).or_default().push(ts(e));
+            }
+        }
+        for r in &fx.resolutions {
+            if let Some(m) = r.send {
+                obs.sends.entry(r.request.0).or_default().push(m);
+            }
+        }
+    }
+    // Tail: requests arriving after the last export, and trailing help.
+    while next_req < s.requests.len() {
+        let r = &s.requests[next_req];
+        let fx = port
+            .on_request(RequestId(next_req as u64), ts(r.x))
+            .expect("well-formed request stream");
+        if let Some(m) = fx.send {
+            obs.sends.entry(next_req as u64).or_default().push(m);
+        }
+        if buddy_help && fx.response.decided().is_none() {
+            pending_help.push((usize::MAX - 1, next_req));
+        }
+        next_req += 1;
+    }
+    if buddy_help {
+        deliver_due_help(&mut port, &mut obs, &mut pending_help, usize::MAX - 1);
+    }
+    assert_eq!(obs.memcpys, port.stats().memcpys);
+    obs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The port transfers exactly the oracle's matches — once each — and
+    /// never skips a timestamp that is some request's match. Buddy-help
+    /// changes buffering effort, never the observable transfers.
+    #[test]
+    fn port_agrees_with_full_knowledge_oracle(s in scenario()) {
+        let answers = oracle(&s);
+        let with = drive(&s, &answers, true);
+        let without = drive(&s, &answers, false);
+
+        for (idx, ans) in answers.iter().enumerate() {
+            let idx64 = idx as u64;
+            match ans {
+                MatchResult::Match(m) => {
+                    prop_assert_eq!(
+                        with.sends.get(&idx64).map(Vec::as_slice),
+                        Some(&[*m][..]),
+                        "with-help transfer mismatch for request {}", idx
+                    );
+                    prop_assert_eq!(
+                        without.sends.get(&idx64).map(Vec::as_slice),
+                        Some(&[*m][..]),
+                        "without-help transfer mismatch for request {}", idx
+                    );
+                }
+                MatchResult::NoMatch | MatchResult::Pending => {
+                    prop_assert!(!with.sends.contains_key(&idx64));
+                    prop_assert!(!without.sends.contains_key(&idx64));
+                }
+            }
+        }
+        // Soundness of skipping: no skipped timestamp is anyone's match.
+        let matches: Vec<Timestamp> =
+            answers.iter().filter_map(|a| a.matched()).collect();
+        for skipped in with.skipped.iter().chain(without.skipped.iter()) {
+            prop_assert!(!matches.contains(skipped), "skipped a match {}", skipped);
+        }
+        // Buddy-help can only reduce buffering.
+        prop_assert!(with.memcpys <= without.memcpys);
+        prop_assert!(with.skipped.len() >= without.skipped.len());
+    }
+}

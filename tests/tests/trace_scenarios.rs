@@ -1,0 +1,126 @@
+//! Asserts the regenerated Figure 5/7/8 traces against the paper's line
+//! items.
+
+use couplink_bench::{figure5_trace, figure78_run};
+use couplink_proto::{ProcResponse, RepAnswer, TraceEvent};
+use couplink_time::ts;
+
+#[test]
+fn figure5_line_structure() {
+    let trace = figure5_trace();
+    let text = trace.render();
+
+    // Lines 1-4: fourteen buffered exports.
+    for i in 1..=14 {
+        assert!(
+            text.contains(&format!("export D@{}.6, call memcpy.", i)),
+            "missing buffered export {i}.6"
+        );
+    }
+    // Lines 5-7: the PENDING reply carries the latest exported timestamp
+    // (the paper's triple {D@20, PENDING, D@14.6}).
+    assert!(text.contains("receive request for D@20, reply {D@20, PENDING(latest @14.6)}."));
+    assert!(text.contains("remove D@1.6, ..., D@14.6."));
+    // Line 8: buddy-help with the final answer.
+    assert!(text.contains("receive buddy-help {D@20, YES @19.6}."));
+    // Lines 10-13: four skipped memcpys.
+    for t in ["15.6", "16.6", "17.6", "18.6"] {
+        assert!(
+            text.contains(&format!("export D@{t}, skip memcpy.")),
+            "missing skip at {t}"
+        );
+    }
+    // Lines 14-16: the match is copied and sent.
+    assert!(text.contains("export D@19.6, call memcpy."));
+    assert!(text.contains("send D@19.6 out."));
+    // Lines 17-20: inter-region exports buffer again.
+    assert!(text.contains("export D@20.6, call memcpy."));
+    assert!(text.contains("export D@31.6, call memcpy."));
+    // Lines 21-25: second request and its buddy-help.
+    assert!(text.contains("receive request for D@40, reply {D@40, PENDING(latest @31.6)}."));
+    assert!(text.contains("receive buddy-help {D@40, YES @39.6}."));
+    // Lines 26-29: seven skipped memcpys this time (the paper's 4 -> 7).
+    for t in ["32.6", "33.6", "34.6", "35.6", "36.6", "37.6", "38.6"] {
+        assert!(
+            text.contains(&format!("export D@{t}, skip memcpy.")),
+            "missing skip at {t}"
+        );
+    }
+    // Lines 30-33.
+    assert!(text.contains("send D@39.6 out."));
+    assert!(text.contains("export D@40.6, call memcpy."));
+}
+
+#[test]
+fn figure5_skips_grow_from_4_to_7() {
+    let trace = figure5_trace();
+    // Count skips between the two sends.
+    let mut phase = 0;
+    let mut skips = [0usize; 2];
+    for ev in trace.events() {
+        match ev {
+            TraceEvent::Send { m } if *m == ts(19.6) => phase = 1,
+            TraceEvent::Send { m } if *m == ts(39.6) => phase = 2,
+            TraceEvent::Export { copied: false, .. } if phase < 2 => skips[phase.min(1)] += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(skips, [4, 7], "the paper's growing skip counts");
+}
+
+#[test]
+fn figure7_exact_event_sequence() {
+    let run = figure78_run(true);
+    let expected = [
+        TraceEvent::Export { t: ts(1.6), copied: true },
+        TraceEvent::Export { t: ts(2.6), copied: true },
+        TraceEvent::Export { t: ts(3.6), copied: true },
+        TraceEvent::Request {
+            x: ts(10.0),
+            reply: ProcResponse::Pending { latest: Some(ts(3.6)) },
+        },
+        TraceEvent::Remove { freed: vec![ts(1.6), ts(2.6), ts(3.6)] },
+        TraceEvent::BuddyHelp { x: ts(10.0), answer: RepAnswer::Match(ts(9.6)) },
+        TraceEvent::Export { t: ts(4.6), copied: false },
+        TraceEvent::Export { t: ts(5.6), copied: false },
+        TraceEvent::Export { t: ts(6.6), copied: false },
+        TraceEvent::Export { t: ts(7.6), copied: false },
+        TraceEvent::Export { t: ts(8.6), copied: false },
+        TraceEvent::Export { t: ts(9.6), copied: true },
+        TraceEvent::Send { m: ts(9.6) },
+        TraceEvent::Export { t: ts(10.6), copied: true },
+        TraceEvent::Export { t: ts(11.6), copied: true },
+    ];
+    assert_eq!(run.trace.events(), &expected[..]);
+}
+
+#[test]
+fn figure8_supersession_chain() {
+    let run = figure78_run(false);
+    let text = run.trace.render();
+    // Line 7: D@4.6 is below the region [5.0, 10.0] and skips.
+    assert!(text.contains("export D@4.6, skip memcpy."));
+    // Lines 8-18: every candidate is copied and removes its predecessor.
+    assert!(text.contains("export D@5.6, call memcpy."));
+    for (t, prev) in [("6.6", "5.6"), ("7.6", "6.6"), ("8.6", "7.6"), ("9.6", "8.6")] {
+        assert!(text.contains(&format!("export D@{t}, call memcpy.")));
+        assert!(
+            text.contains(&format!("remove D@{prev}.")),
+            "candidate {prev} not superseded"
+        );
+    }
+    // Lines 19-21: the first export outside the region resolves the match.
+    assert!(text.contains("export D@10.6, call memcpy."));
+    assert!(text.contains("send D@9.6 out."));
+}
+
+#[test]
+fn figure7_vs_figure8_memcpy_counts() {
+    let with = figure78_run(true);
+    let without = figure78_run(false);
+    // Identical scenario, identical transfer; buddy-help converts the four
+    // in-region candidate copies (Equation 1's n(i) - 1 = 4) into skips.
+    assert_eq!(without.copied - with.copied, 4);
+    assert_eq!(with.unnecessary_in_region, 0);
+    assert_eq!(without.unnecessary_in_region, 4);
+}
