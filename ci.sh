@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run before every push:
+#
+#   ./ci.sh
+#
+# Three stages, all required:
+#   1. formatting      (cargo fmt --check)
+#   2. lints           (cargo clippy, warnings are errors)
+#   3. tier-1 tests    (release build + full test suite)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "CI OK"

@@ -68,7 +68,11 @@ fn bench_buffer_path(c: &mut Criterion) {
                 port.on_request(RequestId(0), ts(20.0)).unwrap();
                 port.on_buddy_help(RequestId(0), RepAnswer::Match(ts(19.0)))
                     .unwrap();
-                (port, BTreeMap::<couplink_time::Timestamp, Vec<f64>>::new(), 0u32)
+                (
+                    port,
+                    BTreeMap::<couplink_time::Timestamp, Vec<f64>>::new(),
+                    0u32,
+                )
             },
             |(mut port, mut store, mut i)| {
                 for _ in 0..16 {

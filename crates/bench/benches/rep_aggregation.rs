@@ -57,11 +57,8 @@ fn bench_importer_rep(c: &mut Criterion) {
                         for r in 0..procs {
                             rep.on_import_call(Rank(r as u32), ts(x)).unwrap();
                         }
-                        rep.on_answer(
-                            RequestId(j),
-                            couplink_proto::RepAnswer::Match(ts(x - 0.4)),
-                        )
-                        .unwrap();
+                        rep.on_answer(RequestId(j), couplink_proto::RepAnswer::Match(ts(x - 0.4)))
+                            .unwrap();
                     }
                     black_box(rep.issued())
                 },

@@ -10,12 +10,7 @@ use couplink_layout::{Decomposition, Extent2};
 use couplink_runtime::{CostModel, CoupledConfig, CoupledSim};
 use couplink_time::MatchPolicy;
 
-fn config(
-    policy: MatchPolicy,
-    tolerance: f64,
-    import_dt: f64,
-    buddy_help: bool,
-) -> CoupledConfig {
+fn config(policy: MatchPolicy, tolerance: f64, import_dt: f64, buddy_help: bool) -> CoupledConfig {
     let grid = Extent2::new(256, 256);
     CoupledConfig {
         exporter_decomp: Decomposition::block_2d(grid, 2, 2).unwrap(),

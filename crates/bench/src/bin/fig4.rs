@@ -8,7 +8,7 @@
 //! raw and window-averaged, plus the no-buddy-help baseline) and prints the
 //! summary rows reported in `EXPERIMENTS.md`.
 
-use couplink::series::{write_csv, window_mean, Column};
+use couplink::series::{window_mean, write_csv, Column};
 use couplink_diffusion::fig4::{fig4_config, Fig4Params, EXPORTS, SLOW_RANK};
 use couplink_runtime::{CoupledReport, CoupledSim};
 
@@ -28,7 +28,14 @@ fn main() {
     println!();
     println!(
         "{:<7} {:>10} {:>8} {:>8} {:>10} {:>12} {:>14} {:>14}",
-        "panel", "importers", "copies", "skips", "optimal@", "T_ub count", "mean ms (all)", "mean ms (tail)"
+        "panel",
+        "importers",
+        "copies",
+        "skips",
+        "optimal@",
+        "T_ub count",
+        "mean ms (all)",
+        "mean ms (tail)"
     );
 
     for (panel, u_procs) in [("(a)", 4usize), ("(b)", 8), ("(c)", 16), ("(d)", 32)] {
@@ -55,7 +62,10 @@ fn main() {
 
         let columns = vec![
             Column::new("export_seconds", series.clone()),
-            Column::new("export_seconds_window20", expand(&window_mean(series, 20), 20, series.len())),
+            Column::new(
+                "export_seconds_window20",
+                expand(&window_mean(series, 20), 20, series.len()),
+            ),
             Column::new(
                 "no_buddy_help_seconds",
                 without.export_time_series[SLOW_RANK].clone(),

@@ -8,7 +8,11 @@ use couplink_layout::{Decomposition, Extent2};
 use couplink_runtime::{CostModel, CoupledConfig, CoupledSim};
 use couplink_time::MatchPolicy;
 
-fn config(buffer_capacity: Option<usize>, buddy_help: bool, importer_compute: f64) -> CoupledConfig {
+fn config(
+    buffer_capacity: Option<usize>,
+    buddy_help: bool,
+    importer_compute: f64,
+) -> CoupledConfig {
     let grid = Extent2::new(256, 256);
     CoupledConfig {
         exporter_decomp: Decomposition::block_2d(grid, 2, 2).unwrap(),
@@ -38,7 +42,11 @@ fn main() {
         "capacity", "buddy-help", "importer", "stalls", "peak", "duration s", "done imports"
     );
     for &importer_compute in &[40.0e-3_f64, 5.0e-3] {
-        let importer = if importer_compute > 20.0e-3 { "slow" } else { "fast" };
+        let importer = if importer_compute > 20.0e-3 {
+            "slow"
+        } else {
+            "fast"
+        };
         for capacity in [None, Some(24), Some(8), Some(4)] {
             for buddy in [true, false] {
                 let report = CoupledSim::new(config(capacity, buddy, importer_compute))

@@ -5,53 +5,58 @@
 //! scenarios for Figures 5, 7 and 8 live here so the integration tests can
 //! assert their structure and the binaries can print them.
 
+use couplink_layout::{Decomposition, Extent2};
 use couplink_proto::{ExportPort, RepAnswer, RequestId, Trace};
+use couplink_runtime::{CostModel, CoupledConfig, CoupledSim};
 use couplink_time::{ts, MatchPolicy, Timestamp, Tolerance};
 
-/// Drives the paper's **Figure 5** scenario and returns the recorded trace:
-/// REGL with tolerance 2.5; the slow process exports at `1.6, 2.6, …`;
+/// Drives the paper's **Figure 5** scenario on the DES runtime and returns
+/// the event trace the runtime recorded on the slow exporter process: REGL
+/// with tolerance 2.5; the slow process exports at `1.6, 2.6, …`; the
 /// requests for `D@20` and `D@40` each arrive after 14 local exports of the
 /// corresponding window, and buddy-help announces the match (`19.6`, then
 /// `39.6`) before the process reaches it.
+///
+/// Unlike the seed's hand-scripted port driving, the trace here is emitted
+/// by the shared coupling engine while an actual coupled pair runs: three
+/// fast exporter processes resolve each request immediately (they are the
+/// buddy-help senders), and the timing of the importer's compute phase puts
+/// each request exactly 14 exports into the slow rank's window.
 pub fn figure5_trace() -> Trace {
-    let mut port = ExportPort::new(
-        couplink_proto::ConnectionId(0),
-        MatchPolicy::RegL,
-        Tolerance::new(2.5).expect("valid tolerance"),
-    );
-    let mut trace = Trace::new();
-    let export = |port: &mut ExportPort, trace: &mut Trace, t: f64| {
-        let fx = port.on_export(ts(t)).expect("scripted exports are legal");
-        trace.record_export(ts(t), &fx);
+    let grid = Extent2::new(8, 8);
+    let slow = 3;
+    let cfg = CoupledConfig {
+        exporter_decomp: Decomposition::block_2d(grid, 2, 2).expect("4-proc decomposition"),
+        importer_decomp: Decomposition::row_block(grid, 1).expect("1-proc decomposition"),
+        policy: MatchPolicy::RegL,
+        tolerance: 2.5,
+        buddy_help: true,
+        exports: 40,
+        export_t0: 1.6,
+        export_dt: 1.0,
+        imports: 2,
+        import_t0: 20.0,
+        import_dt: 20.0,
+        // Three fast ranks finish all 40 exports before the first request
+        // and answer it outright; the slow rank takes one virtual second
+        // per iteration, so its window position is set by the importer.
+        exporter_compute: vec![1e-3, 1e-3, 1e-3, 1.0],
+        // First request lands at ~14.5 virtual seconds: after the slow
+        // rank's 14th export (~14.0), before its 15th (~15.0).
+        importer_compute: 12.5,
+        importer_startup: 2.0,
+        cost: CostModel::default(),
+        buffer_capacity: None,
     };
-    // Lines 1-4.
-    for i in 1..=14 {
-        export(&mut port, &mut trace, i as f64 + 0.6);
-    }
-    // Lines 5-7: request for D@20.
-    let fx = port.on_request(RequestId(0), ts(20.0)).expect("request");
-    trace.record_request(ts(20.0), &fx);
-    // Lines 8-9: buddy-help {D@20, YES, D@19.6}.
-    let hfx = port
-        .on_buddy_help(RequestId(0), RepAnswer::Match(ts(19.6)))
-        .expect("buddy-help");
-    trace.record_buddy_help(ts(20.0), RequestId(0), RepAnswer::Match(ts(19.6)), &hfx);
-    // Lines 10-20.
-    for i in 15..=31 {
-        export(&mut port, &mut trace, i as f64 + 0.6);
-    }
-    // Lines 21-23: request for D@40.
-    let fx = port.on_request(RequestId(1), ts(40.0)).expect("request");
-    trace.record_request(ts(40.0), &fx);
-    // Lines 24-25.
-    let hfx = port
-        .on_buddy_help(RequestId(1), RepAnswer::Match(ts(39.6)))
-        .expect("buddy-help");
-    trace.record_buddy_help(ts(40.0), RequestId(1), RepAnswer::Match(ts(39.6)), &hfx);
-    // Lines 26-34.
-    for i in 32..=40 {
-        export(&mut port, &mut trace, i as f64 + 0.6);
-    }
+    let mut sim = CoupledSim::new(cfg).expect("valid figure 5 configuration");
+    sim.trace_rank(slow);
+    let report = sim.run().expect("figure 5 scenario runs to completion");
+    let (rank, trace) = report
+        .traces
+        .into_iter()
+        .next()
+        .expect("trace was enabled on the slow rank");
+    assert_eq!(rank, slow);
     trace
 }
 
@@ -136,7 +141,8 @@ pub fn equation_workload(
         let region_count = (t / 100.0).floor() as usize;
         for j in port.stats().requests as usize..region_count.min(n_regions) {
             let x = 100.0 * (j + 1) as f64;
-            port.on_request(RequestId(j as u64), ts(x)).expect("request");
+            port.on_request(RequestId(j as u64), ts(x))
+                .expect("request");
         }
     }
     let mut measured = port.stats().unnecessary_by_request.clone();

@@ -134,13 +134,15 @@ pub fn parse(input: &str) -> Result<Config, ParseError> {
                 (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
                 _ => return Err(err(lineno, ParseErrorKind::MalformedProgramLine)),
             };
-            let procs: usize = procs
-                .parse()
-                .ok()
-                .filter(|&n| n > 0)
-                .ok_or_else(|| err(lineno, ParseErrorKind::BadProcessCount(procs.to_owned())))?;
+            let procs: usize =
+                procs.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    err(lineno, ParseErrorKind::BadProcessCount(procs.to_owned()))
+                })?;
             if !names.insert(name.to_owned()) {
-                return Err(err(lineno, ParseErrorKind::DuplicateProgram(name.to_owned())));
+                return Err(err(
+                    lineno,
+                    ParseErrorKind::DuplicateProgram(name.to_owned()),
+                ));
             }
             programs.push(ProgramSpec {
                 name: name.to_owned(),
@@ -181,9 +183,10 @@ pub fn parse(input: &str) -> Result<Config, ParseError> {
                 policy,
                 tolerance,
             };
-            if connections.iter().any(|c| {
-                c.exporter == spec.exporter && c.importer == spec.importer
-            }) {
+            if connections
+                .iter()
+                .any(|c| c.exporter == spec.exporter && c.importer == spec.importer)
+            {
                 return Err(err(lineno, ParseErrorKind::DuplicateConnection));
             }
             connections.push(spec);
@@ -230,12 +233,17 @@ P0.r2 P4.r2 REGU 0.3
     #[test]
     fn extra_tokens_preserved() {
         let cfg = parse("P0 c0 /bin/p0 4 --foo bar\n#\n").unwrap();
-        assert_eq!(cfg.programs[0].extra, vec!["--foo".to_owned(), "bar".to_owned()]);
+        assert_eq!(
+            cfg.programs[0].extra,
+            vec!["--foo".to_owned(), "bar".to_owned()]
+        );
     }
 
     #[test]
     fn empty_lines_and_comments_skipped() {
-        let cfg = parse("\nP0 c0 /bin/p0 4\nP1 c0 /bin/p1 2\n\n#\n# a comment\nP0.r P1.r REG 1.0\n\n").unwrap();
+        let cfg =
+            parse("\nP0 c0 /bin/p0 4\nP1 c0 /bin/p1 2\n\n#\n# a comment\nP0.r P1.r REG 1.0\n\n")
+                .unwrap();
         assert_eq!(cfg.connections.len(), 1);
     }
 
@@ -290,15 +298,21 @@ P0.r2 P4.r2 REGU 0.3
     fn bad_policy_and_tolerance() {
         let base = "P0 c0 /bin/a 1\nP1 c0 /bin/b 1\n#\n";
         assert_eq!(
-            parse(&format!("{base}P0.r P1.r REGX 0.5\n")).unwrap_err().kind,
+            parse(&format!("{base}P0.r P1.r REGX 0.5\n"))
+                .unwrap_err()
+                .kind,
             ParseErrorKind::BadPolicy("REGX".into())
         );
         assert_eq!(
-            parse(&format!("{base}P0.r P1.r REGL -0.5\n")).unwrap_err().kind,
+            parse(&format!("{base}P0.r P1.r REGL -0.5\n"))
+                .unwrap_err()
+                .kind,
             ParseErrorKind::BadTolerance("-0.5".into())
         );
         assert_eq!(
-            parse(&format!("{base}P0.r P1.r REGL nan\n")).unwrap_err().kind,
+            parse(&format!("{base}P0.r P1.r REGL nan\n"))
+                .unwrap_err()
+                .kind,
             ParseErrorKind::BadTolerance("nan".into())
         );
     }
@@ -317,10 +331,8 @@ P0.r2 P4.r2 REGU 0.3
 
     #[test]
     fn duplicate_connection_rejected() {
-        let e = parse(
-            "P0 c0 /bin/a 1\nP1 c0 /bin/b 1\n#\nP0.r P1.r REGL 0.5\nP0.r P1.r REG 0.1\n",
-        )
-        .unwrap_err();
+        let e = parse("P0 c0 /bin/a 1\nP1 c0 /bin/b 1\n#\nP0.r P1.r REGL 0.5\nP0.r P1.r REG 0.1\n")
+            .unwrap_err();
         assert_eq!(e.kind, ParseErrorKind::DuplicateConnection);
     }
 

@@ -71,7 +71,9 @@ pub mod config {
 
 /// Everything needed by typical applications.
 pub mod prelude {
-    pub use crate::session::{ProcessHandle, ProgramHandles, Session, SessionBuilder, SessionError};
+    pub use crate::session::{
+        ProcessHandle, ProgramHandles, Session, SessionBuilder, SessionError,
+    };
     pub use couplink_config::{Config, ConnectionSpec, ProgramSpec, RegionRef};
     pub use couplink_layout::{Decomposition, Extent2, LocalArray, Rect, RedistPlan};
     pub use couplink_runtime::threaded::ExportOutcome;

@@ -1,17 +1,20 @@
 //! Config-driven coupled sessions over the threaded runtime.
 //!
-//! A [`Session`] instantiates the fabric for every connection in a parsed
-//! configuration and hands each program's processes their framework API: a
-//! [`ProcessHandle`] with one export port per exported region and one import
-//! port per imported region. This is the crate-level realization of the
-//! paper's Figure 1/Figure 2 workflow — programs declare regions once, the
-//! configuration wires them up, and data flows with approximate temporal
-//! matching.
+//! A [`Session`] builds one multi-program [`Fabric`] for the whole parsed
+//! configuration — a validated [`Topology`] of N programs and any number of
+//! connections — and hands each program's processes their framework API: a
+//! [`ProcessHandle`] with one export port per exported region and one
+//! import port per imported region. This is the crate-level realization of
+//! the paper's Figure 1/Figure 2 workflow — programs declare regions once,
+//! the configuration wires them up, and data flows with approximate
+//! temporal matching.
 
-use couplink_config::{Config, ConnectionSpec, RegionRef};
+use couplink_config::{Config, RegionRef};
 use couplink_layout::{Decomposition, LocalArray};
+use couplink_proto::{ConnectionId, Trace};
+use couplink_runtime::engine::{Topology, TopologyError};
 use couplink_runtime::threaded::{
-    CoupledPair, ExportOutcome, ExporterHandle, ImporterHandle, PairConfig, ThreadedError,
+    ExportAccess, ExportOutcome, Fabric, FabricOptions, ImportAccess, ThreadedError,
 };
 use couplink_time::Timestamp;
 use std::collections::HashMap;
@@ -77,6 +80,26 @@ impl From<ThreadedError> for SessionError {
     }
 }
 
+impl From<TopologyError> for SessionError {
+    fn from(e: TopologyError) -> Self {
+        match e {
+            TopologyError::UnboundRegion(r) => SessionError::UnboundRegion(r),
+            TopologyError::ProcsMismatch {
+                program,
+                declared,
+                bound,
+            } => SessionError::ProcsMismatch {
+                program,
+                declared,
+                bound,
+            },
+            TopologyError::DoublyImportedRegion(r) => SessionError::DoublyImportedRegion(r),
+            TopologyError::UnknownProgram(p) => SessionError::UnknownProgram(p),
+            TopologyError::Layout(m) => SessionError::Runtime(ThreadedError::Config(m)),
+        }
+    }
+}
+
 /// Builder for a [`Session`].
 pub struct SessionBuilder {
     config: Config,
@@ -84,6 +107,7 @@ pub struct SessionBuilder {
     buddy_help: bool,
     import_timeout: Duration,
     buffer_capacity: Option<usize>,
+    traces: Vec<(String, usize, String)>,
 }
 
 impl SessionBuilder {
@@ -95,13 +119,15 @@ impl SessionBuilder {
             buddy_help: true,
             import_timeout: Duration::from_secs(30),
             buffer_capacity: None,
+            traces: Vec::new(),
         }
     }
 
     /// Binds a program's declared region to its decomposition of the global
     /// array. Every region that appears in a connection must be bound.
     pub fn bind(mut self, program: &str, region: &str, decomp: Decomposition) -> Self {
-        self.bindings.insert(RegionRef::new(program, region), decomp);
+        self.bindings
+            .insert(RegionRef::new(program, region), decomp);
         self
     }
 
@@ -125,67 +151,51 @@ impl SessionBuilder {
         self
     }
 
-    /// Builds the session: validates bindings and spawns the fabric for
-    /// every connection.
-    pub fn build(self) -> Result<Session, SessionError> {
-        // Reject ambiguous imports (one region fed by two exporters).
-        for (i, c) in self.config.connections.iter().enumerate() {
-            if self.config.connections[..i]
-                .iter()
-                .any(|p| p.importer == c.importer)
-            {
-                return Err(SessionError::DoublyImportedRegion(c.importer.clone()));
-            }
-        }
+    /// Records a Figure 5-style event trace on process `rank` of `program`
+    /// for every connection of its exported `region`. The traces come back
+    /// from [`Session::shutdown_with_traces`].
+    pub fn trace(mut self, program: &str, rank: usize, region: &str) -> Self {
+        self.traces.push((program.into(), rank, region.into()));
+        self
+    }
 
-        let mut pairs = Vec::new();
-        for conn in &self.config.connections {
-            let exp = self
-                .bindings
-                .get(&conn.exporter)
-                .copied()
-                .ok_or_else(|| SessionError::UnboundRegion(conn.exporter.clone()))?;
-            let imp = self
-                .bindings
-                .get(&conn.importer)
-                .copied()
-                .ok_or_else(|| SessionError::UnboundRegion(conn.importer.clone()))?;
-            for (side, decomp) in [(&conn.exporter, exp), (&conn.importer, imp)] {
-                let spec = self
-                    .config
-                    .program(&side.program)
-                    .expect("parser validated program names");
-                if spec.procs != decomp.procs() {
-                    return Err(SessionError::ProcsMismatch {
-                        program: side.program.clone(),
-                        declared: spec.procs,
-                        bound: decomp.procs(),
-                    });
-                }
+    /// Builds the session: validates the configuration and bindings into a
+    /// [`Topology`] and spawns one fabric for the whole topology.
+    pub fn build(self) -> Result<Session, SessionError> {
+        let topo = Topology::from_config(&self.config, &self.bindings)?;
+        let mut traces = Vec::new();
+        for (program, rank, region) in &self.traces {
+            let Some(pi) = topo.program_idx(program) else {
+                return Err(SessionError::UnknownProgram(program.clone()));
+            };
+            let Some(ri) = topo.programs[pi].export_idx(region) else {
+                return Err(SessionError::NoSuchRegion(region.clone()));
+            };
+            for &conn in &topo.programs[pi].exports[ri].conns {
+                traces.push((pi, *rank, conn));
             }
-            let mut cfg = PairConfig::new(
-                exp,
-                imp,
-                conn.policy,
-                conn.tolerance.value(),
-                self.buddy_help,
-            );
-            cfg.import_timeout = self.import_timeout;
-            cfg.buffer_capacity = self.buffer_capacity;
-            pairs.push((conn.clone(), CoupledPair::new(cfg)?));
         }
+        let fabric = Fabric::new(
+            topo,
+            FabricOptions {
+                buddy_help: self.buddy_help,
+                import_timeout: self.import_timeout,
+                buffer_capacity: self.buffer_capacity,
+                traces,
+            },
+        );
         Ok(Session {
             config: self.config,
-            pairs,
+            fabric,
             taken: Vec::new(),
         })
     }
 }
 
-/// A live coupled session: one fabric per configured connection.
+/// A live coupled session: one fabric spanning every configured connection.
 pub struct Session {
     config: Config,
-    pairs: Vec<(ConnectionSpec, CoupledPair)>,
+    fabric: Fabric,
     taken: Vec<String>,
 }
 
@@ -198,43 +208,53 @@ impl Session {
     /// Takes the per-process handles of `program` (once per program). Hand
     /// each [`ProcessHandle`] to the thread driving that rank.
     pub fn take_program(&mut self, program: &str) -> Result<ProgramHandles, SessionError> {
-        let spec = self
-            .config
-            .program(program)
+        let prog = self
+            .fabric
+            .topology()
+            .program_idx(program)
             .ok_or_else(|| SessionError::UnknownProgram(program.to_owned()))?;
         if self.taken.iter().any(|t| t == program) {
             return Err(SessionError::AlreadyTaken(program.to_owned()));
         }
         self.taken.push(program.to_owned());
-        let mut procs: Vec<ProcessHandle> = (0..spec.procs)
-            .map(|rank| ProcessHandle {
-                program: program.to_owned(),
-                rank,
-                exports: HashMap::new(),
-                imports: HashMap::new(),
+        let pt = &self.fabric.topology().programs[prog];
+        let procs = pt.procs;
+        let export_names: Vec<String> = pt.exports.iter().map(|r| r.name.clone()).collect();
+        let import_names: Vec<String> = pt.imports.iter().map(|r| r.name.clone()).collect();
+        let procs = (0..procs)
+            .map(|rank| {
+                let exports = export_names
+                    .iter()
+                    .enumerate()
+                    .map(|(ri, name)| {
+                        (
+                            name.clone(),
+                            ExportRegion {
+                                access: self.fabric.take_export(prog, rank, ri),
+                            },
+                        )
+                    })
+                    .collect();
+                let imports = import_names
+                    .iter()
+                    .enumerate()
+                    .map(|(ii, name)| {
+                        (
+                            name.clone(),
+                            ImportRegion {
+                                access: self.fabric.take_import(prog, rank, ii),
+                            },
+                        )
+                    })
+                    .collect();
+                ProcessHandle {
+                    program: program.to_owned(),
+                    rank,
+                    exports,
+                    imports,
+                }
             })
             .collect();
-        for (conn, pair) in &mut self.pairs {
-            if conn.exporter.program == program {
-                for (rank, proc) in procs.iter_mut().enumerate() {
-                    proc.exports
-                        .entry(conn.exporter.region.clone())
-                        .or_insert_with(|| ExportRegion { conns: Vec::new() })
-                        .conns
-                        .push(pair.take_exporter(rank));
-                }
-            }
-            if conn.importer.program == program {
-                for (rank, proc) in procs.iter_mut().enumerate() {
-                    let prev = proc
-                        .imports
-                        .insert(conn.importer.region.clone(), ImportRegion {
-                            conn: pair.take_importer(rank),
-                        });
-                    debug_assert!(prev.is_none(), "double import rejected at build");
-                }
-            }
-        }
         Ok(ProgramHandles { procs })
     }
 
@@ -243,11 +263,36 @@ impl Session {
     /// Call after all program threads have finished and dropped their
     /// handles.
     pub fn shutdown(self) -> Result<Vec<Vec<couplink_proto::ExportStats>>, SessionError> {
-        let mut all = Vec::new();
-        for (_, pair) in self.pairs {
-            all.push(pair.shutdown()?);
-        }
-        Ok(all)
+        Ok(self.fabric.shutdown()?.stats)
+    }
+
+    /// Like [`Session::shutdown`], additionally returning the event traces
+    /// requested through [`SessionBuilder::trace`] as `(program, rank,
+    /// connection, trace)`.
+    #[allow(clippy::type_complexity)]
+    pub fn shutdown_with_traces(
+        self,
+    ) -> Result<
+        (
+            Vec<Vec<couplink_proto::ExportStats>>,
+            Vec<(String, usize, ConnectionId, Trace)>,
+        ),
+        SessionError,
+    > {
+        let names: Vec<String> = self
+            .fabric
+            .topology()
+            .programs
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        let report = self.fabric.shutdown()?;
+        let traces = report
+            .traces
+            .into_iter()
+            .map(|(prog, rank, conn, trace)| (names[prog].clone(), rank, conn, trace))
+            .collect();
+        Ok((report.stats, traces))
     }
 }
 
@@ -287,7 +332,9 @@ impl ProgramHandles {
 
     /// Takes all remaining handles, lowest rank first.
     pub fn take_all(&mut self) -> Vec<ProcessHandle> {
-        (0..self.procs.len()).map(|r| self.take_process(r)).collect()
+        (0..self.procs.len())
+            .map(|r| self.take_process(r))
+            .collect()
     }
 }
 
@@ -336,11 +383,12 @@ impl ProcessHandle {
 }
 
 /// A process's export port for one region. A region exported over several
-/// connections (Figure 2's `P0.r1` feeding both `P1` and `P2`) drives each
-/// connection's buffer manager; an object is freed only when *no* connection
-/// can still need it, which per-connection stores guarantee by construction.
+/// connections (Figure 2's `P0.r1` feeding both `P1` and `P2`) is served by
+/// one shared object store with per-connection acceptable-region tracking:
+/// the piece is copied at most once per export, and an object is freed only
+/// when *no* connection can still need it.
 pub struct ExportRegion {
-    conns: Vec<ExporterHandle>,
+    access: ExportAccess,
 }
 
 impl ExportRegion {
@@ -351,32 +399,28 @@ impl ExportRegion {
         ts: Timestamp,
         data: &LocalArray,
     ) -> Result<Vec<ExportOutcome>, SessionError> {
-        let mut out = Vec::with_capacity(self.conns.len());
-        for c in &mut self.conns {
-            out.push(c.export(ts, data)?);
-        }
-        Ok(out)
+        Ok(self.access.export(ts, data)?)
     }
 
     /// Number of connections this region feeds.
     pub fn connections(&self) -> usize {
-        self.conns.len()
+        self.access.connections()
     }
 
-    /// Objects currently buffered across all connections of this region.
+    /// Objects currently buffered, summed over the region's connections.
     pub fn buffered_len(&self) -> usize {
-        self.conns.iter().map(|c| c.buffered_len()).sum()
+        self.access.buffered_len()
     }
 
     /// Statistics per connection.
     pub fn stats(&self) -> Vec<couplink_proto::ExportStats> {
-        self.conns.iter().map(|c| c.stats()).collect()
+        self.access.stats()
     }
 }
 
 /// A process's import port for one region (exactly one exporting connection).
 pub struct ImportRegion {
-    conn: ImporterHandle,
+    access: ImportAccess,
 }
 
 impl ImportRegion {
@@ -388,7 +432,7 @@ impl ImportRegion {
         ts: Timestamp,
         dest: &mut LocalArray,
     ) -> Result<Option<Timestamp>, SessionError> {
-        Ok(self.conn.import(ts, dest)?)
+        Ok(self.access.import(ts, dest)?)
     }
 }
 
@@ -414,7 +458,10 @@ mod tests {
 
     #[test]
     fn build_requires_bindings() {
-        let err = SessionBuilder::new(two_program_config()).build().map(|_| ()).unwrap_err();
+        let err = SessionBuilder::new(two_program_config())
+            .build()
+            .map(|_| ())
+            .unwrap_err();
         assert_eq!(
             err,
             SessionError::UnboundRegion(RegionRef::new("F", "force"))
@@ -457,7 +504,10 @@ mod tests {
             .build()
             .map(|_| ())
             .unwrap_err();
-        assert_eq!(err, SessionError::DoublyImportedRegion(RegionRef::new("C", "z")));
+        assert_eq!(
+            err,
+            SessionError::DoublyImportedRegion(RegionRef::new("C", "z"))
+        );
     }
 
     #[test]
@@ -592,7 +642,11 @@ mod tests {
             threads.push(std::thread::spawn(move || {
                 let mut dest = LocalArray::zeros(owned);
                 // REGL: acceptable region [17.5, 20] → match 19.6.
-                let m = p.import_region("r").unwrap().import(ts(20.0), &mut dest).unwrap();
+                let m = p
+                    .import_region("r")
+                    .unwrap()
+                    .import(ts(20.0), &mut dest)
+                    .unwrap();
                 assert_eq!(m, Some(ts(19.6)));
                 assert_eq!(dest.get(owned.row0, 0), 19.6);
             }));
@@ -603,7 +657,11 @@ mod tests {
             threads.push(std::thread::spawn(move || {
                 let mut dest = LocalArray::zeros(owned);
                 // REGU: acceptable region [20, 22.5] → match 20.6.
-                let m = p.import_region("q").unwrap().import(ts(20.0), &mut dest).unwrap();
+                let m = p
+                    .import_region("q")
+                    .unwrap()
+                    .import(ts(20.0), &mut dest)
+                    .unwrap();
                 assert_eq!(m, Some(ts(20.6)));
                 assert_eq!(dest.get(owned.row0, 0), 20.6);
             }));

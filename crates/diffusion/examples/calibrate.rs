@@ -3,7 +3,10 @@ use couplink_runtime::{ActionKind, CoupledSim};
 
 fn main() {
     for n in [4, 8, 16, 32] {
-        let report = CoupledSim::new(fig4_config(Fig4Params::panel(n))).unwrap().run().unwrap();
+        let report = CoupledSim::new(fig4_config(Fig4Params::panel(n)))
+            .unwrap()
+            .run()
+            .unwrap();
         let acts = &report.action_series[SLOW_RANK];
         let copies = acts.iter().filter(|a| **a == ActionKind::Copy).count();
         let skips = acts.iter().filter(|a| **a == ActionKind::Skip).count();
@@ -13,10 +16,21 @@ fn main() {
             "U={n:2}: copies={copies} skips={skips} sends={sends} optimal={:?} first_skip={:?} dur={:.1}s imp_done={}",
             report.optimal_entry(SLOW_RANK), first_skip, report.duration, report.importer_done[0]
         );
-        let per_window: Vec<usize> = acts.chunks(20).take(25).map(|w| w.iter().filter(|a| **a == ActionKind::Skip).count()).collect();
+        let per_window: Vec<usize> = acts
+            .chunks(20)
+            .take(25)
+            .map(|w| w.iter().filter(|a| **a == ActionKind::Skip).count())
+            .collect();
         println!("     skips/window: {per_window:?}");
         let arrivals = &report.request_arrival_iter[SLOW_RANK];
-        let phase: Vec<i64> = arrivals.iter().enumerate().map(|(j, it)| *it as i64 - 20 * j as i64).collect();
-        println!("     request phase (arrival_iter - 20j): {:?}", &phase[..phase.len().min(50)]);
+        let phase: Vec<i64> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(j, it)| *it as i64 - 20 * j as i64)
+            .collect();
+        println!(
+            "     request phase (arrival_iter - 20j): {:?}",
+            &phase[..phase.len().min(50)]
+        );
     }
 }

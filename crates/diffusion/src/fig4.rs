@@ -87,7 +87,12 @@ pub fn fig4_config(params: Fig4Params) -> CoupledConfig {
     let importer_decomp =
         Decomposition::row_block(GRID, params.u_procs).expect("row blocks over importer");
     // Rank 3 is p_s, the artificially loaded slowest process of F.
-    let exporter_compute = vec![F_FAST_COMPUTE, F_FAST_COMPUTE, F_FAST_COMPUTE, F_SLOW_COMPUTE];
+    let exporter_compute = vec![
+        F_FAST_COMPUTE,
+        F_FAST_COMPUTE,
+        F_FAST_COMPUTE,
+        F_SLOW_COMPUTE,
+    ];
     let imports = params.exports.div_ceil(20).clamp(1, IMPORTS);
     CoupledConfig {
         exporter_decomp,

@@ -244,13 +244,16 @@ mod tests {
     fn forcing_injects_energy() {
         let grid = Extent2::new(16, 16);
         let mut s = Leapfrog::new(grid, grid.full_rect(), 1.0, 0.5);
-        let f = LocalArray::from_fn(grid.full_rect(), |r, c| {
-            if r == 8 && c == 8 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let f = LocalArray::from_fn(
+            grid.full_rect(),
+            |r, c| {
+                if r == 8 && c == 8 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         for _ in 0..10 {
             s.step(&f);
         }
@@ -293,7 +296,11 @@ mod tests {
         }
         for r in 0..16 {
             for c in 0..12 {
-                let split = if r < 8 { top.value(r, c) } else { bot.value(r, c) };
+                let split = if r < 8 {
+                    top.value(r, c)
+                } else {
+                    bot.value(r, c)
+                };
                 assert_eq!(split, whole.value(r, c), "({r},{c})");
             }
         }

@@ -125,7 +125,8 @@ impl LocalArray {
         assert_eq!(src.len(), rect.cells(), "unpack buffer length mismatch");
         for (i, row) in (rect.row0..rect.row_end()).enumerate() {
             let dst = self.offset(row, rect.col0);
-            self.data[dst..dst + rect.cols].copy_from_slice(&src[i * rect.cols..(i + 1) * rect.cols]);
+            self.data[dst..dst + rect.cols]
+                .copy_from_slice(&src[i * rect.cols..(i + 1) * rect.cols]);
         }
     }
 

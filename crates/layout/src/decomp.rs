@@ -208,14 +208,13 @@ impl Decomposition {
     /// Panics if the cell is outside the global extent.
     pub fn rank_of(&self, row: usize, col: usize) -> usize {
         let e = self.extent();
-        assert!(row < e.rows && col < e.cols, "cell ({row},{col}) outside {e}");
+        assert!(
+            row < e.rows && col < e.cols,
+            "cell ({row},{col}) outside {e}"
+        );
         match *self {
-            Decomposition::RowBlock { extent, procs } => {
-                block_index(extent.rows, procs, row)
-            }
-            Decomposition::ColBlock { extent, procs } => {
-                block_index(extent.cols, procs, col)
-            }
+            Decomposition::RowBlock { extent, procs } => block_index(extent.rows, procs, row),
+            Decomposition::ColBlock { extent, procs } => block_index(extent.cols, procs, col),
             Decomposition::Block2D {
                 extent,
                 proc_rows,

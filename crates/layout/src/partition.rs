@@ -223,7 +223,13 @@ mod tests {
             vec![Rect::new(0, 0, 1, 2), Rect::new(1, 0, 1, 1)],
         )
         .unwrap_err();
-        assert_eq!(err, PartitionError::Incomplete { covered: 3, total: 4 });
+        assert_eq!(
+            err,
+            PartitionError::Incomplete {
+                covered: 3,
+                total: 4
+            }
+        );
     }
 
     #[test]
@@ -240,11 +246,8 @@ mod tests {
             }
         );
         assert_eq!(
-            Partition::new(
-                Extent2::new(2, 2),
-                vec![Rect::new(0, 0, 2, 2), Rect::EMPTY]
-            )
-            .unwrap_err(),
+            Partition::new(Extent2::new(2, 2), vec![Rect::new(0, 0, 2, 2), Rect::EMPTY])
+                .unwrap_err(),
             PartitionError::EmptyRect { rank: 1 }
         );
     }

@@ -76,7 +76,10 @@ pub struct RedistPlan {
 impl RedistPlan {
     /// Computes the schedule between two regular decompositions.
     pub fn build(src: Decomposition, dst: Decomposition) -> Result<Self, RedistError> {
-        Self::between(Partition::from_decomposition(&src), Partition::from_decomposition(&dst))
+        Self::between(
+            Partition::from_decomposition(&src),
+            Partition::from_decomposition(&dst),
+        )
     }
 
     /// Computes the schedule between two (possibly irregular) partitions:
@@ -95,7 +98,11 @@ impl RedistPlan {
             for d in 0..dst.procs() {
                 let rect = srect.intersect(&dst.owned(d));
                 if !rect.is_empty() {
-                    transfers.push(Transfer { src: s, dst: d, rect });
+                    transfers.push(Transfer {
+                        src: s,
+                        dst: d,
+                        rect,
+                    });
                 }
             }
         }
@@ -147,7 +154,11 @@ impl RedistPlan {
     /// Panics if the pieces do not match the plan's decompositions.
     pub fn execute(&self, src_pieces: &[LocalArray], dst_pieces: &mut [LocalArray]) {
         assert_eq!(src_pieces.len(), self.src.procs(), "source piece count");
-        assert_eq!(dst_pieces.len(), self.dst.procs(), "destination piece count");
+        assert_eq!(
+            dst_pieces.len(),
+            self.dst.procs(),
+            "destination piece count"
+        );
         for t in &self.transfers {
             let packed = src_pieces[t.src].pack(&t.rect);
             dst_pieces[t.dst].unpack(&t.rect, &packed);
@@ -206,7 +217,10 @@ mod tests {
                 }
             }
         }
-        assert!(cover.iter().all(|&c| c == 1), "every cell moved exactly once");
+        assert!(
+            cover.iter().all(|&c| c == 1),
+            "every cell moved exactly once"
+        );
     }
 
     #[test]

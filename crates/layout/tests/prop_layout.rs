@@ -13,7 +13,12 @@ fn split_rect(rect: Rect, cuts: &[(bool, u8)], depth: usize, out: &mut Vec<Rect>
     let (horizontal, frac) = cuts[depth];
     if horizontal && rect.rows > 1 {
         let at = 1 + (frac as usize) % (rect.rows - 1);
-        split_rect(Rect::new(rect.row0, rect.col0, at, rect.cols), cuts, depth + 1, out);
+        split_rect(
+            Rect::new(rect.row0, rect.col0, at, rect.cols),
+            cuts,
+            depth + 1,
+            out,
+        );
         split_rect(
             Rect::new(rect.row0 + at, rect.col0, rect.rows - at, rect.cols),
             cuts,
@@ -22,7 +27,12 @@ fn split_rect(rect: Rect, cuts: &[(bool, u8)], depth: usize, out: &mut Vec<Rect>
         );
     } else if !horizontal && rect.cols > 1 {
         let at = 1 + (frac as usize) % (rect.cols - 1);
-        split_rect(Rect::new(rect.row0, rect.col0, rect.rows, at), cuts, depth + 1, out);
+        split_rect(
+            Rect::new(rect.row0, rect.col0, rect.rows, at),
+            cuts,
+            depth + 1,
+            out,
+        );
         split_rect(
             Rect::new(rect.row0, rect.col0 + at, rect.rows, rect.cols - at),
             cuts,

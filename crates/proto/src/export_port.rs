@@ -295,7 +295,11 @@ impl ExportPort {
 
     /// Handles a request forwarded by the rep. Returns the response for the
     /// rep plus buffer effects.
-    pub fn on_request(&mut self, id: RequestId, ts: Timestamp) -> Result<RequestEffects, PortError> {
+    pub fn on_request(
+        &mut self,
+        id: RequestId,
+        ts: Timestamp,
+    ) -> Result<RequestEffects, PortError> {
         let region = self.policy.region(ts, self.tol);
         // Validate the increasing-request invariant through the region list.
         if let Some(prev) = self.regions.last() {
@@ -321,7 +325,11 @@ impl ExportPort {
                 self.mark_resolved_bound(region.lo());
             }
             MatchResult::Pending => {
-                self.open.push_back(OpenRequest { id, region, help: None });
+                self.open.push_back(OpenRequest {
+                    id,
+                    region,
+                    help: None,
+                });
             }
         }
         let freed = self.advance();
@@ -569,11 +577,7 @@ impl ExportPort {
             Some(f) => f,
             None => return Vec::new(),
         };
-        let doomed: Vec<Timestamp> = self
-            .buffered
-            .range(..floor)
-            .map(|(t, _)| *t)
-            .collect();
+        let doomed: Vec<Timestamp> = self.buffered.range(..floor).map(|(t, _)| *t).collect();
         for t in &doomed {
             self.free(*t);
         }
@@ -700,7 +704,9 @@ mod tests {
         assert_eq!(rfx.freed.len(), 14);
         assert_eq!(p.buffered_len(), 0);
         // Line 8: buddy-help {D@20, YES, D@19.6}.
-        let hfx = p.on_buddy_help(RequestId(0), RepAnswer::Match(ts(19.6))).unwrap();
+        let hfx = p
+            .on_buddy_help(RequestId(0), RepAnswer::Match(ts(19.6)))
+            .unwrap();
         assert_eq!(hfx.send, None);
         // Lines 10-13: exports 15.6 .. 18.6 skip the memcpy.
         for i in 15..=18 {
@@ -736,7 +742,8 @@ mod tests {
         assert_eq!(p.buffered_len(), 0);
         // Lines 24-29: buddy-help {D@40, YES, D@39.6}; exports 32.6 .. 38.6
         // skip (7 skips this time, up from 4 — T_i decreasing).
-        p.on_buddy_help(RequestId(1), RepAnswer::Match(ts(39.6))).unwrap();
+        p.on_buddy_help(RequestId(1), RepAnswer::Match(ts(39.6)))
+            .unwrap();
         for i in 32..=38 {
             let fx = p.on_export(ts(i as f64 + 0.6)).unwrap();
             assert_eq!(fx.action, Some(ExportAction::Skip), "iteration {i}");
@@ -780,7 +787,8 @@ mod tests {
         );
         assert_eq!(rfx.freed.len(), 3);
         // Buddy-help: the match is D@9.6.
-        p.on_buddy_help(RequestId(0), RepAnswer::Match(ts(9.6))).unwrap();
+        p.on_buddy_help(RequestId(0), RepAnswer::Match(ts(9.6)))
+            .unwrap();
         // Line 8: D@4.6 skipped (outside the region would have been the
         // reason pre-help; with help everything below 9.6 skips).
         // Lines 9-11: D@5.6 .. D@8.6 skipped despite being inside the region.
@@ -838,7 +846,7 @@ mod tests {
             prev = Some(t);
         }
         assert_eq!(p.buffered_len(), 1); // only the current candidate D@9.6
-        // Lines 19-21: D@10.6 memcpy'd; resolves the request; send D@9.6.
+                                         // Lines 19-21: D@10.6 memcpy'd; resolves the request; send D@9.6.
         let fx = p.on_export(ts(10.6)).unwrap();
         assert_eq!(fx.action, Some(ExportAction::Buffer));
         assert_eq!(
@@ -912,7 +920,9 @@ mod tests {
         let rfx = p.on_request(RequestId(0), ts(20.0)).unwrap();
         assert!(matches!(rfx.response, ProcResponse::Pending { .. }));
         // Buddy-help says 19.6, which we have already exported and buffered.
-        let hfx = p.on_buddy_help(RequestId(0), RepAnswer::Match(ts(19.6))).unwrap();
+        let hfx = p
+            .on_buddy_help(RequestId(0), RepAnswer::Match(ts(19.6)))
+            .unwrap();
         assert_eq!(hfx.send, Some(ts(19.6)));
     }
 
@@ -932,7 +942,8 @@ mod tests {
         let mut p = regl_port(2.5);
         p.on_export(ts(1.0)).unwrap();
         p.on_request(RequestId(0), ts(20.0)).unwrap();
-        p.on_buddy_help(RequestId(0), RepAnswer::Match(ts(18.0))).unwrap();
+        p.on_buddy_help(RequestId(0), RepAnswer::Match(ts(18.0)))
+            .unwrap();
         // An export at 19.0 would be a better REGL match than 18.0 — but the
         // fast process (whose history is complete up to 20) said 18.0.
         let err = p.on_export(ts(19.0)).unwrap_err();
@@ -970,7 +981,9 @@ mod tests {
         let fx = p.on_export(ts(20.6)).unwrap();
         assert_eq!(fx.resolutions.len(), 1);
         // Buddy-help arrives afterwards: a no-op.
-        let hfx = p.on_buddy_help(RequestId(0), RepAnswer::Match(ts(19.6))).unwrap();
+        let hfx = p
+            .on_buddy_help(RequestId(0), RepAnswer::Match(ts(19.6)))
+            .unwrap();
         assert_eq!(hfx, HelpEffects::default());
     }
 
@@ -1089,7 +1102,8 @@ mod tests {
         );
         p.on_export(ts(1.0)).unwrap(); // fills the single slot
         p.on_request(RequestId(0), ts(20.0)).unwrap(); // frees it, floor 17.5
-        p.on_buddy_help(RequestId(0), RepAnswer::Match(ts(19.6))).unwrap();
+        p.on_buddy_help(RequestId(0), RepAnswer::Match(ts(19.6)))
+            .unwrap();
         // Everything below the known match skips without touching the buffer.
         for i in 2..=19 {
             let fx = p.on_export(ts(i as f64 + 0.6)).unwrap();
@@ -1126,7 +1140,8 @@ mod tests {
         assert_eq!(p.skip_floor(), None);
         p.on_request(RequestId(0), ts(20.0)).unwrap();
         assert_eq!(p.skip_floor(), Some(ts(17.5)));
-        p.on_buddy_help(RequestId(0), RepAnswer::Match(ts(19.6))).unwrap();
+        p.on_buddy_help(RequestId(0), RepAnswer::Match(ts(19.6)))
+            .unwrap();
         assert_eq!(p.skip_floor(), Some(ts(19.6)));
     }
 }

@@ -194,7 +194,8 @@ mod tests {
         // Data for our first call arrives before we even make it (we are the
         // slowest importer process).
         p.on_piece(RequestId(0)).unwrap();
-        p.on_answer(RequestId(0), RepAnswer::Match(ts(19.6))).unwrap();
+        p.on_answer(RequestId(0), RepAnswer::Match(ts(19.6)))
+            .unwrap();
         let req = p.begin_import(ts(20.0)).unwrap();
         assert_eq!(
             p.state(),

@@ -45,7 +45,10 @@ impl MultiExport {
     /// Panics on zero ports (a region with no connection needs no port at
     /// all — the framework's zero-overhead path).
     pub fn new(ports: Vec<ExportPort>) -> Self {
-        assert!(!ports.is_empty(), "a connected region has at least one connection");
+        assert!(
+            !ports.is_empty(),
+            "a connected region has at least one connection"
+        );
         MultiExport {
             ports,
             refcount: BTreeMap::new(),
@@ -70,10 +73,43 @@ impl MultiExport {
     /// Exports the object on every connection. `copy` in the result is the
     /// single shared-buffer decision; `freed` lists objects no connection
     /// needs anymore.
+    ///
+    /// With several bounded connections, a [`PortError::BufferFull`] from a
+    /// later port must not leave earlier ports already mutated — the export
+    /// has to stay non-consuming as a whole so the caller can retry it after
+    /// space frees up. The export is therefore probed on a scratch clone
+    /// first; only a fully successful probe is committed. On failure the
+    /// offending *real* port re-runs the export once so its
+    /// `buffer_full_stalls` counter still records the stall.
     pub fn on_export(&mut self, t: Timestamp) -> Result<MultiExportEffects, PortError> {
+        if self.ports.len() > 1 && self.ports.iter().any(|p| p.capacity().is_some()) {
+            let mut probe = self.clone();
+            return match probe.apply_export(t) {
+                Ok(fx) => {
+                    *self = probe;
+                    Ok(fx)
+                }
+                Err((idx, e)) => {
+                    if matches!(e, PortError::BufferFull { .. }) {
+                        // The failing port was not mutated by the probe
+                        // (BufferFull is non-consuming), so replaying on the
+                        // untouched real port reproduces the error and bumps
+                        // its stall statistic.
+                        let _ = self.ports[idx].on_export(t);
+                    }
+                    Err(e)
+                }
+            };
+        }
+        self.apply_export(t).map_err(|(_, e)| e)
+    }
+
+    /// Runs the export on every port in order, committing mutations as it
+    /// goes. On error, reports which port failed.
+    fn apply_export(&mut self, t: Timestamp) -> Result<MultiExportEffects, (usize, PortError)> {
         let mut out = MultiExportEffects::default();
         for idx in 0..self.ports.len() {
-            let fx = self.ports[idx].on_export(t)?;
+            let fx = self.ports[idx].on_export(t).map_err(|e| (idx, e))?;
             let action = fx.action.expect("on_export decides");
             if action.copies() {
                 out.copy = true;
@@ -160,7 +196,8 @@ mod tests {
         let mut m = multi(&[(MatchPolicy::RegL, 2.5), (MatchPolicy::RegL, 2.5)]);
         // Connection 0 knows its request + help; connection 1 knows nothing.
         m.on_request(0, RequestId(0), ts(20.0)).unwrap();
-        m.on_buddy_help(0, RequestId(0), RepAnswer::Match(ts(19.6))).unwrap();
+        m.on_buddy_help(0, RequestId(0), RepAnswer::Match(ts(19.6)))
+            .unwrap();
         let fx = m.on_export(ts(1.6)).unwrap();
         // Connection 0 would skip, but connection 1 must buffer: copy once.
         assert!(fx.copy);
@@ -178,8 +215,10 @@ mod tests {
         let mut m = multi(&[(MatchPolicy::RegL, 2.5), (MatchPolicy::RegL, 1.0)]);
         m.on_request(0, RequestId(0), ts(20.0)).unwrap();
         m.on_request(1, RequestId(0), ts(30.0)).unwrap();
-        m.on_buddy_help(0, RequestId(0), RepAnswer::Match(ts(19.6))).unwrap();
-        m.on_buddy_help(1, RequestId(0), RepAnswer::Match(ts(29.5))).unwrap();
+        m.on_buddy_help(0, RequestId(0), RepAnswer::Match(ts(19.6)))
+            .unwrap();
+        m.on_buddy_help(1, RequestId(0), RepAnswer::Match(ts(29.5)))
+            .unwrap();
         let fx = m.on_export(ts(1.6)).unwrap();
         assert!(!fx.copy, "both connections proved the object dead");
         assert_eq!(m.shared_buffered_len(), 0);
@@ -242,5 +281,43 @@ mod tests {
     #[should_panic(expected = "at least one connection")]
     fn zero_connections_rejected() {
         MultiExport::new(Vec::new());
+    }
+
+    #[test]
+    fn bounded_buffer_full_leaves_every_connection_untouched() {
+        // Connection 0 unbounded, connection 1 bounded at 2: the third
+        // export overflows connection 1 *after* connection 0 would already
+        // have buffered it. The export must fail atomically: no port keeps
+        // partial state, and retrying after space frees succeeds cleanly.
+        let mut m = MultiExport::new(vec![
+            ExportPort::new(
+                ConnectionId(0),
+                MatchPolicy::RegL,
+                Tolerance::new(2.5).unwrap(),
+            ),
+            ExportPort::with_capacity(
+                ConnectionId(1),
+                MatchPolicy::RegL,
+                Tolerance::new(2.5).unwrap(),
+                2,
+            ),
+        ]);
+        m.on_export(ts(1.6)).unwrap();
+        m.on_export(ts(2.6)).unwrap();
+        let err = m.on_export(ts(3.6)).unwrap_err();
+        assert!(matches!(err, PortError::BufferFull { .. }), "{err:?}");
+        assert_eq!(
+            m.port(0).buffered_len(),
+            2,
+            "conn 0 must not see the failed export"
+        );
+        assert_eq!(m.port(1).stats().buffer_full_stalls, 1, "stall recorded");
+        assert_eq!(m.shared_buffered_len(), 2);
+        // A request on connection 1 frees its buffer; the retry goes through
+        // and buffers exactly once per connection.
+        let (_, _freed) = m.on_request(1, RequestId(0), ts(20.0)).unwrap();
+        let fx = m.on_export(ts(3.6)).unwrap();
+        assert!(fx.copy);
+        assert_eq!(m.port(0).buffered_len(), 3);
     }
 }

@@ -239,11 +239,7 @@ impl ExporterRep {
                             for (i, state) in inflight.ranks.iter_mut().enumerate() {
                                 if *state == RankState::Pending {
                                     *state = RankState::Settled;
-                                    effects.buddy_help.push((
-                                        Rank(i as u32),
-                                        req,
-                                        decided,
-                                    ));
+                                    effects.buddy_help.push((Rank(i as u32), req, decided));
                                 }
                             }
                         }
@@ -373,7 +369,11 @@ impl ImporterRep {
     }
 
     /// The exporter rep answered request `req`.
-    pub fn on_answer(&mut self, req: RequestId, answer: RepAnswer) -> Result<ImpRepEffects, RepError> {
+    pub fn on_answer(
+        &mut self,
+        req: RequestId,
+        answer: RepAnswer,
+    ) -> Result<ImpRepEffects, RepError> {
         let k = req.0 as usize;
         let inflight = self
             .requests
@@ -455,7 +455,9 @@ mod tests {
         let mut rep = ExporterRep::new(2, true);
         rep.on_import_request(RequestId(0), ts(5.0)).unwrap();
         for r in 0..2 {
-            let fx = rep.on_response(Rank(r), RequestId(0), pending(1.0)).unwrap();
+            let fx = rep
+                .on_response(Rank(r), RequestId(0), pending(1.0))
+                .unwrap();
             assert_eq!(fx.answer, None);
             assert!(fx.buddy_help.is_empty());
             assert_eq!(fx.completed, None);
@@ -469,7 +471,8 @@ mod tests {
         rep.on_import_request(RequestId(0), ts(20.0)).unwrap();
         // Three slow processes answer PENDING first.
         for r in 0..3 {
-            rep.on_response(Rank(r), RequestId(0), pending(14.6)).unwrap();
+            rep.on_response(Rank(r), RequestId(0), pending(14.6))
+                .unwrap();
         }
         // The fast process answers MATCH: importer answered, buddy-help to
         // the three pending ranks.
@@ -494,7 +497,9 @@ mod tests {
         rep.on_import_request(RequestId(0), ts(20.0)).unwrap();
         rep.on_response(Rank(0), RequestId(0), ProcResponse::Match(ts(19.6)))
             .unwrap();
-        let fx = rep.on_response(Rank(1), RequestId(0), pending(3.0)).unwrap();
+        let fx = rep
+            .on_response(Rank(1), RequestId(0), pending(3.0))
+            .unwrap();
         assert_eq!(
             fx.buddy_help,
             vec![(Rank(1), RequestId(0), RepAnswer::Match(ts(19.6)))]
@@ -506,7 +511,8 @@ mod tests {
     fn pending_then_no_match_mixture() {
         let mut rep = ExporterRep::new(2, true);
         rep.on_import_request(RequestId(0), ts(20.0)).unwrap();
-        rep.on_response(Rank(0), RequestId(0), pending(1.0)).unwrap();
+        rep.on_response(Rank(0), RequestId(0), pending(1.0))
+            .unwrap();
         let fx = rep
             .on_response(Rank(1), RequestId(0), ProcResponse::NoMatch)
             .unwrap();
@@ -575,7 +581,8 @@ mod tests {
     fn without_buddy_help_pending_ranks_must_self_resolve() {
         let mut rep = ExporterRep::new(2, false);
         rep.on_import_request(RequestId(0), ts(20.0)).unwrap();
-        rep.on_response(Rank(0), RequestId(0), pending(1.0)).unwrap();
+        rep.on_response(Rank(0), RequestId(0), pending(1.0))
+            .unwrap();
         let fx = rep
             .on_response(Rank(1), RequestId(0), ProcResponse::Match(ts(19.6)))
             .unwrap();
@@ -607,7 +614,9 @@ mod tests {
         let mut rep = ImporterRep::new(3);
         rep.on_import_call(Rank(0), ts(20.0)).unwrap();
         rep.on_import_call(Rank(1), ts(20.0)).unwrap();
-        let fx = rep.on_answer(RequestId(0), RepAnswer::Match(ts(19.6))).unwrap();
+        let fx = rep
+            .on_answer(RequestId(0), RepAnswer::Match(ts(19.6)))
+            .unwrap();
         let mut got: Vec<u32> = fx.deliver.iter().map(|(r, _, _)| r.0).collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1]);
@@ -658,7 +667,8 @@ mod tests {
     fn conflicting_remote_answers_are_violations() {
         let mut rep = ImporterRep::new(1);
         rep.on_import_call(Rank(0), ts(20.0)).unwrap();
-        rep.on_answer(RequestId(0), RepAnswer::Match(ts(19.6))).unwrap();
+        rep.on_answer(RequestId(0), RepAnswer::Match(ts(19.6)))
+            .unwrap();
         assert!(matches!(
             rep.on_answer(RequestId(0), RepAnswer::NoMatch),
             Err(RepError::CollectiveViolation { .. })

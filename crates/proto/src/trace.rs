@@ -199,7 +199,10 @@ mod tests {
             .to_string(),
             "receive buddy-help {D@20, YES @19.6}."
         );
-        assert_eq!(TraceEvent::Send { m: ts(19.6) }.to_string(), "send D@19.6 out.");
+        assert_eq!(
+            TraceEvent::Send { m: ts(19.6) }.to_string(),
+            "send D@19.6 out."
+        );
         assert_eq!(
             TraceEvent::Remove {
                 freed: vec![ts(1.6), ts(2.6), ts(14.6)]
@@ -208,7 +211,10 @@ mod tests {
             "remove D@1.6, ..., D@14.6."
         );
         assert_eq!(
-            TraceEvent::Remove { freed: vec![ts(31.6)] }.to_string(),
+            TraceEvent::Remove {
+                freed: vec![ts(31.6)]
+            }
+            .to_string(),
             "remove D@31.6."
         );
     }

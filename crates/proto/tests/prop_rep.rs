@@ -19,7 +19,10 @@ enum RankPlan {
 fn plans() -> impl Strategy<Value = (Vec<RankPlan>, bool, bool)> {
     (
         proptest::collection::vec(
-            prop_oneof![Just(RankPlan::Immediate), Just(RankPlan::PendingThenResolve)],
+            prop_oneof![
+                Just(RankPlan::Immediate),
+                Just(RankPlan::PendingThenResolve)
+            ],
             1..12,
         ),
         any::<bool>(), // buddy-help enabled

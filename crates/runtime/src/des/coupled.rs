@@ -10,16 +10,21 @@
 //! `CostModel::memcpy_time` for the process's piece of the distributed
 //! array; control and data messages incur latency/bandwidth costs.
 //!
-//! The simulation is fully deterministic: same configuration, same report.
+//! Since the engine extraction this type is a thin adapter: it builds the
+//! two-program [`crate::engine::Topology`] and runs it on the generic
+//! [`crate::des::topo::TopologySim`], whose event schedule for pair
+//! topologies is identical to the original hand-written pair loop. The
+//! simulation is fully deterministic: same configuration, same report.
 
 use crate::cost::CostModel;
-use crate::des::EventQueue;
-use couplink_layout::{Decomposition, RedistPlan};
-use couplink_proto::export_port::{ExportAction, ExportPort, PortError};
-use couplink_proto::import_port::{ImportError, ImportPort, ImportState};
-use couplink_proto::rep::{ExporterRep, ImporterRep, RepError};
-use couplink_proto::{ProcResponse, Rank, RepAnswer, RequestId};
-use couplink_time::{MatchPolicy, PeriodicSchedule, Timestamp, TimestampError, Tolerance};
+use crate::des::topo::{ExportSchedule, ImportSchedule, TopologyConfig, TopologySim};
+use crate::engine::{Topology, TopologyError};
+use couplink_layout::Decomposition;
+use couplink_proto::export_port::{ExportAction, PortError};
+use couplink_proto::import_port::ImportError;
+use couplink_proto::rep::RepError;
+use couplink_proto::{ConnectionId, Trace};
+use couplink_time::{MatchPolicy, TimestampError, Tolerance};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -116,6 +121,9 @@ pub struct CoupledReport {
     /// the moment the forwarded request arrived (phase diagnostics — how far
     /// ahead of the slow process the request stream runs).
     pub request_arrival_iter: Vec<Vec<usize>>,
+    /// Event traces collected for ranks enabled via
+    /// [`CoupledSim::trace_rank`], as `(rank, trace)` pairs.
+    pub traces: Vec<(usize, Trace)>,
 }
 
 /// The timestamp schedule a coupled run used.
@@ -228,78 +236,18 @@ impl From<TimestampError> for SimError {
     }
 }
 
-#[derive(Debug)]
-enum Event {
-    /// Exporter `rank` finishes its compute phase and performs its export.
-    ExpExport { rank: usize },
-    /// Importer `rank` makes its next collective import call.
-    ImpCall { rank: usize },
-    /// Message deliveries.
-    ToExpRep(ExpRepMsg),
-    ToImpRep(ImpRepMsg),
-    ToExpProc { rank: usize, msg: ExpProcMsg },
-    ToImpProc { rank: usize, msg: ImpProcMsg },
-}
-
-#[derive(Debug)]
-enum ExpRepMsg {
-    ImportRequest { req: RequestId, ts: Timestamp },
-    Response { rank: Rank, req: RequestId, resp: ProcResponse },
-}
-
-#[derive(Debug)]
-enum ImpRepMsg {
-    ImportCall { rank: Rank, ts: Timestamp },
-    Answer { req: RequestId, answer: RepAnswer },
-}
-
-#[derive(Debug)]
-enum ExpProcMsg {
-    ForwardRequest { req: RequestId, ts: Timestamp },
-    BuddyHelp { req: RequestId, answer: RepAnswer },
-}
-
-#[derive(Debug)]
-enum ImpProcMsg {
-    Answer { req: RequestId, answer: RepAnswer },
-    Piece { req: RequestId },
-}
-
-struct ExpProcState {
-    port: ExportPort,
-    iter: usize,
-    times: Vec<f64>,
-    actions: Vec<ActionKind>,
-    request_arrivals: Vec<usize>,
-    /// Blocked on a full buffer, waiting for control traffic to free space.
-    blocked: bool,
-}
-
-struct ImpProcState {
-    port: ImportPort,
-    iter: usize,
-    waiting: bool,
-}
-
 /// The coupled-pair simulator. Construct with [`CoupledSim::new`], run with
 /// [`CoupledSim::run`].
 pub struct CoupledSim {
     cfg: CoupledConfig,
-    plan: RedistPlan,
-    queue: EventQueue<Event>,
-    exp_procs: Vec<ExpProcState>,
-    imp_procs: Vec<ImpProcState>,
-    exp_rep: ExporterRep,
-    imp_rep: ImporterRep,
-    /// Bytes of one exporter rank's piece (for memcpy cost), per rank.
-    piece_bytes: Vec<usize>,
+    topo: Topology,
+    trace_ranks: Vec<usize>,
 }
 
 impl CoupledSim {
     /// Builds the simulation, validating the configuration.
     pub fn new(cfg: CoupledConfig) -> Result<Self, SimError> {
         let ne = cfg.exporter_decomp.procs();
-        let ni = cfg.importer_decomp.procs();
         if cfg.exporter_compute.len() != ne {
             return Err(SimError::Config(format!(
                 "exporter_compute has {} entries for {} processes",
@@ -310,352 +258,120 @@ impl CoupledSim {
         if cfg.export_dt <= 0.0 || cfg.import_dt <= 0.0 {
             return Err(SimError::Config("timestamp steps must be positive".into()));
         }
-        let plan = RedistPlan::build(cfg.exporter_decomp, cfg.importer_decomp)
-            .map_err(|e| SimError::Config(e.to_string()))?;
         let tol = Tolerance::new(cfg.tolerance)?;
-        let conn = couplink_proto::ConnectionId(0);
-        let exp_procs = (0..ne)
-            .map(|_| ExpProcState {
-                port: match cfg.buffer_capacity {
-                    Some(cap) => ExportPort::with_capacity(conn, cfg.policy, tol, cap),
-                    None => ExportPort::new(conn, cfg.policy, tol),
-                },
-                iter: 0,
-                times: Vec::with_capacity(cfg.exports),
-                actions: Vec::with_capacity(cfg.exports),
-                request_arrivals: Vec::new(),
-                blocked: false,
-            })
-            .collect();
-        let imp_procs = (0..ni)
-            .map(|rank| ImpProcState {
-                port: ImportPort::new(plan.recvs_to(rank).count()),
-                iter: 0,
-                waiting: false,
-            })
-            .collect();
-        let piece_bytes = (0..ne)
-            .map(|rank| cfg.exporter_decomp.owned(rank).cells() * std::mem::size_of::<f64>())
-            .collect();
-        let exp_rep = ExporterRep::new(ne, cfg.buddy_help);
-        let imp_rep = ImporterRep::new(ni);
+        let topo = Topology::pair(cfg.exporter_decomp, cfg.importer_decomp, cfg.policy, tol)
+            .map_err(|e| match e {
+                TopologyError::Layout(msg) => SimError::Config(msg),
+                other => SimError::Config(other.to_string()),
+            })?;
         Ok(CoupledSim {
             cfg,
-            plan,
-            queue: EventQueue::new(),
-            exp_procs,
-            imp_procs,
-            exp_rep,
-            imp_rep,
-            piece_bytes,
+            topo,
+            trace_ranks: Vec::new(),
         })
     }
 
-    fn export_ts(&self, iter: usize) -> Result<Timestamp, SimError> {
-        Ok(PeriodicSchedule::new(self.cfg.export_t0, self.cfg.export_dt)?.at(iter)?)
-    }
-
-    fn import_ts(&self, iter: usize) -> Result<Timestamp, SimError> {
-        Ok(PeriodicSchedule::new(self.cfg.import_t0, self.cfg.import_dt)?.at(iter)?)
-    }
-
-    /// Schedules the data pieces rank `rank` must send for a matched
-    /// transfer, charging network costs.
-    fn send_pieces(&mut self, rank: usize, req: RequestId, extra_delay: f64) {
-        let cost = self.cfg.cost;
-        let sends: Vec<(usize, usize)> = self
-            .plan
-            .sends_from(rank)
-            .map(|t| (t.dst, t.rect.cells() * std::mem::size_of::<f64>()))
-            .collect();
-        for (dst, bytes) in sends {
-            self.queue.schedule(
-                extra_delay + cost.data_time(bytes),
-                Event::ToImpProc {
-                    rank: dst,
-                    msg: ImpProcMsg::Piece { req },
-                },
-            );
-        }
+    /// Enables Figure-5 style event tracing for one exporter rank. The
+    /// recorded trace appears in [`CoupledReport::traces`].
+    pub fn trace_rank(&mut self, rank: usize) -> &mut Self {
+        self.trace_ranks.push(rank);
+        self
     }
 
     /// Runs to completion and returns the report.
-    pub fn run(mut self) -> Result<CoupledReport, SimError> {
-        // Kick off every process: exporters compute before their first
-        // export; importers compute before their first import call.
-        for rank in 0..self.exp_procs.len() {
-            self.queue
-                .schedule(self.cfg.exporter_compute[rank], Event::ExpExport { rank });
+    pub fn run(self) -> Result<CoupledReport, SimError> {
+        let cfg = &self.cfg;
+        let mut sim = TopologySim::new(TopologyConfig {
+            topology: self.topo.clone(),
+            exports: vec![ExportSchedule {
+                program: "exporter".into(),
+                region: "r".into(),
+                t0: cfg.export_t0,
+                dt: cfg.export_dt,
+                count: cfg.exports,
+                compute: cfg.exporter_compute.clone(),
+            }],
+            imports: vec![ImportSchedule {
+                program: "importer".into(),
+                region: "r".into(),
+                t0: cfg.import_t0,
+                dt: cfg.import_dt,
+                count: cfg.imports,
+                compute: cfg.importer_compute,
+                startup: cfg.importer_startup,
+            }],
+            buddy_help: cfg.buddy_help,
+            cost: cfg.cost,
+            buffer_capacity: cfg.buffer_capacity,
+        })?;
+        for &rank in &self.trace_ranks {
+            sim.trace("exporter", rank, ConnectionId(0))?;
         }
-        for rank in 0..self.imp_procs.len() {
-            self.queue.schedule(
-                self.cfg.importer_startup + self.cfg.importer_compute,
-                Event::ImpCall { rank },
-            );
-        }
+        let rep = sim.run()?;
 
-        while let Some((_, event)) = self.queue.pop() {
-            self.dispatch(event)?;
-        }
-
-        let duration = self.queue.now().0;
         // Timestamp upper bound of the final request's acceptable region.
-        let last_x = self.cfg.import_t0 + (self.cfg.imports.max(1) - 1) as f64 * self.cfg.import_dt;
-        let last_hi = match self.cfg.policy {
+        let last_x = cfg.import_t0 + (cfg.imports.max(1) - 1) as f64 * cfg.import_dt;
+        let last_hi = match cfg.policy {
             MatchPolicy::RegL => last_x,
-            MatchPolicy::RegU | MatchPolicy::Reg => last_x + self.cfg.tolerance,
+            MatchPolicy::RegU | MatchPolicy::Reg => last_x + cfg.tolerance,
         };
-        let tail_start = if self.cfg.imports == 0 {
+        let tail_start = if cfg.imports == 0 {
             0
         } else {
-            let mut i = ((last_hi - self.cfg.export_t0) / self.cfg.export_dt).floor() as i64 + 1;
-            i = i.clamp(0, self.cfg.exports as i64);
+            let mut i = ((last_hi - cfg.export_t0) / cfg.export_dt).floor() as i64 + 1;
+            i = i.clamp(0, cfg.exports as i64);
             i as usize
         };
-        let mut report = CoupledReport {
-            export_time_series: Vec::new(),
-            action_series: Vec::new(),
-            stats: Vec::new(),
-            t_ub_seconds: Vec::new(),
-            importer_done: self.imp_procs.iter().map(|p| p.iter).collect(),
-            duration,
-            tail_start,
-            request_arrival_iter: self
-                .exp_procs
+
+        let series = &rep.export_series[0];
+        let ne = cfg.exporter_decomp.procs();
+        let stats = rep.stats.into_iter().next().expect("one connection");
+        let t_ub_seconds = stats
+            .iter()
+            .enumerate()
+            .map(|(rank, s)| {
+                let bytes = cfg.exporter_decomp.owned(rank).cells() * std::mem::size_of::<f64>();
+                s.unnecessary_total() as f64 * cfg.cost.memcpy_time(bytes)
+            })
+            .collect();
+        Ok(CoupledReport {
+            export_time_series: series.times.clone(),
+            action_series: series
+                .actions
                 .iter()
-                .map(|p| p.request_arrivals.clone())
+                .map(|calls| calls.iter().map(|per_conn| per_conn[0].1).collect())
                 .collect(),
+            stats,
+            t_ub_seconds,
+            importer_done: rep
+                .import_done
+                .into_iter()
+                .next()
+                .expect("one import drive"),
+            duration: rep.duration,
+            tail_start,
             schedule: Schedule {
-                export_t0: self.cfg.export_t0,
-                export_dt: self.cfg.export_dt,
-                import_t0: self.cfg.import_t0,
-                import_dt: self.cfg.import_dt,
-                tolerance: self.cfg.tolerance,
-                imports: self.cfg.imports,
+                export_t0: cfg.export_t0,
+                export_dt: cfg.export_dt,
+                import_t0: cfg.import_t0,
+                import_dt: cfg.import_dt,
+                tolerance: cfg.tolerance,
+                imports: cfg.imports,
             },
-        };
-        for (rank, p) in self.exp_procs.iter().enumerate() {
-            report.export_time_series.push(p.times.clone());
-            report.action_series.push(p.actions.clone());
-            report.stats.push(p.port.stats().clone());
-            let per_copy = self.cfg.cost.memcpy_time(self.piece_bytes[rank]);
-            report
-                .t_ub_seconds
-                .push(p.port.stats().unnecessary_total() as f64 * per_copy);
-        }
-        Ok(report)
-    }
-
-    fn dispatch(&mut self, event: Event) -> Result<(), SimError> {
-        let ctrl = self.cfg.cost.ctrl_time();
-        match event {
-            Event::ExpExport { rank } => {
-                let iter = self.exp_procs[rank].iter;
-                let ts = self.export_ts(iter)?;
-                let fx = match self.exp_procs[rank].port.on_export(ts) {
-                    Err(PortError::BufferFull { .. }) => {
-                        // Stall: the export retries when a control message
-                        // frees buffer space.
-                        self.exp_procs[rank].blocked = true;
-                        return Ok(());
-                    }
-                    other => other?,
-                };
-                let action = fx.action.expect("on_export always decides an action");
-                let call_cost = if action.copies() {
-                    self.cfg.cost.memcpy_time(self.piece_bytes[rank])
-                        + self.cfg.cost.export_overhead
-                } else {
-                    self.cfg.cost.export_overhead
-                };
-                {
-                    let p = &mut self.exp_procs[rank];
-                    p.times.push(call_cost);
-                    p.actions.push(action.into());
-                    p.iter += 1;
-                }
-                if let ExportAction::BufferAndSend { request } = action {
-                    self.send_pieces(rank, request, call_cost);
-                }
-                for r in &fx.resolutions {
-                    self.queue.schedule(
-                        call_cost + ctrl,
-                        Event::ToExpRep(ExpRepMsg::Response {
-                            rank: Rank(rank as u32),
-                            req: r.request,
-                            resp: match r.answer {
-                                RepAnswer::Match(m) => ProcResponse::Match(m),
-                                RepAnswer::NoMatch => ProcResponse::NoMatch,
-                            },
-                        }),
-                    );
-                }
-                let sends: Vec<RequestId> = fx
-                    .resolutions
-                    .iter()
-                    .filter(|r| r.send.is_some())
-                    .map(|r| r.request)
-                    .collect();
-                for req in sends {
-                    self.send_pieces(rank, req, call_cost);
-                }
-                let iter = self.exp_procs[rank].iter;
-                if iter < self.cfg.exports {
-                    self.queue.schedule(
-                        call_cost + self.cfg.exporter_compute[rank],
-                        Event::ExpExport { rank },
-                    );
-                }
-            }
-
-            Event::ImpCall { rank } => {
-                let iter = self.imp_procs[rank].iter;
-                if iter >= self.cfg.imports {
-                    return Ok(());
-                }
-                let ts = self.import_ts(iter)?;
-                self.imp_procs[rank].port.begin_import(ts)?;
-                self.imp_procs[rank].waiting = true;
-                self.queue.schedule(
-                    ctrl,
-                    Event::ToImpRep(ImpRepMsg::ImportCall {
-                        rank: Rank(rank as u32),
-                        ts,
-                    }),
-                );
-                self.check_import_done(rank)?;
-            }
-
-            Event::ToImpRep(msg) => match msg {
-                ImpRepMsg::ImportCall { rank, ts } => {
-                    let fx = self.imp_rep.on_import_call(rank, ts)?;
-                    if let Some((req, ts)) = fx.request {
-                        self.queue.schedule(
-                            ctrl,
-                            Event::ToExpRep(ExpRepMsg::ImportRequest { req, ts }),
-                        );
-                    }
-                    for (rank, req, answer) in fx.deliver {
-                        self.queue.schedule(
-                            ctrl,
-                            Event::ToImpProc {
-                                rank: rank.0 as usize,
-                                msg: ImpProcMsg::Answer { req, answer },
-                            },
-                        );
-                    }
-                }
-                ImpRepMsg::Answer { req, answer } => {
-                    let fx = self.imp_rep.on_answer(req, answer)?;
-                    for (rank, req, answer) in fx.deliver {
-                        self.queue.schedule(
-                            ctrl,
-                            Event::ToImpProc {
-                                rank: rank.0 as usize,
-                                msg: ImpProcMsg::Answer { req, answer },
-                            },
-                        );
-                    }
-                }
-            },
-
-            Event::ToExpRep(msg) => {
-                let fx = match msg {
-                    ExpRepMsg::ImportRequest { req, ts } => {
-                        self.exp_rep.on_import_request(req, ts)?
-                    }
-                    ExpRepMsg::Response { rank, req, resp } => {
-                        self.exp_rep.on_response(rank, req, resp)?
-                    }
-                };
-                if let Some((req, ts)) = fx.forward {
-                    for rank in 0..self.exp_procs.len() {
-                        self.queue.schedule(
-                            ctrl,
-                            Event::ToExpProc {
-                                rank,
-                                msg: ExpProcMsg::ForwardRequest { req, ts },
-                            },
-                        );
-                    }
-                }
-                if let Some((req, answer)) = fx.answer {
-                    self.queue
-                        .schedule(ctrl, Event::ToImpRep(ImpRepMsg::Answer { req, answer }));
-                }
-                for (rank, req, answer) in fx.buddy_help {
-                    self.queue.schedule(
-                        ctrl,
-                        Event::ToExpProc {
-                            rank: rank.0 as usize,
-                            msg: ExpProcMsg::BuddyHelp { req, answer },
-                        },
-                    );
-                }
-            }
-
-            Event::ToExpProc { rank, msg } => {
-                match msg {
-                ExpProcMsg::ForwardRequest { req, ts } => {
-                    let iter_now = self.exp_procs[rank].iter;
-                    self.exp_procs[rank].request_arrivals.push(iter_now);
-                    let fx = self.exp_procs[rank].port.on_request(req, ts)?;
-                    self.queue.schedule(
-                        ctrl,
-                        Event::ToExpRep(ExpRepMsg::Response {
-                            rank: Rank(rank as u32),
-                            req,
-                            resp: fx.response,
-                        }),
-                    );
-                    if fx.send.is_some() {
-                        self.send_pieces(rank, req, 0.0);
-                    }
-                }
-                ExpProcMsg::BuddyHelp { req, answer } => {
-                    let fx = self.exp_procs[rank].port.on_buddy_help(req, answer)?;
-                    if fx.send.is_some() {
-                        self.send_pieces(rank, req, 0.0);
-                    }
-                }
-                }
-                // Control traffic may have freed buffer space: wake a
-                // stalled exporter.
-                if self.exp_procs[rank].blocked {
-                    self.exp_procs[rank].blocked = false;
-                    self.queue.schedule(0.0, Event::ExpExport { rank });
-                }
-            }
-
-            Event::ToImpProc { rank, msg } => {
-                match msg {
-                    ImpProcMsg::Answer { req, answer } => {
-                        self.imp_procs[rank].port.on_answer(req, answer)?;
-                    }
-                    ImpProcMsg::Piece { req } => {
-                        self.imp_procs[rank].port.on_piece(req)?;
-                    }
-                }
-                self.check_import_done(rank)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// If importer `rank` is waiting and its current import has finished,
-    /// advance it to the next iteration.
-    fn check_import_done(&mut self, rank: usize) -> Result<(), SimError> {
-        let p = &mut self.imp_procs[rank];
-        if p.waiting && matches!(p.port.state(), ImportState::Done { .. }) {
-            p.port.finish();
-            p.waiting = false;
-            p.iter += 1;
-            if p.iter < self.cfg.imports {
-                self.queue
-                    .schedule(self.cfg.importer_compute, Event::ImpCall { rank });
-            }
-        }
-        Ok(())
+            request_arrival_iter: (0..ne)
+                .map(|rank| {
+                    series.request_arrivals[rank]
+                        .iter()
+                        .map(|&(_, iter)| iter)
+                        .collect()
+                })
+                .collect(),
+            traces: rep
+                .traces
+                .into_iter()
+                .map(|(_, rank, _, trace)| (rank, trace))
+                .collect(),
+        })
     }
 }
 
@@ -690,7 +406,10 @@ mod tests {
 
     #[test]
     fn run_completes_all_transfers() {
-        let report = CoupledSim::new(small_config(true, 1e-3)).unwrap().run().unwrap();
+        let report = CoupledSim::new(small_config(true, 1e-3))
+            .unwrap()
+            .run()
+            .unwrap();
         // Every importer rank completed all 5 imports.
         assert_eq!(report.importer_done, vec![5; 4]);
         // Every exporter rank sent exactly 5 matched objects.
@@ -702,8 +421,14 @@ mod tests {
 
     #[test]
     fn deterministic_repeat() {
-        let a = CoupledSim::new(small_config(true, 1e-3)).unwrap().run().unwrap();
-        let b = CoupledSim::new(small_config(true, 1e-3)).unwrap().run().unwrap();
+        let a = CoupledSim::new(small_config(true, 1e-3))
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = CoupledSim::new(small_config(true, 1e-3))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(a.export_time_series, b.export_time_series);
         assert_eq!(a.action_series, b.action_series);
         assert_eq!(a.duration, b.duration);
@@ -711,8 +436,14 @@ mod tests {
 
     #[test]
     fn buddy_help_skips_memcpys_on_slow_rank() {
-        let with = CoupledSim::new(small_config(true, 1e-3)).unwrap().run().unwrap();
-        let without = CoupledSim::new(small_config(false, 1e-3)).unwrap().run().unwrap();
+        let with = CoupledSim::new(small_config(true, 1e-3))
+            .unwrap()
+            .run()
+            .unwrap();
+        let without = CoupledSim::new(small_config(false, 1e-3))
+            .unwrap()
+            .run()
+            .unwrap();
         let slow = 3;
         assert!(
             with.stats[slow].skips > without.stats[slow].skips,
@@ -728,15 +459,14 @@ mod tests {
     fn fast_importer_reaches_optimal_state() {
         // A fast importer queries ahead of the slow exporter: after warm-up
         // the slow rank should only skip or copy-send (optimal state).
-        let report = CoupledSim::new(small_config(true, 1e-4)).unwrap().run().unwrap();
+        let report = CoupledSim::new(small_config(true, 1e-4))
+            .unwrap()
+            .run()
+            .unwrap();
         let slow = 3;
         let entry = report.optimal_entry(slow);
         assert!(entry.is_some(), "never entered the optimal state");
-        assert!(
-            entry.unwrap() < 90,
-            "optimal state too late: {:?}",
-            entry
-        );
+        assert!(entry.unwrap() < 90, "optimal state too late: {:?}", entry);
     }
 
     #[test]
@@ -770,7 +500,10 @@ mod tests {
 
     #[test]
     fn export_series_lengths_match_iterations() {
-        let report = CoupledSim::new(small_config(true, 1e-3)).unwrap().run().unwrap();
+        let report = CoupledSim::new(small_config(true, 1e-3))
+            .unwrap()
+            .run()
+            .unwrap();
         for rank in 0..4 {
             assert_eq!(report.export_time_series[rank].len(), 101);
             assert_eq!(report.action_series[rank].len(), 101);
@@ -802,8 +535,14 @@ mod tests {
     fn buddy_help_lowers_peak_buffer_occupancy() {
         // A fast importer with buddy-help keeps the slow rank's buffer
         // nearly empty; without buddy-help every candidate is buffered.
-        let with = CoupledSim::new(small_config(true, 1e-4)).unwrap().run().unwrap();
-        let without = CoupledSim::new(small_config(false, 1e-4)).unwrap().run().unwrap();
+        let with = CoupledSim::new(small_config(true, 1e-4))
+            .unwrap()
+            .run()
+            .unwrap();
+        let without = CoupledSim::new(small_config(false, 1e-4))
+            .unwrap()
+            .run()
+            .unwrap();
         let slow = 3;
         assert!(
             with.stats[slow].buffered_hwm <= without.stats[slow].buffered_hwm,
@@ -815,11 +554,28 @@ mod tests {
 
     #[test]
     fn t_ub_counts_convert_to_seconds() {
-        let report = CoupledSim::new(small_config(false, 1e-3)).unwrap().run().unwrap();
+        let report = CoupledSim::new(small_config(false, 1e-3))
+            .unwrap()
+            .run()
+            .unwrap();
         for rank in 0..4 {
             let per_copy = CostModel::default().memcpy_time(64 * 64 / 4 * 8);
             let expect = report.stats[rank].unnecessary_total() as f64 * per_copy;
             assert!((report.t_ub_seconds[rank] - expect).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn trace_rank_records_the_slow_ranks_events() {
+        let mut sim = CoupledSim::new(small_config(true, 1e-3)).unwrap();
+        sim.trace_rank(3);
+        let report = sim.run().unwrap();
+        assert_eq!(report.traces.len(), 1);
+        let (rank, trace) = &report.traces[0];
+        assert_eq!(*rank, 3);
+        let (copied, skipped) = trace.export_counts();
+        assert_eq!(copied + skipped, 101, "one trace line per export call");
+        assert_eq!(copied as u64, report.stats[3].memcpys);
+        assert_eq!(skipped as u64, report.stats[3].skips);
     }
 }

@@ -1,6 +1,7 @@
 //! A minimal deterministic discrete-event core.
 
 pub mod coupled;
+pub mod topo;
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -121,6 +122,14 @@ impl<E> EventQueue<E> {
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+}
+
+/// The event queue *is* the simulator's clock: reading it yields the time
+/// of the last popped event, in virtual seconds.
+impl<E> crate::engine::Clock for EventQueue<E> {
+    fn now(&self) -> f64 {
+        EventQueue::now(self).0
     }
 }
 

@@ -1,0 +1,662 @@
+//! Deterministic discrete-event simulation of an arbitrary coupling
+//! topology.
+//!
+//! This is the simulator side of the shared engine: any number of programs,
+//! each with its own process count, rep, export/import schedules and
+//! per-rank compute costs; any set of connections, including one exported
+//! region feeding several importers. The protocol itself lives in
+//! [`crate::engine`] — this module only turns [`Outgoing`] messages into
+//! events with modelled latencies and advances virtual time.
+//!
+//! The single-pair simulator ([`crate::des::coupled::CoupledSim`]) is a thin
+//! adapter over this driver; for pair topologies the event schedule (times
+//! *and* tie-breaking insertion order) is identical to the original
+//! hand-written pair loop, so Figure-4 outputs are bit-for-bit stable.
+
+use crate::cost::CostModel;
+use crate::des::coupled::{ActionKind, SimError};
+use crate::des::EventQueue;
+use crate::engine::{
+    deliver_all, Endpoint, EngineError, ExportNode, ImportNode, Outgoing, RepNode, Topology,
+    Transport,
+};
+use couplink_proto::{
+    ConnectionId, CtrlMsg, ExportStats, ImportState, PortError, RequestId, Trace,
+};
+use couplink_time::{PeriodicSchedule, Timestamp};
+use std::collections::HashMap;
+
+impl From<EngineError> for SimError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Port(e) => SimError::Port(e),
+            EngineError::Rep(e) => SimError::Rep(e),
+            EngineError::Import(e) => SimError::Import(e),
+            EngineError::UnexpectedMessage(what) => SimError::Config(what.into()),
+        }
+    }
+}
+
+/// Periodic export schedule for one program's exported region.
+#[derive(Debug, Clone)]
+pub struct ExportSchedule {
+    /// Program name.
+    pub program: String,
+    /// Exported region name.
+    pub region: String,
+    /// Timestamp of export `i` is `t0 + i * dt`.
+    pub t0: f64,
+    /// Timestamp step.
+    pub dt: f64,
+    /// Number of export iterations each process performs.
+    pub count: usize,
+    /// Per-rank compute seconds per iteration (index = rank).
+    pub compute: Vec<f64>,
+}
+
+/// Periodic import schedule for one program's imported region.
+#[derive(Debug, Clone)]
+pub struct ImportSchedule {
+    /// Program name.
+    pub program: String,
+    /// Imported region name.
+    pub region: String,
+    /// Timestamp of import `j` is `t0 + j * dt`.
+    pub t0: f64,
+    /// Timestamp step.
+    pub dt: f64,
+    /// Number of import iterations each process performs.
+    pub count: usize,
+    /// Compute seconds per iteration (same for all ranks).
+    pub compute: f64,
+    /// One-time startup cost before the first iteration.
+    pub startup: f64,
+}
+
+/// Configuration of a topology simulation.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// The coupling topology.
+    pub topology: Topology,
+    /// One schedule per exported region (all must be covered).
+    pub exports: Vec<ExportSchedule>,
+    /// One schedule per imported region (all must be covered).
+    pub imports: Vec<ImportSchedule>,
+    /// Whether the buddy-help optimization is enabled.
+    pub buddy_help: bool,
+    /// Operation costs.
+    pub cost: CostModel,
+    /// Per-process framework buffer capacity in objects (`None` =
+    /// unbounded).
+    pub buffer_capacity: Option<usize>,
+}
+
+/// Per-rank series of one export schedule, in the report.
+#[derive(Debug, Clone)]
+pub struct ExportSeries {
+    /// Program name.
+    pub program: String,
+    /// Region name.
+    pub region: String,
+    /// Per rank: seconds charged to each export call.
+    pub times: Vec<Vec<f64>>,
+    /// Per rank, per call: what each connection did with the export.
+    pub actions: Vec<Vec<Vec<(ConnectionId, ActionKind)>>>,
+    /// Per rank: `(connection, export-iteration count at arrival)` for each
+    /// forwarded request, in arrival order.
+    pub request_arrivals: Vec<Vec<(ConnectionId, usize)>>,
+}
+
+/// Results of a topology run.
+#[derive(Debug, Clone)]
+pub struct TopoReport {
+    /// Virtual time at which the last event executed.
+    pub duration: f64,
+    /// Per connection, per exporter rank: final port statistics.
+    pub stats: Vec<Vec<ExportStats>>,
+    /// Per connection: the collective answer of each request, in resolution
+    /// order (`Some(m)` for a match at `m`, `None` for NO MATCH).
+    pub matches: Vec<Vec<Option<Timestamp>>>,
+    /// One series per export schedule, in configuration order.
+    pub export_series: Vec<ExportSeries>,
+    /// Per import schedule, per rank: completed import iterations.
+    pub import_done: Vec<Vec<usize>>,
+    /// Collected event traces: `(program, rank, connection, trace)`.
+    pub traces: Vec<(String, usize, ConnectionId, Trace)>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Process `rank` of export drive `drive` performs its next export.
+    Export { drive: usize, rank: usize },
+    /// Process `rank` of import drive `drive` makes its next import call.
+    ImpCall { drive: usize, rank: usize },
+    /// A control message arrives at an endpoint.
+    Deliver { to: Endpoint, msg: CtrlMsg },
+    /// A piece of matched data arrives at an importing process.
+    Piece {
+        prog: usize,
+        rank: usize,
+        conn: ConnectionId,
+        req: RequestId,
+    },
+}
+
+struct ExpRec {
+    iter: usize,
+    times: Vec<f64>,
+    actions: Vec<Vec<(ConnectionId, ActionKind)>>,
+    request_arrivals: Vec<(ConnectionId, usize)>,
+    /// Blocked on a full buffer, waiting for control traffic to free space.
+    blocked: bool,
+}
+
+struct ExpDrive {
+    prog: usize,
+    region: usize,
+    t0: f64,
+    dt: f64,
+    count: usize,
+    compute: Vec<f64>,
+    piece_bytes: Vec<usize>,
+    recs: Vec<ExpRec>,
+}
+
+struct ImpDrive {
+    prog: usize,
+    conn: ConnectionId,
+    t0: f64,
+    dt: f64,
+    count: usize,
+    compute: f64,
+    startup: f64,
+    iters: Vec<usize>,
+    waiting: Vec<bool>,
+}
+
+/// Schedules engine messages as simulator events with modelled latencies.
+struct DesTransport<'a> {
+    queue: &'a mut EventQueue<Ev>,
+    topo: &'a Topology,
+    cost: &'a CostModel,
+    /// Extra delay before network costs (the emitting call's own cost).
+    delay: f64,
+}
+
+impl Transport for DesTransport<'_> {
+    type Error = SimError;
+
+    fn ctrl(&mut self, to: Endpoint, msg: CtrlMsg) -> Result<(), SimError> {
+        self.queue
+            .schedule(self.delay + self.cost.ctrl_time(), Ev::Deliver { to, msg });
+        Ok(())
+    }
+
+    fn transfer(
+        &mut self,
+        from: Endpoint,
+        conn: ConnectionId,
+        req: RequestId,
+        _m: Timestamp,
+    ) -> Result<(), SimError> {
+        let Endpoint::Proc { rank, .. } = from else {
+            return Err(SimError::Config("data transfer emitted by a rep".into()));
+        };
+        let ct = self.topo.conn(conn);
+        for t in ct.plan.sends_from(rank) {
+            let bytes = t.rect.cells() * std::mem::size_of::<f64>();
+            self.queue.schedule(
+                self.delay + self.cost.data_time(bytes),
+                Ev::Piece {
+                    prog: ct.importer_prog,
+                    rank: t.dst,
+                    conn,
+                    req,
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+/// The topology simulator. Construct with [`TopologySim::new`], optionally
+/// enable traces with [`TopologySim::trace`], run with [`TopologySim::run`].
+pub struct TopologySim {
+    topo: Topology,
+    cost: CostModel,
+    queue: EventQueue<Ev>,
+    exp_drives: Vec<ExpDrive>,
+    imp_drives: Vec<ImpDrive>,
+    /// Export drive serving each connection (on its exporter program).
+    exp_drive_of: HashMap<ConnectionId, usize>,
+    /// Import drive serving each connection.
+    imp_drive_of: HashMap<ConnectionId, usize>,
+    exp_nodes: Vec<Vec<ExportNode>>,
+    imp_nodes: Vec<Vec<ImportNode>>,
+    reps: Vec<Option<RepNode>>,
+    matches: Vec<Vec<Option<Timestamp>>>,
+    traced: Vec<(usize, usize, ConnectionId)>,
+}
+
+impl TopologySim {
+    /// Builds the simulation, validating schedules against the topology.
+    pub fn new(cfg: TopologyConfig) -> Result<Self, SimError> {
+        let topo = cfg.topology;
+        let mut exp_drives = Vec::new();
+        let mut imp_drives = Vec::new();
+        let mut exp_drive_of = HashMap::new();
+        let mut imp_drive_of = HashMap::new();
+
+        for s in &cfg.exports {
+            let prog = topo
+                .program_idx(&s.program)
+                .ok_or_else(|| SimError::Config(format!("unknown program {}", s.program)))?;
+            let region = topo.programs[prog].export_idx(&s.region).ok_or_else(|| {
+                SimError::Config(format!("{} exports no region {}", s.program, s.region))
+            })?;
+            let procs = topo.programs[prog].procs;
+            if s.compute.len() != procs {
+                return Err(SimError::Config(format!(
+                    "export schedule for {}.{} has {} compute entries for {} processes",
+                    s.program,
+                    s.region,
+                    s.compute.len(),
+                    procs
+                )));
+            }
+            if s.dt <= 0.0 {
+                return Err(SimError::Config("timestamp steps must be positive".into()));
+            }
+            let decomp = &topo.programs[prog].exports[region].decomp;
+            let piece_bytes = (0..procs)
+                .map(|rank| decomp.owned(rank).cells() * std::mem::size_of::<f64>())
+                .collect();
+            for &cid in &topo.programs[prog].exports[region].conns {
+                exp_drive_of.insert(cid, exp_drives.len());
+            }
+            exp_drives.push(ExpDrive {
+                prog,
+                region,
+                t0: s.t0,
+                dt: s.dt,
+                count: s.count,
+                compute: s.compute.clone(),
+                piece_bytes,
+                recs: (0..procs)
+                    .map(|_| ExpRec {
+                        iter: 0,
+                        times: Vec::with_capacity(s.count),
+                        actions: Vec::with_capacity(s.count),
+                        request_arrivals: Vec::new(),
+                        blocked: false,
+                    })
+                    .collect(),
+            });
+        }
+        for s in &cfg.imports {
+            let prog = topo
+                .program_idx(&s.program)
+                .ok_or_else(|| SimError::Config(format!("unknown program {}", s.program)))?;
+            let region = topo.programs[prog].import_idx(&s.region).ok_or_else(|| {
+                SimError::Config(format!("{} imports no region {}", s.program, s.region))
+            })?;
+            if s.dt <= 0.0 {
+                return Err(SimError::Config("timestamp steps must be positive".into()));
+            }
+            let conn = topo.programs[prog].imports[region].conn;
+            let procs = topo.programs[prog].procs;
+            imp_drive_of.insert(conn, imp_drives.len());
+            imp_drives.push(ImpDrive {
+                prog,
+                conn,
+                t0: s.t0,
+                dt: s.dt,
+                count: s.count,
+                compute: s.compute,
+                startup: s.startup,
+                iters: vec![0; procs],
+                waiting: vec![false; procs],
+            });
+        }
+        // Every region of the topology needs a schedule, or its processes
+        // would never run.
+        for (pi, p) in topo.programs.iter().enumerate() {
+            for (ri, r) in p.exports.iter().enumerate() {
+                if !exp_drives.iter().any(|d| d.prog == pi && d.region == ri) {
+                    return Err(SimError::Config(format!(
+                        "no export schedule for {}.{}",
+                        p.name, r.name
+                    )));
+                }
+            }
+            for r in &p.imports {
+                if !imp_drive_of.contains_key(&r.conn) {
+                    return Err(SimError::Config(format!(
+                        "no import schedule for {}.{}",
+                        p.name, r.name
+                    )));
+                }
+            }
+        }
+
+        let exp_nodes = topo
+            .programs
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                if p.exports.is_empty() {
+                    Vec::new()
+                } else {
+                    (0..p.procs)
+                        .map(|rank| ExportNode::new(&topo, pi, rank, cfg.buffer_capacity))
+                        .collect()
+                }
+            })
+            .collect();
+        let imp_nodes = topo
+            .programs
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                if p.imports.is_empty() {
+                    Vec::new()
+                } else {
+                    (0..p.procs)
+                        .map(|rank| ImportNode::new(&topo, pi, rank))
+                        .collect()
+                }
+            })
+            .collect();
+        let reps = topo
+            .programs
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                if p.exports.is_empty() && p.imports.is_empty() {
+                    None
+                } else {
+                    Some(RepNode::new(&topo, pi, cfg.buddy_help))
+                }
+            })
+            .collect();
+        let matches = vec![Vec::new(); topo.conns.len()];
+        Ok(TopologySim {
+            topo,
+            cost: cfg.cost,
+            queue: EventQueue::new(),
+            exp_drives,
+            imp_drives,
+            exp_drive_of,
+            imp_drive_of,
+            exp_nodes,
+            imp_nodes,
+            reps,
+            matches,
+            traced: Vec::new(),
+        })
+    }
+
+    /// Enables Figure-5 style event tracing for one connection on one
+    /// exporting process.
+    pub fn trace(
+        &mut self,
+        program: &str,
+        rank: usize,
+        conn: ConnectionId,
+    ) -> Result<(), SimError> {
+        let prog = self
+            .topo
+            .program_idx(program)
+            .ok_or_else(|| SimError::Config(format!("unknown program {program}")))?;
+        self.exp_nodes[prog][rank].enable_trace(conn);
+        self.traced.push((prog, rank, conn));
+        Ok(())
+    }
+
+    /// Runs to completion and returns the report.
+    pub fn run(mut self) -> Result<TopoReport, SimError> {
+        // Kick off every process: exporters compute before their first
+        // export; importers pay startup + compute before their first call.
+        // All export drives start before all import drives, matching the
+        // pair simulator's kickoff order.
+        for (d, drive) in self.exp_drives.iter().enumerate() {
+            for rank in 0..drive.recs.len() {
+                self.queue
+                    .schedule(drive.compute[rank], Ev::Export { drive: d, rank });
+            }
+        }
+        for (d, drive) in self.imp_drives.iter().enumerate() {
+            for rank in 0..drive.iters.len() {
+                self.queue.schedule(
+                    drive.startup + drive.compute,
+                    Ev::ImpCall { drive: d, rank },
+                );
+            }
+        }
+
+        while let Some((_, event)) = self.queue.pop() {
+            self.dispatch(event)?;
+        }
+
+        let duration = self.queue.now().0;
+        let stats = self
+            .topo
+            .conns
+            .iter()
+            .map(|ct| {
+                (0..self.topo.programs[ct.exporter_prog].procs)
+                    .map(|rank| {
+                        self.exp_nodes[ct.exporter_prog][rank]
+                            .port_stats(ct.id)
+                            .clone()
+                    })
+                    .collect()
+            })
+            .collect();
+        let export_series = self
+            .exp_drives
+            .iter()
+            .map(|d| ExportSeries {
+                program: self.topo.programs[d.prog].name.clone(),
+                region: self.topo.programs[d.prog].exports[d.region].name.clone(),
+                times: d.recs.iter().map(|r| r.times.clone()).collect(),
+                actions: d.recs.iter().map(|r| r.actions.clone()).collect(),
+                request_arrivals: d.recs.iter().map(|r| r.request_arrivals.clone()).collect(),
+            })
+            .collect();
+        let import_done = self.imp_drives.iter().map(|d| d.iters.clone()).collect();
+        let mut traces = Vec::new();
+        for (prog, rank, conn) in std::mem::take(&mut self.traced) {
+            if let Some(trace) = self.exp_nodes[prog][rank].take_trace(conn) {
+                traces.push((self.topo.programs[prog].name.clone(), rank, conn, trace));
+            }
+        }
+        Ok(TopoReport {
+            duration,
+            stats,
+            matches: self.matches,
+            export_series,
+            import_done,
+            traces,
+        })
+    }
+
+    fn dispatch(&mut self, event: Ev) -> Result<(), SimError> {
+        match event {
+            Ev::Export { drive, rank } => {
+                let d = &self.exp_drives[drive];
+                let (prog, region) = (d.prog, d.region);
+                let iter = d.recs[rank].iter;
+                let ts = PeriodicSchedule::new(d.t0, d.dt)?.at(iter)?;
+                let fx = match self.exp_nodes[prog][rank].on_export(region, ts) {
+                    Err(EngineError::Port(PortError::BufferFull { .. })) => {
+                        // Stall: the export retries when a control message
+                        // frees buffer space.
+                        self.exp_drives[drive].recs[rank].blocked = true;
+                        return Ok(());
+                    }
+                    other => other?,
+                };
+                let d = &mut self.exp_drives[drive];
+                let call_cost = if fx.copy {
+                    self.cost.memcpy_time(d.piece_bytes[rank]) + self.cost.export_overhead
+                } else {
+                    self.cost.export_overhead
+                };
+                {
+                    let rec = &mut d.recs[rank];
+                    rec.times.push(call_cost);
+                    rec.actions
+                        .push(fx.actions.iter().map(|&(c, a)| (c, a.into())).collect());
+                    rec.iter += 1;
+                }
+                let next = d.recs[rank].iter < d.count;
+                let compute = d.compute[rank];
+                let mut tx = DesTransport {
+                    queue: &mut self.queue,
+                    topo: &self.topo,
+                    cost: &self.cost,
+                    delay: call_cost,
+                };
+                deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;
+                if next {
+                    self.queue
+                        .schedule(call_cost + compute, Ev::Export { drive, rank });
+                }
+            }
+
+            Ev::ImpCall { drive, rank } => {
+                let d = &self.imp_drives[drive];
+                let iter = d.iters[rank];
+                if iter >= d.count {
+                    return Ok(());
+                }
+                let ts = PeriodicSchedule::new(d.t0, d.dt)?.at(iter)?;
+                let conn = d.conn;
+                let prog = d.prog;
+                let (_req, msg) = self.imp_nodes[prog][rank].begin_import(conn, ts)?;
+                self.imp_drives[drive].waiting[rank] = true;
+                let mut tx = DesTransport {
+                    queue: &mut self.queue,
+                    topo: &self.topo,
+                    cost: &self.cost,
+                    delay: 0.0,
+                };
+                deliver_all(&mut tx, Endpoint::Proc { prog, rank }, vec![msg])?;
+                self.check_import_done(drive, rank)?;
+            }
+
+            Ev::Deliver { to, msg } => self.deliver(to, msg)?,
+
+            Ev::Piece {
+                prog,
+                rank,
+                conn,
+                req,
+            } => {
+                self.imp_nodes[prog][rank].on_piece(conn, req)?;
+                let drive = self.imp_drive_of[&conn];
+                self.check_import_done(drive, rank)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn deliver(&mut self, to: Endpoint, msg: CtrlMsg) -> Result<(), SimError> {
+        match to {
+            Endpoint::Rep { prog } => {
+                let rep = self.reps[prog]
+                    .as_mut()
+                    .ok_or_else(|| SimError::Config("message for a rep-less program".into()))?;
+                let outs = rep.on_msg(&self.topo, msg)?;
+                // Record each collective resolution as it is announced by
+                // the exporter's rep.
+                for out in &outs {
+                    if let Outgoing::Ctrl {
+                        msg: CtrlMsg::Answer { conn, answer, .. },
+                        ..
+                    } = out
+                    {
+                        self.matches[conn.0 as usize].push(match answer {
+                            couplink_proto::RepAnswer::Match(m) => Some(*m),
+                            couplink_proto::RepAnswer::NoMatch => None,
+                        });
+                    }
+                }
+                let mut tx = DesTransport {
+                    queue: &mut self.queue,
+                    topo: &self.topo,
+                    cost: &self.cost,
+                    delay: 0.0,
+                };
+                deliver_all(&mut tx, Endpoint::Rep { prog }, outs)?;
+            }
+            Endpoint::Proc { prog, rank } => match msg {
+                CtrlMsg::ForwardRequest { conn, req, ts } => {
+                    let drive = self.exp_drive_of[&conn];
+                    let iter_now = self.exp_drives[drive].recs[rank].iter;
+                    self.exp_drives[drive].recs[rank]
+                        .request_arrivals
+                        .push((conn, iter_now));
+                    let fx = self.exp_nodes[prog][rank].on_request(conn, req, ts)?;
+                    let mut tx = DesTransport {
+                        queue: &mut self.queue,
+                        topo: &self.topo,
+                        cost: &self.cost,
+                        delay: 0.0,
+                    };
+                    deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;
+                    self.wake_blocked(drive, rank);
+                }
+                CtrlMsg::BuddyHelp { conn, req, answer } => {
+                    let drive = self.exp_drive_of[&conn];
+                    let fx = self.exp_nodes[prog][rank].on_buddy_help(conn, req, answer)?;
+                    let mut tx = DesTransport {
+                        queue: &mut self.queue,
+                        topo: &self.topo,
+                        cost: &self.cost,
+                        delay: 0.0,
+                    };
+                    deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;
+                    self.wake_blocked(drive, rank);
+                }
+                CtrlMsg::AnswerBcast { conn, req, answer } => {
+                    self.imp_nodes[prog][rank].on_answer(conn, req, answer)?;
+                    let drive = self.imp_drive_of[&conn];
+                    self.check_import_done(drive, rank)?;
+                }
+                other => {
+                    return Err(SimError::Config(format!(
+                        "unroutable process message {other:?}"
+                    )))
+                }
+            },
+        }
+        Ok(())
+    }
+
+    /// Control traffic may have freed buffer space: wake a stalled exporter.
+    fn wake_blocked(&mut self, drive: usize, rank: usize) {
+        let rec = &mut self.exp_drives[drive].recs[rank];
+        if rec.blocked {
+            rec.blocked = false;
+            self.queue.schedule(0.0, Ev::Export { drive, rank });
+        }
+    }
+
+    /// If importer `rank` of `drive` is waiting and its current import has
+    /// finished, advance it to the next iteration.
+    fn check_import_done(&mut self, drive: usize, rank: usize) -> Result<(), SimError> {
+        let d = &mut self.imp_drives[drive];
+        let node = &mut self.imp_nodes[d.prog][rank];
+        if d.waiting[rank] && matches!(node.state(d.conn), Some(ImportState::Done { .. })) {
+            node.finish(d.conn);
+            d.waiting[rank] = false;
+            d.iters[rank] += 1;
+            if d.iters[rank] < d.count {
+                self.queue.schedule(d.compute, Ev::ImpCall { drive, rank });
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,133 @@
+//! The runtime-agnostic coupling engine.
+//!
+//! The paper's protocol — collective import requests aggregated by a rep,
+//! the five legal response sets, buddy-help, acceptable-region pruning — is
+//! implemented once, here, as message-passing between small *nodes*:
+//!
+//! - [`ExportNode`]: one per exporting process; all its exported regions,
+//!   each region one [`couplink_proto::MultiExport`] (one port per
+//!   connection over one shared object store).
+//! - [`RepNode`]: one per program; aggregates collective import calls and
+//!   export responses for every connection the program touches.
+//! - [`ImportNode`]: one per importing process; one
+//!   [`couplink_proto::ImportPort`] per imported region.
+//!
+//! Nodes consume [`couplink_proto::CtrlMsg`] values and emit [`Outgoing`]
+//! messages in a deterministic order. What *varies* between runtimes is only
+//! how messages move and what time means, captured by two traits:
+//!
+//! - [`Transport`]: delivers a control message to an [`Endpoint`] and
+//!   executes a data transfer (expanding it into per-destination pieces via
+//!   the connection's redistribution plan). The discrete-event simulator
+//!   schedules events with modelled latencies; the threaded fabric sends on
+//!   channels.
+//! - [`Clock`]: reads the current time — virtual seconds in the simulator,
+//!   wall-clock in the fabric — so shared code can stamp outcomes.
+//!
+//! The topology itself ([`Topology`]) is runtime-neutral: N programs, any
+//! acyclic-or-cyclic set of connections, multi-importer export regions.
+
+pub mod node;
+pub mod topology;
+
+pub use node::{EngineError, ExportFx, ExportNode, ImportNode, RepNode};
+pub use topology::{
+    ConnTopo, ExportRegionTopo, ImportRegionTopo, ProgramTopo, Topology, TopologyError,
+};
+
+use couplink_proto::{ConnectionId, CtrlMsg, RequestId};
+use couplink_time::Timestamp;
+
+/// Where a control message is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A coupled process of a program.
+    Proc {
+        /// Program index in the topology.
+        prog: usize,
+        /// Process rank within the program.
+        rank: usize,
+    },
+    /// A program's rep process.
+    Rep {
+        /// Program index in the topology.
+        prog: usize,
+    },
+}
+
+/// One message a node wants moved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outgoing {
+    /// A control message for an endpoint.
+    Ctrl {
+        /// Destination.
+        to: Endpoint,
+        /// The message.
+        msg: CtrlMsg,
+    },
+    /// A matched object must be transferred from the emitting process to
+    /// the connection's importer. The transport expands this into one piece
+    /// per destination rank using the connection's redistribution plan.
+    Transfer {
+        /// The connection whose match is being served.
+        conn: ConnectionId,
+        /// The request the transfer answers.
+        req: RequestId,
+        /// Timestamp of the matched object.
+        m: Timestamp,
+    },
+}
+
+/// How messages move for one runtime. Implementations are cheap views
+/// carrying whatever context the runtime needs (event queue + cost model,
+/// or channel handles + object stores).
+pub trait Transport {
+    /// The runtime's failure type.
+    type Error;
+
+    /// Moves one control message to its endpoint.
+    fn ctrl(&mut self, to: Endpoint, msg: CtrlMsg) -> Result<(), Self::Error>;
+
+    /// Executes one data transfer emitted by `from`.
+    fn transfer(
+        &mut self,
+        from: Endpoint,
+        conn: ConnectionId,
+        req: RequestId,
+        m: Timestamp,
+    ) -> Result<(), Self::Error>;
+}
+
+/// Delivers every outgoing message of a node step through a transport, in
+/// emission order.
+pub fn deliver_all<T: Transport>(
+    transport: &mut T,
+    from: Endpoint,
+    msgs: Vec<Outgoing>,
+) -> Result<(), T::Error> {
+    for m in msgs {
+        match m {
+            Outgoing::Ctrl { to, msg } => transport.ctrl(to, msg)?,
+            Outgoing::Transfer { conn, req, m } => transport.transfer(from, conn, req, m)?,
+        }
+    }
+    Ok(())
+}
+
+/// What time means for one runtime: virtual seconds in the simulator,
+/// wall-clock seconds in the threaded fabric.
+pub trait Clock {
+    /// Seconds since the runtime's epoch.
+    fn now(&self) -> f64;
+}
+
+/// A clock reading a fixed value (useful for tests and for runtimes that
+/// advance time externally).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedClock(pub f64);
+
+impl Clock for FixedClock {
+    fn now(&self) -> f64 {
+        self.0
+    }
+}

@@ -1,0 +1,550 @@
+//! Per-process and per-rep protocol nodes.
+//!
+//! Each node wraps the sans-IO machines from `couplink-proto` for one
+//! process (or rep) of one program and translates their effects into
+//! [`Outgoing`] messages in a fixed, runtime-independent order. The drivers
+//! (discrete-event simulator, threaded fabric) only move these messages and
+//! execute data transfers; every protocol decision lives here.
+
+use super::topology::Topology;
+use super::{Endpoint, Outgoing};
+use couplink_proto::{
+    CtrlMsg, ExportAction, ExportPort, ImportError, ImportPort, ImportState, MultiExport,
+    PortError, ProcResponse, Rank, RepAnswer, RepError, RequestId, Trace,
+};
+use couplink_time::Timestamp;
+use std::collections::HashMap;
+
+/// Any protocol failure surfaced by a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// An export port rejected an input.
+    Port(PortError),
+    /// A rep machine rejected an input (e.g. a collective violation).
+    Rep(RepError),
+    /// An import port rejected an input.
+    Import(ImportError),
+    /// A message arrived at a node that cannot handle it.
+    UnexpectedMessage(&'static str),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Port(e) => write!(f, "export port: {e}"),
+            EngineError::Rep(e) => write!(f, "rep: {e}"),
+            EngineError::Import(e) => write!(f, "import port: {e}"),
+            EngineError::UnexpectedMessage(what) => write!(f, "unexpected message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PortError> for EngineError {
+    fn from(e: PortError) -> Self {
+        EngineError::Port(e)
+    }
+}
+impl From<RepError> for EngineError {
+    fn from(e: RepError) -> Self {
+        EngineError::Rep(e)
+    }
+}
+impl From<ImportError> for EngineError {
+    fn from(e: ImportError) -> Self {
+        EngineError::Import(e)
+    }
+}
+
+/// One exported region's state on one process.
+#[derive(Debug)]
+struct ExportRegionState {
+    /// The per-connection ports behind one shared object store.
+    multi: MultiExport,
+    /// Global connection ids, parallel to the multi-export's ports.
+    conns: Vec<couplink_proto::ConnectionId>,
+    /// Optional per-connection event traces (Figure 5-style).
+    traces: Vec<Option<Trace>>,
+}
+
+/// Effects of one export/request/buddy-help step on an export node.
+///
+/// `msgs` must be delivered (or scheduled) **in order** before `freed` is
+/// applied to the object store: sends reference buffered objects, so a
+/// freed object may be one that was just sent.
+#[derive(Debug, Default)]
+pub struct ExportFx {
+    /// Messages to move, in emission order.
+    pub msgs: Vec<Outgoing>,
+    /// Whether the exported object must be copied into the region's shared
+    /// store (export steps only; at most one copy per region per export).
+    pub copy: bool,
+    /// Timestamps whose shared copy is dead on every connection.
+    pub freed: Vec<Timestamp>,
+    /// Per-connection actions of an export step, in region connection
+    /// order (empty for request/buddy-help steps).
+    pub actions: Vec<(couplink_proto::ConnectionId, ExportAction)>,
+}
+
+/// The export side of one process: every region it exports, each with its
+/// per-connection ports and shared-store refcounting.
+#[derive(Debug)]
+pub struct ExportNode {
+    prog: usize,
+    rank: usize,
+    regions: Vec<ExportRegionState>,
+    /// Region index serving each connection.
+    by_conn: HashMap<couplink_proto::ConnectionId, (usize, usize)>,
+    /// Request timestamps remembered for traced connections (buddy-help
+    /// trace lines report the requested timestamp, which the wire message
+    /// does not carry).
+    req_ts: HashMap<(couplink_proto::ConnectionId, RequestId), Timestamp>,
+}
+
+impl ExportNode {
+    /// Builds the export node for process `rank` of program `prog`.
+    pub fn new(topo: &Topology, prog: usize, rank: usize, capacity: Option<usize>) -> Self {
+        let mut regions = Vec::new();
+        let mut by_conn = HashMap::new();
+        for (ri, region) in topo.programs[prog].exports.iter().enumerate() {
+            let mut ports = Vec::new();
+            for (slot, &cid) in region.conns.iter().enumerate() {
+                let ct = topo.conn(cid);
+                let port = match capacity {
+                    Some(cap) => ExportPort::with_capacity(cid, ct.policy, ct.tolerance, cap),
+                    None => ExportPort::new(cid, ct.policy, ct.tolerance),
+                };
+                ports.push(port);
+                by_conn.insert(cid, (ri, slot));
+            }
+            let n = ports.len();
+            regions.push(ExportRegionState {
+                multi: MultiExport::new(ports),
+                conns: region.conns.clone(),
+                traces: vec![None; n],
+            });
+        }
+        ExportNode {
+            prog,
+            rank,
+            regions,
+            by_conn,
+            req_ts: HashMap::new(),
+        }
+    }
+
+    /// Enables event tracing for one connection of this node.
+    pub fn enable_trace(&mut self, conn: couplink_proto::ConnectionId) {
+        if let Some(&(ri, slot)) = self.by_conn.get(&conn) {
+            self.regions[ri].traces[slot] = Some(Trace::new());
+        }
+    }
+
+    /// Takes the recorded trace for a connection, if tracing was enabled.
+    pub fn take_trace(&mut self, conn: couplink_proto::ConnectionId) -> Option<Trace> {
+        let &(ri, slot) = self.by_conn.get(&conn)?;
+        self.regions[ri].traces[slot].take()
+    }
+
+    /// The region index serving a connection on this node.
+    pub fn region_of(&self, conn: couplink_proto::ConnectionId) -> Option<usize> {
+        self.by_conn.get(&conn).map(|&(ri, _)| ri)
+    }
+
+    /// Number of regions this node exports.
+    pub fn regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Statistics of the port serving `conn`.
+    pub fn port_stats(&self, conn: couplink_proto::ConnectionId) -> &couplink_proto::ExportStats {
+        let &(ri, slot) = self.by_conn.get(&conn).expect("connection served here");
+        self.regions[ri].multi.port(slot).stats()
+    }
+
+    /// Objects currently held in a region's shared store.
+    pub fn shared_buffered_len(&self, region: usize) -> usize {
+        self.regions[region].multi.shared_buffered_len()
+    }
+
+    /// Objects buffered on one connection's port.
+    pub fn conn_buffered_len(&self, conn: couplink_proto::ConnectionId) -> usize {
+        let &(ri, slot) = self.by_conn.get(&conn).expect("connection served here");
+        self.regions[ri].multi.port(slot).buffered_len()
+    }
+
+    /// The process exports one object on region `region`.
+    ///
+    /// [`PortError::BufferFull`] is non-consuming: the caller may retry the
+    /// same export after buffer space frees (threaded runtime blocks; the
+    /// simulator re-schedules on the next free).
+    pub fn on_export(&mut self, region: usize, t: Timestamp) -> Result<ExportFx, EngineError> {
+        let state = &mut self.regions[region];
+        let fx = state.multi.on_export(t)?;
+        let mut out = ExportFx {
+            copy: fx.copy,
+            freed: fx.freed.clone(),
+            ..Default::default()
+        };
+        for (slot, pfx) in fx.per_conn.iter().enumerate() {
+            let cid = state.conns[slot];
+            if let Some(trace) = state.traces[slot].as_mut() {
+                trace.record_export(t, pfx);
+            }
+            let action = pfx.action.expect("on_export decides an action");
+            out.actions.push((cid, action));
+            if let ExportAction::BufferAndSend { request } = action {
+                out.msgs.push(Outgoing::Transfer {
+                    conn: cid,
+                    req: request,
+                    m: t,
+                });
+            }
+        }
+        // All local resolutions are reported to the rep after the export's
+        // own send; matched objects then go out (same order the pair
+        // simulator used, so single-connection schedules are unchanged).
+        for (slot, pfx) in fx.per_conn.iter().enumerate() {
+            let cid = state.conns[slot];
+            for r in &pfx.resolutions {
+                out.msgs.push(Outgoing::Ctrl {
+                    to: Endpoint::Rep { prog: self.prog },
+                    msg: CtrlMsg::Response {
+                        conn: cid,
+                        req: r.request,
+                        rank: Rank(self.rank as u32),
+                        resp: answer_to_response(r.answer),
+                    },
+                });
+            }
+        }
+        for (slot, pfx) in fx.per_conn.iter().enumerate() {
+            let cid = state.conns[slot];
+            for r in &pfx.resolutions {
+                if let Some(m) = r.send {
+                    out.msgs.push(Outgoing::Transfer {
+                        conn: cid,
+                        req: r.request,
+                        m,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// A forwarded import request reaches this process.
+    pub fn on_request(
+        &mut self,
+        conn: couplink_proto::ConnectionId,
+        req: RequestId,
+        ts: Timestamp,
+    ) -> Result<ExportFx, EngineError> {
+        let &(ri, slot) = self
+            .by_conn
+            .get(&conn)
+            .ok_or(EngineError::UnexpectedMessage(
+                "request for foreign connection",
+            ))?;
+        let state = &mut self.regions[ri];
+        let (fx, freed) = state.multi.on_request(slot, req, ts)?;
+        if let Some(trace) = state.traces[slot].as_mut() {
+            trace.record_request(ts, &fx);
+            self.req_ts.insert((conn, req), ts);
+        }
+        let mut out = ExportFx {
+            freed,
+            ..Default::default()
+        };
+        out.msgs.push(Outgoing::Ctrl {
+            to: Endpoint::Rep { prog: self.prog },
+            msg: CtrlMsg::Response {
+                conn,
+                req,
+                rank: Rank(self.rank as u32),
+                resp: fx.response,
+            },
+        });
+        if let Some(m) = fx.send {
+            out.msgs.push(Outgoing::Transfer { conn, req, m });
+        }
+        Ok(out)
+    }
+
+    /// A buddy-help message reaches this process.
+    pub fn on_buddy_help(
+        &mut self,
+        conn: couplink_proto::ConnectionId,
+        req: RequestId,
+        answer: RepAnswer,
+    ) -> Result<ExportFx, EngineError> {
+        let &(ri, slot) = self
+            .by_conn
+            .get(&conn)
+            .ok_or(EngineError::UnexpectedMessage(
+                "buddy-help for foreign connection",
+            ))?;
+        let state = &mut self.regions[ri];
+        let (fx, freed) = state.multi.on_buddy_help(slot, req, answer)?;
+        if let Some(trace) = state.traces[slot].as_mut() {
+            if let Some(x) = self.req_ts.remove(&(conn, req)) {
+                trace.record_buddy_help(x, req, answer, &fx);
+            }
+        }
+        let mut out = ExportFx {
+            freed,
+            ..Default::default()
+        };
+        if let Some(m) = fx.send {
+            out.msgs.push(Outgoing::Transfer { conn, req, m });
+        }
+        Ok(out)
+    }
+}
+
+fn answer_to_response(a: RepAnswer) -> ProcResponse {
+    match a {
+        RepAnswer::Match(m) => ProcResponse::Match(m),
+        RepAnswer::NoMatch => ProcResponse::NoMatch,
+    }
+}
+
+/// One program's rep: aggregates collective imports and exports for every
+/// connection the program participates in (the paper's one-extra-process-
+/// per-program design).
+#[derive(Debug)]
+pub struct RepNode {
+    prog: usize,
+    exp: HashMap<couplink_proto::ConnectionId, couplink_proto::ExporterRep>,
+    imp: HashMap<couplink_proto::ConnectionId, couplink_proto::ImporterRep>,
+}
+
+impl RepNode {
+    /// Builds the rep for program `prog`.
+    pub fn new(topo: &Topology, prog: usize, buddy_help: bool) -> Self {
+        let mut exp = HashMap::new();
+        let mut imp = HashMap::new();
+        for region in &topo.programs[prog].exports {
+            for &cid in &region.conns {
+                exp.insert(
+                    cid,
+                    couplink_proto::ExporterRep::new(topo.programs[prog].procs, buddy_help),
+                );
+            }
+        }
+        for region in &topo.programs[prog].imports {
+            imp.insert(
+                region.conn,
+                couplink_proto::ImporterRep::new(topo.programs[prog].procs),
+            );
+        }
+        RepNode { prog, exp, imp }
+    }
+
+    /// Handles one control message addressed to this rep.
+    pub fn on_msg(&mut self, topo: &Topology, msg: CtrlMsg) -> Result<Vec<Outgoing>, EngineError> {
+        let mut out = Vec::new();
+        match msg {
+            CtrlMsg::ImportCall { conn, rank, ts } => {
+                let rep = self
+                    .imp
+                    .get_mut(&conn)
+                    .ok_or(EngineError::UnexpectedMessage(
+                        "import call at non-importer",
+                    ))?;
+                let fx = rep.on_import_call(rank, ts)?;
+                if let Some((req, ts)) = fx.request {
+                    out.push(Outgoing::Ctrl {
+                        to: Endpoint::Rep {
+                            prog: topo.conn(conn).exporter_prog,
+                        },
+                        msg: CtrlMsg::ImportRequest { conn, req, ts },
+                    });
+                }
+                self.push_delivers(topo, conn, fx.deliver, &mut out);
+            }
+            CtrlMsg::Answer { conn, req, answer } => {
+                let rep = self
+                    .imp
+                    .get_mut(&conn)
+                    .ok_or(EngineError::UnexpectedMessage("answer at non-importer"))?;
+                let fx = rep.on_answer(req, answer)?;
+                self.push_delivers(topo, conn, fx.deliver, &mut out);
+            }
+            CtrlMsg::ImportRequest { conn, req, ts } => {
+                let rep = self
+                    .exp
+                    .get_mut(&conn)
+                    .ok_or(EngineError::UnexpectedMessage("request at non-exporter"))?;
+                let fx = rep.on_import_request(req, ts)?;
+                self.push_exp_fx(topo, conn, fx, &mut out);
+            }
+            CtrlMsg::Response {
+                conn,
+                req,
+                rank,
+                resp,
+            } => {
+                let rep = self
+                    .exp
+                    .get_mut(&conn)
+                    .ok_or(EngineError::UnexpectedMessage("response at non-exporter"))?;
+                let fx = rep.on_response(rank, req, resp)?;
+                self.push_exp_fx(topo, conn, fx, &mut out);
+            }
+            CtrlMsg::ForwardRequest { .. }
+            | CtrlMsg::BuddyHelp { .. }
+            | CtrlMsg::AnswerBcast { .. } => {
+                return Err(EngineError::UnexpectedMessage("process message at rep"));
+            }
+        }
+        Ok(out)
+    }
+
+    fn push_delivers(
+        &self,
+        _topo: &Topology,
+        conn: couplink_proto::ConnectionId,
+        deliver: Vec<(Rank, RequestId, RepAnswer)>,
+        out: &mut Vec<Outgoing>,
+    ) {
+        for (rank, req, answer) in deliver {
+            out.push(Outgoing::Ctrl {
+                to: Endpoint::Proc {
+                    prog: self.prog,
+                    rank: rank.0 as usize,
+                },
+                msg: CtrlMsg::AnswerBcast { conn, req, answer },
+            });
+        }
+    }
+
+    fn push_exp_fx(
+        &self,
+        topo: &Topology,
+        conn: couplink_proto::ConnectionId,
+        fx: couplink_proto::rep::RepEffects,
+        out: &mut Vec<Outgoing>,
+    ) {
+        let ct = topo.conn(conn);
+        if let Some((req, ts)) = fx.forward {
+            for rank in 0..topo.programs[self.prog].procs {
+                out.push(Outgoing::Ctrl {
+                    to: Endpoint::Proc {
+                        prog: self.prog,
+                        rank,
+                    },
+                    msg: CtrlMsg::ForwardRequest { conn, req, ts },
+                });
+            }
+        }
+        if let Some((req, answer)) = fx.answer {
+            out.push(Outgoing::Ctrl {
+                to: Endpoint::Rep {
+                    prog: ct.importer_prog,
+                },
+                msg: CtrlMsg::Answer { conn, req, answer },
+            });
+        }
+        for (rank, req, answer) in fx.buddy_help {
+            out.push(Outgoing::Ctrl {
+                to: Endpoint::Proc {
+                    prog: self.prog,
+                    rank: rank.0 as usize,
+                },
+                msg: CtrlMsg::BuddyHelp { conn, req, answer },
+            });
+        }
+    }
+}
+
+/// The import side of one process: one [`ImportPort`] per imported region.
+#[derive(Debug)]
+pub struct ImportNode {
+    prog: usize,
+    rank: usize,
+    /// Ports in program import-region order, keyed by connection.
+    ports: HashMap<couplink_proto::ConnectionId, ImportPort>,
+}
+
+impl ImportNode {
+    /// Builds the import node for process `rank` of program `prog`.
+    pub fn new(topo: &Topology, prog: usize, rank: usize) -> Self {
+        let mut ports = HashMap::new();
+        for region in &topo.programs[prog].imports {
+            let ct = topo.conn(region.conn);
+            let expected = ct.plan.recvs_to(rank).count();
+            ports.insert(region.conn, ImportPort::new(expected));
+        }
+        ImportNode { prog, rank, ports }
+    }
+
+    /// Starts a collective import on one connection. Returns the request id
+    /// and the import-call message for this program's rep.
+    pub fn begin_import(
+        &mut self,
+        conn: couplink_proto::ConnectionId,
+        ts: Timestamp,
+    ) -> Result<(RequestId, Outgoing), EngineError> {
+        let port = self
+            .ports
+            .get_mut(&conn)
+            .ok_or(EngineError::UnexpectedMessage(
+                "import on foreign connection",
+            ))?;
+        let req = port.begin_import(ts)?;
+        let msg = Outgoing::Ctrl {
+            to: Endpoint::Rep { prog: self.prog },
+            msg: CtrlMsg::ImportCall {
+                conn,
+                rank: Rank(self.rank as u32),
+                ts,
+            },
+        };
+        Ok((req, msg))
+    }
+
+    /// The rep's broadcast answer arrives.
+    pub fn on_answer(
+        &mut self,
+        conn: couplink_proto::ConnectionId,
+        req: RequestId,
+        answer: RepAnswer,
+    ) -> Result<(), EngineError> {
+        let port = self
+            .ports
+            .get_mut(&conn)
+            .ok_or(EngineError::UnexpectedMessage(
+                "answer on foreign connection",
+            ))?;
+        port.on_answer(req, answer)?;
+        Ok(())
+    }
+
+    /// One piece of matched data arrives.
+    pub fn on_piece(
+        &mut self,
+        conn: couplink_proto::ConnectionId,
+        req: RequestId,
+    ) -> Result<(), EngineError> {
+        let port = self
+            .ports
+            .get_mut(&conn)
+            .ok_or(EngineError::UnexpectedMessage(
+                "piece on foreign connection",
+            ))?;
+        port.on_piece(req)?;
+        Ok(())
+    }
+
+    /// Current state of one connection's import.
+    pub fn state(&self, conn: couplink_proto::ConnectionId) -> Option<ImportState> {
+        self.ports.get(&conn).map(|p| p.state())
+    }
+
+    /// Completes the finished import, returning its collective answer.
+    pub fn finish(&mut self, conn: couplink_proto::ConnectionId) -> Option<RepAnswer> {
+        self.ports.get_mut(&conn)?.finish()
+    }
+}

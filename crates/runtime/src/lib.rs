@@ -19,16 +19,28 @@
 //! importer processes make collective `import` calls through their rep; the
 //! exporter rep forwards each request to every exporter process, aggregates
 //! the collective responses, answers the importer, and (optionally) sends
-//! buddy-help to the PENDING processes.
+//! buddy-help to the PENDING processes. That flow is implemented **once**,
+//! in [`engine`], as runtime-agnostic nodes exchanging messages over a
+//! [`engine::Transport`]; the two runtimes are thin drivers moving those
+//! messages — the simulator through its event queue with modelled
+//! latencies, the fabric over real channels. Both accept arbitrary
+//! multi-program topologies ([`engine::Topology`]), not just a single
+//! exporter→importer pair.
 
 #![warn(missing_docs)]
 
 pub mod cost;
 pub mod des;
+pub mod engine;
 pub mod threaded;
 
 pub use cost::CostModel;
 pub use des::coupled::{ActionKind, CoupledConfig, CoupledReport, CoupledSim, Schedule};
+pub use des::topo::{
+    ExportSchedule, ExportSeries, ImportSchedule, TopoReport, TopologyConfig, TopologySim,
+};
+pub use engine::{Topology, TopologyError};
 pub use threaded::{
-    CoupledPair, ExporterHandle, ImporterHandle, PairConfig, ThreadedError,
+    CoupledPair, ExportAccess, ExporterHandle, Fabric, FabricOptions, FabricReport, ImportAccess,
+    ImporterHandle, PairConfig, ThreadedError,
 };

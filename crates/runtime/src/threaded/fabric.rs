@@ -1,0 +1,799 @@
+//! The general multi-program threaded fabric.
+//!
+//! A [`Fabric`] instantiates the engine's nodes for an arbitrary
+//! [`Topology`] — N programs, each with M coupled processes plus one rep —
+//! and moves their messages over real channels:
+//!
+//! - one **rep thread** per program touching a connection, owning the
+//!   program's [`RepNode`];
+//! - one **agent thread** per exporting process, answering forwarded
+//!   requests and consuming buddy-help while the application thread
+//!   computes (the paper's asynchronous framework engine);
+//! - per-process [`ExportAccess`]/[`ImportAccess`] handles the application
+//!   threads drive, exactly like an SPMD rank calling the framework
+//!   library.
+//!
+//! Buffering is a real `memcpy`: the fabric clones the process's
+//! [`LocalArray`] piece into the region's shared store, so `export()`
+//! latency measured by the benches reflects genuine copy costs, and skipped
+//! buffering is a genuine saving. The store is shared across all
+//! connections of a region (Figure 2's one-region-many-importers case):
+//! one copy serves every importer, and an object is dropped only when no
+//! connection can still need it.
+
+use crate::engine::{
+    deliver_all, Clock, Endpoint, EngineError, ExportFx, ExportNode, ImportNode, Outgoing, RepNode,
+    Topology, Transport,
+};
+use crate::threaded::{ExportOutcome, ThreadedError};
+use couplink_layout::{LocalArray, Rect};
+use couplink_proto::{
+    ConnectionId, CtrlMsg, ExportStats, ImportState, RepAnswer, RequestId, Trace,
+};
+use couplink_time::Timestamp;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Wall-clock seconds since the fabric started — the threaded runtime's
+/// [`Clock`].
+#[derive(Debug, Clone)]
+pub struct WallClock(Instant);
+
+impl WallClock {
+    /// A clock starting now.
+    pub fn start() -> Self {
+        WallClock(Instant::now())
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// Options for building a [`Fabric`].
+#[derive(Debug, Clone)]
+pub struct FabricOptions {
+    /// Whether the reps send buddy-help (default: enabled).
+    pub buddy_help: bool,
+    /// How long `import` (and a stalled bounded `export`) waits before
+    /// giving up.
+    pub import_timeout: Duration,
+    /// Per-connection framework buffer bound in objects (`None` =
+    /// unbounded). With a bound, `export` blocks while the buffer is full
+    /// and resumes when control traffic frees space.
+    pub buffer_capacity: Option<usize>,
+    /// Connections to trace, as `(program, rank, connection)`: the named
+    /// exporter process records a Figure 5-style event stream for that
+    /// connection, returned by [`Fabric::shutdown`].
+    pub traces: Vec<(usize, usize, ConnectionId)>,
+}
+
+impl Default for FabricOptions {
+    fn default() -> Self {
+        FabricOptions {
+            buddy_help: true,
+            import_timeout: Duration::from_secs(30),
+            buffer_capacity: None,
+            traces: Vec::new(),
+        }
+    }
+}
+
+/// What [`Fabric::shutdown`] returns.
+#[derive(Debug)]
+pub struct FabricReport {
+    /// Exporter statistics, indexed `[connection][rank]` like the
+    /// topology's connection list.
+    pub stats: Vec<Vec<ExportStats>>,
+    /// Recorded event traces, one per requested `(program, rank,
+    /// connection)`.
+    pub traces: Vec<(usize, usize, ConnectionId, Trace)>,
+}
+
+// --- internal messages ---
+
+enum AgentMsg {
+    Ctrl(CtrlMsg),
+    Shutdown,
+}
+
+enum RepMsg {
+    Ctrl(CtrlMsg),
+    Shutdown,
+}
+
+enum ImpMsg {
+    Answer {
+        req: RequestId,
+        answer: RepAnswer,
+    },
+    Piece {
+        req: RequestId,
+        rect: Rect,
+        payload: Vec<f64>,
+    },
+}
+
+/// One exporting process's engine state: the node plus one object store per
+/// exported region (keyed by timestamp; the real buffered copies).
+struct ExpState {
+    node: ExportNode,
+    stores: Vec<BTreeMap<Timestamp, LocalArray>>,
+}
+
+/// Shared between an application thread and its agent thread. The condvar
+/// signals freed buffer space to a stalled bounded `export`.
+struct ExpCell {
+    state: Mutex<ExpState>,
+    freed: Condvar,
+}
+
+/// The fabric's routing table: where every endpoint's mailbox is.
+struct Net {
+    topo: Arc<Topology>,
+    /// Per-program rep mailbox (`None` if the program has no connections).
+    to_rep: Vec<Option<Sender<RepMsg>>>,
+    /// Per-process agent mailbox (`None` for non-exporting processes).
+    to_agent: Vec<Vec<Option<Sender<AgentMsg>>>>,
+    /// Per-connection importer mailboxes, indexed by importer rank.
+    to_imp: Vec<Vec<Sender<ImpMsg>>>,
+    /// First protocol error anywhere in the fabric.
+    err: Arc<Mutex<Option<String>>>,
+}
+
+impl Net {
+    /// Routes one control message. Sends are best-effort: a disconnected
+    /// mailbox means its thread already exited (shutdown or a recorded
+    /// error), which the caller surfaces separately.
+    fn ctrl(&self, to: Endpoint, msg: CtrlMsg) {
+        match to {
+            Endpoint::Rep { prog } => {
+                if let Some(tx) = &self.to_rep[prog] {
+                    let _ = tx.send(RepMsg::Ctrl(msg));
+                }
+            }
+            Endpoint::Proc { prog, rank } => match msg {
+                CtrlMsg::AnswerBcast { conn, req, answer } => {
+                    let _ = self.to_imp[conn.0 as usize][rank].send(ImpMsg::Answer { req, answer });
+                }
+                m @ (CtrlMsg::ForwardRequest { .. } | CtrlMsg::BuddyHelp { .. }) => {
+                    if let Some(tx) = &self.to_agent[prog][rank] {
+                        let _ = tx.send(AgentMsg::Ctrl(m));
+                    }
+                }
+                _ => record_err(&self.err, "unroutable process message"),
+            },
+        }
+    }
+}
+
+/// Transport for messages emitted by an exporting process: control goes
+/// through the routing table; a transfer packs the matched object from the
+/// region's shared store into per-destination pieces.
+struct ProcTransport<'a> {
+    net: &'a Net,
+    node: &'a ExportNode,
+    stores: &'a [BTreeMap<Timestamp, LocalArray>],
+}
+
+impl Transport for ProcTransport<'_> {
+    type Error = ThreadedError;
+
+    fn ctrl(&mut self, to: Endpoint, msg: CtrlMsg) -> Result<(), ThreadedError> {
+        self.net.ctrl(to, msg);
+        Ok(())
+    }
+
+    fn transfer(
+        &mut self,
+        from: Endpoint,
+        conn: ConnectionId,
+        req: RequestId,
+        m: Timestamp,
+    ) -> Result<(), ThreadedError> {
+        let Endpoint::Proc { rank, .. } = from else {
+            return Err(ThreadedError::Config("rep emitted a data transfer".into()));
+        };
+        let region = self
+            .node
+            .region_of(conn)
+            .ok_or_else(|| ThreadedError::Config("transfer on a foreign connection".into()))?;
+        let obj = match self.stores[region].get(&m) {
+            Some(o) => o,
+            // The object must be buffered when a send is requested; a
+            // missing object would already have been reported as a
+            // collective violation by the port.
+            None => return Ok(()),
+        };
+        let ct = self.net.topo.conn(conn);
+        for t in ct.plan.sends_from(rank) {
+            let payload = obj.pack(&t.rect);
+            // Best-effort: the importer may already be shutting down.
+            let _ = self.net.to_imp[conn.0 as usize][t.dst].send(ImpMsg::Piece {
+                req,
+                rect: t.rect,
+                payload,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Transport for rep threads: control only.
+struct RepTransport<'a> {
+    net: &'a Net,
+}
+
+impl Transport for RepTransport<'_> {
+    type Error = ThreadedError;
+
+    fn ctrl(&mut self, to: Endpoint, msg: CtrlMsg) -> Result<(), ThreadedError> {
+        self.net.ctrl(to, msg);
+        Ok(())
+    }
+
+    fn transfer(
+        &mut self,
+        _from: Endpoint,
+        _conn: ConnectionId,
+        _req: RequestId,
+        _m: Timestamp,
+    ) -> Result<(), ThreadedError> {
+        Err(ThreadedError::Config("rep emitted a data transfer".into()))
+    }
+}
+
+fn record_err(slot: &Arc<Mutex<Option<String>>>, e: impl fmt::Display) {
+    let mut guard = slot.lock();
+    if guard.is_none() {
+        *guard = Some(e.to_string());
+    }
+}
+
+/// Delivers one engine step's messages (sends strictly before frees, per
+/// the [`ExportFx`] contract) and applies the freed timestamps to the
+/// stepped region's store.
+fn apply_fx(
+    net: &Net,
+    from: Endpoint,
+    state: &mut ExpState,
+    region: usize,
+    fx: ExportFx,
+) -> Result<(), ThreadedError> {
+    let ExpState { node, stores } = state;
+    let mut tp = ProcTransport { net, node, stores };
+    deliver_all(&mut tp, from, fx.msgs)?;
+    for t in &fx.freed {
+        stores[region].remove(t);
+    }
+    Ok(())
+}
+
+/// The per-process export API of the framework: one handle per exported
+/// region, driving every connection the region feeds.
+pub struct ExportAccess {
+    prog: usize,
+    rank: usize,
+    region: usize,
+    conns: Vec<ConnectionId>,
+    cell: Arc<ExpCell>,
+    net: Arc<Net>,
+    clock: Arc<WallClock>,
+    block_timeout: Duration,
+}
+
+impl ExportAccess {
+    /// This process's rank within its program.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of connections this region feeds.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Exports the process's piece of the region at simulation time `ts` on
+    /// every connection, returning one outcome per connection (in the
+    /// region's connection order). The framework buffers (clones) the piece
+    /// at most once unless every connection proves the object will never be
+    /// needed. With a bounded buffer the call blocks while any connection's
+    /// buffer is full, resuming when control traffic frees space; it gives
+    /// up with [`ThreadedError::Timeout`] after the import timeout.
+    pub fn export(
+        &mut self,
+        ts: Timestamp,
+        data: &LocalArray,
+    ) -> Result<Vec<ExportOutcome>, ThreadedError> {
+        self.check_err()?;
+        let t0 = self.clock.now();
+        let deadline = Instant::now() + self.block_timeout;
+        let mut state = self.cell.state.lock();
+        let mut fx = loop {
+            match state.node.on_export(self.region, ts) {
+                Err(EngineError::Port(couplink_proto::PortError::BufferFull { .. })) => {
+                    // Finite buffer: stall until the agent's control traffic
+                    // frees space, then retry the same export.
+                    if self.cell.freed.wait_until(&mut state, deadline).timed_out() {
+                        return Err(ThreadedError::Timeout);
+                    }
+                }
+                other => break other.map_err(ThreadedError::from)?,
+            }
+        };
+        if fx.copy {
+            // The real buffering memcpy the paper is about — one shared
+            // copy no matter how many connections the region feeds.
+            state.stores[self.region].insert(ts, data.clone());
+        }
+        let actions = std::mem::take(&mut fx.actions);
+        apply_fx(
+            &self.net,
+            Endpoint::Proc {
+                prog: self.prog,
+                rank: self.rank,
+            },
+            &mut state,
+            self.region,
+            fx,
+        )?;
+        drop(state);
+        let elapsed = Duration::from_secs_f64((self.clock.now() - t0).max(0.0));
+        Ok(actions
+            .into_iter()
+            .map(|(_, action)| ExportOutcome {
+                action: action.into(),
+                elapsed,
+            })
+            .collect())
+    }
+
+    /// Statistics per connection, in the region's connection order.
+    pub fn stats(&self) -> Vec<ExportStats> {
+        let state = self.cell.state.lock();
+        self.conns
+            .iter()
+            .map(|&c| state.node.port_stats(c).clone())
+            .collect()
+    }
+
+    /// Objects currently buffered, summed over the region's connections (an
+    /// object needed by two connections counts twice; the shared store
+    /// holds it once).
+    pub fn buffered_len(&self) -> usize {
+        let state = self.cell.state.lock();
+        self.conns
+            .iter()
+            .map(|&c| state.node.conn_buffered_len(c))
+            .sum()
+    }
+
+    fn check_err(&self) -> Result<(), ThreadedError> {
+        if let Some(e) = self.net.err.lock().clone() {
+            return Err(ThreadedError::RepFailed(e));
+        }
+        Ok(())
+    }
+}
+
+/// The per-process import API of the framework: one handle per imported
+/// region (exactly one connection).
+pub struct ImportAccess {
+    rank: usize,
+    conn: ConnectionId,
+    node: Arc<Mutex<ImportNode>>,
+    rx: Receiver<ImpMsg>,
+    net: Arc<Net>,
+    pieces: HashMap<RequestId, Vec<(Rect, Vec<f64>)>>,
+    timeout: Duration,
+}
+
+impl ImportAccess {
+    /// This process's rank within its program.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Collectively imports the data matched to `ts` into `dest` (this
+    /// process's piece). Blocks until the framework answers. Returns the
+    /// matched timestamp, or `None` if the request had no match (in which
+    /// case `dest` is untouched).
+    pub fn import(
+        &mut self,
+        ts: Timestamp,
+        dest: &mut LocalArray,
+    ) -> Result<Option<Timestamp>, ThreadedError> {
+        let (req, call) = self.node.lock().begin_import(self.conn, ts)?;
+        match call {
+            Outgoing::Ctrl { to, msg } => self.net.ctrl(to, msg),
+            Outgoing::Transfer { .. } => {
+                return Err(ThreadedError::Config("import emitted a transfer".into()))
+            }
+        }
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            {
+                let mut node = self.node.lock();
+                if let Some(ImportState::Done { answer, .. }) = node.state(self.conn) {
+                    node.finish(self.conn);
+                    drop(node);
+                    return match answer {
+                        RepAnswer::NoMatch => {
+                            self.pieces.remove(&req);
+                            Ok(None)
+                        }
+                        RepAnswer::Match(m) => {
+                            for (rect, payload) in self.pieces.remove(&req).unwrap_or_default() {
+                                dest.unpack(&rect, &payload);
+                            }
+                            Ok(Some(m))
+                        }
+                    };
+                }
+            }
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(ThreadedError::Timeout)?;
+            match self.rx.recv_timeout(remaining) {
+                Ok(ImpMsg::Answer { req, answer }) => {
+                    self.node.lock().on_answer(self.conn, req, answer)?
+                }
+                Ok(ImpMsg::Piece { req, rect, payload }) => {
+                    self.node.lock().on_piece(self.conn, req)?;
+                    self.pieces.entry(req).or_default().push((rect, payload));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(e) = self.net.err.lock().clone() {
+                        return Err(ThreadedError::RepFailed(e));
+                    }
+                    return Err(ThreadedError::Timeout);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    if let Some(e) = self.net.err.lock().clone() {
+                        return Err(ThreadedError::RepFailed(e));
+                    }
+                    return Err(ThreadedError::Disconnected);
+                }
+            }
+        }
+    }
+}
+
+fn agent_step(
+    net: &Net,
+    cell: &ExpCell,
+    prog: usize,
+    rank: usize,
+    msg: CtrlMsg,
+) -> Result<(), ThreadedError> {
+    let mut state = cell.state.lock();
+    let (conn, fx) = match msg {
+        CtrlMsg::ForwardRequest { conn, req, ts } => (conn, state.node.on_request(conn, req, ts)?),
+        CtrlMsg::BuddyHelp { conn, req, answer } => {
+            (conn, state.node.on_buddy_help(conn, req, answer)?)
+        }
+        _ => return Err(ThreadedError::Config("unexpected agent message".into())),
+    };
+    let region = state
+        .node
+        .region_of(conn)
+        .ok_or_else(|| ThreadedError::Config("agent message on a foreign connection".into()))?;
+    apply_fx(net, Endpoint::Proc { prog, rank }, &mut state, region, fx)?;
+    drop(state);
+    // Buffer space may have been freed: wake a stalled exporter thread.
+    cell.freed.notify_all();
+    Ok(())
+}
+
+fn agent_loop(net: Arc<Net>, cell: Arc<ExpCell>, prog: usize, rank: usize, rx: Receiver<AgentMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            AgentMsg::Shutdown => break,
+            AgentMsg::Ctrl(m) => {
+                if let Err(e) = agent_step(&net, &cell, prog, rank, m) {
+                    record_err(&net.err, e);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn rep_loop(
+    net: Arc<Net>,
+    topo: Arc<Topology>,
+    prog: usize,
+    buddy_help: bool,
+    rx: Receiver<RepMsg>,
+) {
+    let mut node = RepNode::new(&topo, prog, buddy_help);
+    while let Ok(msg) = rx.recv() {
+        let m = match msg {
+            RepMsg::Shutdown => break,
+            RepMsg::Ctrl(m) => m,
+        };
+        let step = node
+            .on_msg(&topo, m)
+            .map_err(ThreadedError::from)
+            .and_then(|outs| {
+                let mut tp = RepTransport { net: &net };
+                deliver_all(&mut tp, Endpoint::Rep { prog }, outs)
+            });
+        if let Err(e) = step {
+            record_err(&net.err, e);
+            break;
+        }
+    }
+}
+
+/// A running multi-program fabric: the engine's nodes for one [`Topology`],
+/// with rep and agent threads live.
+pub struct Fabric {
+    topo: Arc<Topology>,
+    /// `[prog][rank]`, `Some` for exporting processes.
+    cells: Vec<Vec<Option<Arc<ExpCell>>>>,
+    /// `[prog][rank][region]`, taken once each.
+    exports: Vec<Vec<Vec<Option<ExportAccess>>>>,
+    /// `[prog][rank][imported region]`, taken once each.
+    imports: Vec<Vec<Vec<Option<ImportAccess>>>>,
+    agents: Vec<(Sender<AgentMsg>, JoinHandle<()>)>,
+    reps: Vec<(Sender<RepMsg>, JoinHandle<()>)>,
+    err: Arc<Mutex<Option<String>>>,
+    traces: Vec<(usize, usize, ConnectionId)>,
+}
+
+impl Fabric {
+    /// Builds the fabric for a validated topology and spawns its control
+    /// threads.
+    pub fn new(topo: Topology, opts: FabricOptions) -> Self {
+        let topo = Arc::new(topo);
+        let err = Arc::new(Mutex::new(None::<String>));
+        let clock = Arc::new(WallClock::start());
+
+        // Mailboxes first (the routing table must exist before any thread).
+        type AgentChannel = Option<(Sender<AgentMsg>, Receiver<AgentMsg>)>;
+        type ImpChannel = (Sender<ImpMsg>, Option<Receiver<ImpMsg>>);
+        let mut rep_channels = Vec::new();
+        let mut agent_channels: Vec<Vec<AgentChannel>> = Vec::new();
+        for p in &topo.programs {
+            let coupled = !p.exports.is_empty() || !p.imports.is_empty();
+            rep_channels.push(coupled.then(unbounded::<RepMsg>));
+            let exporting = !p.exports.is_empty();
+            agent_channels.push(
+                (0..p.procs)
+                    .map(|_| exporting.then(unbounded::<AgentMsg>))
+                    .collect(),
+            );
+        }
+        let mut imp_channels: Vec<Vec<ImpChannel>> = Vec::new();
+        for ct in &topo.conns {
+            let procs = topo.programs[ct.importer_prog].procs;
+            imp_channels.push(
+                (0..procs)
+                    .map(|_| {
+                        let (tx, rx) = unbounded();
+                        (tx, Some(rx))
+                    })
+                    .collect(),
+            );
+        }
+        let net = Arc::new(Net {
+            topo: topo.clone(),
+            to_rep: rep_channels
+                .iter()
+                .map(|c| c.as_ref().map(|(tx, _)| tx.clone()))
+                .collect(),
+            to_agent: agent_channels
+                .iter()
+                .map(|ranks| {
+                    ranks
+                        .iter()
+                        .map(|c| c.as_ref().map(|(tx, _)| tx.clone()))
+                        .collect()
+                })
+                .collect(),
+            to_imp: imp_channels
+                .iter()
+                .map(|ranks| ranks.iter().map(|(tx, _)| tx.clone()).collect())
+                .collect(),
+            err: err.clone(),
+        });
+
+        // Exporting processes: engine state + agent threads.
+        let mut cells: Vec<Vec<Option<Arc<ExpCell>>>> = Vec::new();
+        let mut agents = Vec::new();
+        for (pi, p) in topo.programs.iter().enumerate() {
+            let mut prog_cells = Vec::new();
+            for (rank, chan) in agent_channels[pi].iter_mut().enumerate() {
+                if p.exports.is_empty() {
+                    prog_cells.push(None);
+                    continue;
+                }
+                let mut node = ExportNode::new(&topo, pi, rank, opts.buffer_capacity);
+                for &(tp, tr, tc) in &opts.traces {
+                    if tp == pi && tr == rank {
+                        node.enable_trace(tc);
+                    }
+                }
+                let stores = (0..p.exports.len()).map(|_| BTreeMap::new()).collect();
+                let cell = Arc::new(ExpCell {
+                    state: Mutex::new(ExpState { node, stores }),
+                    freed: Condvar::new(),
+                });
+                let (tx, rx) = chan.take().expect("exporting process has an agent mailbox");
+                let handle = {
+                    let net = net.clone();
+                    let cell = cell.clone();
+                    std::thread::Builder::new()
+                        .name(format!("couplink-agent-{pi}-{rank}"))
+                        .spawn(move || agent_loop(net, cell, pi, rank, rx))
+                        .expect("spawning agent thread")
+                };
+                agents.push((tx, handle));
+                prog_cells.push(Some(cell));
+            }
+            cells.push(prog_cells);
+        }
+
+        // Rep threads.
+        let mut reps = Vec::new();
+        for (pi, chan) in rep_channels.into_iter().enumerate() {
+            let Some((tx, rx)) = chan else { continue };
+            let handle = {
+                let net = net.clone();
+                let topo = topo.clone();
+                let buddy = opts.buddy_help;
+                std::thread::Builder::new()
+                    .name(format!("couplink-rep-{pi}"))
+                    .spawn(move || rep_loop(net, topo, pi, buddy, rx))
+                    .expect("spawning rep thread")
+            };
+            reps.push((tx, handle));
+        }
+
+        // Application-side handles.
+        let mut exports: Vec<Vec<Vec<Option<ExportAccess>>>> = Vec::new();
+        let mut imports: Vec<Vec<Vec<Option<ImportAccess>>>> = Vec::new();
+        for (pi, p) in topo.programs.iter().enumerate() {
+            let mut prog_exports = Vec::new();
+            let mut prog_imports = Vec::new();
+            for rank in 0..p.procs {
+                prog_exports.push(
+                    p.exports
+                        .iter()
+                        .enumerate()
+                        .map(|(ri, region)| {
+                            Some(ExportAccess {
+                                prog: pi,
+                                rank,
+                                region: ri,
+                                conns: region.conns.clone(),
+                                cell: cells[pi][rank].clone().expect("exporting process"),
+                                net: net.clone(),
+                                clock: clock.clone(),
+                                block_timeout: opts.import_timeout,
+                            })
+                        })
+                        .collect(),
+                );
+                let imp_node = (!p.imports.is_empty())
+                    .then(|| Arc::new(Mutex::new(ImportNode::new(&topo, pi, rank))));
+                prog_imports.push(
+                    p.imports
+                        .iter()
+                        .map(|region| {
+                            let rx = imp_channels[region.conn.0 as usize][rank]
+                                .1
+                                .take()
+                                .expect("one import handle per (connection, rank)");
+                            Some(ImportAccess {
+                                rank,
+                                conn: region.conn,
+                                node: imp_node.clone().expect("importing process"),
+                                rx,
+                                net: net.clone(),
+                                pieces: HashMap::new(),
+                                timeout: opts.import_timeout,
+                            })
+                        })
+                        .collect(),
+                );
+            }
+            exports.push(prog_exports);
+            imports.push(prog_imports);
+        }
+
+        Fabric {
+            topo,
+            cells,
+            exports,
+            imports,
+            agents,
+            reps,
+            err,
+            traces: opts.traces,
+        }
+    }
+
+    /// The topology this fabric runs.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Takes the export handle for region `region` of process `rank` of
+    /// program `prog` (once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if taken twice, or if the process exports no such region.
+    pub fn take_export(&mut self, prog: usize, rank: usize, region: usize) -> ExportAccess {
+        self.exports[prog][rank][region]
+            .take()
+            .expect("export handle already taken")
+    }
+
+    /// Takes the import handle for imported region `region` of process
+    /// `rank` of program `prog` (once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if taken twice, or if the process imports no such region.
+    pub fn take_import(&mut self, prog: usize, rank: usize, region: usize) -> ImportAccess {
+        self.imports[prog][rank][region]
+            .take()
+            .expect("import handle already taken")
+    }
+
+    /// Stops all control threads and returns per-connection statistics and
+    /// the recorded traces. Call after the application threads have
+    /// finished and dropped their handles.
+    pub fn shutdown(mut self) -> Result<FabricReport, ThreadedError> {
+        for (tx, _) in &self.agents {
+            let _ = tx.send(AgentMsg::Shutdown);
+        }
+        for (tx, _) in &self.reps {
+            let _ = tx.send(RepMsg::Shutdown);
+        }
+        for (_, h) in self.agents.drain(..) {
+            let _ = h.join();
+        }
+        for (_, h) in self.reps.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(e) = self.err.lock().clone() {
+            return Err(ThreadedError::RepFailed(e));
+        }
+        let stats = self
+            .topo
+            .conns
+            .iter()
+            .map(|ct| {
+                (0..self.topo.programs[ct.exporter_prog].procs)
+                    .map(|rank| {
+                        let cell = self.cells[ct.exporter_prog][rank]
+                            .as_ref()
+                            .expect("exporting process");
+                        cell.state.lock().node.port_stats(ct.id).clone()
+                    })
+                    .collect()
+            })
+            .collect();
+        let traces = self
+            .traces
+            .iter()
+            .filter_map(|&(prog, rank, conn)| {
+                let cell = self.cells[prog][rank].as_ref()?;
+                let trace = cell.state.lock().node.take_trace(conn)?;
+                Some((prog, rank, conn, trace))
+            })
+            .collect();
+        Ok(FabricReport { stats, traces })
+    }
+}

@@ -2,32 +2,30 @@
 //! memcpys.
 //!
 //! Each simulated *program* is a set of OS threads. User code (an example, a
-//! bench, a test) drives one [`ExporterHandle`] or [`ImporterHandle`] per
-//! process from its own thread — exactly like an SPMD rank calling the
-//! framework library. Per program there is one *rep* thread (the paper's
-//! low-overhead control gateway), and per exporter process a small *agent*
-//! thread standing in for the framework's asynchronous progress engine: it
-//! answers forwarded requests and consumes buddy-help while the application
-//! thread is busy computing.
+//! bench, a test) drives one [`ExportAccess`]/[`ImportAccess`] per process
+//! from its own thread — exactly like an SPMD rank calling the framework
+//! library. Per program there is one *rep* thread (the paper's low-overhead
+//! control gateway), and per exporter process a small *agent* thread
+//! standing in for the framework's asynchronous progress engine: it answers
+//! forwarded requests and consumes buddy-help while the application thread
+//! is busy computing.
 //!
-//! Buffering is a real `memcpy`: the framework clones the process's
-//! `LocalArray` piece into its buffer, so `export()` latency measured by the
-//! benches reflects genuine copy costs, and skipped buffering is a genuine
-//! saving.
+//! The protocol itself lives in [`crate::engine`]; this module is the thin
+//! driver moving the engine's messages over crossbeam channels
+//! ([`fabric`]). The classic single-pair API ([`CoupledPair`]) is a wrapper
+//! over a two-program topology.
 
-use couplink_layout::{LocalArray, Rect, RedistPlan};
-use couplink_proto::export_port::{ExportAction, ExportPort, PortError};
-use couplink_proto::import_port::{ImportError, ImportPort, ImportState};
-use couplink_proto::rep::{ExporterRep, ImporterRep};
-use couplink_proto::{ConnectionId, ProcResponse, Rank, RepAnswer, RequestId};
+pub mod fabric;
+
+pub use fabric::{ExportAccess, Fabric, FabricOptions, FabricReport, ImportAccess, WallClock};
+
+use crate::engine::{EngineError, Topology};
+use couplink_layout::LocalArray;
+use couplink_proto::export_port::PortError;
+use couplink_proto::import_port::ImportError;
 use couplink_time::{MatchPolicy, Timestamp, Tolerance};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::{Condvar, Mutex};
-use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Error from the threaded runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +67,16 @@ impl From<PortError> for ThreadedError {
 impl From<ImportError> for ThreadedError {
     fn from(e: ImportError) -> Self {
         ThreadedError::Import(e)
+    }
+}
+impl From<EngineError> for ThreadedError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Port(p) => ThreadedError::Port(p),
+            EngineError::Import(i) => ThreadedError::Import(i),
+            EngineError::Rep(r) => ThreadedError::RepFailed(r.to_string()),
+            EngineError::UnexpectedMessage(m) => ThreadedError::Config(m.into()),
+        }
     }
 }
 
@@ -116,44 +124,6 @@ impl PairConfig {
     }
 }
 
-// --- message types ---
-
-enum ExpRepMsg {
-    ImportRequest { req: RequestId, ts: Timestamp },
-    Response { rank: Rank, req: RequestId, resp: ProcResponse },
-    Shutdown,
-}
-
-enum ImpRepMsg {
-    Call { rank: Rank, ts: Timestamp },
-    Answer { req: RequestId, answer: RepAnswer },
-    Shutdown,
-}
-
-enum AgentMsg {
-    Forward { req: RequestId, ts: Timestamp },
-    BuddyHelp { req: RequestId, answer: RepAnswer },
-    Shutdown,
-}
-
-enum ImpMsg {
-    Answer { req: RequestId, answer: RepAnswer },
-    Piece { req: RequestId, rect: Rect, payload: Vec<f64> },
-}
-
-struct ExpShared {
-    port: ExportPort,
-    store: BTreeMap<Timestamp, LocalArray>,
-}
-
-/// One exporter process's shared state plus its buffer-freed condvar
-/// (parking_lot condvars are bound to a single mutex, so each rank pairs
-/// its own).
-struct ExpCell {
-    state: Mutex<ExpShared>,
-    freed: Condvar,
-}
-
 /// What one `export` call did, with its measured duration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExportOutcome {
@@ -163,120 +133,50 @@ pub struct ExportOutcome {
     pub elapsed: Duration,
 }
 
-/// The per-process exporter API of the framework.
+/// The per-process exporter API of a coupled pair.
 pub struct ExporterHandle {
-    rank: usize,
-    shared: Arc<ExpCell>,
-    plan: Arc<RedistPlan>,
-    to_rep: Sender<ExpRepMsg>,
-    to_imps: Vec<Sender<ImpMsg>>,
-    block_timeout: Duration,
-    err: Arc<Mutex<Option<String>>>,
+    access: ExportAccess,
 }
 
 impl ExporterHandle {
     /// This process's rank in the exporting program.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.access.rank()
     }
 
     /// Exports the process's piece of the distributed array at simulation
     /// time `ts`. The framework buffers (clones) the piece unless it can
     /// prove the object will never be needed.
-    pub fn export(&mut self, ts: Timestamp, data: &LocalArray) -> Result<ExportOutcome, ThreadedError> {
-        self.check_rep()?;
-        let start = Instant::now();
-        let deadline = start + self.block_timeout;
-        let mut shared = self.shared.state.lock();
-        let fx = loop {
-            match shared.port.on_export(ts) {
-                Err(PortError::BufferFull { .. }) => {
-                    // Finite buffer: stall until the agent's control traffic
-                    // frees space, then retry the same export.
-                    if self
-                        .shared
-                        .freed
-                        .wait_until(&mut shared, deadline)
-                        .timed_out()
-                    {
-                        return Err(ThreadedError::Timeout);
-                    }
-                }
-                other => break other?,
-            }
-        };
-        let action = fx.action.expect("on_export always decides");
-        if action.copies() {
-            // The real buffering memcpy the paper is about.
-            shared.store.insert(ts, data.clone());
-        }
-        // Sends must be executed before frees: the port may free a matched
-        // object in the very step that requests its transfer (the next
-        // request's region bound already passed it).
-        if let ExportAction::BufferAndSend { request } = action {
-            send_pieces(&self.plan, self.rank, request, ts, &shared.store, &self.to_imps);
-        }
-        for r in &fx.resolutions {
-            if let Some(m) = r.send {
-                send_pieces(&self.plan, self.rank, r.request, m, &shared.store, &self.to_imps);
-            }
-            let resp = match r.answer {
-                RepAnswer::Match(m) => ProcResponse::Match(m),
-                RepAnswer::NoMatch => ProcResponse::NoMatch,
-            };
-            self.to_rep
-                .send(ExpRepMsg::Response {
-                    rank: Rank(self.rank as u32),
-                    req: r.request,
-                    resp,
-                })
-                .map_err(|_| ThreadedError::Disconnected)?;
-        }
-        for t in &fx.freed {
-            shared.store.remove(t);
-        }
-        drop(shared);
-        let elapsed = start.elapsed();
-        Ok(ExportOutcome {
-            action: action.into(),
-            elapsed,
-        })
+    pub fn export(
+        &mut self,
+        ts: Timestamp,
+        data: &LocalArray,
+    ) -> Result<ExportOutcome, ThreadedError> {
+        let mut outcomes = self.access.export(ts, data)?;
+        Ok(outcomes.remove(0))
     }
 
     /// A snapshot of this process's export statistics.
     pub fn stats(&self) -> couplink_proto::ExportStats {
-        self.shared.state.lock().port.stats().clone()
+        self.access.stats().remove(0)
     }
 
     /// Number of objects currently buffered by the framework for this
     /// process.
     pub fn buffered_len(&self) -> usize {
-        self.shared.state.lock().port.buffered_len()
-    }
-
-    fn check_rep(&self) -> Result<(), ThreadedError> {
-        if let Some(e) = self.err.lock().clone() {
-            return Err(ThreadedError::RepFailed(e));
-        }
-        Ok(())
+        self.access.buffered_len()
     }
 }
 
-/// The per-process importer API of the framework.
+/// The per-process importer API of a coupled pair.
 pub struct ImporterHandle {
-    rank: usize,
-    port: ImportPort,
-    from_fabric: Receiver<ImpMsg>,
-    to_rep: Sender<ImpRepMsg>,
-    pieces: HashMap<RequestId, Vec<(Rect, Vec<f64>)>>,
-    timeout: Duration,
-    err: Arc<Mutex<Option<String>>>,
+    access: ImportAccess,
 }
 
 impl ImporterHandle {
     /// This process's rank in the importing program.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.access.rank()
     }
 
     /// Collectively imports the data matched to `ts` into `dest` (this
@@ -288,386 +188,77 @@ impl ImporterHandle {
         ts: Timestamp,
         dest: &mut LocalArray,
     ) -> Result<Option<Timestamp>, ThreadedError> {
-        let req = self.port.begin_import(ts)?;
-        self.to_rep
-            .send(ImpRepMsg::Call {
-                rank: Rank(self.rank as u32),
-                ts,
-            })
-            .map_err(|_| ThreadedError::Disconnected)?;
-        let deadline = Instant::now() + self.timeout;
-        loop {
-            if let ImportState::Done { answer, .. } = self.port.state() {
-                self.port.finish();
-                return match answer {
-                    RepAnswer::NoMatch => {
-                        self.pieces.remove(&req);
-                        Ok(None)
-                    }
-                    RepAnswer::Match(m) => {
-                        for (rect, payload) in self.pieces.remove(&req).unwrap_or_default() {
-                            dest.unpack(&rect, &payload);
-                        }
-                        Ok(Some(m))
-                    }
-                };
-            }
-            let remaining = deadline
-                .checked_duration_since(Instant::now())
-                .ok_or(ThreadedError::Timeout)?;
-            match self.from_fabric.recv_timeout(remaining) {
-                Ok(ImpMsg::Answer { req, answer }) => self.port.on_answer(req, answer)?,
-                Ok(ImpMsg::Piece { req, rect, payload }) => {
-                    self.port.on_piece(req)?;
-                    self.pieces.entry(req).or_default().push((rect, payload));
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    if let Some(e) = self.err.lock().clone() {
-                        return Err(ThreadedError::RepFailed(e));
-                    }
-                    return Err(ThreadedError::Timeout);
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    if let Some(e) = self.err.lock().clone() {
-                        return Err(ThreadedError::RepFailed(e));
-                    }
-                    return Err(ThreadedError::Disconnected);
-                }
-            }
-        }
-    }
-}
-
-/// Packs and sends rank `rank`'s share of the matched object `m`.
-fn send_pieces(
-    plan: &RedistPlan,
-    rank: usize,
-    req: RequestId,
-    m: Timestamp,
-    store: &BTreeMap<Timestamp, LocalArray>,
-    to_imps: &[Sender<ImpMsg>],
-) {
-    let obj = match store.get(&m) {
-        Some(o) => o,
-        // The object must be buffered when a send is requested; a missing
-        // object would already have been reported as a collective violation
-        // by the port, so this is unreachable in practice.
-        None => return,
-    };
-    for t in plan.sends_from(rank) {
-        let payload = obj.pack(&t.rect);
-        // Ignore disconnects: the importer may already be shutting down.
-        let _ = to_imps[t.dst].send(ImpMsg::Piece {
-            req,
-            rect: t.rect,
-            payload,
-        });
+        self.access.import(ts, dest)
     }
 }
 
 /// A running coupled pair: one exporting and one importing program connected
-/// by one region connection, with rep and agent threads live.
+/// by one region connection — a two-program [`Fabric`].
 pub struct CoupledPair {
+    fabric: Fabric,
     exporters: Vec<Option<ExporterHandle>>,
     importers: Vec<Option<ImporterHandle>>,
-    shared: Vec<Arc<ExpCell>>,
-    agents: Vec<(Sender<AgentMsg>, JoinHandle<()>)>,
-    exp_rep: Option<(Sender<ExpRepMsg>, JoinHandle<()>)>,
-    imp_rep: Option<(Sender<ImpRepMsg>, JoinHandle<()>)>,
-    err: Arc<Mutex<Option<String>>>,
 }
 
 impl CoupledPair {
     /// Builds the pair and spawns its control threads.
     pub fn new(cfg: PairConfig) -> Result<Self, ThreadedError> {
-        let ne = cfg.exporter_decomp.procs();
-        let ni = cfg.importer_decomp.procs();
-        let plan = Arc::new(
-            RedistPlan::build(cfg.exporter_decomp, cfg.importer_decomp)
-                .map_err(|e| ThreadedError::Config(e.to_string()))?,
-        );
-        let tol = Tolerance::new(cfg.tolerance)
+        let tol =
+            Tolerance::new(cfg.tolerance).map_err(|e| ThreadedError::Config(e.to_string()))?;
+        let topo = Topology::pair(cfg.exporter_decomp, cfg.importer_decomp, cfg.policy, tol)
             .map_err(|e| ThreadedError::Config(e.to_string()))?;
-        let err = Arc::new(Mutex::new(None::<String>));
-        let conn = ConnectionId(0);
-
-        let (to_exp_rep, exp_rep_rx) = unbounded::<ExpRepMsg>();
-        let (to_imp_rep, imp_rep_rx) = unbounded::<ImpRepMsg>();
-        let imp_channels: Vec<(Sender<ImpMsg>, Receiver<ImpMsg>)> =
-            (0..ni).map(|_| unbounded()).collect();
-        let to_imps: Vec<Sender<ImpMsg>> = imp_channels.iter().map(|(s, _)| s.clone()).collect();
-
-        // Exporter process state + agent threads.
-        let mut shared_ports = Vec::with_capacity(ne);
-        let mut agents = Vec::with_capacity(ne);
-        let mut agent_senders = Vec::with_capacity(ne);
-        for rank in 0..ne {
-            let shared = Arc::new(ExpCell {
-                state: Mutex::new(ExpShared {
-                    port: match cfg.buffer_capacity {
-                        Some(cap) => ExportPort::with_capacity(conn, cfg.policy, tol, cap),
-                        None => ExportPort::new(conn, cfg.policy, tol),
-                    },
-                    store: BTreeMap::new(),
-                }),
-                freed: Condvar::new(),
-            });
-            shared_ports.push(shared.clone());
-            let (tx, rx) = unbounded::<AgentMsg>();
-            agent_senders.push(tx.clone());
-            let plan = plan.clone();
-            let to_rep = to_exp_rep.clone();
-            let to_imps = to_imps.clone();
-            let err = err.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("couplink-agent-{rank}"))
-                .spawn(move || {
-                    agent_loop(rank, shared, rx, plan, to_rep, to_imps, err);
-                })
-                .expect("spawning agent thread");
-            agents.push((tx, handle));
-        }
-
-        // Exporter rep thread.
-        let exp_rep_handle = {
-            let agent_senders = agent_senders.clone();
-            let to_imp_rep = to_imp_rep.clone();
-            let err = err.clone();
-            let buddy = cfg.buddy_help;
-            std::thread::Builder::new()
-                .name("couplink-exp-rep".into())
-                .spawn(move || {
-                    exp_rep_loop(ne, buddy, exp_rep_rx, agent_senders, to_imp_rep, err);
-                })
-                .expect("spawning exporter rep thread")
-        };
-
-        // Importer rep thread.
-        let imp_rep_handle = {
-            let to_exp_rep = to_exp_rep.clone();
-            let to_imps = to_imps.clone();
-            let err = err.clone();
-            std::thread::Builder::new()
-                .name("couplink-imp-rep".into())
-                .spawn(move || {
-                    imp_rep_loop(ni, imp_rep_rx, to_exp_rep, to_imps, err);
-                })
-                .expect("spawning importer rep thread")
-        };
-
+        let ne = topo.programs[0].procs;
+        let ni = topo.programs[1].procs;
+        let mut fabric = Fabric::new(
+            topo,
+            FabricOptions {
+                buddy_help: cfg.buddy_help,
+                import_timeout: cfg.import_timeout,
+                buffer_capacity: cfg.buffer_capacity,
+                traces: Vec::new(),
+            },
+        );
         let exporters = (0..ne)
             .map(|rank| {
                 Some(ExporterHandle {
-                    rank,
-                    shared: shared_ports[rank].clone(),
-                    plan: plan.clone(),
-                    to_rep: to_exp_rep.clone(),
-                    to_imps: to_imps.clone(),
-                    block_timeout: cfg.import_timeout,
-                    err: err.clone(),
+                    access: fabric.take_export(0, rank, 0),
                 })
             })
             .collect();
-        let importers = imp_channels
-            .into_iter()
-            .enumerate()
-            .map(|(rank, (_, rx))| {
+        let importers = (0..ni)
+            .map(|rank| {
                 Some(ImporterHandle {
-                    rank,
-                    port: ImportPort::new(plan.recvs_to(rank).count()),
-                    from_fabric: rx,
-                    to_rep: to_imp_rep.clone(),
-                    pieces: HashMap::new(),
-                    timeout: cfg.import_timeout,
-                    err: err.clone(),
+                    access: fabric.take_import(1, rank, 0),
                 })
             })
             .collect();
-
         Ok(CoupledPair {
+            fabric,
             exporters,
             importers,
-            shared: shared_ports,
-            agents,
-            exp_rep: Some((to_exp_rep, exp_rep_handle)),
-            imp_rep: Some((to_imp_rep, imp_rep_handle)),
-            err,
         })
     }
 
     /// Takes the handle for exporter process `rank` (once).
     pub fn take_exporter(&mut self, rank: usize) -> ExporterHandle {
-        self.exporters[rank].take().expect("exporter handle already taken")
+        self.exporters[rank]
+            .take()
+            .expect("exporter handle already taken")
     }
 
     /// Takes the handle for importer process `rank` (once).
     pub fn take_importer(&mut self, rank: usize) -> ImporterHandle {
-        self.importers[rank].take().expect("importer handle already taken")
+        self.importers[rank]
+            .take()
+            .expect("importer handle already taken")
     }
 
     /// Stops all control threads and returns per-exporter-rank statistics.
     /// Call after the application threads have finished and dropped their
     /// handles.
-    pub fn shutdown(mut self) -> Result<Vec<couplink_proto::ExportStats>, ThreadedError> {
-        for (tx, _) in &self.agents {
-            let _ = tx.send(AgentMsg::Shutdown);
-        }
-        if let Some((tx, h)) = self.exp_rep.take() {
-            let _ = tx.send(ExpRepMsg::Shutdown);
-            let _ = h.join();
-        }
-        if let Some((tx, h)) = self.imp_rep.take() {
-            let _ = tx.send(ImpRepMsg::Shutdown);
-            let _ = h.join();
-        }
-        for (_, h) in self.agents.drain(..) {
-            let _ = h.join();
-        }
-        if let Some(e) = self.err.lock().clone() {
-            return Err(ThreadedError::RepFailed(e));
-        }
-        Ok(self
-            .shared
-            .iter()
-            .map(|s| s.state.lock().port.stats().clone())
-            .collect())
-    }
-}
-
-fn record_err(slot: &Arc<Mutex<Option<String>>>, e: impl fmt::Display) {
-    let mut guard = slot.lock();
-    if guard.is_none() {
-        *guard = Some(e.to_string());
-    }
-}
-
-fn agent_loop(
-    rank: usize,
-    shared: Arc<ExpCell>,
-    rx: Receiver<AgentMsg>,
-    plan: Arc<RedistPlan>,
-    to_rep: Sender<ExpRepMsg>,
-    to_imps: Vec<Sender<ImpMsg>>,
-    err: Arc<Mutex<Option<String>>>,
-) {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            AgentMsg::Shutdown => break,
-            AgentMsg::Forward { req, ts } => {
-                let mut guard = shared.state.lock();
-                match guard.port.on_request(req, ts) {
-                    Ok(fx) => {
-                        if let Some(m) = fx.send {
-                            send_pieces(&plan, rank, req, m, &guard.store, &to_imps);
-                        }
-                        for t in &fx.freed {
-                            guard.store.remove(t);
-                        }
-                        let resp = fx.response;
-                        drop(guard);
-                        // Buffer space may have been freed: wake a stalled
-                        // exporter thread.
-                        shared.freed.notify_all();
-                        let _ = to_rep.send(ExpRepMsg::Response {
-                            rank: Rank(rank as u32),
-                            req,
-                            resp,
-                        });
-                    }
-                    Err(e) => {
-                        record_err(&err, e);
-                        break;
-                    }
-                }
-            }
-            AgentMsg::BuddyHelp { req, answer } => {
-                let mut guard = shared.state.lock();
-                match guard.port.on_buddy_help(req, answer) {
-                    Ok(fx) => {
-                        if let Some(m) = fx.send {
-                            send_pieces(&plan, rank, req, m, &guard.store, &to_imps);
-                        }
-                        for t in &fx.freed {
-                            guard.store.remove(t);
-                        }
-                        drop(guard);
-                        shared.freed.notify_all();
-                    }
-                    Err(e) => {
-                        record_err(&err, e);
-                        break;
-                    }
-                }
-            }
-        }
-    }
-}
-
-fn exp_rep_loop(
-    n_procs: usize,
-    buddy_help: bool,
-    rx: Receiver<ExpRepMsg>,
-    agents: Vec<Sender<AgentMsg>>,
-    to_imp_rep: Sender<ImpRepMsg>,
-    err: Arc<Mutex<Option<String>>>,
-) {
-    let mut rep = ExporterRep::new(n_procs, buddy_help);
-    while let Ok(msg) = rx.recv() {
-        let fx = match msg {
-            ExpRepMsg::Shutdown => break,
-            ExpRepMsg::ImportRequest { req, ts } => rep.on_import_request(req, ts),
-            ExpRepMsg::Response { rank, req, resp } => rep.on_response(rank, req, resp),
-        };
-        match fx {
-            Ok(fx) => {
-                if let Some((req, ts)) = fx.forward {
-                    for a in &agents {
-                        let _ = a.send(AgentMsg::Forward { req, ts });
-                    }
-                }
-                if let Some((req, answer)) = fx.answer {
-                    let _ = to_imp_rep.send(ImpRepMsg::Answer { req, answer });
-                }
-                for (rank, req, answer) in fx.buddy_help {
-                    let _ = agents[rank.0 as usize].send(AgentMsg::BuddyHelp { req, answer });
-                }
-            }
-            Err(e) => {
-                record_err(&err, e);
-                break;
-            }
-        }
-    }
-}
-
-fn imp_rep_loop(
-    n_procs: usize,
-    rx: Receiver<ImpRepMsg>,
-    to_exp_rep: Sender<ExpRepMsg>,
-    to_imps: Vec<Sender<ImpMsg>>,
-    err: Arc<Mutex<Option<String>>>,
-) {
-    let mut rep = ImporterRep::new(n_procs);
-    while let Ok(msg) = rx.recv() {
-        let fx = match msg {
-            ImpRepMsg::Shutdown => break,
-            ImpRepMsg::Call { rank, ts } => rep.on_import_call(rank, ts),
-            ImpRepMsg::Answer { req, answer } => rep.on_answer(req, answer),
-        };
-        match fx {
-            Ok(fx) => {
-                if let Some((req, ts)) = fx.request {
-                    let _ = to_exp_rep.send(ExpRepMsg::ImportRequest { req, ts });
-                }
-                for (rank, req, answer) in fx.deliver {
-                    let _ = to_imps[rank.0 as usize].send(ImpMsg::Answer { req, answer });
-                }
-            }
-            Err(e) => {
-                record_err(&err, e);
-                break;
-            }
-        }
+    pub fn shutdown(self) -> Result<Vec<couplink_proto::ExportStats>, ThreadedError> {
+        let mut report = self.fabric.shutdown()?;
+        Ok(report.stats.remove(0))
     }
 }
 
@@ -676,6 +267,7 @@ mod tests {
     use super::*;
     use couplink_layout::{Decomposition, Extent2};
     use couplink_time::ts;
+    use std::time::Instant;
 
     fn pair(buddy: bool) -> (CoupledPair, Decomposition, Decomposition) {
         let e = Extent2::new(32, 32);
@@ -699,8 +291,7 @@ mod tests {
                     let t = 1.6 + i as f64;
                     // Cell value encodes (timestamp, position) so the importer
                     // can verify which version it received.
-                    let data =
-                        LocalArray::from_fn(owned, |r, c| t * 1e6 + (r * 32 + c) as f64);
+                    let data = LocalArray::from_fn(owned, |r, c| t * 1e6 + (r * 32 + c) as f64);
                     h.export(ts(t), &data).unwrap();
                 }
             }));
@@ -760,9 +351,8 @@ mod tests {
                 threads.push(std::thread::spawn(move || {
                     for i in 0..50 {
                         let t = 1.6 + i as f64;
-                        let data = LocalArray::from_fn(owned, |r, c| {
-                            t + ((r * 37 + c * 11) % 97) as f64
-                        });
+                        let data =
+                            LocalArray::from_fn(owned, |r, c| t + ((r * 37 + c * 11) % 97) as f64);
                         // Slow the last rank so buddy-help has someone to help.
                         if rank == 3 {
                             std::thread::sleep(Duration::from_micros(300));
@@ -951,7 +541,9 @@ mod tests {
         let import_result = std::thread::spawn(move || {
             let mut imp_h = imp_h;
             let mut dest = LocalArray::zeros(owned);
-            imp_h.import(ts(5.0), &mut dest).map(|m| m.map(|t| t.value()))
+            imp_h
+                .import(ts(5.0), &mut dest)
+                .map(|m| m.map(|t| t.value()))
         });
         std::thread::sleep(Duration::from_millis(50));
         e0.export(ts(6.0), &d0).unwrap();
@@ -964,5 +556,71 @@ mod tests {
             matches!(res, Err(ThreadedError::RepFailed(_))),
             "expected a rep failure, got {res:?}"
         );
+    }
+
+    /// A general three-program topology through the fabric directly: one
+    /// exported region feeding two importers with different policies —
+    /// Figure 2 in miniature, impossible with the old pair-only runtime.
+    #[test]
+    fn fanout_topology_runs_end_to_end() {
+        use couplink_config::{parse, RegionRef};
+        use std::collections::HashMap;
+
+        let config = parse(
+            "P0 c0 /bin/p0 2\nP1 c0 /bin/p1 1\nP2 c1 /bin/p2 1\n#\n\
+             P0.r1 P1.r1 REGL 2.5\nP0.r1 P2.r3 REGU 2.5\n",
+        )
+        .unwrap();
+        let grid = Extent2::new(8, 8);
+        let d2 = Decomposition::row_block(grid, 2).unwrap();
+        let d1 = Decomposition::row_block(grid, 1).unwrap();
+        let mut bindings = HashMap::new();
+        bindings.insert(RegionRef::new("P0", "r1"), d2);
+        bindings.insert(RegionRef::new("P1", "r1"), d1);
+        bindings.insert(RegionRef::new("P2", "r3"), d1);
+        let topo = Topology::from_config(&config, &bindings).unwrap();
+        let mut fabric = Fabric::new(topo, FabricOptions::default());
+
+        let mut threads = Vec::new();
+        for rank in 0..2 {
+            let mut h = fabric.take_export(0, rank, 0);
+            let owned = d2.owned(rank);
+            threads.push(std::thread::spawn(move || {
+                assert_eq!(h.connections(), 2);
+                for i in 0..30 {
+                    let t = 1.6 + i as f64;
+                    let data = LocalArray::from_fn(owned, |_, _| t);
+                    let outcomes = h.export(ts(t), &data).unwrap();
+                    assert_eq!(outcomes.len(), 2);
+                }
+            }));
+        }
+        let mut h1 = fabric.take_import(1, 0, 0);
+        let owned1 = d1.owned(0);
+        threads.push(std::thread::spawn(move || {
+            let mut dest = LocalArray::zeros(owned1);
+            // REGL: acceptable region [17.5, 20] → 19.6.
+            assert_eq!(h1.import(ts(20.0), &mut dest).unwrap(), Some(ts(19.6)));
+            assert_eq!(dest.get(0, 0), 19.6);
+        }));
+        let mut h2 = fabric.take_import(2, 0, 0);
+        let owned2 = d1.owned(0);
+        threads.push(std::thread::spawn(move || {
+            let mut dest = LocalArray::zeros(owned2);
+            // REGU: acceptable region [20, 22.5] → 20.6.
+            assert_eq!(h2.import(ts(20.0), &mut dest).unwrap(), Some(ts(20.6)));
+            assert_eq!(dest.get(0, 0), 20.6);
+        }));
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = fabric.shutdown().unwrap();
+        assert_eq!(report.stats.len(), 2);
+        for conn_stats in &report.stats {
+            assert_eq!(conn_stats.len(), 2);
+            for s in conn_stats {
+                assert_eq!(s.sends, 1, "{s:?}");
+            }
+        }
     }
 }

@@ -150,22 +150,26 @@ impl ExportHistory {
             return Ok(None);
         }
         let candidate = self.entries[idx];
-        Ok(if candidate <= hi { Some(candidate) } else { None })
+        Ok(if candidate <= hi {
+            Some(candidate)
+        } else {
+            None
+        })
     }
 
     /// Whether the exact timestamp `t` is retained.
     pub fn contains(&self, t: Timestamp) -> Result<bool, HistoryError> {
         self.check_watermark(t)?;
-        Ok(self
-            .entries
-            .binary_search_by(|probe| probe.cmp(&t))
-            .is_ok())
+        Ok(self.entries.binary_search_by(|probe| probe.cmp(&t)).is_ok())
     }
 
     fn check_watermark(&self, asked: Timestamp) -> Result<(), HistoryError> {
         if let Some(w) = self.watermark {
             if asked < w {
-                return Err(HistoryError::BelowWatermark { watermark: w, asked });
+                return Err(HistoryError::BelowWatermark {
+                    watermark: w,
+                    asked,
+                });
             }
         }
         Ok(())

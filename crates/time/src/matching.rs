@@ -165,7 +165,10 @@ mod tests {
         // Exports 1.6, 2.6, ..., 14.6 then a request for D@20 arrives:
         // acceptable region [17.5, 20], latest export 14.6 → PENDING.
         let h = history(&(1..=14).map(|i| i as f64 + 0.6).collect::<Vec<_>>());
-        assert_eq!(evaluate(&regl(20.0, 2.5), &h).unwrap(), MatchResult::Pending);
+        assert_eq!(
+            evaluate(&regl(20.0, 2.5), &h).unwrap(),
+            MatchResult::Pending
+        );
     }
 
     #[test]
@@ -191,14 +194,20 @@ mod tests {
     fn regl_in_region_candidate_is_still_pending() {
         // 19.0 is acceptable but 19.5 could still arrive → PENDING.
         let h = history(&[19.0]);
-        assert_eq!(evaluate(&regl(20.0, 2.5), &h).unwrap(), MatchResult::Pending);
+        assert_eq!(
+            evaluate(&regl(20.0, 2.5), &h).unwrap(),
+            MatchResult::Pending
+        );
     }
 
     #[test]
     fn regl_no_match_when_region_jumped() {
         // Exporter jumped from 17.0 straight past 20 → nothing in [17.5, 20].
         let h = history(&[17.0, 21.0]);
-        assert_eq!(evaluate(&regl(20.0, 2.5), &h).unwrap(), MatchResult::NoMatch);
+        assert_eq!(
+            evaluate(&regl(20.0, 2.5), &h).unwrap(),
+            MatchResult::NoMatch
+        );
     }
 
     #[test]
@@ -213,8 +222,14 @@ mod tests {
     #[test]
     fn empty_history_is_pending() {
         let h = ExportHistory::new();
-        assert_eq!(evaluate(&regl(20.0, 2.5), &h).unwrap(), MatchResult::Pending);
-        assert_eq!(evaluate(&regu(20.0, 2.5), &h).unwrap(), MatchResult::Pending);
+        assert_eq!(
+            evaluate(&regl(20.0, 2.5), &h).unwrap(),
+            MatchResult::Pending
+        );
+        assert_eq!(
+            evaluate(&regu(20.0, 2.5), &h).unwrap(),
+            MatchResult::Pending
+        );
         assert_eq!(evaluate(&reg(20.0, 2.5), &h).unwrap(), MatchResult::Pending);
     }
 
@@ -232,13 +247,19 @@ mod tests {
     #[test]
     fn regu_pending_below_region() {
         let h = history(&[9.0, 9.9]);
-        assert_eq!(evaluate(&regu(10.0, 0.3), &h).unwrap(), MatchResult::Pending);
+        assert_eq!(
+            evaluate(&regu(10.0, 0.3), &h).unwrap(),
+            MatchResult::Pending
+        );
     }
 
     #[test]
     fn regu_no_match_when_jumped() {
         let h = history(&[9.0, 10.4]);
-        assert_eq!(evaluate(&regu(10.0, 0.3), &h).unwrap(), MatchResult::NoMatch);
+        assert_eq!(
+            evaluate(&regu(10.0, 0.3), &h).unwrap(),
+            MatchResult::NoMatch
+        );
     }
 
     #[test]

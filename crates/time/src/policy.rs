@@ -67,7 +67,11 @@ pub struct ParsePolicyError(pub String);
 
 impl fmt::Display for ParsePolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown match policy `{}` (expected REGL, REGU or REG)", self.0)
+        write!(
+            f,
+            "unknown match policy `{}` (expected REGL, REGU or REG)",
+            self.0
+        )
     }
 }
 

@@ -24,7 +24,11 @@ fn main() {
     for (w, chunk) in series.chunks(20).enumerate() {
         let mean_ms = chunk.iter().sum::<f64>() / chunk.len() as f64 * 1e3;
         let bar = "#".repeat((mean_ms * 30.0).round() as usize);
-        println!("window {w:3} (iters {:4}..{:4}): {mean_ms:6.3} ms  {bar}", w * 20, w * 20 + chunk.len());
+        println!(
+            "window {w:3} (iters {:4}..{:4}): {mean_ms:6.3} ms  {bar}",
+            w * 20,
+            w * 20 + chunk.len()
+        );
     }
     println!();
     match report.optimal_entry(SLOW_RANK) {

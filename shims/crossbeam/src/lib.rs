@@ -1,0 +1,18 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the subset of `crossbeam::channel` the workspace uses is provided,
+//! implemented over `std::sync::mpsc`. The workspace's channels are all
+//! multi-producer single-consumer, which `mpsc` models exactly.
+
+pub mod channel {
+    //! `crossbeam::channel` subset over `std::sync::mpsc`.
+
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

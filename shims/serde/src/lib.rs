@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to a crate registry, so the workspace
+//! points `serde` at this local shim. The codebase only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations — no
+//! serializer is ever instantiated — so marker traits plus no-op derive
+//! macros are sufficient. Swapping back to real serde is a one-line change
+//! in the workspace `Cargo.toml`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op derive macros for the offline `serde` shim: the derives accept the
+//! item (including `#[serde(...)]` attributes) and emit no impls, which is
+//! valid because nothing in the workspace requires the trait bounds.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -6,7 +6,11 @@ use couplink::prelude::*;
 use couplink_runtime::{CostModel, CoupledConfig, CoupledSim};
 use std::sync::mpsc;
 
-fn session_for(policy: &str, tolerance: f64, buddy: bool) -> (Session, Decomposition, Decomposition) {
+fn session_for(
+    policy: &str,
+    tolerance: f64,
+    buddy: bool,
+) -> (Session, Decomposition, Decomposition) {
     let config = couplink::config::parse(&format!(
         "F c0 /bin/f 4\nU c0 /bin/u 2\n#\nF.r U.r {policy} {tolerance}\n"
     ))
@@ -58,7 +62,8 @@ fn run_threaded(
             for (j, want) in imports.iter().enumerate() {
                 let mut dest = LocalArray::zeros(owned);
                 let m = region.import(ts(*want), &mut dest).unwrap();
-                tx.send((j, rank, m.map(|t| t.value()), dest.sum())).unwrap();
+                tx.send((j, rank, m.map(|t| t.value()), dest.sum()))
+                    .unwrap();
             }
         }));
     }
@@ -188,14 +193,18 @@ fn coupled_solver_is_bitwise_independent_of_buddy_help() {
                 let mut solver = Leapfrog::new(grid, owned, dx, dx / 2.0);
                 let mut forcing = LocalArray::zeros(owned);
                 for j in 1..=3 {
-                    region.import(ts(20.0 * j as f64), &mut forcing).unwrap().unwrap();
+                    region
+                        .import(ts(20.0 * j as f64), &mut forcing)
+                        .unwrap()
+                        .unwrap();
                     // Halo-free sub-stepping: treat the block boundary rows
                     // as fixed zero (sufficient for a determinism check).
                     for _ in 0..5 {
                         solver.step(&forcing);
                     }
                 }
-                tx.send((rank, solver.snapshot().as_slice().to_vec())).unwrap();
+                tx.send((rank, solver.snapshot().as_slice().to_vec()))
+                    .unwrap();
             }));
         }
         drop(tx);

@@ -7,9 +7,7 @@
 //! buddy-help, and (4) never copy *more* with buddy-help than without.
 
 use couplink_proto::{ConnectionId, ExportPort, RepAnswer, RequestId};
-use couplink_time::{
-    evaluate, ts, ExportHistory, MatchPolicy, MatchResult, Timestamp, Tolerance,
-};
+use couplink_time::{evaluate, ts, ExportHistory, MatchPolicy, MatchResult, Timestamp, Tolerance};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -59,14 +57,20 @@ fn scenario() -> impl Strategy<Value = Scenario> {
                 x_acc += *x;
                 *x = x_acc;
             }
-            let mut arrivals: Vec<usize> =
-                raw_reqs.iter().map(|(_, a, _)| *a % (exports.len() + 1)).collect();
+            let mut arrivals: Vec<usize> = raw_reqs
+                .iter()
+                .map(|(_, a, _)| *a % (exports.len() + 1))
+                .collect();
             arrivals.sort_unstable();
             let requests = xs
                 .into_iter()
                 .zip(arrivals)
                 .zip(raw_reqs.iter().map(|(_, _, h)| *h))
-                .map(|((x, arrival), help_delay)| Req { x, arrival, help_delay })
+                .map(|((x, arrival), help_delay)| Req {
+                    x,
+                    arrival,
+                    help_delay,
+                })
                 .collect();
             Scenario {
                 policy,
@@ -109,9 +113,9 @@ fn drive(s: &Scenario, answers: &[MatchResult], buddy_help: bool) -> Observed {
     let mut pending_help: Vec<(usize, usize)> = Vec::new();
 
     let deliver_due_help = |port: &mut ExportPort,
-                                obs: &mut Observed,
-                                pending_help: &mut Vec<(usize, usize)>,
-                                now: usize| {
+                            obs: &mut Observed,
+                            pending_help: &mut Vec<(usize, usize)>,
+                            now: usize| {
         let due: Vec<(usize, usize)> = pending_help
             .iter()
             .copied()

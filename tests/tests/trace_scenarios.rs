@@ -72,24 +72,64 @@ fn figure5_skips_grow_from_4_to_7() {
 fn figure7_exact_event_sequence() {
     let run = figure78_run(true);
     let expected = [
-        TraceEvent::Export { t: ts(1.6), copied: true },
-        TraceEvent::Export { t: ts(2.6), copied: true },
-        TraceEvent::Export { t: ts(3.6), copied: true },
+        TraceEvent::Export {
+            t: ts(1.6),
+            copied: true,
+        },
+        TraceEvent::Export {
+            t: ts(2.6),
+            copied: true,
+        },
+        TraceEvent::Export {
+            t: ts(3.6),
+            copied: true,
+        },
         TraceEvent::Request {
             x: ts(10.0),
-            reply: ProcResponse::Pending { latest: Some(ts(3.6)) },
+            reply: ProcResponse::Pending {
+                latest: Some(ts(3.6)),
+            },
         },
-        TraceEvent::Remove { freed: vec![ts(1.6), ts(2.6), ts(3.6)] },
-        TraceEvent::BuddyHelp { x: ts(10.0), answer: RepAnswer::Match(ts(9.6)) },
-        TraceEvent::Export { t: ts(4.6), copied: false },
-        TraceEvent::Export { t: ts(5.6), copied: false },
-        TraceEvent::Export { t: ts(6.6), copied: false },
-        TraceEvent::Export { t: ts(7.6), copied: false },
-        TraceEvent::Export { t: ts(8.6), copied: false },
-        TraceEvent::Export { t: ts(9.6), copied: true },
+        TraceEvent::Remove {
+            freed: vec![ts(1.6), ts(2.6), ts(3.6)],
+        },
+        TraceEvent::BuddyHelp {
+            x: ts(10.0),
+            answer: RepAnswer::Match(ts(9.6)),
+        },
+        TraceEvent::Export {
+            t: ts(4.6),
+            copied: false,
+        },
+        TraceEvent::Export {
+            t: ts(5.6),
+            copied: false,
+        },
+        TraceEvent::Export {
+            t: ts(6.6),
+            copied: false,
+        },
+        TraceEvent::Export {
+            t: ts(7.6),
+            copied: false,
+        },
+        TraceEvent::Export {
+            t: ts(8.6),
+            copied: false,
+        },
+        TraceEvent::Export {
+            t: ts(9.6),
+            copied: true,
+        },
         TraceEvent::Send { m: ts(9.6) },
-        TraceEvent::Export { t: ts(10.6), copied: true },
-        TraceEvent::Export { t: ts(11.6), copied: true },
+        TraceEvent::Export {
+            t: ts(10.6),
+            copied: true,
+        },
+        TraceEvent::Export {
+            t: ts(11.6),
+            copied: true,
+        },
     ];
     assert_eq!(run.trace.events(), &expected[..]);
 }
@@ -102,7 +142,12 @@ fn figure8_supersession_chain() {
     assert!(text.contains("export D@4.6, skip memcpy."));
     // Lines 8-18: every candidate is copied and removes its predecessor.
     assert!(text.contains("export D@5.6, call memcpy."));
-    for (t, prev) in [("6.6", "5.6"), ("7.6", "6.6"), ("8.6", "7.6"), ("9.6", "8.6")] {
+    for (t, prev) in [
+        ("6.6", "5.6"),
+        ("7.6", "6.6"),
+        ("8.6", "7.6"),
+        ("9.6", "8.6"),
+    ] {
         assert!(text.contains(&format!("export D@{t}, call memcpy.")));
         assert!(
             text.contains(&format!("remove D@{prev}.")),
