@@ -3,10 +3,16 @@
 #
 #   ./ci.sh
 #
-# Three stages, all required:
+# Four stages, all required:
 #   1. formatting      (cargo fmt --check)
 #   2. lints           (cargo clippy, warnings are errors)
 #   3. tier-1 tests    (release build + full test suite)
+#   4. simtest         (seeded simulation corpus + oracle mutation smoke)
+#
+# Nightly-only extras (run when CI_NIGHTLY=1, skipped gracefully otherwise):
+#   - deep simtest sweep and a deeper DES-vs-threaded property sweep
+#   - ThreadSanitizer pass over the threaded runtime (needs a nightly
+#     toolchain with rust-src; skipped with a notice if unavailable)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,5 +25,30 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "== simtest: seed corpus + mutation smoke (~30s budget)"
+cargo run --release -q -p couplink-simtest -- --seeds 60
+cargo run --release -q -p couplink-simtest -- --mutate
+
+if [[ "${CI_NIGHTLY:-0}" == "1" ]]; then
+    echo "== nightly: deep simtest sweep"
+    cargo run --release -q -p couplink-simtest -- --seeds 500
+    echo "== nightly: deep cross-runtime property sweep"
+    SIMTEST_CASES=100 cargo test -q -p couplink-runtime --test prop_des
+
+    echo "== nightly: ThreadSanitizer over the threaded runtime"
+    # TSan needs a nightly toolchain with the rust-src component (for
+    # -Zbuild-std); skip with a notice rather than fail when absent.
+    if rustup run nightly rustc --version >/dev/null 2>&1 \
+        && rustup component list --toolchain nightly 2>/dev/null \
+           | grep -q 'rust-src.*(installed)'; then
+        host="$(rustc -vV | sed -n 's/^host: //p')"
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -q -Zbuild-std --target "$host" \
+            -p couplink-runtime --lib threaded
+    else
+        echo "   (skipped: no nightly toolchain with rust-src installed)"
+    fi
+fi
 
 echo "CI OK"

@@ -182,6 +182,7 @@ impl SessionBuilder {
                 import_timeout: self.import_timeout,
                 buffer_capacity: self.buffer_capacity,
                 traces,
+                chaos: None,
             },
         );
         Ok(Session {

@@ -213,6 +213,9 @@ pub struct ExportPort {
     buffered: BTreeMap<Timestamp, Buffered>,
     /// Maximum buffered objects; `None` = unbounded (the paper's setting).
     capacity: Option<usize>,
+    /// Deliberate soundness bug for mutation testing: treat the buddy-help
+    /// match itself as skippable. See [`ExportPort::set_unsound_help_skip`].
+    unsound_help_skip: bool,
     stats: ExportStats,
 }
 
@@ -230,8 +233,21 @@ impl ExportPort {
             resolved_bound: None,
             buffered: BTreeMap::new(),
             capacity: None,
+            unsound_help_skip: false,
             stats: ExportStats::default(),
         }
+    }
+
+    /// Deliberately weakens the pruning rule: an export equal to a known
+    /// buddy-help match is *skipped* instead of buffered-and-sent, as if the
+    /// dominance lemma read `t ≤ m` instead of `t < m`.
+    ///
+    /// This is a **mutation-testing hook** (never enabled in production
+    /// paths): the simulation-testing harness flips it on to prove that the
+    /// buffer-safety and liveness oracles actually catch a broken pruning
+    /// rule rather than vacuously passing.
+    pub fn set_unsound_help_skip(&mut self, enabled: bool) {
+        self.unsound_help_skip = enabled;
     }
 
     /// Creates a port whose framework buffer holds at most `capacity`
@@ -348,6 +364,13 @@ impl ExportPort {
         for (pos, req) in self.open.iter().enumerate() {
             if let Some(RepAnswer::Match(m)) = req.help {
                 if t == m {
+                    if self.unsound_help_skip {
+                        // Mutation: the broken rule drops the match object
+                        // itself. No internal check fires — the request just
+                        // stays open forever — which is exactly what the
+                        // external buffer-safety/liveness oracles must catch.
+                        return Ok((ExportAction::Skip, None));
+                    }
                     return Ok((ExportAction::BufferAndSend { request: req.id }, Some(pos)));
                 }
                 // Property 1 check: an export strictly between the known
@@ -449,6 +472,27 @@ impl ExportPort {
                 let req = self.open.remove(pos).expect("position is in range");
                 debug_assert_eq!(req.id, request);
                 self.mark_resolved_bound(t);
+                // One export can be the announced match of *several* helped
+                // requests: under REGL consecutive overlapping regions share
+                // their maximum, so the rep may announce the same object for
+                // back-to-back requests. Each one owes the importer a piece;
+                // resolving only the first would leave the rest open forever.
+                // (The rep already knows these answers; the late responses it
+                // gets from the resolutions below are validated, not re-counted.)
+                let mut idx = 0;
+                while idx < self.open.len() {
+                    if self.open[idx].help == Some(RepAnswer::Match(t)) {
+                        let extra = self.open.remove(idx).expect("index is in range");
+                        let send = self.mark_sent(extra.id, t)?;
+                        effects.resolutions.push(Resolution {
+                            request: extra.id,
+                            answer: RepAnswer::Match(t),
+                            send: Some(send),
+                        });
+                    } else {
+                        idx += 1;
+                    }
+                }
             }
         }
         effects.action = Some(action);
@@ -1036,6 +1080,46 @@ mod tests {
                 send: Some(ts(9.8)),
             }]
         );
+    }
+
+    /// Regression (found by the simtest harness, seed 50): under REGL two
+    /// consecutive overlapping regions can share their maximum, so the rep
+    /// may announce the *same* object as the match of back-to-back
+    /// requests. When both are buddy-helped before the object is exported,
+    /// the single matching export must resolve — and send a piece for —
+    /// every one of them, not just the first in the queue.
+    #[test]
+    fn one_export_resolves_all_helped_requests_sharing_the_match() {
+        let mut p = regl_port(1.0);
+        // Two pending requests with overlapping regions [1.0, 2.0] and
+        // [1.5, 2.5]; nothing exported yet.
+        let r0 = p.on_request(RequestId(0), ts(2.0)).unwrap();
+        let r1 = p.on_request(RequestId(1), ts(2.5)).unwrap();
+        assert!(matches!(r0.response, ProcResponse::Pending { .. }));
+        assert!(matches!(r1.response, ProcResponse::Pending { .. }));
+        // A faster process decided both: the shared match is D@1.8.
+        p.on_buddy_help(RequestId(0), RepAnswer::Match(ts(1.8)))
+            .unwrap();
+        p.on_buddy_help(RequestId(1), RepAnswer::Match(ts(1.8)))
+            .unwrap();
+        // The matching export arrives once and must pay both debts.
+        let fx = p.on_export(ts(1.8)).unwrap();
+        assert_eq!(
+            fx.action,
+            Some(ExportAction::BufferAndSend {
+                request: RequestId(0)
+            })
+        );
+        assert_eq!(
+            fx.resolutions,
+            vec![Resolution {
+                request: RequestId(1),
+                answer: RepAnswer::Match(ts(1.8)),
+                send: Some(ts(1.8)),
+            }]
+        );
+        // Both requests closed: the next export is prunable dead weight.
+        assert_eq!(p.skip_floor(), Some(ts(1.8)));
     }
 
     #[test]

@@ -65,6 +65,12 @@ impl MultiExport {
         &self.ports[idx]
     }
 
+    /// Mutable access to one connection's port (used by the simulation-test
+    /// harness to arm mutation-testing hooks on an assembled topology).
+    pub fn port_mut(&mut self, idx: usize) -> &mut ExportPort {
+        &mut self.ports[idx]
+    }
+
     /// Objects currently held in the shared store.
     pub fn shared_buffered_len(&self) -> usize {
         self.refcount.len()

@@ -151,6 +151,64 @@ impl Trace {
         out
     }
 
+    /// The exported timestamps in trace order, regardless of whether the
+    /// object was copied.
+    ///
+    /// Unlike the per-event `copied` flags (which legally differ between
+    /// runs — a slower process learns the buddy-help answer earlier relative
+    /// to its own exports and skips more), the export *sequence* is fixed by
+    /// the application schedule, so it is directly comparable across
+    /// runtimes and timings.
+    pub fn export_sequence(&self) -> Vec<Timestamp> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Export { t, .. } => Some(*t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The skipped (never memcpy'd) export timestamps in trace order.
+    pub fn skipped_exports(&self) -> Vec<Timestamp> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Export { t, copied: false } => Some(*t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The requested timestamps in trace order (one per forwarded request).
+    ///
+    /// Property 1 makes this sequence identical across all processes of the
+    /// exporting program, for any runtime and any timing.
+    pub fn request_sequence(&self) -> Vec<Timestamp> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Request { x, .. } => Some(*x),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The transferred (sent) timestamps in trace order.
+    ///
+    /// Like [`Trace::request_sequence`], this is timing-independent: every
+    /// process sends exactly its share of each decided match, in request
+    /// order.
+    pub fn send_sequence(&self) -> Vec<Timestamp> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Send { m } => Some(*m),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Counts memcpy'd and skipped exports in the trace.
     pub fn export_counts(&self) -> (usize, usize) {
         let mut copied = 0;

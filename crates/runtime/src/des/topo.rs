@@ -15,10 +15,10 @@
 
 use crate::cost::CostModel;
 use crate::des::coupled::{ActionKind, SimError};
-use crate::des::EventQueue;
+use crate::des::{EventQueue, SimTime};
 use crate::engine::{
-    deliver_all, Endpoint, EngineError, ExportNode, ImportNode, Outgoing, RepNode, Topology,
-    Transport,
+    deliver_all, ChaosConfig, ChaosState, Endpoint, EngineError, ExportNode, ImportNode, Outgoing,
+    RepNode, Topology, Transport,
 };
 use couplink_proto::{
     ConnectionId, CtrlMsg, ExportStats, ImportState, PortError, RequestId, Trace,
@@ -181,14 +181,30 @@ struct DesTransport<'a> {
     cost: &'a CostModel,
     /// Extra delay before network costs (the emitting call's own cost).
     delay: f64,
+    /// Seeded fault injection for control messages, if enabled.
+    chaos: Option<&'a mut ChaosState>,
 }
 
 impl Transport for DesTransport<'_> {
     type Error = SimError;
 
     fn ctrl(&mut self, to: Endpoint, msg: CtrlMsg) -> Result<(), SimError> {
-        self.queue
-            .schedule(self.delay + self.cost.ctrl_time(), Ev::Deliver { to, msg });
+        let nominal = self.delay + self.cost.ctrl_time();
+        match self.chaos.as_deref_mut() {
+            None => {
+                self.queue.schedule(nominal, Ev::Deliver { to, msg });
+            }
+            Some(chaos) => {
+                // Chaos plans absolute delivery times (possibly several, for
+                // duplicated commutative messages) on top of the nominal
+                // arrival, with FIFO-class streams clamped to their
+                // watermark so per-stream order is preserved.
+                let base_at = self.queue.now().0 + nominal;
+                for at in chaos.deliveries(base_at, to, &msg) {
+                    self.queue.schedule_at(SimTime(at), Ev::Deliver { to, msg });
+                }
+            }
+        }
         Ok(())
     }
 
@@ -236,6 +252,7 @@ pub struct TopologySim {
     reps: Vec<Option<RepNode>>,
     matches: Vec<Vec<Option<Timestamp>>>,
     traced: Vec<(usize, usize, ConnectionId)>,
+    chaos: Option<ChaosState>,
 }
 
 impl TopologySim {
@@ -393,7 +410,26 @@ impl TopologySim {
             reps,
             matches,
             traced: Vec::new(),
+            chaos: None,
         })
+    }
+
+    /// Enables seeded fault injection (delay, duplication, drop-with-retry)
+    /// on control-message delivery. The run stays fully deterministic: the
+    /// same configuration and seed replay the same event schedule.
+    pub fn chaos(&mut self, cfg: ChaosConfig) {
+        self.chaos = Some(ChaosState::new(cfg));
+    }
+
+    /// Arms the deliberate pruning-rule bug on every export port, for
+    /// mutation-testing the oracles (see
+    /// [`couplink_proto::ExportPort::set_unsound_help_skip`]).
+    pub fn arm_unsound_help_skip(&mut self) {
+        for nodes in &mut self.exp_nodes {
+            for node in nodes {
+                node.arm_unsound_help_skip();
+            }
+        }
     }
 
     /// Enables Figure-5 style event tracing for one connection on one
@@ -517,6 +553,7 @@ impl TopologySim {
                     topo: &self.topo,
                     cost: &self.cost,
                     delay: call_cost,
+                    chaos: self.chaos.as_mut(),
                 };
                 deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;
                 if next {
@@ -541,6 +578,7 @@ impl TopologySim {
                     topo: &self.topo,
                     cost: &self.cost,
                     delay: 0.0,
+                    chaos: self.chaos.as_mut(),
                 };
                 deliver_all(&mut tx, Endpoint::Proc { prog, rank }, vec![msg])?;
                 self.check_import_done(drive, rank)?;
@@ -588,6 +626,7 @@ impl TopologySim {
                     topo: &self.topo,
                     cost: &self.cost,
                     delay: 0.0,
+                    chaos: self.chaos.as_mut(),
                 };
                 deliver_all(&mut tx, Endpoint::Rep { prog }, outs)?;
             }
@@ -604,6 +643,7 @@ impl TopologySim {
                         topo: &self.topo,
                         cost: &self.cost,
                         delay: 0.0,
+                        chaos: self.chaos.as_mut(),
                     };
                     deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;
                     self.wake_blocked(drive, rank);
@@ -616,6 +656,7 @@ impl TopologySim {
                         topo: &self.topo,
                         cost: &self.cost,
                         delay: 0.0,
+                        chaos: self.chaos.as_mut(),
                     };
                     deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;
                     self.wake_blocked(drive, rank);

@@ -27,10 +27,14 @@
 //! The topology itself ([`Topology`]) is runtime-neutral: N programs, any
 //! acyclic-or-cyclic set of connections, multi-importer export regions.
 
+pub mod chaos;
 pub mod node;
+pub mod oracle;
 pub mod topology;
 
+pub use chaos::{ChaosConfig, ChaosState};
 pub use node::{EngineError, ExportFx, ExportNode, ImportNode, RepNode};
+pub use oracle::OracleViolation;
 pub use topology::{
     ConnTopo, ExportRegionTopo, ImportRegionTopo, ProgramTopo, Topology, TopologyError,
 };
@@ -39,7 +43,7 @@ use couplink_proto::{ConnectionId, CtrlMsg, RequestId};
 use couplink_time::Timestamp;
 
 /// Where a control message is headed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Endpoint {
     /// A coupled process of a program.
     Proc {

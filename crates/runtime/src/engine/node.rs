@@ -152,6 +152,18 @@ impl ExportNode {
         self.by_conn.get(&conn).map(|&(ri, _)| ri)
     }
 
+    /// Arms the mutation-testing hook on every port of this node: exports
+    /// equal to a known buddy-help match are unsoundly skipped. Used only by
+    /// the simulation-test harness to prove the oracles catch a broken
+    /// pruning rule (see [`ExportPort::set_unsound_help_skip`]).
+    pub fn arm_unsound_help_skip(&mut self) {
+        for region in &mut self.regions {
+            for slot in 0..region.multi.connections() {
+                region.multi.port_mut(slot).set_unsound_help_skip(true);
+            }
+        }
+    }
+
     /// Number of regions this node exports.
     pub fn regions(&self) -> usize {
         self.regions.len()

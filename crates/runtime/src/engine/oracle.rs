@@ -1,0 +1,369 @@
+//! End-to-end correctness oracles for the coupling protocol.
+//!
+//! These checks consume only *observable* run artifacts — per-process
+//! [`Trace`]s, per-connection match decisions, import completion — and
+//! re-derive what the protocol promised from first principles. They are the
+//! acceptance predicate of the simulation-testing harness
+//! (`couplink-simtest`), but are exported from the runtime crate so any
+//! integration test can assert them.
+//!
+//! Four oracles:
+//!
+//! 1. **Collective order** ([`check_collective_order`]): the paper's
+//!    Property 1 — every process of an exporting program observes the same
+//!    requests and performs the same sends, in the same order, regardless
+//!    of runtime or timing. (The per-export `copied` flags legally differ;
+//!    the *sequences* may not.)
+//! 2. **Buffer safety** ([`check_buffer_safety`]): replays the match
+//!    predicate ([`couplink_time::evaluate`]) over the full export history
+//!    and requires that every ground-truth match was memcpy'd (never
+//!    skipped by the pruning rule) and eventually sent — and that nothing
+//!    else was sent. This is the oracle that catches an unsound
+//!    acceptable-region pruning rule.
+//! 3. **Liveness** ([`check_liveness`]): every scheduled import call
+//!    resolves and the importer finishes, i.e. bounded chaos (delay,
+//!    duplication, drop-with-retry) never wedges the protocol.
+//! 4. **Runtime equivalence** ([`check_runtime_equivalence`]): the
+//!    discrete-event simulator and the threaded fabric decide identical
+//!    match outcomes for the same scenario.
+
+use couplink_proto::{ConnectionId, Trace};
+use couplink_time::{evaluate, ExportHistory, MatchPolicy, MatchResult, Timestamp, Tolerance};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A failed oracle: which property broke, on which connection, and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleViolation {
+    /// Two ranks of the exporting program disagreed on a timing-independent
+    /// sequence (Property 1).
+    CollectiveOrder {
+        /// The connection the traces belong to.
+        conn: ConnectionId,
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// A ground-truth match was pruned, never sent, or a non-match was sent.
+    BufferSafety {
+        /// The connection whose history was replayed.
+        conn: ConnectionId,
+        /// Human-readable description of the unsound decision.
+        detail: String,
+    },
+    /// An import call never resolved, or the importer never finished.
+    Liveness {
+        /// The connection that stalled.
+        conn: ConnectionId,
+        /// Human-readable description of the stall.
+        detail: String,
+    },
+    /// The two runtimes decided different match outcomes.
+    RuntimeEquivalence {
+        /// The connection that diverged.
+        conn: ConnectionId,
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
+}
+
+impl OracleViolation {
+    /// The connection the violation occurred on.
+    pub fn conn(&self) -> ConnectionId {
+        match self {
+            OracleViolation::CollectiveOrder { conn, .. }
+            | OracleViolation::BufferSafety { conn, .. }
+            | OracleViolation::Liveness { conn, .. }
+            | OracleViolation::RuntimeEquivalence { conn, .. } => *conn,
+        }
+    }
+}
+
+impl fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleViolation::CollectiveOrder { conn, detail } => {
+                write!(f, "collective-order violation on conn {}: {detail}", conn.0)
+            }
+            OracleViolation::BufferSafety { conn, detail } => {
+                write!(f, "buffer-safety violation on conn {}: {detail}", conn.0)
+            }
+            OracleViolation::Liveness { conn, detail } => {
+                write!(f, "liveness violation on conn {}: {detail}", conn.0)
+            }
+            OracleViolation::RuntimeEquivalence { conn, detail } => {
+                write!(
+                    f,
+                    "runtime-equivalence violation on conn {}: {detail}",
+                    conn.0
+                )
+            }
+        }
+    }
+}
+
+/// Property 1: all ranks of the exporting program saw the same request
+/// sequence and performed the same send sequence, in the same order.
+///
+/// Export sequences are *not* compared — they are fixed by each rank's
+/// application schedule, not by the protocol.
+pub fn check_collective_order(conn: ConnectionId, traces: &[Trace]) -> Result<(), OracleViolation> {
+    let Some((first, rest)) = traces.split_first() else {
+        return Ok(());
+    };
+    let requests = first.request_sequence();
+    let sends = first.send_sequence();
+    for (rank, t) in rest.iter().enumerate() {
+        if t.request_sequence() != requests {
+            return Err(OracleViolation::CollectiveOrder {
+                conn,
+                detail: format!(
+                    "rank {} saw requests {:?}, rank 0 saw {:?}",
+                    rank + 1,
+                    t.request_sequence(),
+                    requests
+                ),
+            });
+        }
+        if t.send_sequence() != sends {
+            return Err(OracleViolation::CollectiveOrder {
+                conn,
+                detail: format!(
+                    "rank {} sent {:?}, rank 0 sent {:?}",
+                    rank + 1,
+                    t.send_sequence(),
+                    sends
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Replays the match predicate over the trace's full export history and
+/// checks every memcpy-skip and send decision against the ground truth.
+///
+/// For each request `x` in the trace, the acceptable region
+/// `policy.region(x, tol)` is evaluated against the *complete* history.
+/// Decided protocol answers are stable under future exports (exports are
+/// strictly increasing, so a region's best match never changes once
+/// decided), which makes the full-history answer the ground truth:
+///
+/// * every ground-truth match must appear as a copied (never skipped)
+///   export — a skip of the match object means the pruning rule discarded
+///   data the importer was owed;
+/// * every ground-truth match must appear in the send sequence;
+/// * every send must be a ground-truth match of some request.
+pub fn check_buffer_safety(
+    conn: ConnectionId,
+    policy: MatchPolicy,
+    tol: Tolerance,
+    trace: &Trace,
+) -> Result<(), OracleViolation> {
+    let mut history = ExportHistory::new();
+    for t in trace.export_sequence() {
+        if let Err(e) = history.record(t) {
+            return Err(OracleViolation::BufferSafety {
+                conn,
+                detail: format!("export sequence is not strictly increasing at {t}: {e}"),
+            });
+        }
+    }
+    let skipped: BTreeSet<u64> = trace
+        .skipped_exports()
+        .iter()
+        .map(|t| t.value().to_bits())
+        .collect();
+    let sent: BTreeSet<u64> = trace
+        .send_sequence()
+        .iter()
+        .map(|t| t.value().to_bits())
+        .collect();
+
+    let mut truth = BTreeSet::new();
+    for x in trace.request_sequence() {
+        let region = policy.region(x, tol);
+        let result = evaluate(&region, &history).map_err(|e| OracleViolation::BufferSafety {
+            conn,
+            detail: format!("replay of request {x} failed: {e}"),
+        })?;
+        let Some(m) = result.matched() else {
+            continue; // NoMatch or still pending at shutdown: nothing owed.
+        };
+        truth.insert(m.value().to_bits());
+        if skipped.contains(&m.value().to_bits()) {
+            return Err(OracleViolation::BufferSafety {
+                conn,
+                detail: format!(
+                    "match {m} for request {x} was exported with the memcpy skipped \
+                     — the pruning rule discarded an object the importer is owed"
+                ),
+            });
+        }
+        if !sent.contains(&m.value().to_bits()) {
+            return Err(OracleViolation::BufferSafety {
+                conn,
+                detail: format!("match {m} for request {x} was never sent"),
+            });
+        }
+    }
+    if let Some(extra) = sent.difference(&truth).next() {
+        return Err(OracleViolation::BufferSafety {
+            conn,
+            detail: format!(
+                "sent {} which matches no request under the ground-truth predicate",
+                Timestamp::new(f64::from_bits(*extra)).expect("sent timestamp was valid")
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Every scheduled import call resolved, and the importer reached the end
+/// of its schedule.
+pub fn check_liveness(
+    conn: ConnectionId,
+    scheduled: usize,
+    resolved: usize,
+    import_done: bool,
+) -> Result<(), OracleViolation> {
+    if resolved < scheduled {
+        return Err(OracleViolation::Liveness {
+            conn,
+            detail: format!("only {resolved} of {scheduled} import calls resolved"),
+        });
+    }
+    if !import_done {
+        return Err(OracleViolation::Liveness {
+            conn,
+            detail: "importer never completed its schedule".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// The discrete-event simulator and the threaded fabric decided identical
+/// per-request match outcomes.
+pub fn check_runtime_equivalence(
+    conn: ConnectionId,
+    des: &[Option<Timestamp>],
+    threaded: &[Option<Timestamp>],
+) -> Result<(), OracleViolation> {
+    if des.len() != threaded.len() {
+        return Err(OracleViolation::RuntimeEquivalence {
+            conn,
+            detail: format!(
+                "DES resolved {} requests, threaded resolved {}",
+                des.len(),
+                threaded.len()
+            ),
+        });
+    }
+    for (i, (d, t)) in des.iter().zip(threaded).enumerate() {
+        if d != t {
+            return Err(OracleViolation::RuntimeEquivalence {
+                conn,
+                detail: format!("request {i}: DES decided {d:?}, threaded decided {t:?}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Re-exported so callers can reason about decidedness when pairing the
+/// oracles with custom schedules.
+pub fn ground_truth(
+    policy: MatchPolicy,
+    tol: Tolerance,
+    request: Timestamp,
+    history: &ExportHistory,
+) -> Result<MatchResult, couplink_time::HistoryError> {
+    evaluate(&policy.region(request, tol), history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use couplink_proto::{ExportPort, RequestId};
+    use couplink_time::ts;
+
+    /// Drives a single port: requests are issued as soon as the next export
+    /// would pass them (an importer running slightly ahead), and every
+    /// effect is recorded into a trace.
+    fn traced_run(exports: &[f64], requests: &[f64]) -> Trace {
+        let mut port = ExportPort::new(
+            ConnectionId(0),
+            MatchPolicy::RegL,
+            Tolerance::new(0.5).expect("tolerance"),
+        );
+        let mut trace = Trace::new();
+        let mut req = 0u64;
+        let mut it = requests.iter().copied().peekable();
+        for &e in exports {
+            while let Some(&x) = it.peek() {
+                if x > e {
+                    break;
+                }
+                it.next();
+                let id = RequestId(req);
+                req += 1;
+                let fx = port.on_request(id, ts(x)).expect("request");
+                trace.record_request(ts(x), &fx);
+            }
+            let fx = port.on_export(ts(e)).expect("export");
+            trace.record_export(ts(e), &fx);
+        }
+        for x in it {
+            let id = RequestId(req);
+            req += 1;
+            let fx = port.on_request(id, ts(x)).expect("request");
+            trace.record_request(ts(x), &fx);
+        }
+        trace
+    }
+
+    #[test]
+    fn clean_single_port_run_passes_buffer_safety() {
+        let trace = traced_run(&[1.0, 2.0, 3.0, 4.0, 5.0], &[2.2, 4.1]);
+        check_buffer_safety(
+            ConnectionId(0),
+            MatchPolicy::RegL,
+            Tolerance::new(0.5).expect("tolerance"),
+            &trace,
+        )
+        .expect("clean run must satisfy buffer safety");
+    }
+
+    #[test]
+    fn collective_order_flags_diverging_sends() {
+        let a = traced_run(&[1.0, 2.0, 3.0], &[2.2]);
+        let b = traced_run(&[1.0, 2.0, 3.0], &[1.2]);
+        let err = check_collective_order(ConnectionId(1), &[a, b]).unwrap_err();
+        assert!(matches!(err, OracleViolation::CollectiveOrder { .. }));
+        assert_eq!(err.conn(), ConnectionId(1));
+    }
+
+    #[test]
+    fn collective_order_accepts_identical_ranks() {
+        let a = traced_run(&[1.0, 2.0, 3.0], &[2.2]);
+        let b = traced_run(&[1.0, 2.0, 3.0], &[2.2]);
+        check_collective_order(ConnectionId(0), &[a, b]).expect("identical ranks");
+    }
+
+    #[test]
+    fn liveness_flags_unresolved_requests() {
+        assert!(check_liveness(ConnectionId(0), 5, 5, true).is_ok());
+        let err = check_liveness(ConnectionId(0), 5, 4, true).unwrap_err();
+        assert!(matches!(err, OracleViolation::Liveness { .. }));
+        let err = check_liveness(ConnectionId(0), 5, 5, false).unwrap_err();
+        assert!(err.to_string().contains("never completed"));
+    }
+
+    #[test]
+    fn equivalence_flags_divergence() {
+        let des = vec![Some(ts(1.0)), None];
+        let thr = vec![Some(ts(1.0)), Some(ts(2.0))];
+        let err = check_runtime_equivalence(ConnectionId(2), &des, &thr).unwrap_err();
+        assert!(matches!(err, OracleViolation::RuntimeEquivalence { .. }));
+        check_runtime_equivalence(ConnectionId(2), &des, &des).expect("identical outcomes");
+    }
+}

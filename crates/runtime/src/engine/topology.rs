@@ -392,4 +392,32 @@ mod tests {
             }
         );
     }
+
+    /// The parser already rejects a connection naming an undeclared
+    /// program, so reach the validator's own check by deleting a program
+    /// from an otherwise-valid parsed configuration (as a programmatic
+    /// caller assembling a `Config` by hand could).
+    #[test]
+    fn unknown_program_rejected() {
+        let (mut config, b) = fig2ish();
+        config.programs.retain(|p| p.name != "P2");
+        let err = Topology::from_config(&config, &b).unwrap_err();
+        assert_eq!(err, TopologyError::UnknownProgram("P2".into()));
+    }
+
+    /// Decompositions on different global grids cannot be redistributed
+    /// into one another.
+    #[test]
+    fn incompatible_grids_rejected_as_layout_error() {
+        let (config, mut b) = fig2ish();
+        b.insert(
+            RegionRef::new("P1", "r1"),
+            Decomposition::row_block(Extent2::new(4, 4), 1).unwrap(),
+        );
+        let err = Topology::from_config(&config, &b).unwrap_err();
+        assert!(
+            matches!(err, TopologyError::Layout(_)),
+            "expected Layout, got {err:?}"
+        );
+    }
 }

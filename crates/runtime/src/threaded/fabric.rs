@@ -21,6 +21,7 @@
 //! one copy serves every importer, and an object is dropped only when no
 //! connection can still need it.
 
+use crate::engine::chaos::{commutes, ChaosConfig};
 use crate::engine::{
     deliver_all, Clock, Endpoint, EngineError, ExportFx, ExportNode, ImportNode, Outgoing, RepNode,
     Topology, Transport,
@@ -73,6 +74,14 @@ pub struct FabricOptions {
     /// exporter process records a Figure 5-style event stream for that
     /// connection, returned by [`Fabric::shutdown`].
     pub traces: Vec<(usize, usize, ConnectionId)>,
+    /// Seeded fault injection on *commutative* control messages (`Response`,
+    /// `BuddyHelp`, `Answer`, `AnswerBcast`): per-message delay, duplication
+    /// and drop-with-retry, routed through a relay thread. FIFO-class
+    /// messages (`ImportCall`, `ImportRequest`, `ForwardRequest`) are never
+    /// perturbed here — unlike the simulator, the fabric has no global
+    /// event queue on which to re-order them safely, and the protocol
+    /// forbids reordering them anyway.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for FabricOptions {
@@ -82,6 +91,7 @@ impl Default for FabricOptions {
             import_timeout: Duration::from_secs(30),
             buffer_capacity: None,
             traces: Vec::new(),
+            chaos: None,
         }
     }
 }
@@ -121,6 +131,24 @@ enum ImpMsg {
     },
 }
 
+/// Message to the chaos relay thread: hold `msg` until `due`, then route it.
+enum RelayMsg {
+    Deliver {
+        due: Instant,
+        to: Endpoint,
+        msg: CtrlMsg,
+    },
+    Shutdown,
+}
+
+/// Fault-injection state shared through [`Net`].
+struct NetChaos {
+    cfg: ChaosConfig,
+    /// Per-message counter feeding the seeded decisions.
+    counter: std::sync::atomic::AtomicU64,
+    relay: Sender<RelayMsg>,
+}
+
 /// One exporting process's engine state: the node plus one object store per
 /// exported region (keyed by timestamp; the real buffered copies).
 struct ExpState {
@@ -146,13 +174,47 @@ struct Net {
     to_imp: Vec<Vec<Sender<ImpMsg>>>,
     /// First protocol error anywhere in the fabric.
     err: Arc<Mutex<Option<String>>>,
+    /// Fault injection for commutative control messages, if enabled.
+    chaos: Option<NetChaos>,
 }
 
 impl Net {
+    /// Moves one control message toward its endpoint. With chaos enabled,
+    /// commutative messages detour through the relay thread, which delivers
+    /// each seeded copy at its planned instant; everything else (and every
+    /// message once the relay has drained at shutdown) routes directly.
+    fn ctrl(&self, to: Endpoint, msg: CtrlMsg) {
+        if let Some(chaos) = &self.chaos {
+            if commutes(&msg) {
+                let n = chaos
+                    .counter
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let now = Instant::now();
+                let mut relayed = false;
+                for d in chaos.cfg.extra_delays(n, to, &msg) {
+                    relayed |= chaos
+                        .relay
+                        .send(RelayMsg::Deliver {
+                            due: now + Duration::from_secs_f64(d),
+                            to,
+                            msg,
+                        })
+                        .is_ok();
+                }
+                if relayed {
+                    return;
+                }
+                // Relay already gone (shutdown drained it): fall through to
+                // one direct delivery so nothing is ever lost.
+            }
+        }
+        self.route(to, msg);
+    }
+
     /// Routes one control message. Sends are best-effort: a disconnected
     /// mailbox means its thread already exited (shutdown or a recorded
     /// error), which the caller surfaces separately.
-    fn ctrl(&self, to: Endpoint, msg: CtrlMsg) {
+    fn route(&self, to: Endpoint, msg: CtrlMsg) {
         match to {
             Endpoint::Rep { prog } => {
                 if let Some(tx) = &self.to_rep[prog] {
@@ -533,6 +595,45 @@ fn rep_loop(
     }
 }
 
+/// The chaos relay: holds each delayed message copy until its due instant,
+/// then routes it. On shutdown (marker or disconnect) every still-pending
+/// message is delivered immediately — chaos delays messages, it never
+/// loses them, which is what keeps the liveness oracle valid.
+fn relay_loop(net: Arc<Net>, rx: Receiver<RelayMsg>) {
+    let mut pending: Vec<(Instant, Endpoint, CtrlMsg)> = Vec::new();
+    loop {
+        // Deliver everything already due, then wait for the next deadline.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 <= now {
+                let (_, to, msg) = pending.swap_remove(i);
+                net.route(to, msg);
+            } else {
+                i += 1;
+            }
+        }
+        let received = match pending.iter().map(|p| p.0).min() {
+            Some(due) => match rx.recv_timeout(due.saturating_duration_since(Instant::now())) {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => None,
+            },
+            None => rx.recv().ok(),
+        };
+        match received {
+            Some(RelayMsg::Deliver { due, to, msg }) => pending.push((due, to, msg)),
+            Some(RelayMsg::Shutdown) | None => {
+                pending.sort_by_key(|p| p.0);
+                for (_, to, msg) in pending {
+                    net.route(to, msg);
+                }
+                return;
+            }
+        }
+    }
+}
+
 /// A running multi-program fabric: the engine's nodes for one [`Topology`],
 /// with rep and agent threads live.
 pub struct Fabric {
@@ -545,6 +646,7 @@ pub struct Fabric {
     imports: Vec<Vec<Vec<Option<ImportAccess>>>>,
     agents: Vec<(Sender<AgentMsg>, JoinHandle<()>)>,
     reps: Vec<(Sender<RepMsg>, JoinHandle<()>)>,
+    relay: Option<(Sender<RelayMsg>, JoinHandle<()>)>,
     err: Arc<Mutex<Option<String>>>,
     traces: Vec<(usize, usize, ConnectionId)>,
 }
@@ -584,6 +686,10 @@ impl Fabric {
                     .collect(),
             );
         }
+        let relay_channel = opts.chaos.map(|cfg| {
+            let (tx, rx) = unbounded::<RelayMsg>();
+            (cfg, tx, rx)
+        });
         let net = Arc::new(Net {
             topo: topo.clone(),
             to_rep: rep_channels
@@ -604,6 +710,19 @@ impl Fabric {
                 .map(|ranks| ranks.iter().map(|(tx, _)| tx.clone()).collect())
                 .collect(),
             err: err.clone(),
+            chaos: relay_channel.as_ref().map(|(cfg, tx, _)| NetChaos {
+                cfg: *cfg,
+                counter: std::sync::atomic::AtomicU64::new(0),
+                relay: tx.clone(),
+            }),
+        });
+        let relay = relay_channel.map(|(_, tx, rx)| {
+            let net = net.clone();
+            let handle = std::thread::Builder::new()
+                .name("couplink-chaos-relay".into())
+                .spawn(move || relay_loop(net, rx))
+                .expect("spawning chaos relay thread");
+            (tx, handle)
         });
 
         // Exporting processes: engine state + agent threads.
@@ -717,6 +836,7 @@ impl Fabric {
             imports,
             agents,
             reps,
+            relay,
             err,
             traces: opts.traces,
         }
@@ -754,17 +874,37 @@ impl Fabric {
     /// Stops all control threads and returns per-connection statistics and
     /// the recorded traces. Call after the application threads have
     /// finished and dropped their handles.
+    ///
+    /// # Shutdown ordering
+    ///
+    /// Stages matter here. An importer's `import()` returns as soon as its
+    /// rep broadcasts the answer, but the *exporter's* rep sends its
+    /// buddy-help notifications **after** the answer — so at the instant
+    /// the application decides to shut down, a rep thread may still be
+    /// about to send buddy-help to agent mailboxes. If the agents' shutdown
+    /// markers were enqueued first (as an earlier version did), that late
+    /// buddy-help would land behind the marker and be silently dropped,
+    /// losing the memcpy savings and — with a NO MATCH answer — leaving the
+    /// request open forever on the helped rank. Therefore: first drain the
+    /// chaos relay (its delayed copies must reach the reps), then stop and
+    /// join the reps (everything they owed is now in the agent mailboxes),
+    /// and only then stop the agents — per-channel FIFO guarantees they
+    /// consume every pending notification before seeing their marker.
     pub fn shutdown(mut self) -> Result<FabricReport, ThreadedError> {
-        for (tx, _) in &self.agents {
-            let _ = tx.send(AgentMsg::Shutdown);
+        if let Some((tx, h)) = self.relay.take() {
+            let _ = tx.send(RelayMsg::Shutdown);
+            let _ = h.join();
         }
         for (tx, _) in &self.reps {
             let _ = tx.send(RepMsg::Shutdown);
         }
-        for (_, h) in self.agents.drain(..) {
+        for (_, h) in self.reps.drain(..) {
             let _ = h.join();
         }
-        for (_, h) in self.reps.drain(..) {
+        for (tx, _) in &self.agents {
+            let _ = tx.send(AgentMsg::Shutdown);
+        }
+        for (_, h) in self.agents.drain(..) {
             let _ = h.join();
         }
         if let Some(e) = self.err.lock().clone() {

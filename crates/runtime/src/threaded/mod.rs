@@ -216,6 +216,7 @@ impl CoupledPair {
                 import_timeout: cfg.import_timeout,
                 buffer_capacity: cfg.buffer_capacity,
                 traces: Vec::new(),
+                chaos: None,
             },
         );
         let exporters = (0..ne)
@@ -556,6 +557,57 @@ mod tests {
             matches!(res, Err(ThreadedError::RepFailed(_))),
             "expected a rep failure, got {res:?}"
         );
+    }
+
+    /// Regression test for the shutdown race documented on
+    /// [`Fabric::shutdown`]: buddy-help the rep sends *after* answering the
+    /// importer must still reach the agents before they exit.
+    ///
+    /// Construction: two exporter ranks, REGL tol 0.5, importer asks for
+    /// 3.0 (region [2.5, 3.0]). Rank 0 exports 1.0 then 5.0 — its history
+    /// jumps the region, so it answers the forwarded request NO MATCH
+    /// definitively. Rank 1 exports only 1.0 and answers PENDING, leaving
+    /// its request open. The rep's collective answer is NO MATCH; the
+    /// importer returns `None` immediately and we shut down. The only thing
+    /// closing rank 1's open request is the buddy-help notification the rep
+    /// sends *after* the answer — exactly the message the old
+    /// agents-first shutdown ordering could drop. With the fixed ordering
+    /// rank 1's `buddy_helps` stat is 1 on every run.
+    #[test]
+    fn shutdown_drains_pending_buddy_help() {
+        for _ in 0..20 {
+            let e = Extent2::new(8, 8);
+            let exp = Decomposition::row_block(e, 2).unwrap();
+            let imp = Decomposition::row_block(e, 1).unwrap();
+            let cfg = PairConfig::new(exp, imp, MatchPolicy::RegL, 0.5, true);
+            let mut pair = CoupledPair::new(cfg).unwrap();
+            let mut e0 = pair.take_exporter(0);
+            let mut e1 = pair.take_exporter(1);
+            let d0 = LocalArray::zeros(exp.owned(0));
+            let d1 = LocalArray::zeros(exp.owned(1));
+            e0.export(ts(1.0), &d0).unwrap();
+            e1.export(ts(1.0), &d1).unwrap();
+            let mut imp_h = pair.take_importer(0);
+            let owned = imp.owned(0);
+            let importer = std::thread::spawn(move || {
+                let mut dest = LocalArray::zeros(owned);
+                let m = imp_h.import(ts(3.0), &mut dest).unwrap();
+                assert_eq!(m, None);
+            });
+            // Rank 0 jumps over the region, making the collective answer
+            // NO MATCH while rank 1's request stays open awaiting help.
+            e0.export(ts(5.0), &d0).unwrap();
+            importer.join().unwrap();
+            drop(e0);
+            drop(e1);
+            // Shut down immediately: the rep may not have sent rank 1's
+            // buddy-help yet. The fixed ordering must deliver it anyway.
+            let stats = pair.shutdown().unwrap();
+            assert_eq!(
+                stats[1].buddy_helps, 1,
+                "rank 1's buddy-help was dropped at shutdown: {stats:?}"
+            );
+        }
     }
 
     /// A general three-program topology through the fabric directly: one

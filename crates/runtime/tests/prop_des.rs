@@ -335,7 +335,14 @@ fn threaded_matches(c: &TopoCase) -> Vec<Vec<Option<Timestamp>>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    // 12 cases keep the default run fast; `SIMTEST_CASES=200 cargo test`
+    // opts in to a deeper sweep (nightly CI, bug hunts).
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("SIMTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(12)
+    ))]
 
     /// For random topologies, the engine on real threads and the engine on
     /// the DES deliver identical matched timestamps on every connection:

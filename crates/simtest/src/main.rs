@@ -1,0 +1,141 @@
+//! CLI entry point: run a seed corpus (or one seed) through both runtimes
+//! and the oracles; `--mutate` proves the oracles catch a deliberately
+//! broken pruning rule.
+
+use couplink_simtest::{check_scenario, mutation_smoke, shrink, write_failure_report, Scenario};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: couplink-simtest [--seed N | --seeds N] [--mutate] [--out DIR]
+
+  --seed N    run exactly one seed through both runtimes and the oracles
+  --seeds N   run seeds 0..N (default 50)
+  --mutate    arm the deliberately unsound pruning rule and demand the
+              buffer-safety oracle catches it (mutation smoke test)
+  --out DIR   where failure reports go (default results/simtest)";
+
+struct Args {
+    seed: Option<u64>,
+    seeds: u64,
+    mutate: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: None,
+        seeds: 50,
+        mutate: false,
+        out: PathBuf::from("results/simtest"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--mutate" => args.mutate = true,
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.mutate {
+        return run_mutation(&args);
+    }
+
+    let seeds: Vec<u64> = match args.seed {
+        Some(s) => vec![s],
+        None => (0..args.seeds).collect(),
+    };
+    let total = seeds.len();
+    for seed in seeds {
+        let scenario = Scenario::generate(seed);
+        match check_scenario(&scenario) {
+            Err(e) => {
+                eprintln!("seed {seed}: harness error: {e}");
+                return ExitCode::from(2);
+            }
+            Ok(violations) if violations.is_empty() => {
+                println!(
+                    "seed {seed}: ok ({} exporters, {} importers, chaos: {})",
+                    scenario.exporters.len(),
+                    scenario.importers.len(),
+                    scenario.chaos.is_some(),
+                );
+            }
+            Ok(violations) => {
+                eprintln!("seed {seed}: {} oracle violation(s)", violations.len());
+                for v in &violations {
+                    eprintln!("  - {v}");
+                }
+                let fails = |s: &Scenario| matches!(check_scenario(s), Ok(v) if !v.is_empty());
+                let shrunk = shrink(&scenario, fails);
+                let final_violations = check_scenario(&shrunk).unwrap_or(violations);
+                match write_failure_report(
+                    &args.out,
+                    &format!("seed-{seed}"),
+                    &shrunk,
+                    &final_violations,
+                ) {
+                    Ok(path) => eprintln!("shrunk reproducer written to {}", path.display()),
+                    Err(e) => eprintln!("failed to write report: {e}"),
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{total} seed(s), zero oracle violations on both runtimes");
+    ExitCode::SUCCESS
+}
+
+fn run_mutation(args: &Args) -> ExitCode {
+    match mutation_smoke(200) {
+        Some((seed, shrunk, violations)) => {
+            println!("mutation caught at seed {seed}; shrunk reproducer seed {seed}:");
+            for v in &violations {
+                println!("  - {v}");
+            }
+            match write_failure_report(
+                &args.out,
+                &format!("mutation-seed-{seed}"),
+                &shrunk,
+                &violations,
+            ) {
+                Ok(path) => println!("shrunk reproducer written to {}", path.display()),
+                Err(e) => eprintln!("failed to write report: {e}"),
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("mutation NOT caught in 200 seeds: the buffer-safety oracle has no teeth");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Runs one scenario on each runtime and applies the oracles.
+
+use crate::scenario::Scenario;
+use couplink_layout::LocalArray;
+use couplink_proto::{ConnectionId, Trace};
+use couplink_runtime::cost::CostModel;
+use couplink_runtime::engine::oracle::{
+    check_buffer_safety, check_collective_order, check_liveness, check_runtime_equivalence,
+    OracleViolation,
+};
+use couplink_runtime::engine::Topology;
+use couplink_runtime::{
+    ExportSchedule, Fabric, FabricOptions, ImportSchedule, TopoReport, TopologyConfig, TopologySim,
+};
+use couplink_time::{ts, Timestamp};
+use std::time::Duration;
+
+/// Wall-seconds of sleep per virtual compute second in the threaded run —
+/// enough to skew thread interleavings, small enough for large seed
+/// corpora.
+const THREADED_TIME_SCALE: f64 = 0.2;
+
+/// Per-connection match decisions, indexed by `ConnectionId`.
+pub type Matches = Vec<Vec<Option<Timestamp>>>;
+
+/// Applies the trace oracles (collective order, buffer safety) to one
+/// run's traces, grouped per connection across the exporter's ranks.
+fn trace_oracles(
+    view: &Topology,
+    traces: &[(usize, usize, ConnectionId, Trace)],
+    out: &mut Vec<OracleViolation>,
+) {
+    for ct in &view.conns {
+        let procs = view.programs[ct.exporter_prog].procs;
+        let mut ranked = Vec::with_capacity(procs);
+        for rank in 0..procs {
+            match traces
+                .iter()
+                .find(|(p, r, c, _)| *p == ct.exporter_prog && *r == rank && *c == ct.id)
+            {
+                Some((_, _, _, trace)) => ranked.push(trace.clone()),
+                None => {
+                    out.push(OracleViolation::CollectiveOrder {
+                        conn: ct.id,
+                        detail: format!("no trace recorded for exporter rank {rank}"),
+                    });
+                    return;
+                }
+            }
+        }
+        if let Err(v) = check_collective_order(ct.id, &ranked) {
+            out.push(v);
+        }
+        for trace in &ranked {
+            if let Err(v) = check_buffer_safety(ct.id, ct.policy, ct.tolerance, trace) {
+                out.push(v);
+                break; // one report per connection is enough
+            }
+        }
+    }
+}
+
+/// Runs the scenario on the discrete-event simulator and checks the
+/// single-runtime oracles. With `mutate`, arms the deliberately unsound
+/// pruning rule first (the oracles are then *expected* to fire).
+///
+/// `Err` means the harness itself failed (invalid generated input), not
+/// that an oracle fired.
+pub fn check_des(s: &Scenario, mutate: bool) -> Result<(Matches, Vec<OracleViolation>), String> {
+    let topology = s.build_topology()?;
+    let view = topology.clone();
+    let cfg = TopologyConfig {
+        topology,
+        exports: s
+            .exporters
+            .iter()
+            .enumerate()
+            .map(|(i, e)| ExportSchedule {
+                program: format!("E{i}"),
+                region: "r".into(),
+                t0: e.t0,
+                dt: e.dt,
+                count: e.count,
+                compute: e.compute.clone(),
+            })
+            .collect(),
+        imports: s
+            .importers
+            .iter()
+            .enumerate()
+            .map(|(j, imp)| ImportSchedule {
+                program: format!("I{j}"),
+                region: "m".into(),
+                t0: imp.t0,
+                dt: imp.dt,
+                count: imp.count,
+                compute: imp.compute,
+                startup: imp.startup,
+            })
+            .collect(),
+        buddy_help: s.buddy_help,
+        cost: CostModel::default(),
+        buffer_capacity: None,
+    };
+    let mut sim = TopologySim::new(cfg).map_err(|e| format!("building simulator: {e}"))?;
+    for ct in &view.conns {
+        let name = &view.programs[ct.exporter_prog].name;
+        for rank in 0..view.programs[ct.exporter_prog].procs {
+            sim.trace(name, rank, ct.id)
+                .map_err(|e| format!("arming trace: {e}"))?;
+        }
+    }
+    if let Some(chaos) = s.chaos {
+        sim.chaos(chaos);
+    }
+    if mutate {
+        sim.arm_unsound_help_skip();
+    }
+    let report = sim.run().map_err(|e| format!("simulator run: {e}"))?;
+    let mut violations = Vec::new();
+    des_liveness(s, &view, &report, &mut violations);
+    let traces: Vec<(usize, usize, ConnectionId, Trace)> = report
+        .traces
+        .iter()
+        .map(|(name, rank, conn, trace)| {
+            let prog = view.program_idx(name).expect("trace program exists");
+            (prog, *rank, *conn, trace.clone())
+        })
+        .collect();
+    trace_oracles(&view, &traces, &mut violations);
+    Ok((report.matches, violations))
+}
+
+fn des_liveness(
+    s: &Scenario,
+    view: &Topology,
+    report: &TopoReport,
+    out: &mut Vec<OracleViolation>,
+) {
+    for (j, imp) in s.importers.iter().enumerate() {
+        let conn = view.programs[s.importer_prog(j)].imports[0].conn;
+        let resolved = report.matches[conn.0 as usize].len();
+        let done = report.import_done[j].iter().all(|&it| it == imp.count);
+        if let Err(v) = check_liveness(conn, imp.count, resolved, done) {
+            out.push(v);
+        }
+    }
+}
+
+/// Runs the scenario on the threaded fabric (real threads, real channels,
+/// real memcpys) and checks the single-runtime oracles.
+pub fn check_threaded(s: &Scenario) -> Result<(Matches, Vec<OracleViolation>), String> {
+    let topology = s.build_topology()?;
+    let view = topology.clone();
+    let mut trace_list = Vec::new();
+    for ct in &view.conns {
+        for rank in 0..view.programs[ct.exporter_prog].procs {
+            trace_list.push((ct.exporter_prog, rank, ct.id));
+        }
+    }
+    let mut fabric = Fabric::new(
+        topology,
+        FabricOptions {
+            buddy_help: s.buddy_help,
+            import_timeout: Duration::from_secs(5),
+            buffer_capacity: None,
+            traces: trace_list,
+            chaos: s.chaos,
+        },
+    );
+
+    let mut exp_threads = Vec::new();
+    for (i, e) in s.exporters.iter().enumerate() {
+        let prog = s.exporter_prog(i);
+        for rank in 0..e.procs {
+            let mut h = fabric.take_export(prog, rank, 0);
+            let owned = view.programs[prog].exports[0].decomp.owned(rank);
+            let (t0, dt, count, compute) = (e.t0, e.dt, e.count, e.compute[rank]);
+            exp_threads.push((
+                i,
+                std::thread::spawn(move || -> Result<(), String> {
+                    let data = LocalArray::zeros(owned);
+                    for k in 0..count {
+                        if compute > 0.0 {
+                            std::thread::sleep(Duration::from_secs_f64(
+                                compute * THREADED_TIME_SCALE,
+                            ));
+                        }
+                        h.export(ts(t0 + k as f64 * dt), &data)
+                            .map_err(|e| e.to_string())?;
+                    }
+                    Ok(())
+                }),
+            ));
+        }
+    }
+    let mut imp_threads = Vec::new();
+    for (j, imp) in s.importers.iter().enumerate() {
+        let prog = s.importer_prog(j);
+        for rank in 0..imp.procs {
+            let mut h = fabric.take_import(prog, rank, 0);
+            let owned = view.programs[prog].imports[0].decomp.owned(rank);
+            let (t0, dt, count, compute, startup) =
+                (imp.t0, imp.dt, imp.count, imp.compute, imp.startup);
+            imp_threads.push((
+                j,
+                rank,
+                std::thread::spawn(move || -> Result<Vec<Option<Timestamp>>, String> {
+                    std::thread::sleep(Duration::from_secs_f64(startup * THREADED_TIME_SCALE));
+                    let mut got = Vec::with_capacity(count);
+                    let mut dest = LocalArray::zeros(owned);
+                    for k in 0..count {
+                        if compute > 0.0 {
+                            std::thread::sleep(Duration::from_secs_f64(
+                                compute * THREADED_TIME_SCALE,
+                            ));
+                        }
+                        got.push(
+                            h.import(ts(t0 + k as f64 * dt), &mut dest)
+                                .map_err(|e| e.to_string())?,
+                        );
+                    }
+                    Ok(got)
+                }),
+            ));
+        }
+    }
+
+    let mut violations = Vec::new();
+    for (i, t) in exp_threads {
+        if let Err(e) = t.join().expect("exporter thread panicked") {
+            let conn = view.programs[s.exporter_prog(i)].exports[0].conns[0];
+            violations.push(OracleViolation::Liveness {
+                conn,
+                detail: format!("exporter E{i} failed: {e}"),
+            });
+        }
+    }
+    let mut matches: Matches = vec![Vec::new(); view.conns.len()];
+    for (j, rank, t) in imp_threads {
+        let conn = view.programs[s.importer_prog(j)].imports[0].conn;
+        match t.join().expect("importer thread panicked") {
+            Ok(got) => {
+                if let Err(v) = check_liveness(conn, s.importers[j].count, got.len(), true) {
+                    violations.push(v);
+                }
+                if rank == 0 {
+                    matches[conn.0 as usize] = got;
+                }
+            }
+            Err(e) => violations.push(OracleViolation::Liveness {
+                conn,
+                detail: format!("importer I{j} rank {rank} failed: {e}"),
+            }),
+        }
+    }
+    match fabric.shutdown() {
+        Ok(report) => trace_oracles(&view, &report.traces, &mut violations),
+        Err(e) => violations.push(OracleViolation::CollectiveOrder {
+            conn: ConnectionId(0),
+            detail: format!("fabric shutdown reported: {e}"),
+        }),
+    }
+    Ok((matches, violations))
+}
+
+/// Runs the scenario on both runtimes, checks every oracle including
+/// runtime equivalence, and returns all violations (empty = pass).
+pub fn check_scenario(s: &Scenario) -> Result<Vec<OracleViolation>, String> {
+    let (des_matches, mut violations) = check_des(s, false)?;
+    let (thr_matches, thr_violations) = check_threaded(s)?;
+    violations.extend(thr_violations);
+    for conn in 0..des_matches.len().min(thr_matches.len()) {
+        if let Err(v) = check_runtime_equivalence(
+            ConnectionId(conn as u32),
+            &des_matches[conn],
+            &thr_matches[conn],
+        ) {
+            violations.push(v);
+        }
+    }
+    Ok(violations)
+}
+
+/// Mutation smoke test: arms the deliberately unsound pruning rule
+/// (`set_unsound_help_skip`) in the simulator and searches the seed space
+/// for a scenario where the broken rule discards a match — which the
+/// buffer-safety oracle must catch. Returns the first caught seed, the
+/// shrunk scenario and its violations; `None` means the oracle never fired
+/// (which the caller should treat as a test failure).
+pub fn mutation_smoke(max_seeds: u64) -> Option<(u64, Scenario, Vec<OracleViolation>)> {
+    let caught = |s: &Scenario| -> bool {
+        matches!(
+            check_des(s, true),
+            Ok((_, v)) if v.iter().any(|x| matches!(x, OracleViolation::BufferSafety { .. }))
+        )
+    };
+    for seed in 0..max_seeds {
+        let mut s = Scenario::generate(seed);
+        // The broken rule only bites where buddy-help fires: force the
+        // optimization on, keep the run noise-free, and slow each
+        // exporter's last rank so it still has open requests when the
+        // collective answer arrives.
+        s.buddy_help = true;
+        s.chaos = None;
+        for e in &mut s.exporters {
+            if e.procs > 1 {
+                *e.compute.last_mut().expect("non-empty compute") += 0.02;
+            }
+        }
+        if caught(&s) {
+            let shrunk = crate::shrink::shrink(&s, caught);
+            let violations = match check_des(&shrunk, true) {
+                Ok((_, v)) => v,
+                Err(_) => Vec::new(),
+            };
+            return Some((seed, shrunk, violations));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small fixed corpus through the simulator: no oracle may fire.
+    #[test]
+    fn des_seed_corpus_is_clean() {
+        for seed in 0..25 {
+            let s = Scenario::generate(seed);
+            let (_, violations) = check_des(&s, false).expect("harness");
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    /// A smaller corpus end-to-end on both runtimes, including the
+    /// runtime-equivalence oracle.
+    #[test]
+    fn dual_runtime_corpus_is_clean() {
+        for seed in 0..6 {
+            let s = Scenario::generate(seed);
+            let violations = check_scenario(&s).expect("harness");
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    /// The deliberately broken pruning rule must be caught by the
+    /// buffer-safety oracle — the oracles have teeth.
+    #[test]
+    fn mutation_is_caught_by_buffer_safety() {
+        let (seed, shrunk, violations) =
+            mutation_smoke(200).expect("mutation must be caught within 200 seeds");
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, OracleViolation::BufferSafety { .. })),
+            "seed {seed} shrunk to {shrunk:?} without a buffer-safety violation: {violations:?}"
+        );
+    }
+}

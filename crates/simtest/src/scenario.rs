@@ -1,0 +1,251 @@
+//! Seed → scenario expansion and topology construction.
+
+use crate::Rng;
+use couplink_config::RegionRef;
+use couplink_layout::{Decomposition, Extent2};
+use couplink_runtime::{ChaosConfig, Topology};
+use couplink_time::MatchPolicy;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// The shared global grid every generated region lives on. Small on
+/// purpose: redistribution correctness is covered by the layout tests; here
+/// the data plane only needs to exist.
+pub const GRID: (usize, usize) = (8, 8);
+
+/// One exporting program (one exported region, named `r`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExporterSpec {
+    /// Coupled processes (1–3).
+    pub procs: usize,
+    /// Timestamp of export `i` is `t0 + i * dt`.
+    pub t0: f64,
+    /// Timestamp step.
+    pub dt: f64,
+    /// Export iterations — always extends past every referencing importer's
+    /// last acceptable region, so every request decides.
+    pub count: usize,
+    /// Per-rank compute seconds per iteration (virtual seconds in the
+    /// simulator; scaled sleeps in the fabric).
+    pub compute: Vec<f64>,
+}
+
+/// One importing program (one imported region, named `m`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImporterSpec {
+    /// Index into [`Scenario::exporters`] of the program it imports from.
+    pub exporter: usize,
+    /// Coupled processes (1–2).
+    pub procs: usize,
+    /// Match policy of the connection.
+    pub policy: MatchPolicy,
+    /// Tolerance of the connection.
+    pub tol: f64,
+    /// Timestamp of import `j` is `t0 + j * dt`.
+    pub t0: f64,
+    /// Timestamp step.
+    pub dt: f64,
+    /// Import iterations.
+    pub count: usize,
+    /// Compute seconds per iteration.
+    pub compute: f64,
+    /// One-time startup cost before the first iteration.
+    pub startup: f64,
+}
+
+/// A complete generated test case: everything both runtimes need, derived
+/// from one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The seed this scenario was generated from (kept for reporting).
+    pub seed: u64,
+    /// Exporting programs `E0..`, each exporting region `r`.
+    pub exporters: Vec<ExporterSpec>,
+    /// Importing programs `I0..`, each importing region `m` over one
+    /// connection.
+    pub importers: Vec<ImporterSpec>,
+    /// Whether reps send buddy-help.
+    pub buddy_help: bool,
+    /// Fault injection, if any.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Scenario {
+    /// Expands a seed into a scenario. Pure: the same seed always yields
+    /// the same scenario.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        let n_imp = 1 + rng.below(3) as usize;
+        // Never more exporters than importers: with the round-robin
+        // assignment below that guarantees every exporter has at least one
+        // connection, and a connectionless program declares no regions.
+        let n_exp = 1 + rng.below(n_imp.min(2) as u64) as usize;
+        let exporters: Vec<ExporterSpec> = (0..n_exp)
+            .map(|_| {
+                let procs = 1 + rng.below(3) as usize;
+                ExporterSpec {
+                    procs,
+                    t0: 0.1 + rng.f64(),
+                    dt: 0.5 + rng.f64(),
+                    count: 0, // filled by fill_export_counts
+                    compute: (0..procs).map(|_| rng.f64() * 0.004).collect(),
+                }
+            })
+            .collect();
+        let importers = (0..n_imp)
+            .map(|j| {
+                // Round-robin so every exporter is referenced by at least
+                // one connection (an unreferenced program would be inert).
+                let exporter = j % n_exp;
+                let e = &exporters[exporter];
+                ImporterSpec {
+                    exporter,
+                    procs: 1 + rng.below(2) as usize,
+                    policy: match rng.below(3) {
+                        0 => MatchPolicy::RegL,
+                        1 => MatchPolicy::Reg,
+                        _ => MatchPolicy::RegU,
+                    },
+                    tol: (0.3 + 0.7 * rng.f64()) * e.dt,
+                    t0: e.t0 + rng.f64() * 3.0 * e.dt,
+                    dt: e.dt * (0.6 + 1.8 * rng.f64()),
+                    count: 2 + rng.below(4) as usize,
+                    compute: rng.f64() * 0.003,
+                    startup: rng.f64() * 0.002,
+                }
+            })
+            .collect();
+        let buddy_help = rng.below(4) != 0;
+        let chaos = (rng.below(2) == 1).then(|| ChaosConfig {
+            seed: rng.next_u64(),
+            max_delay: 0.002 + rng.f64() * 0.003,
+            duplicate_prob: 0.3,
+            drop_prob: 0.15,
+            retry_delay: 0.004,
+        });
+        let mut s = Scenario {
+            seed,
+            exporters,
+            importers,
+            buddy_help,
+            chaos,
+        };
+        s.fill_export_counts();
+        s
+    }
+
+    /// Recomputes every exporter's iteration count so its timestamps extend
+    /// past the upper bound of every referencing importer's last acceptable
+    /// region (plus margin). This makes every request *decided* under the
+    /// full export history — the property the buffer-safety oracle's
+    /// ground-truth replay and the runtime-equivalence check rely on.
+    /// Must be re-run after any structural edit (see the shrinker).
+    pub fn fill_export_counts(&mut self) {
+        for (i, e) in self.exporters.iter_mut().enumerate() {
+            let mut hi = e.t0 + e.dt;
+            for imp in self.importers.iter().filter(|imp| imp.exporter == i) {
+                let last_x = imp.t0 + (imp.count - 1) as f64 * imp.dt;
+                hi = hi.max(last_x + imp.tol);
+            }
+            e.count = ((hi - e.t0) / e.dt).ceil() as usize + 3;
+        }
+    }
+
+    /// The configuration-file text for this scenario (the same Figure-2
+    /// format deployers write by hand).
+    pub fn config_text(&self) -> String {
+        let mut text = String::new();
+        for (i, e) in self.exporters.iter().enumerate() {
+            writeln!(text, "E{i} c0 /bin/e{i} {}", e.procs).expect("writing to String");
+        }
+        for (j, imp) in self.importers.iter().enumerate() {
+            writeln!(text, "I{j} c0 /bin/i{j} {}", imp.procs).expect("writing to String");
+        }
+        text.push_str("#\n");
+        for (j, imp) in self.importers.iter().enumerate() {
+            writeln!(
+                text,
+                "E{}.r I{j}.m {} {:.9}",
+                imp.exporter,
+                imp.policy.as_str(),
+                imp.tol
+            )
+            .expect("writing to String");
+        }
+        text
+    }
+
+    /// Builds the validated topology: parse the generated configuration,
+    /// bind a row-block decomposition to every region, validate.
+    pub fn build_topology(&self) -> Result<Topology, String> {
+        let config = couplink_config::parse(&self.config_text())
+            .map_err(|e| format!("generated config failed to parse: {e}"))?;
+        let grid = Extent2::new(GRID.0, GRID.1);
+        let mut bindings = HashMap::new();
+        for (i, e) in self.exporters.iter().enumerate() {
+            let d = Decomposition::row_block(grid, e.procs)
+                .map_err(|e| format!("exporter decomposition: {e}"))?;
+            bindings.insert(RegionRef::new(format!("E{i}"), "r"), d);
+        }
+        for (j, imp) in self.importers.iter().enumerate() {
+            let d = Decomposition::row_block(grid, imp.procs)
+                .map_err(|e| format!("importer decomposition: {e}"))?;
+            bindings.insert(RegionRef::new(format!("I{j}"), "m"), d);
+        }
+        Topology::from_config(&config, &bindings).map_err(|e| format!("topology: {e}"))
+    }
+
+    /// Program index of exporter `i` in the built topology (exporters are
+    /// declared first).
+    pub fn exporter_prog(&self, i: usize) -> usize {
+        i
+    }
+
+    /// Program index of importer `j` in the built topology.
+    pub fn importer_prog(&self, j: usize) -> usize {
+        self.exporters.len() + j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..50 {
+            assert_eq!(Scenario::generate(seed), Scenario::generate(seed));
+        }
+    }
+
+    #[test]
+    fn generated_topologies_validate() {
+        for seed in 0..100 {
+            let s = Scenario::generate(seed);
+            let topo = s.build_topology().expect("topology must validate");
+            assert_eq!(topo.conns.len(), s.importers.len());
+            for (j, imp) in s.importers.iter().enumerate() {
+                let prog = &topo.programs[s.importer_prog(j)];
+                assert_eq!(prog.procs, imp.procs);
+                assert_eq!(prog.imports.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn export_schedules_outlast_every_region() {
+        for seed in 0..100 {
+            let s = Scenario::generate(seed);
+            for (j, imp) in s.importers.iter().enumerate() {
+                let e = &s.exporters[imp.exporter];
+                let last_export = e.t0 + (e.count - 1) as f64 * e.dt;
+                let last_hi = imp.t0 + (imp.count - 1) as f64 * imp.dt + imp.tol;
+                assert!(
+                    last_export > last_hi,
+                    "seed {seed} importer {j}: exports end at {last_export}, \
+                     region ends at {last_hi}"
+                );
+            }
+        }
+    }
+}

@@ -176,10 +176,9 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let cfg: $crate::test_runner::ProptestConfig = $cfg;
-            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
-                module_path!(), "::", stringify!($name)
-            ));
-            for case in 0..cfg.cases {
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            let run_case = |seed: u64, label: &str| {
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
                 let values = ( $($crate::strategy::Strategy::sample(&$strat, &mut rng)),+ ,);
                 let rendered = format!("{:?}", values);
                 let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
@@ -190,10 +189,24 @@ macro_rules! __proptest_items {
                     })();
                 if let ::std::result::Result::Err(e) = outcome {
                     panic!(
-                        "proptest case {}/{} failed: {}\n  inputs: {}",
-                        case + 1, cfg.cases, e, rendered
+                        "proptest {} failed: {}\n  inputs: {}\n  \
+                         persist in proptest-regressions/ as: cc {} {}",
+                        label, e, rendered, test_name, seed
                     );
                 }
+            };
+            // Persisted historical failures replay before fresh sampling.
+            for (line, seed) in $crate::test_runner::persisted_seeds(
+                env!("CARGO_MANIFEST_DIR"), file!(), test_name
+            ) {
+                run_case(seed, &format!("regression (file line {line})"));
+            }
+            let mut rng = $crate::test_runner::TestRng::for_test(test_name);
+            for case in 0..cfg.cases {
+                let seed = rng.state();
+                run_case(seed, &format!("case {}/{}", case + 1, cfg.cases));
+                // Advance past this case's draws by replaying the sampling.
+                $(let _ = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
             }
         }
         $crate::__proptest_items! { ($cfg) $($rest)* }

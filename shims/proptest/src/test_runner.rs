@@ -58,6 +58,18 @@ impl TestRng {
         TestRng(h)
     }
 
+    /// RNG starting from an explicit state — used to replay persisted
+    /// regression seeds (see [`persisted_seeds`]).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// The current state. Captured at the start of a case, it is the seed
+    /// that replays exactly that case via [`TestRng::from_seed`].
+    pub fn state(&self) -> u64 {
+        self.0
+    }
+
     /// Next raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -79,5 +91,103 @@ impl TestRng {
         } else {
             self.next_u64() % n
         }
+    }
+}
+
+/// Persisted regression seeds for one property test.
+///
+/// Mirrors real proptest's `proptest-regressions/` convention: next to the
+/// test's source file lives `proptest-regressions/<file_stem>.txt` with one
+/// line per persisted case, `cc <test_name> <seed>` (blank lines and `#`
+/// comments ignored). The seed is the RNG *state* at the start of the
+/// failing case — exactly what a failure report prints — so each entry
+/// replays one historical failure before fresh sampling begins. Returns
+/// `(line_number, seed)` pairs for entries naming `test_name`; a missing
+/// file is simply no regressions.
+///
+/// `source_file` is the test's `file!()` (workspace-root-relative);
+/// `manifest_dir` is the test crate's `CARGO_MANIFEST_DIR`, used to anchor
+/// the relative path at runtime.
+pub fn persisted_seeds(
+    manifest_dir: &str,
+    source_file: &str,
+    test_name: &str,
+) -> Vec<(usize, u64)> {
+    let path = regression_path(manifest_dir, source_file);
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("cc") {
+            continue;
+        }
+        let (Some(name), Some(seed)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        if name != test_name {
+            continue;
+        }
+        match seed.parse::<u64>() {
+            Ok(s) => seeds.push((idx + 1, s)),
+            Err(_) => panic!(
+                "{}:{}: malformed regression seed {seed:?}",
+                path.display(),
+                idx + 1
+            ),
+        }
+    }
+    seeds
+}
+
+/// `proptest-regressions/<stem>.txt` next to the source file, anchored at
+/// the crate's manifest directory (since `file!()` is workspace-relative
+/// but tests run with the crate as working directory).
+fn regression_path(manifest_dir: &str, source_file: &str) -> std::path::PathBuf {
+    let src = std::path::Path::new(source_file);
+    let manifest = std::path::Path::new(manifest_dir);
+    // Drop the leading `file!()` components that name the crate directory
+    // itself (e.g. `crates/runtime/tests/x.rs` → `tests/x.rs`).
+    let mut rel = src;
+    for ancestor in src.ancestors().skip(1) {
+        if !ancestor.as_os_str().is_empty() && manifest.ends_with(ancestor) {
+            rel = src.strip_prefix(ancestor).expect("ancestor is a prefix");
+            break;
+        }
+    }
+    let dir = manifest.join(rel.parent().unwrap_or(std::path::Path::new("")));
+    let stem = src.file_stem().unwrap_or_default();
+    dir.join("proptest-regressions")
+        .join(stem)
+        .with_extension("txt")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_path_is_anchored_at_the_manifest() {
+        assert_eq!(
+            regression_path("/ws/crates/runtime", "crates/runtime/tests/prop_des.rs"),
+            std::path::PathBuf::from("/ws/crates/runtime/tests/proptest-regressions/prop_des.txt")
+        );
+        assert_eq!(
+            regression_path("/ws/crates/layout", "crates/layout/src/lib.rs"),
+            std::path::PathBuf::from("/ws/crates/layout/src/proptest-regressions/lib.txt")
+        );
+    }
+
+    #[test]
+    fn state_round_trips_through_from_seed() {
+        let mut a = TestRng::for_test("some::test");
+        a.next_u64();
+        let mut b = TestRng::from_seed(a.state());
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 }
