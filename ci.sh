@@ -3,11 +3,15 @@
 #
 #   ./ci.sh
 #
-# Four stages, all required:
+# Five stages, all required:
 #   1. formatting      (cargo fmt --check)
 #   2. lints           (cargo clippy, warnings are errors)
 #   3. tier-1 tests    (release build + full test suite)
 #   4. simtest         (seeded simulation corpus + oracle mutation smoke)
+#   5. bench smoke     (tiny-size benchmark report, schema-validated and
+#                       gated against baselines/BENCH_baseline_smoke.json;
+#                       plus a negative test proving the gate catches an
+#                       injected slowdown)
 #
 # Nightly-only extras (run when CI_NIGHTLY=1, skipped gracefully otherwise):
 #   - deep simtest sweep and a deeper DES-vs-threaded property sweep
@@ -29,6 +33,20 @@ cargo test -q
 echo "== simtest: seed corpus + mutation smoke (~30s budget)"
 cargo run --release -q -p couplink-simtest -- --seeds 60
 cargo run --release -q -p couplink-simtest -- --mutate
+
+echo "== bench smoke: report gate against committed baseline"
+cargo run --release -q -p couplink-bench --bin report -- \
+    --smoke --out results/BENCH_smoke.json \
+    --check baselines/BENCH_baseline_smoke.json
+
+echo "== bench smoke: injected slowdown must FAIL the gate"
+if cargo run --release -q -p couplink-bench --bin report -- \
+    --smoke --mutate --out results/BENCH_smoke_mutated.json \
+    --check baselines/BENCH_baseline_smoke.json >/dev/null 2>&1; then
+    echo "ERROR: regression gate passed a mutated (8x slower memcpy) run" >&2
+    exit 1
+fi
+echo "   (gate correctly rejected the mutated run)"
 
 if [[ "${CI_NIGHTLY:-0}" == "1" ]]; then
     echo "== nightly: deep simtest sweep"

@@ -5,36 +5,18 @@
 //!
 //! Usage: `cargo run -p couplink-bench --release --bin ablation [out_dir]`
 
-use couplink::series::{write_csv, Column};
-use couplink_layout::{Decomposition, Extent2};
-use couplink_runtime::{CostModel, CoupledConfig, CoupledSim};
+use couplink::series::Column;
+use couplink_bench::ablation_config;
+use couplink_bench::report::{out_dir_from_args, write_series};
+use couplink_runtime::{CoupledConfig, CoupledSim};
 use couplink_time::MatchPolicy;
 
 fn config(policy: MatchPolicy, tolerance: f64, import_dt: f64, buddy_help: bool) -> CoupledConfig {
-    let grid = Extent2::new(256, 256);
-    CoupledConfig {
-        exporter_decomp: Decomposition::block_2d(grid, 2, 2).unwrap(),
-        importer_decomp: Decomposition::row_block(grid, 16).unwrap(),
-        policy,
-        tolerance,
-        buddy_help,
-        exports: 601,
-        export_t0: 1.6,
-        export_dt: 1.0,
-        imports: ((600.0 / import_dt) as usize).clamp(1, 120),
-        import_t0: import_dt,
-        import_dt,
-        exporter_compute: vec![1.0e-3, 1.0e-3, 1.0e-3, 2.0e-3],
-        importer_compute: 3.0e-3,
-        importer_startup: 20.0e-3,
-        cost: CostModel::default(),
-        buffer_capacity: None,
-    }
+    ablation_config(policy, tolerance, import_dt, buddy_help, 601)
 }
 
 fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
-    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let out_dir = out_dir_from_args();
 
     println!("Ablation: buddy-help benefit vs tolerance/request-period ratio and policy");
     println!("(256x256 array, fast 16-process importer, slow exporter rank 3)");
@@ -80,17 +62,17 @@ fn main() {
             }
         }
     }
-    write_csv(
-        format!("{out_dir}/ablation_regl.csv"),
+    write_series(
+        &out_dir,
+        "ablation_regl.csv",
         "row",
         &[
             Column::new("tolerance_over_period", ratio_col),
             Column::new("extra_skips_without_help_minus_with", saved_col),
         ],
-    )
-    .expect("write CSV");
+    );
     println!();
-    println!("CSV written to {out_dir}/ablation_regl.csv");
+    println!("CSV written to {}/ablation_regl.csv", out_dir.display());
     println!("Expected: the in-region T_ub saved by buddy-help grows with the number of");
     println!("exports per acceptable region (tolerance x export rate), and is zero only");
     println!("when at most one export fits in a region.");

@@ -8,7 +8,8 @@
 //! raw and window-averaged, plus the no-buddy-help baseline) and prints the
 //! summary rows reported in `EXPERIMENTS.md`.
 
-use couplink::series::{window_mean, write_csv, Column};
+use couplink::series::{window_mean, Column};
+use couplink_bench::report::{out_dir_from_args, write_series};
 use couplink_diffusion::fig4::{fig4_config, Fig4Params, EXPORTS, SLOW_RANK};
 use couplink_runtime::{CoupledReport, CoupledSim};
 
@@ -20,8 +21,7 @@ fn run(params: Fig4Params) -> CoupledReport {
 }
 
 fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
-    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let out_dir = out_dir_from_args();
 
     println!("Figure 4: export time per iteration of the slowest exporter process p_s");
     println!("(1024x1024 array, REGL tolerance 2.5, 1001 exports, 1 in 20 transferred)");
@@ -71,11 +71,18 @@ fn main() {
                 without.export_time_series[SLOW_RANK].clone(),
             ),
         ];
-        let path = format!("{out_dir}/fig4_u{u_procs}.csv");
-        write_csv(&path, "iteration", &columns).expect("write CSV");
+        write_series(
+            &out_dir,
+            &format!("fig4_u{u_procs}.csv"),
+            "iteration",
+            &columns,
+        );
     }
     println!();
-    println!("CSV series written to {out_dir}/fig4_u{{4,8,16,32}}.csv");
+    println!(
+        "CSV series written to {}/fig4_u{{4,8,16,32}}.csv",
+        out_dir.display()
+    );
     println!("Paper reference shapes: (a)/(b) flat; (c) optimal state ~iteration 400;");
     println!("(d) optimal state ~iteration 25; optimal state = only matched data buffered.");
 }

@@ -1,11 +1,16 @@
 //! Regenerates **Figure 5** of the paper: the typical buddy-help scenario on
 //! the slow exporter process (REGL, tolerance 2.5, requests at 20 and 40).
 //!
-//! Usage: `cargo run -p couplink-bench --bin fig5_trace`
+//! Usage: `cargo run -p couplink-bench --bin fig5_trace [out_dir]`
+//!
+//! Prints the trace and writes the annotated render (the golden-snapshot
+//! format) into the output directory, `results/` by default.
 
 use couplink_bench::figure5_trace;
+use couplink_bench::report::{out_dir_from_args, write_text};
 
 fn main() {
+    let out_dir = out_dir_from_args();
     let trace = figure5_trace();
     println!("Figure 5: a typical buddy-help scenario (REGL, tolerance 2.5)");
     println!();
@@ -14,4 +19,10 @@ fn main() {
     println!();
     println!("memcpys called: {copied}, memcpys skipped: {skipped}");
     println!("paper: 4 skips in the first window (lines 10-13), 7 in the second (26-29)");
+    write_text(&out_dir, "fig5_trace.txt", &trace.render_annotated());
+    println!();
+    println!(
+        "annotated trace written to {}/fig5_trace.txt",
+        out_dir.display()
+    );
 }

@@ -3,11 +3,16 @@
 //! copied; without it every acceptable candidate is copied and then
 //! superseded, costing `n(i) − 1` unnecessary memcpys (Equation 1).
 //!
-//! Usage: `cargo run -p couplink-bench --bin fig7_fig8`
+//! Usage: `cargo run -p couplink-bench --bin fig7_fig8 [out_dir]`
+//!
+//! Prints both traces and writes them (with running metric annotations)
+//! into the output directory, `results/` by default.
 
 use couplink_bench::figure78_run;
+use couplink_bench::report::{out_dir_from_args, write_text};
 
 fn main() {
+    let out_dir = out_dir_from_args();
     let with = figure78_run(true);
     let without = figure78_run(false);
 
@@ -34,4 +39,15 @@ fn main() {
     println!();
     println!("paper: without buddy-help, lines 8-18 copy every in-region candidate and");
     println!("free its predecessor; with buddy-help, lines 8-11 skip them all.");
+    write_text(&out_dir, "fig7_trace.txt", &with.trace.render_annotated());
+    write_text(
+        &out_dir,
+        "fig8_trace.txt",
+        &without.trace.render_annotated(),
+    );
+    println!();
+    println!(
+        "annotated traces written to {}/fig{{7,8}}_trace.txt",
+        out_dir.display()
+    );
 }

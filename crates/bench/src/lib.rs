@@ -5,6 +5,8 @@
 //! scenarios for Figures 5, 7 and 8 live here so the integration tests can
 //! assert their structure and the binaries can print them.
 
+pub mod report;
+
 use couplink_layout::{Decomposition, Extent2};
 use couplink_proto::{ExportPort, RepAnswer, RequestId, Trace};
 use couplink_runtime::{CostModel, CoupledConfig, CoupledSim};
@@ -110,6 +112,40 @@ pub fn figure78_run(buddy_help: bool) -> Fig78Run {
         copied,
         skipped,
         unnecessary_in_region: port.stats().t_ub_in_region_count(),
+    }
+}
+
+/// The §5 ablation configuration: a 256×256 array from 2×2 exporter
+/// quadrants to a fast 16-process importer, with the match policy,
+/// tolerance, request period and buddy-help under study as knobs. `exports`
+/// scales the run length (the paper-scale sweep uses 601; the bench smoke
+/// report uses a shorter run), with one import per `import_dt` exports.
+pub fn ablation_config(
+    policy: MatchPolicy,
+    tolerance: f64,
+    import_dt: f64,
+    buddy_help: bool,
+    exports: usize,
+) -> CoupledConfig {
+    let grid = Extent2::new(256, 256);
+    let horizon = exports.saturating_sub(1) as f64;
+    CoupledConfig {
+        exporter_decomp: Decomposition::block_2d(grid, 2, 2).expect("2x2 quadrants"),
+        importer_decomp: Decomposition::row_block(grid, 16).expect("16 row blocks"),
+        policy,
+        tolerance,
+        buddy_help,
+        exports,
+        export_t0: 1.6,
+        export_dt: 1.0,
+        imports: ((horizon / import_dt) as usize).clamp(1, 120),
+        import_t0: import_dt,
+        import_dt,
+        exporter_compute: vec![1.0e-3, 1.0e-3, 1.0e-3, 2.0e-3],
+        importer_compute: 3.0e-3,
+        importer_startup: 20.0e-3,
+        cost: CostModel::default(),
+        buffer_capacity: None,
     }
 }
 

@@ -1,0 +1,671 @@
+//! Engine-wide instrumentation for the couplink runtimes.
+//!
+//! The paper's argument is quantitative: buddy-help pays off exactly when
+//! the memcpy cost skipped on PENDING processes exceeds the control-message
+//! overhead (Figures 4, 7–8, Equations 1–2). This crate gives the engine
+//! first-class, *allocation-free* counters so every run can report that
+//! trade-off directly instead of via ad-hoc stdout:
+//!
+//! * [`Counter`] — a relaxed atomic event counter;
+//! * [`Gauge`] — a level with a high-water mark (queue depths, buffered
+//!   objects);
+//! * [`Histogram`] — fixed power-of-two buckets, atomically updated;
+//! * [`PhaseTimes`] — per-phase accumulated **virtual** seconds (the
+//!   discrete-event runtime) and **wall** seconds (the threaded fabric),
+//!   with a span-style guard ([`PhaseTimes::wall_span`]) for the latter;
+//! * [`EngineMetrics`] — one instance per run, shared by every node and
+//!   transport of either runtime.
+//!
+//! All hot-path operations are single atomic RMWs — no locks, no
+//! allocation. A run ends with [`EngineMetrics::snapshot`], yielding a
+//! [`MetricsSnapshot`] whose [`CounterSnapshot`] half is **deterministic on
+//! the discrete-event runtime**: two DES runs of the same topology must
+//! produce bit-identical counter snapshots (a gated assertion in the bench
+//! harness), while the [`TimingSnapshot`] half carries wall-clock readings
+//! that legally vary.
+//!
+//! The [`json`] module provides the minimal JSON emitter/parser behind the
+//! schema-versioned `BENCH_couplink.json` benchmark report (the build
+//! environment has no registry access, so serde is a no-op shim here).
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonically increasing event counter (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A level gauge with a high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    current: AtomicU64,
+    hwm: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            current: AtomicU64::new(0),
+            hwm: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the level, raising the high-water mark if exceeded.
+    pub fn set(&self, level: u64) {
+        self.current.store(level, Ordering::Relaxed);
+        self.hwm.fetch_max(level, Ordering::Relaxed);
+    }
+
+    /// Raises the level by `n`.
+    pub fn add(&self, n: u64) {
+        let level = self.current.fetch_add(n, Ordering::Relaxed) + n;
+        self.hwm.fetch_max(level, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n` (saturating).
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current level.
+    pub fn level(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever set.
+    pub fn high_water_mark(&self) -> u64 {
+        self.hwm.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// A fixed-bucket histogram over `u64` samples: bucket `i < 15` holds
+/// samples in `[2^(i-1)+1 … 2^i]` (bucket 0 holds zeros and ones), the last
+/// bucket everything larger. Atomic, allocation-free.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a sample falls in.
+    pub fn bucket_of(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            // Smallest i with value <= 2^i, capped at the overflow bucket.
+            let bits = u64::BITS - (value - 1).leading_zeros();
+            (bits as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Control-message classes, mirroring the protocol's wire messages. The
+/// runtimes map their `CtrlMsg` variants onto these to count traffic per
+/// class without this crate depending on the protocol layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlClass {
+    /// A process's collective `import` call reaching its own rep.
+    ImportCall,
+    /// The importer rep's aggregated request to the exporter rep.
+    ImportRequest,
+    /// The exporter rep forwarding a request to every process.
+    ForwardRequest,
+    /// A process's reply (MATCH / NO MATCH / PENDING) to its rep.
+    Response,
+    /// The exporter rep's final-answer notification to PENDING processes.
+    BuddyHelp,
+    /// The exporter rep's collective answer to the importer rep.
+    Answer,
+    /// The importer rep broadcasting the answer to its processes.
+    AnswerBcast,
+}
+
+impl CtrlClass {
+    /// All classes, in wire-protocol order (also the snapshot field order).
+    pub const ALL: [CtrlClass; 7] = [
+        CtrlClass::ImportCall,
+        CtrlClass::ImportRequest,
+        CtrlClass::ForwardRequest,
+        CtrlClass::Response,
+        CtrlClass::BuddyHelp,
+        CtrlClass::Answer,
+        CtrlClass::AnswerBcast,
+    ];
+
+    /// Stable snake_case name (snapshot / JSON key).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CtrlClass::ImportCall => "import_call",
+            CtrlClass::ImportRequest => "import_request",
+            CtrlClass::ForwardRequest => "forward_request",
+            CtrlClass::Response => "response",
+            CtrlClass::BuddyHelp => "buddy_help",
+            CtrlClass::Answer => "answer",
+            CtrlClass::AnswerBcast => "answer_bcast",
+        }
+    }
+}
+
+/// Engine phases whose time is accounted separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Inside an `export` call (memcpy + bookkeeping).
+    Export,
+    /// Inside an `import` call (waiting for the collective answer + data).
+    Import,
+    /// Control-message latency.
+    Ctrl,
+    /// Matched-data transfer.
+    Transfer,
+}
+
+impl Phase {
+    /// All phases, in snapshot field order.
+    pub const ALL: [Phase; 4] = [Phase::Export, Phase::Import, Phase::Ctrl, Phase::Transfer];
+
+    /// Stable snake_case name (snapshot / JSON key).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Export => "export",
+            Phase::Import => "import",
+            Phase::Ctrl => "ctrl",
+            Phase::Transfer => "transfer",
+        }
+    }
+}
+
+/// Atomically accumulated `f64` seconds (bit-cast CAS loop).
+#[derive(Debug, Default)]
+struct AtomicSeconds(AtomicU64);
+
+impl AtomicSeconds {
+    fn add(&self, secs: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + secs).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Per-phase time accounting: virtual seconds (charged by the
+/// discrete-event runtime's cost model) and wall seconds (measured by the
+/// threaded fabric).
+#[derive(Debug, Default)]
+pub struct PhaseTimes {
+    virtual_s: [AtomicSeconds; Phase::ALL.len()],
+    wall_s: [AtomicSeconds; Phase::ALL.len()],
+}
+
+/// Span-style guard: measures wall time from creation to drop and adds it
+/// to one phase's wall accumulator.
+#[derive(Debug)]
+pub struct WallSpan<'a> {
+    times: &'a PhaseTimes,
+    phase: Phase,
+    start: Instant,
+}
+
+impl Drop for WallSpan<'_> {
+    fn drop(&mut self) {
+        self.times
+            .add_wall(self.phase, self.start.elapsed().as_secs_f64());
+    }
+}
+
+impl PhaseTimes {
+    fn idx(phase: Phase) -> usize {
+        Phase::ALL
+            .iter()
+            .position(|&p| p == phase)
+            .expect("phase listed in ALL")
+    }
+
+    /// Charges virtual seconds to a phase.
+    pub fn add_virtual(&self, phase: Phase, secs: f64) {
+        self.virtual_s[Self::idx(phase)].add(secs);
+    }
+
+    /// Charges wall seconds to a phase.
+    pub fn add_wall(&self, phase: Phase, secs: f64) {
+        self.wall_s[Self::idx(phase)].add(secs);
+    }
+
+    /// Opens a span that charges its wall duration to `phase` on drop.
+    pub fn wall_span(&self, phase: Phase) -> WallSpan<'_> {
+        WallSpan {
+            times: self,
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    /// Accumulated virtual seconds of a phase.
+    pub fn virtual_seconds(&self, phase: Phase) -> f64 {
+        self.virtual_s[Self::idx(phase)].get()
+    }
+
+    /// Accumulated wall seconds of a phase.
+    pub fn wall_seconds(&self, phase: Phase) -> f64 {
+        self.wall_s[Self::idx(phase)].get()
+    }
+}
+
+/// One run's worth of engine instrumentation, shared (via `Arc`) by every
+/// node and transport of a runtime.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Export calls that paid the framework-buffer memcpy.
+    pub memcpy_paid: Counter,
+    /// Export calls whose memcpy was skipped (the buddy-help saving).
+    pub memcpy_skipped: Counter,
+    /// Bytes copied into framework buffers (the paid memcpys).
+    pub bytes_buffered: Counter,
+    /// Data bytes moved to importers.
+    pub bytes_transferred: Counter,
+    /// Control messages sent, by class (indexed like [`CtrlClass::ALL`]).
+    pub ctrl_sent: [Counter; CtrlClass::ALL.len()],
+    /// Matched-object transfers emitted by exporting processes.
+    pub transfers: Counter,
+    /// Export calls entered (paid + skipped).
+    pub export_calls: Counter,
+    /// Collective import calls entered.
+    pub import_calls: Counter,
+    /// Export attempts stalled on a full bounded buffer.
+    pub buffer_stalls: Counter,
+    /// Objects currently held in framework buffers, with high-water mark.
+    pub buffered_objects: Gauge,
+    /// Pending messages/events per node queue, with high-water mark (the
+    /// DES event queue; the fabric's rep/agent mailboxes).
+    pub queue_depth: Gauge,
+    /// Buffered-object count observed at each export call.
+    pub occupancy: Histogram,
+    /// Per-phase virtual/wall time.
+    pub phases: PhaseTimes,
+}
+
+impl EngineMetrics {
+    /// Fresh, zeroed metrics for one run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter for one control-message class.
+    pub fn ctrl(&self, class: CtrlClass) -> &Counter {
+        let idx = CtrlClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class listed in ALL");
+        &self.ctrl_sent[idx]
+    }
+
+    /// Snapshots every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: CounterSnapshot {
+                memcpy_paid: self.memcpy_paid.get(),
+                memcpy_skipped: self.memcpy_skipped.get(),
+                bytes_buffered: self.bytes_buffered.get(),
+                bytes_transferred: self.bytes_transferred.get(),
+                ctrl_sent: std::array::from_fn(|i| self.ctrl_sent[i].get()),
+                transfers: self.transfers.get(),
+                export_calls: self.export_calls.get(),
+                import_calls: self.import_calls.get(),
+                buffer_stalls: self.buffer_stalls.get(),
+                buffered_hwm: self.buffered_objects.high_water_mark(),
+                queue_depth_hwm: self.queue_depth.high_water_mark(),
+                occupancy: self.occupancy.counts(),
+            },
+            timing: TimingSnapshot {
+                virtual_s: std::array::from_fn(|i| self.phases.virtual_seconds(Phase::ALL[i])),
+                wall_s: std::array::from_fn(|i| self.phases.wall_seconds(Phase::ALL[i])),
+            },
+        }
+    }
+}
+
+/// The deterministic half of a run's metrics. On the discrete-event runtime
+/// two runs of the same topology must produce **identical** values — this
+/// type is `Eq` precisely so that assertion is a one-liner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Export calls that paid the memcpy.
+    pub memcpy_paid: u64,
+    /// Export calls that skipped it.
+    pub memcpy_skipped: u64,
+    /// Bytes copied into framework buffers.
+    pub bytes_buffered: u64,
+    /// Data bytes moved to importers.
+    pub bytes_transferred: u64,
+    /// Control messages by class (indexed like [`CtrlClass::ALL`]).
+    pub ctrl_sent: [u64; CtrlClass::ALL.len()],
+    /// Matched-object transfers emitted.
+    pub transfers: u64,
+    /// Export calls entered.
+    pub export_calls: u64,
+    /// Collective import calls entered.
+    pub import_calls: u64,
+    /// Export attempts stalled on a full buffer.
+    pub buffer_stalls: u64,
+    /// High-water mark of buffered objects.
+    pub buffered_hwm: u64,
+    /// High-water mark of node queue depth.
+    pub queue_depth_hwm: u64,
+    /// Occupancy histogram bucket counts.
+    pub occupancy: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl CounterSnapshot {
+    /// Total control messages across all classes.
+    pub fn ctrl_total(&self) -> u64 {
+        self.ctrl_sent.iter().sum()
+    }
+
+    /// Control messages of one class.
+    pub fn ctrl(&self, class: CtrlClass) -> u64 {
+        let idx = CtrlClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class listed in ALL");
+        self.ctrl_sent[idx]
+    }
+
+    /// Every scalar metric as `(name, value)`, in stable order — the
+    /// regression gate and the JSON encoding both iterate this, so the two
+    /// can never drift apart.
+    pub fn fields(&self) -> Vec<(String, u64)> {
+        let mut out = vec![
+            ("memcpy_paid".to_string(), self.memcpy_paid),
+            ("memcpy_skipped".to_string(), self.memcpy_skipped),
+            ("bytes_buffered".to_string(), self.bytes_buffered),
+            ("bytes_transferred".to_string(), self.bytes_transferred),
+        ];
+        for (i, class) in CtrlClass::ALL.iter().enumerate() {
+            out.push((format!("ctrl_{}", class.as_str()), self.ctrl_sent[i]));
+        }
+        out.extend([
+            ("transfers".to_string(), self.transfers),
+            ("export_calls".to_string(), self.export_calls),
+            ("import_calls".to_string(), self.import_calls),
+            ("buffer_stalls".to_string(), self.buffer_stalls),
+            ("buffered_hwm".to_string(), self.buffered_hwm),
+            ("queue_depth_hwm".to_string(), self.queue_depth_hwm),
+        ]);
+        out
+    }
+
+    /// Encodes the snapshot as a JSON object (scalars via [`Self::fields`],
+    /// plus the occupancy bucket array).
+    pub fn to_json(&self) -> json::Value {
+        let mut obj: Vec<(String, json::Value)> = self
+            .fields()
+            .into_iter()
+            .map(|(k, v)| (k, json::Value::from(v)))
+            .collect();
+        obj.push((
+            "occupancy".to_string(),
+            json::Value::Array(
+                self.occupancy
+                    .iter()
+                    .map(|&c| json::Value::from(c))
+                    .collect(),
+            ),
+        ));
+        json::Value::Object(obj)
+    }
+
+    /// Decodes a snapshot from the JSON produced by [`Self::to_json`].
+    pub fn from_json(v: &json::Value) -> Result<Self, String> {
+        let field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(json::Value::as_u64)
+                .ok_or_else(|| format!("counter snapshot: missing/invalid field {name}"))
+        };
+        let mut ctrl_sent = [0u64; CtrlClass::ALL.len()];
+        for (i, class) in CtrlClass::ALL.iter().enumerate() {
+            ctrl_sent[i] = field(&format!("ctrl_{}", class.as_str()))?;
+        }
+        let occ = v
+            .get("occupancy")
+            .and_then(json::Value::as_array)
+            .ok_or("counter snapshot: missing occupancy array")?;
+        if occ.len() != HISTOGRAM_BUCKETS {
+            return Err(format!(
+                "counter snapshot: occupancy has {} buckets, expected {HISTOGRAM_BUCKETS}",
+                occ.len()
+            ));
+        }
+        let mut occupancy = [0u64; HISTOGRAM_BUCKETS];
+        for (i, b) in occ.iter().enumerate() {
+            occupancy[i] = b
+                .as_u64()
+                .ok_or_else(|| format!("counter snapshot: occupancy[{i}] not a count"))?;
+        }
+        Ok(CounterSnapshot {
+            memcpy_paid: field("memcpy_paid")?,
+            memcpy_skipped: field("memcpy_skipped")?,
+            bytes_buffered: field("bytes_buffered")?,
+            bytes_transferred: field("bytes_transferred")?,
+            ctrl_sent,
+            transfers: field("transfers")?,
+            export_calls: field("export_calls")?,
+            import_calls: field("import_calls")?,
+            buffer_stalls: field("buffer_stalls")?,
+            buffered_hwm: field("buffered_hwm")?,
+            queue_depth_hwm: field("queue_depth_hwm")?,
+            occupancy,
+        })
+    }
+}
+
+/// The timing half of a run's metrics: per-phase virtual seconds
+/// (deterministic on the DES) and wall seconds (never deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingSnapshot {
+    /// Virtual seconds per phase (indexed like [`Phase::ALL`]).
+    pub virtual_s: [f64; Phase::ALL.len()],
+    /// Wall seconds per phase (indexed like [`Phase::ALL`]).
+    pub wall_s: [f64; Phase::ALL.len()],
+}
+
+impl TimingSnapshot {
+    /// Virtual seconds of one phase.
+    pub fn virtual_seconds(&self, phase: Phase) -> f64 {
+        self.virtual_s[Phase::ALL.iter().position(|&p| p == phase).expect("phase")]
+    }
+
+    /// Wall seconds of one phase.
+    pub fn wall_seconds(&self, phase: Phase) -> f64 {
+        self.wall_s[Phase::ALL.iter().position(|&p| p == phase).expect("phase")]
+    }
+
+    /// Encodes as `{"virtual": {phase: s}, "wall": {phase: s}}`.
+    pub fn to_json(&self) -> json::Value {
+        let encode = |vals: &[f64]| {
+            json::Value::Object(
+                Phase::ALL
+                    .iter()
+                    .zip(vals)
+                    .map(|(p, &s)| (p.as_str().to_string(), json::Value::Number(s)))
+                    .collect(),
+            )
+        };
+        json::Value::Object(vec![
+            ("virtual".to_string(), encode(&self.virtual_s)),
+            ("wall".to_string(), encode(&self.wall_s)),
+        ])
+    }
+}
+
+/// A complete end-of-run metrics snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Deterministic event counts.
+    pub counters: CounterSnapshot,
+    /// Phase timings (virtual deterministic, wall not).
+    pub timing: TimingSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.add(3);
+        g.add(4);
+        g.sub(5);
+        assert_eq!(g.level(), 2);
+        assert_eq!(g.high_water_mark(), 7);
+        g.set(1);
+        assert_eq!(g.level(), 1);
+        assert_eq!(g.high_water_mark(), 7);
+        g.sub(10);
+        assert_eq!(g.level(), 0, "sub saturates");
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(5), 3);
+        assert_eq!(Histogram::bucket_of(1 << 40), HISTOGRAM_BUCKETS - 1);
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(16);
+        let counts = h.counts();
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[4], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn phase_times_accumulate() {
+        let m = EngineMetrics::new();
+        m.phases.add_virtual(Phase::Export, 1.5);
+        m.phases.add_virtual(Phase::Export, 0.25);
+        m.phases.add_wall(Phase::Ctrl, 0.5);
+        {
+            let _span = m.phases.wall_span(Phase::Import);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.timing.virtual_seconds(Phase::Export), 1.75);
+        assert_eq!(snap.timing.wall_seconds(Phase::Ctrl), 0.5);
+        assert!(snap.timing.wall_seconds(Phase::Import) >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let m = EngineMetrics::new();
+        m.memcpy_paid.add(7);
+        m.memcpy_skipped.add(3);
+        m.export_calls.add(10);
+        m.bytes_buffered.add(1024);
+        m.ctrl(CtrlClass::BuddyHelp).add(2);
+        m.buffered_objects.add(5);
+        m.occupancy.observe(4);
+        let snap = m.snapshot().counters;
+        let parsed = json::parse(&json::emit(&snap.to_json())).expect("valid JSON");
+        assert_eq!(CounterSnapshot::from_json(&parsed).expect("decodes"), snap);
+    }
+
+    #[test]
+    fn identical_runs_snapshot_identically() {
+        let run = || {
+            let m = EngineMetrics::new();
+            for i in 0..100u64 {
+                m.export_calls.inc();
+                if i % 3 == 0 {
+                    m.memcpy_skipped.inc();
+                } else {
+                    m.memcpy_paid.inc();
+                    m.bytes_buffered.add(4096);
+                }
+                m.buffered_objects.add(1);
+                m.occupancy.observe(m.buffered_objects.level());
+                if i % 10 == 9 {
+                    m.buffered_objects.sub(8);
+                }
+            }
+            m.snapshot().counters
+        };
+        assert_eq!(run(), run());
+    }
+}

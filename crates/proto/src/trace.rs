@@ -151,6 +151,38 @@ impl Trace {
         out
     }
 
+    /// Renders the trace as numbered lines with running metric annotations:
+    /// each line carries the memcpys paid, memcpys skipped, sends and
+    /// buffered-object count *after* the event. This is the golden-snapshot
+    /// format — the annotations make a diff point at the exact event where
+    /// a buffering decision regressed, not just that some count changed.
+    pub fn render_annotated(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let (mut paid, mut skipped, mut sent) = (0usize, 0usize, 0usize);
+        let mut buffered = 0isize;
+        for (i, ev) in self.events.iter().enumerate() {
+            match ev {
+                TraceEvent::Export { copied: true, .. } => {
+                    paid += 1;
+                    buffered += 1;
+                }
+                TraceEvent::Export { copied: false, .. } => skipped += 1,
+                TraceEvent::Remove { freed } => buffered -= freed.len() as isize,
+                TraceEvent::Send { .. } => sent += 1,
+                TraceEvent::Request { .. } | TraceEvent::BuddyHelp { .. } => {}
+            }
+            writeln!(
+                out,
+                "{:>3}  {:<44} [paid {paid:>3} | skip {skipped:>3} | sent {sent:>3} | buf {buffered:>3}]",
+                i + 1,
+                ev.to_string()
+            )
+            .expect("writing to String");
+        }
+        out
+    }
+
     /// The exported timestamps in trace order, regardless of whether the
     /// object was copied.
     ///
@@ -298,5 +330,29 @@ mod tests {
         trace.events.push(TraceEvent::Send { m: ts(9.6) });
         let text = trace.render();
         assert!(text.contains("  1  send D@9.6 out."));
+    }
+
+    #[test]
+    fn annotated_render_tracks_running_counts() {
+        let mut trace = Trace::new();
+        trace.events.push(TraceEvent::Export {
+            t: ts(1.0),
+            copied: true,
+        });
+        trace.events.push(TraceEvent::Export {
+            t: ts(2.0),
+            copied: false,
+        });
+        trace.events.push(TraceEvent::Remove {
+            freed: vec![ts(1.0)],
+        });
+        trace.events.push(TraceEvent::Send { m: ts(2.0) });
+        let text = trace.render_annotated();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("[paid   1 | skip   0 | sent   0 | buf   1]"));
+        assert!(lines[1].contains("[paid   1 | skip   1 | sent   0 | buf   1]"));
+        assert!(lines[2].contains("[paid   1 | skip   1 | sent   0 | buf   0]"));
+        assert!(lines[3].contains("[paid   1 | skip   1 | sent   1 | buf   0]"));
     }
 }

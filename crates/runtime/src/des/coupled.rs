@@ -20,6 +20,7 @@ use crate::cost::CostModel;
 use crate::des::topo::{ExportSchedule, ImportSchedule, TopologyConfig, TopologySim};
 use crate::engine::{Topology, TopologyError};
 use couplink_layout::Decomposition;
+use couplink_metrics::MetricsSnapshot;
 use couplink_proto::export_port::{ExportAction, PortError};
 use couplink_proto::import_port::ImportError;
 use couplink_proto::rep::RepError;
@@ -124,6 +125,9 @@ pub struct CoupledReport {
     /// Event traces collected for ranks enabled via
     /// [`CoupledSim::trace_rank`], as `(rank, trace)` pairs.
     pub traces: Vec<(usize, Trace)>,
+    /// End-of-run engine instrumentation. The counter half is deterministic:
+    /// two runs of the same configuration produce identical values.
+    pub metrics: MetricsSnapshot,
 }
 
 /// The timestamp schedule a coupled run used.
@@ -371,6 +375,7 @@ impl CoupledSim {
                 .into_iter()
                 .map(|(_, rank, _, trace)| (rank, trace))
                 .collect(),
+            metrics: rep.metrics,
         })
     }
 }

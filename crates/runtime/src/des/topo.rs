@@ -17,14 +17,16 @@ use crate::cost::CostModel;
 use crate::des::coupled::{ActionKind, SimError};
 use crate::des::{EventQueue, SimTime};
 use crate::engine::{
-    deliver_all, ChaosConfig, ChaosState, Endpoint, EngineError, ExportNode, ImportNode, Outgoing,
-    RepNode, Topology, Transport,
+    ctrl_class, deliver_all, ChaosConfig, ChaosState, Endpoint, EngineError, ExportNode,
+    ImportNode, Outgoing, RepNode, Topology, Transport,
 };
+use couplink_metrics::{EngineMetrics, MetricsSnapshot, Phase};
 use couplink_proto::{
     ConnectionId, CtrlMsg, ExportStats, ImportState, PortError, RequestId, Trace,
 };
 use couplink_time::{PeriodicSchedule, Timestamp};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 impl From<EngineError> for SimError {
     fn from(e: EngineError) -> Self {
@@ -123,6 +125,9 @@ pub struct TopoReport {
     pub import_done: Vec<Vec<usize>>,
     /// Collected event traces: `(program, rank, connection, trace)`.
     pub traces: Vec<(String, usize, ConnectionId, Trace)>,
+    /// End-of-run engine instrumentation. The counter half is deterministic:
+    /// two runs of the same configuration produce identical values.
+    pub metrics: MetricsSnapshot,
 }
 
 #[derive(Debug)]
@@ -172,6 +177,8 @@ struct ImpDrive {
     startup: f64,
     iters: Vec<usize>,
     waiting: Vec<bool>,
+    /// Virtual time each rank's in-flight import call started.
+    wait_start: Vec<f64>,
 }
 
 /// Schedules engine messages as simulator events with modelled latencies.
@@ -183,12 +190,18 @@ struct DesTransport<'a> {
     delay: f64,
     /// Seeded fault injection for control messages, if enabled.
     chaos: Option<&'a mut ChaosState>,
+    /// Run-wide instrumentation.
+    metrics: &'a EngineMetrics,
 }
 
 impl Transport for DesTransport<'_> {
     type Error = SimError;
 
     fn ctrl(&mut self, to: Endpoint, msg: CtrlMsg) -> Result<(), SimError> {
+        self.metrics.ctrl(ctrl_class(&msg)).inc();
+        self.metrics
+            .phases
+            .add_virtual(Phase::Ctrl, self.cost.ctrl_time());
         let nominal = self.delay + self.cost.ctrl_time();
         match self.chaos.as_deref_mut() {
             None => {
@@ -218,9 +231,14 @@ impl Transport for DesTransport<'_> {
         let Endpoint::Proc { rank, .. } = from else {
             return Err(SimError::Config("data transfer emitted by a rep".into()));
         };
+        self.metrics.transfers.inc();
         let ct = self.topo.conn(conn);
         for t in ct.plan.sends_from(rank) {
             let bytes = t.rect.cells() * std::mem::size_of::<f64>();
+            self.metrics.bytes_transferred.add(bytes as u64);
+            self.metrics
+                .phases
+                .add_virtual(Phase::Transfer, self.cost.data_time(bytes));
             self.queue.schedule(
                 self.delay + self.cost.data_time(bytes),
                 Ev::Piece {
@@ -253,6 +271,7 @@ pub struct TopologySim {
     matches: Vec<Vec<Option<Timestamp>>>,
     traced: Vec<(usize, usize, ConnectionId)>,
     chaos: Option<ChaosState>,
+    metrics: Arc<EngineMetrics>,
 }
 
 impl TopologySim {
@@ -333,6 +352,7 @@ impl TopologySim {
                 startup: s.startup,
                 iters: vec![0; procs],
                 waiting: vec![false; procs],
+                wait_start: vec![0.0; procs],
             });
         }
         // Every region of the topology needs a schedule, or its processes
@@ -356,6 +376,7 @@ impl TopologySim {
             }
         }
 
+        let metrics = Arc::new(EngineMetrics::new());
         let exp_nodes = topo
             .programs
             .iter()
@@ -365,7 +386,11 @@ impl TopologySim {
                     Vec::new()
                 } else {
                     (0..p.procs)
-                        .map(|rank| ExportNode::new(&topo, pi, rank, cfg.buffer_capacity))
+                        .map(|rank| {
+                            let mut node = ExportNode::new(&topo, pi, rank, cfg.buffer_capacity);
+                            node.set_metrics(Arc::clone(&metrics));
+                            node
+                        })
                         .collect()
                 }
             })
@@ -379,7 +404,11 @@ impl TopologySim {
                     Vec::new()
                 } else {
                     (0..p.procs)
-                        .map(|rank| ImportNode::new(&topo, pi, rank))
+                        .map(|rank| {
+                            let mut node = ImportNode::new(&topo, pi, rank);
+                            node.set_metrics(Arc::clone(&metrics));
+                            node
+                        })
                         .collect()
                 }
             })
@@ -411,7 +440,13 @@ impl TopologySim {
             matches,
             traced: Vec::new(),
             chaos: None,
+            metrics,
         })
+    }
+
+    /// The run-wide instrumentation shared by every node and the transport.
+    pub fn metrics(&self) -> Arc<EngineMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Enables seeded fault injection (delay, duplication, drop-with-retry)
@@ -470,8 +505,10 @@ impl TopologySim {
             }
         }
 
+        self.metrics.queue_depth.set(self.queue.len() as u64);
         while let Some((_, event)) = self.queue.pop() {
             self.dispatch(event)?;
+            self.metrics.queue_depth.set(self.queue.len() as u64);
         }
 
         let duration = self.queue.now().0;
@@ -514,6 +551,7 @@ impl TopologySim {
             export_series,
             import_done,
             traces,
+            metrics: self.metrics.snapshot(),
         })
     }
 
@@ -539,6 +577,7 @@ impl TopologySim {
                 } else {
                     self.cost.export_overhead
                 };
+                self.metrics.phases.add_virtual(Phase::Export, call_cost);
                 {
                     let rec = &mut d.recs[rank];
                     rec.times.push(call_cost);
@@ -554,6 +593,7 @@ impl TopologySim {
                     cost: &self.cost,
                     delay: call_cost,
                     chaos: self.chaos.as_mut(),
+                    metrics: &self.metrics,
                 };
                 deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;
                 if next {
@@ -573,12 +613,14 @@ impl TopologySim {
                 let prog = d.prog;
                 let (_req, msg) = self.imp_nodes[prog][rank].begin_import(conn, ts)?;
                 self.imp_drives[drive].waiting[rank] = true;
+                self.imp_drives[drive].wait_start[rank] = self.queue.now().0;
                 let mut tx = DesTransport {
                     queue: &mut self.queue,
                     topo: &self.topo,
                     cost: &self.cost,
                     delay: 0.0,
                     chaos: self.chaos.as_mut(),
+                    metrics: &self.metrics,
                 };
                 deliver_all(&mut tx, Endpoint::Proc { prog, rank }, vec![msg])?;
                 self.check_import_done(drive, rank)?;
@@ -627,6 +669,7 @@ impl TopologySim {
                     cost: &self.cost,
                     delay: 0.0,
                     chaos: self.chaos.as_mut(),
+                    metrics: &self.metrics,
                 };
                 deliver_all(&mut tx, Endpoint::Rep { prog }, outs)?;
             }
@@ -644,6 +687,7 @@ impl TopologySim {
                         cost: &self.cost,
                         delay: 0.0,
                         chaos: self.chaos.as_mut(),
+                        metrics: &self.metrics,
                     };
                     deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;
                     self.wake_blocked(drive, rank);
@@ -657,6 +701,7 @@ impl TopologySim {
                         cost: &self.cost,
                         delay: 0.0,
                         chaos: self.chaos.as_mut(),
+                        metrics: &self.metrics,
                     };
                     deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;
                     self.wake_blocked(drive, rank);
@@ -693,6 +738,9 @@ impl TopologySim {
         if d.waiting[rank] && matches!(node.state(d.conn), Some(ImportState::Done { .. })) {
             node.finish(d.conn);
             d.waiting[rank] = false;
+            self.metrics
+                .phases
+                .add_virtual(Phase::Import, self.queue.now().0 - d.wait_start[rank]);
             d.iters[rank] += 1;
             if d.iters[rank] < d.count {
                 self.queue.schedule(d.compute, Ev::ImpCall { drive, rank });

@@ -39,8 +39,23 @@ pub use topology::{
     ConnTopo, ExportRegionTopo, ImportRegionTopo, ProgramTopo, Topology, TopologyError,
 };
 
+use couplink_metrics::CtrlClass;
 use couplink_proto::{ConnectionId, CtrlMsg, RequestId};
 use couplink_time::Timestamp;
+
+/// Classifies a control message for instrumentation ([`CtrlClass`] lives in
+/// `couplink-metrics`, which knows nothing about the protocol types).
+pub fn ctrl_class(msg: &CtrlMsg) -> CtrlClass {
+    match msg {
+        CtrlMsg::ImportCall { .. } => CtrlClass::ImportCall,
+        CtrlMsg::ImportRequest { .. } => CtrlClass::ImportRequest,
+        CtrlMsg::ForwardRequest { .. } => CtrlClass::ForwardRequest,
+        CtrlMsg::Response { .. } => CtrlClass::Response,
+        CtrlMsg::BuddyHelp { .. } => CtrlClass::BuddyHelp,
+        CtrlMsg::Answer { .. } => CtrlClass::Answer,
+        CtrlMsg::AnswerBcast { .. } => CtrlClass::AnswerBcast,
+    }
+}
 
 /// Where a control message is headed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

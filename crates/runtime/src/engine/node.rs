@@ -8,12 +8,14 @@
 
 use super::topology::Topology;
 use super::{Endpoint, Outgoing};
+use couplink_metrics::EngineMetrics;
 use couplink_proto::{
     CtrlMsg, ExportAction, ExportPort, ImportError, ImportPort, ImportState, MultiExport,
     PortError, ProcResponse, Rank, RepAnswer, RepError, RequestId, Trace,
 };
 use couplink_time::Timestamp;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Any protocol failure surfaced by a node.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +68,8 @@ struct ExportRegionState {
     conns: Vec<couplink_proto::ConnectionId>,
     /// Optional per-connection event traces (Figure 5-style).
     traces: Vec<Option<Trace>>,
+    /// Bytes of this rank's piece of the region (one buffered object).
+    bytes: usize,
 }
 
 /// Effects of one export/request/buddy-help step on an export node.
@@ -100,6 +104,8 @@ pub struct ExportNode {
     /// trace lines report the requested timestamp, which the wire message
     /// does not carry).
     req_ts: HashMap<(couplink_proto::ConnectionId, RequestId), Timestamp>,
+    /// Run-wide instrumentation shared with every other node.
+    metrics: Arc<EngineMetrics>,
 }
 
 impl ExportNode {
@@ -123,6 +129,7 @@ impl ExportNode {
                 multi: MultiExport::new(ports),
                 conns: region.conns.clone(),
                 traces: vec![None; n],
+                bytes: region.decomp.owned(rank).cells() * std::mem::size_of::<f64>(),
             });
         }
         ExportNode {
@@ -131,7 +138,14 @@ impl ExportNode {
             regions,
             by_conn,
             req_ts: HashMap::new(),
+            metrics: Arc::new(EngineMetrics::new()),
         }
+    }
+
+    /// Shares run-wide instrumentation with this node (a private instance is
+    /// used until then, so counting is always unconditional).
+    pub fn set_metrics(&mut self, metrics: Arc<EngineMetrics>) {
+        self.metrics = metrics;
     }
 
     /// Enables event tracing for one connection of this node.
@@ -193,7 +207,25 @@ impl ExportNode {
     /// simulator re-schedules on the next free).
     pub fn on_export(&mut self, region: usize, t: Timestamp) -> Result<ExportFx, EngineError> {
         let state = &mut self.regions[region];
-        let fx = state.multi.on_export(t)?;
+        let fx = match state.multi.on_export(t) {
+            Err(e @ PortError::BufferFull { .. }) => {
+                self.metrics.buffer_stalls.inc();
+                return Err(e.into());
+            }
+            other => other?,
+        };
+        self.metrics.export_calls.inc();
+        if fx.copy {
+            self.metrics.memcpy_paid.inc();
+            self.metrics.bytes_buffered.add(state.bytes as u64);
+            self.metrics.buffered_objects.add(1);
+        } else {
+            self.metrics.memcpy_skipped.inc();
+        }
+        self.metrics.buffered_objects.sub(fx.freed.len() as u64);
+        self.metrics
+            .occupancy
+            .observe(state.multi.shared_buffered_len() as u64);
         let mut out = ExportFx {
             copy: fx.copy,
             freed: fx.freed.clone(),
@@ -261,6 +293,7 @@ impl ExportNode {
             ))?;
         let state = &mut self.regions[ri];
         let (fx, freed) = state.multi.on_request(slot, req, ts)?;
+        self.metrics.buffered_objects.sub(freed.len() as u64);
         if let Some(trace) = state.traces[slot].as_mut() {
             trace.record_request(ts, &fx);
             self.req_ts.insert((conn, req), ts);
@@ -299,6 +332,7 @@ impl ExportNode {
             ))?;
         let state = &mut self.regions[ri];
         let (fx, freed) = state.multi.on_buddy_help(slot, req, answer)?;
+        self.metrics.buffered_objects.sub(freed.len() as u64);
         if let Some(trace) = state.traces[slot].as_mut() {
             if let Some(x) = self.req_ts.remove(&(conn, req)) {
                 trace.record_buddy_help(x, req, answer, &fx);
@@ -478,6 +512,8 @@ pub struct ImportNode {
     rank: usize,
     /// Ports in program import-region order, keyed by connection.
     ports: HashMap<couplink_proto::ConnectionId, ImportPort>,
+    /// Run-wide instrumentation shared with every other node.
+    metrics: Arc<EngineMetrics>,
 }
 
 impl ImportNode {
@@ -489,7 +525,18 @@ impl ImportNode {
             let expected = ct.plan.recvs_to(rank).count();
             ports.insert(region.conn, ImportPort::new(expected));
         }
-        ImportNode { prog, rank, ports }
+        ImportNode {
+            prog,
+            rank,
+            ports,
+            metrics: Arc::new(EngineMetrics::new()),
+        }
+    }
+
+    /// Shares run-wide instrumentation with this node (a private instance is
+    /// used until then, so counting is always unconditional).
+    pub fn set_metrics(&mut self, metrics: Arc<EngineMetrics>) {
+        self.metrics = metrics;
     }
 
     /// Starts a collective import on one connection. Returns the request id
@@ -506,6 +553,7 @@ impl ImportNode {
                 "import on foreign connection",
             ))?;
         let req = port.begin_import(ts)?;
+        self.metrics.import_calls.inc();
         let msg = Outgoing::Ctrl {
             to: Endpoint::Rep { prog: self.prog },
             msg: CtrlMsg::ImportCall {

@@ -26,7 +26,13 @@
 //! 4. **Runtime equivalence** ([`check_runtime_equivalence`]): the
 //!    discrete-event simulator and the threaded fabric decide identical
 //!    match outcomes for the same scenario.
+//! 5. **Metric consistency** ([`check_metric_consistency`]): the engine's
+//!    instrumentation counters obey their conservation laws and agree with
+//!    the ground-truth replay — every export call either paid or skipped
+//!    the memcpy, and the transfer count equals the owed matches derived by
+//!    re-evaluating the match predicate over the full export history.
 
+use couplink_metrics::CounterSnapshot;
 use couplink_proto::{ConnectionId, Trace};
 use couplink_time::{evaluate, ExportHistory, MatchPolicy, MatchResult, Timestamp, Tolerance};
 use std::collections::BTreeSet;
@@ -64,6 +70,15 @@ pub enum OracleViolation {
         /// Human-readable description of the divergence.
         detail: String,
     },
+    /// An instrumentation counter disagreed with its conservation law or
+    /// with the ground-truth replay.
+    MetricConsistency {
+        /// The connection the inconsistency was attributed to (run-wide
+        /// conservation failures report the first checked connection).
+        conn: ConnectionId,
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
 }
 
 impl OracleViolation {
@@ -73,7 +88,8 @@ impl OracleViolation {
             OracleViolation::CollectiveOrder { conn, .. }
             | OracleViolation::BufferSafety { conn, .. }
             | OracleViolation::Liveness { conn, .. }
-            | OracleViolation::RuntimeEquivalence { conn, .. } => *conn,
+            | OracleViolation::RuntimeEquivalence { conn, .. }
+            | OracleViolation::MetricConsistency { conn, .. } => *conn,
         }
     }
 }
@@ -94,6 +110,13 @@ impl fmt::Display for OracleViolation {
                 write!(
                     f,
                     "runtime-equivalence violation on conn {}: {detail}",
+                    conn.0
+                )
+            }
+            OracleViolation::MetricConsistency { conn, detail } => {
+                write!(
+                    f,
+                    "metric-consistency violation on conn {}: {detail}",
                     conn.0
                 )
             }
@@ -269,6 +292,82 @@ pub fn check_runtime_equivalence(
     Ok(())
 }
 
+/// Replays a rank's trace against the ground-truth predicate and counts the
+/// matches the importer is owed: requests whose acceptable region, evaluated
+/// over the *complete* export history, decided a match. Each such match is
+/// one transfer every exporting rank must emit.
+pub fn owed_matches(
+    conn: ConnectionId,
+    policy: MatchPolicy,
+    tol: Tolerance,
+    trace: &Trace,
+) -> Result<usize, OracleViolation> {
+    let mut history = ExportHistory::new();
+    for t in trace.export_sequence() {
+        history
+            .record(t)
+            .map_err(|e| OracleViolation::MetricConsistency {
+                conn,
+                detail: format!("export sequence is not strictly increasing at {t}: {e}"),
+            })?;
+    }
+    let mut owed = 0;
+    for x in trace.request_sequence() {
+        let result = evaluate(&policy.region(x, tol), &history).map_err(|e| {
+            OracleViolation::MetricConsistency {
+                conn,
+                detail: format!("replay of request {x} failed: {e}"),
+            }
+        })?;
+        if result.matched().is_some() {
+            owed += 1;
+        }
+    }
+    Ok(owed)
+}
+
+/// Checks a run's counter snapshot against its conservation laws and the
+/// ground-truth replay:
+///
+/// * every export call either paid or skipped the framework memcpy
+///   (`memcpy_paid + memcpy_skipped == export_calls`);
+/// * the run emitted exactly the transfers the importers are owed:
+///   for each connection, every exporting rank sends each ground-truth
+///   match once, so `transfers == Σ_conn owed(conn) × exporter_procs(conn)`.
+///
+/// `owed` carries one `(connection, owed-match count, exporter process
+/// count)` entry per connection, with the owed count derived via
+/// [`owed_matches`] from any rank's trace (Property 1 makes all ranks
+/// equivalent).
+pub fn check_metric_consistency(
+    counters: &CounterSnapshot,
+    owed: &[(ConnectionId, usize, usize)],
+) -> Result<(), OracleViolation> {
+    let first_conn = owed.first().map(|&(c, _, _)| c).unwrap_or(ConnectionId(0));
+    if counters.memcpy_paid + counters.memcpy_skipped != counters.export_calls {
+        return Err(OracleViolation::MetricConsistency {
+            conn: first_conn,
+            detail: format!(
+                "memcpy conservation broken: {} paid + {} skipped != {} export calls",
+                counters.memcpy_paid, counters.memcpy_skipped, counters.export_calls
+            ),
+        });
+    }
+    let expected: usize = owed.iter().map(|&(_, n, procs)| n * procs).sum();
+    if counters.transfers != expected as u64 {
+        return Err(OracleViolation::MetricConsistency {
+            conn: first_conn,
+            detail: format!(
+                "run emitted {} transfers, ground-truth replay owes {expected} \
+                 (Σ owed matches × exporter processes over {} connections)",
+                counters.transfers,
+                owed.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Re-exported so callers can reason about decidedness when pairing the
 /// oracles with custom schedules.
 pub fn ground_truth(
@@ -356,6 +455,43 @@ mod tests {
         assert!(matches!(err, OracleViolation::Liveness { .. }));
         let err = check_liveness(ConnectionId(0), 5, 5, false).unwrap_err();
         assert!(err.to_string().contains("never completed"));
+    }
+
+    #[test]
+    fn metric_consistency_checks_conservation_and_owed_transfers() {
+        let trace = traced_run(&[1.0, 2.0, 3.0, 4.0, 5.0], &[2.2, 4.1]);
+        let tol = Tolerance::new(0.5).expect("tolerance");
+        let owed =
+            owed_matches(ConnectionId(0), MatchPolicy::RegL, tol, &trace).expect("clean replay");
+        assert_eq!(owed, 2, "both requests decide a match");
+
+        let mut counters = CounterSnapshot {
+            memcpy_paid: 4,
+            memcpy_skipped: 1,
+            bytes_buffered: 0,
+            bytes_transferred: 0,
+            ctrl_sent: [0; 7],
+            transfers: 6,
+            export_calls: 5,
+            import_calls: 2,
+            buffer_stalls: 0,
+            buffered_hwm: 0,
+            queue_depth_hwm: 0,
+            occupancy: [0; couplink_metrics::HISTOGRAM_BUCKETS],
+        };
+        // 2 owed matches × 3 exporter processes = 6 transfers: consistent.
+        check_metric_consistency(&counters, &[(ConnectionId(0), owed, 3)])
+            .expect("consistent counters");
+
+        counters.memcpy_skipped = 2;
+        let err = check_metric_consistency(&counters, &[(ConnectionId(0), owed, 3)]).unwrap_err();
+        assert!(err.to_string().contains("memcpy conservation broken"));
+
+        counters.memcpy_skipped = 1;
+        counters.transfers = 5;
+        let err = check_metric_consistency(&counters, &[(ConnectionId(0), owed, 3)]).unwrap_err();
+        assert!(matches!(err, OracleViolation::MetricConsistency { .. }));
+        assert!(err.to_string().contains("ground-truth replay owes 6"));
     }
 
     #[test]

@@ -23,11 +23,12 @@
 
 use crate::engine::chaos::{commutes, ChaosConfig};
 use crate::engine::{
-    deliver_all, Clock, Endpoint, EngineError, ExportFx, ExportNode, ImportNode, Outgoing, RepNode,
-    Topology, Transport,
+    ctrl_class, deliver_all, Clock, Endpoint, EngineError, ExportFx, ExportNode, ImportNode,
+    Outgoing, RepNode, Topology, Transport,
 };
 use crate::threaded::{ExportOutcome, ThreadedError};
 use couplink_layout::{LocalArray, Rect};
+use couplink_metrics::{EngineMetrics, MetricsSnapshot, Phase};
 use couplink_proto::{
     ConnectionId, CtrlMsg, ExportStats, ImportState, RepAnswer, RequestId, Trace,
 };
@@ -105,6 +106,10 @@ pub struct FabricReport {
     /// Recorded event traces, one per requested `(program, rank,
     /// connection)`.
     pub traces: Vec<(usize, usize, ConnectionId, Trace)>,
+    /// End-of-run engine instrumentation. Counter values depend on thread
+    /// interleaving (unlike the simulator's) — conservation laws hold, exact
+    /// values need not repeat.
+    pub metrics: MetricsSnapshot,
 }
 
 // --- internal messages ---
@@ -176,6 +181,8 @@ struct Net {
     err: Arc<Mutex<Option<String>>>,
     /// Fault injection for commutative control messages, if enabled.
     chaos: Option<NetChaos>,
+    /// Run-wide instrumentation shared with every node and handle.
+    metrics: Arc<EngineMetrics>,
 }
 
 impl Net {
@@ -184,6 +191,7 @@ impl Net {
     /// each seeded copy at its planned instant; everything else (and every
     /// message once the relay has drained at shutdown) routes directly.
     fn ctrl(&self, to: Endpoint, msg: CtrlMsg) {
+        self.metrics.ctrl(ctrl_class(&msg)).inc();
         if let Some(chaos) = &self.chaos {
             if commutes(&msg) {
                 let n = chaos
@@ -218,7 +226,9 @@ impl Net {
         match to {
             Endpoint::Rep { prog } => {
                 if let Some(tx) = &self.to_rep[prog] {
-                    let _ = tx.send(RepMsg::Ctrl(msg));
+                    if tx.send(RepMsg::Ctrl(msg)).is_ok() {
+                        self.metrics.queue_depth.add(1);
+                    }
                 }
             }
             Endpoint::Proc { prog, rank } => match msg {
@@ -227,7 +237,9 @@ impl Net {
                 }
                 m @ (CtrlMsg::ForwardRequest { .. } | CtrlMsg::BuddyHelp { .. }) => {
                     if let Some(tx) = &self.to_agent[prog][rank] {
-                        let _ = tx.send(AgentMsg::Ctrl(m));
+                        if tx.send(AgentMsg::Ctrl(m)).is_ok() {
+                            self.metrics.queue_depth.add(1);
+                        }
                     }
                 }
                 _ => record_err(&self.err, "unroutable process message"),
@@ -274,9 +286,15 @@ impl Transport for ProcTransport<'_> {
             // collective violation by the port.
             None => return Ok(()),
         };
+        self.net.metrics.transfers.inc();
+        let _span = self.net.metrics.phases.wall_span(Phase::Transfer);
         let ct = self.net.topo.conn(conn);
         for t in ct.plan.sends_from(rank) {
             let payload = obj.pack(&t.rect);
+            self.net
+                .metrics
+                .bytes_transferred
+                .add((payload.len() * std::mem::size_of::<f64>()) as u64);
             // Best-effort: the importer may already be shutting down.
             let _ = self.net.to_imp[conn.0 as usize][t.dst].send(ImpMsg::Piece {
                 req,
@@ -375,6 +393,7 @@ impl ExportAccess {
         data: &LocalArray,
     ) -> Result<Vec<ExportOutcome>, ThreadedError> {
         self.check_err()?;
+        let _span = self.net.metrics.phases.wall_span(Phase::Export);
         let t0 = self.clock.now();
         let deadline = Instant::now() + self.block_timeout;
         let mut state = self.cell.state.lock();
@@ -472,6 +491,7 @@ impl ImportAccess {
         ts: Timestamp,
         dest: &mut LocalArray,
     ) -> Result<Option<Timestamp>, ThreadedError> {
+        let _span = self.net.metrics.phases.wall_span(Phase::Import);
         let (req, call) = self.node.lock().begin_import(self.conn, ts)?;
         match call {
             Outgoing::Ctrl { to, msg } => self.net.ctrl(to, msg),
@@ -559,6 +579,7 @@ fn agent_loop(net: Arc<Net>, cell: Arc<ExpCell>, prog: usize, rank: usize, rx: R
         match msg {
             AgentMsg::Shutdown => break,
             AgentMsg::Ctrl(m) => {
+                net.metrics.queue_depth.sub(1);
                 if let Err(e) = agent_step(&net, &cell, prog, rank, m) {
                     record_err(&net.err, e);
                     break;
@@ -581,6 +602,7 @@ fn rep_loop(
             RepMsg::Shutdown => break,
             RepMsg::Ctrl(m) => m,
         };
+        net.metrics.queue_depth.sub(1);
         let step = node
             .on_msg(&topo, m)
             .map_err(ThreadedError::from)
@@ -649,6 +671,7 @@ pub struct Fabric {
     relay: Option<(Sender<RelayMsg>, JoinHandle<()>)>,
     err: Arc<Mutex<Option<String>>>,
     traces: Vec<(usize, usize, ConnectionId)>,
+    metrics: Arc<EngineMetrics>,
 }
 
 impl Fabric {
@@ -658,6 +681,7 @@ impl Fabric {
         let topo = Arc::new(topo);
         let err = Arc::new(Mutex::new(None::<String>));
         let clock = Arc::new(WallClock::start());
+        let metrics = Arc::new(EngineMetrics::new());
 
         // Mailboxes first (the routing table must exist before any thread).
         type AgentChannel = Option<(Sender<AgentMsg>, Receiver<AgentMsg>)>;
@@ -715,6 +739,7 @@ impl Fabric {
                 counter: std::sync::atomic::AtomicU64::new(0),
                 relay: tx.clone(),
             }),
+            metrics: Arc::clone(&metrics),
         });
         let relay = relay_channel.map(|(_, tx, rx)| {
             let net = net.clone();
@@ -736,6 +761,7 @@ impl Fabric {
                     continue;
                 }
                 let mut node = ExportNode::new(&topo, pi, rank, opts.buffer_capacity);
+                node.set_metrics(Arc::clone(&metrics));
                 for &(tp, tr, tc) in &opts.traces {
                     if tp == pi && tr == rank {
                         node.enable_trace(tc);
@@ -802,8 +828,11 @@ impl Fabric {
                         })
                         .collect(),
                 );
-                let imp_node = (!p.imports.is_empty())
-                    .then(|| Arc::new(Mutex::new(ImportNode::new(&topo, pi, rank))));
+                let imp_node = (!p.imports.is_empty()).then(|| {
+                    let mut node = ImportNode::new(&topo, pi, rank);
+                    node.set_metrics(Arc::clone(&metrics));
+                    Arc::new(Mutex::new(node))
+                });
                 prog_imports.push(
                     p.imports
                         .iter()
@@ -839,12 +868,18 @@ impl Fabric {
             relay,
             err,
             traces: opts.traces,
+            metrics,
         }
     }
 
     /// The topology this fabric runs.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// The run-wide instrumentation shared by every node and handle.
+    pub fn metrics(&self) -> Arc<EngineMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Takes the export handle for region `region` of process `rank` of
@@ -934,6 +969,10 @@ impl Fabric {
                 Some((prog, rank, conn, trace))
             })
             .collect();
-        Ok(FabricReport { stats, traces })
+        Ok(FabricReport {
+            stats,
+            traces,
+            metrics: self.metrics.snapshot(),
+        })
     }
 }

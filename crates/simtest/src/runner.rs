@@ -2,11 +2,12 @@
 
 use crate::scenario::Scenario;
 use couplink_layout::LocalArray;
+use couplink_metrics::CounterSnapshot;
 use couplink_proto::{ConnectionId, Trace};
 use couplink_runtime::cost::CostModel;
 use couplink_runtime::engine::oracle::{
-    check_buffer_safety, check_collective_order, check_liveness, check_runtime_equivalence,
-    OracleViolation,
+    check_buffer_safety, check_collective_order, check_liveness, check_metric_consistency,
+    check_runtime_equivalence, owed_matches, OracleViolation,
 };
 use couplink_runtime::engine::Topology;
 use couplink_runtime::{
@@ -57,6 +58,39 @@ fn trace_oracles(
                 break; // one report per connection is enough
             }
         }
+    }
+}
+
+/// Applies the metric-consistency oracle to one run: replays each
+/// connection's rank-0 trace to recover the ground-truth owed-match count
+/// and cross-checks it against the runtime's counter snapshot (memcpy
+/// conservation, transfers = Σ owed × exporter procs). Property 1 makes
+/// rank 0's trace representative of every rank.
+fn metric_oracle(
+    view: &Topology,
+    traces: &[(usize, usize, ConnectionId, Trace)],
+    counters: &CounterSnapshot,
+    out: &mut Vec<OracleViolation>,
+) {
+    let mut owed = Vec::with_capacity(view.conns.len());
+    for ct in &view.conns {
+        let Some((_, _, _, trace)) = traces
+            .iter()
+            .find(|(p, r, c, _)| *p == ct.exporter_prog && *r == 0 && *c == ct.id)
+        else {
+            // trace_oracles already reports the missing trace.
+            return;
+        };
+        match owed_matches(ct.id, ct.policy, ct.tolerance, trace) {
+            Ok(n) => owed.push((ct.id, n, view.programs[ct.exporter_prog].procs)),
+            Err(v) => {
+                out.push(v);
+                return;
+            }
+        }
+    }
+    if let Err(v) = check_metric_consistency(counters, &owed) {
+        out.push(v);
     }
 }
 
@@ -128,6 +162,7 @@ pub fn check_des(s: &Scenario, mutate: bool) -> Result<(Matches, Vec<OracleViola
         })
         .collect();
     trace_oracles(&view, &traces, &mut violations);
+    metric_oracle(&view, &traces, &report.metrics.counters, &mut violations);
     Ok((report.matches, violations))
 }
 
@@ -255,7 +290,15 @@ pub fn check_threaded(s: &Scenario) -> Result<(Matches, Vec<OracleViolation>), S
         }
     }
     match fabric.shutdown() {
-        Ok(report) => trace_oracles(&view, &report.traces, &mut violations),
+        Ok(report) => {
+            trace_oracles(&view, &report.traces, &mut violations);
+            metric_oracle(
+                &view,
+                &report.traces,
+                &report.metrics.counters,
+                &mut violations,
+            );
+        }
         Err(e) => violations.push(OracleViolation::CollectiveOrder {
             conn: ConnectionId(0),
             detail: format!("fabric shutdown reported: {e}"),
