@@ -3,12 +3,15 @@
 #
 #   ./ci.sh
 #
-# Five stages, all required:
+# Six stages, all required:
 #   1. formatting      (cargo fmt --check)
 #   2. lints           (cargo clippy, warnings are errors)
 #   3. tier-1 tests    (release build + full test suite)
 #   4. simtest         (seeded simulation corpus + oracle mutation smoke)
-#   5. bench smoke     (tiny-size benchmark report, schema-validated and
+#   5. chaos-crash     (fixed-seed simtest sweep with forced permanent
+#                       faults — 20% message loss plus a rep crash with
+#                       restart/failover — on both runtimes)
+#   6. bench smoke     (tiny-size benchmark report, schema-validated and
 #                       gated against baselines/BENCH_baseline_smoke.json;
 #                       plus a negative test proving the gate catches an
 #                       injected slowdown)
@@ -34,6 +37,9 @@ echo "== simtest: seed corpus + mutation smoke (~30s budget)"
 cargo run --release -q -p couplink-simtest -- --seeds 60
 cargo run --release -q -p couplink-simtest -- --mutate
 
+echo "== chaos-crash: forced loss + rep crash/failover on both runtimes"
+cargo run --release -q -p couplink-simtest -- --faults --seeds 12
+
 echo "== bench smoke: report gate against committed baseline"
 cargo run --release -q -p couplink-bench --bin report -- \
     --smoke --out results/BENCH_smoke.json \
@@ -51,6 +57,8 @@ echo "   (gate correctly rejected the mutated run)"
 if [[ "${CI_NIGHTLY:-0}" == "1" ]]; then
     echo "== nightly: deep simtest sweep"
     cargo run --release -q -p couplink-simtest -- --seeds 500
+    echo "== nightly: deep chaos-crash sweep"
+    cargo run --release -q -p couplink-simtest -- --faults --seeds 100
     echo "== nightly: deep cross-runtime property sweep"
     SIMTEST_CASES=100 cargo test -q -p couplink-runtime --test prop_des
 

@@ -91,15 +91,19 @@ impl ScenarioMeasure {
     }
 
     /// Builds a scenario from an engine metrics snapshot: every counter
-    /// field, the occupancy histogram, and per-phase virtual/wall times.
+    /// field, the occupancy and time-to-recovery histograms, and per-phase
+    /// virtual/wall times.
     pub fn from_metrics(name: impl Into<String>, snap: &MetricsSnapshot) -> Self {
         let mut counters = snap.counters.fields();
         for (i, &count) in snap.counters.occupancy.iter().enumerate() {
             counters.push((format!("occupancy_b{i:02}"), count));
         }
+        for (i, &count) in snap.counters.recovery_ms.iter().enumerate() {
+            counters.push((format!("recovery_ms_b{i:02}"), count));
+        }
         debug_assert_eq!(
             counters.len(),
-            snap.counters.fields().len() + HISTOGRAM_BUCKETS
+            snap.counters.fields().len() + 2 * HISTOGRAM_BUCKETS
         );
         let virtual_s = Phase::ALL
             .iter()
@@ -402,13 +406,23 @@ mod tests {
         let m = EngineMetrics::new();
         m.memcpy_paid.inc();
         m.ctrl(CtrlClass::Response).inc();
+        m.failovers.inc();
+        m.recovery_ms.observe(120);
         let s = ScenarioMeasure::from_metrics("x", &m.snapshot());
         assert_eq!(s.counter("memcpy_paid"), Some(1));
         assert_eq!(s.counter("ctrl_response"), Some(1));
+        assert_eq!(s.counter("failovers"), Some(1));
+        assert_eq!(
+            s.counters
+                .iter()
+                .filter(|(k, v)| k.starts_with("recovery_ms_b") && *v > 0)
+                .count(),
+            1
+        );
         assert_eq!(s.virtual_s.len(), Phase::ALL.len());
         assert_eq!(
             s.counters.len(),
-            m.snapshot().counters.fields().len() + HISTOGRAM_BUCKETS
+            m.snapshot().counters.fields().len() + 2 * HISTOGRAM_BUCKETS
         );
     }
 }

@@ -183,6 +183,7 @@ impl SessionBuilder {
                 buffer_capacity: self.buffer_capacity,
                 traces,
                 chaos: None,
+                drop_buddy_help: false,
             },
         );
         Ok(Session {

@@ -175,11 +175,15 @@ pub enum CtrlClass {
     Answer,
     /// The importer rep broadcasting the answer to its processes.
     AnswerBcast,
+    /// A reliability-layer acknowledgement of a sequenced message.
+    Ack,
+    /// A liveness heartbeat from a rep to its member processes.
+    Heartbeat,
 }
 
 impl CtrlClass {
     /// All classes, in wire-protocol order (also the snapshot field order).
-    pub const ALL: [CtrlClass; 7] = [
+    pub const ALL: [CtrlClass; 9] = [
         CtrlClass::ImportCall,
         CtrlClass::ImportRequest,
         CtrlClass::ForwardRequest,
@@ -187,6 +191,8 @@ impl CtrlClass {
         CtrlClass::BuddyHelp,
         CtrlClass::Answer,
         CtrlClass::AnswerBcast,
+        CtrlClass::Ack,
+        CtrlClass::Heartbeat,
     ];
 
     /// Stable snake_case name (snapshot / JSON key).
@@ -199,6 +205,8 @@ impl CtrlClass {
             CtrlClass::BuddyHelp => "buddy_help",
             CtrlClass::Answer => "answer",
             CtrlClass::AnswerBcast => "answer_bcast",
+            CtrlClass::Ack => "ack",
+            CtrlClass::Heartbeat => "heartbeat",
         }
     }
 }
@@ -340,6 +348,19 @@ pub struct EngineMetrics {
     pub import_calls: Counter,
     /// Export attempts stalled on a full bounded buffer.
     pub buffer_stalls: Counter,
+    /// Sequenced control messages re-sent after an ack deadline expired.
+    pub retransmits: Counter,
+    /// Reliability deadlines that expired (each triggers a retransmit or,
+    /// for expendable traffic, abandonment).
+    pub timeouts: Counter,
+    /// Rep-role recoveries: successor takeovers and crash restarts.
+    pub failovers: Counter,
+    /// Buddy-help announcements abandoned by the reliability layer — each
+    /// one a skip opportunity degraded to conservative buffering.
+    pub degraded_buffers: Counter,
+    /// Time-to-recovery samples in milliseconds (crash → rep role
+    /// re-established), virtual on the DES, wall on the fabric.
+    pub recovery_ms: Histogram,
     /// Objects currently held in framework buffers, with high-water mark.
     pub buffered_objects: Gauge,
     /// Pending messages/events per node queue, with high-water mark (the
@@ -379,9 +400,14 @@ impl EngineMetrics {
                 export_calls: self.export_calls.get(),
                 import_calls: self.import_calls.get(),
                 buffer_stalls: self.buffer_stalls.get(),
+                retransmits: self.retransmits.get(),
+                timeouts: self.timeouts.get(),
+                failovers: self.failovers.get(),
+                degraded_buffers: self.degraded_buffers.get(),
                 buffered_hwm: self.buffered_objects.high_water_mark(),
                 queue_depth_hwm: self.queue_depth.high_water_mark(),
                 occupancy: self.occupancy.counts(),
+                recovery_ms: self.recovery_ms.counts(),
             },
             timing: TimingSnapshot {
                 virtual_s: std::array::from_fn(|i| self.phases.virtual_seconds(Phase::ALL[i])),
@@ -414,12 +440,22 @@ pub struct CounterSnapshot {
     pub import_calls: u64,
     /// Export attempts stalled on a full buffer.
     pub buffer_stalls: u64,
+    /// Sequenced messages re-sent after a deadline expired.
+    pub retransmits: u64,
+    /// Reliability deadlines that expired.
+    pub timeouts: u64,
+    /// Rep-role recoveries (takeovers + restarts).
+    pub failovers: u64,
+    /// Buddy-help announcements degraded to conservative buffering.
+    pub degraded_buffers: u64,
     /// High-water mark of buffered objects.
     pub buffered_hwm: u64,
     /// High-water mark of node queue depth.
     pub queue_depth_hwm: u64,
     /// Occupancy histogram bucket counts.
     pub occupancy: [u64; HISTOGRAM_BUCKETS],
+    /// Time-to-recovery histogram bucket counts (milliseconds).
+    pub recovery_ms: [u64; HISTOGRAM_BUCKETS],
 }
 
 impl CounterSnapshot {
@@ -455,6 +491,10 @@ impl CounterSnapshot {
             ("export_calls".to_string(), self.export_calls),
             ("import_calls".to_string(), self.import_calls),
             ("buffer_stalls".to_string(), self.buffer_stalls),
+            ("retransmits".to_string(), self.retransmits),
+            ("timeouts".to_string(), self.timeouts),
+            ("failovers".to_string(), self.failovers),
+            ("degraded_buffers".to_string(), self.degraded_buffers),
             ("buffered_hwm".to_string(), self.buffered_hwm),
             ("queue_depth_hwm".to_string(), self.queue_depth_hwm),
         ]);
@@ -469,15 +509,15 @@ impl CounterSnapshot {
             .into_iter()
             .map(|(k, v)| (k, json::Value::from(v)))
             .collect();
-        obj.push((
-            "occupancy".to_string(),
-            json::Value::Array(
-                self.occupancy
-                    .iter()
-                    .map(|&c| json::Value::from(c))
-                    .collect(),
-            ),
-        ));
+        for (name, buckets) in [
+            ("occupancy", &self.occupancy),
+            ("recovery_ms", &self.recovery_ms),
+        ] {
+            obj.push((
+                name.to_string(),
+                json::Value::Array(buckets.iter().map(|&c| json::Value::from(c)).collect()),
+            ));
+        }
         json::Value::Object(obj)
     }
 
@@ -492,22 +532,27 @@ impl CounterSnapshot {
         for (i, class) in CtrlClass::ALL.iter().enumerate() {
             ctrl_sent[i] = field(&format!("ctrl_{}", class.as_str()))?;
         }
-        let occ = v
-            .get("occupancy")
-            .and_then(json::Value::as_array)
-            .ok_or("counter snapshot: missing occupancy array")?;
-        if occ.len() != HISTOGRAM_BUCKETS {
-            return Err(format!(
-                "counter snapshot: occupancy has {} buckets, expected {HISTOGRAM_BUCKETS}",
-                occ.len()
-            ));
-        }
-        let mut occupancy = [0u64; HISTOGRAM_BUCKETS];
-        for (i, b) in occ.iter().enumerate() {
-            occupancy[i] = b
-                .as_u64()
-                .ok_or_else(|| format!("counter snapshot: occupancy[{i}] not a count"))?;
-        }
+        let histogram = |name: &str| -> Result<[u64; HISTOGRAM_BUCKETS], String> {
+            let arr = v
+                .get(name)
+                .and_then(json::Value::as_array)
+                .ok_or_else(|| format!("counter snapshot: missing {name} array"))?;
+            if arr.len() != HISTOGRAM_BUCKETS {
+                return Err(format!(
+                    "counter snapshot: {name} has {} buckets, expected {HISTOGRAM_BUCKETS}",
+                    arr.len()
+                ));
+            }
+            let mut out = [0u64; HISTOGRAM_BUCKETS];
+            for (i, b) in arr.iter().enumerate() {
+                out[i] = b
+                    .as_u64()
+                    .ok_or_else(|| format!("counter snapshot: {name}[{i}] not a count"))?;
+            }
+            Ok(out)
+        };
+        let occupancy = histogram("occupancy")?;
+        let recovery_ms = histogram("recovery_ms")?;
         Ok(CounterSnapshot {
             memcpy_paid: field("memcpy_paid")?,
             memcpy_skipped: field("memcpy_skipped")?,
@@ -518,9 +563,14 @@ impl CounterSnapshot {
             export_calls: field("export_calls")?,
             import_calls: field("import_calls")?,
             buffer_stalls: field("buffer_stalls")?,
+            retransmits: field("retransmits")?,
+            timeouts: field("timeouts")?,
+            failovers: field("failovers")?,
+            degraded_buffers: field("degraded_buffers")?,
             buffered_hwm: field("buffered_hwm")?,
             queue_depth_hwm: field("queue_depth_hwm")?,
             occupancy,
+            recovery_ms,
         })
     }
 }
@@ -639,6 +689,12 @@ mod tests {
         m.export_calls.add(10);
         m.bytes_buffered.add(1024);
         m.ctrl(CtrlClass::BuddyHelp).add(2);
+        m.ctrl(CtrlClass::Ack).add(9);
+        m.retransmits.add(3);
+        m.timeouts.add(4);
+        m.failovers.inc();
+        m.degraded_buffers.add(2);
+        m.recovery_ms.observe(120);
         m.buffered_objects.add(5);
         m.occupancy.observe(4);
         let snap = m.snapshot().counters;

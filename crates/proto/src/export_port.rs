@@ -216,6 +216,10 @@ pub struct ExportPort {
     /// Deliberate soundness bug for mutation testing: treat the buddy-help
     /// match itself as skippable. See [`ExportPort::set_unsound_help_skip`].
     unsound_help_skip: bool,
+    /// Deliberate soundness bug for mutation testing: drop a buddy-help
+    /// announcement whose match the local history has already passed. See
+    /// [`ExportPort::set_unsound_stale_skip`].
+    unsound_stale_skip: bool,
     stats: ExportStats,
 }
 
@@ -234,6 +238,7 @@ impl ExportPort {
             buffered: BTreeMap::new(),
             capacity: None,
             unsound_help_skip: false,
+            unsound_stale_skip: false,
             stats: ExportStats::default(),
         }
     }
@@ -248,6 +253,21 @@ impl ExportPort {
     /// rule rather than vacuously passing.
     pub fn set_unsound_help_skip(&mut self, enabled: bool) {
         self.unsound_help_skip = enabled;
+    }
+
+    /// Deliberately discards "stale" buddy-help announcements: when the
+    /// announced match has already been exported here (local history passed
+    /// it before the help arrived), the request is resolved **without
+    /// sending the buffered piece** — as if a rank that has moved past the
+    /// match could assume someone else handles the transfer. Every rank owes
+    /// its own piece, so the importer is left waiting forever.
+    ///
+    /// This is a **mutation-testing hook** (never enabled in production
+    /// paths): the simulation-testing harness flips it on to prove that the
+    /// buffer-safety and liveness oracles catch a dropped transfer rather
+    /// than vacuously passing.
+    pub fn set_unsound_stale_skip(&mut self, enabled: bool) {
+        self.unsound_stale_skip = enabled;
     }
 
     /// Creates a port whose framework buffer holds at most `capacity`
@@ -597,7 +617,16 @@ impl ExportPort {
                     }
                     self.open.remove(pos);
                     self.mark_resolved_bound(m);
-                    effects.send = Some(self.mark_sent(id, m)?);
+                    if self.unsound_stale_skip {
+                        // Mutation: treat the announcement as stale and drop
+                        // it without sending our piece. No internal check
+                        // fires — the importer just never receives this
+                        // rank's contribution — which is exactly what the
+                        // external buffer-safety/liveness oracles must catch.
+                        self.mark_help(id);
+                    } else {
+                        effects.send = Some(self.mark_sent(id, m)?);
+                    }
                 } else {
                     self.open[pos].help = Some(answer);
                     self.mark_help(id);

@@ -17,10 +17,11 @@ use crate::cost::CostModel;
 use crate::des::coupled::{ActionKind, SimError};
 use crate::des::{EventQueue, SimTime};
 use crate::engine::{
-    ctrl_class, deliver_all, ChaosConfig, ChaosState, Endpoint, EngineError, ExportNode,
-    ImportNode, Outgoing, RepNode, Topology, Transport,
+    ctrl_class, deliver_all, ChaosConfig, ChaosState, CrashTarget, Endpoint, EngineError, Expiry,
+    ExportNode, ImportNode, Outgoing, Reliability, RepNode, RetryPolicy, Topology, Transport,
+    WireMeta,
 };
-use couplink_metrics::{EngineMetrics, MetricsSnapshot, Phase};
+use couplink_metrics::{CtrlClass, EngineMetrics, MetricsSnapshot, Phase};
 use couplink_proto::{
     ConnectionId, CtrlMsg, ExportStats, ImportState, PortError, RequestId, Trace,
 };
@@ -130,14 +131,27 @@ pub struct TopoReport {
     pub metrics: MetricsSnapshot,
 }
 
+/// Virtual-time detection latency of the heartbeat-failover path: how long
+/// after a rep's last heartbeat its members conclude it is dead and promote
+/// a successor. The threaded fabric runs real heartbeats; the simulator
+/// schedules the conclusive staleness check directly at
+/// `crash_time + HB_TIMEOUT`, which is the deterministic equivalent of
+/// members polling `now - last_beat > HB_TIMEOUT` every beat interval.
+const HB_TIMEOUT: f64 = 0.25;
+
 #[derive(Debug)]
 enum Ev {
     /// Process `rank` of export drive `drive` performs its next export.
     Export { drive: usize, rank: usize },
     /// Process `rank` of import drive `drive` makes its next import call.
     ImpCall { drive: usize, rank: usize },
-    /// A control message arrives at an endpoint.
-    Deliver { to: Endpoint, msg: CtrlMsg },
+    /// A control message arrives at an endpoint. `meta` is present exactly
+    /// when the reliability layer is armed and the message is sequenced.
+    Deliver {
+        to: Endpoint,
+        msg: CtrlMsg,
+        meta: Option<WireMeta>,
+    },
     /// A piece of matched data arrives at an importing process.
     Piece {
         prog: usize,
@@ -145,6 +159,33 @@ enum Ev {
         conn: ConnectionId,
         req: RequestId,
     },
+    /// A link-layer ack from `from` reaches `to` (the original sender).
+    AckMsg {
+        to: Endpoint,
+        from: Endpoint,
+        seq: u64,
+    },
+    /// Poll the reliability layer for expired ack deadlines.
+    RetryCheck,
+    /// A crashed rep restarts from its journal.
+    RepRestart { prog: usize },
+    /// Members' heartbeat staleness check concludes the rep is dead: the
+    /// lowest-rank live process takes over as successor.
+    HbCheck { prog: usize },
+}
+
+/// Bookkeeping for one armed crash fault (simulator side: rep targets).
+#[derive(Debug)]
+struct FaultRun {
+    fault: crate::engine::CrashFault,
+    /// Messages the target rep has consumed so far.
+    consumed: u64,
+    /// The crash has happened.
+    fired: bool,
+    /// The rep is currently dead (crashed, not yet recovered).
+    dead: bool,
+    /// Virtual time of the crash.
+    crash_time: f64,
 }
 
 struct ExpRec {
@@ -186,10 +227,22 @@ struct DesTransport<'a> {
     queue: &'a mut EventQueue<Ev>,
     topo: &'a Topology,
     cost: &'a CostModel,
+    /// The endpoint emitting this step's messages (the reliability layer
+    /// keys its links by directed `(from, to)` pairs).
+    from: Endpoint,
     /// Extra delay before network costs (the emitting call's own cost).
     delay: f64,
     /// Seeded fault injection for control messages, if enabled.
     chaos: Option<&'a mut ChaosState>,
+    /// Ack/timeout/retransmit state, armed only for fault plans the
+    /// transport cannot heal by itself.
+    rel: Option<&'a mut Reliability>,
+    /// Monotone per-run counter feeding the permanent-loss draw: every
+    /// delivery attempt draws independently.
+    nonce: &'a mut u64,
+    /// Degradation knob: suppress every buddy-help delivery (the announce
+    /// still registers, times out and is metered as a degraded buffer).
+    drop_buddy_help: bool,
     /// Run-wide instrumentation.
     metrics: &'a EngineMetrics,
 }
@@ -203,9 +256,29 @@ impl Transport for DesTransport<'_> {
             .phases
             .add_virtual(Phase::Ctrl, self.cost.ctrl_time());
         let nominal = self.delay + self.cost.ctrl_time();
+        let meta = match self.rel.as_deref_mut() {
+            None => None,
+            Some(rel) => {
+                let meta = rel.register(self.from, to, &msg, self.queue.now().0);
+                // Both the degradation knob and a permanent-loss draw make
+                // this copy vanish; the pending entry just registered is
+                // what later retransmits (or abandons) it.
+                if self.drop_buddy_help && matches!(msg, CtrlMsg::BuddyHelp { .. }) {
+                    return Ok(());
+                }
+                let n = *self.nonce;
+                *self.nonce += 1;
+                if let Some(chaos) = self.chaos.as_deref() {
+                    if chaos.config().lost(n, to, &msg) {
+                        return Ok(());
+                    }
+                }
+                meta
+            }
+        };
         match self.chaos.as_deref_mut() {
             None => {
-                self.queue.schedule(nominal, Ev::Deliver { to, msg });
+                self.queue.schedule(nominal, Ev::Deliver { to, msg, meta });
             }
             Some(chaos) => {
                 // Chaos plans absolute delivery times (possibly several, for
@@ -214,7 +287,8 @@ impl Transport for DesTransport<'_> {
                 // watermark so per-stream order is preserved.
                 let base_at = self.queue.now().0 + nominal;
                 for at in chaos.deliveries(base_at, to, &msg) {
-                    self.queue.schedule_at(SimTime(at), Ev::Deliver { to, msg });
+                    self.queue
+                        .schedule_at(SimTime(at), Ev::Deliver { to, msg, meta });
                 }
             }
         }
@@ -271,6 +345,21 @@ pub struct TopologySim {
     matches: Vec<Vec<Option<Timestamp>>>,
     traced: Vec<(usize, usize, ConnectionId)>,
     chaos: Option<ChaosState>,
+    buddy_help: bool,
+    /// Timeout/backoff parameters used when the reliability layer arms.
+    policy: RetryPolicy,
+    /// Armed at run start iff the fault plan needs it; `None` keeps the
+    /// event schedule bit-identical to the pre-reliability engine.
+    rel: Option<Reliability>,
+    fault: Option<FaultRun>,
+    /// Per program: `(wire metadata, message)` of everything its rep has
+    /// consumed, in consumption order — the recovery journal.
+    journals: Vec<Vec<(WireMeta, CtrlMsg)>>,
+    /// Earliest virtual time a `RetryCheck` event is already scheduled for.
+    retry_at: Option<f64>,
+    /// Permanent-loss attempt counter (see `DesTransport::nonce`).
+    nonce: u64,
+    drop_buddy_help: bool,
     metrics: Arc<EngineMetrics>,
 }
 
@@ -426,6 +515,7 @@ impl TopologySim {
             })
             .collect();
         let matches = vec![Vec::new(); topo.conns.len()];
+        let journals = vec![Vec::new(); topo.programs.len()];
         Ok(TopologySim {
             topo,
             cost: cfg.cost,
@@ -440,6 +530,23 @@ impl TopologySim {
             matches,
             traced: Vec::new(),
             chaos: None,
+            buddy_help: cfg.buddy_help,
+            policy: RetryPolicy {
+                // Virtual-time scales: control latency and chaos jitter are
+                // a few milliseconds, so the first ack deadline sits well
+                // clear of an honest round trip while retries still settle
+                // long before a typical schedule ends.
+                base_timeout: 0.05,
+                backoff: 2.0,
+                max_timeout: 0.4,
+                ..RetryPolicy::default()
+            },
+            rel: None,
+            fault: None,
+            journals,
+            retry_at: None,
+            nonce: 0,
+            drop_buddy_help: false,
             metrics,
         })
     }
@@ -449,11 +556,40 @@ impl TopologySim {
         Arc::clone(&self.metrics)
     }
 
-    /// Enables seeded fault injection (delay, duplication, drop-with-retry)
-    /// on control-message delivery. The run stays fully deterministic: the
-    /// same configuration and seed replay the same event schedule.
+    /// Enables seeded fault injection (delay, duplication, drop-with-retry,
+    /// and — when the plan sets them — permanent loss and a rep crash) on
+    /// control-message delivery. The run stays fully deterministic: the
+    /// same configuration and seed replay the same event schedule. Fault
+    /// plans that need the reliability layer arm it automatically; agent
+    /// crash targets are a threaded-fabric fault and are ignored here.
     pub fn chaos(&mut self, cfg: ChaosConfig) {
+        if let Some(fault) = cfg.crash {
+            if matches!(fault.target, CrashTarget::Rep(_)) {
+                self.fault = Some(FaultRun {
+                    fault,
+                    consumed: 0,
+                    fired: false,
+                    dead: false,
+                    crash_time: 0.0,
+                });
+            }
+        }
         self.chaos = Some(ChaosState::new(cfg));
+    }
+
+    /// Overrides the reliability layer's timeout/backoff parameters. The
+    /// `retransmit: false` knob exists for negative tests proving the
+    /// liveness oracle fires when the protocol has no recovery.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Degradation knob: every buddy-help announcement is permanently lost
+    /// (while all other traffic is untouched), forcing the conservative
+    /// buffering fallback. Arms the reliability layer so each abandoned
+    /// announcement is metered as a `degraded_buffers` count.
+    pub fn drop_buddy_help(&mut self) {
+        self.drop_buddy_help = true;
     }
 
     /// Arms the deliberate pruning-rule bug on every export port, for
@@ -463,6 +599,17 @@ impl TopologySim {
         for nodes in &mut self.exp_nodes {
             for node in nodes {
                 node.arm_unsound_help_skip();
+            }
+        }
+    }
+
+    /// Arms the deliberate stale-announcement bug on every export port, for
+    /// mutation-testing the oracles (see
+    /// [`couplink_proto::ExportPort::set_unsound_stale_skip`]).
+    pub fn arm_unsound_stale_skip(&mut self) {
+        for nodes in &mut self.exp_nodes {
+            for node in nodes {
+                node.arm_unsound_stale_skip();
             }
         }
     }
@@ -486,6 +633,18 @@ impl TopologySim {
 
     /// Runs to completion and returns the report.
     pub fn run(mut self) -> Result<TopoReport, SimError> {
+        // Arm the reliability layer exactly when the fault plan contains
+        // something the transport wrapper cannot heal. Fault-free runs (and
+        // plain delay/duplicate/drop-with-retry chaos) never construct it,
+        // so their event schedules stay bit-identical.
+        let needs_rel = self.drop_buddy_help
+            || self
+                .chaos
+                .as_ref()
+                .is_some_and(|c| c.config().needs_reliability());
+        if needs_rel {
+            self.rel = Some(Reliability::new(self.policy, Arc::clone(&self.metrics)));
+        }
         // Kick off every process: exporters compute before their first
         // export; importers pay startup + compute before their first call.
         // All export drives start before all import drives, matching the
@@ -508,6 +667,7 @@ impl TopologySim {
         self.metrics.queue_depth.set(self.queue.len() as u64);
         while let Some((_, event)) = self.queue.pop() {
             self.dispatch(event)?;
+            self.arm_retry_check();
             self.metrics.queue_depth.set(self.queue.len() as u64);
         }
 
@@ -591,8 +751,12 @@ impl TopologySim {
                     queue: &mut self.queue,
                     topo: &self.topo,
                     cost: &self.cost,
+                    from: Endpoint::Proc { prog, rank },
                     delay: call_cost,
                     chaos: self.chaos.as_mut(),
+                    rel: self.rel.as_mut(),
+                    nonce: &mut self.nonce,
+                    drop_buddy_help: self.drop_buddy_help,
                     metrics: &self.metrics,
                 };
                 deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;
@@ -618,15 +782,19 @@ impl TopologySim {
                     queue: &mut self.queue,
                     topo: &self.topo,
                     cost: &self.cost,
+                    from: Endpoint::Proc { prog, rank },
                     delay: 0.0,
                     chaos: self.chaos.as_mut(),
+                    rel: self.rel.as_mut(),
+                    nonce: &mut self.nonce,
+                    drop_buddy_help: self.drop_buddy_help,
                     metrics: &self.metrics,
                 };
                 deliver_all(&mut tx, Endpoint::Proc { prog, rank }, vec![msg])?;
                 self.check_import_done(drive, rank)?;
             }
 
-            Ev::Deliver { to, msg } => self.deliver(to, msg)?,
+            Ev::Deliver { to, msg, meta } => self.deliver(to, meta, msg)?,
 
             Ev::Piece {
                 prog,
@@ -638,11 +806,234 @@ impl TopologySim {
                 let drive = self.imp_drive_of[&conn];
                 self.check_import_done(drive, rank)?;
             }
+
+            Ev::AckMsg { to, from, seq } => {
+                if let Some(rel) = self.rel.as_mut() {
+                    rel.on_ack(to, from, seq);
+                }
+            }
+
+            Ev::RetryCheck => self.on_retry_check(),
+
+            Ev::RepRestart { prog } | Ev::HbCheck { prog } => self.recover_rep(prog)?,
         }
         Ok(())
     }
 
-    fn deliver(&mut self, to: Endpoint, msg: CtrlMsg) -> Result<(), SimError> {
+    /// Delivers one wire packet, running it through the reliability layer's
+    /// dedup/hold-back and the crash fault when those are armed.
+    fn deliver(
+        &mut self,
+        to: Endpoint,
+        meta: Option<WireMeta>,
+        msg: CtrlMsg,
+    ) -> Result<(), SimError> {
+        let Some(meta) = meta else {
+            // Fault-free path: no sequencing, no acks, no crashes.
+            return self.consume(to, msg);
+        };
+        if let Endpoint::Rep { prog } = to {
+            if self.rep_dead(prog) {
+                // Deliveries to a dead rep vanish unacked; their senders
+                // keep retransmitting them to the recovered rep.
+                return Ok(());
+            }
+            if self.crash_due(prog) {
+                self.crash_rep(prog);
+                return Ok(());
+            }
+        }
+        let got = self
+            .rel
+            .as_mut()
+            .expect("sequenced packet without reliability layer")
+            .receive(meta, to, msg);
+        for seq in &got.acks {
+            self.send_ack(to, meta.from, *seq);
+        }
+        for (dm, m) in got.deliver {
+            if let Endpoint::Rep { prog } = to {
+                // Journal *before* consumption: journal = processed = acked
+                // is the crash-recovery invariant.
+                self.journals[prog].push((dm, m));
+                if let Some(f) = self.fault.as_mut() {
+                    if f.fault.target == CrashTarget::Rep(prog) {
+                        f.consumed += 1;
+                    }
+                }
+            }
+            self.consume(to, m)?;
+        }
+        Ok(())
+    }
+
+    /// Whether `prog`'s rep is currently crashed.
+    fn rep_dead(&self, prog: usize) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.dead && f.fault.target == CrashTarget::Rep(prog))
+    }
+
+    /// Whether the armed crash fault fires on the next packet for `prog`'s
+    /// rep: it has consumed its quota, so the arriving packet kills it.
+    fn crash_due(&self, prog: usize) -> bool {
+        self.fault.as_ref().is_some_and(|f| {
+            !f.fired && f.fault.target == CrashTarget::Rep(prog) && f.consumed >= f.fault.after_msgs
+        })
+    }
+
+    /// Kills `prog`'s rep: wipes its receive-side reliability state (held
+    /// back, unacked messages die with it) and schedules recovery — either
+    /// the configured restart or the heartbeat-timeout failover check.
+    fn crash_rep(&mut self, prog: usize) {
+        let now = self.queue.now().0;
+        let restart_after = {
+            let f = self.fault.as_mut().expect("crash_due checked");
+            f.fired = true;
+            f.dead = true;
+            f.crash_time = now;
+            f.fault.restart_after
+        };
+        if let Some(rel) = self.rel.as_mut() {
+            rel.crash_endpoint(Endpoint::Rep { prog });
+        }
+        match restart_after {
+            Some(d) => self.queue.schedule(d, Ev::RepRestart { prog }),
+            None => self.queue.schedule(HB_TIMEOUT, Ev::HbCheck { prog }),
+        }
+    }
+
+    /// Brings `prog`'s rep role back — the restarted process or the
+    /// lowest-rank live successor — by replaying the consumed-message
+    /// journal and restoring the receive-side dedup/ordering state, then
+    /// meters the recovery.
+    fn recover_rep(&mut self, prog: usize) -> Result<(), SimError> {
+        let crash_time = match self.fault.as_mut() {
+            Some(f) if f.dead => {
+                f.dead = false;
+                f.crash_time
+            }
+            _ => return Ok(()),
+        };
+        let mut rep = RepNode::new(&self.topo, prog, self.buddy_help);
+        let msgs: Vec<CtrlMsg> = self.journals[prog].iter().map(|&(_, m)| m).collect();
+        rep.replay(&self.topo, &msgs)?;
+        self.reps[prog] = Some(rep);
+        let metas: Vec<WireMeta> = self.journals[prog].iter().map(|&(m, _)| m).collect();
+        if let Some(rel) = self.rel.as_mut() {
+            rel.restore_delivered(Endpoint::Rep { prog }, &metas);
+        }
+        self.metrics.failovers.inc();
+        self.metrics
+            .recovery_ms
+            .observe(((self.queue.now().0 - crash_time) * 1000.0) as u64);
+        Ok(())
+    }
+
+    /// Sends a link-layer ack `from → to` (best-effort: unsequenced, may be
+    /// lost or duplicated; the sender's retransmit + receiver's re-ack heal
+    /// a lost one).
+    fn send_ack(&mut self, from: Endpoint, to: Endpoint, seq: u64) {
+        self.metrics.ctrl(CtrlClass::Ack).inc();
+        self.metrics
+            .phases
+            .add_virtual(Phase::Ctrl, self.cost.ctrl_time());
+        let msg = CtrlMsg::Ack { seq };
+        let n = self.nonce;
+        self.nonce += 1;
+        let base = self.queue.now().0 + self.cost.ctrl_time();
+        match self.chaos.as_mut() {
+            Some(chaos) => {
+                if chaos.config().lost(n, to, &msg) {
+                    return;
+                }
+                for at in chaos.deliveries(base, to, &msg) {
+                    self.queue
+                        .schedule_at(SimTime(at), Ev::AckMsg { to, from, seq });
+                }
+            }
+            None => self
+                .queue
+                .schedule_at(SimTime(base), Ev::AckMsg { to, from, seq }),
+        }
+    }
+
+    /// Re-sends an expired pending message (same wire metadata, fresh loss
+    /// draw).
+    fn resend(&mut self, to: Endpoint, meta: WireMeta, msg: CtrlMsg) {
+        self.metrics.ctrl(ctrl_class(&msg)).inc();
+        self.metrics
+            .phases
+            .add_virtual(Phase::Ctrl, self.cost.ctrl_time());
+        if self.drop_buddy_help && matches!(msg, CtrlMsg::BuddyHelp { .. }) {
+            return;
+        }
+        let n = self.nonce;
+        self.nonce += 1;
+        let base = self.queue.now().0 + self.cost.ctrl_time();
+        match self.chaos.as_mut() {
+            Some(chaos) => {
+                if chaos.config().lost(n, to, &msg) {
+                    return;
+                }
+                for at in chaos.deliveries(base, to, &msg) {
+                    self.queue.schedule_at(
+                        SimTime(at),
+                        Ev::Deliver {
+                            to,
+                            msg,
+                            meta: Some(meta),
+                        },
+                    );
+                }
+            }
+            None => self.queue.schedule_at(
+                SimTime(base),
+                Ev::Deliver {
+                    to,
+                    msg,
+                    meta: Some(meta),
+                },
+            ),
+        }
+    }
+
+    /// Processes every expired ack deadline: retransmits ride back out,
+    /// abandonments just stop (an expendable one was already metered; a
+    /// reliable one leaves unresolved work for the liveness oracle).
+    fn on_retry_check(&mut self) {
+        self.retry_at = None;
+        let now = self.queue.now().0;
+        let due = match self.rel.as_mut() {
+            Some(rel) => rel.due(now),
+            None => return,
+        };
+        for e in due {
+            match e {
+                Expiry::Resend { to, meta, msg } => self.resend(to, meta, msg),
+                Expiry::Abandon { .. } => {}
+            }
+        }
+    }
+
+    /// Keeps a `RetryCheck` event scheduled for the earliest pending ack
+    /// deadline.
+    fn arm_retry_check(&mut self) {
+        let Some(d) = self.rel.as_ref().and_then(|r| r.next_deadline()) else {
+            return;
+        };
+        if self.retry_at.is_some_and(|t| t <= d) {
+            return;
+        }
+        let at = d.max(self.queue.now().0);
+        self.queue.schedule_at(SimTime(at), Ev::RetryCheck);
+        self.retry_at = Some(at);
+    }
+
+    /// Hands one control message to its node — the pre-reliability delivery
+    /// path, shared by fault-free runs and packets that cleared the
+    /// reliability layer.
+    fn consume(&mut self, to: Endpoint, msg: CtrlMsg) -> Result<(), SimError> {
         match to {
             Endpoint::Rep { prog } => {
                 let rep = self.reps[prog]
@@ -667,8 +1058,12 @@ impl TopologySim {
                     queue: &mut self.queue,
                     topo: &self.topo,
                     cost: &self.cost,
+                    from: Endpoint::Rep { prog },
                     delay: 0.0,
                     chaos: self.chaos.as_mut(),
+                    rel: self.rel.as_mut(),
+                    nonce: &mut self.nonce,
+                    drop_buddy_help: self.drop_buddy_help,
                     metrics: &self.metrics,
                 };
                 deliver_all(&mut tx, Endpoint::Rep { prog }, outs)?;
@@ -685,8 +1080,12 @@ impl TopologySim {
                         queue: &mut self.queue,
                         topo: &self.topo,
                         cost: &self.cost,
+                        from: Endpoint::Proc { prog, rank },
                         delay: 0.0,
                         chaos: self.chaos.as_mut(),
+                        rel: self.rel.as_mut(),
+                        nonce: &mut self.nonce,
+                        drop_buddy_help: self.drop_buddy_help,
                         metrics: &self.metrics,
                     };
                     deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;
@@ -699,8 +1098,12 @@ impl TopologySim {
                         queue: &mut self.queue,
                         topo: &self.topo,
                         cost: &self.cost,
+                        from: Endpoint::Proc { prog, rank },
                         delay: 0.0,
                         chaos: self.chaos.as_mut(),
+                        rel: self.rel.as_mut(),
+                        nonce: &mut self.nonce,
+                        drop_buddy_help: self.drop_buddy_help,
                         metrics: &self.metrics,
                     };
                     deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;

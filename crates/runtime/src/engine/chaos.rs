@@ -35,10 +35,38 @@
 //!   order is preserved, which [`ChaosState`] enforces with a per-stream
 //!   delivery watermark.
 //!
+//! * **Link layer** — `Ack`, `Heartbeat` (PR 4). These belong to the
+//!   reliability layer itself ([`super::reliable`]) and are *idempotent by
+//!   construction*: acking a sequence number twice is a no-op (the pending
+//!   entry is already gone), and a heartbeat carries only a monotone beat
+//!   index of which receivers keep the max. They are therefore both
+//!   commutative **and** [`duplicable`] — chaos may delay, reorder and
+//!   double-deliver them freely. They are never themselves sequenced (an
+//!   ack of an ack would regress infinitely), so they are also the only
+//!   messages the reliability layer sends best-effort.
+//!
 //! Drops are always *with retry*: the message is delivered after
 //! [`ChaosConfig::retry_delay`] instead of vanishing. Total extra latency is
 //! therefore bounded by `retry_delay + max_delay`, which is what makes the
 //! liveness oracle a theorem rather than a hope.
+//!
+//! # Permanent faults (PR 4)
+//!
+//! The classes above describe faults the *transport wrapper* heals by
+//! itself. Two further fault classes are healed by nobody but the protocol:
+//!
+//! * **Permanent loss** ([`ChaosConfig::loss_prob`]): a message copy
+//!   vanishes for good. Only the reliability layer's ack/timeout/retransmit
+//!   machinery ([`super::reliable`]) recovers it, so runtimes refuse to arm
+//!   it without that layer (it would be a guaranteed hang).
+//! * **Crash/restart** ([`CrashFault`]): a rep (or, on the fabric, an agent)
+//!   process dies after consuming its k-th message, optionally coming back
+//!   `restart_after` seconds later. Recovery is rep failover: heartbeats
+//!   detect the death, and a successor rebuilds the aggregation state from
+//!   the consumed-message journal (see `DESIGN.md`, "Fault model &
+//!   recovery").
+//!
+//! Both are seeded and deterministic like everything else here.
 
 use super::Endpoint;
 use couplink_proto::{ConnectionId, CtrlMsg, ProcResponse, RepAnswer};
@@ -60,6 +88,41 @@ pub struct ChaosConfig {
     pub drop_prob: f64,
     /// Extra latency of a dropped-then-retried message.
     pub retry_delay: f64,
+    /// Probability that a message copy is lost *permanently* (no transport
+    /// retry). Requires the reliability layer: runtimes must refuse to arm
+    /// a non-zero value without it.
+    pub loss_prob: f64,
+    /// Optional crash/restart fault.
+    pub crash: Option<CrashFault>,
+}
+
+/// Which process a [`CrashFault`] kills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashTarget {
+    /// The rep of program `prog` (recovered by failover).
+    Rep(usize),
+    /// An exporter agent thread (threaded fabric only; not recovered —
+    /// exercised by the `catch_unwind` crash-surfacing path).
+    Agent {
+        /// Program index.
+        prog: usize,
+        /// Process rank within the program.
+        rank: usize,
+    },
+}
+
+/// A seeded crash/restart fault: the target dies immediately before
+/// consuming its `after_msgs`-th message (that message is lost, unacked),
+/// and optionally restarts `restart_after` seconds later. Without a
+/// restart, recovery waits for the heartbeat-timeout failover path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashFault {
+    /// Which process dies.
+    pub target: CrashTarget,
+    /// The fatal message index (0-based count of consumed messages).
+    pub after_msgs: u64,
+    /// Seconds until the process restarts, `None` to rely on failover.
+    pub restart_after: Option<f64>,
 }
 
 impl ChaosConfig {
@@ -72,7 +135,31 @@ impl ChaosConfig {
             duplicate_prob: 0.2,
             drop_prob: 0.1,
             retry_delay: 0.1,
+            loss_prob: 0.0,
+            crash: None,
         }
+    }
+
+    /// Whether this plan contains faults only the protocol's reliability
+    /// layer can survive (permanent loss or a crash). Runtimes arm the
+    /// ack/retransmit/failover machinery exactly when this is true, keeping
+    /// fault-free runs bit-identical to the pre-reliability engine.
+    pub fn needs_reliability(&self) -> bool {
+        self.loss_prob > 0.0 || self.crash.is_some()
+    }
+
+    /// Whether delivery attempt number `attempt_nonce` of `msg` to `to` is
+    /// permanently lost. Stateless and deterministic; callers must feed a
+    /// nonce unique per attempt (retransmits draw independently).
+    pub fn lost(&self, attempt_nonce: u64, to: Endpoint, msg: &CtrlMsg) -> bool {
+        if self.loss_prob <= 0.0 {
+            return false;
+        }
+        let h = mix(
+            mix(mix(self.seed, attempt_nonce), endpoint_bits(to)),
+            msg_bits(msg),
+        );
+        unit(mix(h, 5)) < self.loss_prob
     }
 
     /// Relative extra delays (beyond the runtime's nominal latency) for
@@ -96,11 +183,16 @@ impl ChaosConfig {
 }
 
 /// Whether a control message's receiver is idempotent, so the message may
-/// be delivered twice (see the module docs for why only `Response`
-/// qualifies — this was originally the whole commutative class, until the
-/// harness itself caught a duplicated `Answer` double-sending data).
+/// be delivered twice. `Response` qualifies because the rep tracks per-rank
+/// settlement (this was originally the whole commutative class, until the
+/// harness itself caught a duplicated `Answer` double-sending data); the
+/// link-layer `Ack`/`Heartbeat` qualify by construction — acking a seq
+/// twice is a no-op and heartbeat receivers keep the max beat index.
 pub fn duplicable(msg: &CtrlMsg) -> bool {
-    matches!(msg, CtrlMsg::Response { .. })
+    matches!(
+        msg,
+        CtrlMsg::Response { .. } | CtrlMsg::Ack { .. } | CtrlMsg::Heartbeat { .. }
+    )
 }
 
 /// Whether a control message tolerates unbounded reordering and
@@ -110,7 +202,9 @@ pub fn commutes(msg: &CtrlMsg) -> bool {
         CtrlMsg::Response { .. }
         | CtrlMsg::BuddyHelp { .. }
         | CtrlMsg::Answer { .. }
-        | CtrlMsg::AnswerBcast { .. } => true,
+        | CtrlMsg::AnswerBcast { .. }
+        | CtrlMsg::Ack { .. }
+        | CtrlMsg::Heartbeat { .. } => true,
         CtrlMsg::ImportCall { .. }
         | CtrlMsg::ImportRequest { .. }
         | CtrlMsg::ForwardRequest { .. } => false,
@@ -174,6 +268,10 @@ fn conn_of(msg: &CtrlMsg) -> ConnectionId {
         | CtrlMsg::BuddyHelp { conn, .. }
         | CtrlMsg::Answer { conn, .. }
         | CtrlMsg::AnswerBcast { conn, .. } => conn,
+        // Link-layer messages are commutative, so no FIFO stream exists.
+        CtrlMsg::Ack { .. } | CtrlMsg::Heartbeat { .. } => {
+            unreachable!("link-layer messages have no FIFO stream")
+        }
     }
 }
 
@@ -232,6 +330,8 @@ fn msg_bits(msg: &CtrlMsg) -> u64 {
         CtrlMsg::AnswerBcast { conn, req, answer } => {
             mix(mix(7, ((conn.0 as u64) << 32) | req.0), answer_bits(answer))
         }
+        CtrlMsg::Ack { seq } => mix(8, seq),
+        CtrlMsg::Heartbeat { beat } => mix(9, beat),
     }
 }
 
@@ -330,6 +430,49 @@ mod tests {
                 assert_eq!(cfg.extra_delays(n, to, &msg).len(), 1);
             }
         }
+    }
+
+    /// Ack and Heartbeat are idempotent by construction, so chaos *must*
+    /// be allowed to double-deliver them: at duplication probability 1 the
+    /// plan always carries two copies (and both stay commutative — they
+    /// never touch a FIFO watermark).
+    #[test]
+    fn ack_and_heartbeat_are_duplicable() {
+        let cfg = ChaosConfig {
+            duplicate_prob: 1.0,
+            ..ChaosConfig::from_seed(13)
+        };
+        let to = Endpoint::Proc { prog: 0, rank: 1 };
+        for n in 0..100 {
+            for msg in [CtrlMsg::Ack { seq: n }, CtrlMsg::Heartbeat { beat: n }] {
+                assert!(msg.is_link_layer());
+                assert!(commutes(&msg) && duplicable(&msg), "{msg:?}");
+                assert_eq!(cfg.extra_delays(n, to, &msg).len(), 2, "{msg:?}");
+            }
+        }
+    }
+
+    /// Permanent loss is deterministic per attempt nonce, distinct across
+    /// attempts, and hits roughly at the configured rate.
+    #[test]
+    fn permanent_loss_is_seeded_and_per_attempt() {
+        let cfg = ChaosConfig {
+            loss_prob: 0.3,
+            ..ChaosConfig::from_seed(21)
+        };
+        let to = Endpoint::Rep { prog: 1 };
+        let mut lost = 0;
+        for n in 0..1000 {
+            let l = cfg.lost(n, to, &resp(0, n));
+            assert_eq!(l, cfg.lost(n, to, &resp(0, n)), "deterministic");
+            lost += l as u64;
+        }
+        assert!((150..450).contains(&lost), "loss rate off: {lost}/1000");
+        // loss_prob 0 never loses, and doesn't even hash.
+        let off = ChaosConfig::from_seed(21);
+        assert!(!off.needs_reliability());
+        assert!((0..100).all(|n| !off.lost(n, to, &resp(0, n))));
+        assert!(cfg.needs_reliability());
     }
 
     #[test]

@@ -30,11 +30,13 @@
 pub mod chaos;
 pub mod node;
 pub mod oracle;
+pub mod reliable;
 pub mod topology;
 
-pub use chaos::{ChaosConfig, ChaosState};
+pub use chaos::{ChaosConfig, ChaosState, CrashFault, CrashTarget};
 pub use node::{EngineError, ExportFx, ExportNode, ImportNode, RepNode};
 pub use oracle::OracleViolation;
+pub use reliable::{Expiry, Reliability, RetryPolicy, WireMeta};
 pub use topology::{
     ConnTopo, ExportRegionTopo, ImportRegionTopo, ProgramTopo, Topology, TopologyError,
 };
@@ -54,11 +56,14 @@ pub fn ctrl_class(msg: &CtrlMsg) -> CtrlClass {
         CtrlMsg::BuddyHelp { .. } => CtrlClass::BuddyHelp,
         CtrlMsg::Answer { .. } => CtrlClass::Answer,
         CtrlMsg::AnswerBcast { .. } => CtrlClass::AnswerBcast,
+        CtrlMsg::Ack { .. } => CtrlClass::Ack,
+        CtrlMsg::Heartbeat { .. } => CtrlClass::Heartbeat,
     }
 }
 
-/// Where a control message is headed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Where a control message is headed. The `Ord` impl gives the reliability
+/// layer a deterministic link iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Endpoint {
     /// A coupled process of a program.
     Proc {

@@ -178,6 +178,18 @@ impl ExportNode {
         }
     }
 
+    /// Arms the second mutation-testing hook on every port of this node:
+    /// buddy-help announcements whose match was already exported locally are
+    /// unsoundly dropped without sending the piece (see
+    /// [`ExportPort::set_unsound_stale_skip`]).
+    pub fn arm_unsound_stale_skip(&mut self) {
+        for region in &mut self.regions {
+            for slot in 0..region.multi.connections() {
+                region.multi.port_mut(slot).set_unsound_stale_skip(true);
+            }
+        }
+    }
+
     /// Number of regions this node exports.
     pub fn regions(&self) -> usize {
         self.regions.len()
@@ -444,8 +456,29 @@ impl RepNode {
             | CtrlMsg::AnswerBcast { .. } => {
                 return Err(EngineError::UnexpectedMessage("process message at rep"));
             }
+            // Acks and heartbeats are consumed by the runtimes' reliability
+            // layer before node dispatch; one reaching a node is a bug.
+            CtrlMsg::Ack { .. } | CtrlMsg::Heartbeat { .. } => {
+                return Err(EngineError::UnexpectedMessage("link-layer message at rep"));
+            }
         }
         Ok(out)
+    }
+
+    /// Rebuilds a successor rep's aggregation state by replaying the
+    /// crashed rep's consumed-message journal in consumption order,
+    /// *discarding* the regenerated outgoing traffic: everything the dead
+    /// rep consumed it had also already emitted responses for (consumption
+    /// and emission are one atomic step in both runtimes), and any copies
+    /// still in flight are deduplicated by the reliability layer. The
+    /// journal stands in for the paper-style member re-announcements — it
+    /// carries the same per-member information, already collectively
+    /// ordered.
+    pub fn replay(&mut self, topo: &Topology, journal: &[CtrlMsg]) -> Result<(), EngineError> {
+        for msg in journal {
+            let _regenerated = self.on_msg(topo, *msg)?;
+        }
+        Ok(())
     }
 
     fn push_delivers(

@@ -31,8 +31,14 @@
 //!    the ground-truth replay — every export call either paid or skipped
 //!    the memcpy, and the transfer count equals the owed matches derived by
 //!    re-evaluating the match predicate over the full export history.
+//!
+//! Plus an inertness check, [`check_fault_free`]: a run configured without
+//! permanent faults must never exercise the reliability machinery — zero
+//! retransmits, timeouts, failovers, degraded buffers, acks and heartbeats.
+//! This is how the harness proves fault tolerance is pay-as-you-go (the
+//! fault-free fast path stays bit-identical to the pre-reliability engine).
 
-use couplink_metrics::CounterSnapshot;
+use couplink_metrics::{CounterSnapshot, CtrlClass};
 use couplink_proto::{ConnectionId, Trace};
 use couplink_time::{evaluate, ExportHistory, MatchPolicy, MatchResult, Timestamp, Tolerance};
 use std::collections::BTreeSet;
@@ -368,6 +374,35 @@ pub fn check_metric_consistency(
     Ok(())
 }
 
+/// Checks that a run configured **without** permanent faults left the
+/// reliability machinery untouched: no retransmits, timeouts, failovers or
+/// degraded buffers, and no ack/heartbeat traffic. The reliability layer is
+/// armed only when the fault plan needs it, so any nonzero count here means
+/// the fault-free fast path is no longer inert (and bit-identical baselines
+/// are at risk).
+pub fn check_fault_free(counters: &CounterSnapshot) -> Result<(), OracleViolation> {
+    let fields = [
+        ("retransmits", counters.retransmits),
+        ("timeouts", counters.timeouts),
+        ("failovers", counters.failovers),
+        ("degraded_buffers", counters.degraded_buffers),
+        ("acks", counters.ctrl(CtrlClass::Ack)),
+        ("heartbeats", counters.ctrl(CtrlClass::Heartbeat)),
+    ];
+    for (name, value) in fields {
+        if value != 0 {
+            return Err(OracleViolation::MetricConsistency {
+                conn: ConnectionId(0),
+                detail: format!(
+                    "fault-free run is not inert: {name} = {value} (reliability \
+                     machinery ran without a fault plan)"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Re-exported so callers can reason about decidedness when pairing the
 /// oracles with custom schedules.
 pub fn ground_truth(
@@ -470,14 +505,19 @@ mod tests {
             memcpy_skipped: 1,
             bytes_buffered: 0,
             bytes_transferred: 0,
-            ctrl_sent: [0; 7],
+            ctrl_sent: [0; 9],
             transfers: 6,
             export_calls: 5,
             import_calls: 2,
             buffer_stalls: 0,
+            retransmits: 0,
+            timeouts: 0,
+            failovers: 0,
+            degraded_buffers: 0,
             buffered_hwm: 0,
             queue_depth_hwm: 0,
             occupancy: [0; couplink_metrics::HISTOGRAM_BUCKETS],
+            recovery_ms: [0; couplink_metrics::HISTOGRAM_BUCKETS],
         };
         // 2 owed matches × 3 exporter processes = 6 transfers: consistent.
         check_metric_consistency(&counters, &[(ConnectionId(0), owed, 3)])

@@ -39,7 +39,10 @@ pub use des::coupled::{ActionKind, CoupledConfig, CoupledReport, CoupledSim, Sch
 pub use des::topo::{
     ExportSchedule, ExportSeries, ImportSchedule, TopoReport, TopologyConfig, TopologySim,
 };
-pub use engine::{ChaosConfig, ChaosState, OracleViolation, Topology, TopologyError};
+pub use engine::{
+    ChaosConfig, ChaosState, CrashFault, CrashTarget, OracleViolation, Reliability, RetryPolicy,
+    Topology, TopologyError,
+};
 pub use threaded::{
     CoupledPair, ExportAccess, ExporterHandle, Fabric, FabricOptions, FabricReport, ImportAccess,
     ImporterHandle, PairConfig, ThreadedError,

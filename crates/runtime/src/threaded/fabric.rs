@@ -21,14 +21,14 @@
 //! one copy serves every importer, and an object is dropped only when no
 //! connection can still need it.
 
-use crate::engine::chaos::{commutes, ChaosConfig};
+use crate::engine::chaos::{commutes, ChaosConfig, CrashFault, CrashTarget};
 use crate::engine::{
-    ctrl_class, deliver_all, Clock, Endpoint, EngineError, ExportFx, ExportNode, ImportNode,
-    Outgoing, RepNode, Topology, Transport,
+    ctrl_class, deliver_all, Clock, Endpoint, EngineError, Expiry, ExportFx, ExportNode,
+    ImportNode, Outgoing, Reliability, RepNode, RetryPolicy, Topology, Transport, WireMeta,
 };
 use crate::threaded::{ExportOutcome, ThreadedError};
 use couplink_layout::{LocalArray, Rect};
-use couplink_metrics::{EngineMetrics, MetricsSnapshot, Phase};
+use couplink_metrics::{CtrlClass, EngineMetrics, MetricsSnapshot, Phase};
 use couplink_proto::{
     ConnectionId, CtrlMsg, ExportStats, ImportState, RepAnswer, RequestId, Trace,
 };
@@ -37,9 +37,24 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Wall-clock heartbeat period of a live rep (emitted only while the
+/// reliability layer is armed, so fault-free fabrics carry no extra
+/// traffic).
+const HB_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Wall-clock detection latency of the heartbeat-failover path: how long
+/// after a rep's death its members conclude it is gone and the successor
+/// takes over.
+const HB_TIMEOUT: Duration = Duration::from_millis(150);
+
+/// Poll period of the retransmit pump thread.
+const PUMP_INTERVAL: Duration = Duration::from_millis(10);
 
 /// Wall-clock seconds since the fabric started — the threaded runtime's
 /// [`Clock`].
@@ -82,7 +97,19 @@ pub struct FabricOptions {
     /// perturbed here — unlike the simulator, the fabric has no global
     /// event queue on which to re-order them safely, and the protocol
     /// forbids reordering them anyway.
+    ///
+    /// When the configuration carries *permanent* faults (`loss_prob > 0`
+    /// or a [`CrashFault`]) the fabric additionally arms its reliability
+    /// layer: every eligible message is sequenced and acknowledged, a pump
+    /// thread retransmits on wall-clock timeouts, and a crashed rep is
+    /// rebuilt from its delivery journal.
     pub chaos: Option<ChaosConfig>,
+    /// Degradation knob: buddy-help announcements are sent but never
+    /// arrive, so each one exhausts its expendable retry budget and is
+    /// abandoned (metered as `degraded_buffers`). Arms the reliability
+    /// layer even without chaos. The run must degrade to conservative
+    /// buffering, never misbehave.
+    pub drop_buddy_help: bool,
 }
 
 impl Default for FabricOptions {
@@ -93,6 +120,7 @@ impl Default for FabricOptions {
             buffer_capacity: None,
             traces: Vec::new(),
             chaos: None,
+            drop_buddy_help: false,
         }
     }
 }
@@ -115,17 +143,18 @@ pub struct FabricReport {
 // --- internal messages ---
 
 enum AgentMsg {
-    Ctrl(CtrlMsg),
+    Ctrl(Option<WireMeta>, CtrlMsg),
     Shutdown,
 }
 
 enum RepMsg {
-    Ctrl(CtrlMsg),
+    Ctrl(Option<WireMeta>, CtrlMsg),
     Shutdown,
 }
 
 enum ImpMsg {
     Answer {
+        meta: Option<WireMeta>,
         req: RequestId,
         answer: RepAnswer,
     },
@@ -141,6 +170,7 @@ enum RelayMsg {
     Deliver {
         due: Instant,
         to: Endpoint,
+        meta: Option<WireMeta>,
         msg: CtrlMsg,
     },
     Shutdown,
@@ -153,6 +183,41 @@ struct NetChaos {
     counter: std::sync::atomic::AtomicU64,
     relay: Sender<RelayMsg>,
 }
+
+/// The fabric's reliability layer, armed only when the configured faults
+/// require it (permanent loss, a crash fault, or forced buddy-help loss).
+/// Fault-free fabrics carry `None` here and run the exact pre-reliability
+/// message flow — zero protocol overhead, bit-identical outputs.
+struct NetRel {
+    layer: Mutex<Reliability>,
+    /// Monotone per-attempt nonce feeding the seeded permanent-loss draws:
+    /// every attempt (first send or retransmit) draws independently, so a
+    /// retried message is eventually delivered with probability one.
+    nonce: AtomicU64,
+    clock: Arc<WallClock>,
+    /// See [`FabricOptions::drop_buddy_help`].
+    drop_buddy_help: bool,
+}
+
+/// First failure anywhere in the fabric: a protocol error reported by a
+/// node (`crash: false`) or a caught control-thread panic (`crash: true`).
+#[derive(Debug, Clone)]
+struct FabricErr {
+    crash: bool,
+    detail: String,
+}
+
+impl FabricErr {
+    fn to_error(&self) -> ThreadedError {
+        if self.crash {
+            ThreadedError::ProcessCrash(self.detail.clone())
+        } else {
+            ThreadedError::RepFailed(self.detail.clone())
+        }
+    }
+}
+
+type ErrSlot = Arc<Mutex<Option<FabricErr>>>;
 
 /// One exporting process's engine state: the node plus one object store per
 /// exported region (keyed by timestamp; the real buffered copies).
@@ -178,20 +243,41 @@ struct Net {
     /// Per-connection importer mailboxes, indexed by importer rank.
     to_imp: Vec<Vec<Sender<ImpMsg>>>,
     /// First protocol error anywhere in the fabric.
-    err: Arc<Mutex<Option<String>>>,
+    err: ErrSlot,
     /// Fault injection for commutative control messages, if enabled.
     chaos: Option<NetChaos>,
+    /// Reliability layer, armed only when the faults require it.
+    rel: Option<NetRel>,
     /// Run-wide instrumentation shared with every node and handle.
     metrics: Arc<EngineMetrics>,
 }
 
 impl Net {
-    /// Moves one control message toward its endpoint. With chaos enabled,
-    /// commutative messages detour through the relay thread, which delivers
-    /// each seeded copy at its planned instant; everything else (and every
-    /// message once the relay has drained at shutdown) routes directly.
-    fn ctrl(&self, to: Endpoint, msg: CtrlMsg) {
+    /// Moves one control message toward its endpoint. With the reliability
+    /// layer armed the message is first registered (sequenced, pending
+    /// until acked) and may be permanently lost on this attempt — the pump
+    /// thread retransmits it. With chaos enabled, commutative messages
+    /// detour through the relay thread, which delivers each seeded copy at
+    /// its planned instant; everything else (and every message once the
+    /// relay has drained at shutdown) routes directly.
+    fn ctrl(&self, from: Endpoint, to: Endpoint, msg: CtrlMsg) {
         self.metrics.ctrl(ctrl_class(&msg)).inc();
+        let mut meta = None;
+        if let Some(rel) = &self.rel {
+            meta = rel.layer.lock().register(from, to, &msg, rel.clock.now());
+            if rel.drop_buddy_help && matches!(msg, CtrlMsg::BuddyHelp { .. }) {
+                // Degradation knob: the announcement was sent (and is
+                // pending) but never arrives; its expendable retry budget
+                // runs out and the abandonment is metered.
+                return;
+            }
+            if let Some(chaos) = &self.chaos {
+                let n = rel.nonce.fetch_add(1, Ordering::Relaxed);
+                if chaos.cfg.lost(n, to, &msg) {
+                    return; // lost on the wire; the pump retransmits
+                }
+            }
+        }
         if let Some(chaos) = &self.chaos {
             if commutes(&msg) {
                 let n = chaos
@@ -205,6 +291,7 @@ impl Net {
                         .send(RelayMsg::Deliver {
                             due: now + Duration::from_secs_f64(d),
                             to,
+                            meta,
                             msg,
                         })
                         .is_ok();
@@ -216,28 +303,81 @@ impl Net {
                 // one direct delivery so nothing is ever lost.
             }
         }
-        self.route(to, msg);
+        self.route(to, meta, msg);
+    }
+
+    /// Retransmits an expired pending message: metered, subject to the same
+    /// permanent-loss draws, routed directly. No re-registration (the
+    /// pending entry already exists) and no chaos detour — retransmission
+    /// is the recovery path; jittering it again only slows convergence.
+    fn resend(&self, to: Endpoint, meta: WireMeta, msg: CtrlMsg) {
+        let Some(rel) = &self.rel else { return };
+        self.metrics.ctrl(ctrl_class(&msg)).inc();
+        if rel.drop_buddy_help && matches!(msg, CtrlMsg::BuddyHelp { .. }) {
+            return;
+        }
+        if let Some(chaos) = &self.chaos {
+            let n = rel.nonce.fetch_add(1, Ordering::Relaxed);
+            if chaos.cfg.lost(n, to, &msg) {
+                return;
+            }
+        }
+        self.route(to, Some(meta), msg);
+    }
+
+    /// Runs one arriving message through the reliability layer: dedup,
+    /// FIFO hold-back, ack generation. Acks are applied to the sender's
+    /// pending state in place — the shared layer plays the role of an
+    /// instantaneous ack channel (still metered as `Ack` control traffic);
+    /// the DES models the ack's network latency explicitly. Unsequenced
+    /// messages (and everything when the layer is unarmed) pass through.
+    fn admit(
+        &self,
+        to: Endpoint,
+        meta: Option<WireMeta>,
+        msg: CtrlMsg,
+    ) -> Vec<(Option<WireMeta>, CtrlMsg)> {
+        let (Some(rel), Some(meta)) = (&self.rel, meta) else {
+            return vec![(None, msg)];
+        };
+        let mut layer = rel.layer.lock();
+        let received = layer.receive(meta, to, msg);
+        for seq in received.acks {
+            self.metrics.ctrl(CtrlClass::Ack).inc();
+            layer.on_ack(meta.from, to, seq);
+        }
+        received
+            .deliver
+            .into_iter()
+            .map(|(m, msg)| (Some(m), msg))
+            .collect()
     }
 
     /// Routes one control message. Sends are best-effort: a disconnected
     /// mailbox means its thread already exited (shutdown or a recorded
     /// error), which the caller surfaces separately.
-    fn route(&self, to: Endpoint, msg: CtrlMsg) {
+    fn route(&self, to: Endpoint, meta: Option<WireMeta>, msg: CtrlMsg) {
         match to {
             Endpoint::Rep { prog } => {
                 if let Some(tx) = &self.to_rep[prog] {
-                    if tx.send(RepMsg::Ctrl(msg)).is_ok() {
+                    if tx.send(RepMsg::Ctrl(meta, msg)).is_ok() {
                         self.metrics.queue_depth.add(1);
                     }
                 }
             }
             Endpoint::Proc { prog, rank } => match msg {
                 CtrlMsg::AnswerBcast { conn, req, answer } => {
-                    let _ = self.to_imp[conn.0 as usize][rank].send(ImpMsg::Answer { req, answer });
+                    let _ = self.to_imp[conn.0 as usize][rank].send(ImpMsg::Answer {
+                        meta,
+                        req,
+                        answer,
+                    });
                 }
-                m @ (CtrlMsg::ForwardRequest { .. } | CtrlMsg::BuddyHelp { .. }) => {
+                m @ (CtrlMsg::ForwardRequest { .. }
+                | CtrlMsg::BuddyHelp { .. }
+                | CtrlMsg::Heartbeat { .. }) => {
                     if let Some(tx) = &self.to_agent[prog][rank] {
-                        if tx.send(AgentMsg::Ctrl(m)).is_ok() {
+                        if tx.send(AgentMsg::Ctrl(meta, m)).is_ok() {
                             self.metrics.queue_depth.add(1);
                         }
                     }
@@ -253,6 +393,7 @@ impl Net {
 /// region's shared store into per-destination pieces.
 struct ProcTransport<'a> {
     net: &'a Net,
+    from: Endpoint,
     node: &'a ExportNode,
     stores: &'a [BTreeMap<Timestamp, LocalArray>],
 }
@@ -261,7 +402,7 @@ impl Transport for ProcTransport<'_> {
     type Error = ThreadedError;
 
     fn ctrl(&mut self, to: Endpoint, msg: CtrlMsg) -> Result<(), ThreadedError> {
-        self.net.ctrl(to, msg);
+        self.net.ctrl(self.from, to, msg);
         Ok(())
     }
 
@@ -309,13 +450,14 @@ impl Transport for ProcTransport<'_> {
 /// Transport for rep threads: control only.
 struct RepTransport<'a> {
     net: &'a Net,
+    from: Endpoint,
 }
 
 impl Transport for RepTransport<'_> {
     type Error = ThreadedError;
 
     fn ctrl(&mut self, to: Endpoint, msg: CtrlMsg) -> Result<(), ThreadedError> {
-        self.net.ctrl(to, msg);
+        self.net.ctrl(self.from, to, msg);
         Ok(())
     }
 
@@ -330,11 +472,32 @@ impl Transport for RepTransport<'_> {
     }
 }
 
-fn record_err(slot: &Arc<Mutex<Option<String>>>, e: impl fmt::Display) {
+fn record_err(slot: &ErrSlot, e: impl fmt::Display) {
     let mut guard = slot.lock();
     if guard.is_none() {
-        *guard = Some(e.to_string());
+        *guard = Some(FabricErr {
+            crash: false,
+            detail: e.to_string(),
+        });
     }
+}
+
+fn record_crash(slot: &ErrSlot, detail: String) {
+    let mut guard = slot.lock();
+    if guard.is_none() {
+        *guard = Some(FabricErr {
+            crash: true,
+            detail,
+        });
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_detail(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into())
 }
 
 /// Delivers one engine step's messages (sends strictly before frees, per
@@ -348,7 +511,12 @@ fn apply_fx(
     fx: ExportFx,
 ) -> Result<(), ThreadedError> {
     let ExpState { node, stores } = state;
-    let mut tp = ProcTransport { net, node, stores };
+    let mut tp = ProcTransport {
+        net,
+        from,
+        node,
+        stores,
+    };
     deliver_all(&mut tp, from, fx.msgs)?;
     for t in &fx.freed {
         stores[region].remove(t);
@@ -458,7 +626,7 @@ impl ExportAccess {
 
     fn check_err(&self) -> Result<(), ThreadedError> {
         if let Some(e) = self.net.err.lock().clone() {
-            return Err(ThreadedError::RepFailed(e));
+            return Err(e.to_error());
         }
         Ok(())
     }
@@ -467,6 +635,7 @@ impl ExportAccess {
 /// The per-process import API of the framework: one handle per imported
 /// region (exactly one connection).
 pub struct ImportAccess {
+    prog: usize,
     rank: usize,
     conn: ConnectionId,
     node: Arc<Mutex<ImportNode>>,
@@ -493,8 +662,12 @@ impl ImportAccess {
     ) -> Result<Option<Timestamp>, ThreadedError> {
         let _span = self.net.metrics.phases.wall_span(Phase::Import);
         let (req, call) = self.node.lock().begin_import(self.conn, ts)?;
+        let me = Endpoint::Proc {
+            prog: self.prog,
+            rank: self.rank,
+        };
         match call {
-            Outgoing::Ctrl { to, msg } => self.net.ctrl(to, msg),
+            Outgoing::Ctrl { to, msg } => self.net.ctrl(me, to, msg),
             Outgoing::Transfer { .. } => {
                 return Err(ThreadedError::Config("import emitted a transfer".into()))
             }
@@ -524,8 +697,19 @@ impl ImportAccess {
                 .checked_duration_since(Instant::now())
                 .ok_or(ThreadedError::Timeout)?;
             match self.rx.recv_timeout(remaining) {
-                Ok(ImpMsg::Answer { req, answer }) => {
-                    self.node.lock().on_answer(self.conn, req, answer)?
+                Ok(ImpMsg::Answer { meta, req, answer }) => {
+                    // Re-wrap into wire form so the reliability layer can
+                    // dedup retransmitted answers before delivery.
+                    let wire = CtrlMsg::AnswerBcast {
+                        conn: self.conn,
+                        req,
+                        answer,
+                    };
+                    for (_, m) in self.net.admit(me, meta, wire) {
+                        if let CtrlMsg::AnswerBcast { req, answer, .. } = m {
+                            self.node.lock().on_answer(self.conn, req, answer)?;
+                        }
+                    }
                 }
                 Ok(ImpMsg::Piece { req, rect, payload }) => {
                     self.node.lock().on_piece(self.conn, req)?;
@@ -533,13 +717,13 @@ impl ImportAccess {
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if let Some(e) = self.net.err.lock().clone() {
-                        return Err(ThreadedError::RepFailed(e));
+                        return Err(e.to_error());
                     }
                     return Err(ThreadedError::Timeout);
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     if let Some(e) = self.net.err.lock().clone() {
-                        return Err(ThreadedError::RepFailed(e));
+                        return Err(e.to_error());
                     }
                     return Err(ThreadedError::Disconnected);
                 }
@@ -574,46 +758,250 @@ fn agent_step(
     Ok(())
 }
 
-fn agent_loop(net: Arc<Net>, cell: Arc<ExpCell>, prog: usize, rank: usize, rx: Receiver<AgentMsg>) {
+/// Agent thread entry: the body runs under `catch_unwind` so a panicking
+/// control thread (including the chaos-injected crash) is surfaced as
+/// [`ThreadedError::ProcessCrash`] instead of hanging shutdown on a dead
+/// mailbox.
+fn agent_loop(
+    net: Arc<Net>,
+    cell: Arc<ExpCell>,
+    prog: usize,
+    rank: usize,
+    crash_after: Option<u64>,
+    rx: Receiver<AgentMsg>,
+) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        agent_loop_inner(&net, &cell, prog, rank, crash_after, &rx)
+    }));
+    if let Err(p) = result {
+        record_crash(
+            &net.err,
+            format!("agent {prog}.{rank} panicked: {}", panic_detail(p)),
+        );
+    }
+}
+
+fn agent_loop_inner(
+    net: &Net,
+    cell: &ExpCell,
+    prog: usize,
+    rank: usize,
+    crash_after: Option<u64>,
+    rx: &Receiver<AgentMsg>,
+) {
+    let mut consumed: u64 = 0;
     while let Ok(msg) = rx.recv() {
         match msg {
             AgentMsg::Shutdown => break,
-            AgentMsg::Ctrl(m) => {
+            AgentMsg::Ctrl(meta, m) => {
                 net.metrics.queue_depth.sub(1);
-                if let Err(e) = agent_step(&net, &cell, prog, rank, m) {
-                    record_err(&net.err, e);
-                    break;
+                if matches!(m, CtrlMsg::Heartbeat { .. }) {
+                    // Members just observe rep liveness; recovery itself is
+                    // modeled in the rep's supervisor below.
+                    continue;
+                }
+                if crash_after.is_some_and(|k| consumed >= k) {
+                    // Injected process crash (`CrashTarget::Agent`): a real
+                    // panic, caught by the wrapper above. The arriving
+                    // packet dies with the thread, unacked.
+                    panic!("injected agent crash after {consumed} messages");
+                }
+                for (_, m) in net.admit(Endpoint::Proc { prog, rank }, meta, m) {
+                    consumed += 1;
+                    if let Err(e) = agent_step(net, cell, prog, rank, m) {
+                        record_err(&net.err, e);
+                        return;
+                    }
                 }
             }
         }
     }
 }
 
+/// Rep thread entry; same panic containment as [`agent_loop`].
 fn rep_loop(
     net: Arc<Net>,
     topo: Arc<Topology>,
     prog: usize,
     buddy_help: bool,
+    fault: Option<CrashFault>,
     rx: Receiver<RepMsg>,
 ) {
-    let mut node = RepNode::new(&topo, prog, buddy_help);
-    while let Ok(msg) = rx.recv() {
-        let m = match msg {
-            RepMsg::Shutdown => break,
-            RepMsg::Ctrl(m) => m,
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        rep_loop_inner(&net, &topo, prog, buddy_help, fault, &rx)
+    }));
+    if let Err(p) = result {
+        record_crash(
+            &net.err,
+            format!("rep {prog} panicked: {}", panic_detail(p)),
+        );
+    }
+}
+
+/// The rep thread: consumes control messages through the reliability layer
+/// (when armed), journals every delivery, heartbeats its members, and — if
+/// targeted by a crash fault — dies and recovers in place.
+///
+/// The crash is packet-granular, matching the simulator: once the rep has
+/// consumed `after_msgs` messages, the *next arriving packet* kills it and
+/// is itself lost unacked. While dead the rep drains and discards its
+/// mailbox (everything unacked — senders keep retransmitting). Recovery —
+/// after `restart_after` wall seconds, or after members notice `HB_TIMEOUT`
+/// of heartbeat silence and promote the deterministic successor — rebuilds
+/// the aggregation state by replaying the delivery journal, then restores
+/// the reliability layer's receive state so retransmits of already-consumed
+/// messages dedup and held-back messages re-deliver in order. The successor
+/// inherits the journal because journal replay is deterministic: any member
+/// that recorded the same deliveries rebuilds the same state.
+fn rep_loop_inner(
+    net: &Net,
+    topo: &Arc<Topology>,
+    prog: usize,
+    buddy_help: bool,
+    fault: Option<CrashFault>,
+    rx: &Receiver<RepMsg>,
+) {
+    let mut node = RepNode::new(topo, prog, buddy_help);
+    let mut journal: Vec<(WireMeta, CtrlMsg)> = Vec::new();
+    let mut consumed: u64 = 0;
+    let mut crash_armed = fault.is_some();
+    let mut beat: u64 = 0;
+    // Members that can receive heartbeats (exporting processes have agent
+    // threads; importing application threads are only reachable mid-import
+    // and watch the rep through the error slot instead).
+    let members: Vec<usize> = (0..topo.programs[prog].procs)
+        .filter(|&r| net.to_agent[prog][r].is_some())
+        .collect();
+    loop {
+        let msg = if net.rel.is_some() {
+            match rx.recv_timeout(HB_INTERVAL) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => {
+                    beat += 1;
+                    for &r in &members {
+                        net.ctrl(
+                            Endpoint::Rep { prog },
+                            Endpoint::Proc { prog, rank: r },
+                            CtrlMsg::Heartbeat { beat },
+                        );
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        } else {
+            match rx.recv() {
+                Ok(m) => m,
+                Err(_) => return,
+            }
+        };
+        let (meta, m) = match msg {
+            RepMsg::Shutdown => return,
+            RepMsg::Ctrl(meta, m) => (meta, m),
         };
         net.metrics.queue_depth.sub(1);
-        let step = node
-            .on_msg(&topo, m)
-            .map_err(ThreadedError::from)
-            .and_then(|outs| {
-                let mut tp = RepTransport { net: &net };
-                deliver_all(&mut tp, Endpoint::Rep { prog }, outs)
-            });
-        if let Err(e) = step {
-            record_err(&net.err, e);
-            break;
+        if crash_armed {
+            let f = fault.expect("crash_armed implies a fault");
+            if matches!(f.target, CrashTarget::Rep(p) if p == prog) && consumed >= f.after_msgs {
+                crash_armed = false;
+                let crashed_at = Instant::now();
+                if let Some(rel) = &net.rel {
+                    rel.layer.lock().crash_endpoint(Endpoint::Rep { prog });
+                }
+                // The fatal packet and everything arriving while dead die
+                // unacked; the pump keeps retransmitting them.
+                let deadline =
+                    crashed_at + f.restart_after.map_or(HB_TIMEOUT, Duration::from_secs_f64);
+                loop {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    match rx.recv_timeout(left) {
+                        Ok(RepMsg::Shutdown) => return,
+                        Ok(RepMsg::Ctrl(..)) => net.metrics.queue_depth.sub(1),
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+                node = RepNode::new(topo, prog, buddy_help);
+                let msgs: Vec<CtrlMsg> = journal.iter().map(|&(_, m)| m).collect();
+                if let Err(e) = node.replay(topo, &msgs) {
+                    record_err(&net.err, ThreadedError::from(e));
+                    return;
+                }
+                if let Some(rel) = &net.rel {
+                    let metas: Vec<WireMeta> = journal.iter().map(|&(mm, _)| mm).collect();
+                    rel.layer
+                        .lock()
+                        .restore_delivered(Endpoint::Rep { prog }, &metas);
+                }
+                net.metrics.failovers.inc();
+                net.metrics
+                    .recovery_ms
+                    .observe(crashed_at.elapsed().as_millis() as u64);
+                continue;
+            }
         }
+        for (dm, m) in net.admit(Endpoint::Rep { prog }, meta, m) {
+            if let Some(dm) = dm {
+                journal.push((dm, m));
+            }
+            consumed += 1;
+            let step = node
+                .on_msg(topo, m)
+                .map_err(ThreadedError::from)
+                .and_then(|outs| {
+                    let mut tp = RepTransport {
+                        net,
+                        from: Endpoint::Rep { prog },
+                    };
+                    deliver_all(&mut tp, Endpoint::Rep { prog }, outs)
+                });
+            if let Err(e) = step {
+                record_err(&net.err, e);
+                return;
+            }
+        }
+    }
+}
+
+/// One pump tick: resend everything the retry policy says is due.
+fn pump_tick(net: &Net, rel: &NetRel) {
+    let due = rel.layer.lock().due(rel.clock.now());
+    for e in due {
+        match e {
+            Expiry::Resend { to, meta, msg } => net.resend(to, meta, msg),
+            // Abandoned traffic (expendable buddy-help, or the
+            // max-attempts backstop) is already metered by the layer;
+            // nothing to send.
+            Expiry::Abandon { .. } => {}
+        }
+    }
+}
+
+/// The retransmit pump: polls the reliability layer's deadlines on a short
+/// wall-clock period and resends everything the retry policy says is due.
+///
+/// On the shutdown signal it first *drains*: an import can complete while a
+/// sequenced message is still owed to some rank (the rep answers as soon as
+/// the collective decision is available; lagging ranks are told via
+/// buddy-help), so the fabric may not stop while reliable messages are
+/// pending unacked — stopping early would make a lost `ForwardRequest`
+/// permanent and break collective order. Draining terminates: loss draws
+/// are independent per attempt and the retry policy's `max_attempts`
+/// backstop abandons anything undeliverable (e.g. a crashed thread's
+/// mailbox). A recorded fabric error cuts the drain short — the run is
+/// already failed.
+fn pump_loop(net: Arc<Net>, rx: Receiver<()>) {
+    let Some(rel) = &net.rel else { return };
+    while let Err(RecvTimeoutError::Timeout) = rx.recv_timeout(PUMP_INTERVAL) {
+        pump_tick(&net, rel);
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while rel.layer.lock().pending_len() > 0
+        && net.err.lock().is_none()
+        && Instant::now() < deadline
+    {
+        pump_tick(&net, rel);
+        std::thread::sleep(PUMP_INTERVAL);
     }
 }
 
@@ -622,15 +1010,15 @@ fn rep_loop(
 /// message is delivered immediately — chaos delays messages, it never
 /// loses them, which is what keeps the liveness oracle valid.
 fn relay_loop(net: Arc<Net>, rx: Receiver<RelayMsg>) {
-    let mut pending: Vec<(Instant, Endpoint, CtrlMsg)> = Vec::new();
+    let mut pending: Vec<(Instant, Endpoint, Option<WireMeta>, CtrlMsg)> = Vec::new();
     loop {
         // Deliver everything already due, then wait for the next deadline.
         let now = Instant::now();
         let mut i = 0;
         while i < pending.len() {
             if pending[i].0 <= now {
-                let (_, to, msg) = pending.swap_remove(i);
-                net.route(to, msg);
+                let (_, to, meta, msg) = pending.swap_remove(i);
+                net.route(to, meta, msg);
             } else {
                 i += 1;
             }
@@ -644,11 +1032,11 @@ fn relay_loop(net: Arc<Net>, rx: Receiver<RelayMsg>) {
             None => rx.recv().ok(),
         };
         match received {
-            Some(RelayMsg::Deliver { due, to, msg }) => pending.push((due, to, msg)),
+            Some(RelayMsg::Deliver { due, to, meta, msg }) => pending.push((due, to, meta, msg)),
             Some(RelayMsg::Shutdown) | None => {
                 pending.sort_by_key(|p| p.0);
-                for (_, to, msg) in pending {
-                    net.route(to, msg);
+                for (_, to, meta, msg) in pending {
+                    net.route(to, meta, msg);
                 }
                 return;
             }
@@ -669,7 +1057,8 @@ pub struct Fabric {
     agents: Vec<(Sender<AgentMsg>, JoinHandle<()>)>,
     reps: Vec<(Sender<RepMsg>, JoinHandle<()>)>,
     relay: Option<(Sender<RelayMsg>, JoinHandle<()>)>,
-    err: Arc<Mutex<Option<String>>>,
+    pump: Option<(Sender<()>, JoinHandle<()>)>,
+    err: ErrSlot,
     traces: Vec<(usize, usize, ConnectionId)>,
     metrics: Arc<EngineMetrics>,
 }
@@ -679,9 +1068,28 @@ impl Fabric {
     /// threads.
     pub fn new(topo: Topology, opts: FabricOptions) -> Self {
         let topo = Arc::new(topo);
-        let err = Arc::new(Mutex::new(None::<String>));
+        let err: ErrSlot = Arc::new(Mutex::new(None));
         let clock = Arc::new(WallClock::start());
         let metrics = Arc::new(EngineMetrics::new());
+        let crash = opts.chaos.and_then(|c| c.crash);
+        // Reliability is armed only when the faults require it — see
+        // `NetRel`. Wall-clock retry timescales: first retransmit after
+        // 50 ms, backing off to 400 ms.
+        let needs_rel = opts.drop_buddy_help || opts.chaos.is_some_and(|c| c.needs_reliability());
+        let rel = needs_rel.then(|| NetRel {
+            layer: Mutex::new(Reliability::new(
+                RetryPolicy {
+                    base_timeout: 0.05,
+                    backoff: 2.0,
+                    max_timeout: 0.4,
+                    ..RetryPolicy::default()
+                },
+                Arc::clone(&metrics),
+            )),
+            nonce: AtomicU64::new(0),
+            clock: clock.clone(),
+            drop_buddy_help: opts.drop_buddy_help,
+        });
 
         // Mailboxes first (the routing table must exist before any thread).
         type AgentChannel = Option<(Sender<AgentMsg>, Receiver<AgentMsg>)>;
@@ -739,6 +1147,7 @@ impl Fabric {
                 counter: std::sync::atomic::AtomicU64::new(0),
                 relay: tx.clone(),
             }),
+            rel,
             metrics: Arc::clone(&metrics),
         });
         let relay = relay_channel.map(|(_, tx, rx)| {
@@ -747,6 +1156,15 @@ impl Fabric {
                 .name("couplink-chaos-relay".into())
                 .spawn(move || relay_loop(net, rx))
                 .expect("spawning chaos relay thread");
+            (tx, handle)
+        });
+        let pump = net.rel.is_some().then(|| {
+            let (tx, rx) = unbounded::<()>();
+            let net = net.clone();
+            let handle = std::thread::Builder::new()
+                .name("couplink-retry-pump".into())
+                .spawn(move || pump_loop(net, rx))
+                .expect("spawning retry pump thread");
             (tx, handle)
         });
 
@@ -773,12 +1191,18 @@ impl Fabric {
                     freed: Condvar::new(),
                 });
                 let (tx, rx) = chan.take().expect("exporting process has an agent mailbox");
+                let crash_after = crash.and_then(|f| match f.target {
+                    CrashTarget::Agent { prog, rank: r } if prog == pi && r == rank => {
+                        Some(f.after_msgs)
+                    }
+                    _ => None,
+                });
                 let handle = {
                     let net = net.clone();
                     let cell = cell.clone();
                     std::thread::Builder::new()
                         .name(format!("couplink-agent-{pi}-{rank}"))
-                        .spawn(move || agent_loop(net, cell, pi, rank, rx))
+                        .spawn(move || agent_loop(net, cell, pi, rank, crash_after, rx))
                         .expect("spawning agent thread")
                 };
                 agents.push((tx, handle));
@@ -791,13 +1215,14 @@ impl Fabric {
         let mut reps = Vec::new();
         for (pi, chan) in rep_channels.into_iter().enumerate() {
             let Some((tx, rx)) = chan else { continue };
+            let fault = crash.filter(|f| matches!(f.target, CrashTarget::Rep(p) if p == pi));
             let handle = {
                 let net = net.clone();
                 let topo = topo.clone();
                 let buddy = opts.buddy_help;
                 std::thread::Builder::new()
                     .name(format!("couplink-rep-{pi}"))
-                    .spawn(move || rep_loop(net, topo, pi, buddy, rx))
+                    .spawn(move || rep_loop(net, topo, pi, buddy, fault, rx))
                     .expect("spawning rep thread")
             };
             reps.push((tx, handle));
@@ -842,6 +1267,7 @@ impl Fabric {
                                 .take()
                                 .expect("one import handle per (connection, rank)");
                             Some(ImportAccess {
+                                prog: pi,
                                 rank,
                                 conn: region.conn,
                                 node: imp_node.clone().expect("importing process"),
@@ -866,6 +1292,7 @@ impl Fabric {
             agents,
             reps,
             relay,
+            pump,
             err,
             traces: opts.traces,
             metrics,
@@ -926,6 +1353,12 @@ impl Fabric {
     /// and only then stop the agents — per-channel FIFO guarantees they
     /// consume every pending notification before seeing their marker.
     pub fn shutdown(mut self) -> Result<FabricReport, ThreadedError> {
+        // Pump first: once it stops, no retransmission can land behind a
+        // rep's shutdown marker.
+        if let Some((tx, h)) = self.pump.take() {
+            let _ = tx.send(());
+            let _ = h.join();
+        }
         if let Some((tx, h)) = self.relay.take() {
             let _ = tx.send(RelayMsg::Shutdown);
             let _ = h.join();
@@ -943,7 +1376,7 @@ impl Fabric {
             let _ = h.join();
         }
         if let Some(e) = self.err.lock().clone() {
-            return Err(ThreadedError::RepFailed(e));
+            return Err(e.to_error());
         }
         let stats = self
             .topo

@@ -40,6 +40,9 @@ pub enum ThreadedError {
     Disconnected,
     /// `import` timed out waiting for an answer or data.
     Timeout,
+    /// A fabric control thread (rep or agent) panicked; the panic was
+    /// caught and surfaced here instead of hanging shutdown.
+    ProcessCrash(String),
     /// Bad configuration.
     Config(String),
 }
@@ -52,6 +55,7 @@ impl fmt::Display for ThreadedError {
             ThreadedError::RepFailed(s) => write!(f, "rep failed: {s}"),
             ThreadedError::Disconnected => write!(f, "peer thread disconnected"),
             ThreadedError::Timeout => write!(f, "import timed out"),
+            ThreadedError::ProcessCrash(s) => write!(f, "process crashed: {s}"),
             ThreadedError::Config(s) => write!(f, "bad configuration: {s}"),
         }
     }
@@ -217,6 +221,7 @@ impl CoupledPair {
                 buffer_capacity: cfg.buffer_capacity,
                 traces: Vec::new(),
                 chaos: None,
+                drop_buddy_help: false,
             },
         );
         let exporters = (0..ne)

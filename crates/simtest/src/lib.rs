@@ -6,22 +6,37 @@
 //! random policies and tolerances), random timestamp schedules, per-process
 //! compute slowdowns, and optionally a seeded fault-injection plan
 //! ([`couplink_runtime::ChaosConfig`]: per-message delay, duplication,
-//! bounded drop-with-retry). The scenario runs on **both** runtimes — the
-//! discrete-event simulator and the threaded fabric — and the results are
-//! checked against the protocol oracles in
-//! [`couplink_runtime::engine::oracle`]:
+//! bounded drop-with-retry — plus *permanent* faults: probabilistic
+//! message loss and a seeded rep crash with restart or heartbeat
+//! failover). The scenario runs on **both** runtimes — the discrete-event
+//! simulator and the threaded fabric — and the results are checked against
+//! the protocol oracles in [`couplink_runtime::engine::oracle`]:
 //!
 //! 1. collective order (Property 1),
 //! 2. buffer safety (ground-truth match replay),
 //! 3. liveness (every import resolves),
-//! 4. runtime equivalence (DES and threads decide identical matches).
+//! 4. runtime equivalence (DES and threads decide identical matches),
+//! 5. metric consistency (counter conservation laws), plus a fault-free
+//!    inertness check: scenarios without permanent faults must show zero
+//!    retransmits/timeouts/failovers/degraded buffers and no ack or
+//!    heartbeat traffic.
+//!
+//! The `--faults` CLI mode ([`scenario::Scenario::force_faults`]) forces
+//! 20% permanent loss plus a rep crash (restart on even seeds, heartbeat
+//! failover on odd) onto every seed; all oracles must still pass.
 //!
 //! A failing seed shrinks to a structurally minimal scenario
 //! ([`shrink::shrink`]) and is dumped under `results/simtest/` for replay.
 //! The *mutation smoke* mode ([`runner::mutation_smoke`]) deliberately
-//! weakens the acceptable-region pruning rule
-//! ([`couplink_proto::ExportPort::set_unsound_help_skip`]) and demands that
-//! the buffer-safety oracle catches it — proving the oracles have teeth.
+//! arms an unsound protocol rule ([`runner::Mutation`]) and demands that
+//! the buffer-safety oracle catches it — proving the oracles have teeth:
+//!
+//! * [`runner::Mutation::HelpSkip`] weakens the acceptable-region pruning
+//!   rule ([`couplink_proto::ExportPort::set_unsound_help_skip`]) so the
+//!   buddy-help match itself is skipped;
+//! * [`runner::Mutation::StaleSkip`] drops "stale" buddy-help
+//!   announcements ([`couplink_proto::ExportPort::set_unsound_stale_skip`])
+//!   so a rank silently withholds its piece of the transfer.
 //!
 //! Everything is a pure function of the seed: no wall-clock, no OS entropy.
 //! (The threaded runtime's interleavings are real and thus vary, but every
@@ -33,7 +48,10 @@ pub mod runner;
 pub mod scenario;
 pub mod shrink;
 
-pub use runner::{check_des, check_scenario, check_threaded, mutation_smoke};
+pub use runner::{
+    check_des, check_scenario, check_threaded, mutation_smoke, run_des, run_threaded, DesTweaks,
+    Mutation,
+};
 pub use scenario::{ExporterSpec, ImporterSpec, Scenario};
 pub use shrink::{shrink, write_failure_report};
 

@@ -1,23 +1,31 @@
 //! CLI entry point: run a seed corpus (or one seed) through both runtimes
-//! and the oracles; `--mutate` proves the oracles catch a deliberately
-//! broken pruning rule.
+//! and the oracles; `--mutate` proves the oracles catch the deliberately
+//! broken protocol rules; `--faults` forces permanent loss plus a rep
+//! crash onto every seed and demands full recovery.
 
-use couplink_simtest::{check_scenario, mutation_smoke, shrink, write_failure_report, Scenario};
+use couplink_simtest::{
+    check_scenario, mutation_smoke, shrink, write_failure_report, Mutation, Scenario,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: couplink-simtest [--seed N | --seeds N] [--mutate] [--out DIR]
+const USAGE: &str =
+    "usage: couplink-simtest [--seed N | --seeds N] [--mutate] [--faults] [--out DIR]
 
   --seed N    run exactly one seed through both runtimes and the oracles
   --seeds N   run seeds 0..N (default 50)
-  --mutate    arm the deliberately unsound pruning rule and demand the
-              buffer-safety oracle catches it (mutation smoke test)
+  --mutate    arm each deliberately unsound protocol rule in turn and
+              demand the buffer-safety oracle catches it (mutation smoke)
+  --faults    force permanent faults (20% message loss + a rep crash with
+              restart or heartbeat failover) onto every seed; all oracles
+              must still pass on both runtimes
   --out DIR   where failure reports go (default results/simtest)";
 
 struct Args {
     seed: Option<u64>,
     seeds: u64,
     mutate: bool,
+    faults: bool,
     out: PathBuf,
 }
 
@@ -26,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
         seed: None,
         seeds: 50,
         mutate: false,
+        faults: false,
         out: PathBuf::from("results/simtest"),
     };
     let mut it = std::env::args().skip(1);
@@ -45,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--seeds: {e}"))?
             }
             "--mutate" => args.mutate = true,
+            "--faults" => args.faults = true,
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
@@ -76,7 +86,10 @@ fn main() -> ExitCode {
     };
     let total = seeds.len();
     for seed in seeds {
-        let scenario = Scenario::generate(seed);
+        let mut scenario = Scenario::generate(seed);
+        if args.faults {
+            scenario.force_faults();
+        }
         match check_scenario(&scenario) {
             Err(e) => {
                 eprintln!("seed {seed}: harness error: {e}");
@@ -111,31 +124,43 @@ fn main() -> ExitCode {
             }
         }
     }
-    println!("{total} seed(s), zero oracle violations on both runtimes");
+    if args.faults {
+        println!("{total} seed(s) under forced loss+crash faults, zero oracle violations on both runtimes");
+    } else {
+        println!("{total} seed(s), zero oracle violations on both runtimes");
+    }
     ExitCode::SUCCESS
 }
 
 fn run_mutation(args: &Args) -> ExitCode {
-    match mutation_smoke(200) {
-        Some((seed, shrunk, violations)) => {
-            println!("mutation caught at seed {seed}; shrunk reproducer seed {seed}:");
-            for v in &violations {
-                println!("  - {v}");
+    for mutation in Mutation::ALL {
+        match mutation_smoke(200, mutation) {
+            Some((seed, shrunk, violations)) => {
+                println!(
+                    "mutation {} caught at seed {seed}; shrunk reproducer:",
+                    mutation.as_str()
+                );
+                for v in &violations {
+                    println!("  - {v}");
+                }
+                match write_failure_report(
+                    &args.out,
+                    &format!("mutation-{}-seed-{seed}", mutation.as_str()),
+                    &shrunk,
+                    &violations,
+                ) {
+                    Ok(path) => println!("shrunk reproducer written to {}", path.display()),
+                    Err(e) => eprintln!("failed to write report: {e}"),
+                }
             }
-            match write_failure_report(
-                &args.out,
-                &format!("mutation-seed-{seed}"),
-                &shrunk,
-                &violations,
-            ) {
-                Ok(path) => println!("shrunk reproducer written to {}", path.display()),
-                Err(e) => eprintln!("failed to write report: {e}"),
+            None => {
+                eprintln!(
+                    "mutation {} NOT caught in 200 seeds: the buffer-safety oracle has no teeth",
+                    mutation.as_str()
+                );
+                return ExitCode::FAILURE;
             }
-            ExitCode::SUCCESS
-        }
-        None => {
-            eprintln!("mutation NOT caught in 200 seeds: the buffer-safety oracle has no teeth");
-            ExitCode::FAILURE
         }
     }
+    ExitCode::SUCCESS
 }

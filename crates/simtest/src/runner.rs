@@ -6,12 +6,13 @@ use couplink_metrics::CounterSnapshot;
 use couplink_proto::{ConnectionId, Trace};
 use couplink_runtime::cost::CostModel;
 use couplink_runtime::engine::oracle::{
-    check_buffer_safety, check_collective_order, check_liveness, check_metric_consistency,
-    check_runtime_equivalence, owed_matches, OracleViolation,
+    check_buffer_safety, check_collective_order, check_fault_free, check_liveness,
+    check_metric_consistency, check_runtime_equivalence, owed_matches, OracleViolation,
 };
 use couplink_runtime::engine::Topology;
 use couplink_runtime::{
-    ExportSchedule, Fabric, FabricOptions, ImportSchedule, TopoReport, TopologyConfig, TopologySim,
+    ExportSchedule, Fabric, FabricOptions, ImportSchedule, RetryPolicy, TopoReport, TopologyConfig,
+    TopologySim,
 };
 use couplink_time::{ts, Timestamp};
 use std::time::Duration;
@@ -23,6 +24,54 @@ const THREADED_TIME_SCALE: f64 = 0.2;
 
 /// Per-connection match decisions, indexed by `ConnectionId`.
 pub type Matches = Vec<Vec<Option<Timestamp>>>;
+
+/// The deliberately unsound protocol rules the harness can arm. Each is a
+/// plausible-looking "optimization" whose unsoundness only an external
+/// oracle can witness — running both proves the oracles have teeth from two
+/// independent angles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// [`couplink_proto::ExportPort::set_unsound_help_skip`]: an export
+    /// equal to a known buddy-help match is skipped instead of sent.
+    HelpSkip,
+    /// [`couplink_proto::ExportPort::set_unsound_stale_skip`]: a buddy-help
+    /// announcement whose match was already exported locally is dropped
+    /// without sending the piece.
+    StaleSkip,
+}
+
+impl Mutation {
+    /// Both mutations, for sweeps.
+    pub const ALL: [Mutation; 2] = [Mutation::HelpSkip, Mutation::StaleSkip];
+
+    /// Short CLI/reporting name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mutation::HelpSkip => "help-skip",
+            Mutation::StaleSkip => "stale-skip",
+        }
+    }
+}
+
+/// Extra knobs for [`run_des`] beyond the scenario itself, used by the
+/// negative and degradation tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DesTweaks {
+    /// Arm one of the deliberately unsound rules.
+    pub mutate: Option<Mutation>,
+    /// Permanently lose every buddy-help announcement (degradation mode).
+    pub drop_buddy_help: bool,
+    /// Override the reliability layer's retry policy (e.g. `retransmit:
+    /// false` for the no-recovery negative test).
+    pub retry: Option<RetryPolicy>,
+}
+
+/// Whether the scenario's fault plan contains only transient chaos (or no
+/// chaos at all) — i.e. the reliability machinery must stay inert and the
+/// [`check_fault_free`] oracle applies.
+fn permanent_fault_free(s: &Scenario) -> bool {
+    s.chaos.is_none_or(|c| !c.needs_reliability())
+}
 
 /// Applies the trace oracles (collective order, buffer safety) to one
 /// run's traces, grouped per connection across the exporter's ranks.
@@ -95,12 +144,15 @@ fn metric_oracle(
 }
 
 /// Runs the scenario on the discrete-event simulator and checks the
-/// single-runtime oracles. With `mutate`, arms the deliberately unsound
-/// pruning rule first (the oracles are then *expected* to fire).
+/// single-runtime oracles; also returns the run's counter snapshot so
+/// callers can assert on fault metrics (failovers, degraded buffers).
 ///
 /// `Err` means the harness itself failed (invalid generated input), not
 /// that an oracle fired.
-pub fn check_des(s: &Scenario, mutate: bool) -> Result<(Matches, Vec<OracleViolation>), String> {
+pub fn run_des(
+    s: &Scenario,
+    tweaks: DesTweaks,
+) -> Result<(Matches, CounterSnapshot, Vec<OracleViolation>), String> {
     let topology = s.build_topology()?;
     let view = topology.clone();
     let cfg = TopologyConfig {
@@ -147,8 +199,16 @@ pub fn check_des(s: &Scenario, mutate: bool) -> Result<(Matches, Vec<OracleViola
     if let Some(chaos) = s.chaos {
         sim.chaos(chaos);
     }
-    if mutate {
-        sim.arm_unsound_help_skip();
+    if tweaks.drop_buddy_help {
+        sim.drop_buddy_help();
+    }
+    if let Some(policy) = tweaks.retry {
+        sim.set_retry_policy(policy);
+    }
+    match tweaks.mutate {
+        Some(Mutation::HelpSkip) => sim.arm_unsound_help_skip(),
+        Some(Mutation::StaleSkip) => sim.arm_unsound_stale_skip(),
+        None => {}
     }
     let report = sim.run().map_err(|e| format!("simulator run: {e}"))?;
     let mut violations = Vec::new();
@@ -163,7 +223,29 @@ pub fn check_des(s: &Scenario, mutate: bool) -> Result<(Matches, Vec<OracleViola
         .collect();
     trace_oracles(&view, &traces, &mut violations);
     metric_oracle(&view, &traces, &report.metrics.counters, &mut violations);
-    Ok((report.matches, violations))
+    if permanent_fault_free(s) && !tweaks.drop_buddy_help {
+        if let Err(v) = check_fault_free(&report.metrics.counters) {
+            violations.push(v);
+        }
+    }
+    Ok((report.matches, report.metrics.counters.clone(), violations))
+}
+
+/// Runs the scenario on the discrete-event simulator and checks the
+/// single-runtime oracles. With `mutate`, arms one of the deliberately
+/// unsound rules first (the oracles are then *expected* to fire).
+pub fn check_des(
+    s: &Scenario,
+    mutate: Option<Mutation>,
+) -> Result<(Matches, Vec<OracleViolation>), String> {
+    let (matches, _, violations) = run_des(
+        s,
+        DesTweaks {
+            mutate,
+            ..DesTweaks::default()
+        },
+    )?;
+    Ok((matches, violations))
 }
 
 fn des_liveness(
@@ -183,8 +265,13 @@ fn des_liveness(
 }
 
 /// Runs the scenario on the threaded fabric (real threads, real channels,
-/// real memcpys) and checks the single-runtime oracles.
-pub fn check_threaded(s: &Scenario) -> Result<(Matches, Vec<OracleViolation>), String> {
+/// real memcpys) and checks the single-runtime oracles. Returns the
+/// counter snapshot too (`None` when shutdown failed before reporting),
+/// and accepts the degradation knob for the buddy-help-loss tests.
+pub fn run_threaded(
+    s: &Scenario,
+    drop_buddy_help: bool,
+) -> Result<(Matches, Option<CounterSnapshot>, Vec<OracleViolation>), String> {
     let topology = s.build_topology()?;
     let view = topology.clone();
     let mut trace_list = Vec::new();
@@ -201,6 +288,7 @@ pub fn check_threaded(s: &Scenario) -> Result<(Matches, Vec<OracleViolation>), S
             buffer_capacity: None,
             traces: trace_list,
             chaos: s.chaos,
+            drop_buddy_help,
         },
     );
 
@@ -289,6 +377,7 @@ pub fn check_threaded(s: &Scenario) -> Result<(Matches, Vec<OracleViolation>), S
             }),
         }
     }
+    let mut counters = None;
     match fabric.shutdown() {
         Ok(report) => {
             trace_oracles(&view, &report.traces, &mut violations);
@@ -298,19 +387,32 @@ pub fn check_threaded(s: &Scenario) -> Result<(Matches, Vec<OracleViolation>), S
                 &report.metrics.counters,
                 &mut violations,
             );
+            if permanent_fault_free(s) && !drop_buddy_help {
+                if let Err(v) = check_fault_free(&report.metrics.counters) {
+                    violations.push(v);
+                }
+            }
+            counters = Some(report.metrics.counters.clone());
         }
         Err(e) => violations.push(OracleViolation::CollectiveOrder {
             conn: ConnectionId(0),
             detail: format!("fabric shutdown reported: {e}"),
         }),
     }
+    Ok((matches, counters, violations))
+}
+
+/// Runs the scenario on the threaded fabric and checks the single-runtime
+/// oracles (fault-injection as configured by the scenario, no degradation).
+pub fn check_threaded(s: &Scenario) -> Result<(Matches, Vec<OracleViolation>), String> {
+    let (matches, _, violations) = run_threaded(s, false)?;
     Ok((matches, violations))
 }
 
 /// Runs the scenario on both runtimes, checks every oracle including
 /// runtime equivalence, and returns all violations (empty = pass).
 pub fn check_scenario(s: &Scenario) -> Result<Vec<OracleViolation>, String> {
-    let (des_matches, mut violations) = check_des(s, false)?;
+    let (des_matches, mut violations) = check_des(s, None)?;
     let (thr_matches, thr_violations) = check_threaded(s)?;
     violations.extend(thr_violations);
     for conn in 0..des_matches.len().min(thr_matches.len()) {
@@ -325,16 +427,19 @@ pub fn check_scenario(s: &Scenario) -> Result<Vec<OracleViolation>, String> {
     Ok(violations)
 }
 
-/// Mutation smoke test: arms the deliberately unsound pruning rule
-/// (`set_unsound_help_skip`) in the simulator and searches the seed space
-/// for a scenario where the broken rule discards a match — which the
-/// buffer-safety oracle must catch. Returns the first caught seed, the
-/// shrunk scenario and its violations; `None` means the oracle never fired
-/// (which the caller should treat as a test failure).
-pub fn mutation_smoke(max_seeds: u64) -> Option<(u64, Scenario, Vec<OracleViolation>)> {
+/// Mutation smoke test: arms one of the deliberately unsound rules in the
+/// simulator and searches the seed space for a scenario where the broken
+/// rule discards a match or a transfer — which the buffer-safety oracle
+/// must catch. Returns the first caught seed, the shrunk scenario and its
+/// violations; `None` means the oracle never fired (which the caller should
+/// treat as a test failure).
+pub fn mutation_smoke(
+    max_seeds: u64,
+    mutation: Mutation,
+) -> Option<(u64, Scenario, Vec<OracleViolation>)> {
     let caught = |s: &Scenario| -> bool {
         matches!(
-            check_des(s, true),
+            check_des(s, Some(mutation)),
             Ok((_, v)) if v.iter().any(|x| matches!(x, OracleViolation::BufferSafety { .. }))
         )
     };
@@ -353,7 +458,7 @@ pub fn mutation_smoke(max_seeds: u64) -> Option<(u64, Scenario, Vec<OracleViolat
         }
         if caught(&s) {
             let shrunk = crate::shrink::shrink(&s, caught);
-            let violations = match check_des(&shrunk, true) {
+            let violations = match check_des(&shrunk, Some(mutation)) {
                 Ok((_, v)) => v,
                 Err(_) => Vec::new(),
             };
@@ -366,13 +471,15 @@ pub fn mutation_smoke(max_seeds: u64) -> Option<(u64, Scenario, Vec<OracleViolat
 #[cfg(test)]
 mod tests {
     use super::*;
+    use couplink_runtime::{ChaosConfig, CrashFault, CrashTarget};
 
-    /// A small fixed corpus through the simulator: no oracle may fire.
+    /// A small fixed corpus through the simulator: no oracle may fire —
+    /// including the fault-free inertness check on every chaos-free seed.
     #[test]
     fn des_seed_corpus_is_clean() {
         for seed in 0..25 {
             let s = Scenario::generate(seed);
-            let (_, violations) = check_des(&s, false).expect("harness");
+            let (_, violations) = check_des(&s, None).expect("harness");
             assert!(violations.is_empty(), "seed {seed}: {violations:?}");
         }
     }
@@ -388,17 +495,172 @@ mod tests {
         }
     }
 
+    /// Forced permanent faults (20% loss plus a rep crash, restart on even
+    /// seeds / heartbeat failover on odd) must pass every oracle on both
+    /// runtimes, and the crash must actually fire somewhere in the corpus
+    /// (failovers ≥ 1 — the faults are real, not vacuous).
+    #[test]
+    fn forced_fault_corpus_recovers_on_both_runtimes() {
+        let mut total_failovers = 0;
+        for seed in 0..4 {
+            let mut s = Scenario::generate(seed);
+            s.force_faults();
+            let violations = check_scenario(&s).expect("harness");
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+            let (_, counters, _) = run_des(&s, DesTweaks::default()).expect("harness");
+            total_failovers += counters.failovers;
+        }
+        assert!(
+            total_failovers >= 1,
+            "no rep crash fired across the forced-fault corpus"
+        );
+    }
+
     /// The deliberately broken pruning rule must be caught by the
     /// buffer-safety oracle — the oracles have teeth.
     #[test]
-    fn mutation_is_caught_by_buffer_safety() {
-        let (seed, shrunk, violations) =
-            mutation_smoke(200).expect("mutation must be caught within 200 seeds");
+    fn help_skip_mutation_is_caught_by_buffer_safety() {
+        let (seed, shrunk, violations) = mutation_smoke(200, Mutation::HelpSkip)
+            .expect("mutation must be caught within 200 seeds");
         assert!(
             violations
                 .iter()
                 .any(|v| matches!(v, OracleViolation::BufferSafety { .. })),
             "seed {seed} shrunk to {shrunk:?} without a buffer-safety violation: {violations:?}"
+        );
+    }
+
+    /// The unsound "skip on stale announcement" rule — dropping a
+    /// buddy-help answer whose match was already exported locally — must
+    /// also be caught by the buffer-safety oracle.
+    #[test]
+    fn stale_skip_mutation_is_caught_by_buffer_safety() {
+        let (seed, shrunk, violations) = mutation_smoke(200, Mutation::StaleSkip)
+            .expect("mutation must be caught within 200 seeds");
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, OracleViolation::BufferSafety { .. })),
+            "seed {seed} shrunk to {shrunk:?} without a buffer-safety violation: {violations:?}"
+        );
+    }
+
+    /// Negative liveness test: under 100% permanent loss with retransmit
+    /// disabled, the protocol has no recovery and the liveness oracle must
+    /// fire — proving the oracle detects a wedged run rather than passing
+    /// vacuously.
+    #[test]
+    fn liveness_oracle_fires_without_retransmit() {
+        let mut s = Scenario::generate(0);
+        s.chaos = Some(ChaosConfig {
+            seed: 7,
+            max_delay: 0.0,
+            duplicate_prob: 0.0,
+            drop_prob: 0.0,
+            retry_delay: 0.004,
+            loss_prob: 1.0,
+            crash: None,
+        });
+        let (_, _, violations) = run_des(
+            &s,
+            DesTweaks {
+                retry: Some(RetryPolicy {
+                    retransmit: false,
+                    ..RetryPolicy::default()
+                }),
+                ..DesTweaks::default()
+            },
+        )
+        .expect("harness");
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, OracleViolation::Liveness { .. })),
+            "total loss without retransmit must wedge the run: {violations:?}"
+        );
+    }
+
+    /// Graceful degradation: when every buddy-help announcement is
+    /// permanently lost, the run still passes every oracle, meters each
+    /// abandoned announcement (`degraded_buffers > 0`), performs no *extra*
+    /// memcpy skips beyond the baseline region pruning (`memcpy_skipped`
+    /// equals the ablation's), and decides exactly the matches of a
+    /// no-buddy-help ablation.
+    #[test]
+    fn degraded_buddy_help_matches_no_help_ablation() {
+        for seed in 0..50 {
+            let mut s = Scenario::generate(seed);
+            s.buddy_help = true;
+            s.chaos = None;
+            for e in &mut s.exporters {
+                if e.procs > 1 {
+                    *e.compute.last_mut().expect("non-empty compute") += 0.02;
+                }
+            }
+            let (degraded_matches, counters, violations) = run_des(
+                &s,
+                DesTweaks {
+                    drop_buddy_help: true,
+                    ..DesTweaks::default()
+                },
+            )
+            .expect("harness");
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+            if counters.degraded_buffers == 0 {
+                continue; // no help traffic in this scenario — keep looking
+            }
+            let mut ablation = s.clone();
+            ablation.buddy_help = false;
+            let (plain_matches, plain_counters, plain_violations) =
+                run_des(&ablation, DesTweaks::default()).expect("harness");
+            assert!(
+                plain_violations.is_empty(),
+                "seed {seed}: {plain_violations:?}"
+            );
+            assert_eq!(
+                counters.memcpy_skipped, plain_counters.memcpy_skipped,
+                "seed {seed}: lost announcements must not change skip behavior"
+            );
+            assert_eq!(
+                degraded_matches, plain_matches,
+                "seed {seed}: degradation changed match decisions"
+            );
+            return;
+        }
+        panic!("no seed in 0..50 produced buddy-help traffic to degrade");
+    }
+
+    /// A crashed agent thread must surface as a `ProcessCrash` error from
+    /// fabric shutdown (via `catch_unwind`) instead of hanging the run.
+    #[test]
+    fn agent_crash_surfaces_as_process_crash() {
+        let mut s = Scenario::generate(
+            (0..)
+                .find(|&seed| Scenario::generate(seed).exporters[0].procs >= 2)
+                .expect("some seed has a multi-rank exporter"),
+        );
+        s.chaos = Some(ChaosConfig {
+            seed: 11,
+            max_delay: 0.0,
+            duplicate_prob: 0.0,
+            drop_prob: 0.0,
+            retry_delay: 0.004,
+            loss_prob: 0.0,
+            crash: Some(CrashFault {
+                target: CrashTarget::Agent {
+                    prog: s.exporter_prog(0),
+                    rank: 1,
+                },
+                after_msgs: 0,
+                restart_after: None,
+            }),
+        });
+        let (_, _, violations) = run_threaded(&s, false).expect("harness");
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.to_string().contains("process crashed")),
+            "agent panic must surface as ProcessCrash: {violations:?}"
         );
     }
 }

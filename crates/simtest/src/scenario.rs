@@ -3,7 +3,7 @@
 use crate::Rng;
 use couplink_config::RegionRef;
 use couplink_layout::{Decomposition, Extent2};
-use couplink_runtime::{ChaosConfig, Topology};
+use couplink_runtime::{ChaosConfig, CrashFault, CrashTarget, Topology};
 use couplink_time::MatchPolicy;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -116,12 +116,31 @@ impl Scenario {
             })
             .collect();
         let buddy_help = rng.below(4) != 0;
-        let chaos = (rng.below(2) == 1).then(|| ChaosConfig {
-            seed: rng.next_u64(),
-            max_delay: 0.002 + rng.f64() * 0.003,
-            duplicate_prob: 0.3,
-            drop_prob: 0.15,
-            retry_delay: 0.004,
+        let n_progs = n_exp + n_imp;
+        let chaos = (rng.below(2) == 1).then(|| {
+            let mut cfg = ChaosConfig {
+                seed: rng.next_u64(),
+                max_delay: 0.002 + rng.f64() * 0.003,
+                duplicate_prob: 0.3,
+                drop_prob: 0.15,
+                retry_delay: 0.004,
+                loss_prob: 0.0,
+                crash: None,
+            };
+            // Half of the chaotic scenarios add faults only the protocol's
+            // reliability layer can survive: permanent loss (p ≤ 0.2)
+            // and/or a single rep crash (with or without restart).
+            if rng.below(2) == 1 {
+                cfg.loss_prob = 0.05 + rng.f64() * 0.15;
+            }
+            if rng.below(3) == 0 {
+                cfg.crash = Some(CrashFault {
+                    target: CrashTarget::Rep(rng.below(n_progs as u64) as usize),
+                    after_msgs: 2 + rng.below(16),
+                    restart_after: (rng.below(2) == 0).then(|| 0.2 + rng.f64() * 0.8),
+                });
+            }
+            cfg
         });
         let mut s = Scenario {
             seed,
@@ -132,6 +151,31 @@ impl Scenario {
         };
         s.fill_export_counts();
         s
+    }
+
+    /// Forces a fault-heavy plan onto this scenario: permanent loss at the
+    /// ceiling rate plus a rep crash (restarting on even seeds, relying on
+    /// heartbeat failover on odd ones). Used by the `--faults` sweep so a
+    /// fixed seed set deterministically exercises crash/restart + loss on
+    /// both runtimes regardless of what `generate` drew.
+    pub fn force_faults(&mut self) {
+        let n_progs = self.exporters.len() + self.importers.len();
+        let mut cfg = self.chaos.unwrap_or(ChaosConfig {
+            seed: self.seed ^ 0xFA17_FA17_FA17_FA17,
+            max_delay: 0.003,
+            duplicate_prob: 0.3,
+            drop_prob: 0.15,
+            retry_delay: 0.004,
+            loss_prob: 0.0,
+            crash: None,
+        });
+        cfg.loss_prob = 0.2;
+        cfg.crash = Some(CrashFault {
+            target: CrashTarget::Rep((self.seed as usize) % n_progs),
+            after_msgs: 3 + self.seed % 12,
+            restart_after: self.seed.is_multiple_of(2).then_some(0.6),
+        });
+        self.chaos = Some(cfg);
     }
 
     /// Recomputes every exporter's iteration count so its timestamps extend

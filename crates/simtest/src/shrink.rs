@@ -44,6 +44,27 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         c.chaos = None;
         out.push(finish(c));
     }
+    // Partial fault stripping: a failure may need only one of the permanent
+    // faults, so try dropping the crash and the loss independently before
+    // giving up on chaos-dependent reproducers.
+    if let Some(chaos) = s.chaos {
+        if chaos.crash.is_some() {
+            let mut c = s.clone();
+            c.chaos = Some(couplink_runtime::ChaosConfig {
+                crash: None,
+                ..chaos
+            });
+            out.push(finish(c));
+        }
+        if chaos.loss_prob > 0.0 {
+            let mut c = s.clone();
+            c.chaos = Some(couplink_runtime::ChaosConfig {
+                loss_prob: 0.0,
+                ..chaos
+            });
+            out.push(finish(c));
+        }
+    }
     if s.buddy_help {
         let mut c = s.clone();
         c.buddy_help = false;
