@@ -11,10 +11,17 @@
 #   5. chaos-crash     (fixed-seed simtest sweep with forced permanent
 #                       faults — 20% message loss plus a rep crash with
 #                       restart/failover — on both runtimes)
-#   6. bench smoke     (tiny-size benchmark report, schema-validated and
+#   6. stress          (concurrency stress sweep: every program at the
+#                       process ceiling, zero compute skew — the coalesced
+#                       sharded control plane under maximum pressure)
+#   7. bench smoke     (tiny-size benchmark report, schema-validated and
 #                       gated against baselines/BENCH_baseline_smoke.json;
 #                       plus a negative test proving the gate catches an
 #                       injected slowdown)
+#   8. scale smoke     (threaded weak/strong scaling sweep with a
+#                       per-iteration wall-clock budget; plus a negative
+#                       test proving the throughput gate catches an
+#                       injected stall)
 #
 # Nightly-only extras (run when CI_NIGHTLY=1, skipped gracefully otherwise):
 #   - deep simtest sweep and a deeper DES-vs-threaded property sweep
@@ -40,6 +47,9 @@ cargo run --release -q -p couplink-simtest -- --mutate
 echo "== chaos-crash: forced loss + rep crash/failover on both runtimes"
 cargo run --release -q -p couplink-simtest -- --faults --seeds 12
 
+echo "== stress: process-ceiling concurrency sweep, fault-free"
+cargo run --release -q -p couplink-simtest -- --stress --seeds 12
+
 echo "== bench smoke: report gate against committed baseline"
 cargo run --release -q -p couplink-bench --bin report -- \
     --smoke --out results/BENCH_smoke.json \
@@ -53,6 +63,18 @@ if cargo run --release -q -p couplink-bench --bin report -- \
     exit 1
 fi
 echo "   (gate correctly rejected the mutated run)"
+
+echo "== scale smoke: threaded scaling sweep under the throughput budget"
+cargo run --release -q -p couplink-bench --bin scale -- \
+    --out results/BENCH_scale_smoke.json
+
+echo "== scale smoke: injected stall must FAIL the throughput gate"
+if cargo run --release -q -p couplink-bench --bin scale -- \
+    --mutate --out results/BENCH_scale_smoke_mutated.json >/dev/null 2>&1; then
+    echo "ERROR: throughput gate passed a mutated (stalled-importer) run" >&2
+    exit 1
+fi
+echo "   (gate correctly rejected the stalled run)"
 
 if [[ "${CI_NIGHTLY:-0}" == "1" ]]; then
     echo "== nightly: deep simtest sweep"

@@ -1,0 +1,333 @@
+//! Weak/strong scaling sweeps for the threaded fabric (`bench scale`).
+//!
+//! Usage: `cargo run -p couplink-bench --release --bin scale -- \
+//!     [--full] [--mutate] [--out FILE] [--gate-ms N]`
+//!
+//! Sweeps a grid of coupled pairs × processes-per-program on the real
+//! threaded [`Fabric`], measuring wall-clock throughput: imports/sec,
+//! bytes buffered/sec and (once available in the snapshot) lock-wait
+//! time. Two series share each grid point:
+//!
+//! * **weak** — fixed iterations per rank, so total work grows with the
+//!   grid; per-iteration latency should stay flat if the control plane
+//!   scales.
+//! * **strong** — fixed total imports divided across ranks; wall time
+//!   should shrink (or at least not grow) with more workers.
+//!
+//! Results land in the `couplink-bench/v1` schema (mode `scale-smoke` /
+//! `scale-full`): deterministic protocol counters under `counters`
+//! (informational here — threaded counts depend on interleaving and are
+//! *not* baseline-gated), throughput under `wall_s`.
+//!
+//! The regression gate is a ±tolerance throughput budget rather than a
+//! baseline diff: every grid point's mean wall time per import iteration
+//! must stay under `--gate-ms` (default 50 ms — generous enough for a
+//! loaded single-core CI box, tight enough to reject a real stall).
+//! `--mutate` injects an artificial 4×-budget sleep into every import
+//! iteration; `ci.sh` uses it to prove the gate has teeth, mirroring the
+//! report gate's 8× memcpy mutation.
+
+use couplink_bench::report::{BenchReport, ScenarioMeasure};
+use couplink_layout::RedistPlan;
+use couplink_layout::{Decomposition, Extent2, LocalArray};
+use couplink_metrics::MetricsSnapshot;
+use couplink_proto::ConnectionId;
+use couplink_runtime::engine::{ConnTopo, ExportRegionTopo, ImportRegionTopo, ProgramTopo};
+use couplink_runtime::{Fabric, FabricOptions, Topology};
+use couplink_time::{ts, MatchPolicy, Tolerance};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Options {
+    full: bool,
+    mutate: bool,
+    out: PathBuf,
+    gate_ms: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        full: false,
+        mutate: false,
+        out: PathBuf::from("results/BENCH_couplink_scale.json"),
+        gate_ms: 50.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => opts.full = true,
+            "--mutate" => opts.mutate = true,
+            "--out" => opts.out = PathBuf::from(args.next().ok_or("--out needs a path")?),
+            "--gate-ms" => {
+                opts.gate_ms = args
+                    .next()
+                    .ok_or("--gate-ms needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--gate-ms: {e}"))?
+            }
+            other => return Err(format!("unknown argument {other:?} (see the doc comment)")),
+        }
+    }
+    Ok(opts)
+}
+
+/// One grid point: `pairs` independent exporter→importer program pairs,
+/// each program running `procs` coupled processes.
+#[derive(Debug, Clone, Copy)]
+struct GridPoint {
+    pairs: usize,
+    procs: usize,
+}
+
+/// The sweep grid. Smoke stays small (the CI box may be a single core);
+/// full pushes the thread count far past the core count so lock
+/// contention, not compute, dominates.
+fn grid(full: bool) -> Vec<GridPoint> {
+    let pts: &[(usize, usize)] = if full {
+        &[(1, 2), (2, 2), (4, 2), (4, 4), (6, 4)]
+    } else {
+        &[(1, 1), (2, 2), (4, 2)]
+    };
+    pts.iter()
+        .map(|&(pairs, procs)| GridPoint { pairs, procs })
+        .collect()
+}
+
+/// Builds `pairs` disjoint exporter→importer couplings, each over its own
+/// region decomposed row-block across `procs` ranks. Exact-match REGL so
+/// every import resolves against the same-timestamp export.
+fn scale_topology(pt: GridPoint) -> Topology {
+    let rows_per_rank = 4;
+    let extent = Extent2::new(pt.procs * rows_per_rank, 64);
+    let decomp = Decomposition::row_block(extent, pt.procs).expect("row-block decomposition");
+    let mut programs = Vec::new();
+    let mut conns = Vec::new();
+    for k in 0..pt.pairs {
+        let id = ConnectionId(k as u32);
+        programs.push(ProgramTopo {
+            name: format!("E{k}"),
+            procs: pt.procs,
+            exports: vec![ExportRegionTopo {
+                name: "r".into(),
+                decomp,
+                conns: vec![id],
+            }],
+            imports: Vec::new(),
+        });
+        programs.push(ProgramTopo {
+            name: format!("I{k}"),
+            procs: pt.procs,
+            exports: Vec::new(),
+            imports: vec![ImportRegionTopo {
+                name: "m".into(),
+                decomp,
+                conn: id,
+            }],
+        });
+        conns.push(ConnTopo {
+            id,
+            exporter_prog: 2 * k,
+            exporter_region: 0,
+            importer_prog: 2 * k + 1,
+            importer_region: 0,
+            policy: MatchPolicy::RegL,
+            tolerance: Tolerance::new(0.4).expect("tolerance"),
+            plan: Arc::new(RedistPlan::build(decomp, decomp).expect("identity plan")),
+        });
+    }
+    Topology { programs, conns }
+}
+
+struct PointRun {
+    wall_s: f64,
+    total_imports: u64,
+    snapshot: MetricsSnapshot,
+}
+
+/// Drives one grid point: every exporter rank exports `iters` objects at
+/// `ts = 1, 2, …`; every importer rank collectively imports the same
+/// timestamps (zero compute skew — the paper's tightest coupling). The
+/// optional `slowdown` models a stalled consumer for the gate's negative
+/// test.
+fn run_point(pt: GridPoint, iters: usize, slowdown: Option<Duration>) -> Result<PointRun, String> {
+    let topo = scale_topology(pt);
+    let rows_per_rank = 4;
+    let extent = Extent2::new(pt.procs * rows_per_rank, 64);
+    let decomp = Decomposition::row_block(extent, pt.procs).expect("row-block decomposition");
+    let mut fabric = Fabric::new(topo, FabricOptions::default());
+    let metrics = fabric.metrics();
+
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for k in 0..pt.pairs {
+        for rank in 0..pt.procs {
+            let owned = decomp.owned(rank);
+            let mut exp = fabric.take_export(2 * k, rank, 0);
+            threads.push(std::thread::spawn(move || -> Result<(), String> {
+                let data = LocalArray::from_fn(owned, |r, c| (r * 31 + c) as f64);
+                for i in 0..iters {
+                    exp.export(ts((i + 1) as f64), &data)
+                        .map_err(|e| format!("export {i} failed: {e}"))?;
+                }
+                Ok(())
+            }));
+            let owned = decomp.owned(rank);
+            let mut imp = fabric.take_import(2 * k + 1, rank, 0);
+            threads.push(std::thread::spawn(move || -> Result<(), String> {
+                let mut dest = LocalArray::zeros(owned);
+                for i in 0..iters {
+                    let got = imp
+                        .import(ts((i + 1) as f64), &mut dest)
+                        .map_err(|e| format!("import {i} failed: {e}"))?;
+                    if got.is_none() {
+                        return Err(format!("import {i} found no match"));
+                    }
+                    if let Some(d) = slowdown {
+                        std::thread::sleep(d);
+                    }
+                }
+                Ok(())
+            }));
+        }
+    }
+    for t in threads {
+        t.join()
+            .map_err(|_| "worker thread panicked".to_string())??;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    fabric.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    Ok(PointRun {
+        wall_s,
+        total_imports: (pt.pairs * pt.procs * iters) as u64,
+        snapshot: metrics.snapshot(),
+    })
+}
+
+/// Folds one grid-point run into a scenario: protocol counters from the
+/// snapshot, throughput figures under `wall_s` (never baseline-gated).
+fn measure(name: &str, run: &PointRun) -> ScenarioMeasure {
+    let mut m = ScenarioMeasure::from_metrics(name, &run.snapshot);
+    // Threaded counter values depend on interleaving; they are recorded
+    // for eyeballing conservation laws, not for exact gating.
+    let bytes_buffered = m.counter("bytes_buffered").unwrap_or(0);
+    m.wall_s.push(("run".into(), run.wall_s));
+    m.wall_s.push((
+        "import_iter".into(),
+        run.wall_s / run.total_imports.max(1) as f64,
+    ));
+    m.wall_s.push((
+        "imports_per_sec".into(),
+        run.total_imports as f64 / run.wall_s.max(1e-12),
+    ));
+    m.wall_s.push((
+        "buffered_bytes_per_sec".into(),
+        bytes_buffered as f64 / run.wall_s.max(1e-12),
+    ));
+    m
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let slowdown = opts
+        .mutate
+        .then(|| Duration::from_secs_f64(opts.gate_ms * 4.0 / 1000.0));
+    let (weak_iters, strong_total) = if opts.full { (400, 3200) } else { (120, 480) };
+
+    let mut scenarios = Vec::new();
+    let mut violations = Vec::new();
+    let mut largest: Option<(String, f64)> = None;
+    for pt in grid(opts.full) {
+        for (series, iters) in [
+            ("weak", weak_iters),
+            ("strong", (strong_total / (pt.pairs * pt.procs)).max(1)),
+        ] {
+            let name = format!("scale_{series}_p{}x{}", pt.pairs, pt.procs);
+            println!("running {name} ({iters} iters/rank) ...");
+            let run = match run_point(pt, iters, slowdown) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {name}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let iter_ms = run.wall_s * 1000.0 / (pt.pairs * pt.procs * iters).max(1) as f64;
+            let per_sec = run.total_imports as f64 / run.wall_s.max(1e-12);
+            println!(
+                "  {:>10.0} imports/s  ({iter_ms:.3} ms/iter, {} imports in {:.3}s)",
+                per_sec, run.total_imports, run.wall_s
+            );
+            if iter_ms > opts.gate_ms {
+                violations.push(format!(
+                    "{name}: {iter_ms:.2} ms per import iteration exceeds the \
+                     {:.2} ms budget",
+                    opts.gate_ms
+                ));
+            }
+            if series == "weak" {
+                largest = Some((name.clone(), per_sec));
+            }
+            scenarios.push(measure(&name, &run));
+        }
+    }
+
+    let report = BenchReport {
+        mode: if opts.full {
+            "scale-full"
+        } else {
+            "scale-smoke"
+        }
+        .to_string(),
+        scenarios,
+    };
+    let text = report.to_text();
+    match BenchReport::from_text(&text) {
+        Ok(back) if back == report => {}
+        Ok(_) => {
+            eprintln!("error: report changed across JSON round-trip");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("error: emitted report fails schema validation: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(dir) = opts.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: creating {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&opts.out, &text) {
+        eprintln!("error: writing {}: {e}", opts.out.display());
+        return ExitCode::FAILURE;
+    }
+    if let Some((name, per_sec)) = largest {
+        println!("largest weak point {name}: {per_sec:.0} imports/sec");
+    }
+    println!(
+        "wrote {} ({} scenarios, mode {})",
+        opts.out.display(),
+        report.scenarios.len(),
+        report.mode
+    );
+    if violations.is_empty() {
+        println!("throughput gate PASS (budget {:.1} ms/iter)", opts.gate_ms);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("throughput gate FAIL:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

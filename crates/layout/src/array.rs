@@ -2,6 +2,7 @@
 
 use crate::rect::Rect;
 use std::fmt;
+use std::sync::Arc;
 
 /// The piece of a global `f64` array owned by one process: a dense, row-major
 /// buffer covering the global rectangle `owned`.
@@ -142,6 +143,103 @@ impl fmt::Display for LocalArray {
     }
 }
 
+/// An immutable, reference-counted piece of a global 2-D array: the
+/// zero-copy payload of the threaded fabric's data plane.
+///
+/// A framework buffer is written once (the paper's buffering memcpy, see
+/// [`SharedArray::copy_from`]) and then *shared* — across every connection
+/// of the exporting region, every piece sent to an importer rank, every
+/// buddy-help answer and every retransmit. Cloning a `SharedArray` clones
+/// an [`Arc`], never the cells, so one exported object costs exactly one
+/// allocation no matter how many consumers it fans out to. Consumers read
+/// sub-rectangles straight out of the shared buffer with
+/// [`SharedArray::copy_into`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedArray {
+    owned: Rect,
+    data: Arc<[f64]>,
+}
+
+impl SharedArray {
+    /// Buffers a local piece: the one physical memcpy an export pays.
+    pub fn copy_from(src: &LocalArray) -> Self {
+        SharedArray {
+            owned: src.owned(),
+            data: Arc::from(src.as_slice()),
+        }
+    }
+
+    /// The global rectangle this piece covers.
+    #[inline]
+    pub fn owned(&self) -> Rect {
+        self.owned
+    }
+
+    /// The raw row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Number of stored cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the piece is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether two handles share one underlying buffer (payload-sharing
+    /// tests assert this across connections and retransmits).
+    #[inline]
+    pub fn ptr_eq(a: &SharedArray, b: &SharedArray) -> bool {
+        Arc::ptr_eq(&a.data, &b.data)
+    }
+
+    /// Number of live handles on the underlying buffer.
+    #[inline]
+    pub fn strong_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+
+    /// Copies the sub-rectangle `rect` (global coordinates, must be
+    /// covered by this piece *and* owned by `dest`) into `dest` — the
+    /// importer-side half of a redistribution transfer, reading straight
+    /// from the shared buffer with no intermediate packing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rect` is not contained in both rectangles.
+    pub fn copy_into(&self, rect: &Rect, dest: &mut LocalArray) {
+        assert!(
+            self.owned.contains_rect(rect),
+            "copy rect {rect} not within shared piece {}",
+            self.owned
+        );
+        let dest_owned = dest.owned();
+        assert!(
+            dest_owned.contains_rect(rect),
+            "copy rect {rect} not within destination {dest_owned}"
+        );
+        for row in rect.row0..rect.row_end() {
+            let src = (row - self.owned.row0) * self.owned.cols + (rect.col0 - self.owned.col0);
+            let dst = (row - dest_owned.row0) * dest_owned.cols + (rect.col0 - dest_owned.col0);
+            dest.as_mut_slice()[dst..dst + rect.cols]
+                .copy_from_slice(&self.data[src..src + rect.cols]);
+        }
+    }
+}
+
+impl fmt::Display for SharedArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedArray{} ({} cells)", self.owned, self.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +310,56 @@ mod tests {
         let a = LocalArray::zeros(Rect::EMPTY);
         assert!(a.is_empty());
         assert_eq!(a.pack(&Rect::EMPTY), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn shared_clone_is_one_buffer() {
+        let local = LocalArray::from_fn(Rect::new(0, 0, 4, 4), |r, c| (r * 4 + c) as f64);
+        let shared = SharedArray::copy_from(&local);
+        let a = shared.clone();
+        let b = shared.clone();
+        assert!(SharedArray::ptr_eq(&a, &b));
+        assert!(SharedArray::ptr_eq(&a, &shared));
+        assert_eq!(shared.strong_count(), 3);
+        drop(a);
+        assert_eq!(shared.strong_count(), 2);
+    }
+
+    #[test]
+    fn shared_copy_into_matches_pack_unpack() {
+        let src = LocalArray::from_fn(Rect::new(4, 8, 6, 5), |r, c| (r as f64) * 0.5 + c as f64);
+        let shared = SharedArray::copy_from(&src);
+        let sub = Rect::new(5, 9, 3, 3);
+        // Destination covers a different (larger) rectangle than the source.
+        let mut via_shared = LocalArray::zeros(Rect::new(4, 8, 6, 5));
+        shared.copy_into(&sub, &mut via_shared);
+        let mut via_pack = LocalArray::zeros(Rect::new(4, 8, 6, 5));
+        via_pack.unpack(&sub, &src.pack(&sub));
+        assert_eq!(via_shared, via_pack);
+        // Outside the sub-rect, the destination is untouched.
+        assert_eq!(via_shared.get(4, 8), 0.0);
+    }
+
+    #[test]
+    fn shared_copy_into_offset_destination() {
+        let src = LocalArray::from_fn(Rect::new(0, 0, 4, 8), |r, c| (r * 8 + c) as f64);
+        let shared = SharedArray::copy_from(&src);
+        let sub = Rect::new(2, 2, 2, 3);
+        let mut dest = LocalArray::zeros(Rect::new(2, 0, 2, 8));
+        shared.copy_into(&sub, &mut dest);
+        for row in sub.row0..sub.row_end() {
+            for col in sub.col0..sub.col_end() {
+                assert_eq!(dest.get(row, col), src.get(row, col));
+            }
+        }
+        assert_eq!(dest.get(2, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not within shared piece")]
+    fn shared_copy_outside_source_panics() {
+        let shared = SharedArray::copy_from(&LocalArray::zeros(Rect::new(0, 0, 2, 2)));
+        let mut dest = LocalArray::zeros(Rect::new(0, 0, 4, 4));
+        shared.copy_into(&Rect::new(1, 1, 2, 2), &mut dest);
     }
 }

@@ -21,7 +21,7 @@ pub mod partition;
 pub mod rect;
 pub mod redist;
 
-pub use array::LocalArray;
+pub use array::{LocalArray, SharedArray};
 pub use decomp::{DecompError, Decomposition};
 pub use partition::{Partition, PartitionError};
 pub use rect::{Extent2, Rect};

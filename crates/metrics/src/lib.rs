@@ -358,6 +358,18 @@ pub struct EngineMetrics {
     /// Buddy-help announcements abandoned by the reliability layer — each
     /// one a skip opportunity degraded to conservative buffering.
     pub degraded_buffers: Counter,
+    /// Physical payload buffers allocated by the threaded data plane. With
+    /// zero-copy sharing this equals `memcpy_paid` (one allocation per
+    /// buffered object, shared across connections, pieces and retransmits);
+    /// the DES models copies without materializing them, so it stays 0 there.
+    pub payload_allocs: Counter,
+    /// Coalesced control-plane flushes: channel pushes that combined two or
+    /// more rep fan-out messages for one destination. Threaded fabric only.
+    pub ctrl_batches: Counter,
+    /// Nanoseconds threads spent waiting on *contended* hot-path locks
+    /// (uncontended acquisitions are not timed). Wall-clock, threaded
+    /// fabric only; informational, never gated.
+    pub lock_wait_ns: Counter,
     /// Time-to-recovery samples in milliseconds (crash → rep role
     /// re-established), virtual on the DES, wall on the fabric.
     pub recovery_ms: Histogram,
@@ -404,6 +416,9 @@ impl EngineMetrics {
                 timeouts: self.timeouts.get(),
                 failovers: self.failovers.get(),
                 degraded_buffers: self.degraded_buffers.get(),
+                payload_allocs: self.payload_allocs.get(),
+                ctrl_batches: self.ctrl_batches.get(),
+                lock_wait_ns: self.lock_wait_ns.get(),
                 buffered_hwm: self.buffered_objects.high_water_mark(),
                 queue_depth_hwm: self.queue_depth.high_water_mark(),
                 occupancy: self.occupancy.counts(),
@@ -448,6 +463,12 @@ pub struct CounterSnapshot {
     pub failovers: u64,
     /// Buddy-help announcements degraded to conservative buffering.
     pub degraded_buffers: u64,
+    /// Physical payload buffers allocated (threaded data plane; 0 on DES).
+    pub payload_allocs: u64,
+    /// Coalesced rep fan-out flushes (threaded fabric; 0 on DES).
+    pub ctrl_batches: u64,
+    /// Nanoseconds spent waiting on contended hot-path locks (0 on DES).
+    pub lock_wait_ns: u64,
     /// High-water mark of buffered objects.
     pub buffered_hwm: u64,
     /// High-water mark of node queue depth.
@@ -495,6 +516,9 @@ impl CounterSnapshot {
             ("timeouts".to_string(), self.timeouts),
             ("failovers".to_string(), self.failovers),
             ("degraded_buffers".to_string(), self.degraded_buffers),
+            ("payload_allocs".to_string(), self.payload_allocs),
+            ("ctrl_batches".to_string(), self.ctrl_batches),
+            ("lock_wait_ns".to_string(), self.lock_wait_ns),
             ("buffered_hwm".to_string(), self.buffered_hwm),
             ("queue_depth_hwm".to_string(), self.queue_depth_hwm),
         ]);
@@ -567,6 +591,9 @@ impl CounterSnapshot {
             timeouts: field("timeouts")?,
             failovers: field("failovers")?,
             degraded_buffers: field("degraded_buffers")?,
+            payload_allocs: field("payload_allocs")?,
+            ctrl_batches: field("ctrl_batches")?,
+            lock_wait_ns: field("lock_wait_ns")?,
             buffered_hwm: field("buffered_hwm")?,
             queue_depth_hwm: field("queue_depth_hwm")?,
             occupancy,

@@ -514,6 +514,9 @@ mod tests {
             timeouts: 0,
             failovers: 0,
             degraded_buffers: 0,
+            payload_allocs: 0,
+            ctrl_batches: 0,
+            lock_wait_ns: 0,
             buffered_hwm: 0,
             queue_depth_hwm: 0,
             occupancy: [0; couplink_metrics::HISTOGRAM_BUCKETS],

@@ -19,6 +19,9 @@ const USAGE: &str =
   --faults    force permanent faults (20% message loss + a rep crash with
               restart or heartbeat failover) onto every seed; all oracles
               must still pass on both runtimes
+  --stress    concurrency stress: every program at the process ceiling
+              with zero compute/startup skew, fault-free (the coalesced
+              control plane under maximum simultaneous pressure)
   --out DIR   where failure reports go (default results/simtest)";
 
 struct Args {
@@ -26,6 +29,7 @@ struct Args {
     seeds: u64,
     mutate: bool,
     faults: bool,
+    stress: bool,
     out: PathBuf,
 }
 
@@ -35,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         seeds: 50,
         mutate: false,
         faults: false,
+        stress: false,
         out: PathBuf::from("results/simtest"),
     };
     let mut it = std::env::args().skip(1);
@@ -55,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--mutate" => args.mutate = true,
             "--faults" => args.faults = true,
+            "--stress" => args.stress = true,
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
@@ -86,7 +92,11 @@ fn main() -> ExitCode {
     };
     let total = seeds.len();
     for seed in seeds {
-        let mut scenario = Scenario::generate(seed);
+        let mut scenario = if args.stress {
+            Scenario::stress(seed)
+        } else {
+            Scenario::generate(seed)
+        };
         if args.faults {
             scenario.force_faults();
         }
@@ -126,6 +136,8 @@ fn main() -> ExitCode {
     }
     if args.faults {
         println!("{total} seed(s) under forced loss+crash faults, zero oracle violations on both runtimes");
+    } else if args.stress {
+        println!("{total} stress seed(s) at the process ceiling, zero oracle violations on both runtimes");
     } else {
         println!("{total} seed(s), zero oracle violations on both runtimes");
     }

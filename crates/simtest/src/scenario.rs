@@ -153,6 +153,31 @@ impl Scenario {
         s
     }
 
+    /// A concurrency stress plan derived from `seed`: every program at
+    /// the grid's process ceiling (4 ranks row-block over 8 rows), zero
+    /// compute and zero startup skew — every rank hammers the control
+    /// plane simultaneously, the paper's tightest coupling — and
+    /// fault-free, so the sharded reliability layer stays unarmed and the
+    /// coalesced rep fan-out path is live. Timestamp phases still vary by
+    /// seed, so matching decisions differ per seed.
+    pub fn stress(seed: u64) -> Self {
+        let mut s = Scenario::generate(seed);
+        s.chaos = None;
+        s.buddy_help = true;
+        for e in &mut s.exporters {
+            e.procs = 4;
+            e.compute = vec![0.0; 4];
+        }
+        for imp in &mut s.importers {
+            imp.procs = 4;
+            imp.compute = 0.0;
+            imp.startup = 0.0;
+            imp.count += 2;
+        }
+        s.fill_export_counts();
+        s
+    }
+
     /// Forces a fault-heavy plan onto this scenario: permanent loss at the
     /// ceiling rate plus a rep crash (restarting on even seeds, relying on
     /// heartbeat failover on odd ones). Used by the `--faults` sweep so a

@@ -40,6 +40,18 @@ impl<T> Mutex<T> {
         }
     }
 
+    /// Attempts to acquire the lock without blocking; `None` if it is
+    /// currently held (parking_lot returns an `Option`, not a `Result`).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Consumes the mutex and returns the protected value.
     pub fn into_inner(self) -> T {
         self.inner
