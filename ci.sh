@@ -3,7 +3,7 @@
 #
 #   ./ci.sh
 #
-# Six stages, all required:
+# Nine stages, all required:
 #   1. formatting      (cargo fmt --check)
 #   2. lints           (cargo clippy, warnings are errors)
 #   3. tier-1 tests    (release build + full test suite)
@@ -22,6 +22,12 @@
 #                       per-iteration wall-clock budget; plus a negative
 #                       test proving the throughput gate catches an
 #                       injected stall)
+#   9. multi-session   (16 sessions multiplexed on the pooled executor
+#                       under the same wall budget: pooled must beat
+#                       one-worker-per-task by 1.5x aggregate imports/sec
+#                       and schedule sessions fairly; plus a negative test
+#                       proving the starvation check catches a deliberately
+#                       unfair scheduler)
 #
 # Nightly-only extras (run when CI_NIGHTLY=1, skipped gracefully otherwise):
 #   - deep simtest sweep and a deeper DES-vs-threaded property sweep
@@ -75,6 +81,19 @@ if cargo run --release -q -p couplink-bench --bin scale -- \
     exit 1
 fi
 echo "   (gate correctly rejected the stalled run)"
+
+echo "== multi-session smoke: 16 sessions on the pooled executor"
+cargo run --release -q -p couplink-bench --bin scale -- \
+    --sessions 16 --out results/BENCH_scale_sessions.json
+
+echo "== multi-session smoke: unfair scheduler must FAIL the starvation check"
+if cargo run --release -q -p couplink-bench --bin scale -- \
+    --sessions 16 --mutate \
+    --out results/BENCH_scale_sessions_mutated.json >/dev/null 2>&1; then
+    echo "ERROR: starvation check passed an always-poll-session-0 scheduler" >&2
+    exit 1
+fi
+echo "   (starvation check correctly rejected the unfair scheduler)"
 
 if [[ "${CI_NIGHTLY:-0}" == "1" ]]; then
     echo "== nightly: deep simtest sweep"

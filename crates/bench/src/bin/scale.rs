@@ -1,7 +1,7 @@
 //! Weak/strong scaling sweeps for the threaded fabric (`bench scale`).
 //!
 //! Usage: `cargo run -p couplink-bench --release --bin scale -- \
-//!     [--full] [--mutate] [--out FILE] [--gate-ms N]`
+//!     [--full] [--mutate] [--sessions N] [--out FILE] [--gate-ms N]`
 //!
 //! Sweeps a grid of coupled pairs × processes-per-program on the real
 //! threaded [`Fabric`], measuring wall-clock throughput: imports/sec,
@@ -21,11 +21,27 @@
 //!
 //! The regression gate is a ±tolerance throughput budget rather than a
 //! baseline diff: every grid point's mean wall time per import iteration
-//! must stay under `--gate-ms` (default 50 ms — generous enough for a
-//! loaded single-core CI box, tight enough to reject a real stall).
-//! `--mutate` injects an artificial 4×-budget sleep into every import
-//! iteration; `ci.sh` uses it to prove the gate has teeth, mirroring the
-//! report gate's 8× memcpy mutation.
+//! must stay under `--gate-ms` (default [`DEFAULT_GATE_MS`] — generous
+//! enough for a loaded single-core CI box, tight enough to reject a real
+//! stall). `--mutate` injects an artificial [`MUTATE_STALL_FACTOR`]×-budget
+//! sleep into every import iteration; `ci.sh` uses it to prove the gate
+//! has teeth, mirroring the report gate's 8× memcpy mutation.
+//!
+//! # `--sessions N`
+//!
+//! The multi-session axis (mode `scale-sessions`): N independent
+//! topologies multiplexed on one [`SessionSet`] worker pool, deliberately
+//! oversubscribed (N × tasks-per-session ≫ cores). The same workload runs
+//! twice — on the default-sized pool, and with one worker per task
+//! (emulating the pre-executor thread-per-process fabric) — and the gate
+//! requires the pooled run to sustain ≥ [`SESSION_SPEEDUP_MIN`]× the
+//! thread-per-task aggregate imports/sec, plus a *fairness* check: the
+//! slowest session's wall time must stay within
+//! [`SESSION_FAIRNESS_RATIO`]× of the fastest (round-robin scheduling
+//! means co-resident sessions finish together). Under `--sessions`,
+//! `--mutate` switches the pool to a deliberately unfair scheduler
+//! (always poll the lowest session first) instead of sleeping; the
+//! fairness check must then fail.
 
 use couplink_bench::report::{BenchReport, ScenarioMeasure};
 use couplink_layout::RedistPlan;
@@ -33,16 +49,37 @@ use couplink_layout::{Decomposition, Extent2, LocalArray};
 use couplink_metrics::MetricsSnapshot;
 use couplink_proto::ConnectionId;
 use couplink_runtime::engine::{ConnTopo, ExportRegionTopo, ImportRegionTopo, ProgramTopo};
-use couplink_runtime::{Fabric, FabricOptions, Topology};
+use couplink_runtime::{
+    session_task_count, ExecutorOptions, Fabric, FabricOptions, SessionSet, Topology,
+};
 use couplink_time::{ts, MatchPolicy, Tolerance};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Per-import-iteration wall budget in milliseconds. One constant shared
+/// by the gate default and the `--mutate` stall so they cannot drift.
+const DEFAULT_GATE_MS: f64 = 50.0;
+
+/// The `--mutate` stall sleeps this multiple of the gate budget per
+/// import iteration — far enough past the budget that the gate must trip.
+const MUTATE_STALL_FACTOR: f64 = 4.0;
+
+/// Pooled executor must beat thread-per-task by at least this factor in
+/// aggregate imports/sec on the oversubscribed `--sessions` workload.
+const SESSION_SPEEDUP_MIN: f64 = 1.5;
+
+/// Fairness (starvation) bound for `--sessions`: slowest session wall /
+/// fastest session wall. Round-robin keeps co-resident sessions in
+/// lockstep (ratio near 1); an unfair scheduler lets low-numbered
+/// sessions finish many times earlier.
+const SESSION_FAIRNESS_RATIO: f64 = 2.5;
+
 struct Options {
     full: bool,
     mutate: bool,
+    sessions: Option<usize>,
     out: PathBuf,
     gate_ms: f64,
 }
@@ -51,14 +88,26 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         full: false,
         mutate: false,
+        sessions: None,
         out: PathBuf::from("results/BENCH_couplink_scale.json"),
-        gate_ms: 50.0,
+        gate_ms: DEFAULT_GATE_MS,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => opts.full = true,
             "--mutate" => opts.mutate = true,
+            "--sessions" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--sessions needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--sessions: {e}"))?;
+                if n == 0 {
+                    return Err("--sessions needs at least 1".into());
+                }
+                opts.sessions = Some(n);
+            }
             "--out" => opts.out = PathBuf::from(args.next().ok_or("--out needs a path")?),
             "--gate-ms" => {
                 opts.gate_ms = args
@@ -228,17 +277,216 @@ fn measure(name: &str, run: &PointRun) -> ScenarioMeasure {
     m
 }
 
-fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+/// One `--sessions` run: `n` identical sessions of grid point `pt`
+/// multiplexed on one pool. Per-session wall time is the moment that
+/// session's last importer finishes (measured from the common start), so
+/// the spread across sessions exposes scheduling (un)fairness.
+struct SessionsRun {
+    wall_s: f64,
+    total_imports: u64,
+    session_walls: Vec<f64>,
+    snapshot: MetricsSnapshot,
+}
+
+fn run_sessions(
+    n: usize,
+    pt: GridPoint,
+    iters: usize,
+    workers: Option<usize>,
+    unfair: bool,
+) -> Result<SessionsRun, String> {
+    let rows_per_rank = 4;
+    let extent = Extent2::new(pt.procs * rows_per_rank, 64);
+    let decomp = Decomposition::row_block(extent, pt.procs).expect("row-block decomposition");
+    let mut set = SessionSet::new(&ExecutorOptions { workers, unfair });
+    for _ in 0..n {
+        set.add_session(scale_topology(pt), FabricOptions::default());
+    }
+    // Counters from session 0 only — informational (per-session metrics
+    // are independent by construction; the throughput figures below are
+    // aggregate).
+    let metrics = set.session_metrics(0);
+
+    let start = Instant::now();
+    let mut exporters = Vec::new();
+    let mut importers: Vec<Vec<std::thread::JoinHandle<Result<f64, String>>>> = Vec::new();
+    for s in 0..n {
+        let mut session_imps = Vec::new();
+        for k in 0..pt.pairs {
+            for rank in 0..pt.procs {
+                let owned = decomp.owned(rank);
+                let mut exp = set.take_export(s, 2 * k, rank, 0);
+                exporters.push(std::thread::spawn(move || -> Result<(), String> {
+                    let data = LocalArray::from_fn(owned, |r, c| (r * 31 + c) as f64);
+                    for i in 0..iters {
+                        exp.export(ts((i + 1) as f64), &data)
+                            .map_err(|e| format!("export {i} failed: {e}"))?;
+                    }
+                    Ok(())
+                }));
+                let owned = decomp.owned(rank);
+                let mut imp = set.take_import(s, 2 * k + 1, rank, 0);
+                session_imps.push(std::thread::spawn(move || -> Result<f64, String> {
+                    let mut dest = LocalArray::zeros(owned);
+                    for i in 0..iters {
+                        let got = imp
+                            .import(ts((i + 1) as f64), &mut dest)
+                            .map_err(|e| format!("import {i} failed: {e}"))?;
+                        if got.is_none() {
+                            return Err(format!("import {i} found no match"));
+                        }
+                    }
+                    Ok(start.elapsed().as_secs_f64())
+                }));
+            }
         }
+        importers.push(session_imps);
+    }
+    for t in exporters {
+        t.join()
+            .map_err(|_| "exporter thread panicked".to_string())??;
+    }
+    let mut session_walls = Vec::with_capacity(n);
+    for session_imps in importers {
+        let mut wall: f64 = 0.0;
+        for t in session_imps {
+            wall = wall.max(
+                t.join()
+                    .map_err(|_| "importer thread panicked".to_string())??,
+            );
+        }
+        session_walls.push(wall);
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let snapshot = metrics.snapshot();
+    set.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    Ok(SessionsRun {
+        wall_s,
+        total_imports: (n * pt.pairs * pt.procs * iters) as u64,
+        session_walls,
+        snapshot,
+    })
+}
+
+fn fairness_ratio(run: &SessionsRun) -> f64 {
+    let min = run
+        .session_walls
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = run.session_walls.iter().cloned().fold(0.0f64, f64::max);
+    max / min.max(1e-12)
+}
+
+/// Folds one `--sessions` run into a scenario: aggregate throughput plus
+/// the per-session wall spread the fairness gate reads.
+fn measure_sessions(name: &str, run: &SessionsRun) -> ScenarioMeasure {
+    let mut m = ScenarioMeasure::from_metrics(name, &run.snapshot);
+    let min = run
+        .session_walls
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = run.session_walls.iter().cloned().fold(0.0f64, f64::max);
+    m.wall_s.push(("run".into(), run.wall_s));
+    m.wall_s.push((
+        "import_iter".into(),
+        run.wall_s / run.total_imports.max(1) as f64,
+    ));
+    m.wall_s.push((
+        "imports_per_sec".into(),
+        run.total_imports as f64 / run.wall_s.max(1e-12),
+    ));
+    m.wall_s.push(("session_wall_min".into(), min));
+    m.wall_s.push(("session_wall_max".into(), max));
+    m.wall_s
+        .push(("session_fairness_ratio".into(), fairness_ratio(run)));
+    m
+}
+
+/// The `--sessions` mode: the oversubscribed multi-session workload on
+/// the pooled executor vs one-worker-per-task (the thread-per-process
+/// shape), with the speedup and fairness gates described in the module
+/// doc.
+fn run_sessions_mode(opts: &Options, n: usize) -> Result<(BenchReport, Vec<String>), String> {
+    let pt = GridPoint {
+        pairs: 4,
+        procs: if opts.full { 2 } else { 1 },
     };
+    let iters = if opts.full { 400 } else { 240 };
+    let tasks_per_session = session_task_count(&scale_topology(pt), &FabricOptions::default());
+    let mut scenarios = Vec::new();
+    let mut violations = Vec::new();
+
+    let pooled_name = format!("sessions_pooled_s{n}_p{}x{}", pt.pairs, pt.procs);
+    println!(
+        "running {pooled_name} ({iters} iters/rank, {} tasks over default workers{}) ...",
+        n * tasks_per_session,
+        if opts.mutate {
+            ", UNFAIR scheduler"
+        } else {
+            ""
+        }
+    );
+    let pooled = run_sessions(n, pt, iters, None, opts.mutate)?;
+    let pooled_ips = pooled.total_imports as f64 / pooled.wall_s.max(1e-12);
+    let ratio = fairness_ratio(&pooled);
+    println!("  {pooled_ips:>10.0} imports/s aggregate  (session wall spread {ratio:.2}x)",);
+    let iter_ms = pooled.wall_s * 1000.0 / pooled.total_imports.max(1) as f64;
+    if iter_ms > opts.gate_ms {
+        violations.push(format!(
+            "{pooled_name}: {iter_ms:.2} ms per import iteration exceeds the \
+             {:.2} ms budget",
+            opts.gate_ms
+        ));
+    }
+    if ratio > SESSION_FAIRNESS_RATIO {
+        violations.push(format!(
+            "{pooled_name}: starvation — slowest session took {ratio:.2}x the \
+             fastest (bound {SESSION_FAIRNESS_RATIO:.1}x)"
+        ));
+    }
+    let mut pooled_scenario = measure_sessions(&pooled_name, &pooled);
+
+    if !opts.mutate {
+        let tpt_name = format!("sessions_threadlike_s{n}_p{}x{}", pt.pairs, pt.procs);
+        println!(
+            "running {tpt_name} ({iters} iters/rank, one worker per task: {}) ...",
+            n * tasks_per_session
+        );
+        let tpt = run_sessions(n, pt, iters, Some(n * tasks_per_session), false)?;
+        let tpt_ips = tpt.total_imports as f64 / tpt.wall_s.max(1e-12);
+        let speedup = pooled_ips / tpt_ips.max(1e-12);
+        println!("  {tpt_ips:>10.0} imports/s aggregate  (pooled speedup {speedup:.2}x)");
+        pooled_scenario
+            .wall_s
+            .push(("speedup_vs_thread_per_task".into(), speedup));
+        if speedup < SESSION_SPEEDUP_MIN {
+            violations.push(format!(
+                "{pooled_name}: pooled executor only {speedup:.2}x the \
+                 thread-per-task fabric (need {SESSION_SPEEDUP_MIN:.1}x)"
+            ));
+        }
+        scenarios.push(pooled_scenario);
+        scenarios.push(measure_sessions(&tpt_name, &tpt));
+    } else {
+        scenarios.push(pooled_scenario);
+    }
+
+    Ok((
+        BenchReport {
+            mode: "scale-sessions".to_string(),
+            scenarios,
+        },
+        violations,
+    ))
+}
+
+/// The classic weak/strong grid sweep (the default mode).
+fn run_grid_mode(opts: &Options) -> Result<(BenchReport, Vec<String>), String> {
     let slowdown = opts
         .mutate
-        .then(|| Duration::from_secs_f64(opts.gate_ms * 4.0 / 1000.0));
+        .then(|| Duration::from_secs_f64(opts.gate_ms * MUTATE_STALL_FACTOR / 1000.0));
     let (weak_iters, strong_total) = if opts.full { (400, 3200) } else { (120, 480) };
 
     let mut scenarios = Vec::new();
@@ -251,13 +499,7 @@ fn main() -> ExitCode {
         ] {
             let name = format!("scale_{series}_p{}x{}", pt.pairs, pt.procs);
             println!("running {name} ({iters} iters/rank) ...");
-            let run = match run_point(pt, iters, slowdown) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("error: {name}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+            let run = run_point(pt, iters, slowdown).map_err(|e| format!("{name}: {e}"))?;
             let iter_ms = run.wall_s * 1000.0 / (pt.pairs * pt.procs * iters).max(1) as f64;
             let per_sec = run.total_imports as f64 / run.wall_s.max(1e-12);
             println!(
@@ -277,15 +519,41 @@ fn main() -> ExitCode {
             scenarios.push(measure(&name, &run));
         }
     }
+    if let Some((name, per_sec)) = largest {
+        println!("largest weak point {name}: {per_sec:.0} imports/sec");
+    }
+    Ok((
+        BenchReport {
+            mode: if opts.full {
+                "scale-full"
+            } else {
+                "scale-smoke"
+            }
+            .to_string(),
+            scenarios,
+        },
+        violations,
+    ))
+}
 
-    let report = BenchReport {
-        mode: if opts.full {
-            "scale-full"
-        } else {
-            "scale-smoke"
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
-        .to_string(),
-        scenarios,
+    };
+    let run = match opts.sessions {
+        Some(n) => run_sessions_mode(&opts, n),
+        None => run_grid_mode(&opts),
+    };
+    let (report, violations) = match run {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
     let text = report.to_text();
     match BenchReport::from_text(&text) {
@@ -310,9 +578,6 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::write(&opts.out, &text) {
         eprintln!("error: writing {}: {e}", opts.out.display());
         return ExitCode::FAILURE;
-    }
-    if let Some((name, per_sec)) = largest {
-        println!("largest weak point {name}: {per_sec:.0} imports/sec");
     }
     println!(
         "wrote {} ({} scenarios, mode {})",

@@ -101,9 +101,12 @@ impl ScenarioMeasure {
         for (i, &count) in snap.counters.recovery_ms.iter().enumerate() {
             counters.push((format!("recovery_ms_b{i:02}"), count));
         }
+        for (i, &count) in snap.counters.poll_batch.iter().enumerate() {
+            counters.push((format!("poll_batch_b{i:02}"), count));
+        }
         debug_assert_eq!(
             counters.len(),
-            snap.counters.fields().len() + 2 * HISTOGRAM_BUCKETS
+            snap.counters.fields().len() + 3 * HISTOGRAM_BUCKETS
         );
         let virtual_s = Phase::ALL
             .iter()
@@ -422,7 +425,92 @@ mod tests {
         assert_eq!(s.virtual_s.len(), Phase::ALL.len());
         assert_eq!(
             s.counters.len(),
-            m.snapshot().counters.fields().len() + 2 * HISTOGRAM_BUCKETS
+            m.snapshot().counters.fields().len() + 3 * HISTOGRAM_BUCKETS
         );
+    }
+
+    /// The executor refactor's baseline discipline: the regenerated smoke
+    /// baseline must agree with the committed pre-refactor one on every
+    /// deterministic field — all counters bit-identical, virtual times
+    /// unchanged — with only the executor-specific additions
+    /// (`tasks_polled`, `worker_steal`, `runq_depth_hwm`, the
+    /// `poll_batch_b*` buckets) allowed to appear, and those must be zero
+    /// on the DES-driven report scenarios.
+    #[test]
+    fn executor_refactor_keeps_baseline_counters_bit_identical() {
+        let read = |name: &str| {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../baselines/");
+            let text = std::fs::read_to_string(format!("{path}{name}"))
+                .unwrap_or_else(|e| panic!("reading {name}: {e}"));
+            json::parse(&text).unwrap_or_else(|e| panic!("parsing {name}: {e}"))
+        };
+        let is_executor_field = |key: &str| {
+            key == "tasks_polled"
+                || key == "worker_steal"
+                || key == "runq_depth_hwm"
+                || key.starts_with("poll_batch_b")
+        };
+        let pre = read("BENCH_baseline_smoke_pre_executor.json");
+        let post = read("BENCH_baseline_smoke.json");
+        type Sections = Vec<(String, Vec<(String, f64)>)>;
+        let scenarios = |v: &Value| -> Vec<(String, Sections)> {
+            v.get("scenarios")
+                .and_then(Value::as_array)
+                .expect("scenarios array")
+                .iter()
+                .map(|s| {
+                    let name = s.get("name").and_then(Value::as_str).expect("name");
+                    let sections = ["counters", "virtual_s"]
+                        .iter()
+                        .map(|&sec| {
+                            let fields = s
+                                .get(sec)
+                                .and_then(Value::as_object)
+                                .expect("section object")
+                                .iter()
+                                .map(|(k, v)| (k.clone(), v.as_f64().expect("numeric field")))
+                                .collect();
+                            (sec.to_string(), fields)
+                        })
+                        .collect();
+                    (name.to_string(), sections)
+                })
+                .collect()
+        };
+        let pre_s = scenarios(&pre);
+        let post_s = scenarios(&post);
+        assert_eq!(
+            pre_s.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            post_s.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            "scenario set changed across the refactor"
+        );
+        for ((name, pre_secs), (_, post_secs)) in pre_s.iter().zip(&post_s) {
+            for ((sec, pre_fields), (_, post_fields)) in pre_secs.iter().zip(post_secs) {
+                for (key, pre_val) in pre_fields {
+                    let post_val = post_fields
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .unwrap_or_else(|| panic!("{name}/{sec}/{key} dropped"))
+                        .1;
+                    assert_eq!(
+                        *pre_val, post_val,
+                        "{name}/{sec}/{key} drifted across the executor refactor"
+                    );
+                }
+                for (key, post_val) in post_fields {
+                    if pre_fields.iter().any(|(k, _)| k == key) {
+                        continue;
+                    }
+                    assert!(
+                        is_executor_field(key),
+                        "{name}/{sec}/{key} is new but not an executor counter"
+                    );
+                    assert_eq!(
+                        *post_val, 0.0,
+                        "{name}/{sec}/{key}: executor counters must be zero on DES runs"
+                    );
+                }
+            }
+        }
     }
 }

@@ -373,8 +373,20 @@ pub struct EngineMetrics {
     /// Time-to-recovery samples in milliseconds (crash → rep role
     /// re-established), virtual on the DES, wall on the fabric.
     pub recovery_ms: Histogram,
+    /// Task polls executed by the threaded session executor (0 on DES).
+    pub tasks_polled: Counter,
+    /// Tasks a pool worker stole from another worker's run-queue shard
+    /// (threaded session executor only; 0 on DES).
+    pub worker_steal: Counter,
     /// Objects currently held in framework buffers, with high-water mark.
     pub buffered_objects: Gauge,
+    /// Tasks currently sitting in the session executor's run queues, with
+    /// high-water mark. The executor's at-most-once-queued invariant bounds
+    /// the HWM by the live task count (0 on DES).
+    pub runq_depth: Gauge,
+    /// Messages drained per executor task poll (threaded session executor
+    /// only; empty on DES).
+    pub poll_batch: Histogram,
     /// Pending messages/events per node queue, with high-water mark (the
     /// DES event queue; the fabric's rep/agent mailboxes).
     pub queue_depth: Gauge,
@@ -419,10 +431,14 @@ impl EngineMetrics {
                 payload_allocs: self.payload_allocs.get(),
                 ctrl_batches: self.ctrl_batches.get(),
                 lock_wait_ns: self.lock_wait_ns.get(),
+                tasks_polled: self.tasks_polled.get(),
+                worker_steal: self.worker_steal.get(),
                 buffered_hwm: self.buffered_objects.high_water_mark(),
                 queue_depth_hwm: self.queue_depth.high_water_mark(),
+                runq_depth_hwm: self.runq_depth.high_water_mark(),
                 occupancy: self.occupancy.counts(),
                 recovery_ms: self.recovery_ms.counts(),
+                poll_batch: self.poll_batch.counts(),
             },
             timing: TimingSnapshot {
                 virtual_s: std::array::from_fn(|i| self.phases.virtual_seconds(Phase::ALL[i])),
@@ -469,14 +485,23 @@ pub struct CounterSnapshot {
     pub ctrl_batches: u64,
     /// Nanoseconds spent waiting on contended hot-path locks (0 on DES).
     pub lock_wait_ns: u64,
+    /// Session-executor task polls (threaded fabric; 0 on DES).
+    pub tasks_polled: u64,
+    /// Cross-shard task steals by pool workers (threaded fabric; 0 on DES).
+    pub worker_steal: u64,
     /// High-water mark of buffered objects.
     pub buffered_hwm: u64,
     /// High-water mark of node queue depth.
     pub queue_depth_hwm: u64,
+    /// High-water mark of the session executor's run-queue depth (threaded
+    /// fabric; 0 on DES). Bounded by the live task count.
+    pub runq_depth_hwm: u64,
     /// Occupancy histogram bucket counts.
     pub occupancy: [u64; HISTOGRAM_BUCKETS],
     /// Time-to-recovery histogram bucket counts (milliseconds).
     pub recovery_ms: [u64; HISTOGRAM_BUCKETS],
+    /// Messages-per-executor-poll histogram bucket counts.
+    pub poll_batch: [u64; HISTOGRAM_BUCKETS],
 }
 
 impl CounterSnapshot {
@@ -519,8 +544,11 @@ impl CounterSnapshot {
             ("payload_allocs".to_string(), self.payload_allocs),
             ("ctrl_batches".to_string(), self.ctrl_batches),
             ("lock_wait_ns".to_string(), self.lock_wait_ns),
+            ("tasks_polled".to_string(), self.tasks_polled),
+            ("worker_steal".to_string(), self.worker_steal),
             ("buffered_hwm".to_string(), self.buffered_hwm),
             ("queue_depth_hwm".to_string(), self.queue_depth_hwm),
+            ("runq_depth_hwm".to_string(), self.runq_depth_hwm),
         ]);
         out
     }
@@ -536,6 +564,7 @@ impl CounterSnapshot {
         for (name, buckets) in [
             ("occupancy", &self.occupancy),
             ("recovery_ms", &self.recovery_ms),
+            ("poll_batch", &self.poll_batch),
         ] {
             obj.push((
                 name.to_string(),
@@ -577,6 +606,7 @@ impl CounterSnapshot {
         };
         let occupancy = histogram("occupancy")?;
         let recovery_ms = histogram("recovery_ms")?;
+        let poll_batch = histogram("poll_batch")?;
         Ok(CounterSnapshot {
             memcpy_paid: field("memcpy_paid")?,
             memcpy_skipped: field("memcpy_skipped")?,
@@ -594,10 +624,14 @@ impl CounterSnapshot {
             payload_allocs: field("payload_allocs")?,
             ctrl_batches: field("ctrl_batches")?,
             lock_wait_ns: field("lock_wait_ns")?,
+            tasks_polled: field("tasks_polled")?,
+            worker_steal: field("worker_steal")?,
             buffered_hwm: field("buffered_hwm")?,
             queue_depth_hwm: field("queue_depth_hwm")?,
+            runq_depth_hwm: field("runq_depth_hwm")?,
             occupancy,
             recovery_ms,
+            poll_batch,
         })
     }
 }
@@ -722,8 +756,12 @@ mod tests {
         m.failovers.inc();
         m.degraded_buffers.add(2);
         m.recovery_ms.observe(120);
+        m.tasks_polled.add(41);
+        m.worker_steal.inc();
         m.buffered_objects.add(5);
+        m.runq_depth.add(6);
         m.occupancy.observe(4);
+        m.poll_batch.observe(3);
         let snap = m.snapshot().counters;
         let parsed = json::parse(&json::emit(&snap.to_json())).expect("valid JSON");
         assert_eq!(CounterSnapshot::from_json(&parsed).expect("decodes"), snap);

@@ -519,8 +519,12 @@ mod tests {
             lock_wait_ns: 0,
             buffered_hwm: 0,
             queue_depth_hwm: 0,
+            runq_depth_hwm: 0,
+            tasks_polled: 0,
+            worker_steal: 0,
             occupancy: [0; couplink_metrics::HISTOGRAM_BUCKETS],
             recovery_ms: [0; couplink_metrics::HISTOGRAM_BUCKETS],
+            poll_batch: [0; couplink_metrics::HISTOGRAM_BUCKETS],
         };
         // 2 owed matches × 3 exporter processes = 6 transfers: consistent.
         check_metric_consistency(&counters, &[(ConnectionId(0), owed, 3)])

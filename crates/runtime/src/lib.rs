@@ -44,6 +44,7 @@ pub use engine::{
     Topology, TopologyError,
 };
 pub use threaded::{
-    CoupledPair, ExportAccess, ExporterHandle, Fabric, FabricOptions, FabricReport, ImportAccess,
-    ImporterHandle, PairConfig, ThreadedError,
+    session_task_count, CoupledPair, ExecutorOptions, ExportAccess, ExporterHandle, Fabric,
+    FabricOptions, FabricReport, ImportAccess, ImporterHandle, PairConfig, SessionSet,
+    ThreadedError,
 };

@@ -1,23 +1,30 @@
-//! The threaded in-process runtime: real threads, real channels, real
-//! memcpys.
+//! The threaded in-process runtime: real concurrency, real memcpys, few
+//! threads.
 //!
-//! Each simulated *program* is a set of OS threads. User code (an example, a
-//! bench, a test) drives one [`ExportAccess`]/[`ImportAccess`] per process
-//! from its own thread — exactly like an SPMD rank calling the framework
-//! library. Per program there is one *rep* thread (the paper's low-overhead
-//! control gateway), and per exporter process a small *agent* thread
-//! standing in for the framework's asynchronous progress engine: it answers
-//! forwarded requests and consumes buddy-help while the application thread
-//! is busy computing.
+//! User code (an example, a bench, a test) drives one
+//! [`ExportAccess`]/[`ImportAccess`] per simulated process from its own
+//! thread — exactly like an SPMD rank calling the framework library. The
+//! control plane behind those handles — per program one *rep* (the paper's
+//! low-overhead control gateway), per exporter process a small *agent*
+//! standing in for the framework's asynchronous progress engine, per
+//! importer process an answer/piece consumer — is **not** thread-per-node:
+//! every rep, agent, and importer is a polled state machine scheduled on a
+//! fixed worker pool by the event-driven [`executor`], and N independent
+//! topologies can multiplex on one pool as a [`SessionSet`].
 //!
 //! The protocol itself lives in [`crate::engine`]; this module is the thin
-//! driver moving the engine's messages over crossbeam channels
-//! ([`fabric`]). The classic single-pair API ([`CoupledPair`]) is a wrapper
-//! over a two-program topology.
+//! driver moving the engine's messages between task mailboxes ([`fabric`]).
+//! The classic single-pair API ([`CoupledPair`]) is a wrapper over a
+//! two-program topology.
 
+pub mod executor;
 pub mod fabric;
 
-pub use fabric::{ExportAccess, Fabric, FabricOptions, FabricReport, ImportAccess, WallClock};
+pub use executor::ExecutorOptions;
+pub use fabric::{
+    session_task_count, ExportAccess, Fabric, FabricOptions, FabricReport, ImportAccess,
+    SessionSet, WallClock,
+};
 
 use crate::engine::{EngineError, Topology};
 use couplink_layout::LocalArray;

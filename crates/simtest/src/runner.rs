@@ -11,8 +11,8 @@ use couplink_runtime::engine::oracle::{
 };
 use couplink_runtime::engine::Topology;
 use couplink_runtime::{
-    ExportSchedule, Fabric, FabricOptions, ImportSchedule, RetryPolicy, TopoReport, TopologyConfig,
-    TopologySim,
+    session_task_count, ExportSchedule, Fabric, FabricOptions, ImportSchedule, RetryPolicy,
+    TopoReport, TopologyConfig, TopologySim,
 };
 use couplink_time::{ts, Timestamp};
 use std::time::Duration;
@@ -280,17 +280,19 @@ pub fn run_threaded(
             trace_list.push((ct.exporter_prog, rank, ct.id));
         }
     }
-    let mut fabric = Fabric::new(
-        topology,
-        FabricOptions {
-            buddy_help: s.buddy_help,
-            import_timeout: Duration::from_secs(5),
-            buffer_capacity: None,
-            traces: trace_list,
-            chaos: s.chaos,
-            drop_buddy_help,
-        },
-    );
+    let opts = FabricOptions {
+        buddy_help: s.buddy_help,
+        import_timeout: Duration::from_secs(5),
+        buffer_capacity: None,
+        traces: trace_list,
+        chaos: s.chaos,
+        drop_buddy_help,
+    };
+    // Executor invariant: a task is enqueued at most once, so the session's
+    // run-queue depth can never exceed its task count — mailbox backlog
+    // under pressure must not leak into unbounded run-queue growth.
+    let task_budget = session_task_count(&topology, &opts) as u64;
+    let mut fabric = Fabric::new(topology, opts);
 
     let mut exp_threads = Vec::new();
     for (i, e) in s.exporters.iter().enumerate() {
@@ -391,6 +393,16 @@ pub fn run_threaded(
                 if let Err(v) = check_fault_free(&report.metrics.counters) {
                     violations.push(v);
                 }
+            }
+            if report.metrics.counters.runq_depth_hwm > task_budget {
+                violations.push(OracleViolation::MetricConsistency {
+                    conn: ConnectionId(0),
+                    detail: format!(
+                        "run-queue depth HWM {} exceeds the session's {} tasks \
+                         (a task was enqueued more than once)",
+                        report.metrics.counters.runq_depth_hwm, task_budget
+                    ),
+                });
             }
             counters = Some(report.metrics.counters.clone());
         }
