@@ -3,7 +3,7 @@
 #
 #   ./ci.sh
 #
-# Nine stages, all required:
+# Ten stages, all required:
 #   1. formatting      (cargo fmt --check)
 #   2. lints           (cargo clippy, warnings are errors)
 #   3. tier-1 tests    (release build + full test suite)
@@ -28,6 +28,13 @@
 #                       and schedule sessions fairly; plus a negative test
 #                       proving the starvation check catches a deliberately
 #                       unfair scheduler)
+#  10. socket           (fixed-seed corpus on the socket runtime: every
+#                       program its own OS process on loopback UDS, all
+#                       three runtimes must agree on matches and protocol
+#                       counters; a forced-fault chaos sweep; one TCP
+#                       smoke seed; plus a negative test proving the
+#                       liveness oracle catches a codec that silently
+#                       drops collective-answer frames)
 #
 # Nightly-only extras (run when CI_NIGHTLY=1, skipped gracefully otherwise):
 #   - deep simtest sweep and a deeper DES-vs-threaded property sweep
@@ -94,6 +101,22 @@ if cargo run --release -q -p couplink-bench --bin scale -- \
     exit 1
 fi
 echo "   (starvation check correctly rejected the unfair scheduler)"
+
+echo "== socket: fixed-seed UDS corpus across all three runtimes"
+COUPLINK_NODE_BIN=target/release/couplink-node \
+    cargo run --release -q -p couplink-simtest -- --socket uds --seeds 8
+
+echo "== socket: forced-fault chaos sweep over loopback UDS"
+COUPLINK_NODE_BIN=target/release/couplink-node \
+    cargo run --release -q -p couplink-simtest -- --socket uds --faults --seeds 4
+
+echo "== socket: TCP loopback smoke seed"
+COUPLINK_NODE_BIN=target/release/couplink-node \
+    cargo run --release -q -p couplink-simtest -- --socket tcp --seeds 1
+
+echo "== socket: dropped collective answers must trip the liveness oracle"
+COUPLINK_NODE_BIN=target/release/couplink-node \
+    cargo run --release -q -p couplink-simtest -- --socket uds --drop-answers
 
 if [[ "${CI_NIGHTLY:-0}" == "1" ]]; then
     echo "== nightly: deep simtest sweep"

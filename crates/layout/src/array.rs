@@ -169,6 +169,19 @@ impl SharedArray {
         }
     }
 
+    /// Rebuilds a piece from its rectangle and row-major values — the
+    /// receive side of a wire transfer. Returns `None` if the value count
+    /// does not cover the rectangle.
+    pub fn from_parts(owned: Rect, data: Vec<f64>) -> Option<Self> {
+        if data.len() != owned.rows * owned.cols {
+            return None;
+        }
+        Some(SharedArray {
+            owned,
+            data: Arc::from(data),
+        })
+    }
+
     /// The global rectangle this piece covers.
     #[inline]
     pub fn owned(&self) -> Rect {

@@ -366,6 +366,16 @@ pub struct EngineMetrics {
     /// Coalesced control-plane flushes: channel pushes that combined two or
     /// more rep fan-out messages for one destination. Threaded fabric only.
     pub ctrl_batches: Counter,
+    /// Wire frames sent by the socket transport (0 on DES/threaded).
+    pub net_frames: Counter,
+    /// Bytes written to sockets, headers included (0 on DES/threaded).
+    pub net_bytes: Counter,
+    /// Peer connections re-established after a drop (0 on DES/threaded).
+    pub net_reconnects: Counter,
+    /// Inbound frames rejected by the wire codec — truncated, version-
+    /// skewed or checksum-failed (0 on DES/threaded, and 0 on any socket
+    /// run with an uncorrupted wire).
+    pub net_codec_rejects: Counter,
     /// Nanoseconds threads spent waiting on *contended* hot-path locks
     /// (uncontended acquisitions are not timed). Wall-clock, threaded
     /// fabric only; informational, never gated.
@@ -430,6 +440,10 @@ impl EngineMetrics {
                 degraded_buffers: self.degraded_buffers.get(),
                 payload_allocs: self.payload_allocs.get(),
                 ctrl_batches: self.ctrl_batches.get(),
+                net_frames: self.net_frames.get(),
+                net_bytes: self.net_bytes.get(),
+                net_reconnects: self.net_reconnects.get(),
+                net_codec_rejects: self.net_codec_rejects.get(),
                 lock_wait_ns: self.lock_wait_ns.get(),
                 tasks_polled: self.tasks_polled.get(),
                 worker_steal: self.worker_steal.get(),
@@ -483,6 +497,14 @@ pub struct CounterSnapshot {
     pub payload_allocs: u64,
     /// Coalesced rep fan-out flushes (threaded fabric; 0 on DES).
     pub ctrl_batches: u64,
+    /// Wire frames sent by the socket transport (0 off the socket runtime).
+    pub net_frames: u64,
+    /// Bytes written to sockets (0 off the socket runtime).
+    pub net_bytes: u64,
+    /// Peer connections re-established (0 off the socket runtime).
+    pub net_reconnects: u64,
+    /// Inbound frames the wire codec rejected (0 off the socket runtime).
+    pub net_codec_rejects: u64,
     /// Nanoseconds spent waiting on contended hot-path locks (0 on DES).
     pub lock_wait_ns: u64,
     /// Session-executor task polls (threaded fabric; 0 on DES).
@@ -519,6 +541,84 @@ impl CounterSnapshot {
         self.ctrl_sent[idx]
     }
 
+    /// Folds another **process's** snapshot into this one — the socket
+    /// runtime's orchestrator sums the per-process reports into the
+    /// session-wide view. Flow counters add (each message/byte/frame is
+    /// metered by exactly one process), histograms add bucket-wise, and
+    /// high-water marks take the per-process maximum (a peak is a local
+    /// property of one pool, not a flow).
+    ///
+    /// The exhaustive destructure means adding a counter without deciding
+    /// its merge rule is a compile error, not a silently-wrong report.
+    pub fn merge_process(&mut self, other: &CounterSnapshot) {
+        let CounterSnapshot {
+            memcpy_paid,
+            memcpy_skipped,
+            bytes_buffered,
+            bytes_transferred,
+            ctrl_sent,
+            transfers,
+            export_calls,
+            import_calls,
+            buffer_stalls,
+            retransmits,
+            timeouts,
+            failovers,
+            degraded_buffers,
+            payload_allocs,
+            ctrl_batches,
+            net_frames,
+            net_bytes,
+            net_reconnects,
+            net_codec_rejects,
+            lock_wait_ns,
+            tasks_polled,
+            worker_steal,
+            buffered_hwm,
+            queue_depth_hwm,
+            runq_depth_hwm,
+            occupancy,
+            recovery_ms,
+            poll_batch,
+        } = other;
+        self.memcpy_paid += memcpy_paid;
+        self.memcpy_skipped += memcpy_skipped;
+        self.bytes_buffered += bytes_buffered;
+        self.bytes_transferred += bytes_transferred;
+        for (mine, theirs) in self.ctrl_sent.iter_mut().zip(ctrl_sent) {
+            *mine += theirs;
+        }
+        self.transfers += transfers;
+        self.export_calls += export_calls;
+        self.import_calls += import_calls;
+        self.buffer_stalls += buffer_stalls;
+        self.retransmits += retransmits;
+        self.timeouts += timeouts;
+        self.failovers += failovers;
+        self.degraded_buffers += degraded_buffers;
+        self.payload_allocs += payload_allocs;
+        self.ctrl_batches += ctrl_batches;
+        self.net_frames += net_frames;
+        self.net_bytes += net_bytes;
+        self.net_reconnects += net_reconnects;
+        self.net_codec_rejects += net_codec_rejects;
+        self.lock_wait_ns += lock_wait_ns;
+        self.tasks_polled += tasks_polled;
+        self.worker_steal += worker_steal;
+        self.buffered_hwm = self.buffered_hwm.max(*buffered_hwm);
+        self.queue_depth_hwm = self.queue_depth_hwm.max(*queue_depth_hwm);
+        self.runq_depth_hwm = self.runq_depth_hwm.max(*runq_depth_hwm);
+        for (mine, theirs) in self.occupancy.iter_mut().zip(occupancy) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.recovery_ms.iter_mut().zip(recovery_ms) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.poll_batch.iter_mut().zip(poll_batch) {
+            *mine += theirs;
+        }
+    }
+
     /// Every scalar metric as `(name, value)`, in stable order — the
     /// regression gate and the JSON encoding both iterate this, so the two
     /// can never drift apart.
@@ -543,6 +643,10 @@ impl CounterSnapshot {
             ("degraded_buffers".to_string(), self.degraded_buffers),
             ("payload_allocs".to_string(), self.payload_allocs),
             ("ctrl_batches".to_string(), self.ctrl_batches),
+            ("net_frames".to_string(), self.net_frames),
+            ("net_bytes".to_string(), self.net_bytes),
+            ("net_reconnects".to_string(), self.net_reconnects),
+            ("net_codec_rejects".to_string(), self.net_codec_rejects),
             ("lock_wait_ns".to_string(), self.lock_wait_ns),
             ("tasks_polled".to_string(), self.tasks_polled),
             ("worker_steal".to_string(), self.worker_steal),
@@ -623,6 +727,10 @@ impl CounterSnapshot {
             degraded_buffers: field("degraded_buffers")?,
             payload_allocs: field("payload_allocs")?,
             ctrl_batches: field("ctrl_batches")?,
+            net_frames: field("net_frames")?,
+            net_bytes: field("net_bytes")?,
+            net_reconnects: field("net_reconnects")?,
+            net_codec_rejects: field("net_codec_rejects")?,
             lock_wait_ns: field("lock_wait_ns")?,
             tasks_polled: field("tasks_polled")?,
             worker_steal: field("worker_steal")?,

@@ -40,6 +40,7 @@ pub mod multi;
 pub mod rep;
 pub mod stats;
 pub mod trace;
+pub mod wire;
 
 pub use export_port::{
     ExportAction, ExportEffects, ExportPort, HelpEffects, PortError, RequestEffects, Resolution,
@@ -51,3 +52,4 @@ pub use multi::{MultiExport, MultiExportEffects};
 pub use rep::{ExporterRep, ImporterRep, RepError};
 pub use stats::ExportStats;
 pub use trace::{Trace, TraceEvent};
+pub use wire::{Frame, FrameDecoder, PayloadFrame, WireError, WireRect};

@@ -87,6 +87,12 @@ impl Trace {
         &self.events
     }
 
+    /// Reassembles a trace from previously recorded events — how a parent
+    /// process reconstructs a child's trace shipped over the wire.
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        Trace { events }
+    }
+
     /// Records an export call and its effects.
     pub fn record_export(&mut self, t: Timestamp, fx: &ExportEffects) {
         let copied = fx.action.is_some_and(ExportAction::copies);

@@ -1,0 +1,844 @@
+//! Binary wire codec for control messages and payload frames.
+//!
+//! The socket transport in `couplink-runtime` moves [`CtrlMsg`]s and data
+//! pieces between OS processes; this module defines the byte format. It
+//! lives in the protocol crate so the frame layout is specified next to the
+//! messages it carries (and so codec tests need no runtime).
+//!
+//! Every frame is:
+//!
+//! ```text
+//! magic   u16 LE   0xC11F ("couplink frame")
+//! version u8       WIRE_VERSION
+//! kind    u8       frame discriminator (KIND_* or runtime-defined)
+//! len     u32 LE   body length in bytes (<= MAX_BODY)
+//! crc     u32 LE   CRC-32 (IEEE) of the body
+//! body    len bytes
+//! ```
+//!
+//! Bodies are little-endian with one leading tag byte per enum. Timestamps
+//! travel as raw `f64` bits and are re-validated on decode (NaN/infinite
+//! bits are a [`WireError::Malformed`], never a panic). Decoding never
+//! trusts length fields beyond [`MAX_BODY`] and never indexes past the
+//! received bytes: every malformed input maps to a typed [`WireError`].
+//!
+//! The protocol crate defines bodies for control messages
+//! ([`encode_ctrl`]/[`decode_ctrl`], frame kind [`KIND_CTRL`]) and data
+//! pieces ([`encode_payload`]/[`decode_payload`], kind [`KIND_PAYLOAD`]).
+//! The runtime builds its bootstrap/session envelopes out of the same
+//! primitives ([`BodyWriter`]/[`BodyReader`]) with kind bytes at or above
+//! [`KIND_RUNTIME_BASE`].
+
+use crate::ids::{ConnectionId, Rank, RequestId};
+use crate::messages::{CtrlMsg, ProcResponse, RepAnswer};
+use couplink_time::Timestamp;
+use std::fmt;
+
+/// First two bytes of every frame.
+pub const MAGIC: u16 = 0xC11F;
+
+/// Wire format version stamped into (and demanded of) every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed frame header size in bytes (magic + version + kind + len + crc).
+pub const HEADER_LEN: usize = 12;
+
+/// Upper bound on a frame body; larger `len` fields are rejected before
+/// any allocation so corrupt headers cannot OOM the receiver.
+pub const MAX_BODY: u32 = 1 << 26;
+
+/// Frame kind carrying an encoded [`CtrlMsg`].
+pub const KIND_CTRL: u8 = 1;
+
+/// Frame kind carrying an encoded [`PayloadFrame`].
+pub const KIND_PAYLOAD: u8 = 2;
+
+/// First frame kind reserved for runtime-level envelopes (bootstrap,
+/// acks, reports). The protocol crate never assigns kinds at or above
+/// this value.
+pub const KIND_RUNTIME_BASE: u8 = 16;
+
+/// Typed decode failure. No malformed input panics; every rejection is one
+/// of these variants so transports can meter and classify them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the advertised frame or field did.
+    Truncated,
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic {
+        /// The bytes found where the magic was expected.
+        got: u16,
+    },
+    /// The frame was built by an incompatible codec version.
+    BadVersion {
+        /// The version byte found on the wire.
+        got: u8,
+    },
+    /// The body checksum did not match the header's CRC.
+    BadChecksum,
+    /// A frame body advertised more than [`MAX_BODY`] bytes.
+    Oversize {
+        /// The advertised body length.
+        len: u32,
+    },
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The unrecognized tag.
+        tag: u8,
+    },
+    /// A field decoded but violated an invariant (non-finite timestamp,
+    /// payload length mismatch, trailing bytes).
+    Malformed {
+        /// What invariant failed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadMagic { got } => write!(f, "bad magic 0x{got:04X}"),
+            WireError::BadVersion { got } => {
+                write!(f, "wire version {got} (this codec speaks {WIRE_VERSION})")
+            }
+            WireError::BadChecksum => write!(f, "body checksum mismatch"),
+            WireError::Oversize { len } => write!(f, "body length {len} exceeds {MAX_BODY}"),
+            WireError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::Malformed { what } => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), byte-at-a-time with a lazily built table.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes` — the checksum carried in every frame header.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Body primitives.
+// ---------------------------------------------------------------------------
+
+/// Little-endian body builder. All multi-byte integers on the wire go
+/// through this (or its inverse, [`BodyReader`]) so the two cannot drift.
+#[derive(Debug, Default)]
+pub struct BodyWriter {
+    buf: Vec<u8>,
+}
+
+impl BodyWriter {
+    /// An empty body.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty body with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BodyWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw bit pattern, little-endian.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string (u32 length).
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends raw bytes (caller handles any length prefix).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// The finished body.
+    pub fn into_body(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian body cursor; every read is bounds-checked and returns
+/// [`WireError::Truncated`] rather than panicking.
+#[derive(Debug)]
+pub struct BodyReader<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BodyReader<'a> {
+    /// A cursor over `body`.
+    pub fn new(body: &'a [u8]) -> Self {
+        BodyReader { body, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.body.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.body[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` bit pattern. The caller validates finiteness where
+    /// the value is a timestamp ([`Self::timestamp`] does it for you).
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a validated [`Timestamp`] (non-finite bits are malformed).
+    pub fn timestamp(&mut self) -> Result<Timestamp, WireError> {
+        Timestamp::new(self.f64()?).map_err(|_| WireError::Malformed { what: "timestamp" })
+    }
+
+    /// Reads a length-prefixed UTF-8 string written by [`BodyWriter::str`].
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?).map_err(|_| WireError::Malformed { what: "utf-8" })
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Asserts the body is fully consumed (trailing bytes are malformed).
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Malformed {
+                what: "trailing bytes",
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame envelope.
+// ---------------------------------------------------------------------------
+
+/// Wraps a body in the frame envelope (header + checksum) and returns the
+/// complete wire bytes.
+pub fn encode_frame(kind: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    encode_frame_into(kind, body, &mut out);
+    out
+}
+
+/// Appends a complete frame (header + body) to `out`.
+pub fn encode_frame_into(kind: u8, body: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(body.len() <= MAX_BODY as usize, "frame body over MAX_BODY");
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(WIRE_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// One decoded frame: its kind byte and verified body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame discriminator from the header.
+    pub kind: u8,
+    /// The checksum-verified body bytes.
+    pub body: Vec<u8>,
+}
+
+/// Incremental frame parser over a byte stream.
+///
+/// Feed arbitrary chunks with [`extend`](Self::extend) and pull complete
+/// frames with [`next_frame`](Self::next_frame). Recoverable rejections
+/// (checksum mismatch on a plausibly framed body) consume the bad frame so
+/// the stream can continue; structural rejections (bad magic, wrong
+/// version, oversize length) poison the decoder — once framing is lost
+/// there is no resynchronization point, so every later call returns the
+/// same error and the transport must drop the connection.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    poisoned: Option<WireError>,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet parsed into frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Parses the next complete frame, if one is buffered.
+    ///
+    /// `Ok(None)` means more bytes are needed. `Err(BadChecksum)` consumes
+    /// the corrupt frame (callers meter it and may keep reading);
+    /// any other error is sticky.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if let Some(e) = self.poisoned {
+            return Err(e);
+        }
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic = u16::from_le_bytes([self.buf[0], self.buf[1]]);
+        if magic != MAGIC {
+            return Err(self.poison(WireError::BadMagic { got: magic }));
+        }
+        let version = self.buf[2];
+        if version != WIRE_VERSION {
+            return Err(self.poison(WireError::BadVersion { got: version }));
+        }
+        let kind = self.buf[3];
+        let len = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes"));
+        if len > MAX_BODY {
+            return Err(self.poison(WireError::Oversize { len }));
+        }
+        let crc = u32::from_le_bytes(self.buf[8..12].try_into().expect("4 bytes"));
+        let total = HEADER_LEN + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body: Vec<u8> = self.buf[HEADER_LEN..total].to_vec();
+        self.buf.drain(..total);
+        if crc32(&body) != crc {
+            return Err(WireError::BadChecksum);
+        }
+        Ok(Some(Frame { kind, body }))
+    }
+
+    fn poison(&mut self, e: WireError) -> WireError {
+        self.poisoned = Some(e);
+        e
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CtrlMsg body codec.
+// ---------------------------------------------------------------------------
+
+const TAG_IMPORT_CALL: u8 = 1;
+const TAG_IMPORT_REQUEST: u8 = 2;
+const TAG_FORWARD_REQUEST: u8 = 3;
+const TAG_RESPONSE: u8 = 4;
+const TAG_BUDDY_HELP: u8 = 5;
+const TAG_ANSWER: u8 = 6;
+const TAG_ANSWER_BCAST: u8 = 7;
+const TAG_ACK: u8 = 8;
+const TAG_HEARTBEAT: u8 = 9;
+
+const TAG_RESP_MATCH: u8 = 1;
+const TAG_RESP_NO_MATCH: u8 = 2;
+const TAG_RESP_PENDING_NONE: u8 = 3;
+const TAG_RESP_PENDING_SOME: u8 = 4;
+
+const TAG_ANS_MATCH: u8 = 1;
+const TAG_ANS_NO_MATCH: u8 = 2;
+
+fn put_answer(w: &mut BodyWriter, a: RepAnswer) {
+    match a {
+        RepAnswer::Match(t) => {
+            w.u8(TAG_ANS_MATCH);
+            w.f64(t.value());
+        }
+        RepAnswer::NoMatch => w.u8(TAG_ANS_NO_MATCH),
+    }
+}
+
+fn take_answer(r: &mut BodyReader<'_>) -> Result<RepAnswer, WireError> {
+    match r.u8()? {
+        TAG_ANS_MATCH => Ok(RepAnswer::Match(r.timestamp()?)),
+        TAG_ANS_NO_MATCH => Ok(RepAnswer::NoMatch),
+        tag => Err(WireError::BadTag {
+            what: "rep answer",
+            tag,
+        }),
+    }
+}
+
+fn put_response(w: &mut BodyWriter, resp: ProcResponse) {
+    match resp {
+        ProcResponse::Match(t) => {
+            w.u8(TAG_RESP_MATCH);
+            w.f64(t.value());
+        }
+        ProcResponse::NoMatch => w.u8(TAG_RESP_NO_MATCH),
+        ProcResponse::Pending { latest: None } => w.u8(TAG_RESP_PENDING_NONE),
+        ProcResponse::Pending { latest: Some(t) } => {
+            w.u8(TAG_RESP_PENDING_SOME);
+            w.f64(t.value());
+        }
+    }
+}
+
+fn take_response(r: &mut BodyReader<'_>) -> Result<ProcResponse, WireError> {
+    match r.u8()? {
+        TAG_RESP_MATCH => Ok(ProcResponse::Match(r.timestamp()?)),
+        TAG_RESP_NO_MATCH => Ok(ProcResponse::NoMatch),
+        TAG_RESP_PENDING_NONE => Ok(ProcResponse::Pending { latest: None }),
+        TAG_RESP_PENDING_SOME => Ok(ProcResponse::Pending {
+            latest: Some(r.timestamp()?),
+        }),
+        tag => Err(WireError::BadTag {
+            what: "proc response",
+            tag,
+        }),
+    }
+}
+
+/// Encodes a control message into a frame body (no envelope).
+pub fn encode_ctrl(msg: &CtrlMsg) -> Vec<u8> {
+    let mut w = BodyWriter::with_capacity(32);
+    match *msg {
+        CtrlMsg::ImportCall { conn, rank, ts } => {
+            w.u8(TAG_IMPORT_CALL);
+            w.u32(conn.0);
+            w.u32(rank.0);
+            w.f64(ts.value());
+        }
+        CtrlMsg::ImportRequest { conn, req, ts } => {
+            w.u8(TAG_IMPORT_REQUEST);
+            w.u32(conn.0);
+            w.u64(req.0);
+            w.f64(ts.value());
+        }
+        CtrlMsg::ForwardRequest { conn, req, ts } => {
+            w.u8(TAG_FORWARD_REQUEST);
+            w.u32(conn.0);
+            w.u64(req.0);
+            w.f64(ts.value());
+        }
+        CtrlMsg::Response {
+            conn,
+            req,
+            rank,
+            resp,
+        } => {
+            w.u8(TAG_RESPONSE);
+            w.u32(conn.0);
+            w.u64(req.0);
+            w.u32(rank.0);
+            put_response(&mut w, resp);
+        }
+        CtrlMsg::BuddyHelp { conn, req, answer } => {
+            w.u8(TAG_BUDDY_HELP);
+            w.u32(conn.0);
+            w.u64(req.0);
+            put_answer(&mut w, answer);
+        }
+        CtrlMsg::Answer { conn, req, answer } => {
+            w.u8(TAG_ANSWER);
+            w.u32(conn.0);
+            w.u64(req.0);
+            put_answer(&mut w, answer);
+        }
+        CtrlMsg::AnswerBcast { conn, req, answer } => {
+            w.u8(TAG_ANSWER_BCAST);
+            w.u32(conn.0);
+            w.u64(req.0);
+            put_answer(&mut w, answer);
+        }
+        CtrlMsg::Ack { seq } => {
+            w.u8(TAG_ACK);
+            w.u64(seq);
+        }
+        CtrlMsg::Heartbeat { beat } => {
+            w.u8(TAG_HEARTBEAT);
+            w.u64(beat);
+        }
+    }
+    w.into_body()
+}
+
+/// Decodes a control message from a frame body produced by
+/// [`encode_ctrl`]. Trailing bytes are rejected.
+pub fn decode_ctrl(body: &[u8]) -> Result<CtrlMsg, WireError> {
+    let mut r = BodyReader::new(body);
+    let msg = match r.u8()? {
+        TAG_IMPORT_CALL => CtrlMsg::ImportCall {
+            conn: ConnectionId(r.u32()?),
+            rank: Rank(r.u32()?),
+            ts: r.timestamp()?,
+        },
+        TAG_IMPORT_REQUEST => CtrlMsg::ImportRequest {
+            conn: ConnectionId(r.u32()?),
+            req: RequestId(r.u64()?),
+            ts: r.timestamp()?,
+        },
+        TAG_FORWARD_REQUEST => CtrlMsg::ForwardRequest {
+            conn: ConnectionId(r.u32()?),
+            req: RequestId(r.u64()?),
+            ts: r.timestamp()?,
+        },
+        TAG_RESPONSE => CtrlMsg::Response {
+            conn: ConnectionId(r.u32()?),
+            req: RequestId(r.u64()?),
+            rank: Rank(r.u32()?),
+            resp: take_response(&mut r)?,
+        },
+        TAG_BUDDY_HELP => CtrlMsg::BuddyHelp {
+            conn: ConnectionId(r.u32()?),
+            req: RequestId(r.u64()?),
+            answer: take_answer(&mut r)?,
+        },
+        TAG_ANSWER => CtrlMsg::Answer {
+            conn: ConnectionId(r.u32()?),
+            req: RequestId(r.u64()?),
+            answer: take_answer(&mut r)?,
+        },
+        TAG_ANSWER_BCAST => CtrlMsg::AnswerBcast {
+            conn: ConnectionId(r.u32()?),
+            req: RequestId(r.u64()?),
+            answer: take_answer(&mut r)?,
+        },
+        TAG_ACK => CtrlMsg::Ack { seq: r.u64()? },
+        TAG_HEARTBEAT => CtrlMsg::Heartbeat { beat: r.u64()? },
+        tag => {
+            return Err(WireError::BadTag {
+                what: "ctrl message",
+                tag,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Payload (data-piece) codec.
+// ---------------------------------------------------------------------------
+
+/// A rectangle on the wire. The protocol crate carries it as raw `u64`
+/// coordinates; the runtime converts to/from its layout type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireRect {
+    /// First row of the rectangle.
+    pub row0: u64,
+    /// First column of the rectangle.
+    pub col0: u64,
+    /// Row count.
+    pub rows: u64,
+    /// Column count.
+    pub cols: u64,
+}
+
+fn put_rect(w: &mut BodyWriter, r: WireRect) {
+    w.u64(r.row0);
+    w.u64(r.col0);
+    w.u64(r.rows);
+    w.u64(r.cols);
+}
+
+fn take_rect(r: &mut BodyReader<'_>) -> Result<WireRect, WireError> {
+    Ok(WireRect {
+        row0: r.u64()?,
+        col0: r.u64()?,
+        rows: r.u64()?,
+        cols: r.u64()?,
+    })
+}
+
+/// One matched data piece on the wire: the transfer rectangle, the
+/// exporter-owned rectangle the flat `data` spans (row-major,
+/// `owned.rows * owned.cols` values), and the addressing needed to hand it
+/// to the right importer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PayloadFrame {
+    /// Connection the transfer is on.
+    pub conn: ConnectionId,
+    /// Destination importer rank.
+    pub dst: Rank,
+    /// Request the piece satisfies.
+    pub req: RequestId,
+    /// The region of `data` the importer should copy.
+    pub rect: WireRect,
+    /// The rectangle `data` spans (the exporting process's owned region).
+    pub owned: WireRect,
+    /// Row-major values of `owned`.
+    pub data: Vec<f64>,
+}
+
+/// Encodes a payload frame (envelope included). The `data` slice is
+/// serialized directly — the caller hands the shared buffer's slice, no
+/// intermediate copy of the array is made.
+pub fn encode_payload(
+    conn: ConnectionId,
+    dst: Rank,
+    req: RequestId,
+    rect: WireRect,
+    owned: WireRect,
+    data: &[f64],
+) -> Vec<u8> {
+    let mut w = BodyWriter::with_capacity(8 + 8 * 8 + 8 + 8 + 8 * data.len());
+    w.u32(conn.0);
+    w.u32(dst.0);
+    w.u64(req.0);
+    put_rect(&mut w, rect);
+    put_rect(&mut w, owned);
+    w.u64(data.len() as u64);
+    for &v in data {
+        w.f64(v);
+    }
+    encode_frame(KIND_PAYLOAD, &w.into_body())
+}
+
+/// Decodes a payload frame body. Rejects data whose length disagrees with
+/// either its own length prefix or the owned rectangle's area.
+pub fn decode_payload(body: &[u8]) -> Result<PayloadFrame, WireError> {
+    let mut r = BodyReader::new(body);
+    let conn = ConnectionId(r.u32()?);
+    let dst = Rank(r.u32()?);
+    let req = RequestId(r.u64()?);
+    let rect = take_rect(&mut r)?;
+    let owned = take_rect(&mut r)?;
+    let n = r.u64()?;
+    if n != owned.rows.saturating_mul(owned.cols) {
+        return Err(WireError::Malformed {
+            what: "payload length vs owned rect",
+        });
+    }
+    if n as usize * 8 != r.remaining() {
+        return Err(WireError::Malformed {
+            what: "payload length vs body",
+        });
+    }
+    let mut data = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        data.push(r.f64()?);
+    }
+    r.finish()?;
+    Ok(PayloadFrame {
+        conn,
+        dst,
+        req,
+        rect,
+        owned,
+        data,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use couplink_time::ts;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn ctrl_frame_roundtrip() {
+        let msg = CtrlMsg::Response {
+            conn: ConnectionId(3),
+            req: RequestId(41),
+            rank: Rank(2),
+            resp: ProcResponse::Pending {
+                latest: Some(ts(14.6)),
+            },
+        };
+        let frame = encode_frame(KIND_CTRL, &encode_ctrl(&msg));
+        let mut dec = FrameDecoder::new();
+        dec.extend(&frame);
+        let got = dec.next_frame().expect("valid").expect("complete");
+        assert_eq!(got.kind, KIND_CTRL);
+        assert_eq!(decode_ctrl(&got.body).expect("decodes"), msg);
+        assert!(dec.next_frame().expect("no error").is_none());
+    }
+
+    #[test]
+    fn decoder_handles_split_and_batched_frames() {
+        let a = encode_frame(KIND_CTRL, &encode_ctrl(&CtrlMsg::Ack { seq: 9 }));
+        let b = encode_frame(KIND_CTRL, &encode_ctrl(&CtrlMsg::Heartbeat { beat: 7 }));
+        let mut wire: Vec<u8> = a.iter().chain(&b).copied().collect();
+        let tail = wire.split_off(5);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        assert!(dec.next_frame().expect("incomplete is fine").is_none());
+        dec.extend(&tail);
+        let first = dec.next_frame().expect("ok").expect("frame");
+        let second = dec.next_frame().expect("ok").expect("frame");
+        assert_eq!(decode_ctrl(&first.body), Ok(CtrlMsg::Ack { seq: 9 }));
+        assert_eq!(
+            decode_ctrl(&second.body),
+            Ok(CtrlMsg::Heartbeat { beat: 7 })
+        );
+    }
+
+    #[test]
+    fn checksum_rejection_is_recoverable() {
+        let good = CtrlMsg::Answer {
+            conn: ConnectionId(1),
+            req: RequestId(2),
+            answer: RepAnswer::NoMatch,
+        };
+        let mut bad = encode_frame(KIND_CTRL, &encode_ctrl(&good));
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bad);
+        dec.extend(&encode_frame(KIND_CTRL, &encode_ctrl(&good)));
+        assert_eq!(dec.next_frame(), Err(WireError::BadChecksum));
+        let next = dec.next_frame().expect("recovered").expect("frame");
+        assert_eq!(decode_ctrl(&next.body), Ok(good));
+    }
+
+    #[test]
+    fn structural_rejections_poison_the_stream() {
+        let mut dec = FrameDecoder::new();
+        let mut frame = encode_frame(KIND_CTRL, &encode_ctrl(&CtrlMsg::Ack { seq: 1 }));
+        frame[2] = WIRE_VERSION + 1;
+        dec.extend(&frame);
+        assert_eq!(
+            dec.next_frame(),
+            Err(WireError::BadVersion {
+                got: WIRE_VERSION + 1
+            })
+        );
+        // Sticky: later (valid) bytes never resurrect the stream.
+        dec.extend(&encode_frame(
+            KIND_CTRL,
+            &encode_ctrl(&CtrlMsg::Ack { seq: 2 }),
+        ));
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let rect = WireRect {
+            row0: 2,
+            col0: 0,
+            rows: 2,
+            cols: 8,
+        };
+        let owned = WireRect {
+            row0: 2,
+            col0: 0,
+            rows: 3,
+            cols: 8,
+        };
+        let data: Vec<f64> = (0..24).map(|i| i as f64 * 0.5).collect();
+        let frame = encode_payload(ConnectionId(0), Rank(1), RequestId(7), rect, owned, &data);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&frame);
+        let got = dec.next_frame().expect("ok").expect("frame");
+        assert_eq!(got.kind, KIND_PAYLOAD);
+        let p = decode_payload(&got.body).expect("decodes");
+        assert_eq!(p.rect, rect);
+        assert_eq!(p.owned, owned);
+        assert_eq!(p.data, data);
+    }
+
+    #[test]
+    fn payload_length_mismatch_rejected() {
+        let owned = WireRect {
+            row0: 0,
+            col0: 0,
+            rows: 2,
+            cols: 2,
+        };
+        let frame = encode_payload(
+            ConnectionId(0),
+            Rank(0),
+            RequestId(0),
+            owned,
+            owned,
+            &[1.0, 2.0, 3.0],
+        );
+        let mut dec = FrameDecoder::new();
+        dec.extend(&frame);
+        let got = dec.next_frame().expect("framing fine").expect("frame");
+        assert_eq!(
+            decode_payload(&got.body),
+            Err(WireError::Malformed {
+                what: "payload length vs owned rect"
+            })
+        );
+    }
+}

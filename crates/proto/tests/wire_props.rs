@@ -1,0 +1,244 @@
+//! Property tests of the wire codec: every control message and payload
+//! frame round-trips bit-exactly, and every way a frame can be damaged —
+//! truncation, version skew, bit flips, outright garbage — maps to a
+//! typed [`WireError`], never a panic, with checksum damage recoverable
+//! (the decoder resynchronizes on the next frame).
+
+use couplink_proto::wire::{
+    decode_ctrl, decode_payload, encode_ctrl, encode_frame, encode_payload, FrameDecoder,
+    WireError, WireRect, HEADER_LEN, KIND_CTRL, KIND_PAYLOAD, WIRE_VERSION,
+};
+use couplink_proto::{ConnectionId, CtrlMsg, ProcResponse, Rank, RepAnswer, RequestId};
+use couplink_time::ts;
+use proptest::prelude::*;
+
+/// Every [`CtrlMsg`] variant, with randomized fields. Timestamps stay
+/// finite (non-finite bits are rejected by construction, not carried).
+fn ctrl_msg() -> impl Strategy<Value = CtrlMsg> {
+    (
+        0u8..9,
+        0u32..1000,
+        0u64..u64::MAX,
+        0u32..64,
+        0.0f64..1e9,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(tag, conn, req, rank, t, flag_a, flag_b)| {
+            let conn = ConnectionId(conn);
+            let req = RequestId(req);
+            let rank = Rank(rank);
+            let answer = if flag_a {
+                RepAnswer::Match(ts(t))
+            } else {
+                RepAnswer::NoMatch
+            };
+            match tag {
+                0 => CtrlMsg::ImportCall {
+                    conn,
+                    rank,
+                    ts: ts(t),
+                },
+                1 => CtrlMsg::ImportRequest {
+                    conn,
+                    req,
+                    ts: ts(t),
+                },
+                2 => CtrlMsg::ForwardRequest {
+                    conn,
+                    req,
+                    ts: ts(t),
+                },
+                3 => CtrlMsg::Response {
+                    conn,
+                    req,
+                    rank,
+                    resp: match (flag_a, flag_b) {
+                        (true, _) => ProcResponse::Match(ts(t)),
+                        (false, true) => ProcResponse::NoMatch,
+                        (false, false) => ProcResponse::Pending {
+                            latest: (t > 0.5).then(|| ts(t)),
+                        },
+                    },
+                },
+                4 => CtrlMsg::BuddyHelp { conn, req, answer },
+                5 => CtrlMsg::Answer { conn, req, answer },
+                6 => CtrlMsg::AnswerBcast { conn, req, answer },
+                7 => CtrlMsg::Ack { seq: req.0 },
+                _ => CtrlMsg::Heartbeat { beat: req.0 },
+            }
+        })
+}
+
+proptest! {
+    /// Body-level and frame-level round trip for every variant.
+    #[test]
+    fn ctrl_roundtrips(msg in ctrl_msg()) {
+        let body = encode_ctrl(&msg);
+        prop_assert_eq!(decode_ctrl(&body).unwrap(), msg.clone());
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&encode_frame(KIND_CTRL, &body));
+        let frame = dec.next_frame().unwrap().unwrap();
+        prop_assert_eq!(frame.kind, KIND_CTRL);
+        prop_assert_eq!(decode_ctrl(&frame.body).unwrap(), msg);
+        prop_assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    /// Payload frames round-trip for random rects, including empty ones,
+    /// with the data serialized bit-exactly.
+    #[test]
+    fn payload_roundtrips(
+        row0 in 0u64..512, col0 in 0u64..512,
+        rows in 0u64..7, cols in 0u64..7,
+        dst in 0u32..64, seed in 0u64..u64::MAX,
+    ) {
+        let owned = WireRect { row0, col0, rows, cols };
+        let rect = WireRect { row0, col0, rows: rows.min(1), cols };
+        let n = (rows * cols) as usize;
+        // Deterministic but irregular finite values.
+        let data: Vec<f64> = (0..n)
+            .map(|i| (seed.wrapping_mul(i as u64 + 1) % 1_000_000) as f64 * 0.5 - 1e5)
+            .collect();
+        let frame_bytes = encode_payload(
+            ConnectionId(3), Rank(dst), RequestId(seed), rect, owned, &data,
+        );
+        let mut dec = FrameDecoder::new();
+        dec.extend(&frame_bytes);
+        let frame = dec.next_frame().unwrap().unwrap();
+        prop_assert_eq!(frame.kind, KIND_PAYLOAD);
+        let p = decode_payload(&frame.body).unwrap();
+        prop_assert_eq!(p.conn, ConnectionId(3));
+        prop_assert_eq!(p.dst, Rank(dst));
+        prop_assert_eq!(p.req, RequestId(seed));
+        prop_assert_eq!(p.rect, rect);
+        prop_assert_eq!(p.owned, owned);
+        prop_assert_eq!(p.data, data);
+    }
+
+    /// Truncating a body anywhere yields a typed error, never a panic.
+    #[test]
+    fn truncated_bodies_reject(msg in ctrl_msg(), cut in 0u64..1000) {
+        let body = encode_ctrl(&msg);
+        let cut = (cut as usize) % body.len();
+        match decode_ctrl(&body[..cut]) {
+            Err(WireError::Truncated) => {}
+            Err(WireError::Malformed { .. }) | Err(WireError::BadTag { .. }) => {}
+            Ok(m) => prop_assert!(
+                cut == body.len(),
+                "decoded {m:?} from a truncated body ({cut}/{} bytes)", body.len()
+            ),
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+
+    /// A partial frame is "not yet", not an error; completing it decodes.
+    #[test]
+    fn partial_frames_wait(msg in ctrl_msg(), cut in 1u64..1000) {
+        let bytes = encode_frame(KIND_CTRL, &encode_ctrl(&msg));
+        let cut = 1 + (cut as usize) % (bytes.len() - 1);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes[..cut]);
+        if cut < bytes.len() {
+            prop_assert!(dec.next_frame().unwrap().is_none());
+        }
+        dec.extend(&bytes[cut..]);
+        let frame = dec.next_frame().unwrap().unwrap();
+        prop_assert_eq!(decode_ctrl(&frame.body).unwrap(), msg);
+    }
+
+    /// Version skew is a permanent, typed rejection.
+    #[test]
+    fn version_skew_rejects(msg in ctrl_msg(), v in 0u8..=255) {
+        let mut bytes = encode_frame(KIND_CTRL, &encode_ctrl(&msg));
+        if v == WIRE_VERSION {
+            return Ok(());
+        }
+        bytes[2] = v;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        let skew = matches!(dec.next_frame(), Err(WireError::BadVersion { got }) if got == v);
+        prop_assert!(skew, "expected BadVersion for version byte {}", v);
+        // The stream is poisoned: feeding a pristine frame cannot revive it.
+        dec.extend(&encode_frame(KIND_CTRL, &encode_ctrl(&msg)));
+        prop_assert!(dec.next_frame().is_err());
+    }
+
+    /// A bit flip in the body region fails the checksum — and only skips
+    /// that frame: the next frame on the stream still decodes.
+    #[test]
+    fn bit_flips_are_skipped_not_fatal(msg in ctrl_msg(), bit in 0u64..10_000) {
+        let mut bytes = encode_frame(KIND_CTRL, &encode_ctrl(&msg));
+        let body_bits = (bytes.len() - HEADER_LEN) * 8;
+        let bit = (bit as usize) % body_bits;
+        bytes[HEADER_LEN + bit / 8] ^= 1 << (bit % 8);
+        let follow = encode_frame(KIND_CTRL, &encode_ctrl(&msg));
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        dec.extend(&follow);
+        prop_assert!(matches!(dec.next_frame(), Err(WireError::BadChecksum)));
+        let frame = dec.next_frame().unwrap().unwrap();
+        prop_assert_eq!(decode_ctrl(&frame.body).unwrap(), msg);
+    }
+
+    /// Arbitrary garbage never panics any decode entry point.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let _ = decode_ctrl(&bytes);
+        let _ = decode_payload(&bytes);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        for _ in 0..8 {
+            match dec.next_frame() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}
+
+/// A near-worst-case payload (512×512 cells, 2 MiB of f64) survives the
+/// round trip intact — the size guard admits real frames.
+#[test]
+fn large_payload_roundtrip() {
+    let owned = WireRect {
+        row0: 0,
+        col0: 0,
+        rows: 512,
+        cols: 512,
+    };
+    let data: Vec<f64> = (0..512 * 512).map(|i| i as f64 * 0.25).collect();
+    let bytes = encode_payload(ConnectionId(0), Rank(7), RequestId(1), owned, owned, &data);
+    let mut dec = FrameDecoder::new();
+    dec.extend(&bytes);
+    let frame = dec.next_frame().unwrap().unwrap();
+    let p = decode_payload(&frame.body).unwrap();
+    assert_eq!(p.data, data);
+    assert_eq!(p.owned, owned);
+}
+
+/// Payload data whose length disagrees with its owned rect is malformed.
+#[test]
+fn payload_shape_mismatch_rejects() {
+    let owned = WireRect {
+        row0: 0,
+        col0: 0,
+        rows: 2,
+        cols: 3,
+    };
+    let bytes = encode_payload(
+        ConnectionId(0),
+        Rank(0),
+        RequestId(0),
+        owned,
+        owned,
+        &[1.0; 5], // 5 != 2*3
+    );
+    let mut dec = FrameDecoder::new();
+    dec.extend(&bytes);
+    let frame = dec.next_frame().unwrap().unwrap();
+    assert!(matches!(
+        decode_payload(&frame.body),
+        Err(WireError::Malformed { .. })
+    ));
+}

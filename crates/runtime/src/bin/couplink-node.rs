@@ -1,0 +1,55 @@
+//! One coupled program as an OS process. Spawned by the socket
+//! bootstrap (`couplink_runtime::net::bootstrap`); not meant to be run by
+//! hand — it immediately dials the parent given on the command line.
+
+use std::process::ExitCode;
+
+use couplink_runtime::net::{node_main, NodeArgs};
+
+const USAGE: &str = "usage: couplink-node --connect <addr> --prog <i> --token <t> [--claim <i>]";
+
+fn parse_args() -> Result<NodeArgs, String> {
+    let mut connect = None;
+    let mut prog = None;
+    let mut token = None;
+    let mut claim = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| it.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--connect" => connect = Some(value("--connect")?),
+            "--prog" => {
+                prog = Some(
+                    value("--prog")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--prog: {e}"))?,
+                )
+            }
+            "--token" => token = Some(value("--token")?),
+            "--claim" => {
+                claim = Some(
+                    value("--claim")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--claim: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(NodeArgs {
+        connect: connect.ok_or("--connect is required")?,
+        prog: prog.ok_or("--prog is required")?,
+        token: token.ok_or("--token is required")?,
+        claim,
+    })
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => ExitCode::from(node_main(args) as u8),
+        Err(e) => {
+            eprintln!("couplink-node: {e}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -388,6 +388,10 @@ pub fn check_fault_free(counters: &CounterSnapshot) -> Result<(), OracleViolatio
         ("degraded_buffers", counters.degraded_buffers),
         ("acks", counters.ctrl(CtrlClass::Ack)),
         ("heartbeats", counters.ctrl(CtrlClass::Heartbeat)),
+        // The socket transport must be equally inert on a clean run: no
+        // reconnects, and every inbound frame decoded cleanly.
+        ("net_reconnects", counters.net_reconnects),
+        ("net_codec_rejects", counters.net_codec_rejects),
     ];
     for (name, value) in fields {
         if value != 0 {
@@ -516,6 +520,10 @@ mod tests {
             degraded_buffers: 0,
             payload_allocs: 0,
             ctrl_batches: 0,
+            net_frames: 0,
+            net_bytes: 0,
+            net_reconnects: 0,
+            net_codec_rejects: 0,
             lock_wait_ns: 0,
             buffered_hwm: 0,
             queue_depth_hwm: 0,

@@ -14,6 +14,11 @@
 //!   over crossbeam channels, and buffering performs *real* memcpys of real
 //!   `f64` arrays. This is what the examples and the Criterion benches use;
 //!   it exhibits the paper's timing races on real hardware.
+//! * [`net`] — the **socket transport**: each program is its own OS process
+//!   (the `couplink-node` binary), coupled over UDS or loopback TCP with the
+//!   `couplink-proto` wire codec. Each process hosts a *partial* threaded
+//!   session; only import requests, collective answers, acks, and payload
+//!   pieces cross the wire.
 //!
 //! Both runtimes implement the same protocol flow (§4 of the paper):
 //! importer processes make collective `import` calls through their rep; the
@@ -32,6 +37,7 @@
 pub mod cost;
 pub mod des;
 pub mod engine;
+pub mod net;
 pub mod threaded;
 
 pub use cost::CostModel;

@@ -1,0 +1,500 @@
+//! Parent-side orchestration of a socket session: spawn one
+//! `couplink-node` process per program, walk them through the handshake,
+//! run the coordinated drain, and merge their reports into one
+//! session-wide view.
+//!
+//! The handshake is deliberately sequential and fail-fast: any child that
+//! presents the wrong protocol version, a wrong token, an out-of-range
+//! program index, or a program index already claimed gets a `FATAL` frame
+//! and the whole bootstrap aborts with a typed error — a half-connected
+//! mesh is never allowed to start. Once `GO` is out, the parent only
+//! *observes*: per-child reader threads translate frames and EOFs into
+//! events, and the two-phase wait (everyone app-done or dead, then drain,
+//! then everyone reported or dead) tolerates children dying at any point.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use couplink_metrics::{CounterSnapshot, EngineMetrics};
+use couplink_proto::{ConnectionId, ExportStats, Trace};
+use couplink_time::{ts, Timestamp};
+
+use super::codec::{self, NodePlan, NodeReport};
+use super::link::{Conn, FrameReader, Listener, SocketBackend};
+
+/// Knobs for [`run_plan`].
+#[derive(Debug, Clone)]
+pub struct NetOptions {
+    /// Socket flavour for bootstrap and mesh links alike.
+    pub backend: SocketBackend,
+    /// Path to the `couplink-node` binary.
+    pub node_bin: PathBuf,
+    /// Wall-clock budget for the whole session, handshake included.
+    pub deadline: Duration,
+    /// Test hook: spawn program `.0` claiming to be program `.1`, to
+    /// exercise the duplicate/bad-claim rejection path.
+    pub misclaim: Option<(usize, usize)>,
+}
+
+impl NetOptions {
+    /// Options with the given node binary, UDS backend, and a 120 s deadline.
+    pub fn new(node_bin: PathBuf) -> NetOptions {
+        NetOptions {
+            backend: SocketBackend::Uds,
+            node_bin,
+            deadline: Duration::from_secs(120),
+            misclaim: None,
+        }
+    }
+}
+
+/// Why a socket session could not be bootstrapped or collected.
+#[derive(Debug)]
+pub enum BootstrapError {
+    /// The plan's embedded configuration failed to validate.
+    Plan(String),
+    /// Socket or filesystem failure on the parent side.
+    Io(io::Error),
+    /// A child process could not be spawned.
+    Spawn(String),
+    /// The deadline expired during the named phase.
+    Timeout(&'static str),
+    /// A frame from a child failed to decode.
+    Wire(String),
+    /// A child spoke the wrong runtime protocol version.
+    VersionSkew {
+        /// The version the child announced.
+        got: u32,
+    },
+    /// A child presented the wrong session token.
+    BadToken,
+    /// A child claimed a program index outside the topology.
+    BadProgram {
+        /// The claimed index.
+        got: usize,
+    },
+    /// Two children claimed the same program index.
+    DuplicateProgram {
+        /// The doubly-claimed index.
+        prog: usize,
+    },
+}
+
+impl std::fmt::Display for BootstrapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootstrapError::Plan(e) => write!(f, "bad plan: {e}"),
+            BootstrapError::Io(e) => write!(f, "bootstrap i/o: {e}"),
+            BootstrapError::Spawn(e) => write!(f, "spawning node: {e}"),
+            BootstrapError::Timeout(phase) => write!(f, "bootstrap timed out during {phase}"),
+            BootstrapError::Wire(e) => write!(f, "bad frame from node: {e}"),
+            BootstrapError::VersionSkew { got } => {
+                write!(
+                    f,
+                    "node speaks protocol version {got}, want {}",
+                    codec::RT_VERSION
+                )
+            }
+            BootstrapError::BadToken => write!(f, "node presented a wrong session token"),
+            BootstrapError::BadProgram { got } => {
+                write!(f, "node claimed out-of-range program {got}")
+            }
+            BootstrapError::DuplicateProgram { prog } => {
+                write!(f, "two nodes claimed program {prog}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BootstrapError {}
+
+impl From<io::Error> for BootstrapError {
+    fn from(e: io::Error) -> Self {
+        BootstrapError::Io(e)
+    }
+}
+
+/// The merged outcome of a socket session — the cross-process analogue of
+/// the threaded fabric's `FabricReport`, plus the application-level
+/// outcomes the node processes observed.
+#[derive(Debug)]
+pub struct NetReport {
+    /// Per-connection exporter statistics (per exporting rank), indexed by
+    /// connection id.
+    pub stats: Vec<Vec<ExportStats>>,
+    /// Armed traces, `(program, rank, connection, trace)`.
+    pub traces: Vec<(usize, usize, ConnectionId, Trace)>,
+    /// Rank-0 matched timestamps per connection, indexed by connection id.
+    pub matches: Vec<Vec<Option<Timestamp>>>,
+    /// Per importer rank: `(prog, rank, imports completed, error)`.
+    pub imports_done: Vec<(usize, usize, u64, Option<String>)>,
+    /// Exporter thread failures: `(prog, rank, error)`.
+    pub export_errors: Vec<(usize, usize, String)>,
+    /// Fabric drain failures per program.
+    pub shutdown_errors: Vec<(usize, String)>,
+    /// Programs that exited without delivering a report.
+    pub crashed: Vec<usize>,
+    /// Session-wide counters: field-wise sum of the per-process snapshots
+    /// (high-water marks take the max).
+    pub counters: CounterSnapshot,
+    /// The raw per-process snapshots, indexed by program (crashed
+    /// programs report zeros).
+    pub process_counters: Vec<CounterSnapshot>,
+}
+
+/// What a per-child reader thread distilled from the child's frames.
+enum Event {
+    AppDone,
+    Report(Box<NodeReport>),
+    Gone,
+}
+
+/// Kills and reaps every still-tracked child on drop, so no error path
+/// can leak node processes into the test harness.
+struct Children(Vec<Option<std::process::Child>>);
+
+impl Drop for Children {
+    fn drop(&mut self) {
+        for child in self.0.iter_mut().flatten() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+static SESSION_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn zero_counters() -> CounterSnapshot {
+    EngineMetrics::default().snapshot().counters
+}
+
+fn read_frame(
+    reader: &mut FrameReader,
+    want: u8,
+    phase: &'static str,
+) -> Result<Vec<u8>, BootstrapError> {
+    let mut reject = || {};
+    match reader.next(&mut reject) {
+        Ok(Some(f)) if f.kind == want => Ok(f.body),
+        Ok(Some(f)) => Err(BootstrapError::Wire(format!(
+            "expected frame kind {want} during {phase}, got {}",
+            f.kind
+        ))),
+        Ok(None) => Err(BootstrapError::Wire(format!(
+            "node closed its socket during {phase}"
+        ))),
+        Err(super::link::NetError::Io(e))
+            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+        {
+            Err(BootstrapError::Timeout(phase))
+        }
+        Err(e) => Err(BootstrapError::Wire(format!("during {phase}: {e}"))),
+    }
+}
+
+/// Runs one socket session end to end: spawn, handshake, go, drain,
+/// merge. Returns the merged report, or a typed error if the session
+/// could not even be brought up (post-`GO` failures are *data* — they
+/// surface inside the report, not as `Err`).
+pub fn run_plan(plan: &NodePlan, opts: &NetOptions) -> Result<NetReport, BootstrapError> {
+    let topo = plan.topology().map_err(BootstrapError::Plan)?;
+    let n = topo.programs.len();
+    let deadline = Instant::now() + opts.deadline;
+
+    let dir = std::env::temp_dir().join(format!(
+        "couplink-{}-{}",
+        std::process::id(),
+        SESSION_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir)?;
+    let _cleanup = DirCleanup(dir.clone());
+
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_nanos();
+    let token = format!("{:x}-{:x}", nanos, std::process::id());
+
+    let listener = Listener::bind(opts.backend, &dir, "boot")?;
+    listener.set_nonblocking(true)?;
+    let boot_addr = listener.addr()?.to_string();
+
+    // Spawn every program as its own process.
+    let mut children = Children(Vec::new());
+    for prog in 0..n {
+        let claim = match opts.misclaim {
+            Some((spawned, claimed)) if spawned == prog => Some(claimed),
+            _ => None,
+        };
+        let mut cmd = std::process::Command::new(&opts.node_bin);
+        cmd.arg("--connect")
+            .arg(&boot_addr)
+            .arg("--prog")
+            .arg(prog.to_string())
+            .arg("--token")
+            .arg(&token);
+        if let Some(c) = claim {
+            cmd.arg("--claim").arg(c.to_string());
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| BootstrapError::Spawn(format!("{}: {e}", opts.node_bin.display())))?;
+        children.0.push(Some(child));
+    }
+
+    // Accept + hello: map sockets to program indices, rejecting anything
+    // that should not join this session.
+    let mut writers: Vec<Option<Conn>> = (0..n).map(|_| None).collect();
+    let mut readers: Vec<Option<FrameReader>> = (0..n).map(|_| None).collect();
+    let mut joined = 0usize;
+    while joined < n {
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(BootstrapError::Timeout("accept"));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut writer = conn.try_clone()?;
+        let mut reader = FrameReader::new(conn);
+        let body = read_frame(&mut reader, codec::KIND_HELLO, "hello")?;
+        let (version, peer_token, prog) =
+            codec::decode_hello(&body).map_err(|e| BootstrapError::Wire(format!("hello: {e}")))?;
+        let reject = |writer: &mut Conn, reason: &str| {
+            let _ = writer.write_all(&codec::encode_fatal(reason));
+        };
+        if version != codec::RT_VERSION {
+            reject(&mut writer, "protocol version mismatch");
+            return Err(BootstrapError::VersionSkew { got: version });
+        }
+        if peer_token != token {
+            reject(&mut writer, "bad session token");
+            return Err(BootstrapError::BadToken);
+        }
+        if prog >= n {
+            reject(&mut writer, "program index out of range");
+            return Err(BootstrapError::BadProgram { got: prog });
+        }
+        if writers[prog].is_some() {
+            reject(&mut writer, "program index already claimed");
+            return Err(BootstrapError::DuplicateProgram { prog });
+        }
+        writers[prog] = Some(writer);
+        readers[prog] = Some(reader);
+        joined += 1;
+    }
+    let mut writers: Vec<Conn> = writers.into_iter().map(Option::unwrap).collect();
+    let mut readers: Vec<FrameReader> = readers.into_iter().map(Option::unwrap).collect();
+
+    // PLAN → LISTENING → PEERS → READY → GO.
+    let plan_frame = codec::encode_plan(plan);
+    for w in &mut writers {
+        w.write_all(&plan_frame)?;
+    }
+    let mut mesh_addrs = Vec::with_capacity(n);
+    for r in &mut readers {
+        let body = read_frame(r, codec::KIND_LISTENING, "listening")?;
+        mesh_addrs.push(
+            codec::decode_listening(&body)
+                .map_err(|e| BootstrapError::Wire(format!("listening: {e}")))?,
+        );
+    }
+    let peers_frame = codec::encode_peers(&mesh_addrs);
+    for w in &mut writers {
+        w.write_all(&peers_frame)?;
+    }
+    for r in &mut readers {
+        read_frame(r, codec::KIND_READY, "ready")?;
+    }
+    for w in &mut writers {
+        w.write_all(&codec::encode_bare(codec::KIND_GO))?;
+    }
+
+    // From here on children own the pace; the parent just watches. One
+    // reader thread per child turns its frames into events.
+    let (tx, rx) = mpsc::channel::<(usize, Event)>();
+    let mut reader_threads = Vec::new();
+    for (prog, mut reader) in readers.into_iter().enumerate() {
+        reader.conn().set_read_timeout(None)?;
+        let tx = tx.clone();
+        reader_threads.push(
+            std::thread::Builder::new()
+                .name(format!("couplink-boot-rd-{prog}"))
+                .spawn(move || {
+                    let mut reject = || {};
+                    loop {
+                        match reader.next(&mut reject) {
+                            Ok(Some(f)) if f.kind == codec::KIND_APP_DONE => {
+                                let _ = tx.send((prog, Event::AppDone));
+                            }
+                            Ok(Some(f)) if f.kind == codec::KIND_REPORT => {
+                                match codec::decode_report(&f.body) {
+                                    Ok(rep) => {
+                                        let _ = tx.send((prog, Event::Report(Box::new(rep))));
+                                    }
+                                    Err(_) => {
+                                        let _ = tx.send((prog, Event::Gone));
+                                        return;
+                                    }
+                                }
+                            }
+                            Ok(Some(_)) => {}
+                            Ok(None) | Err(_) => {
+                                let _ = tx.send((prog, Event::Gone));
+                                return;
+                            }
+                        }
+                    }
+                })
+                .map_err(|e| BootstrapError::Spawn(format!("reader thread: {e}")))?,
+        );
+    }
+    drop(tx);
+
+    // Phase 1: every program finishes its application work or dies.
+    let mut app_done = vec![false; n];
+    let mut gone = vec![false; n];
+    let mut reports: Vec<Option<NodeReport>> = (0..n).map(|_| None).collect();
+    let settled = |app_done: &[bool], gone: &[bool], reports: &[Option<NodeReport>]| {
+        (0..n).all(|p| app_done[p] || gone[p] || reports[p].is_some())
+    };
+    while !settled(&app_done, &gone, &reports) {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(BootstrapError::Timeout("application phase"));
+        }
+        match rx.recv_timeout(remaining) {
+            Ok((p, Event::AppDone)) => app_done[p] = true,
+            Ok((p, Event::Report(rep))) => reports[p] = Some(*rep),
+            Ok((p, Event::Gone)) => gone[p] = true,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                return Err(BootstrapError::Timeout("application phase"))
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Coordinated drain: tell the survivors to shut their fabric down.
+    // Write errors are expected here — a child may have drained early or
+    // died since its last event.
+    for (p, w) in writers.iter_mut().enumerate() {
+        if !gone[p] && reports[p].is_none() {
+            let _ = w.write_all(&codec::encode_bare(codec::KIND_DRAIN));
+        }
+    }
+
+    // Phase 2: every program reports or dies.
+    while !(0..n).all(|p| gone[p] || reports[p].is_some()) {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(BootstrapError::Timeout("drain phase"));
+        }
+        match rx.recv_timeout(remaining) {
+            Ok((p, Event::Report(rep))) => reports[p] = Some(*rep),
+            Ok((p, Event::Gone)) => gone[p] = true,
+            Ok((_, Event::AppDone)) => {}
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                return Err(BootstrapError::Timeout("drain phase"))
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    drop(writers);
+    for t in reader_threads {
+        let _ = t.join();
+    }
+
+    // Reap within the deadline; anything still alive gets killed by the
+    // guard below.
+    for child in children.0.iter_mut() {
+        let Some(c) = child.as_mut() else { continue };
+        loop {
+            match c.try_wait() {
+                Ok(Some(_)) => {
+                    child.take();
+                    break;
+                }
+                Ok(None) if Instant::now() >= deadline => break,
+                Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                Err(_) => break,
+            }
+        }
+    }
+    drop(children);
+
+    Ok(merge(topo.conns.len(), reports))
+}
+
+fn merge(conns: usize, reports: Vec<Option<NodeReport>>) -> NetReport {
+    let mut out = NetReport {
+        stats: (0..conns).map(|_| Vec::new()).collect(),
+        traces: Vec::new(),
+        matches: (0..conns).map(|_| Vec::new()).collect(),
+        imports_done: Vec::new(),
+        export_errors: Vec::new(),
+        shutdown_errors: Vec::new(),
+        crashed: Vec::new(),
+        counters: zero_counters(),
+        process_counters: Vec::with_capacity(reports.len()),
+    };
+    for (prog, slot) in reports.into_iter().enumerate() {
+        let Some(rep) = slot else {
+            out.crashed.push(prog);
+            out.process_counters.push(zero_counters());
+            continue;
+        };
+        for (conn, per_rank) in rep.stats {
+            let c = conn as usize;
+            if c < conns && !per_rank.is_empty() {
+                out.stats[c] = per_rank;
+            }
+        }
+        for (p, r, c, t) in rep.traces {
+            out.traces.push((p, r, ConnectionId(c), t));
+        }
+        for (conn, got) in rep.matches {
+            let c = conn as usize;
+            if c < conns {
+                out.matches[c] = got.into_iter().map(|m| m.map(ts)).collect();
+            }
+        }
+        out.imports_done.extend(rep.imports_done);
+        out.export_errors.extend(rep.export_errors);
+        if let Some(e) = rep.shutdown_error {
+            out.shutdown_errors.push((prog, e));
+        }
+        out.counters.merge_process(&rep.counters);
+        out.process_counters.push(rep.counters);
+    }
+    out
+}
+
+/// Removes the session's socket directory on drop — sockets are unlinked
+/// even when bootstrap errors out halfway.
+struct DirCleanup(PathBuf);
+
+impl Drop for DirCleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A map from program name to index, handy for plan construction.
+pub fn program_indices(plan: &NodePlan) -> Result<HashMap<String, usize>, BootstrapError> {
+    let topo = plan.topology().map_err(BootstrapError::Plan)?;
+    Ok(topo
+        .programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.clone(), i))
+        .collect())
+}

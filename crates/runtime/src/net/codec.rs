@@ -1,0 +1,1242 @@
+//! Runtime envelopes on top of the proto wire codec.
+//!
+//! `couplink-proto` defines the frame container (header, checksum,
+//! [`CtrlMsg`] bodies, payload pieces). This module defines the frames the
+//! *socket runtime* itself speaks: the bootstrap handshake between the
+//! orchestrating parent and its `couplink-node` children, the mesh
+//! handshake between peer nodes, the routed-control / ack envelopes that
+//! carry fabric traffic across processes, and the end-of-run report a node
+//! sends home. All kinds live at [`wire::KIND_RUNTIME_BASE`] and above so
+//! they can never collide with the proto layer's own frames.
+//!
+//! Everything here is hand-rolled little-endian on [`BodyWriter`] /
+//! [`BodyReader`] — decoding is bounds-checked and returns typed
+//! [`WireError`]s, never panics, exactly like the layer below.
+
+use std::collections::HashMap;
+
+use couplink_config::parse;
+use couplink_layout::{Decomposition, Extent2, Rect};
+use couplink_metrics::CounterSnapshot;
+use couplink_proto::wire::{self as wire, BodyReader, BodyWriter, WireError, WireRect};
+use couplink_proto::{CtrlMsg, ExportStats, ProcResponse, RepAnswer, Trace, TraceEvent};
+use couplink_time::ts;
+
+use crate::engine::{ChaosConfig, CrashFault, CrashTarget, Endpoint, Topology, WireMeta};
+
+/// Version of the runtime envelope protocol (checked in both handshakes,
+/// independently of the frame-container version below it).
+pub const RT_VERSION: u32 = 1;
+
+const BASE: u8 = wire::KIND_RUNTIME_BASE;
+/// Child → parent: first frame on the bootstrap link.
+pub const KIND_HELLO: u8 = BASE;
+/// Either direction: fatal protocol error, the connection is dead.
+pub const KIND_FATAL: u8 = BASE + 1;
+/// Parent → child: the session plan.
+pub const KIND_PLAN: u8 = BASE + 2;
+/// Child → parent: the child's mesh listener address.
+pub const KIND_LISTENING: u8 = BASE + 3;
+/// Parent → child: every child's mesh address, indexed by program.
+pub const KIND_PEERS: u8 = BASE + 4;
+/// Child → parent: mesh formed, session built, ready to run.
+pub const KIND_READY: u8 = BASE + 5;
+/// Parent → child: start the application threads.
+pub const KIND_GO: u8 = BASE + 6;
+/// Node → node: first frame on a mesh link.
+pub const KIND_MESH_HELLO: u8 = BASE + 7;
+/// Node → node: a routed fabric control message.
+pub const KIND_CTRL: u8 = BASE + 8;
+/// Node → node: a reliability ack travelling back to the original sender.
+pub const KIND_ACK: u8 = BASE + 9;
+/// Child → parent: application threads finished (fabric still serving).
+pub const KIND_APP_DONE: u8 = BASE + 10;
+/// Parent → child: every program's app is done, drain and shut down.
+pub const KIND_DRAIN: u8 = BASE + 11;
+/// Child → parent: the final [`NodeReport`].
+pub const KIND_REPORT: u8 = BASE + 12;
+
+// --- plan ---
+
+/// One exported region's application schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportSpec {
+    /// Exporting program name (as in the configuration text).
+    pub program: String,
+    /// Region index within the program's exports.
+    pub region: usize,
+    /// First export timestamp.
+    pub t0: f64,
+    /// Timestamp step.
+    pub dt: f64,
+    /// Number of exports.
+    pub count: usize,
+    /// Per-rank inter-export compute time (seconds, pre-scaling).
+    pub compute: Vec<f64>,
+}
+
+/// One imported region's application schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportSpec {
+    /// Importing program name.
+    pub program: String,
+    /// Region index within the program's imports.
+    pub region: usize,
+    /// First import timestamp.
+    pub t0: f64,
+    /// Timestamp step.
+    pub dt: f64,
+    /// Number of imports.
+    pub count: usize,
+    /// Inter-import compute time (seconds, pre-scaling).
+    pub compute: f64,
+    /// Startup delay before the first import (seconds, pre-scaling).
+    pub startup: f64,
+}
+
+/// A deliberate malfunction a node injects into itself — the negative
+/// transport tests are driven by these, not by hacking the node binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeFault {
+    /// The named rank calls `std::process::exit` immediately after its
+    /// `after`-th successful export: a peer dying mid-run, sockets cut.
+    AbortAfterExports {
+        /// Program index.
+        prog: usize,
+        /// Rank within the program.
+        rank: usize,
+        /// Exports completed before the abort.
+        after: usize,
+    },
+    /// The program's mesh reader threads park forever: its sockets stay
+    /// open but inbound traffic is never processed (a stalled peer).
+    StallMeshReader {
+        /// Program index.
+        prog: usize,
+    },
+    /// The program's inbound codec silently discards collective-answer
+    /// frames on this connection — the "drop the collective answer"
+    /// mutation; the liveness oracle must catch the wedged imports.
+    DropAnswers {
+        /// Connection index.
+        conn: u32,
+    },
+    /// The program drains and exits right after its app threads finish,
+    /// without waiting for the parent's coordinated `DRAIN` — its mesh
+    /// sockets close while peers are still running. Peers must tolerate
+    /// the early EOF during their own drain (the shutdown-order
+    /// regression).
+    DrainEarly {
+        /// Program index.
+        prog: usize,
+    },
+}
+
+/// Everything a `couplink-node` child needs to run its share of a session:
+/// the configuration text (re-parsed and re-validated in-process), the
+/// grid shape that fixes every region's decomposition, the application
+/// schedules, and the knobs the in-process runtimes take programmatically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodePlan {
+    /// Configuration text in the deployer format (Figure 2 of the paper).
+    pub config_text: String,
+    /// Global grid `(rows, cols)`; every region is bound to a row-block
+    /// decomposition of this grid over its program's processes.
+    pub grid: (usize, usize),
+    /// Export schedules, one per exported region.
+    pub exports: Vec<ExportSpec>,
+    /// Import schedules, one per imported region.
+    pub imports: Vec<ImportSpec>,
+    /// Whether reps send buddy-help.
+    pub buddy_help: bool,
+    /// Import timeout in seconds.
+    pub import_timeout_s: f64,
+    /// Multiplier applied to every schedule sleep.
+    pub time_scale: f64,
+    /// Whether importers verify transferred cell values against the
+    /// exporter's deterministic fill.
+    pub verify_values: bool,
+    /// Connections to trace, as `(program, rank, connection)`; each node
+    /// arms only the entries for its own program.
+    pub traces: Vec<(usize, usize, u32)>,
+    /// Chaos plan, armed identically in every node (loss is drawn at the
+    /// sender, crash targets fire only where hosted).
+    pub chaos: Option<ChaosConfig>,
+    /// At most one injected malfunction.
+    pub fault: Option<NodeFault>,
+}
+
+impl NodePlan {
+    /// Rebuilds the validated topology every process must agree on:
+    /// parse the configuration text, bind a row-block decomposition of
+    /// [`grid`](NodePlan::grid) to every referenced region, validate.
+    /// Parent and children all derive the topology through this one path,
+    /// so they can never disagree about shapes or connection ids.
+    pub fn topology(&self) -> Result<Topology, String> {
+        let config = parse(&self.config_text).map_err(|e| format!("plan config: {e}"))?;
+        let grid = Extent2::new(self.grid.0, self.grid.1);
+        let mut bindings = HashMap::new();
+        for conn in &config.connections {
+            for region in [&conn.exporter, &conn.importer] {
+                let procs = config
+                    .program(&region.program)
+                    .ok_or_else(|| format!("plan config: unknown program {}", region.program))?
+                    .procs;
+                let d = Decomposition::row_block(grid, procs)
+                    .map_err(|e| format!("plan decomposition: {e}"))?;
+                bindings.insert(region.clone(), d);
+            }
+        }
+        Topology::from_config(&config, &bindings).map_err(|e| format!("plan topology: {e}"))
+    }
+}
+
+/// What one node reports home after draining: its exporters' statistics
+/// and traces, its importers' outcomes, and its counter snapshot. The
+/// orchestrator merges these into the session-wide view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// The reporting program's index.
+    pub prog: usize,
+    /// Per-connection exporter statistics, `(connection, per-rank stats)`;
+    /// connections this program does not export carry an empty vector.
+    pub stats: Vec<(u32, Vec<ExportStats>)>,
+    /// Recorded traces, `(program, rank, connection, trace)`.
+    pub traces: Vec<(usize, usize, u32, Trace)>,
+    /// Rank-0 import outcomes per imported connection, `(connection,
+    /// matched timestamp per import)`.
+    pub matches: Vec<(u32, Vec<Option<f64>>)>,
+    /// Per-importer-rank completion: `(prog, rank, imports done, error)`.
+    pub imports_done: Vec<(usize, usize, u64, Option<String>)>,
+    /// Exporter-thread failures: `(prog, rank, error)`.
+    pub export_errors: Vec<(usize, usize, String)>,
+    /// The fabric shutdown error, if draining failed.
+    pub shutdown_error: Option<String>,
+    /// This process's counter snapshot.
+    pub counters: CounterSnapshot,
+}
+
+// --- small frames ---
+
+/// Encodes the bootstrap (or, with [`KIND_MESH_HELLO`], mesh) hello.
+pub fn encode_hello(kind: u8, token: &str, prog: usize) -> Vec<u8> {
+    let mut w = BodyWriter::with_capacity(16 + token.len());
+    w.u32(RT_VERSION);
+    w.str(token);
+    w.u32(prog as u32);
+    wire::encode_frame(kind, &w.into_body())
+}
+
+/// Decodes a hello body into `(version, token, claimed program)`.
+pub fn decode_hello(body: &[u8]) -> Result<(u32, String, usize), WireError> {
+    let mut r = BodyReader::new(body);
+    let version = r.u32()?;
+    let token = r.str()?.to_string();
+    let prog = r.u32()? as usize;
+    r.finish()?;
+    Ok((version, token, prog))
+}
+
+/// Encodes a fatal-error frame.
+pub fn encode_fatal(reason: &str) -> Vec<u8> {
+    let mut w = BodyWriter::with_capacity(4 + reason.len());
+    w.str(reason);
+    wire::encode_frame(KIND_FATAL, &w.into_body())
+}
+
+/// Decodes a fatal-error body.
+pub fn decode_fatal(body: &[u8]) -> Result<String, WireError> {
+    let mut r = BodyReader::new(body);
+    let reason = r.str()?.to_string();
+    r.finish()?;
+    Ok(reason)
+}
+
+/// Encodes a single-string frame (used by [`KIND_LISTENING`]).
+pub fn encode_listening(addr: &str) -> Vec<u8> {
+    let mut w = BodyWriter::with_capacity(4 + addr.len());
+    w.str(addr);
+    wire::encode_frame(KIND_LISTENING, &w.into_body())
+}
+
+/// Decodes a [`KIND_LISTENING`] body.
+pub fn decode_listening(body: &[u8]) -> Result<String, WireError> {
+    let mut r = BodyReader::new(body);
+    let addr = r.str()?.to_string();
+    r.finish()?;
+    Ok(addr)
+}
+
+/// Encodes the peer address table, indexed by program.
+pub fn encode_peers(addrs: &[String]) -> Vec<u8> {
+    let mut w = BodyWriter::new();
+    w.u32(addrs.len() as u32);
+    for a in addrs {
+        w.str(a);
+    }
+    wire::encode_frame(KIND_PEERS, &w.into_body())
+}
+
+/// Decodes a [`KIND_PEERS`] body.
+pub fn decode_peers(body: &[u8]) -> Result<Vec<String>, WireError> {
+    let mut r = BodyReader::new(body);
+    let n = r.u32()? as usize;
+    let mut addrs = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        addrs.push(r.str()?.to_string());
+    }
+    r.finish()?;
+    Ok(addrs)
+}
+
+/// Encodes a body-less frame ([`KIND_READY`], [`KIND_GO`],
+/// [`KIND_APP_DONE`], [`KIND_DRAIN`]).
+pub fn encode_bare(kind: u8) -> Vec<u8> {
+    wire::encode_frame(kind, &[])
+}
+
+// --- fabric traffic envelopes ---
+
+fn put_endpoint(w: &mut BodyWriter, ep: Endpoint) {
+    match ep {
+        Endpoint::Rep { prog } => {
+            w.u8(0);
+            w.u32(prog as u32);
+            w.u32(0);
+        }
+        Endpoint::Proc { prog, rank } => {
+            w.u8(1);
+            w.u32(prog as u32);
+            w.u32(rank as u32);
+        }
+    }
+}
+
+fn take_endpoint(r: &mut BodyReader) -> Result<Endpoint, WireError> {
+    let tag = r.u8()?;
+    let prog = r.u32()? as usize;
+    let rank = r.u32()? as usize;
+    match tag {
+        0 => Ok(Endpoint::Rep { prog }),
+        1 => Ok(Endpoint::Proc { prog, rank }),
+        t => Err(WireError::BadTag {
+            what: "endpoint",
+            tag: t,
+        }),
+    }
+}
+
+/// Encodes a routed control message for the wire: destination endpoint,
+/// optional reliability metadata, then the proto-layer `CtrlMsg` body.
+pub fn encode_ctrl_env(to: Endpoint, meta: Option<&WireMeta>, msg: &CtrlMsg) -> Vec<u8> {
+    let ctrl = wire::encode_ctrl(msg);
+    let mut w = BodyWriter::with_capacity(32 + ctrl.len());
+    put_endpoint(&mut w, to);
+    match meta {
+        None => w.u8(0),
+        Some(m) => {
+            w.u8(1);
+            put_endpoint(&mut w, m.from);
+            w.u64(m.seq);
+            match m.ord {
+                None => w.u8(0),
+                Some(ord) => {
+                    w.u8(1);
+                    w.u64(ord);
+                }
+            }
+        }
+    }
+    w.bytes(&ctrl);
+    wire::encode_frame(KIND_CTRL, &w.into_body())
+}
+
+/// Decodes a [`KIND_CTRL`] body.
+pub fn decode_ctrl_env(body: &[u8]) -> Result<(Endpoint, Option<WireMeta>, CtrlMsg), WireError> {
+    let mut r = BodyReader::new(body);
+    let to = take_endpoint(&mut r)?;
+    let meta = match r.u8()? {
+        0 => None,
+        1 => {
+            let from = take_endpoint(&mut r)?;
+            let seq = r.u64()?;
+            let ord = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                t => {
+                    return Err(WireError::BadTag {
+                        what: "wire-meta ord",
+                        tag: t,
+                    })
+                }
+            };
+            Some(WireMeta { from, seq, ord })
+        }
+        t => {
+            return Err(WireError::BadTag {
+                what: "wire-meta presence",
+                tag: t,
+            })
+        }
+    };
+    let n = r.remaining();
+    let msg = wire::decode_ctrl(r.raw(n)?)?;
+    Ok((to, meta, msg))
+}
+
+/// Encodes a reliability ack for the directed link `sender → acker`.
+pub fn encode_ack_env(sender: Endpoint, acker: Endpoint, seq: u64) -> Vec<u8> {
+    let mut w = BodyWriter::with_capacity(32);
+    put_endpoint(&mut w, sender);
+    put_endpoint(&mut w, acker);
+    w.u64(seq);
+    wire::encode_frame(KIND_ACK, &w.into_body())
+}
+
+/// Decodes a [`KIND_ACK`] body into `(sender, acker, seq)`.
+pub fn decode_ack_env(body: &[u8]) -> Result<(Endpoint, Endpoint, u64), WireError> {
+    let mut r = BodyReader::new(body);
+    let sender = take_endpoint(&mut r)?;
+    let acker = take_endpoint(&mut r)?;
+    let seq = r.u64()?;
+    r.finish()?;
+    Ok((sender, acker, seq))
+}
+
+/// Converts a layout rectangle to its wire form.
+pub fn wire_rect(r: Rect) -> WireRect {
+    WireRect {
+        row0: r.row0 as u64,
+        col0: r.col0 as u64,
+        rows: r.rows as u64,
+        cols: r.cols as u64,
+    }
+}
+
+/// Converts a wire rectangle back to the layout form.
+pub fn rect_from(r: WireRect) -> Rect {
+    Rect::new(
+        r.row0 as usize,
+        r.col0 as usize,
+        r.rows as usize,
+        r.cols as usize,
+    )
+}
+
+// --- plan encoding ---
+
+fn put_chaos(w: &mut BodyWriter, c: &ChaosConfig) {
+    w.u64(c.seed);
+    w.f64(c.max_delay);
+    w.f64(c.duplicate_prob);
+    w.f64(c.drop_prob);
+    w.f64(c.retry_delay);
+    w.f64(c.loss_prob);
+    match c.crash {
+        None => w.u8(0),
+        Some(f) => {
+            w.u8(1);
+            match f.target {
+                CrashTarget::Rep(prog) => {
+                    w.u8(0);
+                    w.u32(prog as u32);
+                    w.u32(0);
+                }
+                CrashTarget::Agent { prog, rank } => {
+                    w.u8(1);
+                    w.u32(prog as u32);
+                    w.u32(rank as u32);
+                }
+            }
+            w.u64(f.after_msgs);
+            match f.restart_after {
+                None => w.u8(0),
+                Some(s) => {
+                    w.u8(1);
+                    w.f64(s);
+                }
+            }
+        }
+    }
+}
+
+fn take_chaos(r: &mut BodyReader) -> Result<ChaosConfig, WireError> {
+    let seed = r.u64()?;
+    let max_delay = r.f64()?;
+    let duplicate_prob = r.f64()?;
+    let drop_prob = r.f64()?;
+    let retry_delay = r.f64()?;
+    let loss_prob = r.f64()?;
+    let crash = match r.u8()? {
+        0 => None,
+        1 => {
+            let tag = r.u8()?;
+            let prog = r.u32()? as usize;
+            let rank = r.u32()? as usize;
+            let target = match tag {
+                0 => CrashTarget::Rep(prog),
+                1 => CrashTarget::Agent { prog, rank },
+                t => {
+                    return Err(WireError::BadTag {
+                        what: "crash target",
+                        tag: t,
+                    })
+                }
+            };
+            let after_msgs = r.u64()?;
+            let restart_after = match r.u8()? {
+                0 => None,
+                1 => Some(r.f64()?),
+                t => {
+                    return Err(WireError::BadTag {
+                        what: "crash restart",
+                        tag: t,
+                    })
+                }
+            };
+            Some(CrashFault {
+                target,
+                after_msgs,
+                restart_after,
+            })
+        }
+        t => {
+            return Err(WireError::BadTag {
+                what: "chaos presence",
+                tag: t,
+            })
+        }
+    };
+    Ok(ChaosConfig {
+        seed,
+        max_delay,
+        duplicate_prob,
+        drop_prob,
+        retry_delay,
+        loss_prob,
+        crash,
+    })
+}
+
+fn put_fault(w: &mut BodyWriter, f: &NodeFault) {
+    match *f {
+        NodeFault::AbortAfterExports { prog, rank, after } => {
+            w.u8(1);
+            w.u32(prog as u32);
+            w.u32(rank as u32);
+            w.u64(after as u64);
+        }
+        NodeFault::StallMeshReader { prog } => {
+            w.u8(2);
+            w.u32(prog as u32);
+        }
+        NodeFault::DropAnswers { conn } => {
+            w.u8(3);
+            w.u32(conn);
+        }
+        NodeFault::DrainEarly { prog } => {
+            w.u8(4);
+            w.u32(prog as u32);
+        }
+    }
+}
+
+fn take_fault(r: &mut BodyReader) -> Result<NodeFault, WireError> {
+    match r.u8()? {
+        1 => Ok(NodeFault::AbortAfterExports {
+            prog: r.u32()? as usize,
+            rank: r.u32()? as usize,
+            after: r.u64()? as usize,
+        }),
+        2 => Ok(NodeFault::StallMeshReader {
+            prog: r.u32()? as usize,
+        }),
+        3 => Ok(NodeFault::DropAnswers { conn: r.u32()? }),
+        4 => Ok(NodeFault::DrainEarly {
+            prog: r.u32()? as usize,
+        }),
+        t => Err(WireError::BadTag {
+            what: "node fault",
+            tag: t,
+        }),
+    }
+}
+
+/// Encodes a [`KIND_PLAN`] frame.
+pub fn encode_plan(plan: &NodePlan) -> Vec<u8> {
+    let mut w = BodyWriter::with_capacity(256 + plan.config_text.len());
+    w.str(&plan.config_text);
+    w.u32(plan.grid.0 as u32);
+    w.u32(plan.grid.1 as u32);
+    w.u32(plan.exports.len() as u32);
+    for e in &plan.exports {
+        w.str(&e.program);
+        w.u32(e.region as u32);
+        w.f64(e.t0);
+        w.f64(e.dt);
+        w.u64(e.count as u64);
+        w.u32(e.compute.len() as u32);
+        for &c in &e.compute {
+            w.f64(c);
+        }
+    }
+    w.u32(plan.imports.len() as u32);
+    for i in &plan.imports {
+        w.str(&i.program);
+        w.u32(i.region as u32);
+        w.f64(i.t0);
+        w.f64(i.dt);
+        w.u64(i.count as u64);
+        w.f64(i.compute);
+        w.f64(i.startup);
+    }
+    w.u8(plan.buddy_help as u8);
+    w.f64(plan.import_timeout_s);
+    w.f64(plan.time_scale);
+    w.u8(plan.verify_values as u8);
+    w.u32(plan.traces.len() as u32);
+    for &(p, r, c) in &plan.traces {
+        w.u32(p as u32);
+        w.u32(r as u32);
+        w.u32(c);
+    }
+    match &plan.chaos {
+        None => w.u8(0),
+        Some(c) => {
+            w.u8(1);
+            put_chaos(&mut w, c);
+        }
+    }
+    match &plan.fault {
+        None => w.u8(0),
+        Some(f) => {
+            w.u8(1);
+            put_fault(&mut w, f);
+        }
+    }
+    wire::encode_frame(KIND_PLAN, &w.into_body())
+}
+
+fn take_bool(r: &mut BodyReader, what: &'static str) -> Result<bool, WireError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(WireError::BadTag { what, tag: t }),
+    }
+}
+
+/// Decodes a [`KIND_PLAN`] body.
+pub fn decode_plan(body: &[u8]) -> Result<NodePlan, WireError> {
+    let mut r = BodyReader::new(body);
+    let config_text = r.str()?.to_string();
+    let grid = (r.u32()? as usize, r.u32()? as usize);
+    let n_exp = r.u32()? as usize;
+    let mut exports = Vec::with_capacity(n_exp.min(1024));
+    for _ in 0..n_exp {
+        let program = r.str()?.to_string();
+        let region = r.u32()? as usize;
+        let t0 = r.f64()?;
+        let dt = r.f64()?;
+        let count = r.u64()? as usize;
+        let n_c = r.u32()? as usize;
+        let mut compute = Vec::with_capacity(n_c.min(1024));
+        for _ in 0..n_c {
+            compute.push(r.f64()?);
+        }
+        exports.push(ExportSpec {
+            program,
+            region,
+            t0,
+            dt,
+            count,
+            compute,
+        });
+    }
+    let n_imp = r.u32()? as usize;
+    let mut imports = Vec::with_capacity(n_imp.min(1024));
+    for _ in 0..n_imp {
+        imports.push(ImportSpec {
+            program: r.str()?.to_string(),
+            region: r.u32()? as usize,
+            t0: r.f64()?,
+            dt: r.f64()?,
+            count: r.u64()? as usize,
+            compute: r.f64()?,
+            startup: r.f64()?,
+        });
+    }
+    let buddy_help = take_bool(&mut r, "plan buddy-help")?;
+    let import_timeout_s = r.f64()?;
+    let time_scale = r.f64()?;
+    let verify_values = take_bool(&mut r, "plan verify")?;
+    let n_tr = r.u32()? as usize;
+    let mut traces = Vec::with_capacity(n_tr.min(4096));
+    for _ in 0..n_tr {
+        traces.push((r.u32()? as usize, r.u32()? as usize, r.u32()?));
+    }
+    let chaos = match r.u8()? {
+        0 => None,
+        1 => Some(take_chaos(&mut r)?),
+        t => {
+            return Err(WireError::BadTag {
+                what: "plan chaos",
+                tag: t,
+            })
+        }
+    };
+    let fault = match r.u8()? {
+        0 => None,
+        1 => Some(take_fault(&mut r)?),
+        t => {
+            return Err(WireError::BadTag {
+                what: "plan fault",
+                tag: t,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(NodePlan {
+        config_text,
+        grid,
+        exports,
+        imports,
+        buddy_help,
+        import_timeout_s,
+        time_scale,
+        verify_values,
+        traces,
+        chaos,
+        fault,
+    })
+}
+
+// --- report encoding ---
+
+fn put_stats(w: &mut BodyWriter, s: &ExportStats) {
+    w.u64(s.requests);
+    w.u64(s.exports);
+    w.u64(s.memcpys);
+    w.u64(s.skips);
+    w.u64(s.sends);
+    w.u64(s.freed_sent);
+    w.u64(s.freed_unsent);
+    w.u64(s.buddy_helps);
+    w.u64(s.buffered_hwm as u64);
+    w.u64(s.buffer_full_stalls);
+    w.u32(s.unnecessary_by_request.len() as u32);
+    for &u in &s.unnecessary_by_request {
+        w.u64(u);
+    }
+    w.u64(s.unnecessary_inter_region);
+}
+
+fn take_stats(r: &mut BodyReader) -> Result<ExportStats, WireError> {
+    let requests = r.u64()?;
+    let exports = r.u64()?;
+    let memcpys = r.u64()?;
+    let skips = r.u64()?;
+    let sends = r.u64()?;
+    let freed_sent = r.u64()?;
+    let freed_unsent = r.u64()?;
+    let buddy_helps = r.u64()?;
+    let buffered_hwm = r.u64()? as usize;
+    let buffer_full_stalls = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut unnecessary_by_request = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        unnecessary_by_request.push(r.u64()?);
+    }
+    let unnecessary_inter_region = r.u64()?;
+    Ok(ExportStats {
+        requests,
+        exports,
+        memcpys,
+        skips,
+        sends,
+        freed_sent,
+        freed_unsent,
+        buddy_helps,
+        buffered_hwm,
+        buffer_full_stalls,
+        unnecessary_by_request,
+        unnecessary_inter_region,
+    })
+}
+
+fn put_trace(w: &mut BodyWriter, trace: &Trace) {
+    let events = trace.events();
+    w.u32(events.len() as u32);
+    for ev in events {
+        match ev {
+            TraceEvent::Export { t, copied } => {
+                w.u8(1);
+                w.f64(t.value());
+                w.u8(*copied as u8);
+            }
+            TraceEvent::Request { x, reply } => {
+                w.u8(2);
+                w.f64(x.value());
+                match reply {
+                    ProcResponse::Match(m) => {
+                        w.u8(1);
+                        w.f64(m.value());
+                    }
+                    ProcResponse::NoMatch => w.u8(2),
+                    ProcResponse::Pending { latest: None } => w.u8(3),
+                    ProcResponse::Pending { latest: Some(l) } => {
+                        w.u8(4);
+                        w.f64(l.value());
+                    }
+                }
+            }
+            TraceEvent::BuddyHelp { x, answer } => {
+                w.u8(3);
+                w.f64(x.value());
+                match answer {
+                    RepAnswer::Match(m) => {
+                        w.u8(1);
+                        w.f64(m.value());
+                    }
+                    RepAnswer::NoMatch => w.u8(2),
+                }
+            }
+            TraceEvent::Remove { freed } => {
+                w.u8(4);
+                w.u32(freed.len() as u32);
+                for t in freed {
+                    w.f64(t.value());
+                }
+            }
+            TraceEvent::Send { m } => {
+                w.u8(5);
+                w.f64(m.value());
+            }
+        }
+    }
+}
+
+fn take_trace(r: &mut BodyReader) -> Result<Trace, WireError> {
+    let n = r.u32()? as usize;
+    let mut events = Vec::with_capacity(n.min(65536));
+    for _ in 0..n {
+        let ev = match r.u8()? {
+            1 => TraceEvent::Export {
+                t: ts(r.f64()?),
+                copied: take_bool(r, "trace export copied")?,
+            },
+            2 => {
+                let x = ts(r.f64()?);
+                let reply = match r.u8()? {
+                    1 => ProcResponse::Match(ts(r.f64()?)),
+                    2 => ProcResponse::NoMatch,
+                    3 => ProcResponse::Pending { latest: None },
+                    4 => ProcResponse::Pending {
+                        latest: Some(ts(r.f64()?)),
+                    },
+                    t => {
+                        return Err(WireError::BadTag {
+                            what: "trace reply",
+                            tag: t,
+                        })
+                    }
+                };
+                TraceEvent::Request { x, reply }
+            }
+            3 => {
+                let x = ts(r.f64()?);
+                let answer = match r.u8()? {
+                    1 => RepAnswer::Match(ts(r.f64()?)),
+                    2 => RepAnswer::NoMatch,
+                    t => {
+                        return Err(WireError::BadTag {
+                            what: "trace answer",
+                            tag: t,
+                        })
+                    }
+                };
+                TraceEvent::BuddyHelp { x, answer }
+            }
+            4 => {
+                let k = r.u32()? as usize;
+                let mut freed = Vec::with_capacity(k.min(65536));
+                for _ in 0..k {
+                    freed.push(ts(r.f64()?));
+                }
+                TraceEvent::Remove { freed }
+            }
+            5 => TraceEvent::Send { m: ts(r.f64()?) },
+            t => {
+                return Err(WireError::BadTag {
+                    what: "trace event",
+                    tag: t,
+                })
+            }
+        };
+        events.push(ev);
+    }
+    Ok(Trace::from_events(events))
+}
+
+// Counters travel as their canonical JSON encoding: `to_json`/`from_json`
+// already enumerate every field (including the histogram arrays) and are
+// exercised by the bench report round-trip, so the wire can never drift
+// from the snapshot definition.
+fn put_counters(w: &mut BodyWriter, c: &CounterSnapshot) {
+    w.str(&couplink_metrics::json::emit(&c.to_json()));
+}
+
+fn take_counters(r: &mut BodyReader) -> Result<CounterSnapshot, WireError> {
+    let text = r.str()?;
+    let value = couplink_metrics::json::parse(text).map_err(|_| WireError::Malformed {
+        what: "counter snapshot json",
+    })?;
+    CounterSnapshot::from_json(&value).map_err(|_| WireError::Malformed {
+        what: "counter snapshot fields",
+    })
+}
+
+fn put_opt_str(w: &mut BodyWriter, s: Option<&str>) {
+    match s {
+        None => w.u8(0),
+        Some(s) => {
+            w.u8(1);
+            w.str(s);
+        }
+    }
+}
+
+fn take_opt_str(r: &mut BodyReader) -> Result<Option<String>, WireError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.str()?.to_string())),
+        t => Err(WireError::BadTag {
+            what: "optional string",
+            tag: t,
+        }),
+    }
+}
+
+/// Encodes a [`KIND_REPORT`] frame.
+pub fn encode_report(rep: &NodeReport) -> Vec<u8> {
+    let mut w = BodyWriter::with_capacity(1024);
+    w.u32(rep.prog as u32);
+    w.u32(rep.stats.len() as u32);
+    for (conn, per_rank) in &rep.stats {
+        w.u32(*conn);
+        w.u32(per_rank.len() as u32);
+        for s in per_rank {
+            put_stats(&mut w, s);
+        }
+    }
+    w.u32(rep.traces.len() as u32);
+    for (prog, rank, conn, trace) in &rep.traces {
+        w.u32(*prog as u32);
+        w.u32(*rank as u32);
+        w.u32(*conn);
+        put_trace(&mut w, trace);
+    }
+    w.u32(rep.matches.len() as u32);
+    for (conn, got) in &rep.matches {
+        w.u32(*conn);
+        w.u32(got.len() as u32);
+        for m in got {
+            match m {
+                None => w.u8(0),
+                Some(v) => {
+                    w.u8(1);
+                    w.f64(*v);
+                }
+            }
+        }
+    }
+    w.u32(rep.imports_done.len() as u32);
+    for (prog, rank, done, err) in &rep.imports_done {
+        w.u32(*prog as u32);
+        w.u32(*rank as u32);
+        w.u64(*done);
+        put_opt_str(&mut w, err.as_deref());
+    }
+    w.u32(rep.export_errors.len() as u32);
+    for (prog, rank, err) in &rep.export_errors {
+        w.u32(*prog as u32);
+        w.u32(*rank as u32);
+        w.str(err);
+    }
+    put_opt_str(&mut w, rep.shutdown_error.as_deref());
+    put_counters(&mut w, &rep.counters);
+    wire::encode_frame(KIND_REPORT, &w.into_body())
+}
+
+/// Decodes a [`KIND_REPORT`] body.
+pub fn decode_report(body: &[u8]) -> Result<NodeReport, WireError> {
+    let mut r = BodyReader::new(body);
+    let prog = r.u32()? as usize;
+    let n_stats = r.u32()? as usize;
+    let mut stats = Vec::with_capacity(n_stats.min(4096));
+    for _ in 0..n_stats {
+        let conn = r.u32()?;
+        let n_ranks = r.u32()? as usize;
+        let mut per_rank = Vec::with_capacity(n_ranks.min(4096));
+        for _ in 0..n_ranks {
+            per_rank.push(take_stats(&mut r)?);
+        }
+        stats.push((conn, per_rank));
+    }
+    let n_traces = r.u32()? as usize;
+    let mut traces = Vec::with_capacity(n_traces.min(4096));
+    for _ in 0..n_traces {
+        let prog = r.u32()? as usize;
+        let rank = r.u32()? as usize;
+        let conn = r.u32()?;
+        traces.push((prog, rank, conn, take_trace(&mut r)?));
+    }
+    let n_matches = r.u32()? as usize;
+    let mut matches = Vec::with_capacity(n_matches.min(4096));
+    for _ in 0..n_matches {
+        let conn = r.u32()?;
+        let n_got = r.u32()? as usize;
+        let mut got = Vec::with_capacity(n_got.min(65536));
+        for _ in 0..n_got {
+            got.push(match r.u8()? {
+                0 => None,
+                1 => Some(r.f64()?),
+                t => {
+                    return Err(WireError::BadTag {
+                        what: "match presence",
+                        tag: t,
+                    })
+                }
+            });
+        }
+        matches.push((conn, got));
+    }
+    let n_done = r.u32()? as usize;
+    let mut imports_done = Vec::with_capacity(n_done.min(4096));
+    for _ in 0..n_done {
+        imports_done.push((
+            r.u32()? as usize,
+            r.u32()? as usize,
+            r.u64()?,
+            take_opt_str(&mut r)?,
+        ));
+    }
+    let n_eerr = r.u32()? as usize;
+    let mut export_errors = Vec::with_capacity(n_eerr.min(4096));
+    for _ in 0..n_eerr {
+        export_errors.push((r.u32()? as usize, r.u32()? as usize, r.str()?.to_string()));
+    }
+    let shutdown_error = take_opt_str(&mut r)?;
+    let counters = take_counters(&mut r)?;
+    r.finish()?;
+    Ok(NodeReport {
+        prog,
+        stats,
+        traces,
+        matches,
+        imports_done,
+        export_errors,
+        shutdown_error,
+        counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use couplink_proto::wire::FrameDecoder;
+    use couplink_proto::{ConnectionId, RequestId};
+
+    fn one_frame(bytes: &[u8]) -> (u8, Vec<u8>) {
+        let mut dec = FrameDecoder::new();
+        dec.extend(bytes);
+        let f = dec.next_frame().unwrap().expect("complete frame");
+        assert!(dec.next_frame().unwrap().is_none(), "single frame");
+        (f.kind, f.body)
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let (kind, body) = one_frame(&encode_hello(KIND_HELLO, "tok-1", 3));
+        assert_eq!(kind, KIND_HELLO);
+        assert_eq!(
+            decode_hello(&body).unwrap(),
+            (RT_VERSION, "tok-1".into(), 3)
+        );
+    }
+
+    #[test]
+    fn ctrl_envelope_roundtrip() {
+        let msg = CtrlMsg::Answer {
+            conn: ConnectionId(2),
+            req: RequestId(7),
+            answer: RepAnswer::Match(ts(4.5)),
+        };
+        let meta = WireMeta {
+            from: Endpoint::Rep { prog: 1 },
+            seq: 42,
+            ord: Some(3),
+        };
+        let to = Endpoint::Proc { prog: 0, rank: 5 };
+        let (kind, body) = one_frame(&encode_ctrl_env(to, Some(&meta), &msg));
+        assert_eq!(kind, KIND_CTRL);
+        let (to2, meta2, msg2) = decode_ctrl_env(&body).unwrap();
+        assert_eq!(to2, to);
+        assert_eq!(meta2, Some(meta));
+        assert_eq!(msg2, msg);
+    }
+
+    #[test]
+    fn ack_envelope_roundtrip() {
+        let s = Endpoint::Proc { prog: 2, rank: 1 };
+        let a = Endpoint::Rep { prog: 0 };
+        let (kind, body) = one_frame(&encode_ack_env(s, a, 99));
+        assert_eq!(kind, KIND_ACK);
+        assert_eq!(decode_ack_env(&body).unwrap(), (s, a, 99));
+    }
+
+    #[test]
+    fn plan_roundtrip_with_chaos_and_fault() {
+        let plan = NodePlan {
+            config_text: "E0 c0 /bin/e0 2\nI0 c0 /bin/i0 2\n#\nE0.r I0.m REG 0.25\n".into(),
+            grid: (8, 8),
+            exports: vec![ExportSpec {
+                program: "E0".into(),
+                region: 0,
+                t0: 0.5,
+                dt: 0.25,
+                count: 12,
+                compute: vec![0.01, 0.02],
+            }],
+            imports: vec![ImportSpec {
+                program: "I0".into(),
+                region: 0,
+                t0: 1.0,
+                dt: 0.5,
+                count: 4,
+                compute: 0.05,
+                startup: 0.1,
+            }],
+            buddy_help: true,
+            import_timeout_s: 5.0,
+            time_scale: 0.2,
+            verify_values: true,
+            traces: vec![(0, 0, 0), (0, 1, 0)],
+            chaos: Some(ChaosConfig {
+                seed: 17,
+                max_delay: 0.01,
+                duplicate_prob: 0.2,
+                drop_prob: 0.1,
+                retry_delay: 0.05,
+                loss_prob: 0.2,
+                crash: Some(CrashFault {
+                    target: CrashTarget::Rep(1),
+                    after_msgs: 5,
+                    restart_after: Some(0.6),
+                }),
+            }),
+            fault: Some(NodeFault::AbortAfterExports {
+                prog: 0,
+                rank: 1,
+                after: 3,
+            }),
+        };
+        let (kind, body) = one_frame(&encode_plan(&plan));
+        assert_eq!(kind, KIND_PLAN);
+        assert_eq!(decode_plan(&body).unwrap(), plan);
+        // The embedded config round-trips into a buildable topology.
+        let topo = plan.topology().unwrap();
+        assert_eq!(topo.programs.len(), 2);
+        assert_eq!(topo.conns.len(), 1);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let mut counters = couplink_metrics::EngineMetrics::default()
+            .snapshot()
+            .counters;
+        counters.net_frames = 7;
+        counters.ctrl_sent[1] = 3;
+        counters.occupancy[2] = 5;
+        let rep = NodeReport {
+            prog: 1,
+            stats: vec![
+                (
+                    0,
+                    vec![ExportStats {
+                        requests: 4,
+                        exports: 12,
+                        memcpys: 3,
+                        skips: 9,
+                        sends: 4,
+                        freed_sent: 4,
+                        freed_unsent: 2,
+                        buddy_helps: 1,
+                        buffered_hwm: 2,
+                        buffer_full_stalls: 0,
+                        unnecessary_by_request: vec![0, 1, 0, 2],
+                        unnecessary_inter_region: 1,
+                    }],
+                ),
+                (1, Vec::new()),
+            ],
+            traces: vec![(
+                0,
+                0,
+                0,
+                Trace::from_events(vec![
+                    TraceEvent::Export {
+                        t: ts(1.5),
+                        copied: true,
+                    },
+                    TraceEvent::Request {
+                        x: ts(2.0),
+                        reply: ProcResponse::Pending {
+                            latest: Some(ts(1.5)),
+                        },
+                    },
+                    TraceEvent::BuddyHelp {
+                        x: ts(2.0),
+                        answer: RepAnswer::NoMatch,
+                    },
+                    TraceEvent::Remove {
+                        freed: vec![ts(1.5), ts(1.75)],
+                    },
+                    TraceEvent::Send { m: ts(2.25) },
+                ]),
+            )],
+            matches: vec![(0, vec![Some(1.5), None, Some(2.25)])],
+            imports_done: vec![(1, 0, 4, None), (1, 1, 2, Some("import timed out".into()))],
+            export_errors: vec![(0, 1, "process crashed: boom".into())],
+            shutdown_error: Some("rep failed: x".into()),
+            counters,
+        };
+        let (kind, body) = one_frame(&encode_report(&rep));
+        assert_eq!(kind, KIND_REPORT);
+        assert_eq!(decode_report(&body).unwrap(), rep);
+    }
+
+    #[test]
+    fn truncated_plan_is_a_typed_error() {
+        let mut dec = FrameDecoder::new();
+        let frame = encode_plan(&NodePlan {
+            config_text: "E0 c0 /bin/e0 1\nI0 c0 /bin/i0 1\n#\nE0.r I0.m CLOSEST 0.1\n".into(),
+            grid: (8, 8),
+            exports: Vec::new(),
+            imports: Vec::new(),
+            buddy_help: false,
+            import_timeout_s: 1.0,
+            time_scale: 1.0,
+            verify_values: false,
+            traces: Vec::new(),
+            chaos: None,
+            fault: None,
+        });
+        dec.extend(&frame);
+        let f = dec.next_frame().unwrap().unwrap();
+        let cut = f.body.len() - 3;
+        assert!(matches!(
+            decode_plan(&f.body[..cut]),
+            Err(WireError::Truncated)
+        ));
+    }
+}

@@ -1,0 +1,368 @@
+//! Socket plumbing shared by the orchestrator and the node binary: address
+//! parsing, the UDS/TCP listener and stream pair, a writer thread that
+//! drains a frame queue into a socket, and a framing reader that feeds a
+//! [`FrameDecoder`] and skips checksum-corrupt frames (metering them)
+//! while treating structural corruption as fatal.
+//!
+//! Both backends speak exactly the same bytes — the backend choice is
+//! invisible above this module.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use couplink_proto::wire::{Frame, FrameDecoder, WireError};
+
+/// Which OS transport carries the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketBackend {
+    /// Unix-domain stream sockets (loopback-only, path-addressed).
+    Uds,
+    /// TCP on 127.0.0.1 (the cross-host shape, exercised on loopback).
+    Tcp,
+}
+
+impl std::str::FromStr for SocketBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "uds" => Ok(SocketBackend::Uds),
+            "tcp" => Ok(SocketBackend::Tcp),
+            other => Err(format!("unknown socket backend {other:?} (uds|tcp)")),
+        }
+    }
+}
+
+/// A transport-tagged address, printed as `uds:<path>` or `tcp:<ip:port>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// A Unix-domain socket path.
+    Uds(PathBuf),
+    /// A TCP host:port.
+    Tcp(String),
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Uds(p) => write!(f, "uds:{}", p.display()),
+            Addr::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+impl Addr {
+    /// Parses the `uds:`/`tcp:` form produced by `Display`.
+    pub fn parse(s: &str) -> Result<Addr, String> {
+        if let Some(path) = s.strip_prefix("uds:") {
+            Ok(Addr::Uds(PathBuf::from(path)))
+        } else if let Some(hostport) = s.strip_prefix("tcp:") {
+            Ok(Addr::Tcp(hostport.to_string()))
+        } else {
+            Err(format!("address {s:?} has no uds:/tcp: prefix"))
+        }
+    }
+}
+
+/// A bound listener on either backend.
+pub enum Listener {
+    /// Unix-domain, remembering its path for `addr()`.
+    Uds(UnixListener, PathBuf),
+    /// TCP on an ephemeral loopback port.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds a listener: a `<name>.sock` under `dir` for UDS, an
+    /// ephemeral `127.0.0.1` port for TCP.
+    pub fn bind(backend: SocketBackend, dir: &Path, name: &str) -> io::Result<Listener> {
+        match backend {
+            SocketBackend::Uds => {
+                let path = dir.join(format!("{name}.sock"));
+                Ok(Listener::Uds(UnixListener::bind(&path)?, path))
+            }
+            SocketBackend::Tcp => Ok(Listener::Tcp(TcpListener::bind("127.0.0.1:0")?)),
+        }
+    }
+
+    /// The dialable address of this listener.
+    pub fn addr(&self) -> io::Result<Addr> {
+        match self {
+            Listener::Uds(_, path) => Ok(Addr::Uds(path.clone())),
+            Listener::Tcp(l) => Ok(Addr::Tcp(l.local_addr()?.to_string())),
+        }
+    }
+
+    /// Accepts one connection (blocking, honoring `set_nonblocking`).
+    pub fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Uds(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(Conn::Uds(s))
+            }
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(Conn::Tcp(s))
+            }
+        }
+    }
+
+    /// Switches the listener between blocking and polling accepts.
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Uds(l, _) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+}
+
+/// A connected stream on either backend.
+pub enum Conn {
+    /// Unix-domain stream.
+    Uds(UnixStream),
+    /// TCP stream (`TCP_NODELAY` set — control frames are tiny and
+    /// latency-critical).
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    /// Dials an address, retrying briefly — the bootstrap guarantees the
+    /// target listener is bound before the address is handed out, so the
+    /// retry only papers over scheduler skew, not missing peers.
+    pub fn dial(addr: &Addr) -> io::Result<Conn> {
+        let mut last = None;
+        for _ in 0..50 {
+            let attempt = match addr {
+                Addr::Uds(path) => UnixStream::connect(path).map(Conn::Uds),
+                Addr::Tcp(hostport) => TcpStream::connect(hostport.as_str()).and_then(|s| {
+                    s.set_nodelay(true)?;
+                    Ok(Conn::Tcp(s))
+                }),
+            };
+            match attempt {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("dial retries exhausted")))
+    }
+
+    /// Clones the descriptor so reads and writes can live on different
+    /// threads.
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Uds(s) => s.try_clone().map(Conn::Uds),
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+
+    /// Bounds blocking reads (`None` blocks forever).
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Uds(s) => s.set_read_timeout(d),
+            Conn::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+
+    /// Shuts down both directions (best effort).
+    pub fn shutdown(&self) {
+        let _ = match self {
+            Conn::Uds(s) => s.shutdown(std::net::Shutdown::Both),
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Uds(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Uds(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Uds(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// The sending half of a link: encoded frames are queued on a channel and
+/// drained by a dedicated writer thread, so fabric tasks never block on a
+/// full socket buffer. A write error just stops the writer — the peer's
+/// reader observes the broken link and owns the failure handling.
+#[derive(Clone)]
+pub struct LinkWriter {
+    tx: mpsc::Sender<Vec<u8>>,
+}
+
+impl LinkWriter {
+    /// Spawns the writer thread over (a clone of) `conn`.
+    pub fn spawn(mut conn: Conn, label: String) -> LinkWriter {
+        let (tx, rx) = mpsc::channel::<Vec<u8>>();
+        std::thread::Builder::new()
+            .name(format!("couplink-net-wr-{label}"))
+            .spawn(move || {
+                while let Ok(frame) = rx.recv() {
+                    if conn.write_all(&frame).is_err() {
+                        // Drain silently until every sender hangs up; the
+                        // reader side reports the dead peer.
+                        while rx.recv().is_ok() {}
+                        return;
+                    }
+                }
+                let _ = conn.flush();
+            })
+            .expect("spawning writer thread");
+        LinkWriter { tx }
+    }
+
+    /// Queues one already-encoded frame (dropped if the writer died).
+    pub fn send(&self, frame: Vec<u8>) {
+        let _ = self.tx.send(frame);
+    }
+}
+
+/// A transport-layer failure above the frame codec.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket I/O failed.
+    Io(io::Error),
+    /// The byte stream is structurally corrupt (bad magic/version/length)
+    /// — the framing is unrecoverable, the link must be dropped.
+    Wire(WireError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket i/o: {e}"),
+            NetError::Wire(e) => write!(f, "wire framing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The receiving half of a link: reads socket bytes into a
+/// [`FrameDecoder`] and yields whole frames.
+pub struct FrameReader {
+    conn: Conn,
+    dec: FrameDecoder,
+}
+
+impl FrameReader {
+    /// Wraps a connected stream.
+    pub fn new(conn: Conn) -> FrameReader {
+        FrameReader {
+            conn,
+            dec: FrameDecoder::new(),
+        }
+    }
+
+    /// The underlying connection (for shutdown/timeout control).
+    pub fn conn(&self) -> &Conn {
+        &self.conn
+    }
+
+    /// Returns the next frame, `Ok(None)` on a clean EOF. A frame whose
+    /// checksum fails is *skipped* — `reject` is called once per skip (the
+    /// caller meters `net_codec_rejects`) and reading continues, because a
+    /// corrupt body leaves the stream framing intact. Structural errors
+    /// (bad magic, bad version, oversized length) poison the decoder and
+    /// surface as [`NetError::Wire`].
+    pub fn next(&mut self, reject: &mut dyn FnMut()) -> Result<Option<Frame>, NetError> {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match self.dec.next_frame() {
+                Ok(Some(frame)) => return Ok(Some(frame)),
+                Ok(None) => {}
+                Err(WireError::BadChecksum) => {
+                    reject();
+                    continue;
+                }
+                Err(e) => return Err(NetError::Wire(e)),
+            }
+            match self.conn.read(&mut buf) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.dec.extend(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use couplink_proto::wire::{self as wire};
+
+    #[test]
+    fn reader_skips_checksum_corruption_and_keeps_framing() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut w = a;
+        let good1 = wire::encode_frame(wire::KIND_RUNTIME_BASE, b"first");
+        let mut corrupt = wire::encode_frame(wire::KIND_RUNTIME_BASE, b"second");
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40; // flip a body bit: checksum must catch it
+        let good2 = wire::encode_frame(wire::KIND_RUNTIME_BASE, b"third");
+        w.write_all(&good1).unwrap();
+        w.write_all(&corrupt).unwrap();
+        w.write_all(&good2).unwrap();
+        drop(w);
+
+        let mut rejects = 0usize;
+        let mut r = FrameReader::new(Conn::Uds(b));
+        let mut reject = || rejects += 1;
+        let f1 = r.next(&mut reject).unwrap().unwrap();
+        assert_eq!(f1.body, b"first");
+        let f2 = r.next(&mut reject).unwrap().unwrap();
+        assert_eq!(f2.body, b"third", "corrupt frame skipped, stream resynced");
+        assert!(r.next(&mut reject).unwrap().is_none(), "clean EOF");
+        assert_eq!(rejects, 1, "exactly one metered codec reject");
+    }
+
+    #[test]
+    fn reader_reports_structural_corruption_as_fatal() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut w = a;
+        w.write_all(b"\xff\xff garbage that is not a frame header")
+            .unwrap();
+        drop(w);
+        let mut r = FrameReader::new(Conn::Uds(b));
+        let mut reject = || {};
+        match r.next(&mut reject) {
+            Err(NetError::Wire(WireError::BadMagic { .. })) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn addr_roundtrip() {
+        for text in ["uds:/tmp/x/boot.sock", "tcp:127.0.0.1:4510"] {
+            assert_eq!(Addr::parse(text).unwrap().to_string(), text);
+        }
+        assert!(Addr::parse("ipc:nope").is_err());
+    }
+}

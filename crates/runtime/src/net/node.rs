@@ -1,0 +1,591 @@
+//! The `couplink-node` child process: one coupled *program* as its own OS
+//! process, connected to its peers over sockets.
+//!
+//! Lifecycle (driven entirely by the parent orchestrator, see
+//! [`super::bootstrap`]):
+//!
+//! 1. dial the parent, send `HELLO{version, token, prog}`;
+//! 2. receive the `PLAN`, rebuild the validated [`Topology`] from the
+//!    embedded configuration text (all processes derive the topology
+//!    through the same code path, so shapes and connection ids can never
+//!    disagree);
+//! 3. bind a mesh listener, report it (`LISTENING`), receive the `PEERS`
+//!    table, and form the full mesh (node *i* dials every *j < i* and
+//!    accepts from every *j > i* — each pair shares exactly one socket);
+//! 4. build a *partial* fabric session hosting only this program, with a
+//!    [`RemoteLinks`] implementation that serializes foreign-bound traffic
+//!    onto the mesh; send `READY`, wait for `GO`;
+//! 5. run the application threads (exports with a deterministic cell
+//!    fill, imports with optional value verification);
+//! 6. send `APP_DONE` but **keep serving fabric traffic** — peers may
+//!    still need this node's reps and stores for their own imports;
+//! 7. on `DRAIN`, run the staged session shutdown (pump → relay → reps →
+//!    agents → importers), send the `REPORT`, exit.
+//!
+//! A mesh EOF *before* this node finished its own application work means a
+//! peer died: the session is failed fast (blocked `import`/`export` calls
+//! surface [`ThreadedError::ProcessCrash`] instead of hanging). A mesh
+//! EOF *after* `APP_DONE` is the normal consequence of a peer draining
+//! first and is ignored — that asymmetry is what lets the coordinated
+//! drain tolerate peers closing their sockets in any order.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use couplink_layout::{LocalArray, Rect, SharedArray};
+use couplink_metrics::EngineMetrics;
+use couplink_proto::wire::{self as wire, Frame};
+use couplink_proto::{ConnectionId, CtrlMsg, Rank, RequestId};
+use couplink_time::ts;
+use parking_lot::Mutex;
+
+use crate::engine::{Endpoint, WireMeta};
+use crate::threaded::fabric::{Net, RemoteLinks};
+use crate::threaded::{ExecutorOptions, FabricOptions, SessionSet};
+
+use super::codec::{self, NodeFault, NodeReport};
+use super::link::{Addr, Conn, FrameReader, LinkWriter, Listener, SocketBackend};
+
+/// How long the child waits on any single bootstrap step before giving up.
+const BOOT_TIMEOUT: Duration = Duration::from_secs(120);
+/// Absolute lifetime backstop: if the parent never collects us, die
+/// instead of leaking a process into the test harness.
+const WATCHDOG: Duration = Duration::from_secs(600);
+
+/// Parsed command line of the `couplink-node` binary.
+#[derive(Debug)]
+pub struct NodeArgs {
+    /// Parent bootstrap address (`uds:...` or `tcp:...`).
+    pub connect: String,
+    /// This node's program index.
+    pub prog: usize,
+    /// Shared session token, echoed in every handshake.
+    pub token: String,
+    /// Program index to *claim* in the hello, when different from `prog`
+    /// — only used by the bootstrap-rejection tests.
+    pub claim: Option<usize>,
+}
+
+/// The deterministic cell fill exporters write and importers verify:
+/// recoverable from the matched timestamp alone, and distinct per cell.
+fn cell_value(t: f64, row: usize, col: usize, grid_cols: usize) -> f64 {
+    t * 1e6 + (row * grid_cols + col) as f64
+}
+
+fn ep_prog(ep: Endpoint) -> usize {
+    let (Endpoint::Rep { prog } | Endpoint::Proc { prog, .. }) = ep;
+    prog
+}
+
+/// [`RemoteLinks`] over the socket mesh: serializes each foreign-bound
+/// message into a frame and queues it on the destination program's writer.
+/// Pieces are serialized straight out of the shared store (no extra copy
+/// of the payload on the send side beyond the wire buffer itself).
+struct SocketLinks {
+    /// Writer per program (self and unconnected slots are `None`).
+    writers: Vec<Option<LinkWriter>>,
+    /// Importing program of each connection, for piece routing.
+    conn_importer: Vec<usize>,
+    /// Set once the session exists; frames sent before that are counted
+    /// nowhere (none are — traffic starts after `GO`).
+    metrics: OnceLock<Arc<EngineMetrics>>,
+}
+
+impl SocketLinks {
+    fn send(&self, prog: usize, frame: Vec<u8>) {
+        if let Some(m) = self.metrics.get() {
+            m.net_frames.inc();
+            m.net_bytes.add(frame.len() as u64);
+        }
+        if let Some(w) = self.writers.get(prog).and_then(Option::as_ref) {
+            w.send(frame);
+        }
+    }
+}
+
+impl RemoteLinks for SocketLinks {
+    fn send_ctrl(&self, to: Endpoint, meta: Option<WireMeta>, msg: CtrlMsg) {
+        self.send(ep_prog(to), codec::encode_ctrl_env(to, meta.as_ref(), &msg));
+    }
+
+    fn send_ack(&self, sender: Endpoint, acker: Endpoint, seq: u64) {
+        self.send(ep_prog(sender), codec::encode_ack_env(sender, acker, seq));
+    }
+
+    fn send_piece(
+        &self,
+        conn: ConnectionId,
+        dst: usize,
+        req: RequestId,
+        rect: Rect,
+        payload: &SharedArray,
+    ) {
+        let frame = wire::encode_payload(
+            conn,
+            Rank(dst as u32),
+            req,
+            codec::wire_rect(rect),
+            codec::wire_rect(payload.owned()),
+            payload.as_slice(),
+        );
+        self.send(self.conn_importer[conn.0 as usize], frame);
+    }
+}
+
+/// Injects one inbound mesh frame into the local session. Returns a fatal
+/// description when the frame is structurally wrong for this layer.
+fn dispatch(frame: &Frame, net: &Net, drop_answers: Option<u32>) -> Result<(), String> {
+    match frame.kind {
+        codec::KIND_CTRL => {
+            let (to, meta, msg) =
+                codec::decode_ctrl_env(&frame.body).map_err(|e| format!("ctrl envelope: {e}"))?;
+            if let (Some(dropped), CtrlMsg::Answer { conn, .. }) = (drop_answers, &msg) {
+                if conn.0 == dropped {
+                    // Injected codec bug: the collective answer vanishes
+                    // between socket and fabric. The liveness oracle must
+                    // notice the wedged imports.
+                    return Ok(());
+                }
+            }
+            net.deliver_remote_ctrl(to, meta, msg);
+            Ok(())
+        }
+        codec::KIND_ACK => {
+            let (sender, acker, seq) =
+                codec::decode_ack_env(&frame.body).map_err(|e| format!("ack envelope: {e}"))?;
+            net.apply_remote_ack(sender, acker, seq);
+            Ok(())
+        }
+        wire::KIND_PAYLOAD => {
+            let p = wire::decode_payload(&frame.body).map_err(|e| format!("payload: {e}"))?;
+            let rect = codec::rect_from(p.rect);
+            let payload = SharedArray::from_parts(codec::rect_from(p.owned), p.data)
+                .ok_or("payload data disagrees with its owned rect")?;
+            net.deliver_remote_piece(p.conn, p.dst.0 as usize, p.req, rect, payload);
+            Ok(())
+        }
+        k => Err(format!("unexpected mesh frame kind {k}")),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mesh_reader_loop(
+    mut reader: FrameReader,
+    peer: usize,
+    net: Arc<Net>,
+    set: Arc<Mutex<SessionSet>>,
+    sid: usize,
+    metrics: Arc<EngineMetrics>,
+    apps_done: Arc<AtomicBool>,
+    stall: bool,
+    drop_answers: Option<u32>,
+) {
+    if stall {
+        // Injected malfunction: the socket stays open, inbound traffic is
+        // never processed. Peers must hit their import timeout, not hang.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    let mut reject = || metrics.net_codec_rejects.inc();
+    loop {
+        match reader.next(&mut reject) {
+            Ok(Some(frame)) => {
+                if let Err(detail) = dispatch(&frame, &net, drop_answers) {
+                    set.lock()
+                        .fail_session(sid, format!("link to program {peer}: {detail}"));
+                    return;
+                }
+            }
+            Ok(None) => {
+                if !apps_done.load(Ordering::Acquire) {
+                    set.lock()
+                        .fail_session(sid, format!("peer program {peer} disconnected"));
+                }
+                return;
+            }
+            Err(e) => {
+                if !apps_done.load(Ordering::Acquire) {
+                    set.lock()
+                        .fail_session(sid, format!("link to program {peer} failed: {e}"));
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn read_expected(reader: &mut FrameReader, kind: u8, what: &str) -> Result<Frame, String> {
+    let mut reject = || {};
+    match reader.next(&mut reject) {
+        Ok(Some(f)) if f.kind == kind => Ok(f),
+        Ok(Some(f)) if f.kind == codec::KIND_FATAL => Err(format!(
+            "parent/peer reported fatal: {}",
+            codec::decode_fatal(&f.body).unwrap_or_else(|_| "<garbled>".into())
+        )),
+        Ok(Some(f)) => Err(format!("expected {what}, got frame kind {}", f.kind)),
+        Ok(None) => Err(format!("connection closed while waiting for {what}")),
+        Err(e) => Err(format!("reading {what}: {e}")),
+    }
+}
+
+/// Runs the child process to completion; returns the process exit code.
+pub fn node_main(args: NodeArgs) -> i32 {
+    match run_node(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("couplink-node[{}]: {e}", args.prog);
+            3
+        }
+    }
+}
+
+fn run_node(args: &NodeArgs) -> Result<(), String> {
+    std::thread::Builder::new()
+        .name("couplink-node-watchdog".into())
+        .spawn(|| {
+            std::thread::sleep(WATCHDOG);
+            eprintln!("couplink-node: watchdog expired, aborting");
+            std::process::exit(9);
+        })
+        .map_err(|e| format!("spawning watchdog: {e}"))?;
+
+    let me = args.prog;
+    let parent_addr = Addr::parse(&args.connect)?;
+    let backend = match parent_addr {
+        Addr::Uds(_) => SocketBackend::Uds,
+        Addr::Tcp(_) => SocketBackend::Tcp,
+    };
+    let mut parent_wr = Conn::dial(&parent_addr).map_err(|e| format!("dialing parent: {e}"))?;
+    parent_wr
+        .set_read_timeout(Some(BOOT_TIMEOUT))
+        .map_err(|e| format!("parent socket: {e}"))?;
+    let mut parent_rd = FrameReader::new(
+        parent_wr
+            .try_clone()
+            .map_err(|e| format!("cloning parent socket: {e}"))?,
+    );
+
+    let claim = args.claim.unwrap_or(me);
+    parent_wr
+        .write_all(&codec::encode_hello(codec::KIND_HELLO, &args.token, claim))
+        .map_err(|e| format!("sending hello: {e}"))?;
+
+    let plan_frame = read_expected(&mut parent_rd, codec::KIND_PLAN, "plan")?;
+    let plan = codec::decode_plan(&plan_frame.body).map_err(|e| format!("plan: {e}"))?;
+    let topo = plan.topology()?;
+    let n = topo.programs.len();
+    if me >= n {
+        return Err(format!("program index {me} out of range ({n} programs)"));
+    }
+
+    // Mesh listener lives next to the parent's bootstrap socket (UDS) or
+    // on another ephemeral loopback port (TCP).
+    let mesh_dir = match &parent_addr {
+        Addr::Uds(path) => path
+            .parent()
+            .ok_or("parent socket path has no directory")?
+            .to_path_buf(),
+        Addr::Tcp(_) => std::env::temp_dir(),
+    };
+    let listener = Listener::bind(backend, &mesh_dir, &format!("mesh-{me}"))
+        .map_err(|e| format!("binding mesh listener: {e}"))?;
+    let listen_addr = listener.addr().map_err(|e| format!("mesh address: {e}"))?;
+    parent_wr
+        .write_all(&codec::encode_listening(&listen_addr.to_string()))
+        .map_err(|e| format!("sending listening: {e}"))?;
+
+    let peers_frame = read_expected(&mut parent_rd, codec::KIND_PEERS, "peer table")?;
+    let peers = codec::decode_peers(&peers_frame.body).map_err(|e| format!("peers: {e}"))?;
+    if peers.len() != n {
+        return Err(format!(
+            "peer table has {} entries for {n} programs",
+            peers.len()
+        ));
+    }
+
+    // Form the mesh: dial the lower-indexed programs (their listeners are
+    // guaranteed bound — the parent saw their LISTENING before
+    // broadcasting PEERS), accept from the higher-indexed ones.
+    let mut readers: Vec<Option<FrameReader>> = (0..n).map(|_| None).collect();
+    let mut writers: Vec<Option<LinkWriter>> = (0..n).map(|_| None).collect();
+    for (j, addr) in peers.iter().enumerate().take(me) {
+        let mut c =
+            Conn::dial(&Addr::parse(addr)?).map_err(|e| format!("dialing program {j}: {e}"))?;
+        c.write_all(&codec::encode_hello(
+            codec::KIND_MESH_HELLO,
+            &args.token,
+            me,
+        ))
+        .map_err(|e| format!("mesh hello to {j}: {e}"))?;
+        writers[j] = Some(LinkWriter::spawn(
+            c.try_clone().map_err(|e| format!("mesh clone: {e}"))?,
+            format!("{me}-{j}"),
+        ));
+        readers[j] = Some(FrameReader::new(c));
+    }
+    for _ in me + 1..n {
+        let c = listener.accept().map_err(|e| format!("mesh accept: {e}"))?;
+        c.set_read_timeout(Some(BOOT_TIMEOUT))
+            .map_err(|e| format!("mesh socket: {e}"))?;
+        let mut r = FrameReader::new(c);
+        let hello = read_expected(&mut r, codec::KIND_MESH_HELLO, "mesh hello")?;
+        let (version, token, from) =
+            codec::decode_hello(&hello.body).map_err(|e| format!("mesh hello: {e}"))?;
+        if version != codec::RT_VERSION {
+            return Err(format!("mesh peer speaks version {version}"));
+        }
+        if token != args.token {
+            return Err("mesh peer presented a wrong token".into());
+        }
+        if from <= me || from >= n || readers[from].is_some() {
+            return Err(format!("mesh peer claims invalid program {from}"));
+        }
+        r.conn()
+            .set_read_timeout(None)
+            .map_err(|e| format!("mesh socket: {e}"))?;
+        writers[from] = Some(LinkWriter::spawn(
+            r.conn()
+                .try_clone()
+                .map_err(|e| format!("mesh clone: {e}"))?,
+            format!("{me}-{from}"),
+        ));
+        readers[from] = Some(r);
+    }
+
+    // Build the partial session: only this program's tasks exist locally;
+    // everything foreign flows through SocketLinks.
+    let links = Arc::new(SocketLinks {
+        writers: std::mem::take(&mut writers),
+        conn_importer: topo.conns.iter().map(|c| c.importer_prog).collect(),
+        metrics: OnceLock::new(),
+    });
+    let opts = FabricOptions {
+        buddy_help: plan.buddy_help,
+        import_timeout: Duration::from_secs_f64(plan.import_timeout_s),
+        buffer_capacity: None,
+        traces: plan
+            .traces
+            .iter()
+            .filter(|&&(p, _, _)| p == me)
+            .map(|&(p, r, c)| (p, r, ConnectionId(c)))
+            .collect(),
+        chaos: plan.chaos,
+        drop_buddy_help: false,
+    };
+    let set = Arc::new(Mutex::new(SessionSet::new(&ExecutorOptions::default())));
+    let sid = set
+        .lock()
+        .add_partial_session(topo.clone(), opts, me, links.clone());
+    let metrics = set.lock().session_metrics(sid);
+    let _ = links.metrics.set(Arc::clone(&metrics));
+    let net = set.lock().session_net(sid);
+
+    let apps_done = Arc::new(AtomicBool::new(false));
+    let stall = matches!(plan.fault, Some(NodeFault::StallMeshReader { prog }) if prog == me);
+    let drop_answers = match plan.fault {
+        Some(NodeFault::DropAnswers { conn }) => Some(conn),
+        _ => None,
+    };
+    for (peer, slot) in readers.iter_mut().enumerate() {
+        let Some(reader) = slot.take() else { continue };
+        let (net, set, metrics, apps_done) = (
+            Arc::clone(&net),
+            Arc::clone(&set),
+            Arc::clone(&metrics),
+            Arc::clone(&apps_done),
+        );
+        std::thread::Builder::new()
+            .name(format!("couplink-net-rd-{me}-{peer}"))
+            .spawn(move || {
+                mesh_reader_loop(
+                    reader,
+                    peer,
+                    net,
+                    set,
+                    sid,
+                    metrics,
+                    apps_done,
+                    stall,
+                    drop_answers,
+                )
+            })
+            .map_err(|e| format!("spawning mesh reader: {e}"))?;
+    }
+
+    parent_wr
+        .write_all(&codec::encode_bare(codec::KIND_READY))
+        .map_err(|e| format!("sending ready: {e}"))?;
+    read_expected(&mut parent_rd, codec::KIND_GO, "go")?;
+
+    // --- application threads ---
+    let grid_cols = plan.grid.1;
+    let scale = plan.time_scale;
+    let mut exp_threads = Vec::new();
+    for spec in &plan.exports {
+        let Some(prog) = topo.program_idx(&spec.program) else {
+            return Err(format!("plan exports unknown program {}", spec.program));
+        };
+        if prog != me {
+            continue;
+        }
+        for rank in 0..topo.programs[me].procs {
+            let mut h = set.lock().take_export(sid, me, rank, spec.region);
+            let owned = topo.programs[me].exports[spec.region].decomp.owned(rank);
+            let (t0, dt, count) = (spec.t0, spec.dt, spec.count);
+            let compute = spec.compute.get(rank).copied().unwrap_or(0.0);
+            let abort_after = match plan.fault {
+                Some(NodeFault::AbortAfterExports {
+                    prog: p,
+                    rank: r,
+                    after,
+                }) if p == me && r == rank => Some(after),
+                _ => None,
+            };
+            exp_threads.push((
+                rank,
+                std::thread::spawn(move || -> Result<(), String> {
+                    for k in 0..count {
+                        if compute > 0.0 {
+                            std::thread::sleep(Duration::from_secs_f64(compute * scale));
+                        }
+                        let t = t0 + k as f64 * dt;
+                        let data = LocalArray::from_fn(owned, |row, col| {
+                            cell_value(t, row, col, grid_cols)
+                        });
+                        h.export(ts(t), &data).map_err(|e| e.to_string())?;
+                        if abort_after == Some(k + 1) {
+                            // Injected malfunction: die mid-run with the
+                            // sockets cut, exactly like a crashed peer.
+                            std::process::exit(17);
+                        }
+                    }
+                    Ok(())
+                }),
+            ));
+        }
+    }
+    let mut imp_threads = Vec::new();
+    for spec in &plan.imports {
+        let Some(prog) = topo.program_idx(&spec.program) else {
+            return Err(format!("plan imports unknown program {}", spec.program));
+        };
+        if prog != me {
+            continue;
+        }
+        for rank in 0..topo.programs[me].procs {
+            let mut h = set.lock().take_import(sid, me, rank, spec.region);
+            let owned = topo.programs[me].imports[spec.region].decomp.owned(rank);
+            let (t0, dt, count, compute, startup) =
+                (spec.t0, spec.dt, spec.count, spec.compute, spec.startup);
+            let verify = plan.verify_values;
+            let region = spec.region;
+            imp_threads.push((
+                region,
+                rank,
+                std::thread::spawn(move || -> (Vec<Option<f64>>, Option<String>) {
+                    std::thread::sleep(Duration::from_secs_f64(startup * scale));
+                    let mut got = Vec::with_capacity(count);
+                    let mut dest = LocalArray::zeros(owned);
+                    for k in 0..count {
+                        if compute > 0.0 {
+                            std::thread::sleep(Duration::from_secs_f64(compute * scale));
+                        }
+                        match h.import(ts(t0 + k as f64 * dt), &mut dest) {
+                            Err(e) => return (got, Some(e.to_string())),
+                            Ok(None) => got.push(None),
+                            Ok(Some(m)) => {
+                                if verify {
+                                    if let Some(err) =
+                                        verify_cells(&dest, owned, m.value(), grid_cols)
+                                    {
+                                        return (got, Some(err));
+                                    }
+                                }
+                                got.push(Some(m.value()));
+                            }
+                        }
+                    }
+                    (got, None)
+                }),
+            ));
+        }
+    }
+
+    let mut export_errors = Vec::new();
+    for (rank, t) in exp_threads {
+        if let Err(e) = t.join().map_err(|_| "exporter thread panicked")? {
+            export_errors.push((me, rank, e));
+        }
+    }
+    let mut imports_done = Vec::new();
+    let mut matches = Vec::new();
+    for (region, rank, t) in imp_threads {
+        let (got, err) = t.join().map_err(|_| "importer thread panicked")?;
+        imports_done.push((me, rank, got.len() as u64, err));
+        if rank == 0 {
+            let conn = topo.programs[me].imports[region].conn;
+            matches.push((conn.0, got));
+        }
+    }
+
+    // From here on a peer EOF is expected (someone drains first) — the
+    // fabric must keep serving peers that are still importing from us.
+    apps_done.store(true, Ordering::Release);
+    parent_wr
+        .write_all(&codec::encode_bare(codec::KIND_APP_DONE))
+        .map_err(|e| format!("sending app-done: {e}"))?;
+
+    let drain_early = matches!(plan.fault, Some(NodeFault::DrainEarly { prog }) if prog == me);
+    if !drain_early {
+        read_expected(&mut parent_rd, codec::KIND_DRAIN, "drain")?;
+    }
+
+    let shutdown = set.lock().shutdown_session(sid);
+    let (stats, traces, shutdown_error) = match shutdown {
+        Ok(rep) => (
+            rep.stats
+                .into_iter()
+                .enumerate()
+                .map(|(c, per_rank)| (c as u32, per_rank))
+                .collect(),
+            rep.traces
+                .into_iter()
+                .map(|(p, r, c, t)| (p, r, c.0, t))
+                .collect(),
+            None,
+        ),
+        Err(e) => (Vec::new(), Vec::new(), Some(e.to_string())),
+    };
+    let report = NodeReport {
+        prog: me,
+        stats,
+        traces,
+        matches,
+        imports_done,
+        export_errors,
+        shutdown_error,
+        counters: metrics.snapshot().counters,
+    };
+    parent_wr
+        .write_all(&codec::encode_report(&report))
+        .map_err(|e| format!("sending report: {e}"))?;
+    Ok(())
+}
+
+fn verify_cells(dest: &LocalArray, owned: Rect, m: f64, grid_cols: usize) -> Option<String> {
+    for row in owned.row0..owned.row0 + owned.rows {
+        for col in owned.col0..owned.col0 + owned.cols {
+            let want = cell_value(m, row, col, grid_cols);
+            let got = dest.get(row, col);
+            if got != want {
+                return Some(format!(
+                    "data corruption at ({row},{col}) for D@{m}: got {got}, want {want}"
+                ));
+            }
+        }
+    }
+    None
+}

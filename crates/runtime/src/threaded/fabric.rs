@@ -450,6 +450,42 @@ impl FabricErr {
 
 type ErrSlot = Arc<Mutex<Option<FabricErr>>>;
 
+/// Outbound half of a multi-process session: how the fabric forwards
+/// traffic whose destination endpoint lives in another OS process. The
+/// socket runtime (`crate::net`) implements this over its peer
+/// connections; a single-process session has no links and treats every
+/// endpoint as local.
+pub(crate) trait RemoteLinks: Send + Sync {
+    /// Forwards one routed control message. The sending process has
+    /// already metered it and, when the reliability layer is armed,
+    /// registered it as pending — the receiver injects it via
+    /// [`Net::deliver_remote_ctrl`].
+    fn send_ctrl(&self, to: Endpoint, meta: Option<WireMeta>, msg: CtrlMsg);
+
+    /// Carries an ack for the directed link `sender → acker` back to the
+    /// sender's process, where [`Net::apply_remote_ack`] applies it to the
+    /// pending state.
+    fn send_ack(&self, sender: Endpoint, acker: Endpoint, seq: u64);
+
+    /// Ships one payload piece to importer rank `dst` of `conn`'s
+    /// importing program. The implementation serializes straight out of
+    /// the shared buffer (send-side zero-copy).
+    fn send_piece(
+        &self,
+        conn: ConnectionId,
+        dst: usize,
+        req: RequestId,
+        rect: Rect,
+        payload: &SharedArray,
+    );
+}
+
+/// Whether `prog`'s tasks live in this process (`local: None` means the
+/// single-process fabric, which hosts every program).
+fn hosts(local: Option<usize>, prog: usize) -> bool {
+    local.is_none_or(|p| p == prog)
+}
+
 /// One exporting process's engine state: the node plus one object store per
 /// exported region (keyed by timestamp; the real buffered copies, shared —
 /// not re-copied — into every piece, connection and retransmit they serve).
@@ -479,7 +515,7 @@ struct ImpCell {
 type PieceMap = Arc<Mutex<HashMap<RequestId, Vec<(Rect, SharedArray)>>>>;
 
 /// The fabric's routing table: where every endpoint's mailbox is.
-struct Net {
+pub(crate) struct Net {
     topo: Arc<Topology>,
     /// Per-program rep mailbox (`None` if the program has no connections).
     to_rep: Vec<Option<Arc<Mailbox<RepMsg>>>>,
@@ -493,11 +529,57 @@ struct Net {
     chaos: Option<NetChaos>,
     /// Reliability layer, armed only when the faults require it.
     rel: Option<NetRel>,
+    /// Which program this process hosts (`None` = all of them, the
+    /// single-process fabric).
+    local: Option<usize>,
+    /// Outbound links to the peer processes hosting the other programs
+    /// (`None` in a single-process session).
+    links: Option<Arc<dyn RemoteLinks>>,
     /// Per-session instrumentation shared with every node and handle.
     metrics: Arc<EngineMetrics>,
 }
 
 impl Net {
+    /// Whether `ep`'s tasks live in this process.
+    fn is_local(&self, ep: Endpoint) -> bool {
+        let (Endpoint::Rep { prog } | Endpoint::Proc { prog, .. }) = ep;
+        hosts(self.local, prog)
+    }
+
+    /// Injects a control message that arrived over a socket link, exactly
+    /// as if a local task had routed it. Not metered — the sending process
+    /// already counted it, and the parent sums counters across processes.
+    pub(crate) fn deliver_remote_ctrl(&self, to: Endpoint, meta: Option<WireMeta>, msg: CtrlMsg) {
+        self.route(to, meta, msg);
+    }
+
+    /// Applies an ack that arrived over a socket link to the local pending
+    /// state — the cross-process counterpart of the in-place `on_ack` in
+    /// [`Net::admit`]. Metered (as `Ack` traffic) at the generating
+    /// process, not here.
+    pub(crate) fn apply_remote_ack(&self, sender: Endpoint, acker: Endpoint, seq: u64) {
+        let Some(rel) = &self.rel else { return };
+        let fresh = timed_lock(rel.shard(sender, acker), &self.metrics).on_ack(sender, acker, seq);
+        if fresh && rel.draining.load(Ordering::Acquire) {
+            let _guard = rel.pump_stop.lock();
+            rel.pump_cv.notify_one();
+        }
+    }
+
+    /// Injects a payload piece that arrived over a socket link into the
+    /// destination rank's importer mailbox (transfer bytes were metered at
+    /// the sending process).
+    pub(crate) fn deliver_remote_piece(
+        &self,
+        conn: ConnectionId,
+        dst: usize,
+        req: RequestId,
+        rect: Rect,
+        payload: SharedArray,
+    ) {
+        let _ = self.to_imp[conn.0 as usize][dst].push(ImpMsg::Piece { req, rect, payload });
+    }
+
     /// Moves one control message toward its endpoint. With the reliability
     /// layer armed the message is first registered (sequenced, pending
     /// until acked) and may be permanently lost on this attempt — the pump
@@ -573,11 +655,14 @@ impl Net {
     }
 
     /// Runs one arriving message through the reliability layer: dedup,
-    /// FIFO hold-back, ack generation. Acks are applied to the sender's
-    /// pending state in place — the shared layer plays the role of an
-    /// instantaneous ack channel (still metered as `Ack` control traffic);
-    /// the DES models the ack's network latency explicitly. Unsequenced
-    /// messages (and everything when the layer is unarmed) pass through.
+    /// FIFO hold-back, ack generation. When the sender is in this process
+    /// its acks are applied to its pending state in place — the shared
+    /// layer plays the role of an instantaneous ack channel (still metered
+    /// as `Ack` control traffic); the DES models the ack's network latency
+    /// explicitly. When the sender lives in another process the acks
+    /// travel back over its socket link instead and land via
+    /// [`Net::apply_remote_ack`]. Unsequenced messages (and everything
+    /// when the layer is unarmed) pass through.
     fn admit(
         &self,
         to: Endpoint,
@@ -588,15 +673,26 @@ impl Net {
             return vec![(None, msg)];
         };
         let mut fresh_acks = false;
+        let mut wire_acks = Vec::new();
+        let remote_sender = !self.is_local(meta.from);
         let received = {
             let mut layer = timed_lock(rel.shard(meta.from, to), &self.metrics);
             let received = layer.receive(meta, to, msg);
             for seq in &received.acks {
                 self.metrics.ctrl(CtrlClass::Ack).inc();
-                fresh_acks |= layer.on_ack(meta.from, to, *seq);
+                if remote_sender {
+                    wire_acks.push(*seq);
+                } else {
+                    fresh_acks |= layer.on_ack(meta.from, to, *seq);
+                }
             }
             received
         };
+        if let (Some(links), false) = (&self.links, wire_acks.is_empty()) {
+            for seq in wire_acks {
+                links.send_ack(meta.from, to, seq);
+            }
+        }
         if fresh_acks && rel.draining.load(Ordering::Acquire) {
             // The drain blocks until pending traffic empties; every fresh
             // ack may be the one that empties it.
@@ -667,6 +763,14 @@ impl Net {
     /// mailboxes (answer broadcasts) — the same split [`Net::route`]
     /// applies per message, so per-mailbox FIFO order is preserved.
     fn route_batch(&self, to: Endpoint, mut batch: Vec<(Option<WireMeta>, CtrlMsg)>) {
+        if !self.is_local(to) {
+            if let Some(links) = &self.links {
+                for (meta, msg) in batch {
+                    links.send_ctrl(to, meta, msg);
+                }
+            }
+            return;
+        }
         if batch.len() == 1 {
             let (meta, msg) = batch.pop().expect("len checked");
             return self.route(to, meta, msg);
@@ -735,8 +839,15 @@ impl Net {
 
     /// Routes one control message. Pushes are best-effort: a retired
     /// mailbox means its task already finished (shutdown or a recorded
-    /// error), which the caller surfaces separately.
+    /// error), which the caller surfaces separately. A destination hosted
+    /// by another process is handed to its socket link instead.
     fn route(&self, to: Endpoint, meta: Option<WireMeta>, msg: CtrlMsg) {
+        if !self.is_local(to) {
+            if let Some(links) = &self.links {
+                links.send_ctrl(to, meta, msg);
+            }
+            return;
+        }
         match to {
             Endpoint::Rep { prog } => {
                 if let Some(mb) = &self.to_rep[prog] {
@@ -815,6 +926,16 @@ impl Transport for ProcTransport<'_> {
                 .metrics
                 .bytes_transferred
                 .add((t.rect.cells() * std::mem::size_of::<f64>()) as u64);
+            let dst = Endpoint::Proc {
+                prog: ct.importer_prog,
+                rank: t.dst,
+            };
+            if !self.net.is_local(dst) {
+                if let Some(links) = &self.net.links {
+                    links.send_piece(conn, t.dst, req, t.rect, obj);
+                }
+                continue;
+            }
             // Zero-copy: the piece shares the buffered object (an `Arc`
             // clone); the importer reads its sub-rectangle straight out of
             // the shared buffer. Best-effort: the importer may already be
@@ -1080,6 +1201,12 @@ impl ImportAccess {
                         Ok(Some(m))
                     }
                 };
+            }
+            // Fail fast on a recorded fabric error (a crashed task or, in
+            // the socket runtime, a dead peer) instead of sitting out the
+            // full timeout — `fail_fast` wakes this condvar on purpose.
+            if let Some(e) = self.net.err.lock().clone() {
+                return Err(e.to_error());
             }
             if self.cell.cv.wait_until(&mut node, deadline).timed_out() {
                 drop(node);
@@ -1719,6 +1846,10 @@ struct Session {
     net: Arc<Net>,
     err: ErrSlot,
     traces: Vec<(usize, usize, ConnectionId)>,
+    /// Which program this process hosts (`None` = all of them).
+    local: Option<usize>,
+    /// Every local import cell, for [`Session::fail_fast`] wake-ups.
+    imp_cells: Vec<Arc<ImpCell>>,
     metrics: Arc<EngineMetrics>,
 }
 
@@ -1729,6 +1860,21 @@ impl Session {
     /// dependency order: pump, agents, reps, importers — a rep's first
     /// poll may heartbeat into agent mailboxes, which are already bound.
     fn new(topo: Topology, opts: FabricOptions, exec: &Executor, sid: SessionId) -> Self {
+        Session::new_partial(topo, opts, exec, sid, None, None)
+    }
+
+    /// Like [`Session::new`], but hosting only program `local` when given
+    /// (the socket runtime's shape: one OS process per program). Tasks,
+    /// engine cells and application handles are built only for the hosted
+    /// program; traffic for every other endpoint is handed to `links`.
+    fn new_partial(
+        topo: Topology,
+        opts: FabricOptions,
+        exec: &Executor,
+        sid: SessionId,
+        local: Option<usize>,
+        links: Option<Arc<dyn RemoteLinks>>,
+    ) -> Self {
         let topo = Arc::new(topo);
         let err: ErrSlot = Arc::new(Mutex::new(None));
         let clock = Arc::new(WallClock::start());
@@ -1753,12 +1899,15 @@ impl Session {
         });
 
         // Mailboxes first (the routing table must exist before any task).
+        // In a partial session only the hosted program's endpoints get
+        // mailboxes: foreign destinations are forwarded by `Net::route`
+        // before any mailbox lookup, so the holes are never touched.
         let mut rep_boxes: Vec<Option<Arc<Mailbox<RepMsg>>>> = Vec::new();
         let mut agent_boxes: Vec<Vec<Option<Arc<Mailbox<AgentMsg>>>>> = Vec::new();
-        for p in &topo.programs {
-            let coupled = !p.exports.is_empty() || !p.imports.is_empty();
+        for (pi, p) in topo.programs.iter().enumerate() {
+            let coupled = (!p.exports.is_empty() || !p.imports.is_empty()) && hosts(local, pi);
             rep_boxes.push(coupled.then(|| Arc::new(Mailbox::new())));
-            let exporting = !p.exports.is_empty();
+            let exporting = !p.exports.is_empty() && hosts(local, pi);
             agent_boxes.push(
                 (0..p.procs)
                     .map(|_| exporting.then(|| Arc::new(Mailbox::new())))
@@ -1786,6 +1935,8 @@ impl Session {
                 relay: tx.clone(),
             }),
             rel,
+            local,
+            links,
             metrics: Arc::clone(&metrics),
         });
         // The chaos relay stays a dedicated thread; see `relay_loop`.
@@ -1900,7 +2051,15 @@ impl Session {
         let mut exports: Vec<Vec<Vec<Option<ExportAccess>>>> = Vec::new();
         let mut imports: Vec<Vec<Vec<Option<ImportAccess>>>> = Vec::new();
         let mut imps = Vec::new();
+        let mut imp_cells: Vec<Arc<ImpCell>> = Vec::new();
         for (pi, p) in topo.programs.iter().enumerate() {
+            if !hosts(local, pi) {
+                // A foreign program's handles and importer tasks live in
+                // the process hosting it.
+                exports.push((0..p.procs).map(|_| Vec::new()).collect());
+                imports.push((0..p.procs).map(|_| Vec::new()).collect());
+                continue;
+            }
             let mut prog_exports = Vec::new();
             let mut prog_imports = Vec::new();
             for rank in 0..p.procs {
@@ -1925,10 +2084,12 @@ impl Session {
                 let imp_cell = (!p.imports.is_empty()).then(|| {
                     let mut node = ImportNode::new(&topo, pi, rank);
                     node.set_metrics(Arc::clone(&metrics));
-                    Arc::new(ImpCell {
+                    let cell = Arc::new(ImpCell {
                         node: Mutex::new(node),
                         cv: Condvar::new(),
-                    })
+                    });
+                    imp_cells.push(cell.clone());
+                    cell
                 });
                 prog_imports.push(
                     p.imports
@@ -1983,7 +2144,23 @@ impl Session {
             net,
             err,
             traces: opts.traces,
+            local,
+            imp_cells,
             metrics,
+        }
+    }
+
+    /// Records a fatal error and wakes every blocked application call
+    /// (stalled bounded exports, waiting imports) so they observe it now
+    /// instead of after their full timeout. Used by the socket runtime
+    /// when a peer process dies mid-run.
+    fn fail_fast(&self, detail: String) {
+        record_crash(&self.err, detail);
+        for cell in self.cells.iter().flatten().flatten() {
+            cell.freed.notify_all();
+        }
+        for cell in &self.imp_cells {
+            cell.cv.notify_all();
         }
     }
 
@@ -2079,6 +2256,11 @@ impl Session {
             .conns
             .iter()
             .map(|ct| {
+                if !hosts(self.local, ct.exporter_prog) {
+                    // A partial session reports only its own exporters;
+                    // the orchestrator merges the per-process reports.
+                    return Vec::new();
+                }
                 (0..self.topo.programs[ct.exporter_prog].procs)
                     .map(|rank| {
                         let cell = self.cells[ct.exporter_prog][rank]
@@ -2138,6 +2320,37 @@ impl SessionSet {
         let session = Session::new(topo, opts, &self.exec, sid);
         self.sessions.push(Some(session));
         sid
+    }
+
+    /// Adds a partial session hosting only program `local`, with `links`
+    /// carrying foreign-endpoint traffic — the socket runtime's entry
+    /// point. Returns the session's index.
+    pub(crate) fn add_partial_session(
+        &mut self,
+        topo: Topology,
+        opts: FabricOptions,
+        local: usize,
+        links: Arc<dyn RemoteLinks>,
+    ) -> usize {
+        let sid = self.exec.add_session();
+        debug_assert_eq!(sid, self.sessions.len(), "session ids are dense");
+        let session = Session::new_partial(topo, opts, &self.exec, sid, Some(local), Some(links));
+        self.sessions.push(Some(session));
+        sid
+    }
+
+    /// One session's routing table, for injecting traffic that arrived
+    /// over a socket link.
+    pub(crate) fn session_net(&self, session: usize) -> Arc<Net> {
+        Arc::clone(&self.session(session).net)
+    }
+
+    /// Records a fatal error on one session and wakes its blocked
+    /// application calls (see `Session::fail_fast`).
+    pub(crate) fn fail_session(&self, session: usize, detail: String) {
+        if let Some(Some(s)) = self.sessions.get(session) {
+            s.fail_fast(detail);
+        }
     }
 
     fn session(&self, session: usize) -> &Session {

@@ -8,9 +8,12 @@
 //! ([`couplink_runtime::ChaosConfig`]: per-message delay, duplication,
 //! bounded drop-with-retry — plus *permanent* faults: probabilistic
 //! message loss and a seeded rep crash with restart or heartbeat
-//! failover). The scenario runs on **both** runtimes — the discrete-event
-//! simulator and the threaded fabric — and the results are checked against
-//! the protocol oracles in [`couplink_runtime::engine::oracle`]:
+//! failover). The scenario runs on **both** in-process runtimes — the
+//! discrete-event simulator and the threaded fabric — and, with
+//! `--socket`, additionally on the **socket runtime**
+//! ([`couplink_runtime::net`]: every program its own OS process on
+//! loopback UDS or TCP). The results are checked against the protocol
+//! oracles in [`couplink_runtime::engine::oracle`]:
 //!
 //! 1. collective order (Property 1),
 //! 2. buffer safety (ground-truth match replay),
@@ -49,8 +52,8 @@ pub mod scenario;
 pub mod shrink;
 
 pub use runner::{
-    check_des, check_scenario, check_threaded, mutation_smoke, run_des, run_threaded, DesTweaks,
-    Mutation,
+    check_des, check_scenario, check_scenario_socket, check_socket, check_threaded, mutation_smoke,
+    run_des, run_socket, run_threaded, socket_node_bin, socket_plan, DesTweaks, Mutation,
 };
 pub use scenario::{ExporterSpec, ImporterSpec, Scenario};
 pub use shrink::{shrink, write_failure_report};

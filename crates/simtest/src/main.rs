@@ -3,14 +3,17 @@
 //! broken protocol rules; `--faults` forces permanent loss plus a rep
 //! crash onto every seed and demands full recovery.
 
+use couplink_runtime::engine::OracleViolation;
+use couplink_runtime::net::SocketBackend;
 use couplink_simtest::{
-    check_scenario, mutation_smoke, shrink, write_failure_report, Mutation, Scenario,
+    check_scenario, check_scenario_socket, mutation_smoke, run_socket, shrink,
+    write_failure_report, Mutation, Scenario,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: couplink-simtest [--seed N | --seeds N] [--mutate] [--faults] [--out DIR]
+    "usage: couplink-simtest [--seed N | --seeds N] [--mutate] [--faults] [--socket B] [--out DIR]
 
   --seed N    run exactly one seed through both runtimes and the oracles
   --seeds N   run seeds 0..N (default 50)
@@ -22,6 +25,13 @@ const USAGE: &str =
   --stress    concurrency stress: every program at the process ceiling
               with zero compute/startup skew, fault-free (the coalesced
               control plane under maximum simultaneous pressure)
+  --socket B  also run each seed on the socket runtime (B = uds or tcp):
+              every program its own OS process on loopback; checks all
+              three runtimes agree on matches and protocol counters
+  --drop-answers
+              (with --socket) inject a receiver-side codec bug that
+              silently drops collective-answer frames; the run FAILS
+              unless the liveness oracle fires (negative test)
   --out DIR   where failure reports go (default results/simtest)";
 
 struct Args {
@@ -30,6 +40,8 @@ struct Args {
     mutate: bool,
     faults: bool,
     stress: bool,
+    socket: Option<SocketBackend>,
+    drop_answers: bool,
     out: PathBuf,
 }
 
@@ -40,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
         mutate: false,
         faults: false,
         stress: false,
+        socket: None,
+        drop_answers: false,
         out: PathBuf::from("results/simtest"),
     };
     let mut it = std::env::args().skip(1);
@@ -61,6 +75,14 @@ fn parse_args() -> Result<Args, String> {
             "--mutate" => args.mutate = true,
             "--faults" => args.faults = true,
             "--stress" => args.stress = true,
+            "--socket" => {
+                args.socket = Some(
+                    value("--socket")?
+                        .parse()
+                        .map_err(|e: String| format!("--socket: {e}"))?,
+                )
+            }
+            "--drop-answers" => args.drop_answers = true,
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
@@ -85,6 +107,13 @@ fn main() -> ExitCode {
     if args.mutate {
         return run_mutation(&args);
     }
+    if args.drop_answers {
+        let Some(backend) = args.socket else {
+            eprintln!("--drop-answers requires --socket\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        return run_drop_answers(&args, backend);
+    }
 
     let seeds: Vec<u64> = match args.seed {
         Some(s) => vec![s],
@@ -100,7 +129,11 @@ fn main() -> ExitCode {
         if args.faults {
             scenario.force_faults();
         }
-        match check_scenario(&scenario) {
+        let outcome = match args.socket {
+            Some(backend) => check_scenario_socket(&scenario, backend),
+            None => check_scenario(&scenario),
+        };
+        match outcome {
             Err(e) => {
                 eprintln!("seed {seed}: harness error: {e}");
                 return ExitCode::from(2);
@@ -118,9 +151,13 @@ fn main() -> ExitCode {
                 for v in &violations {
                     eprintln!("  - {v}");
                 }
-                let fails = |s: &Scenario| matches!(check_scenario(s), Ok(v) if !v.is_empty());
+                let check = |s: &Scenario| match args.socket {
+                    Some(backend) => check_scenario_socket(s, backend),
+                    None => check_scenario(s),
+                };
+                let fails = |s: &Scenario| matches!(check(s), Ok(v) if !v.is_empty());
                 let shrunk = shrink(&scenario, fails);
-                let final_violations = check_scenario(&shrunk).unwrap_or(violations);
+                let final_violations = check(&shrunk).unwrap_or(violations);
                 match write_failure_report(
                     &args.out,
                     &format!("seed-{seed}"),
@@ -134,14 +171,54 @@ fn main() -> ExitCode {
             }
         }
     }
-    if args.faults {
-        println!("{total} seed(s) under forced loss+crash faults, zero oracle violations on both runtimes");
-    } else if args.stress {
-        println!("{total} stress seed(s) at the process ceiling, zero oracle violations on both runtimes");
+    let runtimes = if args.socket.is_some() {
+        "all three runtimes"
     } else {
-        println!("{total} seed(s), zero oracle violations on both runtimes");
+        "both runtimes"
+    };
+    if args.faults {
+        println!(
+            "{total} seed(s) under forced loss+crash faults, zero oracle violations on {runtimes}"
+        );
+    } else if args.stress {
+        println!(
+            "{total} stress seed(s) at the process ceiling, zero oracle violations on {runtimes}"
+        );
+    } else {
+        println!("{total} seed(s), zero oracle violations on {runtimes}");
     }
     ExitCode::SUCCESS
+}
+
+/// Negative mode: inject the answer-dropping codec bug into the socket
+/// transport and demand the liveness oracle notices. A clean run here is
+/// a FAILURE — it would mean a wedged import could pass unobserved.
+fn run_drop_answers(args: &Args, backend: SocketBackend) -> ExitCode {
+    let seed = args.seed.unwrap_or(0);
+    let mut scenario = Scenario::generate(seed);
+    scenario.chaos = None; // the injected bug must be the only fault
+    match run_socket(&scenario, backend, true) {
+        Err(e) => {
+            eprintln!("seed {seed}: harness error: {e}");
+            ExitCode::from(2)
+        }
+        Ok((_, _, violations)) => {
+            if violations
+                .iter()
+                .any(|v| matches!(v, OracleViolation::Liveness { .. }))
+            {
+                println!(
+                    "seed {seed}: dropped collective answers tripped the liveness oracle \
+                     ({} violation(s)) — the oracle battery sees through the socket transport",
+                    violations.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("seed {seed}: answer-dropping codec bug was NOT caught: {violations:?}");
+                ExitCode::FAILURE
+            }
+        }
+    }
 }
 
 fn run_mutation(args: &Args) -> ExitCode {

@@ -1,6 +1,6 @@
 //! Runs one scenario on each runtime and applies the oracles.
 
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, GRID};
 use couplink_layout::LocalArray;
 use couplink_metrics::CounterSnapshot;
 use couplink_proto::{ConnectionId, Trace};
@@ -10,11 +10,15 @@ use couplink_runtime::engine::oracle::{
     check_metric_consistency, check_runtime_equivalence, owed_matches, OracleViolation,
 };
 use couplink_runtime::engine::Topology;
+use couplink_runtime::net::{
+    run_plan, ExportSpec, ImportSpec, NetOptions, NodeFault, NodePlan, SocketBackend,
+};
 use couplink_runtime::{
     session_task_count, ExportSchedule, Fabric, FabricOptions, ImportSchedule, RetryPolicy,
     TopoReport, TopologyConfig, TopologySim,
 };
 use couplink_time::{ts, Timestamp};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Wall-seconds of sleep per virtual compute second in the threaded run —
@@ -421,6 +425,262 @@ pub fn check_threaded(s: &Scenario) -> Result<(Matches, Vec<OracleViolation>), S
     Ok((matches, violations))
 }
 
+/// Builds the socket runtime's plan for a scenario: same config text, same
+/// grid, same schedules and chaos as the in-process runtimes, plus value
+/// verification (exporters fill a deterministic per-cell pattern; importers
+/// check every transferred cell bit-exactly).
+pub fn socket_plan(s: &Scenario) -> Result<NodePlan, String> {
+    let view = s.build_topology()?;
+    let exports = s
+        .exporters
+        .iter()
+        .enumerate()
+        .map(|(i, e)| ExportSpec {
+            program: format!("E{i}"),
+            region: 0,
+            t0: e.t0,
+            dt: e.dt,
+            count: e.count,
+            compute: e.compute.clone(),
+        })
+        .collect();
+    let imports = s
+        .importers
+        .iter()
+        .enumerate()
+        .map(|(j, imp)| ImportSpec {
+            program: format!("I{j}"),
+            region: 0,
+            t0: imp.t0,
+            dt: imp.dt,
+            count: imp.count,
+            compute: imp.compute,
+            startup: imp.startup,
+        })
+        .collect();
+    // Trace every exporter rank on every connection, exactly as the
+    // threaded run does.
+    let traces = view
+        .conns
+        .iter()
+        .flat_map(|ct| {
+            (0..view.programs[ct.exporter_prog].procs)
+                .map(move |rank| (ct.exporter_prog, rank, ct.id.0))
+        })
+        .collect();
+    Ok(NodePlan {
+        config_text: s.config_text(),
+        grid: GRID,
+        exports,
+        imports,
+        buddy_help: s.buddy_help,
+        import_timeout_s: 5.0,
+        time_scale: THREADED_TIME_SCALE,
+        verify_values: true,
+        traces,
+        chaos: s.chaos,
+        fault: None,
+    })
+}
+
+/// Locates the `couplink-node` binary the socket runs need; `None` means
+/// socket scenarios cannot run in this invocation (callers should skip,
+/// the workspace test run always builds it).
+pub fn socket_node_bin() -> Option<PathBuf> {
+    couplink_runtime::net::default_node_bin()
+}
+
+/// Runs the scenario on the socket runtime — every program its own OS
+/// process, coupled over loopback sockets — and checks the single-runtime
+/// oracles. With `drop_answers`, one node's inbound codec silently
+/// discards collective-answer frames on connection 0 (the ci negative:
+/// the liveness oracle must fire).
+pub fn run_socket(
+    s: &Scenario,
+    backend: SocketBackend,
+    drop_answers: bool,
+) -> Result<(Matches, Option<CounterSnapshot>, Vec<OracleViolation>), String> {
+    let Some(node_bin) = socket_node_bin() else {
+        return Err("couplink-node binary not found (set COUPLINK_NODE_BIN)".into());
+    };
+    let view = s.build_topology()?;
+    let mut plan = socket_plan(s)?;
+    if drop_answers {
+        plan.fault = Some(NodeFault::DropAnswers { conn: 0 });
+    }
+    let opts = NetOptions {
+        backend,
+        ..NetOptions::new(node_bin)
+    };
+    let rep = run_plan(&plan, &opts).map_err(|e| format!("socket bootstrap: {e}"))?;
+
+    let mut violations = Vec::new();
+    for &prog in &rep.crashed {
+        let conn = conn_of_program(&view, prog);
+        violations.push(OracleViolation::Liveness {
+            conn,
+            detail: format!("program {prog} exited without reporting"),
+        });
+    }
+    for (prog, rank, e) in &rep.export_errors {
+        let conn = conn_of_program(&view, *prog);
+        violations.push(OracleViolation::Liveness {
+            conn,
+            detail: format!("exporter program {prog} rank {rank} failed: {e}"),
+        });
+    }
+    for (prog, rank, done, err) in &rep.imports_done {
+        let conn = view.programs[*prog].imports[0].conn;
+        let count = s.importers[*prog - s.exporters.len()].count;
+        match err {
+            Some(e) => violations.push(OracleViolation::Liveness {
+                conn,
+                detail: format!("importer program {prog} rank {rank} failed: {e}"),
+            }),
+            None => {
+                if let Err(v) = check_liveness(conn, count, *done as usize, true) {
+                    violations.push(v);
+                }
+            }
+        }
+    }
+    for (prog, e) in &rep.shutdown_errors {
+        violations.push(OracleViolation::CollectiveOrder {
+            conn: ConnectionId(0),
+            detail: format!("program {prog} fabric shutdown reported: {e}"),
+        });
+    }
+
+    let clean_run = rep.crashed.is_empty() && rep.shutdown_errors.is_empty();
+    let mut counters = None;
+    if clean_run {
+        trace_oracles(&view, &rep.traces, &mut violations);
+        metric_oracle(&view, &rep.traces, &rep.counters, &mut violations);
+        if permanent_fault_free(s) {
+            if let Err(v) = check_fault_free(&rep.counters) {
+                violations.push(v);
+            }
+        }
+        // Socket-specific sanity: traffic really crossed sockets, and the
+        // codec rejected nothing on a healthy loopback.
+        if rep.counters.net_frames == 0 {
+            violations.push(OracleViolation::MetricConsistency {
+                conn: ConnectionId(0),
+                detail: "no frames crossed the socket transport".into(),
+            });
+        }
+        counters = Some(rep.counters);
+    }
+    Ok((rep.matches, counters, violations))
+}
+
+fn conn_of_program(view: &Topology, prog: usize) -> ConnectionId {
+    view.conns
+        .iter()
+        .find(|ct| ct.exporter_prog == prog || ct.importer_prog == prog)
+        .map(|ct| ct.id)
+        .unwrap_or(ConnectionId(0))
+}
+
+/// Runs the scenario on the socket runtime and checks the single-runtime
+/// oracles.
+pub fn check_socket(
+    s: &Scenario,
+    backend: SocketBackend,
+) -> Result<(Matches, Vec<OracleViolation>), String> {
+    let (matches, _, violations) = run_socket(s, backend, false)?;
+    Ok((matches, violations))
+}
+
+/// The control-message classes whose counts are *deterministic* given the
+/// match decisions (one per import call / request / decided answer /
+/// per-rank forward or broadcast) — Response updates and BuddyHelp depend
+/// on response timing and are excluded. Indices into
+/// `CounterSnapshot::ctrl_sent`, i.e. `CtrlClass::ALL` order.
+const DETERMINISTIC_CTRL: [(usize, &str); 5] = [
+    (0, "ImportCall"),
+    (1, "ImportRequest"),
+    (2, "ForwardRequest"),
+    (5, "Answer"),
+    (6, "AnswerBcast"),
+];
+
+/// Cross-runtime counter equivalence for fault-free runs: the socket
+/// processes' *summed* snapshots must agree with the threaded run on every
+/// protocol counter whose value is determined by the (already equal) match
+/// decisions. This is the acceptance bar for "same engine, different
+/// transport" — the wire moved the messages without inventing or losing
+/// any.
+pub fn check_counter_equivalence(
+    threaded: &CounterSnapshot,
+    socket: &CounterSnapshot,
+    out: &mut Vec<OracleViolation>,
+) {
+    let pairs = [
+        ("import_calls", threaded.import_calls, socket.import_calls),
+        ("export_calls", threaded.export_calls, socket.export_calls),
+        ("transfers", threaded.transfers, socket.transfers),
+    ];
+    for (name, a, b) in pairs {
+        if a != b {
+            out.push(OracleViolation::MetricConsistency {
+                conn: ConnectionId(0),
+                detail: format!("{name} differs across transports: threaded {a}, socket {b}"),
+            });
+        }
+    }
+    for (idx, name) in DETERMINISTIC_CTRL {
+        let (a, b) = (threaded.ctrl_sent[idx], socket.ctrl_sent[idx]);
+        if a != b {
+            out.push(OracleViolation::MetricConsistency {
+                conn: ConnectionId(0),
+                detail: format!(
+                    "ctrl {name} count differs across transports: threaded {a}, socket {b}"
+                ),
+            });
+        }
+    }
+}
+
+/// Runs the scenario on all three runtimes — simulator, threaded fabric,
+/// socket processes — and checks every oracle including cross-runtime
+/// equivalence of match decisions (all pairs) and, on fault-free runs,
+/// of the deterministic protocol counters (threaded vs socket).
+pub fn check_scenario_socket(
+    s: &Scenario,
+    backend: SocketBackend,
+) -> Result<Vec<OracleViolation>, String> {
+    let (des_matches, mut violations) = check_des(s, None)?;
+    let (thr_matches, thr_counters, thr_violations) = run_threaded(s, false)?;
+    violations.extend(thr_violations);
+    let (sock_matches, sock_counters, sock_violations) = run_socket(s, backend, false)?;
+    violations.extend(sock_violations);
+    for conn in 0..des_matches.len().min(sock_matches.len()) {
+        if let Err(v) = check_runtime_equivalence(
+            ConnectionId(conn as u32),
+            &des_matches[conn],
+            &sock_matches[conn],
+        ) {
+            violations.push(v);
+        }
+    }
+    for conn in 0..des_matches.len().min(thr_matches.len()) {
+        if let Err(v) = check_runtime_equivalence(
+            ConnectionId(conn as u32),
+            &des_matches[conn],
+            &thr_matches[conn],
+        ) {
+            violations.push(v);
+        }
+    }
+    if permanent_fault_free(s) {
+        if let (Some(t), Some(k)) = (&thr_counters, &sock_counters) {
+            check_counter_equivalence(t, k, &mut violations);
+        }
+    }
+    Ok(violations)
+}
+
 /// Runs the scenario on both runtimes, checks every oracle including
 /// runtime equivalence, and returns all violations (empty = pass).
 pub fn check_scenario(s: &Scenario) -> Result<Vec<OracleViolation>, String> {
@@ -640,6 +900,58 @@ mod tests {
             return;
         }
         panic!("no seed in 0..50 produced buddy-help traffic to degrade");
+    }
+
+    /// A small fixed corpus through the socket runtime on loopback UDS:
+    /// all three runtimes must agree on match decisions, and the
+    /// deterministic protocol counters must be identical between the
+    /// threaded and socket transports.
+    #[test]
+    fn socket_corpus_matches_other_runtimes() {
+        if socket_node_bin().is_none() {
+            eprintln!("skipping: couplink-node binary not built");
+            return;
+        }
+        for seed in 0..4 {
+            let s = Scenario::generate(seed);
+            let violations = check_scenario_socket(&s, SocketBackend::Uds).expect("harness");
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    /// Forced permanent faults (loss + rep crash) over the socket
+    /// transport: the per-process reliability layer must recover exactly
+    /// as the in-process runtimes do, with every oracle green.
+    #[test]
+    fn socket_forced_fault_seed_recovers() {
+        if socket_node_bin().is_none() {
+            eprintln!("skipping: couplink-node binary not built");
+            return;
+        }
+        let mut s = Scenario::generate(1);
+        s.force_faults();
+        let (_, _, violations) = run_socket(&s, SocketBackend::Uds, false).expect("harness");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// The ci negative: a receiver-side codec bug that silently drops
+    /// collective-answer frames must wedge the importer, and the liveness
+    /// oracle must say so.
+    #[test]
+    fn socket_drop_answers_fires_liveness_oracle() {
+        if socket_node_bin().is_none() {
+            eprintln!("skipping: couplink-node binary not built");
+            return;
+        }
+        let mut s = Scenario::generate(0);
+        s.chaos = None;
+        let (_, _, violations) = run_socket(&s, SocketBackend::Uds, true).expect("harness");
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, OracleViolation::Liveness { .. })),
+            "dropped answers must trip the liveness oracle: {violations:?}"
+        );
     }
 
     /// A crashed agent thread must surface as a `ProcessCrash` error from
