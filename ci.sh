@@ -3,7 +3,7 @@
 #
 #   ./ci.sh
 #
-# Ten stages, all required:
+# Eleven stages, all required:
 #   1. formatting      (cargo fmt --check)
 #   2. lints           (cargo clippy, warnings are errors)
 #   3. tier-1 tests    (release build + full test suite)
@@ -22,13 +22,20 @@
 #                       per-iteration wall-clock budget; plus a negative
 #                       test proving the throughput gate catches an
 #                       injected stall)
-#   9. multi-session   (16 sessions multiplexed on the pooled executor
+#   9. scale ranks     (hierarchical collective sweep at 32/64/128 ranks
+#                       per program on the threaded fabric: rep-origin
+#                       control messages per import must stay within the
+#                       k*ceil(log_k N) + 2k O(log N) budget and the tree
+#                       conservation laws must hold exactly; plus a
+#                       negative test proving the gate rejects the legacy
+#                       flat O(N) fan-out)
+#  10. multi-session   (16 sessions multiplexed on the pooled executor
 #                       under the same wall budget: pooled must beat
 #                       one-worker-per-task by 1.5x aggregate imports/sec
 #                       and schedule sessions fairly; plus a negative test
 #                       proving the starvation check catches a deliberately
 #                       unfair scheduler)
-#  10. socket           (fixed-seed corpus on the socket runtime: every
+#  11. socket           (fixed-seed corpus on the socket runtime: every
 #                       program its own OS process on loopback UDS, all
 #                       three runtimes must agree on matches and protocol
 #                       counters; a forced-fault chaos sweep; one TCP
@@ -88,6 +95,19 @@ if cargo run --release -q -p couplink-bench --bin scale -- \
     exit 1
 fi
 echo "   (gate correctly rejected the stalled run)"
+
+echo "== scale ranks: hierarchical collectives under the O(log N) ctrl gate"
+cargo run --release -q -p couplink-bench --bin scale -- \
+    --ranks 32,64,128 --out results/BENCH_scale_ranks.json
+
+echo "== scale ranks: flat fan-out must FAIL the control-scaling gate"
+if cargo run --release -q -p couplink-bench --bin scale -- \
+    --ranks 32,64 --mutate \
+    --out results/BENCH_scale_ranks_mutated.json >/dev/null 2>&1; then
+    echo "ERROR: control-scaling gate passed a flat O(N) rep fan-out" >&2
+    exit 1
+fi
+echo "   (gate correctly rejected the flat fan-out)"
 
 echo "== multi-session smoke: 16 sessions on the pooled executor"
 cargo run --release -q -p couplink-bench --bin scale -- \

@@ -1,7 +1,8 @@
 //! Weak/strong scaling sweeps for the threaded fabric (`bench scale`).
 //!
 //! Usage: `cargo run -p couplink-bench --release --bin scale -- \
-//!     [--full] [--mutate] [--sessions N] [--out FILE] [--gate-ms N]`
+//!     [--full] [--mutate] [--sessions N] [--ranks LIST] [--out FILE] \
+//!     [--gate-ms N]`
 //!
 //! Sweeps a grid of coupled pairs × processes-per-program on the real
 //! threaded [`Fabric`], measuring wall-clock throughput: imports/sec,
@@ -42,13 +43,30 @@
 //! `--mutate` switches the pool to a deliberately unfair scheduler
 //! (always poll the lowest session first) instead of sleeping; the
 //! fairness check must then fail.
+//!
+//! # `--ranks N1,N2,…`
+//!
+//! The hierarchical collective axis (mode `scale-ranks`): one coupled
+//! pair per point, both programs at `N` ranks, run on the threaded fabric
+//! with hierarchical rep fan-out enabled. Rank counts well past the tree
+//! branching factor make the rep's per-collective origin traffic the
+//! scaling story: the gate demands the measured rep-origin control
+//! messages per import stay within the `k·⌈log_k N⌉ + 2k` budget of the
+//! control-scaling oracle — O(log N), not the flat runtime's O(N) — and
+//! that the exact tree conservation laws (every rank served exactly once
+//! per collective, relays matching the tree's edge count) hold on the
+//! live fabric counters. Under `--ranks`, `--mutate` disables the tree
+//! and reruns the sweep on the legacy flat fan-out; the O(log N) budget
+//! must then fail, proving the gate would catch a regression to per-rank
+//! rep broadcasts.
 
 use couplink_bench::report::{BenchReport, ScenarioMeasure};
 use couplink_layout::RedistPlan;
 use couplink_layout::{Decomposition, Extent2, LocalArray};
-use couplink_metrics::MetricsSnapshot;
+use couplink_metrics::{CtrlClass, MetricsSnapshot};
 use couplink_proto::ConnectionId;
-use couplink_runtime::engine::{ConnTopo, ExportRegionTopo, ImportRegionTopo, ProgramTopo};
+use couplink_runtime::engine::oracle::check_ctrl_scaling;
+use couplink_runtime::engine::{tree, ConnTopo, ExportRegionTopo, ImportRegionTopo, ProgramTopo};
 use couplink_runtime::{
     session_task_count, ExecutorOptions, Fabric, FabricOptions, SessionSet, Topology,
 };
@@ -80,6 +98,7 @@ struct Options {
     full: bool,
     mutate: bool,
     sessions: Option<usize>,
+    ranks: Option<Vec<usize>>,
     out: PathBuf,
     gate_ms: f64,
 }
@@ -89,6 +108,7 @@ fn parse_args() -> Result<Options, String> {
         full: false,
         mutate: false,
         sessions: None,
+        ranks: None,
         out: PathBuf::from("results/BENCH_couplink_scale.json"),
         gate_ms: DEFAULT_GATE_MS,
     };
@@ -107,6 +127,18 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--sessions needs at least 1".into());
                 }
                 opts.sessions = Some(n);
+            }
+            "--ranks" => {
+                let list = args.next().ok_or("--ranks needs a comma-separated list")?;
+                let ranks = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("--ranks: {e}"))?;
+                if ranks.is_empty() || ranks.contains(&0) {
+                    return Err("--ranks needs positive rank counts".into());
+                }
+                opts.ranks = Some(ranks);
             }
             "--out" => opts.out = PathBuf::from(args.next().ok_or("--out needs a path")?),
             "--gate-ms" => {
@@ -200,12 +232,17 @@ struct PointRun {
 /// timestamps (zero compute skew — the paper's tightest coupling). The
 /// optional `slowdown` models a stalled consumer for the gate's negative
 /// test.
-fn run_point(pt: GridPoint, iters: usize, slowdown: Option<Duration>) -> Result<PointRun, String> {
+fn run_point(
+    pt: GridPoint,
+    iters: usize,
+    slowdown: Option<Duration>,
+    options: FabricOptions,
+) -> Result<PointRun, String> {
     let topo = scale_topology(pt);
     let rows_per_rank = 4;
     let extent = Extent2::new(pt.procs * rows_per_rank, 64);
     let decomp = Decomposition::row_block(extent, pt.procs).expect("row-block decomposition");
-    let mut fabric = Fabric::new(topo, FabricOptions::default());
+    let mut fabric = Fabric::new(topo, options);
     let metrics = fabric.metrics();
 
     let start = Instant::now();
@@ -482,6 +519,69 @@ fn run_sessions_mode(opts: &Options, n: usize) -> Result<(BenchReport, Vec<Strin
     ))
 }
 
+/// The `--ranks` mode: hierarchical collectives at rank counts past the
+/// tree branching factor. Wall time is irrelevant here — the gate reads
+/// the deterministic protocol counters: the rep may originate at most
+/// `k·⌈log_k N⌉ + 2k` control messages per collective import (O(log N)),
+/// and the tree conservation laws must hold exactly (every rank served
+/// once per collective, one relay per interior tree edge).
+fn run_ranks_mode(opts: &Options, ranks: &[usize]) -> Result<(BenchReport, Vec<String>), String> {
+    let hierarchical = !opts.mutate;
+    let iters = 4;
+    let mut scenarios = Vec::new();
+    let mut violations = Vec::new();
+    for &n in ranks {
+        let pt = GridPoint { pairs: 1, procs: n };
+        let name = format!("ranks_n{n:03}");
+        let depth = tree::depth(n);
+        let budget = (tree::BRANCH * depth + 2 * tree::BRANCH) as u64;
+        println!(
+            "running {name} ({iters} collective imports over {n}x{n} ranks, {} fan-out) ...",
+            if hierarchical { "tree" } else { "FLAT" }
+        );
+        let options = FabricOptions {
+            hierarchical,
+            ..FabricOptions::default()
+        };
+        let run = run_point(pt, iters, None, options).map_err(|e| format!("{name}: {e}"))?;
+        let counters = &run.snapshot.counters;
+        let origin = counters.ctrl(CtrlClass::ForwardRequest)
+            + counters.ctrl(CtrlClass::AnswerBcast)
+            + counters.ctrl(CtrlClass::BuddyHelp);
+        let per_import = origin / iters as u64;
+        println!(
+            "  {per_import} rep-origin ctrl msgs/import (budget {budget}), \
+             {} relays, tree depth {}",
+            counters.ctrl_relay, counters.tree_depth
+        );
+        if per_import > budget {
+            violations.push(format!(
+                "{name}: {per_import} rep-origin control messages per import over {n} ranks \
+                 exceeds the k*ceil(log_k N) + 2k = {budget} budget (flat O(N) fan-out?)"
+            ));
+        }
+        if hierarchical {
+            let conns = [(ConnectionId(0), iters, n, n)];
+            if let Err(v) = check_ctrl_scaling(counters, &conns, true) {
+                violations.push(format!("{name}: {v}"));
+            }
+        }
+        let mut m = measure(&name, &run);
+        m.wall_s
+            .push(("origin_per_import".into(), per_import as f64));
+        m.wall_s
+            .push(("origin_budget_per_import".into(), budget as f64));
+        scenarios.push(m);
+    }
+    Ok((
+        BenchReport {
+            mode: "scale-ranks".to_string(),
+            scenarios,
+        },
+        violations,
+    ))
+}
+
 /// The classic weak/strong grid sweep (the default mode).
 fn run_grid_mode(opts: &Options) -> Result<(BenchReport, Vec<String>), String> {
     let slowdown = opts
@@ -499,7 +599,8 @@ fn run_grid_mode(opts: &Options) -> Result<(BenchReport, Vec<String>), String> {
         ] {
             let name = format!("scale_{series}_p{}x{}", pt.pairs, pt.procs);
             println!("running {name} ({iters} iters/rank) ...");
-            let run = run_point(pt, iters, slowdown).map_err(|e| format!("{name}: {e}"))?;
+            let run = run_point(pt, iters, slowdown, FabricOptions::default())
+                .map_err(|e| format!("{name}: {e}"))?;
             let iter_ms = run.wall_s * 1000.0 / (pt.pairs * pt.procs * iters).max(1) as f64;
             let per_sec = run.total_imports as f64 / run.wall_s.max(1e-12);
             println!(
@@ -544,9 +645,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let run = match opts.sessions {
-        Some(n) => run_sessions_mode(&opts, n),
-        None => run_grid_mode(&opts),
+    let run = match (opts.sessions, opts.ranks.clone()) {
+        (Some(n), _) => run_sessions_mode(&opts, n),
+        (None, Some(ranks)) => run_ranks_mode(&opts, &ranks),
+        (None, None) => run_grid_mode(&opts),
     };
     let (report, violations) = match run {
         Ok(x) => x,
@@ -585,11 +687,16 @@ fn main() -> ExitCode {
         report.scenarios.len(),
         report.mode
     );
+    let gate_name = if opts.ranks.is_some() && opts.sessions.is_none() {
+        "control-scaling gate".to_string()
+    } else {
+        format!("throughput gate (budget {:.1} ms/iter)", opts.gate_ms)
+    };
     if violations.is_empty() {
-        println!("throughput gate PASS (budget {:.1} ms/iter)", opts.gate_ms);
+        println!("{gate_name} PASS");
         ExitCode::SUCCESS
     } else {
-        eprintln!("throughput gate FAIL:");
+        eprintln!("{gate_name} FAIL:");
         for v in &violations {
             eprintln!("  - {v}");
         }

@@ -429,13 +429,18 @@ mod tests {
         );
     }
 
-    /// The executor refactor's baseline discipline: the regenerated smoke
-    /// baseline must agree with the committed pre-refactor one on every
+    /// The refactor baseline discipline: the regenerated smoke baseline
+    /// must agree with the committed pre-refactor one on every
     /// deterministic field — all counters bit-identical, virtual times
     /// unchanged — with only the executor-specific additions
     /// (`tasks_polled`, `worker_steal`, `runq_depth_hwm`, the
-    /// `poll_batch_b*` buckets) allowed to appear, and those must be zero
-    /// on the DES-driven report scenarios.
+    /// `poll_batch_b*` buckets) and the hierarchical-collective additions
+    /// (`ctrl_relay`, `ctrl_coalesced`, `hb_suppressed`, `tree_depth`)
+    /// and socket-transport additions (`net_*`) allowed to appear, and
+    /// those must be zero on the DES-driven report scenarios (the report
+    /// runs non-hierarchical in-process DES couplings; the tree counters
+    /// only move on hierarchical runs, which are gated by `bench scale
+    /// --ranks` instead).
     #[test]
     fn executor_refactor_keeps_baseline_counters_bit_identical() {
         let read = |name: &str| {
@@ -450,6 +455,13 @@ mod tests {
                 || key == "runq_depth_hwm"
                 || key.starts_with("poll_batch_b")
         };
+        let is_hierarchical_field = |key: &str| {
+            matches!(
+                key,
+                "ctrl_relay" | "ctrl_coalesced" | "hb_suppressed" | "tree_depth"
+            )
+        };
+        let is_net_field = |key: &str| key.starts_with("net_");
         let pre = read("BENCH_baseline_smoke_pre_executor.json");
         let post = read("BENCH_baseline_smoke.json");
         type Sections = Vec<(String, Vec<(String, f64)>)>;
@@ -502,12 +514,14 @@ mod tests {
                         continue;
                     }
                     assert!(
-                        is_executor_field(key),
-                        "{name}/{sec}/{key} is new but not an executor counter"
+                        is_executor_field(key) || is_hierarchical_field(key) || is_net_field(key),
+                        "{name}/{sec}/{key} is new but not an executor, tree or \
+                         socket-transport counter"
                     );
                     assert_eq!(
                         *post_val, 0.0,
-                        "{name}/{sec}/{key}: executor counters must be zero on DES runs"
+                        "{name}/{sec}/{key}: executor, tree and socket counters must \
+                         be zero on DES runs"
                     );
                 }
             }

@@ -184,6 +184,7 @@ impl SessionBuilder {
                 traces,
                 chaos: None,
                 drop_buddy_help: false,
+                hierarchical: false,
             },
         );
         Ok(Session {

@@ -366,6 +366,18 @@ pub struct EngineMetrics {
     /// Coalesced control-plane flushes: channel pushes that combined two or
     /// more rep fan-out messages for one destination. Threaded fabric only.
     pub ctrl_batches: Counter,
+    /// Control messages re-sent by a relay rank to its distribution-tree
+    /// subtree (hierarchical fan-out only; 0 in flat mode). Relay hops are
+    /// *not* double-counted in `ctrl_sent` — that array meters origin sends.
+    pub ctrl_relay: Counter,
+    /// Coalesced collective frames sent (origin + relay): one frame folding
+    /// an answer broadcast or the buddy-help announcements for one match
+    /// into a single tree-routed message (0 in flat mode).
+    pub ctrl_coalesced: Counter,
+    /// Standalone heartbeats suppressed because data or control traffic
+    /// already traversed the link inside the heartbeat window (piggybacked
+    /// liveness; threaded fabric only).
+    pub hb_suppressed: Counter,
     /// Wire frames sent by the socket transport (0 on DES/threaded).
     pub net_frames: Counter,
     /// Bytes written to sockets, headers included (0 on DES/threaded).
@@ -397,6 +409,9 @@ pub struct EngineMetrics {
     /// Messages drained per executor task poll (threaded session executor
     /// only; empty on DES).
     pub poll_batch: Histogram,
+    /// Depth of the k-ary distribution tree (relay hops from a rep to its
+    /// farthest rank), as a level gauge; 0 in flat fan-out mode.
+    pub tree_depth: Gauge,
     /// Pending messages/events per node queue, with high-water mark (the
     /// DES event queue; the fabric's rep/agent mailboxes).
     pub queue_depth: Gauge,
@@ -440,6 +455,9 @@ impl EngineMetrics {
                 degraded_buffers: self.degraded_buffers.get(),
                 payload_allocs: self.payload_allocs.get(),
                 ctrl_batches: self.ctrl_batches.get(),
+                ctrl_relay: self.ctrl_relay.get(),
+                ctrl_coalesced: self.ctrl_coalesced.get(),
+                hb_suppressed: self.hb_suppressed.get(),
                 net_frames: self.net_frames.get(),
                 net_bytes: self.net_bytes.get(),
                 net_reconnects: self.net_reconnects.get(),
@@ -450,6 +468,7 @@ impl EngineMetrics {
                 buffered_hwm: self.buffered_objects.high_water_mark(),
                 queue_depth_hwm: self.queue_depth.high_water_mark(),
                 runq_depth_hwm: self.runq_depth.high_water_mark(),
+                tree_depth: self.tree_depth.high_water_mark(),
                 occupancy: self.occupancy.counts(),
                 recovery_ms: self.recovery_ms.counts(),
                 poll_batch: self.poll_batch.counts(),
@@ -497,6 +516,12 @@ pub struct CounterSnapshot {
     pub payload_allocs: u64,
     /// Coalesced rep fan-out flushes (threaded fabric; 0 on DES).
     pub ctrl_batches: u64,
+    /// Tree relay hops re-sent by relay ranks (0 in flat fan-out mode).
+    pub ctrl_relay: u64,
+    /// Coalesced collective frames sent, origin + relay (0 in flat mode).
+    pub ctrl_coalesced: u64,
+    /// Standalone heartbeats suppressed by piggybacked liveness.
+    pub hb_suppressed: u64,
     /// Wire frames sent by the socket transport (0 off the socket runtime).
     pub net_frames: u64,
     /// Bytes written to sockets (0 off the socket runtime).
@@ -518,6 +543,8 @@ pub struct CounterSnapshot {
     /// High-water mark of the session executor's run-queue depth (threaded
     /// fabric; 0 on DES). Bounded by the live task count.
     pub runq_depth_hwm: u64,
+    /// Depth of the k-ary distribution tree (0 in flat fan-out mode).
+    pub tree_depth: u64,
     /// Occupancy histogram bucket counts.
     pub occupancy: [u64; HISTOGRAM_BUCKETS],
     /// Time-to-recovery histogram bucket counts (milliseconds).
@@ -567,6 +594,9 @@ impl CounterSnapshot {
             degraded_buffers,
             payload_allocs,
             ctrl_batches,
+            ctrl_relay,
+            ctrl_coalesced,
+            hb_suppressed,
             net_frames,
             net_bytes,
             net_reconnects,
@@ -577,6 +607,7 @@ impl CounterSnapshot {
             buffered_hwm,
             queue_depth_hwm,
             runq_depth_hwm,
+            tree_depth,
             occupancy,
             recovery_ms,
             poll_batch,
@@ -598,6 +629,9 @@ impl CounterSnapshot {
         self.degraded_buffers += degraded_buffers;
         self.payload_allocs += payload_allocs;
         self.ctrl_batches += ctrl_batches;
+        self.ctrl_relay += ctrl_relay;
+        self.ctrl_coalesced += ctrl_coalesced;
+        self.hb_suppressed += hb_suppressed;
         self.net_frames += net_frames;
         self.net_bytes += net_bytes;
         self.net_reconnects += net_reconnects;
@@ -608,6 +642,9 @@ impl CounterSnapshot {
         self.buffered_hwm = self.buffered_hwm.max(*buffered_hwm);
         self.queue_depth_hwm = self.queue_depth_hwm.max(*queue_depth_hwm);
         self.runq_depth_hwm = self.runq_depth_hwm.max(*runq_depth_hwm);
+        // Every process builds the same tree, so the depth is a shared
+        // property — max keeps it stable under per-process merging.
+        self.tree_depth = self.tree_depth.max(*tree_depth);
         for (mine, theirs) in self.occupancy.iter_mut().zip(occupancy) {
             *mine += theirs;
         }
@@ -643,6 +680,9 @@ impl CounterSnapshot {
             ("degraded_buffers".to_string(), self.degraded_buffers),
             ("payload_allocs".to_string(), self.payload_allocs),
             ("ctrl_batches".to_string(), self.ctrl_batches),
+            ("ctrl_relay".to_string(), self.ctrl_relay),
+            ("ctrl_coalesced".to_string(), self.ctrl_coalesced),
+            ("hb_suppressed".to_string(), self.hb_suppressed),
             ("net_frames".to_string(), self.net_frames),
             ("net_bytes".to_string(), self.net_bytes),
             ("net_reconnects".to_string(), self.net_reconnects),
@@ -653,6 +693,7 @@ impl CounterSnapshot {
             ("buffered_hwm".to_string(), self.buffered_hwm),
             ("queue_depth_hwm".to_string(), self.queue_depth_hwm),
             ("runq_depth_hwm".to_string(), self.runq_depth_hwm),
+            ("tree_depth".to_string(), self.tree_depth),
         ]);
         out
     }
@@ -727,6 +768,9 @@ impl CounterSnapshot {
             degraded_buffers: field("degraded_buffers")?,
             payload_allocs: field("payload_allocs")?,
             ctrl_batches: field("ctrl_batches")?,
+            ctrl_relay: field("ctrl_relay")?,
+            ctrl_coalesced: field("ctrl_coalesced")?,
+            hb_suppressed: field("hb_suppressed")?,
             net_frames: field("net_frames")?,
             net_bytes: field("net_bytes")?,
             net_reconnects: field("net_reconnects")?,
@@ -737,6 +781,7 @@ impl CounterSnapshot {
             buffered_hwm: field("buffered_hwm")?,
             queue_depth_hwm: field("queue_depth_hwm")?,
             runq_depth_hwm: field("runq_depth_hwm")?,
+            tree_depth: field("tree_depth")?,
             occupancy,
             recovery_ms,
             poll_batch,

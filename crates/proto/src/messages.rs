@@ -158,6 +158,24 @@ pub enum CtrlMsg {
         /// The final answer.
         answer: RepAnswer,
     },
+    /// A coalesced collective frame routed down the k-ary distribution
+    /// tree (hierarchical fan-out): the importer-side answer broadcast
+    /// and/or the buddy-help announcements for one match, folded into a
+    /// single message. Each receiving rank applies the roles it plays and
+    /// relays the frame unchanged to its own subtree, so the rep sends at
+    /// most `k` frames per collective instead of one per rank.
+    Coalesced {
+        /// Connection.
+        conn: ConnectionId,
+        /// Request id.
+        req: RequestId,
+        /// The final answer.
+        answer: RepAnswer,
+        /// Apply as the importer rep's answer broadcast ([`CtrlMsg::AnswerBcast`]).
+        bcast: bool,
+        /// Apply as the exporter rep's buddy-help ([`CtrlMsg::BuddyHelp`]).
+        help: bool,
+    },
     /// Reliability-layer acknowledgement of the sequenced message `seq` on
     /// the directed link back to its sender. Idempotent: duplicated or
     /// reordered acks are harmless (acking a seq twice is a no-op).

@@ -410,6 +410,7 @@ const TAG_ANSWER: u8 = 6;
 const TAG_ANSWER_BCAST: u8 = 7;
 const TAG_ACK: u8 = 8;
 const TAG_HEARTBEAT: u8 = 9;
+const TAG_COALESCED: u8 = 10;
 
 const TAG_RESP_MATCH: u8 = 1;
 const TAG_RESP_NO_MATCH: u8 = 2;
@@ -522,6 +523,19 @@ pub fn encode_ctrl(msg: &CtrlMsg) -> Vec<u8> {
             w.u64(req.0);
             put_answer(&mut w, answer);
         }
+        CtrlMsg::Coalesced {
+            conn,
+            req,
+            answer,
+            bcast,
+            help,
+        } => {
+            w.u8(TAG_COALESCED);
+            w.u32(conn.0);
+            w.u64(req.0);
+            put_answer(&mut w, answer);
+            w.u8(u8::from(bcast) | (u8::from(help) << 1));
+        }
         CtrlMsg::Ack { seq } => {
             w.u8(TAG_ACK);
             w.u64(seq);
@@ -575,6 +589,25 @@ pub fn decode_ctrl(body: &[u8]) -> Result<CtrlMsg, WireError> {
             req: RequestId(r.u64()?),
             answer: take_answer(&mut r)?,
         },
+        TAG_COALESCED => {
+            let conn = ConnectionId(r.u32()?);
+            let req = RequestId(r.u64()?);
+            let answer = take_answer(&mut r)?;
+            let roles = r.u8()?;
+            if roles == 0 || roles > 3 {
+                return Err(WireError::BadTag {
+                    what: "coalesced roles",
+                    tag: roles,
+                });
+            }
+            CtrlMsg::Coalesced {
+                conn,
+                req,
+                answer,
+                bcast: roles & 1 != 0,
+                help: roles & 2 != 0,
+            }
+        }
         TAG_ACK => CtrlMsg::Ack { seq: r.u64()? },
         TAG_HEARTBEAT => CtrlMsg::Heartbeat { beat: r.u64()? },
         tag => {
@@ -730,6 +763,34 @@ mod tests {
         assert_eq!(got.kind, KIND_CTRL);
         assert_eq!(decode_ctrl(&got.body).expect("decodes"), msg);
         assert!(dec.next_frame().expect("no error").is_none());
+    }
+
+    #[test]
+    fn coalesced_frame_roundtrip_covers_every_role_combination() {
+        for (bcast, help) in [(true, false), (false, true), (true, true)] {
+            let msg = CtrlMsg::Coalesced {
+                conn: ConnectionId(5),
+                req: RequestId(17),
+                answer: RepAnswer::Match(ts(19.6)),
+                bcast,
+                help,
+            };
+            let frame = encode_frame(KIND_CTRL, &encode_ctrl(&msg));
+            let mut dec = FrameDecoder::new();
+            dec.extend(&frame);
+            let got = dec.next_frame().expect("valid").expect("complete");
+            assert_eq!(decode_ctrl(&got.body).expect("decodes"), msg);
+        }
+        // A coalesced frame with no role is malformed, not silently empty.
+        let mut body = encode_ctrl(&CtrlMsg::Coalesced {
+            conn: ConnectionId(0),
+            req: RequestId(0),
+            answer: RepAnswer::NoMatch,
+            bcast: true,
+            help: false,
+        });
+        *body.last_mut().expect("roles byte") = 0;
+        assert!(decode_ctrl(&body).is_err());
     }
 
     #[test]

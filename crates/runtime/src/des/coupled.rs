@@ -307,6 +307,7 @@ impl CoupledSim {
             buddy_help: cfg.buddy_help,
             cost: cfg.cost,
             buffer_capacity: cfg.buffer_capacity,
+            hierarchical: false,
         })?;
         for &rank in &self.trace_ranks {
             sim.trace("exporter", rank, ConnectionId(0))?;

@@ -16,14 +16,15 @@
 use crate::cost::CostModel;
 use crate::des::coupled::{ActionKind, SimError};
 use crate::des::{EventQueue, SimTime};
+use crate::engine::reliable::expendable;
 use crate::engine::{
-    ctrl_class, deliver_all, ChaosConfig, ChaosState, CrashTarget, Endpoint, EngineError, Expiry,
-    ExportNode, ImportNode, Outgoing, Reliability, RepNode, RetryPolicy, Topology, Transport,
-    WireMeta,
+    ctrl_class, deliver_all, tree, ChaosConfig, ChaosState, CrashTarget, Endpoint, EngineError,
+    Expiry, ExportNode, ImportNode, Outgoing, Reliability, RepNode, RetryPolicy, Topology,
+    Transport, WireMeta,
 };
 use couplink_metrics::{CtrlClass, EngineMetrics, MetricsSnapshot, Phase};
 use couplink_proto::{
-    ConnectionId, CtrlMsg, ExportStats, ImportState, PortError, RequestId, Trace,
+    ConnectionId, CtrlMsg, ExportStats, ImportState, PortError, RepAnswer, RequestId, Trace,
 };
 use couplink_time::{PeriodicSchedule, Timestamp};
 use std::collections::HashMap;
@@ -92,6 +93,11 @@ pub struct TopologyConfig {
     /// Per-process framework buffer capacity in objects (`None` =
     /// unbounded).
     pub buffer_capacity: Option<usize>,
+    /// Route collectives (forward requests, answer broadcasts, buddy-help)
+    /// down the deterministic k-ary distribution tree ([`tree`]) instead of
+    /// flat per-rank fan-out: the rep talks only to its tree children and
+    /// each rank relays to its own subtree.
+    pub hierarchical: bool,
 }
 
 /// Per-rank series of one export schedule, in the report.
@@ -252,6 +258,9 @@ impl Transport for DesTransport<'_> {
 
     fn ctrl(&mut self, to: Endpoint, msg: CtrlMsg) -> Result<(), SimError> {
         self.metrics.ctrl(ctrl_class(&msg)).inc();
+        if matches!(msg, CtrlMsg::Coalesced { .. }) {
+            self.metrics.ctrl_coalesced.inc();
+        }
         self.metrics
             .phases
             .add_virtual(Phase::Ctrl, self.cost.ctrl_time());
@@ -263,7 +272,7 @@ impl Transport for DesTransport<'_> {
                 // Both the degradation knob and a permanent-loss draw make
                 // this copy vanish; the pending entry just registered is
                 // what later retransmits (or abandons) it.
-                if self.drop_buddy_help && matches!(msg, CtrlMsg::BuddyHelp { .. }) {
+                if self.drop_buddy_help && expendable(&msg) {
                     return Ok(());
                 }
                 let n = *self.nonce;
@@ -327,6 +336,10 @@ impl Transport for DesTransport<'_> {
     }
 }
 
+/// Coalesced buddy-help frames stashed per `(prog, rank)` until the
+/// matching forward request arrives.
+type HelpStash = HashMap<(usize, usize), Vec<(ConnectionId, RequestId, RepAnswer)>>;
+
 /// The topology simulator. Construct with [`TopologySim::new`], optionally
 /// enable traces with [`TopologySim::trace`], run with [`TopologySim::run`].
 pub struct TopologySim {
@@ -346,6 +359,19 @@ pub struct TopologySim {
     traced: Vec<(usize, usize, ConnectionId)>,
     chaos: Option<ChaosState>,
     buddy_help: bool,
+    hierarchical: bool,
+    /// Mutation 3: relay rank 0 silently drops coalesced answers on its
+    /// first subtree edge (armed by the simulation-test harness only).
+    relay_drop: bool,
+    /// Coalesced buddy-help that arrived at `(prog, rank)` before the
+    /// matching forward request (tree frames commute, so chaos delays can
+    /// reorder them past the FIFO-ordered forward); applied on arrival.
+    help_stash: HelpStash,
+    /// Highest forward-request id `(prog, rank)` has seen per connection —
+    /// the gate deciding whether early help must be stashed (the export
+    /// port cannot distinguish "never forwarded here yet" from "resolved
+    /// and pruned" once any request completed).
+    fwd_seen: HashMap<(usize, usize, ConnectionId), u64>,
     /// Timeout/backoff parameters used when the reliability layer arms.
     policy: RetryPolicy,
     /// Armed at run start iff the fault plan needs it; `None` keeps the
@@ -510,12 +536,23 @@ impl TopologySim {
                 if p.exports.is_empty() && p.imports.is_empty() {
                     None
                 } else {
-                    Some(RepNode::new(&topo, pi, cfg.buddy_help))
+                    Some(RepNode::new(&topo, pi, cfg.buddy_help, cfg.hierarchical))
                 }
             })
             .collect();
         let matches = vec![Vec::new(); topo.conns.len()];
         let journals = vec![Vec::new(); topo.programs.len()];
+        if cfg.hierarchical {
+            // Every process derives the identical tree from the topology,
+            // so the depth is a shared property of the run.
+            let depth = topo
+                .programs
+                .iter()
+                .map(|p| tree::depth(p.procs))
+                .max()
+                .unwrap_or(0);
+            metrics.tree_depth.set(depth as u64);
+        }
         Ok(TopologySim {
             topo,
             cost: cfg.cost,
@@ -531,6 +568,10 @@ impl TopologySim {
             traced: Vec::new(),
             chaos: None,
             buddy_help: cfg.buddy_help,
+            hierarchical: cfg.hierarchical,
+            relay_drop: false,
+            help_stash: HashMap::new(),
+            fwd_seen: HashMap::new(),
             policy: RetryPolicy {
                 // Virtual-time scales: control latency and chaos jitter are
                 // a few milliseconds, so the first ack deadline sits well
@@ -612,6 +653,15 @@ impl TopologySim {
                 node.arm_unsound_stale_skip();
             }
         }
+    }
+
+    /// Arms the third deliberate bug, for mutation-testing the oracles on a
+    /// hierarchical topology: relay rank 0 silently drops every coalesced
+    /// answer broadcast on its first subtree edge (before the reliability
+    /// layer ever sees the send, so nothing retransmits it). The starved
+    /// subtree never completes its imports; the liveness oracle must fire.
+    pub fn arm_relay_drop(&mut self) {
+        self.relay_drop = true;
     }
 
     /// Enables Figure-5 style event tracing for one connection on one
@@ -915,7 +965,7 @@ impl TopologySim {
             }
             _ => return Ok(()),
         };
-        let mut rep = RepNode::new(&self.topo, prog, self.buddy_help);
+        let mut rep = RepNode::new(&self.topo, prog, self.buddy_help, self.hierarchical);
         let msgs: Vec<CtrlMsg> = self.journals[prog].iter().map(|&(_, m)| m).collect();
         rep.replay(&self.topo, &msgs)?;
         self.reps[prog] = Some(rep);
@@ -962,10 +1012,13 @@ impl TopologySim {
     /// draw).
     fn resend(&mut self, to: Endpoint, meta: WireMeta, msg: CtrlMsg) {
         self.metrics.ctrl(ctrl_class(&msg)).inc();
+        if matches!(msg, CtrlMsg::Coalesced { .. }) {
+            self.metrics.ctrl_coalesced.inc();
+        }
         self.metrics
             .phases
             .add_virtual(Phase::Ctrl, self.cost.ctrl_time());
-        if self.drop_buddy_help && matches!(msg, CtrlMsg::BuddyHelp { .. }) {
+        if self.drop_buddy_help && expendable(&msg) {
             return;
         }
         let n = self.nonce;
@@ -1090,6 +1143,70 @@ impl TopologySim {
                     };
                     deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;
                     self.wake_blocked(drive, rank);
+                    if self.hierarchical {
+                        let seen = self.fwd_seen.entry((prog, rank, conn)).or_insert(req.0);
+                        *seen = (*seen).max(req.0);
+                        // Apply help that overtook this forward, then relay
+                        // the request to the subtree.
+                        let stashed: Vec<_> = match self.help_stash.get_mut(&(prog, rank)) {
+                            None => Vec::new(),
+                            Some(list) => {
+                                let (now, later) =
+                                    list.drain(..).partition(|&(c, r, _)| c == conn && r == req);
+                                *list = later;
+                                now
+                            }
+                        };
+                        for (c, r, a) in stashed {
+                            self.apply_help(prog, rank, c, r, a)?;
+                        }
+                        let procs = self.topo.programs[prog].procs;
+                        for child in tree::children(rank, procs) {
+                            self.relay_ctrl(
+                                Endpoint::Proc { prog, rank },
+                                Endpoint::Proc { prog, rank: child },
+                                CtrlMsg::ForwardRequest { conn, req, ts },
+                            );
+                        }
+                    }
+                }
+                CtrlMsg::Coalesced {
+                    conn,
+                    req,
+                    answer,
+                    bcast,
+                    help,
+                } => {
+                    if help {
+                        let forwarded = self
+                            .fwd_seen
+                            .get(&(prog, rank, conn))
+                            .is_some_and(|&m| m >= req.0);
+                        if forwarded {
+                            self.apply_help(prog, rank, conn, req, answer)?;
+                        } else {
+                            // The export port cannot tell "not forwarded
+                            // here yet" apart from "resolved and pruned";
+                            // hold the help until the forward arrives.
+                            self.help_stash
+                                .entry((prog, rank))
+                                .or_default()
+                                .push((conn, req, answer));
+                        }
+                    }
+                    if bcast {
+                        self.imp_nodes[prog][rank].on_answer(conn, req, answer)?;
+                        let drive = self.imp_drive_of[&conn];
+                        self.check_import_done(drive, rank)?;
+                    }
+                    let procs = self.topo.programs[prog].procs;
+                    for child in tree::children(rank, procs) {
+                        self.relay_ctrl(
+                            Endpoint::Proc { prog, rank },
+                            Endpoint::Proc { prog, rank: child },
+                            msg,
+                        );
+                    }
                 }
                 CtrlMsg::BuddyHelp { conn, req, answer } => {
                     let drive = self.exp_drive_of[&conn];
@@ -1122,6 +1239,87 @@ impl TopologySim {
             },
         }
         Ok(())
+    }
+
+    /// Applies one buddy-help announcement (flat or coalesced) to an
+    /// exporting process and moves whatever it emits.
+    fn apply_help(
+        &mut self,
+        prog: usize,
+        rank: usize,
+        conn: ConnectionId,
+        req: RequestId,
+        answer: RepAnswer,
+    ) -> Result<(), SimError> {
+        let drive = self.exp_drive_of[&conn];
+        let fx = self.exp_nodes[prog][rank].on_buddy_help(conn, req, answer)?;
+        let mut tx = DesTransport {
+            queue: &mut self.queue,
+            topo: &self.topo,
+            cost: &self.cost,
+            from: Endpoint::Proc { prog, rank },
+            delay: 0.0,
+            chaos: self.chaos.as_mut(),
+            rel: self.rel.as_mut(),
+            nonce: &mut self.nonce,
+            drop_buddy_help: self.drop_buddy_help,
+            metrics: &self.metrics,
+        };
+        deliver_all(&mut tx, Endpoint::Proc { prog, rank }, fx.msgs)?;
+        self.wake_blocked(drive, rank);
+        Ok(())
+    }
+
+    /// Relays one hierarchical tree frame one hop down the subtree. Relay
+    /// hops are metered as `ctrl_relay` (plus `ctrl_coalesced` for
+    /// coalesced frames) instead of per-class origin traffic, and ride the
+    /// same reliability and chaos disciplines as origin sends.
+    fn relay_ctrl(&mut self, from: Endpoint, to: Endpoint, msg: CtrlMsg) {
+        if self.relay_drop {
+            if let (Endpoint::Proc { rank: fr, .. }, Endpoint::Proc { rank: tr, .. }) = (from, to) {
+                if fr == 0
+                    && tr == tree::BRANCH
+                    && matches!(msg, CtrlMsg::Coalesced { bcast: true, .. })
+                {
+                    return;
+                }
+            }
+        }
+        self.metrics.ctrl_relay.inc();
+        if matches!(msg, CtrlMsg::Coalesced { .. }) {
+            self.metrics.ctrl_coalesced.inc();
+        }
+        self.metrics
+            .phases
+            .add_virtual(Phase::Ctrl, self.cost.ctrl_time());
+        let nominal = self.cost.ctrl_time();
+        let meta = match self.rel.as_mut() {
+            None => None,
+            Some(rel) => {
+                let meta = rel.register(from, to, &msg, self.queue.now().0);
+                if self.drop_buddy_help && expendable(&msg) {
+                    return;
+                }
+                let n = self.nonce;
+                self.nonce += 1;
+                if let Some(chaos) = self.chaos.as_ref() {
+                    if chaos.config().lost(n, to, &msg) {
+                        return;
+                    }
+                }
+                meta
+            }
+        };
+        match self.chaos.as_mut() {
+            None => self.queue.schedule(nominal, Ev::Deliver { to, msg, meta }),
+            Some(chaos) => {
+                let base_at = self.queue.now().0 + nominal;
+                for at in chaos.deliveries(base_at, to, &msg) {
+                    self.queue
+                        .schedule_at(SimTime(at), Ev::Deliver { to, msg, meta });
+                }
+            }
+        }
     }
 
     /// Control traffic may have freed buffer space: wake a stalled exporter.

@@ -203,6 +203,10 @@ pub fn commutes(msg: &CtrlMsg) -> bool {
         | CtrlMsg::BuddyHelp { .. }
         | CtrlMsg::Answer { .. }
         | CtrlMsg::AnswerBcast { .. }
+        // A coalesced tree frame carries only final answers (broadcast +
+        // folded buddy-help), which settle a request like the messages it
+        // replaces — reordering against other requests is harmless.
+        | CtrlMsg::Coalesced { .. }
         | CtrlMsg::Ack { .. }
         | CtrlMsg::Heartbeat { .. } => true,
         CtrlMsg::ImportCall { .. }
@@ -267,7 +271,8 @@ fn conn_of(msg: &CtrlMsg) -> ConnectionId {
         | CtrlMsg::Response { conn, .. }
         | CtrlMsg::BuddyHelp { conn, .. }
         | CtrlMsg::Answer { conn, .. }
-        | CtrlMsg::AnswerBcast { conn, .. } => conn,
+        | CtrlMsg::AnswerBcast { conn, .. }
+        | CtrlMsg::Coalesced { conn, .. } => conn,
         // Link-layer messages are commutative, so no FIFO stream exists.
         CtrlMsg::Ack { .. } | CtrlMsg::Heartbeat { .. } => {
             unreachable!("link-layer messages have no FIFO stream")
@@ -332,6 +337,19 @@ fn msg_bits(msg: &CtrlMsg) -> u64 {
         }
         CtrlMsg::Ack { seq } => mix(8, seq),
         CtrlMsg::Heartbeat { beat } => mix(9, beat),
+        CtrlMsg::Coalesced {
+            conn,
+            req,
+            answer,
+            bcast,
+            help,
+        } => mix(
+            mix(
+                mix(10, ((conn.0 as u64) << 32) | req.0),
+                answer_bits(answer),
+            ),
+            u64::from(bcast) | (u64::from(help) << 1),
+        ),
     }
 }
 

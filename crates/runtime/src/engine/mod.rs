@@ -32,6 +32,7 @@ pub mod node;
 pub mod oracle;
 pub mod reliable;
 pub mod topology;
+pub mod tree;
 
 pub use chaos::{ChaosConfig, ChaosState, CrashFault, CrashTarget};
 pub use node::{EngineError, ExportFx, ExportNode, ImportNode, RepNode};
@@ -56,6 +57,11 @@ pub fn ctrl_class(msg: &CtrlMsg) -> CtrlClass {
         CtrlMsg::BuddyHelp { .. } => CtrlClass::BuddyHelp,
         CtrlMsg::Answer { .. } => CtrlClass::Answer,
         CtrlMsg::AnswerBcast { .. } => CtrlClass::AnswerBcast,
+        // A coalesced tree frame is classed by its dominant role: the
+        // importer-side answer broadcast when present, otherwise the folded
+        // buddy-help announcement.
+        CtrlMsg::Coalesced { bcast: true, .. } => CtrlClass::AnswerBcast,
+        CtrlMsg::Coalesced { .. } => CtrlClass::BuddyHelp,
         CtrlMsg::Ack { .. } => CtrlClass::Ack,
         CtrlMsg::Heartbeat { .. } => CtrlClass::Heartbeat,
     }

@@ -7,7 +7,7 @@
 //! execute data transfers; every protocol decision lives here.
 
 use super::topology::Topology;
-use super::{Endpoint, Outgoing};
+use super::{tree, Endpoint, Outgoing};
 use couplink_metrics::EngineMetrics;
 use couplink_proto::{
     CtrlMsg, ExportAction, ExportPort, ImportError, ImportPort, ImportState, MultiExport,
@@ -376,11 +376,17 @@ pub struct RepNode {
     prog: usize,
     exp: HashMap<couplink_proto::ConnectionId, couplink_proto::ExporterRep>,
     imp: HashMap<couplink_proto::ConnectionId, couplink_proto::ImporterRep>,
+    /// Whether buddy-help announcements are enabled (mirrors the exporter
+    /// reps' own flag; needed to decide hierarchical help broadcasts).
+    buddy_help: bool,
+    /// Route collectives down the k-ary distribution tree ([`super::tree`])
+    /// instead of flat per-rank fan-out.
+    hierarchical: bool,
 }
 
 impl RepNode {
     /// Builds the rep for program `prog`.
-    pub fn new(topo: &Topology, prog: usize, buddy_help: bool) -> Self {
+    pub fn new(topo: &Topology, prog: usize, buddy_help: bool, hierarchical: bool) -> Self {
         let mut exp = HashMap::new();
         let mut imp = HashMap::new();
         for region in &topo.programs[prog].exports {
@@ -397,7 +403,13 @@ impl RepNode {
                 couplink_proto::ImporterRep::new(topo.programs[prog].procs),
             );
         }
-        RepNode { prog, exp, imp }
+        RepNode {
+            prog,
+            exp,
+            imp,
+            buddy_help,
+            hierarchical,
+        }
     }
 
     /// Handles one control message addressed to this rep.
@@ -420,7 +432,13 @@ impl RepNode {
                         msg: CtrlMsg::ImportRequest { conn, req, ts },
                     });
                 }
-                self.push_delivers(topo, conn, fx.deliver, &mut out);
+                // Hierarchical mode broadcasts each answer down the tree
+                // exactly once, when it arrives; the call-gated per-rank
+                // deliveries here would duplicate that (and depend on call
+                // arrival order, which is timing).
+                if !self.hierarchical {
+                    self.push_delivers(topo, conn, fx.deliver, &mut out);
+                }
             }
             CtrlMsg::Answer { conn, req, answer } => {
                 let rep = self
@@ -428,7 +446,29 @@ impl RepNode {
                     .get_mut(&conn)
                     .ok_or(EngineError::UnexpectedMessage("answer at non-importer"))?;
                 let fx = rep.on_answer(req, answer)?;
-                self.push_delivers(topo, conn, fx.deliver, &mut out);
+                if self.hierarchical {
+                    // One coalesced frame per tree child; each rank applies
+                    // it and relays to its own subtree. Ranks that have not
+                    // called import yet stash the early answer in their
+                    // import port.
+                    for rank in tree::root_children(topo.programs[self.prog].procs) {
+                        out.push(Outgoing::Ctrl {
+                            to: Endpoint::Proc {
+                                prog: self.prog,
+                                rank,
+                            },
+                            msg: CtrlMsg::Coalesced {
+                                conn,
+                                req,
+                                answer,
+                                bcast: true,
+                                help: false,
+                            },
+                        });
+                    }
+                } else {
+                    self.push_delivers(topo, conn, fx.deliver, &mut out);
+                }
             }
             CtrlMsg::ImportRequest { conn, req, ts } => {
                 let rep = self
@@ -453,7 +493,8 @@ impl RepNode {
             }
             CtrlMsg::ForwardRequest { .. }
             | CtrlMsg::BuddyHelp { .. }
-            | CtrlMsg::AnswerBcast { .. } => {
+            | CtrlMsg::AnswerBcast { .. }
+            | CtrlMsg::Coalesced { .. } => {
                 return Err(EngineError::UnexpectedMessage("process message at rep"));
             }
             // Acks and heartbeats are consumed by the runtimes' reliability
@@ -507,8 +548,14 @@ impl RepNode {
         out: &mut Vec<Outgoing>,
     ) {
         let ct = topo.conn(conn);
+        let procs = topo.programs[self.prog].procs;
         if let Some((req, ts)) = fx.forward {
-            for rank in 0..topo.programs[self.prog].procs {
+            let ranks = if self.hierarchical {
+                tree::root_children(procs)
+            } else {
+                0..procs
+            };
+            for rank in ranks {
                 out.push(Outgoing::Ctrl {
                     to: Endpoint::Proc {
                         prog: self.prog,
@@ -525,15 +572,39 @@ impl RepNode {
                 },
                 msg: CtrlMsg::Answer { conn, req, answer },
             });
+            // Hierarchical buddy-help is announced to every member at the
+            // moment the answer is decided — one coalesced frame per tree
+            // child, relayed down — instead of per-straggler messages whose
+            // set depends on response arrival timing. Members that already
+            // resolved the request shrug the announcement off.
+            if self.hierarchical && self.buddy_help {
+                for rank in tree::root_children(procs) {
+                    out.push(Outgoing::Ctrl {
+                        to: Endpoint::Proc {
+                            prog: self.prog,
+                            rank,
+                        },
+                        msg: CtrlMsg::Coalesced {
+                            conn,
+                            req,
+                            answer,
+                            bcast: false,
+                            help: true,
+                        },
+                    });
+                }
+            }
         }
-        for (rank, req, answer) in fx.buddy_help {
-            out.push(Outgoing::Ctrl {
-                to: Endpoint::Proc {
-                    prog: self.prog,
-                    rank: rank.0 as usize,
-                },
-                msg: CtrlMsg::BuddyHelp { conn, req, answer },
-            });
+        if !self.hierarchical {
+            for (rank, req, answer) in fx.buddy_help {
+                out.push(Outgoing::Ctrl {
+                    to: Endpoint::Proc {
+                        prog: self.prog,
+                        rank: rank.0 as usize,
+                    },
+                    msg: CtrlMsg::BuddyHelp { conn, req, answer },
+                });
+            }
         }
     }
 }

@@ -31,6 +31,12 @@
 //!    the ground-truth replay — every export call either paid or skipped
 //!    the memcpy, and the transfer count equals the owed matches derived by
 //!    re-evaluating the match predicate over the full export history.
+//! 6. **Control scaling** ([`check_ctrl_scaling`]): under hierarchical
+//!    fan-out the rep's origin sends per collective are bounded by the
+//!    tree's branching factor, and the origin/relay counters obey exact
+//!    conservation laws that together prove every rank received every
+//!    collective exactly once — through the tree, with no flat fan-out
+//!    sneaking back in.
 //!
 //! Plus an inertness check, [`check_fault_free`]: a run configured without
 //! permanent faults must never exercise the reliability machinery — zero
@@ -38,6 +44,7 @@
 //! This is how the harness proves fault tolerance is pay-as-you-go (the
 //! fault-free fast path stays bit-identical to the pre-reliability engine).
 
+use super::tree;
 use couplink_metrics::{CounterSnapshot, CtrlClass};
 use couplink_proto::{ConnectionId, Trace};
 use couplink_time::{evaluate, ExportHistory, MatchPolicy, MatchResult, Timestamp, Tolerance};
@@ -85,6 +92,15 @@ pub enum OracleViolation {
         /// Human-readable description of the inconsistency.
         detail: String,
     },
+    /// Hierarchical fan-out broke its O(log N) control budget or a tree
+    /// conservation law (a rank was skipped or served twice).
+    CtrlScaling {
+        /// The connection the excess was attributed to (run-wide
+        /// conservation failures report the first checked connection).
+        conn: ConnectionId,
+        /// Human-readable description of the excess.
+        detail: String,
+    },
 }
 
 impl OracleViolation {
@@ -95,7 +111,8 @@ impl OracleViolation {
             | OracleViolation::BufferSafety { conn, .. }
             | OracleViolation::Liveness { conn, .. }
             | OracleViolation::RuntimeEquivalence { conn, .. }
-            | OracleViolation::MetricConsistency { conn, .. } => *conn,
+            | OracleViolation::MetricConsistency { conn, .. }
+            | OracleViolation::CtrlScaling { conn, .. } => *conn,
         }
     }
 }
@@ -125,6 +142,9 @@ impl fmt::Display for OracleViolation {
                     "metric-consistency violation on conn {}: {detail}",
                     conn.0
                 )
+            }
+            OracleViolation::CtrlScaling { conn, detail } => {
+                write!(f, "ctrl-scaling violation on conn {}: {detail}", conn.0)
             }
         }
     }
@@ -374,6 +394,110 @@ pub fn check_metric_consistency(
     Ok(())
 }
 
+/// Checks a hierarchical run's control-plane counters against the k-ary
+/// distribution tree ([`super::tree`]). Only meaningful for runs with *no*
+/// chaos at all — message duplication legally inflates relay counts.
+///
+/// Two layers:
+///
+/// * **O(log N) budget**: per collective, the rep originates at most
+///   `min(k, N)` messages per broadcast (forward, answer, help) — never
+///   the flat `N` — and the critical path is `depth(N) = ⌈log_k N⌉`
+///   hops, so the rep-origin cost per import stays within
+///   `k·⌈log_k N⌉ + 2k` for every connection shape.
+/// * **Conservation**: summed over `conns` (one `(connection, collectives,
+///   exporter procs, importer procs)` entry each, the collective count
+///   being the importer's schedule length — fault-free, every scheduled
+///   import becomes exactly one aggregated request):
+///   - `ctrl_sent[ForwardRequest] == Σ reqs × min(k, N_exp)` — forwards
+///     originate at tree roots only;
+///   - `ctrl_sent[AnswerBcast]   == Σ reqs × min(k, N_imp)` — answer
+///     broadcasts likewise (hierarchical answers travel as coalesced
+///     frames, classed as `AnswerBcast`);
+///   - `ctrl_sent[BuddyHelp]     == Σ reqs × min(k, N_exp)` when
+///     buddy-help is on (the at-decision help broadcast), else `0`;
+///   - `ctrl_relay == Σ reqs × (N − min(k, N))` summed over the three
+///     broadcasts — every non-root rank is reached by exactly one relay
+///     hop;
+///   - `ctrl_coalesced == Σ reqs × (N_imp + N_exp·buddy)` — each
+///     coalesced frame (origin or relay) crosses exactly one edge per
+///     rank;
+///   - `tree_depth == max ⌈log_k N⌉` over the participating programs.
+///
+/// Origin + relay equalities together prove every rank received each
+/// collective **exactly once**: the tree covers each rank by exactly one
+/// edge, and the counters show exactly one send per edge per collective.
+pub fn check_ctrl_scaling(
+    counters: &CounterSnapshot,
+    conns: &[(ConnectionId, usize, usize, usize)],
+    buddy_help: bool,
+) -> Result<(), OracleViolation> {
+    let first_conn = conns.first().map(|&(c, ..)| c).unwrap_or(ConnectionId(0));
+    let k = tree::BRANCH;
+    let origin = |n: usize| n.min(k) as u64;
+    let relayed = |n: usize| (n - n.min(k)) as u64;
+    let (mut fwd, mut bcast, mut help) = (0u64, 0u64, 0u64);
+    let (mut relay, mut coalesced, mut max_depth) = (0u64, 0u64, 0u64);
+    for &(conn, reqs, n_exp, n_imp) in conns {
+        let reqs = reqs as u64;
+        fwd += reqs * origin(n_exp);
+        bcast += reqs * origin(n_imp);
+        relay += reqs * (relayed(n_exp) + relayed(n_imp));
+        coalesced += reqs * n_imp as u64;
+        if buddy_help {
+            help += reqs * origin(n_exp);
+            relay += reqs * relayed(n_exp);
+            coalesced += reqs * n_exp as u64;
+        }
+        let n = n_exp.max(n_imp);
+        max_depth = max_depth.max(tree::depth(n) as u64);
+        let per_import = origin(n_exp) * (1 + buddy_help as u64) + origin(n_imp);
+        let budget = (k * tree::depth(n) + 2 * k) as u64;
+        if per_import > budget {
+            return Err(OracleViolation::CtrlScaling {
+                conn,
+                detail: format!(
+                    "rep originates {per_import} messages per collective over \
+                     {n_exp}×{n_imp} ranks — past the k·⌈log_k N⌉ + 2k = {budget} budget"
+                ),
+            });
+        }
+    }
+    let checks = [
+        (
+            "forward origins",
+            counters.ctrl(CtrlClass::ForwardRequest),
+            fwd,
+        ),
+        (
+            "answer-bcast origins",
+            counters.ctrl(CtrlClass::AnswerBcast),
+            bcast,
+        ),
+        (
+            "buddy-help origins",
+            counters.ctrl(CtrlClass::BuddyHelp),
+            help,
+        ),
+        ("relay hops", counters.ctrl_relay, relay),
+        ("coalesced frames", counters.ctrl_coalesced, coalesced),
+        ("tree depth", counters.tree_depth, max_depth),
+    ];
+    for (name, got, want) in checks {
+        if got != want {
+            return Err(OracleViolation::CtrlScaling {
+                conn: first_conn,
+                detail: format!(
+                    "{name}: counted {got}, the distribution tree accounts for \
+                     exactly {want} — some rank was skipped, served twice, or \
+                     reached outside the tree"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Checks that a run configured **without** permanent faults left the
 /// reliability machinery untouched: no retransmits, timeouts, failovers or
 /// degraded buffers, and no ack/heartbeat traffic. The reliability layer is
@@ -520,6 +644,9 @@ mod tests {
             degraded_buffers: 0,
             payload_allocs: 0,
             ctrl_batches: 0,
+            ctrl_relay: 0,
+            ctrl_coalesced: 0,
+            hb_suppressed: 0,
             net_frames: 0,
             net_bytes: 0,
             net_reconnects: 0,
@@ -528,6 +655,7 @@ mod tests {
             buffered_hwm: 0,
             queue_depth_hwm: 0,
             runq_depth_hwm: 0,
+            tree_depth: 0,
             tasks_polled: 0,
             worker_steal: 0,
             occupancy: [0; couplink_metrics::HISTOGRAM_BUCKETS],

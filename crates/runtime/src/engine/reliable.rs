@@ -103,7 +103,15 @@ impl RetryPolicy {
 /// Whether a message rides the expendable discipline (bounded retries,
 /// abandoned rather than guaranteed).
 pub fn expendable(msg: &CtrlMsg) -> bool {
-    matches!(msg, CtrlMsg::BuddyHelp { .. })
+    matches!(
+        msg,
+        CtrlMsg::BuddyHelp { .. }
+            | CtrlMsg::Coalesced {
+                help: true,
+                bcast: false,
+                ..
+            }
+    )
 }
 
 /// Per-message wire metadata added by the reliability layer.

@@ -1,0 +1,122 @@
+//! The deterministic k-ary distribution tree used by hierarchical rep
+//! fan-out.
+//!
+//! Every runtime derives the tree from the validated [`super::Topology`]
+//! alone — rank count in, edge set out — so the DES, the threaded fabric
+//! and every socket-transport process build the *identical* tree without
+//! exchanging a single message. The rep is a virtual root whose children
+//! are ranks `0..min(k, n)` in rank order; rank `r`'s children are the
+//! contiguous block `[k·r + k, k·r + 2k) ∩ [0, n)`. Equivalently,
+//! `parent(c) = c/k − 1` for `c ≥ k`: a plain shifted k-ary heap layout,
+//! chosen so membership tests and child enumeration are O(1) arithmetic
+//! with no per-node state.
+//!
+//! Properties the property tests pin down (`crates/runtime/tests`):
+//! connected (every rank is reached from the root), acyclic (each child's
+//! parent index is strictly smaller), deterministic (pure functions of
+//! `(n, k)`), and depth `ceil(log_k(n))`-ish — the collective latency and
+//! per-node send count are both O(k·log_k n) instead of the flat O(n).
+
+use std::ops::Range;
+
+/// Fan-out of the distribution tree. Four children per node keeps the
+/// depth at 3 hops up to 84 ranks and 4 hops up to 340 — comfortably past
+/// the paper's production scales — while bounding any single node's
+/// per-collective send count at 4.
+pub const BRANCH: usize = 4;
+
+/// The rep's (virtual root's) children: ranks `0..min(k, n)`.
+pub fn root_children(n: usize) -> Range<usize> {
+    0..n.min(BRANCH)
+}
+
+/// The subtree children of `rank` in an `n`-rank program:
+/// `[k·rank + k, k·rank + 2k) ∩ [0, n)`.
+pub fn children(rank: usize, n: usize) -> Range<usize> {
+    let lo = (BRANCH * rank + BRANCH).min(n);
+    let hi = (BRANCH * rank + 2 * BRANCH).min(n);
+    lo..hi
+}
+
+/// The tree parent of `rank` (`None` for the root's direct children,
+/// whose parent is the rep itself).
+pub fn parent(rank: usize) -> Option<usize> {
+    if rank < BRANCH {
+        None
+    } else {
+        Some(rank / BRANCH - 1)
+    }
+}
+
+/// Relay hops from the rep to `rank`, counting the rep→child edge as 1.
+pub fn depth_of(rank: usize) -> usize {
+    let mut d = 1;
+    let mut r = rank;
+    while let Some(p) = parent(r) {
+        d += 1;
+        r = p;
+    }
+    d
+}
+
+/// Tree depth for an `n`-rank program: the maximum hop count from the rep
+/// to any rank (0 when there are no ranks).
+pub fn depth(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        depth_of(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn children_and_parent_are_inverse() {
+        for n in [1usize, 2, 4, 5, 8, 21, 32, 64, 128, 341] {
+            for rank in 0..n {
+                for child in children(rank, n) {
+                    assert_eq!(parent(child), Some(rank), "n={n} rank={rank}");
+                }
+                match parent(rank) {
+                    None => assert!(root_children(n).contains(&rank)),
+                    Some(p) => {
+                        assert!(p < rank, "parents precede children");
+                        assert!(children(p, n).contains(&rank));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_rank_is_covered_exactly_once() {
+        for n in [1usize, 3, 4, 5, 16, 100, 128] {
+            let mut seen = vec![0usize; n];
+            for r in root_children(n) {
+                seen[r] += 1;
+            }
+            for rank in 0..n {
+                for c in children(rank, n) {
+                    seen[c] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "n={n}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        assert_eq!(depth(0), 0);
+        assert_eq!(depth(1), 1);
+        assert_eq!(depth(4), 1);
+        assert_eq!(depth(5), 2);
+        assert_eq!(depth(20), 2);
+        assert_eq!(depth(21), 3);
+        assert_eq!(depth(84), 3);
+        assert_eq!(depth(85), 4);
+        assert_eq!(depth(128), 4);
+    }
+}

@@ -164,6 +164,10 @@ pub struct NodePlan {
     pub chaos: Option<ChaosConfig>,
     /// At most one injected malfunction.
     pub fault: Option<NodeFault>,
+    /// Hierarchical collective distribution: reps fan out to the tree
+    /// roots and every rank relays to its subtree (must agree across the
+    /// mesh — every node derives the same deterministic tree).
+    pub hierarchical: bool,
 }
 
 impl NodePlan {
@@ -614,6 +618,7 @@ pub fn encode_plan(plan: &NodePlan) -> Vec<u8> {
             put_fault(&mut w, f);
         }
     }
+    w.u8(plan.hierarchical as u8);
     wire::encode_frame(KIND_PLAN, &w.into_body())
 }
 
@@ -694,6 +699,7 @@ pub fn decode_plan(body: &[u8]) -> Result<NodePlan, WireError> {
             })
         }
     };
+    let hierarchical = take_bool(&mut r, "plan hierarchical")?;
     r.finish()?;
     Ok(NodePlan {
         config_text,
@@ -707,6 +713,7 @@ pub fn decode_plan(body: &[u8]) -> Result<NodePlan, WireError> {
         traces,
         chaos,
         fault,
+        hierarchical,
     })
 }
 
@@ -1139,6 +1146,7 @@ mod tests {
                 rank: 1,
                 after: 3,
             }),
+            hierarchical: true,
         };
         let (kind, body) = one_frame(&encode_plan(&plan));
         assert_eq!(kind, KIND_PLAN);
@@ -1230,6 +1238,7 @@ mod tests {
             traces: Vec::new(),
             chaos: None,
             fault: None,
+            hierarchical: false,
         });
         dec.extend(&frame);
         let f = dec.next_frame().unwrap().unwrap();

@@ -374,6 +374,7 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
             .collect(),
         chaos: plan.chaos,
         drop_buddy_help: false,
+        hierarchical: plan.hierarchical,
     };
     let set = Arc::new(Mutex::new(SessionSet::new(&ExecutorOptions::default())));
     let sid = set

@@ -32,8 +32,9 @@
 //! connection can still need it.
 
 use crate::engine::chaos::{commutes, ChaosConfig, CrashFault, CrashTarget};
+use crate::engine::reliable::expendable;
 use crate::engine::{
-    ctrl_class, deliver_all, Clock, Endpoint, EngineError, Expiry, ExportFx, ExportNode,
+    ctrl_class, deliver_all, tree, Clock, Endpoint, EngineError, Expiry, ExportFx, ExportNode,
     ImportNode, Outgoing, Reliability, RepNode, RetryPolicy, Topology, Transport, WireMeta,
 };
 use crate::threaded::executor::{
@@ -134,6 +135,12 @@ pub struct FabricOptions {
     /// layer even without chaos. The run must degrade to conservative
     /// buffering, never misbehave.
     pub drop_buddy_help: bool,
+    /// Hierarchical collective distribution: the rep sends forwards and
+    /// coalesced answers only to the roots of the deterministic
+    /// [`tree`](crate::engine::tree), and every rank relays to its own
+    /// subtree. Per-rep fan-out drops from O(N) to O(k); relay hops are
+    /// metered as `ctrl_relay` instead of per-class origin traffic.
+    pub hierarchical: bool,
 }
 
 impl Default for FabricOptions {
@@ -145,6 +152,7 @@ impl Default for FabricOptions {
             traces: Vec::new(),
             chaos: None,
             drop_buddy_help: false,
+            hierarchical: false,
         }
     }
 }
@@ -239,6 +247,14 @@ enum RepMsg {
 
 enum ImpMsg {
     Answer {
+        meta: Option<WireMeta>,
+        req: RequestId,
+        answer: RepAnswer,
+    },
+    /// A coalesced answer broadcast travelling the distribution tree: the
+    /// importer applies it like an [`ImpMsg::Answer`] *and* relays it to
+    /// its tree children (the mailbox's conn disambiguates the wire form).
+    Coalesced {
         meta: Option<WireMeta>,
         req: RequestId,
         answer: RepAnswer,
@@ -492,6 +508,14 @@ fn hosts(local: Option<usize>, prog: usize) -> bool {
 struct ExpState {
     node: ExportNode,
     stores: Vec<BTreeMap<Timestamp, SharedArray>>,
+    /// Hierarchical mode: highest forwarded request id seen per connection.
+    /// Coalesced help for a request at or below the watermark is applied;
+    /// help that overtook its forward (chaos delays, retransmit reordering)
+    /// is stashed until the forward arrives — the port cannot distinguish
+    /// "not yet forwarded" from "resolved and pruned" on its own.
+    fwd_seen: HashMap<ConnectionId, u64>,
+    /// Coalesced help waiting for its forward (see `fwd_seen`).
+    help_stash: Vec<(ConnectionId, RequestId, RepAnswer)>,
 }
 
 /// Shared between an application thread and its agent task. The condvar
@@ -535,6 +559,8 @@ pub(crate) struct Net {
     /// Outbound links to the peer processes hosting the other programs
     /// (`None` in a single-process session).
     links: Option<Arc<dyn RemoteLinks>>,
+    /// Whether ranks relay collectives along the distribution tree.
+    hierarchical: bool,
     /// Per-session instrumentation shared with every node and handle.
     metrics: Arc<EngineMetrics>,
 }
@@ -589,6 +615,26 @@ impl Net {
     /// relay has drained at shutdown) routes directly.
     fn ctrl(&self, from: Endpoint, to: Endpoint, msg: CtrlMsg) {
         self.metrics.ctrl(ctrl_class(&msg)).inc();
+        if matches!(msg, CtrlMsg::Coalesced { .. }) {
+            self.metrics.ctrl_coalesced.inc();
+        }
+        self.send(from, to, msg);
+    }
+
+    /// Moves one *relayed* control message — a hop a rank forwards down
+    /// its subtree rather than traffic it originated. Metered as
+    /// `ctrl_relay` instead of per-class origin traffic, so the scaling
+    /// oracles can bound the rep's O(k) origin fan-out separately from the
+    /// O(N) total tree traffic. Same reliability/chaos path as [`Net::ctrl`].
+    fn relay(&self, from: Endpoint, to: Endpoint, msg: CtrlMsg) {
+        self.metrics.ctrl_relay.inc();
+        if matches!(msg, CtrlMsg::Coalesced { .. }) {
+            self.metrics.ctrl_coalesced.inc();
+        }
+        self.send(from, to, msg);
+    }
+
+    fn send(&self, from: Endpoint, to: Endpoint, msg: CtrlMsg) {
         let mut meta = None;
         if let Some(rel) = &self.rel {
             let now = rel.clock.now();
@@ -596,7 +642,7 @@ impl Net {
             if meta.is_some() {
                 rel.wake_pump_before(now + rel.base_timeout);
             }
-            if rel.drop_buddy_help && matches!(msg, CtrlMsg::BuddyHelp { .. }) {
+            if rel.drop_buddy_help && expendable(&msg) {
                 // Degradation knob: the announcement was sent (and is
                 // pending) but never arrives; its expendable retry budget
                 // runs out and the abandonment is metered.
@@ -642,7 +688,10 @@ impl Net {
     fn resend(&self, to: Endpoint, meta: WireMeta, msg: CtrlMsg) {
         let Some(rel) = &self.rel else { return };
         self.metrics.ctrl(ctrl_class(&msg)).inc();
-        if rel.drop_buddy_help && matches!(msg, CtrlMsg::BuddyHelp { .. }) {
+        if matches!(msg, CtrlMsg::Coalesced { .. }) {
+            self.metrics.ctrl_coalesced.inc();
+        }
+        if rel.drop_buddy_help && expendable(&msg) {
             return;
         }
         if let Some(chaos) = &self.chaos {
@@ -734,9 +783,12 @@ impl Net {
                     let mut layer = timed_lock(rel.shard(from, to), &self.metrics);
                     for msg in group {
                         self.metrics.ctrl(ctrl_class(&msg)).inc();
+                        if matches!(msg, CtrlMsg::Coalesced { .. }) {
+                            self.metrics.ctrl_coalesced.inc();
+                        }
                         let meta = layer.register(from, to, &msg, now);
                         registered |= meta.is_some();
-                        if rel.drop_buddy_help && matches!(msg, CtrlMsg::BuddyHelp { .. }) {
+                        if rel.drop_buddy_help && expendable(&msg) {
                             // Sent-but-never-arrives: stays pending until
                             // its expendable budget is abandoned.
                             continue;
@@ -750,6 +802,9 @@ impl Net {
             } else {
                 for msg in group {
                     self.metrics.ctrl(ctrl_class(&msg)).inc();
+                    if matches!(msg, CtrlMsg::Coalesced { .. }) {
+                        self.metrics.ctrl_coalesced.inc();
+                    }
                     batch.push((None, msg));
                 }
             }
@@ -800,8 +855,29 @@ impl Net {
                                 None => answer_runs.push((conn, vec![(meta, req, answer)])),
                             }
                         }
+                        CtrlMsg::Coalesced {
+                            conn,
+                            req,
+                            answer,
+                            bcast: true,
+                            help: false,
+                        } => {
+                            // Not folded into the per-conn answer run: the
+                            // importer task must see the coalesced form to
+                            // take up its relay duty.
+                            let _ = self.to_imp[conn.0 as usize][rank].push(ImpMsg::Coalesced {
+                                meta,
+                                req,
+                                answer,
+                            });
+                        }
                         m @ (CtrlMsg::ForwardRequest { .. }
                         | CtrlMsg::BuddyHelp { .. }
+                        | CtrlMsg::Coalesced {
+                            bcast: false,
+                            help: true,
+                            ..
+                        }
                         | CtrlMsg::Heartbeat { .. }) => agent_run.push((meta, m)),
                         _ => record_err(&self.err, "unroutable process message"),
                     }
@@ -864,8 +940,26 @@ impl Net {
                         answer,
                     });
                 }
+                CtrlMsg::Coalesced {
+                    conn,
+                    req,
+                    answer,
+                    bcast: true,
+                    help: false,
+                } => {
+                    let _ = self.to_imp[conn.0 as usize][rank].push(ImpMsg::Coalesced {
+                        meta,
+                        req,
+                        answer,
+                    });
+                }
                 m @ (CtrlMsg::ForwardRequest { .. }
                 | CtrlMsg::BuddyHelp { .. }
+                | CtrlMsg::Coalesced {
+                    bcast: false,
+                    help: true,
+                    ..
+                }
                 | CtrlMsg::Heartbeat { .. }) => {
                     if let Some(mb) = &self.to_agent[prog][rank] {
                         if mb.push(AgentMsg::Ctrl(meta, m)) {
@@ -1013,7 +1107,7 @@ fn apply_fx(
     region: usize,
     fx: ExportFx,
 ) -> Result<(), ThreadedError> {
-    let ExpState { node, stores } = state;
+    let ExpState { node, stores, .. } = state;
     let mut tp = ProcTransport {
         net,
         from,
@@ -1227,22 +1321,90 @@ fn agent_step(
     msg: CtrlMsg,
 ) -> Result<(), ThreadedError> {
     let mut state = timed_lock(&cell.state, &net.metrics);
-    let (conn, fx) = match msg {
-        CtrlMsg::ForwardRequest { conn, req, ts } => (conn, state.node.on_request(conn, req, ts)?),
+    let me = Endpoint::Proc { prog, rank };
+    let procs = net.topo.programs[prog].procs;
+    match msg {
+        CtrlMsg::ForwardRequest { conn, req, ts } => {
+            let fx = state.node.on_request(conn, req, ts)?;
+            apply_conn_fx(net, me, &mut state, conn, fx)?;
+            if net.hierarchical {
+                // Advance the watermark, apply any help that overtook this
+                // forward, then relay the forward down the subtree.
+                let seen = state.fwd_seen.entry(conn).or_insert(req.0);
+                *seen = (*seen).max(req.0);
+                let (ready, later): (Vec<_>, Vec<_>) = std::mem::take(&mut state.help_stash)
+                    .into_iter()
+                    .partition(|&(c, r, _)| c == conn && r == req);
+                state.help_stash = later;
+                for (c, r, a) in ready {
+                    let fx = state.node.on_buddy_help(c, r, a)?;
+                    apply_conn_fx(net, me, &mut state, c, fx)?;
+                }
+                for child in tree::children(rank, procs) {
+                    net.relay(
+                        me,
+                        Endpoint::Proc { prog, rank: child },
+                        CtrlMsg::ForwardRequest { conn, req, ts },
+                    );
+                }
+            }
+        }
         CtrlMsg::BuddyHelp { conn, req, answer } => {
-            (conn, state.node.on_buddy_help(conn, req, answer)?)
+            let fx = state.node.on_buddy_help(conn, req, answer)?;
+            apply_conn_fx(net, me, &mut state, conn, fx)?;
+        }
+        CtrlMsg::Coalesced {
+            conn,
+            req,
+            answer,
+            bcast: false,
+            help: true,
+        } => {
+            // Apply only once the matching forward has been seen — the
+            // export port cannot tell "not yet forwarded" from "resolved
+            // and pruned", so help that overtakes its forward is stashed.
+            if state.fwd_seen.get(&conn).is_some_and(|&m| m >= req.0) {
+                let fx = state.node.on_buddy_help(conn, req, answer)?;
+                apply_conn_fx(net, me, &mut state, conn, fx)?;
+            } else {
+                state.help_stash.push((conn, req, answer));
+            }
+            for child in tree::children(rank, procs) {
+                net.relay(
+                    me,
+                    Endpoint::Proc { prog, rank: child },
+                    CtrlMsg::Coalesced {
+                        conn,
+                        req,
+                        answer,
+                        bcast: false,
+                        help: true,
+                    },
+                );
+            }
         }
         _ => return Err(ThreadedError::Config("unexpected agent message".into())),
-    };
-    let region = state
-        .node
-        .region_of(conn)
-        .ok_or_else(|| ThreadedError::Config("agent message on a foreign connection".into()))?;
-    apply_fx(net, Endpoint::Proc { prog, rank }, &mut state, region, fx)?;
+    }
     drop(state);
     // Buffer space may have been freed: wake a stalled exporter thread.
     cell.freed.notify_all();
     Ok(())
+}
+
+/// Applies an engine effect set for `conn`'s region (shared by every
+/// message kind [`agent_step`] consumes).
+fn apply_conn_fx(
+    net: &Net,
+    me: Endpoint,
+    state: &mut ExpState,
+    conn: ConnectionId,
+    fx: ExportFx,
+) -> Result<(), ThreadedError> {
+    let region = state
+        .node
+        .region_of(conn)
+        .ok_or_else(|| ThreadedError::Config("agent message on a foreign connection".into()))?;
+    apply_fx(net, me, state, region, fx)
 }
 
 // --- executor tasks ---
@@ -1353,6 +1515,7 @@ struct RepTask {
     topo: Arc<Topology>,
     prog: usize,
     buddy_help: bool,
+    hierarchical: bool,
     fault: Option<CrashFault>,
     mbox: Arc<Mailbox<RepMsg>>,
     node: RepNode,
@@ -1368,6 +1531,11 @@ struct RepTask {
     /// tasks; importing application threads are only reachable mid-import
     /// and watch the rep through the error slot instead).
     members: Vec<usize>,
+    /// When this rep last sent protocol traffic to each member, for
+    /// heartbeat piggybacking: a standalone heartbeat is suppressed (and
+    /// metered as `hb_suppressed`) when real traffic already proved the
+    /// link alive within the heartbeat window.
+    last_send: HashMap<usize, Instant>,
     /// Coalesced fan-out needs per-packet fault decisions to be off; with
     /// chaos armed the rep falls back to per-message polls (and the crash
     /// fault keeps its packet-granular semantics).
@@ -1411,7 +1579,7 @@ impl Task for RepTask {
             }
             // Restart: rebuild the aggregation state from the journal.
             self.dead_until = None;
-            self.node = RepNode::new(&self.topo, self.prog, self.buddy_help);
+            self.node = RepNode::new(&self.topo, self.prog, self.buddy_help, self.hierarchical);
             let msgs: Vec<CtrlMsg> = self.journal.iter().map(|&(_, m)| m).collect();
             if let Err(e) = self.node.replay(&self.topo, &msgs) {
                 record_err(&self.net.err, ThreadedError::from(e));
@@ -1441,6 +1609,19 @@ impl Task for RepTask {
                 Some(nb) if now >= nb => {
                     self.beat += 1;
                     for &r in &self.members {
+                        // Piggybacking: real protocol traffic within the
+                        // heartbeat window already proved this link alive,
+                        // so the standalone beat is suppressed. Failover
+                        // stays intact — a stalled link carries no traffic,
+                        // so its beats keep flowing.
+                        if self
+                            .last_send
+                            .get(&r)
+                            .is_some_and(|&t| now.duration_since(t) < HB_INTERVAL)
+                        {
+                            self.net.metrics.hb_suppressed.inc();
+                            continue;
+                        }
                         self.net.ctrl(
                             ep,
                             Endpoint::Proc {
@@ -1541,6 +1722,15 @@ impl Task for RepTask {
                             }
                             Ok(())
                         } else {
+                            for o in &outs {
+                                if let Outgoing::Ctrl {
+                                    to: Endpoint::Proc { rank, .. },
+                                    ..
+                                } = o
+                                {
+                                    self.last_send.insert(*rank, now);
+                                }
+                            }
                             let mut tp = RepTransport {
                                 net: &self.net,
                                 from: ep,
@@ -1560,6 +1750,11 @@ impl Task for RepTask {
             }
         }
         if !outgoing.is_empty() {
+            for &(to, _) in &outgoing {
+                if let Endpoint::Proc { rank, .. } = to {
+                    self.last_send.insert(rank, now);
+                }
+            }
             self.net.ctrl_flush(ep, outgoing);
         }
         Poll {
@@ -1610,6 +1805,50 @@ impl ImpTask {
         }
         Ok(())
     }
+
+    /// Runs a coalesced tree-broadcast answer through the reliability layer,
+    /// applies it to the import node, and relays it to this rank's subtree.
+    /// The relay happens once per *accepted* delivery (dedup upstream), and
+    /// each hop is independently registered, so a lost relay is healed by
+    /// this rank's retransmits rather than the rep's.
+    fn on_coalesced_msg(
+        &self,
+        me: Endpoint,
+        meta: Option<WireMeta>,
+        req: RequestId,
+        answer: RepAnswer,
+    ) -> Result<(), ThreadedError> {
+        let wire = CtrlMsg::Coalesced {
+            conn: self.conn,
+            req,
+            answer,
+            bcast: true,
+            help: false,
+        };
+        for (_, m) in self.net.admit(me, meta, wire) {
+            if let CtrlMsg::Coalesced { req, answer, .. } = m {
+                self.cell.node.lock().on_answer(self.conn, req, answer)?;
+                let procs = self.net.topo.programs[self.prog].procs;
+                for child in tree::children(self.rank, procs) {
+                    self.net.relay(
+                        me,
+                        Endpoint::Proc {
+                            prog: self.prog,
+                            rank: child,
+                        },
+                        CtrlMsg::Coalesced {
+                            conn: self.conn,
+                            req,
+                            answer,
+                            bcast: true,
+                            help: false,
+                        },
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Task for ImpTask {
@@ -1631,6 +1870,13 @@ impl Task for ImpTask {
                 Some(ImpMsg::Answer { meta, req, answer }) => {
                     msgs += 1;
                     if let Err(e) = self.on_answer_msg(me, meta, req, answer) {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+                Some(ImpMsg::Coalesced { meta, req, answer }) => {
+                    msgs += 1;
+                    if let Err(e) = self.on_coalesced_msg(me, meta, req, answer) {
                         failed = Some(e);
                         break;
                     }
@@ -1937,8 +2183,18 @@ impl Session {
             rel,
             local,
             links,
+            hierarchical: opts.hierarchical,
             metrics: Arc::clone(&metrics),
         });
+        if opts.hierarchical {
+            let depth = topo
+                .programs
+                .iter()
+                .map(|p| tree::depth(p.procs))
+                .max()
+                .unwrap_or(0);
+            metrics.tree_depth.set(depth as u64);
+        }
         // The chaos relay stays a dedicated thread; see `relay_loop`.
         let relay = relay_channel.map(|(_, tx, rx)| {
             let net = net.clone();
@@ -1980,7 +2236,12 @@ impl Session {
                 }
                 let stores = (0..p.exports.len()).map(|_| BTreeMap::new()).collect();
                 let cell = Arc::new(ExpCell {
-                    state: Mutex::new(ExpState { node, stores }),
+                    state: Mutex::new(ExpState {
+                        node,
+                        stores,
+                        fwd_seen: HashMap::new(),
+                        help_stash: Vec::new(),
+                    }),
                     freed: Condvar::new(),
                 });
                 let crash_after = crash.and_then(|f| match f.target {
@@ -2029,9 +2290,10 @@ impl Session {
                     topo: topo.clone(),
                     prog: pi,
                     buddy_help: opts.buddy_help,
+                    hierarchical: opts.hierarchical,
                     fault,
                     mbox: mbox.clone(),
-                    node: RepNode::new(&topo, pi, opts.buddy_help),
+                    node: RepNode::new(&topo, pi, opts.buddy_help, opts.hierarchical),
                     journal: Vec::new(),
                     consumed: 0,
                     crash_armed: fault.is_some(),
@@ -2040,6 +2302,7 @@ impl Session {
                     dead_until: None,
                     crashed_at: None,
                     members,
+                    last_send: HashMap::new(),
                     batching: opts.chaos.is_none(),
                 }),
             );
@@ -2756,6 +3019,138 @@ mod tests {
             "rep crash must be recovered by journal replay"
         );
         fabric.shutdown().unwrap();
+    }
+
+    /// Heartbeat piggybacking: with the reliability layer armed (a crash
+    /// fault that never fires) and protocol traffic flowing continuously,
+    /// every periodic beat finds its link freshly proven alive — zero
+    /// standalone heartbeats go out, and each suppression is metered.
+    /// Whether a beat tick lands inside the traffic window is
+    /// interleaving-dependent, so the run retries on a fresh fabric.
+    #[test]
+    fn heartbeats_piggyback_on_protocol_traffic() {
+        let mut last = None;
+        for _attempt in 0..4 {
+            let (topo, exp_d, imp_a, imp_b) = fanout_topology();
+            let opts = FabricOptions {
+                chaos: Some(ChaosConfig {
+                    seed: 3,
+                    max_delay: 0.0,
+                    duplicate_prob: 0.0,
+                    drop_prob: 0.0,
+                    retry_delay: 0.05,
+                    loss_prob: 0.0,
+                    // Arms the reliability layer (and with it the
+                    // heartbeat timer) without ever firing: the rep
+                    // would need a million messages to die.
+                    crash: Some(CrashFault {
+                        target: CrashTarget::Rep(0),
+                        after_msgs: 1_000_000,
+                        restart_after: None,
+                    }),
+                }),
+                ..FabricOptions::default()
+            };
+            let mut fabric = Fabric::new(topo, opts);
+            let metrics = fabric.metrics();
+            let mut exp = fabric.take_export(0, 0, 0);
+            let data = LocalArray::from_fn(exp_d.owned(0), |r, c| (r + c) as f64);
+            for j in 1..=24 {
+                exp.export(ts(j as f64), &data).unwrap();
+            }
+            let mut threads = Vec::new();
+            for (prog, rank, decomp) in [(1usize, 0usize, imp_a), (1, 1, imp_a), (2, 0, imp_b)] {
+                let mut imp = fabric.take_import(prog, rank, 0);
+                let owned = decomp.owned(rank);
+                threads.push(std::thread::spawn(move || {
+                    let mut dest = LocalArray::zeros(owned);
+                    for j in 1..=24 {
+                        // Pace the imports so the run spans several
+                        // heartbeat periods with traffic on every link
+                        // well inside each window.
+                        std::thread::sleep(Duration::from_millis(5));
+                        let m = imp.import(ts(j as f64), &mut dest).unwrap();
+                        assert_eq!(m, Some(ts(j as f64)));
+                    }
+                }));
+            }
+            for t in threads {
+                t.join().unwrap();
+            }
+            let snap = metrics.snapshot();
+            fabric.shutdown().unwrap();
+            assert_eq!(snap.counters.failovers, 0, "the armed crash must not fire");
+            if snap.counters.ctrl(CtrlClass::Heartbeat) == 0 && snap.counters.hb_suppressed > 0 {
+                return;
+            }
+            last = Some(snap);
+        }
+        panic!("expected fully piggybacked liveness (0 standalone heartbeats, >0 suppressed) in 4 runs: {last:?}");
+    }
+
+    /// Suppression must not cost failover: a rep that dies *without* a
+    /// restart plan — the stalled-link case, silence on every member link
+    /// — is still taken over after `HB_TIMEOUT`, every import completes,
+    /// and the measured recovery stays within a ~1 s budget (recovery_ms
+    /// histogram bucket 10 = 1024 ms).
+    #[test]
+    fn stalled_rep_fails_over_within_recovery_budget() {
+        let (topo, exp_d, imp_a, imp_b) = fanout_topology();
+        let opts = FabricOptions {
+            import_timeout: Duration::from_secs(20),
+            chaos: Some(ChaosConfig {
+                seed: 5,
+                max_delay: 0.0,
+                duplicate_prob: 0.0,
+                drop_prob: 0.0,
+                retry_delay: 0.05,
+                loss_prob: 0.0,
+                crash: Some(CrashFault {
+                    // The exporter program's rep — the hub whose member
+                    // links the piggybacking quiets — goes silent after 3
+                    // messages and never restarts on its own.
+                    target: CrashTarget::Rep(0),
+                    after_msgs: 3,
+                    restart_after: None,
+                }),
+            }),
+            ..FabricOptions::default()
+        };
+        let mut fabric = Fabric::new(topo, opts);
+        let metrics = fabric.metrics();
+        let mut exp = fabric.take_export(0, 0, 0);
+        let data = LocalArray::from_fn(exp_d.owned(0), |r, c| (r * 2 + c) as f64);
+        let mut threads = Vec::new();
+        for (prog, rank, decomp) in [(1usize, 0usize, imp_a), (1, 1, imp_a), (2, 0, imp_b)] {
+            let mut imp = fabric.take_import(prog, rank, 0);
+            let owned = decomp.owned(rank);
+            threads.push(std::thread::spawn(move || {
+                let mut dest = LocalArray::zeros(owned);
+                for j in 1..=4 {
+                    let m = imp.import(ts(j as f64), &mut dest).unwrap();
+                    assert_eq!(m, Some(ts(j as f64)));
+                }
+            }));
+        }
+        for j in 1..=4 {
+            exp.export(ts(j as f64), &data).unwrap();
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = metrics.snapshot();
+        fabric.shutdown().unwrap();
+        assert!(
+            snap.counters.failovers >= 1,
+            "the silent rep must be taken over: {snap:?}"
+        );
+        let recoveries: u64 = snap.counters.recovery_ms.iter().sum();
+        assert!(recoveries >= 1, "recovery time must be observed: {snap:?}");
+        let over_budget: u64 = snap.counters.recovery_ms[11..].iter().sum();
+        assert_eq!(
+            over_budget, 0,
+            "recovery exceeded the 1024 ms budget: {snap:?}"
+        );
     }
 
     /// Minimal 1-exporter-rank / 1-importer-rank topology for multi-

@@ -229,6 +229,7 @@ impl CoupledPair {
                 traces: Vec::new(),
                 chaos: None,
                 drop_buddy_help: false,
+                hierarchical: false,
             },
         );
         let exporters = (0..ne)

@@ -256,6 +256,7 @@ fn des_matches(c: &TopoCase) -> Vec<Vec<Option<Timestamp>>> {
         exports,
         imports,
         buddy_help: c.buddy_help,
+        hierarchical: false,
         cost: CostModel::default(),
         buffer_capacity: None,
     })

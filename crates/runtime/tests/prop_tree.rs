@@ -1,0 +1,140 @@
+//! Property-based tests of the deterministic k-ary distribution tree
+//! (`couplink_runtime::engine::tree`) that hierarchical rep fan-out rides.
+//!
+//! Every runtime — the discrete-event simulator, the threaded fabric, and
+//! each socket-transport process — derives the tree from the validated
+//! topology's rank count alone, by calling these exact pure functions. The
+//! properties pinned here therefore hold identically on all three: the
+//! tree is *connected* (every rank reachable from the rep root), *acyclic*
+//! (parents strictly precede children), an *exact cover* (each rank has
+//! exactly one inbound edge), *deterministic* (pure arithmetic on `(n,
+//! rank)`), and *logarithmic* (depth `⌈log_k n⌉`-ish, per-node fan-out
+//! ≤ k). Behavioral identity across runtimes is separately enforced by
+//! simtest's cross-runtime counter-equivalence and control-scaling
+//! oracles, whose expected values are computed from this same module.
+
+use couplink_runtime::engine::tree;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Breadth-first walk from the virtual rep root; returns each rank's hop
+/// count from the rep (rep→child = 1), or panics on an unreachable rank.
+fn bfs_levels(n: usize) -> Vec<usize> {
+    let mut level = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    for r in tree::root_children(n) {
+        level[r] = 1;
+        queue.push_back(r);
+    }
+    while let Some(r) = queue.pop_front() {
+        for c in tree::children(r, n) {
+            assert_eq!(level[c], usize::MAX, "rank {c} reached twice (n={n})");
+            level[c] = level[r] + 1;
+            queue.push_back(c);
+        }
+    }
+    level
+}
+
+/// The structural invariants for one program size.
+fn check_tree(n: usize) {
+    // Connected + exact cover: the BFS reaches every rank exactly once.
+    let levels = bfs_levels(n);
+    for (rank, &lvl) in levels.iter().enumerate() {
+        assert_ne!(lvl, usize::MAX, "rank {rank} unreachable (n={n})");
+        // The arithmetic depth agrees with the walked depth.
+        assert_eq!(lvl, tree::depth_of(rank), "depth_of disagrees (n={n})");
+    }
+    assert_eq!(
+        levels.iter().max().copied().unwrap_or(0),
+        tree::depth(n),
+        "depth(n) is the max hop count (n={n})"
+    );
+
+    for rank in 0..n {
+        // Acyclic: every edge points from a smaller index to a larger one,
+        // and parent/children are mutual inverses.
+        match tree::parent(rank) {
+            None => assert!(
+                tree::root_children(n).contains(&rank),
+                "orphan rank {rank} is not a root child (n={n})"
+            ),
+            Some(p) => {
+                assert!(p < rank, "parent {p} !< child {rank} (n={n})");
+                assert!(
+                    tree::children(p, n).contains(&rank),
+                    "parent {p} disowns {rank} (n={n})"
+                );
+            }
+        }
+        // Bounded fan-out: no node ever sends more than k relays.
+        assert!(
+            tree::children(rank, n).len() <= tree::BRANCH,
+            "rank {rank} has {} children (n={n})",
+            tree::children(rank, n).len()
+        );
+    }
+    assert!(
+        tree::root_children(n).len() <= tree::BRANCH,
+        "rep fans out past k (n={n})"
+    );
+
+    // Logarithmic: a depth-d tree with fan-out k addresses at most
+    // k + k² + … + k^d ranks, and a depth d is only used once depth d-1
+    // is exhausted. Both bounds together pin depth = ⌈log-ish⌉ exactly.
+    let d = tree::depth(n);
+    let capacity = |depth: usize| -> usize {
+        let mut total = 0usize;
+        let mut layer = 1usize;
+        for _ in 0..depth {
+            layer *= tree::BRANCH;
+            total += layer;
+        }
+        total
+    };
+    if n > 0 {
+        assert!(n <= capacity(d), "depth {d} cannot address {n} ranks");
+        assert!(
+            n > capacity(d.saturating_sub(1)),
+            "depth {d} used before depth {} was full (n={n})",
+            d - 1
+        );
+    }
+}
+
+/// Exhaustive over every size the harness and benches actually use, plus
+/// the boundaries where a new tree level opens.
+#[test]
+fn tree_invariants_exhaustive_to_512() {
+    for n in 0..=512 {
+        check_tree(n);
+    }
+}
+
+/// Determinism: the tree is a pure function of `(n, rank)` — recomputing
+/// any edge yields the same answer, which is what lets three independent
+/// runtimes build the identical tree without exchanging messages.
+#[test]
+fn tree_is_deterministic() {
+    for n in [1usize, 6, 32, 64, 128, 341] {
+        let edges = |n: usize| -> Vec<(usize, usize)> {
+            (0..n)
+                .flat_map(|r| tree::children(r, n).map(move |c| (r, c)))
+                .collect()
+        };
+        assert_eq!(edges(n), edges(n));
+        assert_eq!(
+            tree::root_children(n).collect::<Vec<_>>(),
+            tree::root_children(n).collect::<Vec<_>>()
+        );
+    }
+}
+
+proptest! {
+    /// The invariants hold for arbitrary program sizes well past anything
+    /// the paper deploys.
+    #[test]
+    fn tree_invariants_hold_for_arbitrary_sizes(n in 0usize..4096) {
+        check_tree(n);
+    }
+}

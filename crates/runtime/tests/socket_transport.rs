@@ -49,6 +49,7 @@ fn pair_plan(exports: usize, imports: usize) -> NodePlan {
         traces: vec![(0, 0, 0), (0, 1, 0)],
         chaos: None,
         fault: None,
+        hierarchical: false,
     }
 }
 

@@ -18,7 +18,8 @@ const USAGE: &str =
   --seed N    run exactly one seed through both runtimes and the oracles
   --seeds N   run seeds 0..N (default 50)
   --mutate    arm each deliberately unsound protocol rule in turn and
-              demand the buffer-safety oracle catches it (mutation smoke)
+              demand the safety oracles catch it (mutation smoke): two
+              export-side skips plus a dropped tree-relay edge
   --faults    force permanent faults (20% message loss + a rep crash with
               restart or heartbeat failover) onto every seed; all oracles
               must still pass on both runtimes
@@ -244,7 +245,7 @@ fn run_mutation(args: &Args) -> ExitCode {
             }
             None => {
                 eprintln!(
-                    "mutation {} NOT caught in 200 seeds: the buffer-safety oracle has no teeth",
+                    "mutation {} NOT caught in 200 seeds: the safety oracles have no teeth",
                     mutation.as_str()
                 );
                 return ExitCode::FAILURE;

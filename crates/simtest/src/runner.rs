@@ -6,8 +6,9 @@ use couplink_metrics::CounterSnapshot;
 use couplink_proto::{ConnectionId, Trace};
 use couplink_runtime::cost::CostModel;
 use couplink_runtime::engine::oracle::{
-    check_buffer_safety, check_collective_order, check_fault_free, check_liveness,
-    check_metric_consistency, check_runtime_equivalence, owed_matches, OracleViolation,
+    check_buffer_safety, check_collective_order, check_ctrl_scaling, check_fault_free,
+    check_liveness, check_metric_consistency, check_runtime_equivalence, owed_matches,
+    OracleViolation,
 };
 use couplink_runtime::engine::Topology;
 use couplink_runtime::net::{
@@ -42,17 +43,39 @@ pub enum Mutation {
     /// announcement whose match was already exported locally is dropped
     /// without sending the piece.
     StaleSkip,
+    /// [`TopologySim::arm_relay_drop`]: a hierarchical relay rank silently
+    /// drops the coalesced answer broadcast on one subtree edge, starving
+    /// every rank below it.
+    RelayDrop,
 }
 
 impl Mutation {
-    /// Both mutations, for sweeps.
-    pub const ALL: [Mutation; 2] = [Mutation::HelpSkip, Mutation::StaleSkip];
+    /// Every mutation, for sweeps.
+    pub const ALL: [Mutation; 3] = [Mutation::HelpSkip, Mutation::StaleSkip, Mutation::RelayDrop];
 
     /// Short CLI/reporting name.
     pub fn as_str(self) -> &'static str {
         match self {
             Mutation::HelpSkip => "help-skip",
             Mutation::StaleSkip => "stale-skip",
+            Mutation::RelayDrop => "relay-drop",
+        }
+    }
+
+    /// Whether this violation is the kind of failure the armed mutation is
+    /// expected to produce. The export-side skips discard owed data
+    /// (buffer safety); a dropped relay edge starves a subtree outright
+    /// (liveness — the stranded ranks never complete — or buffer safety
+    /// when the missing broadcast surfaces as an unsent match first).
+    pub fn is_expected_catch(self, v: &OracleViolation) -> bool {
+        match self {
+            Mutation::HelpSkip | Mutation::StaleSkip => {
+                matches!(v, OracleViolation::BufferSafety { .. })
+            }
+            Mutation::RelayDrop => matches!(
+                v,
+                OracleViolation::BufferSafety { .. } | OracleViolation::Liveness { .. }
+            ),
         }
     }
 }
@@ -147,6 +170,39 @@ fn metric_oracle(
     }
 }
 
+/// Applies the control-scaling oracle ([`check_ctrl_scaling`]) to one
+/// run's counters. Only meaningful on hierarchical runs with no chaos at
+/// all: message duplication legally inflates the relay counters, so the
+/// exact tree conservation laws hold only on undisturbed runs. The
+/// per-connection collective count is the importer's schedule length —
+/// on a clean run every scheduled import aggregates into exactly one
+/// request (anything less already fails the liveness oracle).
+fn scaling_oracle(
+    s: &Scenario,
+    view: &Topology,
+    counters: &CounterSnapshot,
+    out: &mut Vec<OracleViolation>,
+) {
+    if !s.hierarchical || s.chaos.is_some() {
+        return;
+    }
+    let conns: Vec<(ConnectionId, usize, usize, usize)> = view
+        .conns
+        .iter()
+        .map(|ct| {
+            (
+                ct.id,
+                s.importers[ct.importer_prog - s.exporters.len()].count,
+                view.programs[ct.exporter_prog].procs,
+                view.programs[ct.importer_prog].procs,
+            )
+        })
+        .collect();
+    if let Err(v) = check_ctrl_scaling(counters, &conns, s.buddy_help) {
+        out.push(v);
+    }
+}
+
 /// Runs the scenario on the discrete-event simulator and checks the
 /// single-runtime oracles; also returns the run's counter snapshot so
 /// callers can assert on fault metrics (failovers, degraded buffers).
@@ -189,6 +245,7 @@ pub fn run_des(
             })
             .collect(),
         buddy_help: s.buddy_help,
+        hierarchical: s.hierarchical,
         cost: CostModel::default(),
         buffer_capacity: None,
     };
@@ -212,6 +269,7 @@ pub fn run_des(
     match tweaks.mutate {
         Some(Mutation::HelpSkip) => sim.arm_unsound_help_skip(),
         Some(Mutation::StaleSkip) => sim.arm_unsound_stale_skip(),
+        Some(Mutation::RelayDrop) => sim.arm_relay_drop(),
         None => {}
     }
     let report = sim.run().map_err(|e| format!("simulator run: {e}"))?;
@@ -231,6 +289,9 @@ pub fn run_des(
         if let Err(v) = check_fault_free(&report.metrics.counters) {
             violations.push(v);
         }
+    }
+    if !tweaks.drop_buddy_help {
+        scaling_oracle(s, &view, &report.metrics.counters, &mut violations);
     }
     Ok((report.matches, report.metrics.counters.clone(), violations))
 }
@@ -291,6 +352,7 @@ pub fn run_threaded(
         traces: trace_list,
         chaos: s.chaos,
         drop_buddy_help,
+        hierarchical: s.hierarchical,
     };
     // Executor invariant: a task is enqueued at most once, so the session's
     // run-queue depth can never exceed its task count — mailbox backlog
@@ -398,6 +460,9 @@ pub fn run_threaded(
                     violations.push(v);
                 }
             }
+            if !drop_buddy_help {
+                scaling_oracle(s, &view, &report.metrics.counters, &mut violations);
+            }
             if report.metrics.counters.runq_depth_hwm > task_budget {
                 violations.push(OracleViolation::MetricConsistency {
                     conn: ConnectionId(0),
@@ -480,6 +545,7 @@ pub fn socket_plan(s: &Scenario) -> Result<NodePlan, String> {
         traces,
         chaos: s.chaos,
         fault: None,
+        hierarchical: s.hierarchical,
     })
 }
 
@@ -560,6 +626,9 @@ pub fn run_socket(
             if let Err(v) = check_fault_free(&rep.counters) {
                 violations.push(v);
             }
+        }
+        if !drop_answers {
+            scaling_oracle(s, &view, &rep.counters, &mut violations);
         }
         // Socket-specific sanity: traffic really crossed sockets, and the
         // codec rejected nothing on a healthy loopback.
@@ -701,10 +770,12 @@ pub fn check_scenario(s: &Scenario) -> Result<Vec<OracleViolation>, String> {
 
 /// Mutation smoke test: arms one of the deliberately unsound rules in the
 /// simulator and searches the seed space for a scenario where the broken
-/// rule discards a match or a transfer — which the buffer-safety oracle
-/// must catch. Returns the first caught seed, the shrunk scenario and its
-/// violations; `None` means the oracle never fired (which the caller should
-/// treat as a test failure).
+/// rule discards a match, a transfer, or a whole subtree's answers —
+/// which the safety oracles must catch (buffer safety for the export-side
+/// skips, buffer safety or liveness for the dropped relay edge). Returns
+/// the first caught seed, the shrunk scenario and its violations; `None`
+/// means the oracles never fired (which the caller should treat as a test
+/// failure).
 pub fn mutation_smoke(
     max_seeds: u64,
     mutation: Mutation,
@@ -712,20 +783,32 @@ pub fn mutation_smoke(
     let caught = |s: &Scenario| -> bool {
         matches!(
             check_des(s, Some(mutation)),
-            Ok((_, v)) if v.iter().any(|x| matches!(x, OracleViolation::BufferSafety { .. }))
+            Ok((_, v)) if v.iter().any(|x| mutation.is_expected_catch(x))
         )
     };
     for seed in 0..max_seeds {
         let mut s = Scenario::generate(seed);
-        // The broken rule only bites where buddy-help fires: force the
-        // optimization on, keep the run noise-free, and slow each
+        // The export-side skips only bite where buddy-help fires: force
+        // the optimization on, keep the run noise-free, and slow each
         // exporter's last rank so it still has open requests when the
-        // collective answer arrives.
+        // collective answer arrives. The relay drop instead needs the
+        // distribution tree: hierarchical mode with enough importer ranks
+        // that the sabotaged rank-0 → rank-k edge exists.
         s.buddy_help = true;
         s.chaos = None;
-        for e in &mut s.exporters {
-            if e.procs > 1 {
-                *e.compute.last_mut().expect("non-empty compute") += 0.02;
+        match mutation {
+            Mutation::HelpSkip | Mutation::StaleSkip => {
+                for e in &mut s.exporters {
+                    if e.procs > 1 {
+                        *e.compute.last_mut().expect("non-empty compute") += 0.02;
+                    }
+                }
+            }
+            Mutation::RelayDrop => {
+                s.hierarchical = true;
+                for imp in &mut s.importers {
+                    imp.procs = 6;
+                }
             }
         }
         if caught(&s) {
@@ -815,6 +898,66 @@ mod tests {
                 .any(|v| matches!(v, OracleViolation::BufferSafety { .. })),
             "seed {seed} shrunk to {shrunk:?} without a buffer-safety violation: {violations:?}"
         );
+    }
+
+    /// The sabotaged distribution tree — relay rank 0 silently dropping
+    /// the coalesced answer broadcast on its first subtree edge — must be
+    /// caught: the starved subtree wedges (liveness) or an owed match
+    /// never arrives (buffer safety).
+    #[test]
+    fn relay_drop_mutation_is_caught() {
+        let (seed, shrunk, violations) = mutation_smoke(50, Mutation::RelayDrop)
+            .expect("mutation must be caught within 50 seeds");
+        assert!(
+            violations
+                .iter()
+                .any(|v| Mutation::RelayDrop.is_expected_catch(v)),
+            "seed {seed} shrunk to {shrunk:?} without the expected violation: {violations:?}"
+        );
+    }
+
+    /// Hierarchical stress corpus on both in-process runtimes: match
+    /// decisions agree and the control-scaling oracle's exact tree
+    /// conservation laws hold (every rank served exactly once, through
+    /// the tree).
+    #[test]
+    fn hierarchical_stress_corpus_is_clean() {
+        for seed in 0..4 {
+            let s = Scenario::stress(seed);
+            let violations = check_scenario(&s).expect("harness");
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    /// The hierarchical counters are live, not vacuously zero: a stress
+    /// run (6 ranks > branching factor 4) must actually relay, coalesce,
+    /// and report a ≥2-level tree.
+    #[test]
+    fn hierarchical_stress_run_exercises_the_tree() {
+        let s = Scenario::stress(0);
+        let (_, counters, violations) = run_des(&s, DesTweaks::default()).expect("harness");
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(counters.ctrl_relay > 0, "no relay hops recorded");
+        assert!(counters.ctrl_coalesced > 0, "no coalesced frames recorded");
+        assert!(
+            counters.tree_depth >= 2,
+            "tree depth {}",
+            counters.tree_depth
+        );
+    }
+
+    /// One hierarchical stress seed across all three runtimes: the tree
+    /// fan-out survives real sockets with every oracle green, including
+    /// counter equivalence between the threaded and socket transports.
+    #[test]
+    fn socket_hierarchical_stress_seed_agrees() {
+        if socket_node_bin().is_none() {
+            eprintln!("skipping: couplink-node binary not built");
+            return;
+        }
+        let s = Scenario::stress(2);
+        let violations = check_scenario_socket(&s, SocketBackend::Uds).expect("harness");
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     /// Negative liveness test: under 100% permanent loss with retransmit

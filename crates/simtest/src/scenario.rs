@@ -66,6 +66,11 @@ pub struct Scenario {
     pub importers: Vec<ImporterSpec>,
     /// Whether reps send buddy-help.
     pub buddy_help: bool,
+    /// Hierarchical collective distribution: reps fan out to the roots of
+    /// the deterministic k-ary tree and ranks relay to their subtrees.
+    /// `generate` keeps it off so the seed corpus is unchanged; `stress`
+    /// turns it on (with deep programs, so relays actually happen).
+    pub hierarchical: bool,
     /// Fault injection, if any.
     pub chaos: Option<ChaosConfig>,
 }
@@ -147,29 +152,33 @@ impl Scenario {
             exporters,
             importers,
             buddy_help,
+            hierarchical: false,
             chaos,
         };
         s.fill_export_counts();
         s
     }
 
-    /// A concurrency stress plan derived from `seed`: every program at
-    /// the grid's process ceiling (4 ranks row-block over 8 rows), zero
-    /// compute and zero startup skew — every rank hammers the control
-    /// plane simultaneously, the paper's tightest coupling — and
-    /// fault-free, so the sharded reliability layer stays unarmed and the
-    /// coalesced rep fan-out path is live. Timestamp phases still vary by
-    /// seed, so matching decisions differ per seed.
+    /// A concurrency stress plan derived from `seed`: every program at 6
+    /// ranks (row-block over 8 rows), zero compute and zero startup skew —
+    /// every rank hammers the control plane simultaneously, the paper's
+    /// tightest coupling — and fault-free, so the sharded reliability
+    /// layer stays unarmed and the coalesced rep fan-out path is live.
+    /// Hierarchical distribution is on, and 6 ranks exceed the tree's
+    /// branching factor, so collectives genuinely traverse relay hops.
+    /// Timestamp phases still vary by seed, so matching decisions differ
+    /// per seed.
     pub fn stress(seed: u64) -> Self {
         let mut s = Scenario::generate(seed);
         s.chaos = None;
         s.buddy_help = true;
+        s.hierarchical = true;
         for e in &mut s.exporters {
-            e.procs = 4;
-            e.compute = vec![0.0; 4];
+            e.procs = 6;
+            e.compute = vec![0.0; 6];
         }
         for imp in &mut s.importers {
-            imp.procs = 4;
+            imp.procs = 6;
             imp.compute = 0.0;
             imp.startup = 0.0;
             imp.count += 2;

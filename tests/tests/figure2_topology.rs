@@ -113,6 +113,7 @@ fn run_des() -> (Vec<Option<Timestamp>>, Trace) {
             },
         ],
         buddy_help: true,
+        hierarchical: false,
         cost: CostModel::default(),
         buffer_capacity: None,
     })
