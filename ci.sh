@@ -3,7 +3,7 @@
 #
 #   ./ci.sh
 #
-# Eleven stages, all required:
+# Twelve stages, all required:
 #   1. formatting      (cargo fmt --check)
 #   2. lints           (cargo clippy, warnings are errors)
 #   3. tier-1 tests    (release build + full test suite)
@@ -42,6 +42,13 @@
 #                       smoke seed; plus a negative test proving the
 #                       liveness oracle catches a codec that silently
 #                       drops collective-answer frames)
+#  12. durable          (kill-and-restart chaos over loopback UDS: even
+#                       seeds SIGKILL a node mid-run and restart it from
+#                       its write-ahead journal, odd seeds sever a mesh
+#                       link and demand re-dial + unacked-frame replay;
+#                       every run must recover with the fault metered;
+#                       plus a negative test proving a bit-flipped journal
+#                       is refused at restart, never silently replayed)
 #
 # Nightly-only extras (run when CI_NIGHTLY=1, skipped gracefully otherwise):
 #   - deep simtest sweep and a deeper DES-vs-threaded property sweep
@@ -137,6 +144,14 @@ COUPLINK_NODE_BIN=target/release/couplink-node \
 echo "== socket: dropped collective answers must trip the liveness oracle"
 COUPLINK_NODE_BIN=target/release/couplink-node \
     cargo run --release -q -p couplink-simtest -- --socket uds --drop-answers
+
+echo "== durable: kill-restart-from-journal / link-sever chaos over UDS"
+COUPLINK_NODE_BIN=target/release/couplink-node \
+    cargo run --release -q -p couplink-simtest -- --socket uds --net-faults --seeds 4
+
+echo "== durable: corrupted journal must be refused at restart"
+COUPLINK_NODE_BIN=target/release/couplink-node \
+    cargo run --release -q -p couplink-simtest -- --socket uds --corrupt-wal
 
 if [[ "${CI_NIGHTLY:-0}" == "1" ]]; then
     echo "== nightly: deep simtest sweep"

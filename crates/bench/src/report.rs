@@ -462,6 +462,7 @@ mod tests {
             )
         };
         let is_net_field = |key: &str| key.starts_with("net_");
+        let is_wal_field = |key: &str| key.starts_with("wal_");
         let pre = read("BENCH_baseline_smoke_pre_executor.json");
         let post = read("BENCH_baseline_smoke.json");
         type Sections = Vec<(String, Vec<(String, f64)>)>;
@@ -514,14 +515,17 @@ mod tests {
                         continue;
                     }
                     assert!(
-                        is_executor_field(key) || is_hierarchical_field(key) || is_net_field(key),
-                        "{name}/{sec}/{key} is new but not an executor, tree or \
-                         socket-transport counter"
+                        is_executor_field(key)
+                            || is_hierarchical_field(key)
+                            || is_net_field(key)
+                            || is_wal_field(key),
+                        "{name}/{sec}/{key} is new but not an executor, tree, \
+                         socket-transport or WAL counter"
                     );
                     assert_eq!(
                         *post_val, 0.0,
-                        "{name}/{sec}/{key}: executor, tree and socket counters must \
-                         be zero on DES runs"
+                        "{name}/{sec}/{key}: executor, tree, socket and WAL counters \
+                         must be zero on DES runs"
                     );
                 }
             }

@@ -185,6 +185,7 @@ impl SessionBuilder {
                 chaos: None,
                 drop_buddy_help: false,
                 hierarchical: false,
+                wal: None,
             },
         );
         Ok(Session {

@@ -388,6 +388,16 @@ pub struct EngineMetrics {
     /// skewed or checksum-failed (0 on DES/threaded, and 0 on any socket
     /// run with an uncorrupted wire).
     pub net_codec_rejects: Counter,
+    /// Records appended to a durable write-ahead journal (0 with the
+    /// in-memory backend, i.e. on DES/threaded and on clean socket runs).
+    pub wal_appends: Counter,
+    /// Bytes appended to a durable write-ahead journal, framing included.
+    pub wal_bytes: Counter,
+    /// Records replayed from a write-ahead journal on restart.
+    pub wal_replayed: Counter,
+    /// Torn-tail truncations performed when opening a write-ahead journal
+    /// (at most one per open; a crash mid-append leaves one partial record).
+    pub wal_truncated: Counter,
     /// Nanoseconds threads spent waiting on *contended* hot-path locks
     /// (uncontended acquisitions are not timed). Wall-clock, threaded
     /// fabric only; informational, never gated.
@@ -462,6 +472,10 @@ impl EngineMetrics {
                 net_bytes: self.net_bytes.get(),
                 net_reconnects: self.net_reconnects.get(),
                 net_codec_rejects: self.net_codec_rejects.get(),
+                wal_appends: self.wal_appends.get(),
+                wal_bytes: self.wal_bytes.get(),
+                wal_replayed: self.wal_replayed.get(),
+                wal_truncated: self.wal_truncated.get(),
                 lock_wait_ns: self.lock_wait_ns.get(),
                 tasks_polled: self.tasks_polled.get(),
                 worker_steal: self.worker_steal.get(),
@@ -530,6 +544,14 @@ pub struct CounterSnapshot {
     pub net_reconnects: u64,
     /// Inbound frames the wire codec rejected (0 off the socket runtime).
     pub net_codec_rejects: u64,
+    /// Records appended to a durable WAL (0 with the in-memory backend).
+    pub wal_appends: u64,
+    /// Bytes appended to a durable WAL, framing included.
+    pub wal_bytes: u64,
+    /// Records replayed from a WAL on restart (0 on clean runs).
+    pub wal_replayed: u64,
+    /// Torn-tail truncations on WAL open (0 on clean runs).
+    pub wal_truncated: u64,
     /// Nanoseconds spent waiting on contended hot-path locks (0 on DES).
     pub lock_wait_ns: u64,
     /// Session-executor task polls (threaded fabric; 0 on DES).
@@ -601,6 +623,10 @@ impl CounterSnapshot {
             net_bytes,
             net_reconnects,
             net_codec_rejects,
+            wal_appends,
+            wal_bytes,
+            wal_replayed,
+            wal_truncated,
             lock_wait_ns,
             tasks_polled,
             worker_steal,
@@ -636,6 +662,10 @@ impl CounterSnapshot {
         self.net_bytes += net_bytes;
         self.net_reconnects += net_reconnects;
         self.net_codec_rejects += net_codec_rejects;
+        self.wal_appends += wal_appends;
+        self.wal_bytes += wal_bytes;
+        self.wal_replayed += wal_replayed;
+        self.wal_truncated += wal_truncated;
         self.lock_wait_ns += lock_wait_ns;
         self.tasks_polled += tasks_polled;
         self.worker_steal += worker_steal;
@@ -687,6 +717,10 @@ impl CounterSnapshot {
             ("net_bytes".to_string(), self.net_bytes),
             ("net_reconnects".to_string(), self.net_reconnects),
             ("net_codec_rejects".to_string(), self.net_codec_rejects),
+            ("wal_appends".to_string(), self.wal_appends),
+            ("wal_bytes".to_string(), self.wal_bytes),
+            ("wal_replayed".to_string(), self.wal_replayed),
+            ("wal_truncated".to_string(), self.wal_truncated),
             ("lock_wait_ns".to_string(), self.lock_wait_ns),
             ("tasks_polled".to_string(), self.tasks_polled),
             ("worker_steal".to_string(), self.worker_steal),
@@ -775,6 +809,10 @@ impl CounterSnapshot {
             net_bytes: field("net_bytes")?,
             net_reconnects: field("net_reconnects")?,
             net_codec_rejects: field("net_codec_rejects")?,
+            wal_appends: field("wal_appends")?,
+            wal_bytes: field("wal_bytes")?,
+            wal_replayed: field("wal_replayed")?,
+            wal_truncated: field("wal_truncated")?,
             lock_wait_ns: field("lock_wait_ns")?,
             tasks_polled: field("tasks_polled")?,
             worker_steal: field("worker_steal")?,

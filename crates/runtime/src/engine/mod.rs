@@ -37,7 +37,7 @@ pub mod tree;
 pub use chaos::{ChaosConfig, ChaosState, CrashFault, CrashTarget};
 pub use node::{EngineError, ExportFx, ExportNode, ImportNode, RepNode};
 pub use oracle::OracleViolation;
-pub use reliable::{Expiry, Reliability, RetryPolicy, WireMeta};
+pub use reliable::{Expiry, MemWal, Reliability, RetryPolicy, Wal, WalRecord, WireMeta};
 pub use topology::{
     ConnTopo, ExportRegionTopo, ImportRegionTopo, ProgramTopo, Topology, TopologyError,
 };

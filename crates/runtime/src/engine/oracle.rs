@@ -516,6 +516,10 @@ pub fn check_fault_free(counters: &CounterSnapshot) -> Result<(), OracleViolatio
         // reconnects, and every inbound frame decoded cleanly.
         ("net_reconnects", counters.net_reconnects),
         ("net_codec_rejects", counters.net_codec_rejects),
+        // A clean run never replays or truncates a write-ahead journal
+        // (appends are legal durability overhead; recovery is not).
+        ("wal_replayed", counters.wal_replayed),
+        ("wal_truncated", counters.wal_truncated),
     ];
     for (name, value) in fields {
         if value != 0 {
@@ -651,6 +655,10 @@ mod tests {
             net_bytes: 0,
             net_reconnects: 0,
             net_codec_rejects: 0,
+            wal_appends: 0,
+            wal_bytes: 0,
+            wal_replayed: 0,
+            wal_truncated: 0,
             lock_wait_ns: 0,
             buffered_hwm: 0,
             queue_depth_hwm: 0,

@@ -56,6 +56,7 @@
 use super::{chaos, Endpoint};
 use couplink_metrics::EngineMetrics;
 use couplink_proto::CtrlMsg;
+use couplink_time::Timestamp;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -159,6 +160,103 @@ pub struct Received {
     /// Sequence numbers to ack back to the sender (includes re-acks of
     /// duplicates whose first ack was lost).
     pub acks: Vec<u64>,
+}
+
+/// One record of the sequenced-message journal.
+///
+/// The journal is the recovery substrate of the ack-on-delivery invariant:
+/// a message is acked exactly when it has been processed *and* journaled,
+/// so replaying the journal in order reconstructs every consumer's state.
+/// Two record kinds cover both recovery paths:
+///
+/// * [`Delivered`](WalRecord::Delivered) — a sequenced control message was
+///   delivered (processed, journaled, acked) at an endpoint. Replay
+///   re-injects it through the normal delivery path, which rebuilds node
+///   state, receive-side dedup/ordering state and the metrics it metered.
+/// * [`AppExport`](WalRecord::AppExport) — an application export call
+///   completed at a rank. Export *data* is not logged: couplink payloads
+///   are deterministic functions of `(timestamp, region)`, so replay
+///   regenerates them and only the schedule position must be durable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A sequenced control message delivered at `ep`.
+    Delivered {
+        /// The consuming endpoint.
+        ep: Endpoint,
+        /// The wire metadata to journal (dedup + ordering state).
+        meta: WireMeta,
+        /// The message itself.
+        msg: CtrlMsg,
+    },
+    /// An application export completed at rank endpoint `ep`.
+    AppExport {
+        /// The exporting rank's endpoint.
+        ep: Endpoint,
+        /// The export region index within the program's owned layout.
+        region: u32,
+        /// The export timestamp.
+        ts: Timestamp,
+    },
+}
+
+/// The pluggable write-ahead journal behind the reliability layer.
+///
+/// The DES and the fault-free threaded fabric use [`MemWal`] — exactly the
+/// per-endpoint `Vec` journal the in-process crash recovery has always
+/// replayed, so clean runs stay bit-identical. `couplink-node` plugs in a
+/// file-backed implementation (`net::wal::FileWal`) whose records survive
+/// SIGKILL: the restarted process replays them to rebuild its half of the
+/// session. Implementations may panic on unrecoverable I/O errors — a
+/// durability layer that cannot write is a dead process, not a degraded
+/// one.
+pub trait Wal: Send {
+    /// Journals one record.
+    fn append(&mut self, rec: &WalRecord);
+
+    /// Makes every appended record durable. Called before a sequenced
+    /// frame or ack escapes the process (no-op for the in-memory backend);
+    /// implementations batch — many appends per sync.
+    fn sync(&mut self);
+
+    /// The delivered-message journal of one endpoint, in delivery order —
+    /// what crash recovery replays into the successor.
+    fn delivered(&self, ep: Endpoint) -> Vec<(WireMeta, CtrlMsg)>;
+
+    /// Discards journal history that can no longer be needed for replay.
+    /// Only call once the session is past needing recovery (clean
+    /// shutdown); a no-op for backends without retained storage.
+    fn prune(&mut self) {}
+}
+
+/// The in-memory journal backend: per-endpoint delivery logs, no
+/// durability. Semantically identical to the `Vec<(WireMeta, CtrlMsg)>`
+/// journals the in-process failover replay has used since PR 4.
+#[derive(Debug, Default)]
+pub struct MemWal {
+    delivered: BTreeMap<Endpoint, Vec<(WireMeta, CtrlMsg)>>,
+}
+
+impl MemWal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Wal for MemWal {
+    fn append(&mut self, rec: &WalRecord) {
+        // Export schedule positions only matter to a durable backend (an
+        // in-process failover never loses the app threads).
+        if let WalRecord::Delivered { ep, meta, msg } = rec {
+            self.delivered.entry(*ep).or_default().push((*meta, *msg));
+        }
+    }
+
+    fn sync(&mut self) {}
+
+    fn delivered(&self, ep: Endpoint) -> Vec<(WireMeta, CtrlMsg)> {
+        self.delivered.get(&ep).cloned().unwrap_or_default()
+    }
 }
 
 #[derive(Debug)]
@@ -374,6 +472,28 @@ impl Reliability {
         self.recv.retain(|&(_, to), _| to != ep);
     }
 
+    /// Fast-forwards every send link's sequence counter by `gap` — the
+    /// last step of a restarted process's journal replay.
+    ///
+    /// Replay rebuilds send counters by regenerating outbound traffic,
+    /// but regeneration is not count-exact: timing-dependent messages the
+    /// first incarnation sent (pending-response updates as exports
+    /// trickled in, buddy-help) are not reproduced when replay re-decides
+    /// with full export knowledge, so the rebuilt counter can lag the
+    /// pre-crash one. A lagging counter would hand a *fresh* post-restart
+    /// send a sequence number its peer has already seen — and the peer's
+    /// dedup would silently swallow a brand-new message. Jumping far past
+    /// anything the previous incarnation can have sent keeps fresh sends
+    /// fresh. Ordered-substream (`ord`) counters are deliberately
+    /// untouched: the FIFO message classes are one-per-request and
+    /// regenerate exactly, and a skipped `ord` would stall the receiver's
+    /// hold-back forever.
+    pub fn fast_forward_seqs(&mut self, gap: u64) {
+        for link in self.send.values_mut() {
+            link.next_seq += gap;
+        }
+    }
+
     /// Rebuilds `ep`'s receive-side dedup/ordering state from the journaled
     /// metadata of every message it had consumed before the crash — the
     /// successor's re-announcement step. After this, retransmits of
@@ -583,6 +703,41 @@ mod tests {
         r.register(REP, EXP, &fwd(0), 0.0).unwrap();
         assert!(matches!(r.due(1.0)[..], [Expiry::Abandon { .. }]));
         assert_eq!(r.pending_len(), 0);
+    }
+
+    /// The in-memory WAL is the journal the failover replay has always
+    /// used: per-endpoint delivery logs in order, export records ignored.
+    #[test]
+    fn mem_wal_journals_deliveries_per_endpoint() {
+        let mut w = MemWal::new();
+        let m0 = WireMeta {
+            from: EXP,
+            seq: 0,
+            ord: Some(0),
+        };
+        let m1 = WireMeta {
+            from: EXP,
+            seq: 1,
+            ord: None,
+        };
+        w.append(&WalRecord::Delivered {
+            ep: REP,
+            meta: m0,
+            msg: fwd(0),
+        });
+        w.append(&WalRecord::AppExport {
+            ep: EXP,
+            region: 0,
+            ts: ts(1.0),
+        });
+        w.append(&WalRecord::Delivered {
+            ep: REP,
+            meta: m1,
+            msg: resp(0),
+        });
+        w.sync();
+        assert_eq!(w.delivered(REP), vec![(m0, fwd(0)), (m1, resp(0))]);
+        assert_eq!(w.delivered(EXP), vec![], "exports are not deliveries");
     }
 
     /// Crash + journal replay: the successor re-acks everything the dead

@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 use std::io::{self, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -38,6 +38,27 @@ pub struct NetOptions {
     /// Test hook: spawn program `.0` claiming to be program `.1`, to
     /// exercise the duplicate/bad-claim rejection path.
     pub misclaim: Option<(usize, usize)>,
+    /// Give every node a file-backed write-ahead journal under the
+    /// session directory (implied by `kill_restart`). Besides durability
+    /// this arms mesh-link reconnect in the nodes.
+    pub durable: bool,
+    /// Chaos: SIGKILL one node at its `APP_DONE` and restart it from its
+    /// journal.
+    pub kill_restart: Option<KillSpec>,
+}
+
+/// Kill-and-restart chaos, driven by the parent: the victim is SIGKILLed
+/// the moment it announces `APP_DONE` (journal populated, session still
+/// live — its peers may still need its stores), then respawned with
+/// `restart` set so it replays the journal, rebinds its mesh address, and
+/// rejoins as its peers re-dial.
+#[derive(Debug, Clone, Copy)]
+pub struct KillSpec {
+    /// Program to kill and restart.
+    pub prog: usize,
+    /// Flip a byte in its journal before the restart: the reopened WAL
+    /// must be rejected as corrupt, failing the whole run loudly.
+    pub corrupt_wal: bool,
 }
 
 impl NetOptions {
@@ -48,6 +69,8 @@ impl NetOptions {
             node_bin,
             deadline: Duration::from_secs(120),
             misclaim: None,
+            durable: false,
+            kill_restart: None,
         }
     }
 }
@@ -180,6 +203,10 @@ fn read_frame(
     let mut reject = || {};
     match reader.next(&mut reject) {
         Ok(Some(f)) if f.kind == want => Ok(f.body),
+        Ok(Some(f)) if f.kind == codec::KIND_FATAL => Err(BootstrapError::Wire(format!(
+            "node reported fatal during {phase}: {}",
+            codec::decode_fatal(&f.body).unwrap_or_else(|_| "<garbled>".into())
+        ))),
         Ok(Some(f)) => Err(BootstrapError::Wire(format!(
             "expected frame kind {want} during {phase}, got {}",
             f.kind
@@ -205,6 +232,23 @@ pub fn run_plan(plan: &NodePlan, opts: &NetOptions) -> Result<NetReport, Bootstr
     let n = topo.programs.len();
     let deadline = Instant::now() + opts.deadline;
 
+    if let Some(kill) = &opts.kill_restart {
+        if kill.prog >= n {
+            return Err(BootstrapError::Plan(format!(
+                "kill-restart names out-of-range program {}",
+                kill.prog
+            )));
+        }
+        if matches!(opts.backend, SocketBackend::Tcp) {
+            // A restarted node must rebind its original mesh address for
+            // the peers' re-dial to find it; only the deterministic UDS
+            // socket paths make that possible.
+            return Err(BootstrapError::Plan(
+                "kill-restart chaos requires the uds backend".into(),
+            ));
+        }
+    }
+
     let dir = std::env::temp_dir().join(format!(
         "couplink-{}-{}",
         std::process::id(),
@@ -212,6 +256,17 @@ pub fn run_plan(plan: &NodePlan, opts: &NetOptions) -> Result<NetReport, Bootstr
     ));
     std::fs::create_dir_all(&dir)?;
     let _cleanup = DirCleanup(dir.clone());
+
+    // Durability rewrites the plan: every node gets a file-backed journal
+    // under the session directory (per-node file names, shared dir).
+    let mut plan = plan.clone();
+    if (opts.durable || opts.kill_restart.is_some()) && plan.wal_dir.is_none() {
+        let d = dir.join("wal");
+        std::fs::create_dir_all(&d)?;
+        plan.wal_dir = Some(d.to_string_lossy().into_owned());
+    }
+    let plan = &plan;
+    let wal_dir = plan.wal_dir.clone().map(PathBuf::from);
 
     let nanos = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -230,20 +285,9 @@ pub fn run_plan(plan: &NodePlan, opts: &NetOptions) -> Result<NetReport, Bootstr
             Some((spawned, claimed)) if spawned == prog => Some(claimed),
             _ => None,
         };
-        let mut cmd = std::process::Command::new(&opts.node_bin);
-        cmd.arg("--connect")
-            .arg(&boot_addr)
-            .arg("--prog")
-            .arg(prog.to_string())
-            .arg("--token")
-            .arg(&token);
-        if let Some(c) = claim {
-            cmd.arg("--claim").arg(c.to_string());
-        }
-        let child = cmd
-            .spawn()
-            .map_err(|e| BootstrapError::Spawn(format!("{}: {e}", opts.node_bin.display())))?;
-        children.0.push(Some(child));
+        children
+            .0
+            .push(Some(spawn_node(opts, &boot_addr, &token, prog, claim)?));
     }
 
     // Accept + hello: map sockets to program indices, rejecting anything
@@ -323,44 +367,23 @@ pub fn run_plan(plan: &NodePlan, opts: &NetOptions) -> Result<NetReport, Bootstr
     // reader thread per child turns its frames into events.
     let (tx, rx) = mpsc::channel::<(usize, Event)>();
     let mut reader_threads = Vec::new();
-    for (prog, mut reader) in readers.into_iter().enumerate() {
+    for (prog, reader) in readers.into_iter().enumerate() {
         reader.conn().set_read_timeout(None)?;
         let tx = tx.clone();
         reader_threads.push(
             std::thread::Builder::new()
                 .name(format!("couplink-boot-rd-{prog}"))
-                .spawn(move || {
-                    let mut reject = || {};
-                    loop {
-                        match reader.next(&mut reject) {
-                            Ok(Some(f)) if f.kind == codec::KIND_APP_DONE => {
-                                let _ = tx.send((prog, Event::AppDone));
-                            }
-                            Ok(Some(f)) if f.kind == codec::KIND_REPORT => {
-                                match codec::decode_report(&f.body) {
-                                    Ok(rep) => {
-                                        let _ = tx.send((prog, Event::Report(Box::new(rep))));
-                                    }
-                                    Err(_) => {
-                                        let _ = tx.send((prog, Event::Gone));
-                                        return;
-                                    }
-                                }
-                            }
-                            Ok(Some(_)) => {}
-                            Ok(None) | Err(_) => {
-                                let _ = tx.send((prog, Event::Gone));
-                                return;
-                            }
-                        }
-                    }
-                })
+                .spawn(move || reader_loop(prog, reader, tx))
                 .map_err(|e| BootstrapError::Spawn(format!("reader thread: {e}")))?,
         );
     }
-    drop(tx);
 
-    // Phase 1: every program finishes its application work or dies.
+    // Phase 1: every program finishes its application work or dies. The
+    // kill-restart chaos hooks in here: the victim's APP_DONE triggers the
+    // SIGKILL + respawn instead of marking it done — the *restarted*
+    // incarnation's APP_DONE is the one that counts.
+    let mut pending_kill = opts.kill_restart;
+    let mut expect_gone = vec![0usize; n];
     let mut app_done = vec![false; n];
     let mut gone = vec![false; n];
     let mut reports: Vec<Option<NodeReport>> = (0..n).map(|_| None).collect();
@@ -373,9 +396,38 @@ pub fn run_plan(plan: &NodePlan, opts: &NetOptions) -> Result<NetReport, Bootstr
             return Err(BootstrapError::Timeout("application phase"));
         }
         match rx.recv_timeout(remaining) {
-            Ok((p, Event::AppDone)) => app_done[p] = true,
+            Ok((p, Event::AppDone)) => {
+                if matches!(pending_kill, Some(k) if k.prog == p) {
+                    let kill = pending_kill.take().unwrap();
+                    // The old incarnation's reader will see EOF and report
+                    // it dead; that death is expected, not a crash.
+                    expect_gone[p] += 1;
+                    reader_threads.push(restart_node(
+                        &kill,
+                        wal_dir.as_deref(),
+                        plan,
+                        opts,
+                        &boot_addr,
+                        &token,
+                        &listener,
+                        &mesh_addrs,
+                        deadline,
+                        &mut children,
+                        &mut writers,
+                        &tx,
+                    )?);
+                } else {
+                    app_done[p] = true;
+                }
+            }
             Ok((p, Event::Report(rep))) => reports[p] = Some(*rep),
-            Ok((p, Event::Gone)) => gone[p] = true,
+            Ok((p, Event::Gone)) => {
+                if expect_gone[p] > 0 {
+                    expect_gone[p] -= 1;
+                } else {
+                    gone[p] = true;
+                }
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 return Err(BootstrapError::Timeout("application phase"))
             }
@@ -400,7 +452,13 @@ pub fn run_plan(plan: &NodePlan, opts: &NetOptions) -> Result<NetReport, Bootstr
         }
         match rx.recv_timeout(remaining) {
             Ok((p, Event::Report(rep))) => reports[p] = Some(*rep),
-            Ok((p, Event::Gone)) => gone[p] = true,
+            Ok((p, Event::Gone)) => {
+                if expect_gone[p] > 0 {
+                    expect_gone[p] -= 1;
+                } else {
+                    gone[p] = true;
+                }
+            }
             Ok((_, Event::AppDone)) => {}
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 return Err(BootstrapError::Timeout("drain phase"))
@@ -408,6 +466,7 @@ pub fn run_plan(plan: &NodePlan, opts: &NetOptions) -> Result<NetReport, Bootstr
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
+    drop(tx);
     drop(writers);
     for t in reader_threads {
         let _ = t.join();
@@ -432,6 +491,168 @@ pub fn run_plan(plan: &NodePlan, opts: &NetOptions) -> Result<NetReport, Bootstr
     drop(children);
 
     Ok(merge(topo.conns.len(), reports))
+}
+
+fn spawn_node(
+    opts: &NetOptions,
+    boot_addr: &str,
+    token: &str,
+    prog: usize,
+    claim: Option<usize>,
+) -> Result<std::process::Child, BootstrapError> {
+    let mut cmd = std::process::Command::new(&opts.node_bin);
+    cmd.arg("--connect")
+        .arg(boot_addr)
+        .arg("--prog")
+        .arg(prog.to_string())
+        .arg("--token")
+        .arg(token);
+    if let Some(c) = claim {
+        cmd.arg("--claim").arg(c.to_string());
+    }
+    cmd.spawn()
+        .map_err(|e| BootstrapError::Spawn(format!("{}: {e}", opts.node_bin.display())))
+}
+
+/// Body of a per-child reader thread: translate the child's frames and
+/// its EOF into events for the phase loops.
+fn reader_loop(prog: usize, mut reader: FrameReader, tx: mpsc::Sender<(usize, Event)>) {
+    let mut reject = || {};
+    loop {
+        match reader.next(&mut reject) {
+            Ok(Some(f)) if f.kind == codec::KIND_APP_DONE => {
+                let _ = tx.send((prog, Event::AppDone));
+            }
+            Ok(Some(f)) if f.kind == codec::KIND_REPORT => match codec::decode_report(&f.body) {
+                Ok(rep) => {
+                    let _ = tx.send((prog, Event::Report(Box::new(rep))));
+                }
+                Err(_) => {
+                    let _ = tx.send((prog, Event::Gone));
+                    return;
+                }
+            },
+            Ok(Some(_)) => {}
+            Ok(None) | Err(_) => {
+                let _ = tx.send((prog, Event::Gone));
+                return;
+            }
+        }
+    }
+}
+
+/// SIGKILLs the victim and brings up a replacement incarnation: respawn,
+/// then the same handshake the boot gave it — but with `restart` set in
+/// its plan, so it replays its journal before touching the mesh, unlinks
+/// its stale socket, and rebinds its original address for the peers'
+/// re-dial to find. Blocks the phase loop for the handshake's duration
+/// (children are autonomous post-`GO`; only the event queue waits).
+#[allow(clippy::too_many_arguments)]
+fn restart_node(
+    kill: &KillSpec,
+    wal_dir: Option<&Path>,
+    plan: &NodePlan,
+    opts: &NetOptions,
+    boot_addr: &str,
+    token: &str,
+    listener: &Listener,
+    mesh_addrs: &[String],
+    deadline: Instant,
+    children: &mut Children,
+    writers: &mut [Conn],
+    tx: &mpsc::Sender<(usize, Event)>,
+) -> Result<std::thread::JoinHandle<()>, BootstrapError> {
+    let prog = kill.prog;
+    if let Some(mut c) = children.0[prog].take() {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
+    if kill.corrupt_wal {
+        let dir = wal_dir.ok_or_else(|| {
+            BootstrapError::Plan("corrupt_wal chaos without a journal directory".into())
+        })?;
+        corrupt_wal(dir, prog)?;
+    }
+
+    children.0[prog] = Some(spawn_node(opts, boot_addr, token, prog, None)?);
+    let conn = loop {
+        match listener.accept() {
+            Ok(c) => break c,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(BootstrapError::Timeout("restart accept"));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    };
+    conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = conn.try_clone()?;
+    let mut reader = FrameReader::new(conn);
+    let body = read_frame(&mut reader, codec::KIND_HELLO, "restart hello")?;
+    let (version, peer_token, claimed) = codec::decode_hello(&body)
+        .map_err(|e| BootstrapError::Wire(format!("restart hello: {e}")))?;
+    if version != codec::RT_VERSION || peer_token != token || claimed != prog {
+        let _ = writer.write_all(&codec::encode_fatal("bad restart hello"));
+        return Err(BootstrapError::Wire(
+            "restarted node presented a bad hello".into(),
+        ));
+    }
+    let mut rp = plan.clone();
+    rp.restart = true;
+    writer.write_all(&codec::encode_plan(&rp))?;
+    // The node reports its (re-bound, unchanged) mesh address; peers
+    // re-dial the original one, so it is only read to advance the
+    // handshake — and to surface a FATAL if the journal was unreadable.
+    let body = read_frame(&mut reader, codec::KIND_LISTENING, "restart listening")?;
+    codec::decode_listening(&body)
+        .map_err(|e| BootstrapError::Wire(format!("restart listening: {e}")))?;
+    writer.write_all(&codec::encode_peers(mesh_addrs))?;
+    read_frame(&mut reader, codec::KIND_READY, "restart ready")?;
+    writer.write_all(&codec::encode_bare(codec::KIND_GO))?;
+    reader.conn().set_read_timeout(None)?;
+    writers[prog] = writer;
+    let tx = tx.clone();
+    std::thread::Builder::new()
+        .name(format!("couplink-boot-rd-{prog}-r"))
+        .spawn(move || reader_loop(prog, reader, tx))
+        .map_err(|e| BootstrapError::Spawn(format!("reader thread: {e}")))
+}
+
+/// Flips one byte early in the oldest journal segment of `prog`: a
+/// mid-file record stops checksumming, which the reopened WAL must report
+/// as corruption — never silently skip or truncate.
+fn corrupt_wal(wal_dir: &Path, prog: usize) -> Result<(), BootstrapError> {
+    let prefix = format!("node-{prog}.");
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(wal_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|f| f.to_str())
+                .is_some_and(|f| f.starts_with(&prefix) && f.ends_with(".wal"))
+        })
+        .collect();
+    segs.sort();
+    let Some(path) = segs.first() else {
+        return Err(BootstrapError::Io(io::Error::other(
+            "no journal segment to corrupt",
+        )));
+    };
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(BootstrapError::Io(io::Error::other(
+            "journal segment is empty",
+        )));
+    }
+    // First body byte of the first record (the frame header is 12 bytes) —
+    // guaranteed mid-file as long as the journal holds more than one
+    // record, so truncation is never a legal response.
+    let at = 12.min(bytes.len() - 1);
+    bytes[at] ^= 0x40;
+    std::fs::write(path, &bytes)?;
+    Ok(())
 }
 
 fn merge(conns: usize, reports: Vec<Option<NodeReport>>) -> NetReport {

@@ -130,6 +130,19 @@ pub enum NodeFault {
         /// Program index.
         prog: usize,
     },
+    /// The program severs its outbound mesh link to `peer` after `after_tx`
+    /// frames have been written on it (a half-close: FIN flushes the bytes
+    /// already sent, then the peer reads EOF mid-run). Both sides must
+    /// re-dial / re-accept and replay unacked traffic from the reliability
+    /// journal — this is the fault behind the `net_reconnects` metric.
+    SeverLink {
+        /// Program index that performs the sever (the writer side).
+        prog: usize,
+        /// Peer program whose link is severed.
+        peer: usize,
+        /// Outbound frames written on the link before the sever.
+        after_tx: u64,
+    },
 }
 
 /// Everything a `couplink-node` child needs to run its share of a session:
@@ -168,6 +181,13 @@ pub struct NodePlan {
     /// roots and every rank relays to its subtree (must agree across the
     /// mesh — every node derives the same deterministic tree).
     pub hierarchical: bool,
+    /// Directory for this node's file-backed write-ahead journal; `None`
+    /// keeps the in-memory journal (the default — no durability, no I/O).
+    pub wal_dir: Option<String>,
+    /// This node is a restarted incarnation: replay delivered state from
+    /// the journal in `wal_dir` before joining the mesh, and expect a
+    /// stale mesh socket path to need unlinking.
+    pub restart: bool,
 }
 
 impl NodePlan {
@@ -301,7 +321,7 @@ pub fn encode_bare(kind: u8) -> Vec<u8> {
 
 // --- fabric traffic envelopes ---
 
-fn put_endpoint(w: &mut BodyWriter, ep: Endpoint) {
+pub(crate) fn put_endpoint(w: &mut BodyWriter, ep: Endpoint) {
     match ep {
         Endpoint::Rep { prog } => {
             w.u8(0);
@@ -316,7 +336,7 @@ fn put_endpoint(w: &mut BodyWriter, ep: Endpoint) {
     }
 }
 
-fn take_endpoint(r: &mut BodyReader) -> Result<Endpoint, WireError> {
+pub(crate) fn take_endpoint(r: &mut BodyReader) -> Result<Endpoint, WireError> {
     let tag = r.u8()?;
     let prog = r.u32()? as usize;
     let rank = r.u32()? as usize;
@@ -542,6 +562,16 @@ fn put_fault(w: &mut BodyWriter, f: &NodeFault) {
             w.u8(4);
             w.u32(prog as u32);
         }
+        NodeFault::SeverLink {
+            prog,
+            peer,
+            after_tx,
+        } => {
+            w.u8(5);
+            w.u32(prog as u32);
+            w.u32(peer as u32);
+            w.u64(after_tx);
+        }
     }
 }
 
@@ -558,6 +588,11 @@ fn take_fault(r: &mut BodyReader) -> Result<NodeFault, WireError> {
         3 => Ok(NodeFault::DropAnswers { conn: r.u32()? }),
         4 => Ok(NodeFault::DrainEarly {
             prog: r.u32()? as usize,
+        }),
+        5 => Ok(NodeFault::SeverLink {
+            prog: r.u32()? as usize,
+            peer: r.u32()? as usize,
+            after_tx: r.u64()?,
         }),
         t => Err(WireError::BadTag {
             what: "node fault",
@@ -619,6 +654,14 @@ pub fn encode_plan(plan: &NodePlan) -> Vec<u8> {
         }
     }
     w.u8(plan.hierarchical as u8);
+    match &plan.wal_dir {
+        None => w.u8(0),
+        Some(d) => {
+            w.u8(1);
+            w.str(d);
+        }
+    }
+    w.u8(plan.restart as u8);
     wire::encode_frame(KIND_PLAN, &w.into_body())
 }
 
@@ -700,6 +743,17 @@ pub fn decode_plan(body: &[u8]) -> Result<NodePlan, WireError> {
         }
     };
     let hierarchical = take_bool(&mut r, "plan hierarchical")?;
+    let wal_dir = match r.u8()? {
+        0 => None,
+        1 => Some(r.str()?.to_string()),
+        t => {
+            return Err(WireError::BadTag {
+                what: "plan wal-dir",
+                tag: t,
+            })
+        }
+    };
+    let restart = take_bool(&mut r, "plan restart")?;
     r.finish()?;
     Ok(NodePlan {
         config_text,
@@ -714,6 +768,8 @@ pub fn decode_plan(body: &[u8]) -> Result<NodePlan, WireError> {
         chaos,
         fault,
         hierarchical,
+        wal_dir,
+        restart,
     })
 }
 
@@ -1141,12 +1197,14 @@ mod tests {
                     restart_after: Some(0.6),
                 }),
             }),
-            fault: Some(NodeFault::AbortAfterExports {
+            fault: Some(NodeFault::SeverLink {
                 prog: 0,
-                rank: 1,
-                after: 3,
+                peer: 1,
+                after_tx: 3,
             }),
             hierarchical: true,
+            wal_dir: Some("/tmp/wal-x".into()),
+            restart: true,
         };
         let (kind, body) = one_frame(&encode_plan(&plan));
         assert_eq!(kind, KIND_PLAN);
@@ -1239,6 +1297,8 @@ mod tests {
             chaos: None,
             fault: None,
             hierarchical: false,
+            wal_dir: None,
+            restart: false,
         });
         dec.extend(&frame);
         let f = dec.next_frame().unwrap().unwrap();

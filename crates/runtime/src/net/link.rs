@@ -12,10 +12,12 @@ use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use couplink_proto::wire::{Frame, FrameDecoder, WireError};
+use parking_lot::Mutex;
 
 /// Which OS transport carries the session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,25 +134,50 @@ pub enum Conn {
 }
 
 impl Conn {
+    /// One dial attempt, no retries.
+    fn dial_once(addr: &Addr) -> io::Result<Conn> {
+        match addr {
+            Addr::Uds(path) => UnixStream::connect(path).map(Conn::Uds),
+            Addr::Tcp(hostport) => TcpStream::connect(hostport.as_str()).and_then(|s| {
+                s.set_nodelay(true)?;
+                Ok(Conn::Tcp(s))
+            }),
+        }
+    }
+
     /// Dials an address, retrying briefly — the bootstrap guarantees the
     /// target listener is bound before the address is handed out, so the
     /// retry only papers over scheduler skew, not missing peers.
     pub fn dial(addr: &Addr) -> io::Result<Conn> {
+        Conn::dial_with_backoff(
+            addr,
+            50,
+            Duration::from_millis(20),
+            Duration::from_millis(20),
+        )
+    }
+
+    /// Dials with exponential backoff: up to `attempts` tries, sleeping
+    /// `first` after the first failure and doubling up to `cap`. This is
+    /// the *reconnect* dial — unlike [`Conn::dial`] the peer may genuinely
+    /// be down (mid-restart), so the schedule stretches into seconds
+    /// instead of hammering a dead socket.
+    pub fn dial_with_backoff(
+        addr: &Addr,
+        attempts: u32,
+        first: Duration,
+        cap: Duration,
+    ) -> io::Result<Conn> {
+        let mut delay = first;
         let mut last = None;
-        for _ in 0..50 {
-            let attempt = match addr {
-                Addr::Uds(path) => UnixStream::connect(path).map(Conn::Uds),
-                Addr::Tcp(hostport) => TcpStream::connect(hostport.as_str()).and_then(|s| {
-                    s.set_nodelay(true)?;
-                    Ok(Conn::Tcp(s))
-                }),
-            };
-            match attempt {
+        for i in 0..attempts {
+            match Conn::dial_once(addr) {
                 Ok(c) => return Ok(c),
-                Err(e) => {
-                    last = Some(e);
-                    std::thread::sleep(Duration::from_millis(20));
-                }
+                Err(e) => last = Some(e),
+            }
+            if i + 1 < attempts {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(cap);
             }
         }
         Err(last.unwrap_or_else(|| io::Error::other("dial retries exhausted")))
@@ -180,6 +207,16 @@ impl Conn {
             Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
         };
     }
+
+    /// Half-closes the write side (best effort): bytes already written are
+    /// flushed, then the peer reads EOF. Reads on this connection keep
+    /// working — this is the link-sever fault shape, not a full teardown.
+    pub fn shutdown_write(&self) {
+        let _ = match self {
+            Conn::Uds(s) => s.shutdown(std::net::Shutdown::Write),
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+        };
+    }
 }
 
 impl Read for Conn {
@@ -207,39 +244,107 @@ impl Write for Conn {
     }
 }
 
+/// The frame kind byte of an already-encoded frame (header offset 3), or
+/// `None` if the buffer is impossibly short. Reconnect logic uses this to
+/// decide which salvaged frames are worth replaying on the fresh link.
+pub fn frame_kind(frame: &[u8]) -> Option<u8> {
+    frame.get(3).copied()
+}
+
 /// The sending half of a link: encoded frames are queued on a channel and
 /// drained by a dedicated writer thread, so fabric tasks never block on a
-/// full socket buffer. A write error just stops the writer — the peer's
-/// reader observes the broken link and owns the failure handling.
-#[derive(Clone)]
+/// full socket buffer.
+///
+/// A write error stops the writer but does not lose its queue: the failed
+/// frame and everything still enqueued are moved into a *salvage* buffer,
+/// `is_dead` flips, and later sends land in the salvage directly. The
+/// reconnect path calls [`LinkWriter::retire`] to collect the salvage and
+/// replay what matters on the replacement writer; a run without reconnect
+/// support just drops the handle (the peer's reader owns failure
+/// reporting, exactly as before).
 pub struct LinkWriter {
     tx: mpsc::Sender<Vec<u8>>,
+    dead: Arc<AtomicBool>,
+    salvage: Arc<Mutex<Vec<Vec<u8>>>>,
+    thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl LinkWriter {
     /// Spawns the writer thread over (a clone of) `conn`.
-    pub fn spawn(mut conn: Conn, label: String) -> LinkWriter {
+    pub fn spawn(conn: Conn, label: String) -> LinkWriter {
+        LinkWriter::spawn_severing(conn, label, None)
+    }
+
+    /// Like [`LinkWriter::spawn`], but after `sever_after` frames have
+    /// been written the writer half-closes the socket and dies, salvaging
+    /// its remaining queue — the deliberate mid-run link sever the
+    /// reconnect tests inject.
+    pub fn spawn_severing(mut conn: Conn, label: String, sever_after: Option<u64>) -> LinkWriter {
         let (tx, rx) = mpsc::channel::<Vec<u8>>();
-        std::thread::Builder::new()
+        let dead = Arc::new(AtomicBool::new(false));
+        let salvage = Arc::new(Mutex::new(Vec::new()));
+        let (t_dead, t_salvage) = (Arc::clone(&dead), Arc::clone(&salvage));
+        let thread = std::thread::Builder::new()
             .name(format!("couplink-net-wr-{label}"))
             .spawn(move || {
+                let mut written = 0u64;
                 while let Ok(frame) = rx.recv() {
-                    if conn.write_all(&frame).is_err() {
-                        // Drain silently until every sender hangs up; the
-                        // reader side reports the dead peer.
-                        while rx.recv().is_ok() {}
+                    let severed = sever_after == Some(written);
+                    if severed {
+                        // FIN flushes everything already written; the
+                        // unsent frame goes to the salvage like a failure.
+                        conn.shutdown_write();
+                    }
+                    if severed || conn.write_all(&frame).is_err() {
+                        t_salvage.lock().push(frame);
+                        t_dead.store(true, AtomicOrdering::Release);
+                        // Keep salvaging until every sender hangs up so
+                        // nothing queued behind the failure is lost.
+                        while let Ok(f) = rx.recv() {
+                            t_salvage.lock().push(f);
+                        }
                         return;
                     }
+                    written += 1;
                 }
                 let _ = conn.flush();
             })
             .expect("spawning writer thread");
-        LinkWriter { tx }
+        LinkWriter {
+            tx,
+            dead,
+            salvage,
+            thread: Some(thread),
+        }
     }
 
-    /// Queues one already-encoded frame (dropped if the writer died).
-    pub fn send(&self, frame: Vec<u8>) {
-        let _ = self.tx.send(frame);
+    /// Queues one already-encoded frame. Returns `false` if the writer is
+    /// dead — the frame went to the salvage, not the socket.
+    pub fn send(&self, frame: Vec<u8>) -> bool {
+        if self.dead.load(AtomicOrdering::Acquire) {
+            self.salvage.lock().push(frame);
+            return false;
+        }
+        if self.tx.send(frame).is_err() {
+            return false;
+        }
+        true
+    }
+
+    /// Whether the writer thread has died on a write error or sever.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(AtomicOrdering::Acquire)
+    }
+
+    /// Tears the writer down and returns every unwritten frame in send
+    /// order: hangs up the queue, joins the thread (so the salvage is
+    /// complete), and drains the salvage buffer.
+    pub fn retire(mut self) -> Vec<Vec<u8>> {
+        drop(self.tx);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        std::mem::take(&mut *self.salvage.lock())
     }
 }
 
@@ -356,6 +461,48 @@ mod tests {
             Err(NetError::Wire(WireError::BadMagic { .. })) => {}
             other => panic!("expected BadMagic, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn severing_writer_flushes_then_salvages() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let w = LinkWriter::spawn_severing(Conn::Uds(a), "sever-test".into(), Some(2));
+        let f = |body: &[u8]| wire::encode_frame(wire::KIND_RUNTIME_BASE, body);
+        w.send(f(b"one"));
+        w.send(f(b"two"));
+        w.send(f(b"three")); // the third write triggers the sever
+        let mut r = FrameReader::new(Conn::Uds(b));
+        let mut reject = || {};
+        assert_eq!(r.next(&mut reject).unwrap().unwrap().body, b"one");
+        assert_eq!(r.next(&mut reject).unwrap().unwrap().body, b"two");
+        assert!(
+            r.next(&mut reject).unwrap().is_none(),
+            "half-close: pre-sever frames flushed, then EOF"
+        );
+        let salvage = w.retire();
+        assert_eq!(salvage.len(), 1, "the unsent frame was salvaged");
+        assert_eq!(frame_kind(&salvage[0]), Some(wire::KIND_RUNTIME_BASE));
+    }
+
+    #[test]
+    fn dead_writer_sends_land_in_salvage() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let w = LinkWriter::spawn_severing(Conn::Uds(a), "dead-test".into(), Some(0));
+        let f = wire::encode_frame(wire::KIND_RUNTIME_BASE, b"x");
+        w.send(f.clone()); // triggers the immediate sever
+        let mut r = FrameReader::new(Conn::Uds(b));
+        let mut reject = || {};
+        assert!(r.next(&mut reject).unwrap().is_none());
+        // Wait for the dead flag, then confirm post-death sends salvage.
+        for _ in 0..200 {
+            if w.is_dead() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(w.is_dead());
+        assert!(!w.send(f.clone()), "send on a dead writer reports failure");
+        assert_eq!(w.retire().len(), 2);
     }
 
     #[test]

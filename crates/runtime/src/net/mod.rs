@@ -27,11 +27,13 @@ pub mod bootstrap;
 pub mod codec;
 pub mod link;
 pub mod node;
+pub mod wal;
 
-pub use bootstrap::{run_plan, BootstrapError, NetOptions, NetReport};
+pub use bootstrap::{run_plan, BootstrapError, KillSpec, NetOptions, NetReport};
 pub use codec::{ExportSpec, ImportSpec, NodeFault, NodePlan, NodeReport};
 pub use link::{Addr, NetError, SocketBackend};
 pub use node::{node_main, NodeArgs};
+pub use wal::{FileWal, WalError};
 
 use std::path::PathBuf;
 

@@ -9,30 +9,60 @@
 //!    embedded configuration text (all processes derive the topology
 //!    through the same code path, so shapes and connection ids can never
 //!    disagree);
-//! 3. bind a mesh listener, report it (`LISTENING`), receive the `PEERS`
+//! 3. open the durable write-ahead journal when the plan names a
+//!    `wal_dir`, build a *partial* fabric session hosting only this
+//!    program (with a [`RemoteLinks`] implementation that serializes
+//!    foreign-bound traffic onto the mesh), and — on a restart — replay
+//!    the journal into the session *before any live frame can arrive*;
+//! 4. bind a mesh listener, report it (`LISTENING`), receive the `PEERS`
 //!    table, and form the full mesh (node *i* dials every *j < i* and
 //!    accepts from every *j > i* — each pair shares exactly one socket);
-//! 4. build a *partial* fabric session hosting only this program, with a
-//!    [`RemoteLinks`] implementation that serializes foreign-bound traffic
-//!    onto the mesh; send `READY`, wait for `GO`;
+//!    send `READY`, wait for `GO`;
 //! 5. run the application threads (exports with a deterministic cell
-//!    fill, imports with optional value verification);
+//!    fill, imports with optional value verification); a restarted node
+//!    resumes each export schedule after the journaled prefix;
 //! 6. send `APP_DONE` but **keep serving fabric traffic** — peers may
 //!    still need this node's reps and stores for their own imports;
 //! 7. on `DRAIN`, run the staged session shutdown (pump → relay → reps →
-//!    agents → importers), send the `REPORT`, exit.
+//!    agents → importers), prune the journal (a cleanly drained session
+//!    never needs replaying), send the `REPORT`, exit.
 //!
-//! A mesh EOF *before* this node finished its own application work means a
-//! peer died: the session is failed fast (blocked `import`/`export` calls
-//! surface [`ThreadedError::ProcessCrash`] instead of hanging). A mesh
-//! EOF *after* `APP_DONE` is the normal consequence of a peer draining
-//! first and is ignored — that asymmetry is what lets the coordinated
-//! drain tolerate peers closing their sockets in any order.
+//! # Link failure: fail fast, or reconnect
+//!
+//! Without durability in the plan, a mesh EOF *before* this node finished
+//! its own application work means a peer died: the session is failed fast
+//! (blocked `import`/`export` calls surface
+//! [`ThreadedError::ProcessCrash`] instead of hanging). A mesh EOF *after*
+//! `APP_DONE` is the normal consequence of a peer draining first and is
+//! ignored — that asymmetry is what lets the coordinated drain tolerate
+//! peers closing their sockets in any order.
+//!
+//! With a `wal_dir` (or an armed link-sever fault) the node instead
+//! *reconnects*: the link's EOF-observer fully closes the socket (so both
+//! sides agree it is dead), then the **higher-indexed** side re-dials with
+//! backoff — mirroring the boot direction — while the lower-indexed side
+//! re-accepts on its still-live mesh listener. The replacement writer
+//! replays salvaged payload pieces (control and acks are *dropped*: the
+//! reliability pump retransmits sequenced control, and a retransmitted
+//! message re-triggers its ack), and `net_reconnects` is metered on each
+//! side that re-established a link.
+//!
+//! # Durability discipline
+//!
+//! Every sequenced delivery is journaled *before* its ack can escape (the
+//! fabric appends in `admit`), and [`SocketLinks::send`] fsyncs the
+//! journal before any control or ack frame is queued on a writer — an
+//! acked message must survive a crash, because the sender will never
+//! retransmit it. Payload pieces are neither sequenced nor journaled:
+//! they are regenerated deterministically by export replay and deduped by
+//! the receiving importer.
 
+use std::collections::HashMap;
 use std::io::Write;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use couplink_layout::{LocalArray, Rect, SharedArray};
 use couplink_metrics::EngineMetrics;
@@ -41,18 +71,26 @@ use couplink_proto::{ConnectionId, CtrlMsg, Rank, RequestId};
 use couplink_time::ts;
 use parking_lot::Mutex;
 
-use crate::engine::{Endpoint, WireMeta};
-use crate::threaded::fabric::{Net, RemoteLinks};
+use crate::engine::{Endpoint, WalRecord, WireMeta};
+use crate::threaded::fabric::{ExportAccess, Net, RemoteLinks, WalHandle};
 use crate::threaded::{ExecutorOptions, FabricOptions, SessionSet};
 
 use super::codec::{self, NodeFault, NodeReport};
-use super::link::{Addr, Conn, FrameReader, LinkWriter, Listener, SocketBackend};
+use super::link::{frame_kind, Addr, Conn, FrameReader, LinkWriter, Listener, SocketBackend};
+use super::wal::FileWal;
 
 /// How long the child waits on any single bootstrap step before giving up.
 const BOOT_TIMEOUT: Duration = Duration::from_secs(120);
 /// Absolute lifetime backstop: if the parent never collects us, die
 /// instead of leaking a process into the test harness.
 const WATCHDOG: Duration = Duration::from_secs(600);
+
+/// Re-dial schedule for a broken mesh link: 25 ms doubling to 1 s, ~9.6 s
+/// total — comfortably inside the reliability pump's retransmit window, so
+/// no sequenced message gives up while the link is down.
+const RECONNECT_ATTEMPTS: u32 = 14;
+const RECONNECT_FIRST: Duration = Duration::from_millis(25);
+const RECONNECT_CAP: Duration = Duration::from_secs(1);
 
 /// Parsed command line of the `couplink-node` binary.
 #[derive(Debug)]
@@ -79,29 +117,91 @@ fn ep_prog(ep: Endpoint) -> usize {
     prog
 }
 
+/// One peer's sending state: the live writer, or a stash of frames sent
+/// while no writer is installed (boot, journal replay, or a reconnect in
+/// flight) — flushed in order when one is.
+#[derive(Default)]
+struct SlotState {
+    writer: Option<LinkWriter>,
+    pending: Vec<Vec<u8>>,
+}
+
 /// [`RemoteLinks`] over the socket mesh: serializes each foreign-bound
 /// message into a frame and queues it on the destination program's writer.
 /// Pieces are serialized straight out of the shared store (no extra copy
 /// of the payload on the send side beyond the wire buffer itself).
+///
+/// Writer slots are mutexed so a reconnect can swap a dead writer for a
+/// fresh one underneath concurrent senders.
 struct SocketLinks {
-    /// Writer per program (self and unconnected slots are `None`).
-    writers: Vec<Option<LinkWriter>>,
+    /// Sending state per program (the self slot stays empty).
+    slots: Vec<Mutex<SlotState>>,
     /// Importing program of each connection, for piece routing.
     conn_importer: Vec<usize>,
     /// Set once the session exists; frames sent before that are counted
-    /// nowhere (none are — traffic starts after `GO`).
+    /// nowhere (none are — traffic starts after `GO` or journal replay).
     metrics: OnceLock<Arc<EngineMetrics>>,
+    /// Synced before any control or ack frame escapes: an acked delivery
+    /// must already be durable, because the sender never retransmits an
+    /// acked message.
+    wal: Option<WalHandle>,
 }
 
 impl SocketLinks {
+    fn new(n: usize, conn_importer: Vec<usize>, wal: Option<WalHandle>) -> SocketLinks {
+        SocketLinks {
+            slots: (0..n).map(|_| Mutex::new(SlotState::default())).collect(),
+            conn_importer,
+            metrics: OnceLock::new(),
+            wal,
+        }
+    }
+
     fn send(&self, prog: usize, frame: Vec<u8>) {
         if let Some(m) = self.metrics.get() {
             m.net_frames.inc();
             m.net_bytes.add(frame.len() as u64);
         }
-        if let Some(w) = self.writers.get(prog).and_then(Option::as_ref) {
-            w.send(frame);
+        if let Some(wal) = &self.wal {
+            if matches!(
+                frame_kind(&frame),
+                Some(codec::KIND_CTRL) | Some(codec::KIND_ACK)
+            ) {
+                wal.sync();
+            }
         }
+        let Some(slot) = self.slots.get(prog) else {
+            return;
+        };
+        let mut st = slot.lock();
+        match &st.writer {
+            // A dead writer keeps the frame in its salvage; the swap
+            // decides what to replay.
+            Some(w) => {
+                w.send(frame);
+            }
+            None => st.pending.push(frame),
+        }
+    }
+
+    /// Installs a fresh writer for `prog`: retires any previous writer —
+    /// replaying its salvaged payload pieces, dropping salvaged control
+    /// and acks (the reliability pump retransmits sequenced control, and a
+    /// retransmitted message re-triggers its ack; pieces are the only
+    /// frames nobody retransmits) — then flushes the pending stash.
+    fn install_writer(&self, prog: usize, writer: LinkWriter) {
+        let mut st = self.slots[prog].lock();
+        if let Some(old) = st.writer.take() {
+            for f in old.retire() {
+                if frame_kind(&f) == Some(wire::KIND_PAYLOAD) {
+                    writer.send(f);
+                }
+            }
+        }
+        for f in st.pending.drain(..) {
+            writer.send(f);
+        }
+        st.writer = Some(writer);
     }
 }
 
@@ -170,49 +270,149 @@ fn dispatch(frame: &Frame, net: &Net, drop_answers: Option<u32>) -> Result<(), S
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn mesh_reader_loop(
-    mut reader: FrameReader,
-    peer: usize,
+/// Everything a mesh reader (or the reconnect accept loop) needs about
+/// this node, shared by all link threads.
+struct MeshCtx {
+    me: usize,
+    n: usize,
+    token: String,
     net: Arc<Net>,
     set: Arc<Mutex<SessionSet>>,
     sid: usize,
     metrics: Arc<EngineMetrics>,
+    links: Arc<SocketLinks>,
     apps_done: Arc<AtomicBool>,
-    stall: bool,
+    /// Set at the coordinated drain: from then on sockets close in
+    /// arbitrary order and every EOF is a normal teardown.
+    draining: Arc<AtomicBool>,
     drop_answers: Option<u32>,
-) {
-    if stall {
+    stall: bool,
+    /// Peer listener addresses for re-dial; `None` preserves the
+    /// historical fail-fast on any mid-run EOF.
+    peers: Option<Vec<Addr>>,
+}
+
+/// Re-establishes the link to a lower-indexed peer: backoff dial, fresh
+/// mesh hello, writer swap (salvage replay inside), reconnect metered.
+/// Returns the new connection for the caller to keep reading.
+fn reconnect_dial(ctx: &MeshCtx, addr: &Addr, peer: usize) -> Result<Conn, String> {
+    let mut conn =
+        Conn::dial_with_backoff(addr, RECONNECT_ATTEMPTS, RECONNECT_FIRST, RECONNECT_CAP)
+            .map_err(|e| e.to_string())?;
+    conn.write_all(&codec::encode_hello(
+        codec::KIND_MESH_HELLO,
+        &ctx.token,
+        ctx.me,
+    ))
+    .map_err(|e| format!("mesh hello: {e}"))?;
+    let wconn = conn.try_clone().map_err(|e| format!("mesh clone: {e}"))?;
+    ctx.links
+        .install_writer(peer, LinkWriter::spawn(wconn, format!("{}-{peer}", ctx.me)));
+    ctx.metrics.net_reconnects.inc();
+    Ok(conn)
+}
+
+fn mesh_reader_loop(mut reader: FrameReader, peer: usize, ctx: Arc<MeshCtx>) {
+    if ctx.stall {
         // Injected malfunction: the socket stays open, inbound traffic is
         // never processed. Peers must hit their import timeout, not hang.
         loop {
             std::thread::sleep(Duration::from_secs(3600));
         }
     }
+    let metrics = Arc::clone(&ctx.metrics);
     let mut reject = || metrics.net_codec_rejects.inc();
     loop {
-        match reader.next(&mut reject) {
-            Ok(Some(frame)) => {
-                if let Err(detail) = dispatch(&frame, &net, drop_answers) {
-                    set.lock()
-                        .fail_session(sid, format!("link to program {peer}: {detail}"));
-                    return;
+        let down = loop {
+            match reader.next(&mut reject) {
+                Ok(Some(frame)) => {
+                    if let Err(detail) = dispatch(&frame, &ctx.net, ctx.drop_answers) {
+                        ctx.set
+                            .lock()
+                            .fail_session(ctx.sid, format!("link to program {peer}: {detail}"));
+                        return;
+                    }
                 }
+                Ok(None) => break format!("peer program {peer} disconnected"),
+                Err(e) => break format!("link to program {peer} failed: {e}"),
             }
-            Ok(None) => {
-                if !apps_done.load(Ordering::Acquire) {
-                    set.lock()
-                        .fail_session(sid, format!("peer program {peer} disconnected"));
-                }
+        };
+        if ctx.draining.load(Ordering::Acquire) {
+            // Coordinated teardown: sockets close in arbitrary order.
+            return;
+        }
+        let Some(peers) = &ctx.peers else {
+            if ctx.apps_done.load(Ordering::Acquire) {
+                // Normal drain asymmetry: someone finished and closed first.
                 return;
             }
+            ctx.set.lock().fail_session(ctx.sid, down);
+            return;
+        };
+        // Reconnect is armed: the link matters until the coordinated
+        // drain even if our own apps are done — a restarted peer needs
+        // every survivor to rejoin its mesh before it can serve anyone.
+        // Whichever direction actually broke, make sure the peer observes
+        // a dead link too — reconnect needs both sides to abandon it.
+        reader.conn().shutdown();
+        if peer > ctx.me {
+            // The higher-indexed side owns the re-dial (mirroring boot);
+            // our accept loop installs the new link and spawns a fresh
+            // reader thread. This one's job is over.
+            return;
+        }
+        match reconnect_dial(&ctx, &peers[peer], peer) {
+            Ok(conn) => reader = FrameReader::new(conn),
             Err(e) => {
-                if !apps_done.load(Ordering::Acquire) {
-                    set.lock()
-                        .fail_session(sid, format!("link to program {peer} failed: {e}"));
+                // A failed re-dial during the teardown race (the peer
+                // exited because the session is draining) is not an error.
+                if !ctx.draining.load(Ordering::Acquire) {
+                    ctx.set
+                        .lock()
+                        .fail_session(ctx.sid, format!("{down} (reconnect failed: {e})"));
                 }
                 return;
             }
+        }
+    }
+}
+
+/// Keeps the mesh listener alive after boot, re-accepting higher-indexed
+/// peers whose link died (or who were restarted). Invalid hellos are
+/// dropped, not fatal — a reconnecting mesh must tolerate strays.
+fn accept_loop(listener: Listener, ctx: Arc<MeshCtx>) {
+    loop {
+        let Ok(c) = listener.accept() else { return };
+        if c.set_read_timeout(Some(BOOT_TIMEOUT)).is_err() {
+            continue;
+        }
+        let mut r = FrameReader::new(c);
+        let Ok(hello) = read_expected(&mut r, codec::KIND_MESH_HELLO, "mesh hello") else {
+            continue;
+        };
+        let Ok((version, token, from)) = codec::decode_hello(&hello.body) else {
+            continue;
+        };
+        if version != codec::RT_VERSION || token != ctx.token || from <= ctx.me || from >= ctx.n {
+            r.conn().shutdown();
+            continue;
+        }
+        if r.conn().set_read_timeout(None).is_err() {
+            continue;
+        }
+        let Ok(wconn) = r.conn().try_clone() else {
+            continue;
+        };
+        ctx.links
+            .install_writer(from, LinkWriter::spawn(wconn, format!("{}-{from}", ctx.me)));
+        ctx.metrics.net_reconnects.inc();
+        let ctx2 = Arc::clone(&ctx);
+        if std::thread::Builder::new()
+            .name(format!("couplink-net-rd-{}-{from}-r", ctx.me))
+            .spawn(move || mesh_reader_loop(r, from, ctx2))
+            .is_err()
+        {
+            return;
         }
     }
 }
@@ -281,6 +481,142 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
         return Err(format!("program index {me} out of range ({n} programs)"));
     }
 
+    // --- durable journal ---
+    // Opened before the session exists: replay and truncation meter into
+    // the session's instrumentation, which is therefore pre-created and
+    // handed to the fabric below.
+    let metrics = Arc::new(EngineMetrics::new());
+    let recovery_start = Instant::now();
+    let mut recovered: Vec<WalRecord> = Vec::new();
+    let wal_handle = match &plan.wal_dir {
+        None => None,
+        Some(dir) => {
+            match FileWal::open(
+                Path::new(dir),
+                &format!("node-{me}"),
+                FileWal::SEGMENT_BYTES,
+                Arc::clone(&metrics),
+            ) {
+                Ok((fw, recs)) => {
+                    recovered = recs;
+                    Some(WalHandle::new(fw))
+                }
+                Err(e) => {
+                    // The journal cannot be trusted; tell the parent why
+                    // before dying so the run fails with the cause, not a
+                    // silent child exit.
+                    let _ = parent_wr.write_all(&codec::encode_fatal(&e.to_string()));
+                    return Err(format!("opening WAL: {e}"));
+                }
+            }
+        }
+    };
+
+    // --- fabric session ---
+    // Built *before* the mesh so a restarted node can replay its journal
+    // into the session while no live frame can possibly arrive.
+    let links = Arc::new(SocketLinks::new(
+        n,
+        topo.conns.iter().map(|c| c.importer_prog).collect(),
+        wal_handle.clone(),
+    ));
+    let opts = FabricOptions {
+        buddy_help: plan.buddy_help,
+        import_timeout: Duration::from_secs_f64(plan.import_timeout_s),
+        buffer_capacity: None,
+        traces: plan
+            .traces
+            .iter()
+            .filter(|&&(p, _, _)| p == me)
+            .map(|&(p, r, c)| (p, r, ConnectionId(c)))
+            .collect(),
+        chaos: plan.chaos,
+        drop_buddy_help: false,
+        hierarchical: plan.hierarchical,
+        wal: wal_handle.clone(),
+    };
+    let set = Arc::new(Mutex::new(SessionSet::new(&ExecutorOptions::default())));
+    let sid = set.lock().add_partial_session(
+        topo.clone(),
+        opts,
+        me,
+        links.clone(),
+        Some(Arc::clone(&metrics)),
+    );
+    let _ = links.metrics.set(Arc::clone(&metrics));
+    let net = set.lock().session_net(sid);
+
+    let grid_cols = plan.grid.1;
+
+    // Export handles are taken up front: journal replay re-drives them,
+    // and the application threads then resume after the replayed prefix.
+    let mut export_handles: HashMap<(usize, usize), ExportAccess> = HashMap::new();
+    for spec in &plan.exports {
+        let Some(prog) = topo.program_idx(&spec.program) else {
+            return Err(format!("plan exports unknown program {}", spec.program));
+        };
+        if prog != me {
+            continue;
+        }
+        for rank in 0..topo.programs[me].procs {
+            export_handles.insert(
+                (rank, spec.region),
+                set.lock().take_export(sid, me, rank, spec.region),
+            );
+        }
+    }
+
+    // --- journal replay (restart only) ---
+    // Records are re-driven in file order: journaled deliveries go into
+    // the mailboxes (the fabric suppresses re-sending sequenced traffic
+    // and journaling while replaying), journaled exports regenerate their
+    // deterministic fill and re-drive the export path (pieces re-sent to
+    // the mesh are deduped by the importer). Per-region counts feed the
+    // application threads' resume points.
+    let mut resumed: HashMap<(usize, usize), usize> = HashMap::new();
+    if plan.restart {
+        net.begin_replay();
+        for rec in &recovered {
+            match rec {
+                WalRecord::Delivered { ep, meta, msg } => {
+                    net.deliver_remote_ctrl(*ep, Some(*meta), *msg);
+                }
+                WalRecord::AppExport { ep, region, ts } => {
+                    let Endpoint::Proc { prog, rank } = *ep else {
+                        continue;
+                    };
+                    if prog != me {
+                        continue;
+                    }
+                    let key = (rank, *region as usize);
+                    if let Some(h) = export_handles.get_mut(&key) {
+                        let owned = topo.programs[me].exports[key.1].decomp.owned(rank);
+                        let data = LocalArray::from_fn(owned, |row, col| {
+                            cell_value(ts.value(), row, col, grid_cols)
+                        });
+                        h.export(*ts, &data)
+                            .map_err(|e| format!("replaying export: {e}"))?;
+                        *resumed.entry(key).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        // Wait for the injected records to drain through the tasks, then
+        // re-enable live journaling and sending.
+        for _ in 0..600 {
+            if net.mailboxes_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        net.end_replay();
+        metrics
+            .recovery_ms
+            .observe(recovery_start.elapsed().as_millis() as u64);
+    }
+
+    // --- mesh listener ---
     // Mesh listener lives next to the parent's bootstrap socket (UDS) or
     // on another ephemeral loopback port (TCP).
     let mesh_dir = match &parent_addr {
@@ -290,6 +626,11 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
             .to_path_buf(),
         Addr::Tcp(_) => std::env::temp_dir(),
     };
+    if plan.restart && backend == SocketBackend::Uds {
+        // The previous incarnation was SIGKILLed: its socket file is still
+        // bound to a dead listener and must go before we can rebind.
+        let _ = std::fs::remove_file(mesh_dir.join(format!("mesh-{me}.sock")));
+    }
     let listener = Listener::bind(backend, &mesh_dir, &format!("mesh-{me}"))
         .map_err(|e| format!("binding mesh listener: {e}"))?;
     let listen_addr = listener.addr().map_err(|e| format!("mesh address: {e}"))?;
@@ -306,11 +647,25 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
         ));
     }
 
+    // Sever fault, armed only on the writing side's boot-time links — a
+    // reconnect-installed replacement writer never severs again.
+    let sever = match plan.fault {
+        Some(NodeFault::SeverLink {
+            prog,
+            peer,
+            after_tx,
+        }) if prog == me => Some((peer, after_tx)),
+        _ => None,
+    };
+    let boot_writer = |peer: usize, conn: Conn| {
+        let sev = sever.and_then(|(p, after)| (p == peer).then_some(after));
+        LinkWriter::spawn_severing(conn, format!("{me}-{peer}"), sev)
+    };
+
     // Form the mesh: dial the lower-indexed programs (their listeners are
     // guaranteed bound — the parent saw their LISTENING before
     // broadcasting PEERS), accept from the higher-indexed ones.
     let mut readers: Vec<Option<FrameReader>> = (0..n).map(|_| None).collect();
-    let mut writers: Vec<Option<LinkWriter>> = (0..n).map(|_| None).collect();
     for (j, addr) in peers.iter().enumerate().take(me) {
         let mut c =
             Conn::dial(&Addr::parse(addr)?).map_err(|e| format!("dialing program {j}: {e}"))?;
@@ -320,10 +675,10 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
             me,
         ))
         .map_err(|e| format!("mesh hello to {j}: {e}"))?;
-        writers[j] = Some(LinkWriter::spawn(
-            c.try_clone().map_err(|e| format!("mesh clone: {e}"))?,
-            format!("{me}-{j}"),
-        ));
+        links.install_writer(
+            j,
+            boot_writer(j, c.try_clone().map_err(|e| format!("mesh clone: {e}"))?),
+        );
         readers[j] = Some(FrameReader::new(c));
     }
     for _ in me + 1..n {
@@ -346,74 +701,70 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
         r.conn()
             .set_read_timeout(None)
             .map_err(|e| format!("mesh socket: {e}"))?;
-        writers[from] = Some(LinkWriter::spawn(
-            r.conn()
-                .try_clone()
-                .map_err(|e| format!("mesh clone: {e}"))?,
-            format!("{me}-{from}"),
-        ));
+        links.install_writer(
+            from,
+            boot_writer(
+                from,
+                r.conn()
+                    .try_clone()
+                    .map_err(|e| format!("mesh clone: {e}"))?,
+            ),
+        );
         readers[from] = Some(r);
     }
 
-    // Build the partial session: only this program's tasks exist locally;
-    // everything foreign flows through SocketLinks.
-    let links = Arc::new(SocketLinks {
-        writers: std::mem::take(&mut writers),
-        conn_importer: topo.conns.iter().map(|c| c.importer_prog).collect(),
-        metrics: OnceLock::new(),
-    });
-    let opts = FabricOptions {
-        buddy_help: plan.buddy_help,
-        import_timeout: Duration::from_secs_f64(plan.import_timeout_s),
-        buffer_capacity: None,
-        traces: plan
-            .traces
-            .iter()
-            .filter(|&&(p, _, _)| p == me)
-            .map(|&(p, r, c)| (p, r, ConnectionId(c)))
-            .collect(),
-        chaos: plan.chaos,
-        drop_buddy_help: false,
-        hierarchical: plan.hierarchical,
-    };
-    let set = Arc::new(Mutex::new(SessionSet::new(&ExecutorOptions::default())));
-    let sid = set
-        .lock()
-        .add_partial_session(topo.clone(), opts, me, links.clone());
-    let metrics = set.lock().session_metrics(sid);
-    let _ = links.metrics.set(Arc::clone(&metrics));
-    let net = set.lock().session_net(sid);
-
     let apps_done = Arc::new(AtomicBool::new(false));
+    let draining = Arc::new(AtomicBool::new(false));
     let stall = matches!(plan.fault, Some(NodeFault::StallMeshReader { prog }) if prog == me);
     let drop_answers = match plan.fault {
         Some(NodeFault::DropAnswers { conn }) => Some(conn),
         _ => None,
     };
+    // Reconnect is armed by durability (the kill-and-restart runs) or an
+    // explicit sever fault anywhere in the mesh; otherwise mid-run link
+    // death keeps its historical fail-fast meaning.
+    let reconnect =
+        plan.wal_dir.is_some() || matches!(plan.fault, Some(NodeFault::SeverLink { .. }));
+    let ctx = Arc::new(MeshCtx {
+        me,
+        n,
+        token: args.token.clone(),
+        net: Arc::clone(&net),
+        set: Arc::clone(&set),
+        sid,
+        metrics: Arc::clone(&metrics),
+        links: Arc::clone(&links),
+        apps_done: Arc::clone(&apps_done),
+        draining: Arc::clone(&draining),
+        drop_answers,
+        stall,
+        peers: if reconnect {
+            Some(
+                peers
+                    .iter()
+                    .map(|a| Addr::parse(a))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        } else {
+            None
+        },
+    });
     for (peer, slot) in readers.iter_mut().enumerate() {
         let Some(reader) = slot.take() else { continue };
-        let (net, set, metrics, apps_done) = (
-            Arc::clone(&net),
-            Arc::clone(&set),
-            Arc::clone(&metrics),
-            Arc::clone(&apps_done),
-        );
+        let ctx = Arc::clone(&ctx);
         std::thread::Builder::new()
             .name(format!("couplink-net-rd-{me}-{peer}"))
-            .spawn(move || {
-                mesh_reader_loop(
-                    reader,
-                    peer,
-                    net,
-                    set,
-                    sid,
-                    metrics,
-                    apps_done,
-                    stall,
-                    drop_answers,
-                )
-            })
+            .spawn(move || mesh_reader_loop(reader, peer, ctx))
             .map_err(|e| format!("spawning mesh reader: {e}"))?;
+    }
+    if reconnect {
+        // The listener outlives boot: higher-indexed peers re-dial here
+        // after a link death or their own restart.
+        let ctx = Arc::clone(&ctx);
+        std::thread::Builder::new()
+            .name(format!("couplink-net-accept-{me}"))
+            .spawn(move || accept_loop(listener, ctx))
+            .map_err(|e| format!("spawning accept loop: {e}"))?;
     }
 
     parent_wr
@@ -422,18 +773,17 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
     read_expected(&mut parent_rd, codec::KIND_GO, "go")?;
 
     // --- application threads ---
-    let grid_cols = plan.grid.1;
     let scale = plan.time_scale;
     let mut exp_threads = Vec::new();
     for spec in &plan.exports {
-        let Some(prog) = topo.program_idx(&spec.program) else {
-            return Err(format!("plan exports unknown program {}", spec.program));
-        };
-        if prog != me {
+        if topo.program_idx(&spec.program) != Some(me) {
             continue;
         }
         for rank in 0..topo.programs[me].procs {
-            let mut h = set.lock().take_export(sid, me, rank, spec.region);
+            let mut h = export_handles
+                .remove(&(rank, spec.region))
+                .ok_or_else(|| format!("export region {} specified twice", spec.region))?;
+            let done = resumed.get(&(rank, spec.region)).copied().unwrap_or(0);
             let owned = topo.programs[me].exports[spec.region].decomp.owned(rank);
             let (t0, dt, count) = (spec.t0, spec.dt, spec.count);
             let compute = spec.compute.get(rank).copied().unwrap_or(0.0);
@@ -448,7 +798,9 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
             exp_threads.push((
                 rank,
                 std::thread::spawn(move || -> Result<(), String> {
-                    for k in 0..count {
+                    // `done` exports were replayed from the journal; the
+                    // schedule resumes after them.
+                    for k in done..count {
                         if compute > 0.0 {
                             std::thread::sleep(Duration::from_secs_f64(compute * scale));
                         }
@@ -543,6 +895,7 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
     if !drain_early {
         read_expected(&mut parent_rd, codec::KIND_DRAIN, "drain")?;
     }
+    draining.store(true, Ordering::Release);
 
     let shutdown = set.lock().shutdown_session(sid);
     let (stats, traces, shutdown_error) = match shutdown {
@@ -560,6 +913,14 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
         ),
         Err(e) => (Vec::new(), Vec::new(), Some(e.to_string())),
     };
+    if shutdown_error.is_none() {
+        if let Some(w) = &wal_handle {
+            // A cleanly drained session never needs replaying again:
+            // everything is acked *and* consumed, so sealed segments go.
+            w.sync();
+            w.prune();
+        }
+    }
     let report = NodeReport {
         prog: me,
         stats,

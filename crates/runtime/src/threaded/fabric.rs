@@ -35,7 +35,8 @@ use crate::engine::chaos::{commutes, ChaosConfig, CrashFault, CrashTarget};
 use crate::engine::reliable::expendable;
 use crate::engine::{
     ctrl_class, deliver_all, tree, Clock, Endpoint, EngineError, Expiry, ExportFx, ExportNode,
-    ImportNode, Outgoing, Reliability, RepNode, RetryPolicy, Topology, Transport, WireMeta,
+    ImportNode, MemWal, Outgoing, Reliability, RepNode, RetryPolicy, Topology, Transport, Wal,
+    WalRecord, WireMeta,
 };
 use crate::threaded::executor::{
     Executor, ExecutorOptions, PanicSink, Poll, SessionId, Task, TaskHandle,
@@ -49,7 +50,7 @@ use couplink_proto::{
 use couplink_time::Timestamp;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex, MutexGuard};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -76,6 +77,13 @@ const DRAIN_CAP: Duration = Duration::from_secs(30);
 /// one rep's traffic to two members — contend only when they collide here.
 const REL_SHARDS: usize = 16;
 
+/// Sequence-counter jump applied to every send link when a restarted
+/// process leaves journal replay: far larger than any session's per-link
+/// message count, so a post-restart send can never reuse a sequence
+/// number the previous incarnation already burned (one restart per
+/// session — the bootstrap kills a node at most once).
+const RESTART_SEQ_GAP: u64 = 1 << 32;
+
 /// Most mailbox messages a rep (or agent, or importer) folds into one poll:
 /// the coalescing bound and the executor's per-poll work cap, so one
 /// flooded mailbox cannot hold a worker indefinitely.
@@ -96,6 +104,52 @@ impl WallClock {
 impl Clock for WallClock {
     fn now(&self) -> f64 {
         self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// Shared handle to a session's write-ahead journal: the pluggable
+/// [`Wal`] backend behind one mutex, cloned into the routing table, the
+/// rep tasks and (in the socket runtime) the link layer, which syncs it
+/// before a sequenced frame or ack escapes the process.
+#[derive(Clone)]
+pub struct WalHandle(Arc<Mutex<Box<dyn Wal>>>);
+
+impl WalHandle {
+    /// Wraps a journal backend.
+    pub fn new(wal: impl Wal + 'static) -> Self {
+        WalHandle(Arc::new(Mutex::new(Box::new(wal))))
+    }
+
+    /// An in-memory journal (the DES/threaded default when reliability is
+    /// armed without an explicit backend).
+    fn mem() -> Self {
+        Self::new(MemWal::new())
+    }
+
+    fn append(&self, rec: &WalRecord) {
+        self.0.lock().append(rec);
+    }
+
+    /// Makes every appended record durable (no-op for [`MemWal`]).
+    pub fn sync(&self) {
+        self.0.lock().sync();
+    }
+
+    /// One endpoint's delivered-message journal, in delivery order.
+    pub fn delivered(&self, ep: Endpoint) -> Vec<(WireMeta, CtrlMsg)> {
+        self.0.lock().delivered(ep)
+    }
+
+    /// Discards journal history no longer needed for replay (clean
+    /// shutdown only).
+    pub fn prune(&self) {
+        self.0.lock().prune();
+    }
+}
+
+impl fmt::Debug for WalHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("WalHandle(..)")
     }
 }
 
@@ -141,6 +195,14 @@ pub struct FabricOptions {
     /// subtree. Per-rep fan-out drops from O(N) to O(k); relay hops are
     /// metered as `ctrl_relay` instead of per-class origin traffic.
     pub hierarchical: bool,
+    /// Write-ahead journal backend for the session's delivered messages
+    /// and export schedule. `None` (the default) falls back to [`MemWal`]
+    /// when the reliability layer is armed — exactly the in-memory journal
+    /// the in-process failover has always replayed. The socket runtime
+    /// plugs in a file-backed handle here so a SIGKILLed node can replay
+    /// its half of the session on restart. Providing a backend arms the
+    /// reliability layer.
+    pub wal: Option<WalHandle>,
 }
 
 impl Default for FabricOptions {
@@ -153,6 +215,7 @@ impl Default for FabricOptions {
             chaos: None,
             drop_buddy_help: false,
             hierarchical: false,
+            wal: None,
         }
     }
 }
@@ -561,6 +624,21 @@ pub(crate) struct Net {
     links: Option<Arc<dyn RemoteLinks>>,
     /// Whether ranks relay collectives along the distribution tree.
     hierarchical: bool,
+    /// The session's write-ahead journal (`Some` exactly when the
+    /// reliability layer is armed): every admitted sequenced delivery and
+    /// every application export lands here before its acks or dependent
+    /// frames can escape the process.
+    wal: Option<WalHandle>,
+    /// `true` while a restarted process replays its journal: regenerated
+    /// sequenced traffic is registered (rebuilding sequence counters and
+    /// pending state) but not routed — deliveries come exclusively from
+    /// the journal injection, and anything never delivered is retransmitted
+    /// by the pump once replay ends.
+    replaying: AtomicBool,
+    /// `false` while replaying: re-admitting a journaled delivery must not
+    /// journal it again (replay stays idempotent if the process dies
+    /// mid-replay).
+    wal_active: AtomicBool,
     /// Per-session instrumentation shared with every node and handle.
     metrics: Arc<EngineMetrics>,
 }
@@ -577,6 +655,45 @@ impl Net {
     /// already counted it, and the parent sums counters across processes.
     pub(crate) fn deliver_remote_ctrl(&self, to: Endpoint, meta: Option<WireMeta>, msg: CtrlMsg) {
         self.route(to, meta, msg);
+    }
+
+    /// Enters journal-replay mode: regenerated sequenced traffic is
+    /// registered but not routed, and re-admitted deliveries are not
+    /// re-journaled. See [`Net::replaying`] / [`Net::wal_active`].
+    pub(crate) fn begin_replay(&self) {
+        self.replaying.store(true, Ordering::Release);
+        self.wal_active.store(false, Ordering::Release);
+    }
+
+    /// Leaves journal-replay mode: routing and journaling resume; the pump
+    /// retransmits whatever replay left pending. Before any fresh send can
+    /// slip through, every send link's sequence counter is fast-forwarded
+    /// past the previous incarnation's range — regeneration is not
+    /// count-exact (see [`Reliability::fast_forward_seqs`]), and a fresh
+    /// send must never collide with a sequence number a peer already saw.
+    pub(crate) fn end_replay(&self) {
+        if let Some(rel) = &self.rel {
+            for shard in &rel.shards {
+                timed_lock(shard, &self.metrics).fast_forward_seqs(RESTART_SEQ_GAP);
+            }
+        }
+        self.replaying.store(false, Ordering::Release);
+        self.wal_active.store(true, Ordering::Release);
+    }
+
+    /// Whether every task mailbox of this session is currently empty — the
+    /// replay driver's quiescence probe before it leaves replay mode.
+    /// Best-effort (a task may still be processing its last pop); the
+    /// receive-side dedup makes the residual race harmless.
+    pub(crate) fn mailboxes_empty(&self) -> bool {
+        self.to_rep.iter().flatten().all(|mb| mb.is_empty())
+            && self
+                .to_agent
+                .iter()
+                .flatten()
+                .flatten()
+                .all(|mb| mb.is_empty())
+            && self.to_imp.iter().flatten().all(|mb| mb.is_empty())
     }
 
     /// Applies an ack that arrived over a socket link to the local pending
@@ -648,6 +765,15 @@ impl Net {
                 // runs out and the abandonment is metered.
                 return;
             }
+            if meta.is_some() && self.replaying.load(Ordering::Acquire) {
+                // Journal replay: the registration above rebuilt the
+                // sequence counter and pending entry, but the delivery (if
+                // it happened) comes from the journal injection — routing
+                // the regenerated copy would race it. Anything never
+                // delivered stays pending for the pump to retransmit once
+                // replay ends.
+                return;
+            }
             if let Some(chaos) = &self.chaos {
                 let n = rel.nonce.fetch_add(1, Ordering::Relaxed);
                 if chaos.cfg.lost(n, to, &msg) {
@@ -687,6 +813,13 @@ impl Net {
     /// is the recovery path; jittering it again only slows convergence.
     fn resend(&self, to: Endpoint, meta: WireMeta, msg: CtrlMsg) {
         let Some(rel) = &self.rel else { return };
+        if self.replaying.load(Ordering::Acquire) {
+            // A retransmit that lands mid-replay would deliver (and ack) a
+            // message while journaling is off, breaking the journal =
+            // delivered invariant. The entry stays pending; the pump
+            // retries after replay ends.
+            return;
+        }
         self.metrics.ctrl(ctrl_class(&msg)).inc();
         if matches!(msg, CtrlMsg::Coalesced { .. }) {
             self.metrics.ctrl_coalesced.inc();
@@ -737,6 +870,22 @@ impl Net {
             }
             received
         };
+        // Journal every accepted delivery *before* its ack can escape the
+        // process: an acked message must survive a crash (the sender will
+        // never retransmit it), so the append — and, at the link layer, the
+        // sync — strictly precedes `send_ack`. Skipped during replay: the
+        // records being re-admitted are already on disk.
+        if let Some(wal) = &self.wal {
+            if self.wal_active.load(Ordering::Acquire) {
+                for &(m, msg) in &received.deliver {
+                    wal.append(&WalRecord::Delivered {
+                        ep: to,
+                        meta: m,
+                        msg,
+                    });
+                }
+            }
+        }
         if let (Some(links), false) = (&self.links, wire_acks.is_empty()) {
             for seq in wire_acks {
                 links.send_ack(meta.from, to, seq);
@@ -791,6 +940,10 @@ impl Net {
                         if rel.drop_buddy_help && expendable(&msg) {
                             // Sent-but-never-arrives: stays pending until
                             // its expendable budget is abandoned.
+                            continue;
+                        }
+                        if meta.is_some() && self.replaying.load(Ordering::Acquire) {
+                            // Replay suppression, as in `send`.
                             continue;
                         }
                         batch.push((meta, msg));
@@ -1174,6 +1327,23 @@ impl ExportAccess {
                 other => break other.map_err(ThreadedError::from)?,
             }
         };
+        // Journal the schedule position *before* any of this export's
+        // messages can escape the process: a restarted node replays its
+        // `AppExport` records (regenerating the deterministic payloads) to
+        // put the engine back exactly where the application's schedule was.
+        // Skipped during replay — these records are what is being replayed.
+        if let Some(wal) = &self.net.wal {
+            if self.net.wal_active.load(Ordering::Acquire) {
+                wal.append(&WalRecord::AppExport {
+                    ep: Endpoint::Proc {
+                        prog: self.prog,
+                        rank: self.rank,
+                    },
+                    region: self.region as u32,
+                    ts,
+                });
+            }
+        }
         if fx.copy {
             // The real buffering memcpy the paper is about — one shared
             // allocation no matter how many connections, pieces or
@@ -1519,7 +1689,6 @@ struct RepTask {
     fault: Option<CrashFault>,
     mbox: Arc<Mailbox<RepMsg>>,
     node: RepNode,
-    journal: Vec<(WireMeta, CtrlMsg)>,
     consumed: u64,
     crash_armed: bool,
     beat: u64,
@@ -1577,10 +1746,18 @@ impl Task for RepTask {
                     more: false,
                 };
             }
-            // Restart: rebuild the aggregation state from the journal.
+            // Restart: rebuild the aggregation state from the session's
+            // delivery journal (the WAL's per-endpoint log — in-memory for
+            // the in-process failover, file-backed in the socket runtime).
             self.dead_until = None;
             self.node = RepNode::new(&self.topo, self.prog, self.buddy_help, self.hierarchical);
-            let msgs: Vec<CtrlMsg> = self.journal.iter().map(|&(_, m)| m).collect();
+            let journal = self
+                .net
+                .wal
+                .as_ref()
+                .map(|w| w.delivered(ep))
+                .unwrap_or_default();
+            let msgs: Vec<CtrlMsg> = journal.iter().map(|&(_, m)| m).collect();
             if let Err(e) = self.node.replay(&self.topo, &msgs) {
                 record_err(&self.net.err, ThreadedError::from(e));
                 return Poll {
@@ -1591,7 +1768,7 @@ impl Task for RepTask {
                 };
             }
             if let Some(rel) = &self.net.rel {
-                let metas: Vec<WireMeta> = self.journal.iter().map(|&(mm, _)| mm).collect();
+                let metas: Vec<WireMeta> = journal.iter().map(|&(mm, _)| mm).collect();
                 rel.restore_delivered(ep, &metas);
             }
             self.net.metrics.failovers.inc();
@@ -1699,10 +1876,7 @@ impl Task for RepTask {
                     };
                 }
             }
-            for (dm, m) in self.net.admit(ep, meta, m) {
-                if let Some(dm) = dm {
-                    self.journal.push((dm, m));
-                }
+            for (_dm, m) in self.net.admit(ep, meta, m) {
                 self.consumed += 1;
                 let step = self
                     .node
@@ -1779,6 +1953,12 @@ struct ImpTask {
     mbox: Arc<Mailbox<ImpMsg>>,
     cell: Arc<ImpCell>,
     pieces: PieceMap,
+    /// Pieces already accepted, keyed `(request, rectangle)`. Pieces are
+    /// not sequenced by the reliability layer, so a replaying exporter (or
+    /// a link replaying its unacked backlog after a reconnect) may resend
+    /// pieces this rank already holds; accepting a duplicate would
+    /// double-count `on_piece` and corrupt the import's piece arithmetic.
+    seen_pieces: HashSet<(RequestId, Rect)>,
 }
 
 impl ImpTask {
@@ -1895,6 +2075,11 @@ impl Task for ImpTask {
                 }
                 Some(ImpMsg::Piece { req, rect, payload }) => {
                     msgs += 1;
+                    if !self.seen_pieces.insert((req, rect)) {
+                        // Duplicate (exporter replay or link reconnect
+                        // resend): already held, drop it.
+                        continue;
+                    }
                     // Piece strictly before the node can flip to `Done`:
                     // a waiter woken by the condvar must see every piece.
                     self.pieces
@@ -2056,7 +2241,9 @@ fn relay_loop(net: Arc<Net>, rx: Receiver<RelayMsg>) {
 /// invariant bounds the session's `runq_depth` high-water mark by exactly
 /// this number — the bound `simtest --stress` asserts.
 pub fn session_task_count(topo: &Topology, opts: &FabricOptions) -> usize {
-    let needs_rel = opts.drop_buddy_help || opts.chaos.is_some_and(|c| c.needs_reliability());
+    let needs_rel = opts.drop_buddy_help
+        || opts.wal.is_some()
+        || opts.chaos.is_some_and(|c| c.needs_reliability());
     let mut n = usize::from(needs_rel);
     for p in &topo.programs {
         if !p.exports.is_empty() || !p.imports.is_empty() {
@@ -2106,13 +2293,16 @@ impl Session {
     /// dependency order: pump, agents, reps, importers — a rep's first
     /// poll may heartbeat into agent mailboxes, which are already bound.
     fn new(topo: Topology, opts: FabricOptions, exec: &Executor, sid: SessionId) -> Self {
-        Session::new_partial(topo, opts, exec, sid, None, None)
+        Session::new_partial(topo, opts, exec, sid, None, None, None)
     }
 
     /// Like [`Session::new`], but hosting only program `local` when given
     /// (the socket runtime's shape: one OS process per program). Tasks,
     /// engine cells and application handles are built only for the hosted
     /// program; traffic for every other endpoint is handed to `links`.
+    /// `metrics` lets the caller supply pre-made instrumentation — the
+    /// socket node opens its durable journal (which meters replay) before
+    /// the session exists.
     fn new_partial(
         topo: Topology,
         opts: FabricOptions,
@@ -2120,16 +2310,19 @@ impl Session {
         sid: SessionId,
         local: Option<usize>,
         links: Option<Arc<dyn RemoteLinks>>,
+        metrics: Option<Arc<EngineMetrics>>,
     ) -> Self {
         let topo = Arc::new(topo);
         let err: ErrSlot = Arc::new(Mutex::new(None));
         let clock = Arc::new(WallClock::start());
-        let metrics = Arc::new(EngineMetrics::new());
+        let metrics = metrics.unwrap_or_else(|| Arc::new(EngineMetrics::new()));
         let crash = opts.chaos.and_then(|c| c.crash);
         // Reliability is armed only when the faults require it — see
         // `NetRel`. Wall-clock retry timescales: first retransmit after
         // 50 ms, backing off to 400 ms.
-        let needs_rel = opts.drop_buddy_help || opts.chaos.is_some_and(|c| c.needs_reliability());
+        let needs_rel = opts.drop_buddy_help
+            || opts.wal.is_some()
+            || opts.chaos.is_some_and(|c| c.needs_reliability());
         let rel = needs_rel.then(|| {
             NetRel::new(
                 RetryPolicy {
@@ -2184,6 +2377,11 @@ impl Session {
             local,
             links,
             hierarchical: opts.hierarchical,
+            // Armed reliability always journals (the rep failover replays
+            // it); without an explicit backend the journal is in-memory.
+            wal: needs_rel.then(|| opts.wal.clone().unwrap_or_else(WalHandle::mem)),
+            replaying: AtomicBool::new(false),
+            wal_active: AtomicBool::new(true),
             metrics: Arc::clone(&metrics),
         });
         if opts.hierarchical {
@@ -2294,7 +2492,6 @@ impl Session {
                     fault,
                     mbox: mbox.clone(),
                     node: RepNode::new(&topo, pi, opts.buddy_help, opts.hierarchical),
-                    journal: Vec::new(),
                     consumed: 0,
                     crash_armed: fault.is_some(),
                     beat: 0,
@@ -2373,6 +2570,7 @@ impl Session {
                                     mbox: mbox.clone(),
                                     cell: cell.clone(),
                                     pieces: pieces.clone(),
+                                    seen_pieces: HashSet::new(),
                                 }),
                             );
                             mbox.bind(handle.clone());
@@ -2587,17 +2785,28 @@ impl SessionSet {
 
     /// Adds a partial session hosting only program `local`, with `links`
     /// carrying foreign-endpoint traffic — the socket runtime's entry
-    /// point. Returns the session's index.
+    /// point. `metrics` supplies pre-made instrumentation (the node's
+    /// journal meters into it before the session exists); `None` creates a
+    /// fresh set. Returns the session's index.
     pub(crate) fn add_partial_session(
         &mut self,
         topo: Topology,
         opts: FabricOptions,
         local: usize,
         links: Arc<dyn RemoteLinks>,
+        metrics: Option<Arc<EngineMetrics>>,
     ) -> usize {
         let sid = self.exec.add_session();
         debug_assert_eq!(sid, self.sessions.len(), "session ids are dense");
-        let session = Session::new_partial(topo, opts, &self.exec, sid, Some(local), Some(links));
+        let session = Session::new_partial(
+            topo,
+            opts,
+            &self.exec,
+            sid,
+            Some(local),
+            Some(links),
+            metrics,
+        );
         self.sessions.push(Some(session));
         sid
     }

@@ -23,7 +23,7 @@ pub mod fabric;
 pub use executor::ExecutorOptions;
 pub use fabric::{
     session_task_count, ExportAccess, Fabric, FabricOptions, FabricReport, ImportAccess,
-    SessionSet, WallClock,
+    SessionSet, WalHandle, WallClock,
 };
 
 use crate::engine::{EngineError, Topology};
@@ -230,6 +230,7 @@ impl CoupledPair {
                 chaos: None,
                 drop_buddy_help: false,
                 hierarchical: false,
+                wal: None,
             },
         );
         let exporters = (0..ne)

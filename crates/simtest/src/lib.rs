@@ -53,7 +53,8 @@ pub mod shrink;
 
 pub use runner::{
     check_des, check_scenario, check_scenario_socket, check_socket, check_threaded, mutation_smoke,
-    run_des, run_socket, run_threaded, socket_node_bin, socket_plan, DesTweaks, Mutation,
+    run_des, run_net_fault, run_socket, run_threaded, socket_node_bin, socket_plan, DesTweaks,
+    Mutation,
 };
 pub use scenario::{ExporterSpec, ImporterSpec, Scenario};
 pub use shrink::{shrink, write_failure_report};

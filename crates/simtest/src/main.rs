@@ -6,7 +6,7 @@
 use couplink_runtime::engine::OracleViolation;
 use couplink_runtime::net::SocketBackend;
 use couplink_simtest::{
-    check_scenario, check_scenario_socket, mutation_smoke, run_socket, shrink,
+    check_scenario, check_scenario_socket, mutation_smoke, run_net_fault, run_socket, shrink,
     write_failure_report, Mutation, Scenario,
 };
 use std::path::PathBuf;
@@ -33,6 +33,17 @@ const USAGE: &str =
               (with --socket) inject a receiver-side codec bug that
               silently drops collective-answer frames; the run FAILS
               unless the liveness oracle fires (negative test)
+  --net-faults
+              (with --socket uds) process-level chaos with durable
+              journals: even seeds SIGKILL the first exporter at APP_DONE
+              and restart it from its write-ahead journal; odd seeds sever
+              a mesh link mid-run and demand re-dial + replay. Every run
+              must complete with net_reconnects >= 1 (and wal_replayed
+              >= 1 for the kill class) and zero process crashes
+  --corrupt-wal
+              (with --socket uds) SIGKILL + restart, but flip a byte in
+              the victim's journal first; the run FAILS unless the
+              restarted node refuses the corrupt journal (negative test)
   --out DIR   where failure reports go (default results/simtest)";
 
 struct Args {
@@ -43,6 +54,8 @@ struct Args {
     stress: bool,
     socket: Option<SocketBackend>,
     drop_answers: bool,
+    net_faults: bool,
+    corrupt_wal: bool,
     out: PathBuf,
 }
 
@@ -55,6 +68,8 @@ fn parse_args() -> Result<Args, String> {
         stress: false,
         socket: None,
         drop_answers: false,
+        net_faults: false,
+        corrupt_wal: false,
         out: PathBuf::from("results/simtest"),
     };
     let mut it = std::env::args().skip(1);
@@ -84,6 +99,8 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--drop-answers" => args.drop_answers = true,
+            "--net-faults" => args.net_faults = true,
+            "--corrupt-wal" => args.corrupt_wal = true,
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
@@ -114,6 +131,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         };
         return run_drop_answers(&args, backend);
+    }
+    if args.corrupt_wal {
+        let Some(backend) = args.socket else {
+            eprintln!("--corrupt-wal requires --socket\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        return run_corrupt_wal(&args, backend);
+    }
+    if args.net_faults {
+        let Some(backend) = args.socket else {
+            eprintln!("--net-faults requires --socket\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        return run_net_faults(&args, backend);
     }
 
     let seeds: Vec<u64> = match args.seed {
@@ -218,6 +249,70 @@ fn run_drop_answers(args: &Args, backend: SocketBackend) -> ExitCode {
                 eprintln!("seed {seed}: answer-dropping codec bug was NOT caught: {violations:?}");
                 ExitCode::FAILURE
             }
+        }
+    }
+}
+
+/// Process-level chaos sweep: even seeds kill-and-restart the first
+/// exporter from its durable journal, odd seeds sever a mesh link and
+/// demand re-dial + replay. Each run must complete cleanly AND prove the
+/// fault was real (reconnects metered; journal replayed for the kills).
+fn run_net_faults(args: &Args, backend: SocketBackend) -> ExitCode {
+    let seeds: Vec<u64> = match args.seed {
+        Some(s) => vec![s],
+        None => (0..args.seeds).collect(),
+    };
+    let total = seeds.len();
+    for seed in seeds {
+        let scenario = Scenario::generate(seed);
+        let kill = seed % 2 == 0;
+        let class = if kill {
+            "kill+restart-from-journal"
+        } else {
+            "link-sever+re-dial"
+        };
+        match run_net_fault(&scenario, backend, kill, false) {
+            Err(e) => {
+                eprintln!("seed {seed}: harness error under {class}: {e}");
+                return ExitCode::from(2);
+            }
+            Ok(violations) if violations.is_empty() => {
+                println!("seed {seed}: {class} recovered, zero oracle violations");
+            }
+            Ok(violations) => {
+                eprintln!(
+                    "seed {seed}: {} oracle violation(s) under {class}",
+                    violations.len()
+                );
+                for v in &violations {
+                    eprintln!("  - {v}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{total} seed(s) of kill-restart / link-sever chaos, zero oracle violations");
+    ExitCode::SUCCESS
+}
+
+/// Negative mode: flip a byte in the SIGKILLed node's journal before its
+/// restart. A run that completes is a FAILURE — corrupted durable state
+/// must be refused loudly, never replayed into a live session.
+fn run_corrupt_wal(args: &Args, backend: SocketBackend) -> ExitCode {
+    let seed = args.seed.unwrap_or(0);
+    let scenario = Scenario::generate(seed);
+    match run_net_fault(&scenario, backend, true, true) {
+        Err(e) if e.contains("corrupt") => {
+            println!("seed {seed}: corrupted journal refused at restart — {e}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("seed {seed}: run failed, but not on the corruption: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(_) => {
+            eprintln!("seed {seed}: corrupted journal was silently accepted");
+            ExitCode::FAILURE
         }
     }
 }

@@ -12,11 +12,11 @@ use couplink_runtime::engine::oracle::{
 };
 use couplink_runtime::engine::Topology;
 use couplink_runtime::net::{
-    run_plan, ExportSpec, ImportSpec, NetOptions, NodeFault, NodePlan, SocketBackend,
+    run_plan, ExportSpec, ImportSpec, KillSpec, NetOptions, NodeFault, NodePlan, SocketBackend,
 };
 use couplink_runtime::{
-    session_task_count, ExportSchedule, Fabric, FabricOptions, ImportSchedule, RetryPolicy,
-    TopoReport, TopologyConfig, TopologySim,
+    session_task_count, ChaosConfig, ExportSchedule, Fabric, FabricOptions, ImportSchedule,
+    RetryPolicy, TopoReport, TopologyConfig, TopologySim,
 };
 use couplink_time::{ts, Timestamp};
 use std::path::PathBuf;
@@ -353,6 +353,7 @@ pub fn run_threaded(
         chaos: s.chaos,
         drop_buddy_help,
         hierarchical: s.hierarchical,
+        wal: None,
     };
     // Executor invariant: a task is enqueued at most once, so the session's
     // run-queue depth can never exceed its task count — mailbox backlog
@@ -546,6 +547,8 @@ pub fn socket_plan(s: &Scenario) -> Result<NodePlan, String> {
         chaos: s.chaos,
         fault: None,
         hierarchical: s.hierarchical,
+        wal_dir: None,
+        restart: false,
     })
 }
 
@@ -581,41 +584,7 @@ pub fn run_socket(
     let rep = run_plan(&plan, &opts).map_err(|e| format!("socket bootstrap: {e}"))?;
 
     let mut violations = Vec::new();
-    for &prog in &rep.crashed {
-        let conn = conn_of_program(&view, prog);
-        violations.push(OracleViolation::Liveness {
-            conn,
-            detail: format!("program {prog} exited without reporting"),
-        });
-    }
-    for (prog, rank, e) in &rep.export_errors {
-        let conn = conn_of_program(&view, *prog);
-        violations.push(OracleViolation::Liveness {
-            conn,
-            detail: format!("exporter program {prog} rank {rank} failed: {e}"),
-        });
-    }
-    for (prog, rank, done, err) in &rep.imports_done {
-        let conn = view.programs[*prog].imports[0].conn;
-        let count = s.importers[*prog - s.exporters.len()].count;
-        match err {
-            Some(e) => violations.push(OracleViolation::Liveness {
-                conn,
-                detail: format!("importer program {prog} rank {rank} failed: {e}"),
-            }),
-            None => {
-                if let Err(v) = check_liveness(conn, count, *done as usize, true) {
-                    violations.push(v);
-                }
-            }
-        }
-    }
-    for (prog, e) in &rep.shutdown_errors {
-        violations.push(OracleViolation::CollectiveOrder {
-            conn: ConnectionId(0),
-            detail: format!("program {prog} fabric shutdown reported: {e}"),
-        });
-    }
+    socket_liveness(s, &view, &rep, &mut violations);
 
     let clean_run = rep.crashed.is_empty() && rep.shutdown_errors.is_empty();
     let mut counters = None;
@@ -643,12 +612,150 @@ pub fn run_socket(
     Ok((rep.matches, counters, violations))
 }
 
+/// The application-level outcome checks shared by every socket run:
+/// nobody silently dead, no exporter/importer/shutdown failures, every
+/// scheduled import completed.
+fn socket_liveness(
+    s: &Scenario,
+    view: &Topology,
+    rep: &couplink_runtime::net::NetReport,
+    violations: &mut Vec<OracleViolation>,
+) {
+    for &prog in &rep.crashed {
+        let conn = conn_of_program(view, prog);
+        violations.push(OracleViolation::Liveness {
+            conn,
+            detail: format!("program {prog} exited without reporting"),
+        });
+    }
+    for (prog, rank, e) in &rep.export_errors {
+        let conn = conn_of_program(view, *prog);
+        violations.push(OracleViolation::Liveness {
+            conn,
+            detail: format!("exporter program {prog} rank {rank} failed: {e}"),
+        });
+    }
+    for (prog, rank, done, err) in &rep.imports_done {
+        let conn = view.programs[*prog].imports[0].conn;
+        let count = s.importers[*prog - s.exporters.len()].count;
+        match err {
+            Some(e) => violations.push(OracleViolation::Liveness {
+                conn,
+                detail: format!("importer program {prog} rank {rank} failed: {e}"),
+            }),
+            None => {
+                if let Err(v) = check_liveness(conn, count, *done as usize, true) {
+                    violations.push(v);
+                }
+            }
+        }
+    }
+    for (prog, e) in &rep.shutdown_errors {
+        violations.push(OracleViolation::CollectiveOrder {
+            conn: ConnectionId(0),
+            detail: format!("program {prog} fabric shutdown reported: {e}"),
+        });
+    }
+}
+
 fn conn_of_program(view: &Topology, prog: usize) -> ConnectionId {
     view.conns
         .iter()
         .find(|ct| ct.exporter_prog == prog || ct.importer_prog == prog)
         .map(|ct| ct.id)
         .unwrap_or(ConnectionId(0))
+}
+
+/// The socket-transport fault classes behind `--net-faults`: SIGKILL +
+/// restart-from-journal of the first exporter (`kill`), or a mid-run
+/// link sever with re-dial (`!kill`). With `corrupt_wal`, a byte of the
+/// victim's journal is flipped before the restart and the run is
+/// *expected to fail* — the caller asserts on the error text.
+///
+/// The scenario is reshaped so the fault lands mid-session: schedules are
+/// slowed until the victim's peers are still importing when it goes down,
+/// every node gets a durable journal (which also arms reconnect), and a
+/// mild transient loss keeps the reliability pump honest during the
+/// outage. Fault runs check application liveness and the trace oracles;
+/// the conservation-law oracles (metric consistency, ctrl scaling,
+/// fault-free inertness) do not apply when a process loses and replays
+/// state mid-run. On success, the fault must also have been *real*:
+/// `net_reconnects ≥ 1`, plus `wal_replayed ≥ 1` for the kill class.
+pub fn run_net_fault(
+    s: &Scenario,
+    backend: SocketBackend,
+    kill: bool,
+    corrupt_wal: bool,
+) -> Result<Vec<OracleViolation>, String> {
+    let Some(node_bin) = socket_node_bin() else {
+        return Err("couplink-node binary not found (set COUPLINK_NODE_BIN)".into());
+    };
+    let mut s = s.clone();
+    s.chaos = Some(ChaosConfig {
+        seed: 13,
+        max_delay: 0.0,
+        duplicate_prob: 0.0,
+        drop_prob: 0.0,
+        retry_delay: 0.004,
+        loss_prob: 0.05,
+        crash: None,
+    });
+    for e in &mut s.exporters {
+        for c in &mut e.compute {
+            *c = c.max(0.2);
+        }
+    }
+    for imp in &mut s.importers {
+        imp.compute = imp.compute.max(0.5);
+    }
+
+    let view = s.build_topology()?;
+    let mut plan = socket_plan(&s)?;
+    // Generous import budget: it must absorb the full re-dial backoff
+    // (or the kill-to-rejoin window) without a spurious timeout.
+    plan.import_timeout_s = 30.0;
+    if !kill {
+        let peer = view
+            .conns
+            .iter()
+            .find(|ct| ct.exporter_prog == 0)
+            .map(|ct| ct.importer_prog)
+            .ok_or("program 0 exports on no connection")?;
+        plan.fault = Some(NodeFault::SeverLink {
+            prog: 0,
+            peer,
+            after_tx: 5,
+        });
+    }
+    let opts = NetOptions {
+        backend,
+        durable: true,
+        kill_restart: kill.then_some(KillSpec {
+            prog: 0,
+            corrupt_wal,
+        }),
+        ..NetOptions::new(node_bin)
+    };
+    let rep = run_plan(&plan, &opts).map_err(|e| format!("socket bootstrap: {e}"))?;
+
+    let mut violations = Vec::new();
+    socket_liveness(&s, &view, &rep, &mut violations);
+    if rep.crashed.is_empty() && rep.shutdown_errors.is_empty() {
+        trace_oracles(&view, &rep.traces, &mut violations);
+    }
+    if rep.counters.net_reconnects == 0 {
+        violations.push(OracleViolation::MetricConsistency {
+            conn: ConnectionId(0),
+            detail: "fault run recorded no reconnects — the fault was vacuous".into(),
+        });
+    }
+    if kill && rep.counters.wal_replayed == 0 {
+        violations.push(OracleViolation::MetricConsistency {
+            conn: ConnectionId(0),
+            detail: "restarted node replayed nothing from its journal".into(),
+        });
+    }
+    Ok(violations)
 }
 
 /// Runs the scenario on the socket runtime and checks the single-runtime
