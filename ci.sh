@@ -3,7 +3,7 @@
 #
 #   ./ci.sh
 #
-# Twelve stages, all required:
+# Thirteen stages, all required:
 #   1. formatting      (cargo fmt --check)
 #   2. lints           (cargo clippy, warnings are errors)
 #   3. tier-1 tests    (release build + full test suite)
@@ -49,6 +49,14 @@
 #                       every run must recover with the fault metered;
 #                       plus a negative test proving a bit-flipped journal
 #                       is refused at restart, never silently replayed)
+#  13. net smoke        (socket data-plane sweep over loopback UDS + TCP
+#                       through the real couplink-node mesh: payload
+#                       throughput, writev coalescing and tx/rx frame
+#                       conservation, gated against
+#                       baselines/BENCH_baseline_net.json and a 2x legacy
+#                       speedup floor; plus a negative test proving the
+#                       syscalls-per-frame gate rejects the legacy
+#                       per-frame write path)
 #
 # Nightly-only extras (run when CI_NIGHTLY=1, skipped gracefully otherwise):
 #   - deep simtest sweep and a deeper DES-vs-threaded property sweep
@@ -152,6 +160,22 @@ COUPLINK_NODE_BIN=target/release/couplink-node \
 echo "== durable: corrupted journal must be refused at restart"
 COUPLINK_NODE_BIN=target/release/couplink-node \
     cargo run --release -q -p couplink-simtest -- --socket uds --corrupt-wal
+
+echo "== net smoke: socket data-plane sweep under the coalescing + speedup gates"
+COUPLINK_NODE_BIN=target/release/couplink-node \
+    cargo run --release -q -p couplink-bench --bin net -- \
+    --smoke --out results/BENCH_net_smoke.json \
+    --check baselines/BENCH_baseline_net.json
+
+echo "== net smoke: legacy per-frame writes must FAIL the coalescing gate"
+if COUPLINK_NODE_BIN=target/release/couplink-node \
+    cargo run --release -q -p couplink-bench --bin net -- \
+    --smoke --mutate --out results/BENCH_net_smoke_mutated.json \
+    >/dev/null 2>&1; then
+    echo "ERROR: coalescing gate passed a per-frame-write (legacy codec) run" >&2
+    exit 1
+fi
+echo "   (gate correctly rejected the per-frame write path)"
 
 if [[ "${CI_NIGHTLY:-0}" == "1" ]]; then
     echo "== nightly: deep simtest sweep"

@@ -388,6 +388,27 @@ pub struct EngineMetrics {
     /// skewed or checksum-failed (0 on DES/threaded, and 0 on any socket
     /// run with an uncorrupted wire).
     pub net_codec_rejects: Counter,
+    /// Write syscalls issued by the socket tx path (0 on DES/threaded).
+    /// With vectored coalescing one syscall can carry many frames, so
+    /// `net_syscalls / net_frames` is the frames-per-write figure the
+    /// `bench net` gate reads.
+    pub net_syscalls: Counter,
+    /// Frames written as part of a multi-frame vectored burst (frames that
+    /// shared their write syscall with at least one other frame; 0 on
+    /// DES/threaded and in legacy per-frame mode).
+    pub net_writev_frames: Counter,
+    /// Tx frame buffers recycled from the writer-thread pool instead of
+    /// freshly allocated (0 on DES/threaded).
+    pub net_pool_hits: Counter,
+    /// Tx frame-buffer requests the pool could not serve — a fresh
+    /// allocation (0 on DES/threaded).
+    pub net_pool_misses: Counter,
+    /// Wire frames received and dispatched by the socket transport
+    /// (0 on DES/threaded). Clean runs conserve: Σ rx == Σ tx.
+    pub net_rx_frames: Counter,
+    /// Bytes received off sockets as dispatched frames, headers included
+    /// (0 on DES/threaded). Clean runs conserve: Σ rx == Σ tx.
+    pub net_rx_bytes: Counter,
     /// Records appended to a durable write-ahead journal (0 with the
     /// in-memory backend, i.e. on DES/threaded and on clean socket runs).
     pub wal_appends: Counter,
@@ -422,6 +443,9 @@ pub struct EngineMetrics {
     /// Depth of the k-ary distribution tree (relay hops from a rep to its
     /// farthest rank), as a level gauge; 0 in flat fan-out mode.
     pub tree_depth: Gauge,
+    /// Bytes buffered in a socket receive ring awaiting a complete frame,
+    /// with high-water mark — the rx memory bound (0 on DES/threaded).
+    pub net_rx_buf: Gauge,
     /// Pending messages/events per node queue, with high-water mark (the
     /// DES event queue; the fabric's rep/agent mailboxes).
     pub queue_depth: Gauge,
@@ -472,6 +496,12 @@ impl EngineMetrics {
                 net_bytes: self.net_bytes.get(),
                 net_reconnects: self.net_reconnects.get(),
                 net_codec_rejects: self.net_codec_rejects.get(),
+                net_syscalls: self.net_syscalls.get(),
+                net_writev_frames: self.net_writev_frames.get(),
+                net_pool_hits: self.net_pool_hits.get(),
+                net_pool_misses: self.net_pool_misses.get(),
+                net_rx_frames: self.net_rx_frames.get(),
+                net_rx_bytes: self.net_rx_bytes.get(),
                 wal_appends: self.wal_appends.get(),
                 wal_bytes: self.wal_bytes.get(),
                 wal_replayed: self.wal_replayed.get(),
@@ -483,6 +513,7 @@ impl EngineMetrics {
                 queue_depth_hwm: self.queue_depth.high_water_mark(),
                 runq_depth_hwm: self.runq_depth.high_water_mark(),
                 tree_depth: self.tree_depth.high_water_mark(),
+                net_rx_buf_hwm: self.net_rx_buf.high_water_mark(),
                 occupancy: self.occupancy.counts(),
                 recovery_ms: self.recovery_ms.counts(),
                 poll_batch: self.poll_batch.counts(),
@@ -544,6 +575,22 @@ pub struct CounterSnapshot {
     pub net_reconnects: u64,
     /// Inbound frames the wire codec rejected (0 off the socket runtime).
     pub net_codec_rejects: u64,
+    /// Write syscalls issued by the socket tx path (0 off the socket
+    /// runtime); one vectored syscall may carry many frames.
+    pub net_syscalls: u64,
+    /// Frames that shared a vectored write syscall with at least one
+    /// other frame (0 off the socket runtime / in legacy per-frame mode).
+    pub net_writev_frames: u64,
+    /// Tx frame buffers recycled from the pool (0 off the socket runtime).
+    pub net_pool_hits: u64,
+    /// Tx buffer requests served by a fresh allocation instead of the
+    /// pool (0 off the socket runtime).
+    pub net_pool_misses: u64,
+    /// Wire frames received and dispatched (0 off the socket runtime).
+    pub net_rx_frames: u64,
+    /// Bytes received as dispatched frames, headers included (0 off the
+    /// socket runtime).
+    pub net_rx_bytes: u64,
     /// Records appended to a durable WAL (0 with the in-memory backend).
     pub wal_appends: u64,
     /// Bytes appended to a durable WAL, framing included.
@@ -567,6 +614,9 @@ pub struct CounterSnapshot {
     pub runq_depth_hwm: u64,
     /// Depth of the k-ary distribution tree (0 in flat fan-out mode).
     pub tree_depth: u64,
+    /// High-water mark of bytes parked in a socket receive ring awaiting
+    /// a complete frame (0 off the socket runtime).
+    pub net_rx_buf_hwm: u64,
     /// Occupancy histogram bucket counts.
     pub occupancy: [u64; HISTOGRAM_BUCKETS],
     /// Time-to-recovery histogram bucket counts (milliseconds).
@@ -623,6 +673,12 @@ impl CounterSnapshot {
             net_bytes,
             net_reconnects,
             net_codec_rejects,
+            net_syscalls,
+            net_writev_frames,
+            net_pool_hits,
+            net_pool_misses,
+            net_rx_frames,
+            net_rx_bytes,
             wal_appends,
             wal_bytes,
             wal_replayed,
@@ -634,6 +690,7 @@ impl CounterSnapshot {
             queue_depth_hwm,
             runq_depth_hwm,
             tree_depth,
+            net_rx_buf_hwm,
             occupancy,
             recovery_ms,
             poll_batch,
@@ -662,6 +719,12 @@ impl CounterSnapshot {
         self.net_bytes += net_bytes;
         self.net_reconnects += net_reconnects;
         self.net_codec_rejects += net_codec_rejects;
+        self.net_syscalls += net_syscalls;
+        self.net_writev_frames += net_writev_frames;
+        self.net_pool_hits += net_pool_hits;
+        self.net_pool_misses += net_pool_misses;
+        self.net_rx_frames += net_rx_frames;
+        self.net_rx_bytes += net_rx_bytes;
         self.wal_appends += wal_appends;
         self.wal_bytes += wal_bytes;
         self.wal_replayed += wal_replayed;
@@ -675,6 +738,7 @@ impl CounterSnapshot {
         // Every process builds the same tree, so the depth is a shared
         // property — max keeps it stable under per-process merging.
         self.tree_depth = self.tree_depth.max(*tree_depth);
+        self.net_rx_buf_hwm = self.net_rx_buf_hwm.max(*net_rx_buf_hwm);
         for (mine, theirs) in self.occupancy.iter_mut().zip(occupancy) {
             *mine += theirs;
         }
@@ -717,6 +781,12 @@ impl CounterSnapshot {
             ("net_bytes".to_string(), self.net_bytes),
             ("net_reconnects".to_string(), self.net_reconnects),
             ("net_codec_rejects".to_string(), self.net_codec_rejects),
+            ("net_syscalls".to_string(), self.net_syscalls),
+            ("net_writev_frames".to_string(), self.net_writev_frames),
+            ("net_pool_hits".to_string(), self.net_pool_hits),
+            ("net_pool_misses".to_string(), self.net_pool_misses),
+            ("net_rx_frames".to_string(), self.net_rx_frames),
+            ("net_rx_bytes".to_string(), self.net_rx_bytes),
             ("wal_appends".to_string(), self.wal_appends),
             ("wal_bytes".to_string(), self.wal_bytes),
             ("wal_replayed".to_string(), self.wal_replayed),
@@ -728,6 +798,7 @@ impl CounterSnapshot {
             ("queue_depth_hwm".to_string(), self.queue_depth_hwm),
             ("runq_depth_hwm".to_string(), self.runq_depth_hwm),
             ("tree_depth".to_string(), self.tree_depth),
+            ("net_rx_buf_hwm".to_string(), self.net_rx_buf_hwm),
         ]);
         out
     }
@@ -809,6 +880,12 @@ impl CounterSnapshot {
             net_bytes: field("net_bytes")?,
             net_reconnects: field("net_reconnects")?,
             net_codec_rejects: field("net_codec_rejects")?,
+            net_syscalls: field("net_syscalls")?,
+            net_writev_frames: field("net_writev_frames")?,
+            net_pool_hits: field("net_pool_hits")?,
+            net_pool_misses: field("net_pool_misses")?,
+            net_rx_frames: field("net_rx_frames")?,
+            net_rx_bytes: field("net_rx_bytes")?,
             wal_appends: field("wal_appends")?,
             wal_bytes: field("wal_bytes")?,
             wal_replayed: field("wal_replayed")?,
@@ -820,6 +897,7 @@ impl CounterSnapshot {
             queue_depth_hwm: field("queue_depth_hwm")?,
             runq_depth_hwm: field("runq_depth_hwm")?,
             tree_depth: field("tree_depth")?,
+            net_rx_buf_hwm: field("net_rx_buf_hwm")?,
             occupancy,
             recovery_ms,
             poll_batch,

@@ -115,11 +115,39 @@ impl fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 // ---------------------------------------------------------------------------
-// CRC-32 (IEEE 802.3), byte-at-a-time with a lazily built table.
+// Legacy-codec switch.
 // ---------------------------------------------------------------------------
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, the codec's internal frame paths fall back to the pre-
+/// optimization implementations: byte-at-a-time CRC and per-element `f64`
+/// payload encode/decode. The wire bytes are identical either way — this
+/// exists so `bench net --mutate` can measure the legacy data plane with
+/// the same binary and prove the zero-copy path's speedup is real.
+static LEGACY_CODEC: AtomicBool = AtomicBool::new(false);
+
+/// Switches the process-global legacy-codec mode (see [`legacy_codec`]).
+pub fn set_legacy_codec(on: bool) {
+    LEGACY_CODEC.store(on, Ordering::Relaxed);
+}
+
+/// Whether the legacy (pre-optimization) codec paths are active.
+pub fn legacy_codec() -> bool {
+    LEGACY_CODEC.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3): slice-by-8 with const-built tables, plus the
+// byte-at-a-time reference both the proptests and legacy mode use.
+// ---------------------------------------------------------------------------
+
+/// Number of slice-by-N tables (8 input bytes folded per step).
+const CRC_SLICES: usize = 8;
+
+const fn crc32_tables() -> [[u32; 256]; CRC_SLICES] {
+    let mut t = [[0u32; 256]; CRC_SLICES];
+    // Table 0 is the classic byte-at-a-time table.
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -132,21 +160,68 @@ const fn crc32_table() -> [u32; 256] {
             };
             k += 1;
         }
-        table[i] = c;
+        t[0][i] = c;
         i += 1;
     }
-    table
+    // Table k advances table k-1 by one more zero byte.
+    let mut k = 1;
+    while k < CRC_SLICES {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
 }
 
-static CRC_TABLE: [u32; 256] = crc32_table();
+static CRC_TABLES: [[u32; 256]; CRC_SLICES] = crc32_tables();
 
 /// CRC-32 (IEEE) of `bytes` — the checksum carried in every frame header.
+/// Slice-by-8: eight input bytes folded per table lookup round.
 pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
     let mut c = !0u32;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = bytes.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
+}
+
+/// The original byte-at-a-time CRC-32. Kept as the independent reference
+/// the property tests compare [`crc32`] against, and as the legacy-mode
+/// implementation.
+pub fn crc32_reference(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The CRC the frame paths use: identical values either way, but legacy
+/// mode pays the byte-at-a-time cost.
+fn frame_crc(bytes: &[u8]) -> u32 {
+    if legacy_codec() {
+        crc32_reference(bytes)
+    } else {
+        crc32(bytes)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -309,8 +384,116 @@ pub fn encode_frame_into(kind: u8, body: &[u8], out: &mut Vec<u8>) {
     out.push(WIRE_VERSION);
     out.push(kind);
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out.extend_from_slice(&frame_crc(body).to_le_bytes());
     out.extend_from_slice(body);
+}
+
+/// Builds a complete frame *in place*: the body is written directly after
+/// a reserved header region in one buffer, and [`finish`](Self::finish)
+/// back-fills the envelope — no header+body concatenation copy, and the
+/// buffer can come from (and return to) a transport pool.
+///
+/// Byte-for-byte identical output to `encode_frame(kind, &body)`.
+#[derive(Debug)]
+pub struct FrameWriter {
+    kind: u8,
+    buf: Vec<u8>,
+}
+
+impl FrameWriter {
+    /// A frame writer over a fresh buffer.
+    pub fn new(kind: u8) -> Self {
+        Self::with_buffer(kind, Vec::new())
+    }
+
+    /// A frame writer over a fresh buffer with `body_cap` body bytes
+    /// reserved (plus the header).
+    pub fn with_capacity(kind: u8, body_cap: usize) -> Self {
+        Self::with_buffer(kind, Vec::with_capacity(HEADER_LEN + body_cap))
+    }
+
+    /// A frame writer reusing `buf`'s allocation (a pooled buffer). The
+    /// buffer is cleared; its capacity is kept.
+    pub fn with_buffer(kind: u8, mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        buf.resize(HEADER_LEN, 0);
+        FrameWriter { kind, buf }
+    }
+
+    /// Reserves room for at least `body_bytes` more body bytes.
+    pub fn reserve(&mut self, body_bytes: usize) {
+        self.buf.reserve(body_bytes);
+    }
+
+    /// Appends one body byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw bit pattern, little-endian.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string (u32 length).
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends raw bytes (caller handles any length prefix).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a whole `f64` slice as little-endian bit patterns in one
+    /// bulk copy (the wire byte order *is* the in-memory order on
+    /// little-endian targets; big-endian targets fall back per element).
+    pub fn f64_slice(&mut self, data: &[f64]) {
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: every f64 is 8 plain bytes with no padding or
+            // invalid representations; on little-endian targets those
+            // bytes are exactly the wire encoding.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), std::mem::size_of_val(data))
+            };
+            self.buf.extend_from_slice(bytes);
+        }
+        #[cfg(not(target_endian = "little"))]
+        for &v in data {
+            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Body bytes written so far.
+    pub fn body_len(&self) -> usize {
+        self.buf.len() - HEADER_LEN
+    }
+
+    /// Back-fills the header (magic, version, kind, length, body CRC) and
+    /// returns the complete frame.
+    pub fn finish(mut self) -> Vec<u8> {
+        let body_len = self.buf.len() - HEADER_LEN;
+        debug_assert!(body_len <= MAX_BODY as usize, "frame body over MAX_BODY");
+        let crc = frame_crc(&self.buf[HEADER_LEN..]);
+        self.buf[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        self.buf[2] = WIRE_VERSION;
+        self.buf[3] = self.kind;
+        self.buf[4..8].copy_from_slice(&(body_len as u32).to_le_bytes());
+        self.buf[8..12].copy_from_slice(&crc.to_le_bytes());
+        self.buf
+    }
 }
 
 /// One decoded frame: its kind byte and verified body.
@@ -322,18 +505,47 @@ pub struct Frame {
     pub body: Vec<u8>,
 }
 
+/// A parsed frame's position inside a [`FrameDecoder`]'s ring buffer:
+/// kind byte plus the checksum-verified body range. Resolve the bytes with
+/// [`FrameDecoder::body`]. The range is valid until the decoder is next
+/// [`extend`](FrameDecoder::extend)ed or [`read_from`](FrameDecoder::read_from)
+/// (compaction shifts the buffer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameSlot {
+    /// The frame discriminator from the header.
+    pub kind: u8,
+    /// Byte range of the verified body inside the decoder's buffer.
+    pub body: std::ops::Range<usize>,
+}
+
 /// Incremental frame parser over a byte stream.
 ///
-/// Feed arbitrary chunks with [`extend`](Self::extend) and pull complete
-/// frames with [`next_frame`](Self::next_frame). Recoverable rejections
-/// (checksum mismatch on a plausibly framed body) consume the bad frame so
-/// the stream can continue; structural rejections (bad magic, wrong
-/// version, oversize length) poison the decoder — once framing is lost
-/// there is no resynchronization point, so every later call returns the
-/// same error and the transport must drop the connection.
+/// Feed arbitrary chunks with [`extend`](Self::extend) (or read straight
+/// off a socket with [`read_from`](Self::read_from)) and pull complete
+/// frames with [`poll_frame`](Self::poll_frame), which yields
+/// [`FrameSlot`] ranges over the internal buffer — no per-frame copy.
+/// [`next_frame`](Self::next_frame) is the owned-`Frame` convenience on
+/// top (replay paths, tests).
+///
+/// The buffer is a compacting ring: consumed frames advance a start
+/// cursor, and the unparsed tail is moved to the front once per feed —
+/// peak memory is bounded by the largest in-flight frame plus one read,
+/// not by throughput. [`buffered_hwm`](Self::buffered_hwm) reports the
+/// peak.
+///
+/// Recoverable rejections (checksum mismatch on a plausibly framed body)
+/// consume the bad frame so the stream can continue; structural
+/// rejections (bad magic, wrong version, oversize length) poison the
+/// decoder — once framing is lost there is no resynchronization point, so
+/// every later call returns the same error and the transport must drop
+/// the connection.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
+    /// Start of the unparsed region; everything before it is consumed.
+    start: usize,
+    /// Peak of `buffered()` — the rx memory bound.
+    hwm: usize,
     poisoned: Option<WireError>,
 }
 
@@ -343,52 +555,117 @@ impl FrameDecoder {
         Self::default()
     }
 
-    /// Appends received bytes.
+    /// Moves the unparsed tail to the front of the buffer, releasing the
+    /// consumed prefix. Called once per feed, not once per frame.
+    fn compact(&mut self) {
+        if self.start > 0 {
+            let len = self.buf.len();
+            self.buf.copy_within(self.start..len, 0);
+            self.buf.truncate(len - self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Appends received bytes (compacting first).
     pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
         self.buf.extend_from_slice(bytes);
+        self.hwm = self.hwm.max(self.buf.len());
+    }
+
+    /// Reads up to `max` bytes from `src` directly into the buffer (one
+    /// copy off the socket — no intermediate stack buffer). Returns the
+    /// byte count from the underlying `read` (0 = EOF).
+    pub fn read_from(
+        &mut self,
+        src: &mut impl std::io::Read,
+        max: usize,
+    ) -> std::io::Result<usize> {
+        self.compact();
+        let old = self.buf.len();
+        self.buf.resize(old + max, 0);
+        match src.read(&mut self.buf[old..]) {
+            Ok(n) => {
+                self.buf.truncate(old + n);
+                self.hwm = self.hwm.max(self.buf.len());
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(old);
+                Err(e)
+            }
+        }
     }
 
     /// Bytes buffered but not yet parsed into frames.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.start
     }
 
-    /// Parses the next complete frame, if one is buffered.
+    /// Peak of [`buffered`](Self::buffered) over the decoder's lifetime.
+    pub fn buffered_hwm(&self) -> usize {
+        self.hwm
+    }
+
+    /// Parses the next complete frame, if one is buffered, as a zero-copy
+    /// [`FrameSlot`] over the internal buffer.
     ///
     /// `Ok(None)` means more bytes are needed. `Err(BadChecksum)` consumes
-    /// the corrupt frame (callers meter it and may keep reading);
-    /// any other error is sticky.
-    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+    /// the corrupt frame (callers meter it and may keep reading); any
+    /// other error is sticky.
+    pub fn poll_frame(&mut self) -> Result<Option<FrameSlot>, WireError> {
         if let Some(e) = self.poisoned {
             return Err(e);
         }
-        if self.buf.len() < HEADER_LEN {
+        let avail = &self.buf[self.start..];
+        if avail.len() < HEADER_LEN {
             return Ok(None);
         }
-        let magic = u16::from_le_bytes([self.buf[0], self.buf[1]]);
+        let magic = u16::from_le_bytes([avail[0], avail[1]]);
         if magic != MAGIC {
             return Err(self.poison(WireError::BadMagic { got: magic }));
         }
-        let version = self.buf[2];
+        let version = avail[2];
         if version != WIRE_VERSION {
             return Err(self.poison(WireError::BadVersion { got: version }));
         }
-        let kind = self.buf[3];
-        let len = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes"));
+        let kind = avail[3];
+        let len = u32::from_le_bytes(avail[4..8].try_into().expect("4 bytes"));
         if len > MAX_BODY {
             return Err(self.poison(WireError::Oversize { len }));
         }
-        let crc = u32::from_le_bytes(self.buf[8..12].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(avail[8..12].try_into().expect("4 bytes"));
         let total = HEADER_LEN + len as usize;
-        if self.buf.len() < total {
+        if avail.len() < total {
             return Ok(None);
         }
-        let body: Vec<u8> = self.buf[HEADER_LEN..total].to_vec();
-        self.buf.drain(..total);
-        if crc32(&body) != crc {
+        let body = self.start + HEADER_LEN..self.start + total;
+        // Consume the frame whether or not the checksum holds: a bad body
+        // is recoverable precisely because the framing stays intact.
+        self.start += total;
+        if frame_crc(&self.buf[body.clone()]) != crc {
             return Err(WireError::BadChecksum);
         }
-        Ok(Some(Frame { kind, body }))
+        Ok(Some(FrameSlot { kind, body }))
+    }
+
+    /// The verified body bytes of a slot returned by
+    /// [`poll_frame`](Self::poll_frame).
+    pub fn body(&self, slot: &FrameSlot) -> &[u8] {
+        &self.buf[slot.body.clone()]
+    }
+
+    /// Parses the next complete frame into an owned [`Frame`] (a copy) —
+    /// the convenience API for replay paths and tests; hot receive loops
+    /// use [`poll_frame`](Self::poll_frame).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        match self.poll_frame()? {
+            Some(slot) => Ok(Some(Frame {
+                kind: slot.kind,
+                body: self.buf[slot.body].to_vec(),
+            })),
+            None => Ok(None),
+        }
     }
 
     fn poison(&mut self, e: WireError) -> WireError {
@@ -686,17 +963,52 @@ pub fn encode_payload(
     owned: WireRect,
     data: &[f64],
 ) -> Vec<u8> {
-    let mut w = BodyWriter::with_capacity(8 + 8 * 8 + 8 + 8 + 8 * data.len());
+    encode_payload_with(Vec::new(), conn, dst, req, rect, owned, data)
+}
+
+/// [`encode_payload`] into a recycled buffer (the pooled tx path): the
+/// envelope and body are written in place, so a buffer whose capacity
+/// already covers the frame incurs zero allocations.
+pub fn encode_payload_with(
+    buf: Vec<u8>,
+    conn: ConnectionId,
+    dst: Rank,
+    req: RequestId,
+    rect: WireRect,
+    owned: WireRect,
+    data: &[f64],
+) -> Vec<u8> {
+    if legacy_codec() {
+        // Reference path: per-element serialize plus a header+body concat,
+        // kept as the byte-compatibility oracle for the bulk encoder.
+        let mut w = BodyWriter::with_capacity(8 + 8 * 8 + 8 + 8 + 8 * data.len());
+        w.u32(conn.0);
+        w.u32(dst.0);
+        w.u64(req.0);
+        put_rect(&mut w, rect);
+        put_rect(&mut w, owned);
+        w.u64(data.len() as u64);
+        for &v in data {
+            w.f64(v);
+        }
+        return encode_frame(KIND_PAYLOAD, &w.into_body());
+    }
+    let mut w = FrameWriter::with_buffer(KIND_PAYLOAD, buf);
+    w.reserve(8 + 8 * 8 + 8 + 8 + 8 * data.len());
     w.u32(conn.0);
     w.u32(dst.0);
     w.u64(req.0);
-    put_rect(&mut w, rect);
-    put_rect(&mut w, owned);
+    w.u64(rect.row0);
+    w.u64(rect.col0);
+    w.u64(rect.rows);
+    w.u64(rect.cols);
+    w.u64(owned.row0);
+    w.u64(owned.col0);
+    w.u64(owned.rows);
+    w.u64(owned.cols);
     w.u64(data.len() as u64);
-    for &v in data {
-        w.f64(v);
-    }
-    encode_frame(KIND_PAYLOAD, &w.into_body())
+    w.f64_slice(data);
+    w.finish()
 }
 
 /// Decodes a payload frame body. Rejects data whose length disagrees with
@@ -719,10 +1031,25 @@ pub fn decode_payload(body: &[u8]) -> Result<PayloadFrame, WireError> {
             what: "payload length vs body",
         });
     }
-    let mut data = Vec::with_capacity(n as usize);
-    for _ in 0..n {
-        data.push(r.f64()?);
-    }
+    let data = if legacy_codec() {
+        // Reference path: per-element deserialize, the oracle for the
+        // bulk fill below.
+        let mut data = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            data.push(r.f64()?);
+        }
+        data
+    } else {
+        // Bulk path: one correctly-sized allocation filled straight from
+        // the body bytes — this vector becomes the importer-side shared
+        // array, so the socket-to-array path is a single copy.
+        let raw = r.raw(n as usize * 8)?;
+        let mut data = vec![0f64; n as usize];
+        for (d, ch) in data.iter_mut().zip(raw.chunks_exact(8)) {
+            *d = f64::from_le_bytes(ch.try_into().expect("8 bytes"));
+        }
+        data
+    };
     r.finish()?;
     Ok(PayloadFrame {
         conn,

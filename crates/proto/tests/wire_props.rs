@@ -5,8 +5,9 @@
 //! (the decoder resynchronizes on the next frame).
 
 use couplink_proto::wire::{
-    decode_ctrl, decode_payload, encode_ctrl, encode_frame, encode_payload, FrameDecoder,
-    WireError, WireRect, HEADER_LEN, KIND_CTRL, KIND_PAYLOAD, WIRE_VERSION,
+    crc32, crc32_reference, decode_ctrl, decode_payload, encode_ctrl, encode_frame, encode_payload,
+    encode_payload_with, BodyWriter, FrameDecoder, FrameWriter, WireError, WireRect, HEADER_LEN,
+    KIND_CTRL, KIND_PAYLOAD, WIRE_VERSION,
 };
 use couplink_proto::{ConnectionId, CtrlMsg, ProcResponse, Rank, RepAnswer, RequestId};
 use couplink_time::ts;
@@ -181,6 +182,111 @@ proptest! {
         prop_assert_eq!(decode_ctrl(&frame.body).unwrap(), msg);
     }
 
+    /// The slice-by-8 crc32 agrees with the byte-at-a-time reference for
+    /// every input, at every length and alignment.
+    #[test]
+    fn crc32_matches_reference(
+        bytes in proptest::collection::vec(0u8..=255, 0..512),
+        skew in 0usize..8,
+    ) {
+        let cut = skew.min(bytes.len());
+        prop_assert_eq!(crc32(&bytes), crc32_reference(&bytes));
+        prop_assert_eq!(crc32(&bytes[cut..]), crc32_reference(&bytes[cut..]));
+    }
+
+    /// The bulk-f64 payload encoder is byte-identical to the old
+    /// per-element BodyWriter + `encode_frame` construction, including
+    /// when it reuses a dirty pooled buffer.
+    #[test]
+    fn bulk_payload_encoder_matches_per_element_reference(
+        rows in 0u64..9, cols in 0u64..9, seed in 0u64..u64::MAX,
+        garbage in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let owned = WireRect { row0: 1, col0: 2, rows, cols };
+        let rect = owned;
+        let n = (rows * cols) as usize;
+        let data: Vec<f64> = (0..n)
+            .map(|i| f64::from_bits(seed.wrapping_mul(i as u64 + 1) | 1))
+            .collect();
+
+        // The pre-existing construction, inlined as the oracle.
+        let mut w = BodyWriter::with_capacity(8 + 8 * 8 + 8 + 8 + 8 * data.len());
+        w.u32(3);
+        w.u32(7);
+        w.u64(seed);
+        for r in [rect, owned] {
+            w.u64(r.row0);
+            w.u64(r.col0);
+            w.u64(r.rows);
+            w.u64(r.cols);
+        }
+        w.u64(data.len() as u64);
+        for &v in &data {
+            w.f64(v);
+        }
+        let reference = encode_frame(KIND_PAYLOAD, &w.into_body());
+
+        let fresh = encode_payload(
+            ConnectionId(3), Rank(7), RequestId(seed), rect, owned, &data,
+        );
+        prop_assert_eq!(&fresh, &reference);
+
+        // A recycled buffer with arbitrary leftover contents must not
+        // leak a single byte into the frame.
+        let pooled = encode_payload_with(
+            garbage, ConnectionId(3), Rank(7), RequestId(seed), rect, owned, &data,
+        );
+        prop_assert_eq!(&pooled, &reference);
+    }
+
+    /// A frame assembled in place by [`FrameWriter`] is byte-identical to
+    /// the old two-buffer `encode_frame` path for every control message.
+    #[test]
+    fn frame_writer_matches_encode_frame(msg in ctrl_msg()) {
+        let body = encode_ctrl(&msg);
+        let mut w = FrameWriter::with_capacity(KIND_CTRL, body.len());
+        w.bytes(&body);
+        prop_assert_eq!(w.finish(), encode_frame(KIND_CTRL, &body));
+    }
+
+    /// The compacting decoder yields identical frames no matter where the
+    /// byte stream is cut: every split of two back-to-back payload frames
+    /// round-trips, and a truncated prefix is `Ok(None)`, never data.
+    #[test]
+    fn decoder_roundtrips_at_every_cut(
+        rows in 0u64..6, cols in 0u64..6, seed in 0u64..u64::MAX,
+        cut_sel in 0usize..usize::MAX,
+    ) {
+        let owned = WireRect { row0: 0, col0: 0, rows, cols };
+        let n = (rows * cols) as usize;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64) * 1.5 - 3.0).collect();
+        let one = encode_payload(
+            ConnectionId(1), Rank(0), RequestId(seed), owned, owned, &data,
+        );
+        let mut stream = one.clone();
+        stream.extend_from_slice(&one);
+        let cut = cut_sel % (stream.len() + 1);
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream[..cut]);
+        let mut got = Vec::new();
+        while let Some(f) = dec.next_frame().unwrap() {
+            got.push(f);
+        }
+        prop_assert_eq!(got.len(), cut / one.len(), "only whole frames surface");
+        dec.extend(&stream[cut..]);
+        while let Some(f) = dec.next_frame().unwrap() {
+            got.push(f);
+        }
+        prop_assert_eq!(got.len(), 2);
+        for f in got {
+            prop_assert_eq!(f.kind, KIND_PAYLOAD);
+            let p = decode_payload(&f.body).unwrap();
+            prop_assert_eq!(&p.data, &data);
+        }
+        prop_assert_eq!(dec.buffered(), 0, "stream fully consumed");
+    }
+
     /// Arbitrary garbage never panics any decode entry point.
     #[test]
     fn garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
@@ -215,6 +321,44 @@ fn large_payload_roundtrip() {
     let p = decode_payload(&frame.body).unwrap();
     assert_eq!(p.data, data);
     assert_eq!(p.owned, owned);
+}
+
+/// Regression for the receive-buffer growth pathology: a multi-megabyte
+/// payload fed one byte at a time (the worst drip a socket can produce)
+/// must keep peak buffering bounded by the frame itself — the old decoder
+/// paid a drain/compact per frame and accumulated unboundedly when frames
+/// were pulled slower than bytes arrived.
+#[test]
+fn byte_at_a_time_multi_megabyte_payload_stays_bounded() {
+    let owned = WireRect {
+        row0: 0,
+        col0: 0,
+        rows: 512,
+        cols: 512,
+    };
+    let data: Vec<f64> = (0..512 * 512).map(|i| i as f64 * 0.125).collect();
+    let one = encode_payload(ConnectionId(0), Rank(1), RequestId(9), owned, owned, &data);
+
+    let mut dec = FrameDecoder::new();
+    let mut got = 0usize;
+    for _ in 0..3 {
+        for &b in &one {
+            dec.extend(std::slice::from_ref(&b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                let p = decode_payload(&f.body).unwrap();
+                assert_eq!(p.data, data);
+                got += 1;
+            }
+        }
+        assert_eq!(dec.buffered(), 0, "frame boundary leaves nothing buffered");
+    }
+    assert_eq!(got, 3);
+    assert!(
+        dec.buffered_hwm() <= one.len(),
+        "peak rx buffering {} exceeded one frame ({})",
+        dec.buffered_hwm(),
+        one.len()
+    );
 }
 
 /// Payload data whose length disagrees with its owned rect is malformed.

@@ -655,6 +655,12 @@ mod tests {
             net_bytes: 0,
             net_reconnects: 0,
             net_codec_rejects: 0,
+            net_syscalls: 0,
+            net_writev_frames: 0,
+            net_pool_hits: 0,
+            net_pool_misses: 0,
+            net_rx_frames: 0,
+            net_rx_bytes: 0,
             wal_appends: 0,
             wal_bytes: 0,
             wal_replayed: 0,
@@ -664,6 +670,7 @@ mod tests {
             queue_depth_hwm: 0,
             runq_depth_hwm: 0,
             tree_depth: 0,
+            net_rx_buf_hwm: 0,
             tasks_polled: 0,
             worker_steal: 0,
             occupancy: [0; couplink_metrics::HISTOGRAM_BUCKETS],

@@ -321,21 +321,6 @@ pub fn encode_bare(kind: u8) -> Vec<u8> {
 
 // --- fabric traffic envelopes ---
 
-pub(crate) fn put_endpoint(w: &mut BodyWriter, ep: Endpoint) {
-    match ep {
-        Endpoint::Rep { prog } => {
-            w.u8(0);
-            w.u32(prog as u32);
-            w.u32(0);
-        }
-        Endpoint::Proc { prog, rank } => {
-            w.u8(1);
-            w.u32(prog as u32);
-            w.u32(rank as u32);
-        }
-    }
-}
-
 pub(crate) fn take_endpoint(r: &mut BodyReader) -> Result<Endpoint, WireError> {
     let tag = r.u8()?;
     let prog = r.u32()? as usize;
@@ -350,17 +335,33 @@ pub(crate) fn take_endpoint(r: &mut BodyReader) -> Result<Endpoint, WireError> {
     }
 }
 
+pub(crate) fn put_endpoint_frame(w: &mut wire::FrameWriter, ep: Endpoint) {
+    match ep {
+        Endpoint::Rep { prog } => {
+            w.u8(0);
+            w.u32(prog as u32);
+            w.u32(0);
+        }
+        Endpoint::Proc { prog, rank } => {
+            w.u8(1);
+            w.u32(prog as u32);
+            w.u32(rank as u32);
+        }
+    }
+}
+
 /// Encodes a routed control message for the wire: destination endpoint,
-/// optional reliability metadata, then the proto-layer `CtrlMsg` body.
+/// optional reliability metadata, then the proto-layer `CtrlMsg` body —
+/// envelope and frame header built in one buffer, no concat copy.
 pub fn encode_ctrl_env(to: Endpoint, meta: Option<&WireMeta>, msg: &CtrlMsg) -> Vec<u8> {
     let ctrl = wire::encode_ctrl(msg);
-    let mut w = BodyWriter::with_capacity(32 + ctrl.len());
-    put_endpoint(&mut w, to);
+    let mut w = wire::FrameWriter::with_capacity(KIND_CTRL, 32 + ctrl.len());
+    put_endpoint_frame(&mut w, to);
     match meta {
         None => w.u8(0),
         Some(m) => {
             w.u8(1);
-            put_endpoint(&mut w, m.from);
+            put_endpoint_frame(&mut w, m.from);
             w.u64(m.seq);
             match m.ord {
                 None => w.u8(0),
@@ -372,7 +373,7 @@ pub fn encode_ctrl_env(to: Endpoint, meta: Option<&WireMeta>, msg: &CtrlMsg) -> 
         }
     }
     w.bytes(&ctrl);
-    wire::encode_frame(KIND_CTRL, &w.into_body())
+    w.finish()
 }
 
 /// Decodes a [`KIND_CTRL`] body.
@@ -410,11 +411,11 @@ pub fn decode_ctrl_env(body: &[u8]) -> Result<(Endpoint, Option<WireMeta>, CtrlM
 
 /// Encodes a reliability ack for the directed link `sender → acker`.
 pub fn encode_ack_env(sender: Endpoint, acker: Endpoint, seq: u64) -> Vec<u8> {
-    let mut w = BodyWriter::with_capacity(32);
-    put_endpoint(&mut w, sender);
-    put_endpoint(&mut w, acker);
+    let mut w = wire::FrameWriter::with_capacity(KIND_ACK, 32);
+    put_endpoint_frame(&mut w, sender);
+    put_endpoint_frame(&mut w, acker);
     w.u64(seq);
-    wire::encode_frame(KIND_ACK, &w.into_body())
+    w.finish()
 }
 
 /// Decodes a [`KIND_ACK`] body into `(sender, acker, seq)`.

@@ -8,16 +8,31 @@
 //! invisible above this module.
 
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::Duration;
 
-use couplink_proto::wire::{Frame, FrameDecoder, WireError};
+use couplink_metrics::EngineMetrics;
+use couplink_proto::wire::{Frame, FrameDecoder, FrameSlot, WireError};
 use parking_lot::Mutex;
+
+/// Whether the legacy (pre-vectored, per-frame) data plane was requested
+/// via `COUPLINK_NET_LEGACY=1`. The bench `--mutate` negative sets this to
+/// measure the old per-frame-`write` path with the same binary; the codec
+/// half of the switch is mirrored into
+/// [`couplink_proto::wire::set_legacy_codec`] by the node entry point.
+pub fn net_legacy() -> bool {
+    static LEGACY: OnceLock<bool> = OnceLock::new();
+    *LEGACY.get_or_init(|| {
+        std::env::var("COUPLINK_NET_LEGACY")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
 
 /// Which OS transport carries the session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -236,10 +251,84 @@ impl Write for Conn {
         }
     }
 
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        match self {
+            Conn::Uds(s) => s.write_vectored(bufs),
+            Conn::Tcp(s) => s.write_vectored(bufs),
+        }
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         match self {
             Conn::Uds(s) => s.flush(),
             Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Upper bound on shelved buffers per size class — enough to cover a full
+/// writer burst without letting a transient payload spike pin memory.
+const POOL_PER_CLASS: usize = 32;
+/// One shelf per power-of-two capacity class, `2^0 ..= 2^32`. Anything
+/// larger is simply not shelved (`MAX_BODY` caps real frames far below).
+const POOL_CLASSES: usize = 33;
+
+/// A size-classed frame-buffer pool: the send path takes a buffer sized
+/// for the frame it is about to encode, and the writer thread puts the
+/// allocation back once the bytes are on the wire — steady-state traffic
+/// stops allocating per frame.
+///
+/// Classes are powers of two. `put` shelves a buffer under
+/// `floor(log2(capacity))`, `take(cap)` pops from `ceil(log2(cap))`, so a
+/// recycled buffer is always large enough for the request it serves.
+pub struct BufPool {
+    shelves: Mutex<Vec<Vec<Vec<u8>>>>,
+    metrics: Option<Arc<EngineMetrics>>,
+}
+
+impl BufPool {
+    /// An empty pool; `metrics`, when present, meters
+    /// `net_pool_hits`/`net_pool_misses` on every `take`.
+    pub fn new(metrics: Option<Arc<EngineMetrics>>) -> Arc<BufPool> {
+        Arc::new(BufPool {
+            shelves: Mutex::new(vec![Vec::new(); POOL_CLASSES]),
+            metrics,
+        })
+    }
+
+    /// An empty buffer with capacity at least `cap`: recycled when the
+    /// class has one shelved, freshly allocated otherwise.
+    pub fn take(&self, cap: usize) -> Vec<u8> {
+        let class = cap.max(1).next_power_of_two().trailing_zeros() as usize;
+        let hit = if class < POOL_CLASSES {
+            self.shelves.lock()[class].pop()
+        } else {
+            None
+        };
+        if let Some(m) = &self.metrics {
+            if hit.is_some() {
+                m.net_pool_hits.inc();
+            } else {
+                m.net_pool_misses.inc();
+            }
+        }
+        hit.unwrap_or_else(|| Vec::with_capacity(cap))
+    }
+
+    /// Shelves an allocation for reuse (dropped when its class is full).
+    pub fn put(&self, mut buf: Vec<u8>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        let class = (usize::BITS - 1 - cap.leading_zeros()) as usize;
+        if class >= POOL_CLASSES {
+            return;
+        }
+        let mut shelves = self.shelves.lock();
+        if shelves[class].len() < POOL_PER_CLASS {
+            buf.clear();
+            shelves[class].push(buf);
         }
     }
 }
@@ -266,46 +355,167 @@ pub struct LinkWriter {
     tx: mpsc::Sender<Vec<u8>>,
     dead: Arc<AtomicBool>,
     salvage: Arc<Mutex<Vec<Vec<u8>>>>,
+    /// Frames enqueued but not yet written or salvaged — zero means every
+    /// accepted frame has reached the socket (and been metered).
+    depth: Arc<AtomicU64>,
+    /// A control clone of the socket, so teardown can half-close the link
+    /// without joining a (possibly blocked) writer thread.
+    ctl: Option<Conn>,
     thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Writer burst caps: one `write_vectored` covers at most this many frames
+/// / bytes. The caps bound syscall assembly cost and the latency of the
+/// frame at the back of a burst; a queue that runs dry flushes immediately
+/// regardless, so low-load latency is unchanged.
+const BURST_FRAMES: usize = 64;
+const BURST_BYTES: usize = 1 << 20;
+
+/// Writes `frames` with as few syscalls as possible: one `write_vectored`
+/// covering the remaining burst, re-issued after partial writes. Meters
+/// `net_syscalls` per syscall and `net_frames`/`net_bytes` per frame as it
+/// is fully written. On failure returns the count of frames fully written
+/// — the next frame may have been *partially* written, which is fine: the
+/// caller kills the link and salvages from that frame on.
+fn write_batch(
+    conn: &mut Conn,
+    frames: &[Vec<u8>],
+    metrics: Option<&EngineMetrics>,
+) -> Result<(), usize> {
+    let mut idx = 0;
+    let mut off = 0;
+    while idx < frames.len() {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(frames.len() - idx);
+        slices.push(IoSlice::new(&frames[idx][off..]));
+        slices.extend(frames[idx + 1..].iter().map(|f| IoSlice::new(f)));
+        let n = match conn.write_vectored(&slices) {
+            Ok(0) => return Err(idx),
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(idx),
+        };
+        if let Some(m) = metrics {
+            m.net_syscalls.inc();
+        }
+        let mut left = n;
+        while left > 0 {
+            let rem = frames[idx].len() - off;
+            if left >= rem {
+                left -= rem;
+                off = 0;
+                idx += 1;
+                if let Some(m) = metrics {
+                    m.net_frames.inc();
+                    m.net_bytes.add(frames[idx - 1].len() as u64);
+                }
+            } else {
+                off += left;
+                left = 0;
+            }
+        }
+    }
+    if let Some(m) = metrics {
+        if frames.len() > 1 {
+            m.net_writev_frames.add(frames.len() as u64);
+        }
+    }
+    Ok(())
 }
 
 impl LinkWriter {
     /// Spawns the writer thread over (a clone of) `conn`.
     pub fn spawn(conn: Conn, label: String) -> LinkWriter {
-        LinkWriter::spawn_severing(conn, label, None)
+        LinkWriter::spawn_with(conn, label, None, None, None)
     }
 
     /// Like [`LinkWriter::spawn`], but after `sever_after` frames have
     /// been written the writer half-closes the socket and dies, salvaging
     /// its remaining queue — the deliberate mid-run link sever the
     /// reconnect tests inject.
-    pub fn spawn_severing(mut conn: Conn, label: String, sever_after: Option<u64>) -> LinkWriter {
+    pub fn spawn_severing(conn: Conn, label: String, sever_after: Option<u64>) -> LinkWriter {
+        LinkWriter::spawn_with(conn, label, sever_after, None, None)
+    }
+
+    /// Full-control spawn: optional sever fault, optional tx metering
+    /// (`net_syscalls`/`net_writev_frames`/`net_frames`/`net_bytes`,
+    /// counted when bytes actually reach the socket — not at enqueue),
+    /// and an optional pool that written frame buffers are recycled into.
+    pub fn spawn_with(
+        mut conn: Conn,
+        label: String,
+        sever_after: Option<u64>,
+        metrics: Option<Arc<EngineMetrics>>,
+        pool: Option<Arc<BufPool>>,
+    ) -> LinkWriter {
+        let ctl = conn.try_clone().ok();
         let (tx, rx) = mpsc::channel::<Vec<u8>>();
         let dead = Arc::new(AtomicBool::new(false));
         let salvage = Arc::new(Mutex::new(Vec::new()));
-        let (t_dead, t_salvage) = (Arc::clone(&dead), Arc::clone(&salvage));
+        let depth = Arc::new(AtomicU64::new(0));
+        let (t_dead, t_salvage, t_depth) =
+            (Arc::clone(&dead), Arc::clone(&salvage), Arc::clone(&depth));
+        // The legacy data plane coalesces nothing: every frame is its own
+        // syscall, exactly like the old per-frame `write_all` loop.
+        let burst_frames = if net_legacy() { 1 } else { BURST_FRAMES };
         let thread = std::thread::Builder::new()
             .name(format!("couplink-net-wr-{label}"))
             .spawn(move || {
                 let mut written = 0u64;
-                while let Ok(frame) = rx.recv() {
-                    let severed = sever_after == Some(written);
-                    if severed {
-                        // FIN flushes everything already written; the
-                        // unsent frame goes to the salvage like a failure.
-                        conn.shutdown_write();
+                let mut batch: Vec<Vec<u8>> = Vec::new();
+                while let Ok(first) = rx.recv() {
+                    // Burst-drain: everything already queued goes into one
+                    // vectored write. An empty queue flushes immediately.
+                    let mut bytes = first.len();
+                    batch.push(first);
+                    while batch.len() < burst_frames && bytes < BURST_BYTES {
+                        match rx.try_recv() {
+                            Ok(f) => {
+                                bytes += f.len();
+                                batch.push(f);
+                            }
+                            Err(_) => break,
+                        }
                     }
-                    if severed || conn.write_all(&frame).is_err() {
-                        t_salvage.lock().push(frame);
+                    // Sever fault: exactly `sever_after` frames reach the
+                    // wire, even when the limit lands mid-burst.
+                    let allowed = match sever_after {
+                        Some(s) => (s.saturating_sub(written)).min(batch.len() as u64) as usize,
+                        None => batch.len(),
+                    };
+                    let severed = allowed < batch.len();
+                    let (done, failed) =
+                        match write_batch(&mut conn, &batch[..allowed], metrics.as_deref()) {
+                            Ok(()) => (allowed, false),
+                            Err(done) => (done, true),
+                        };
+                    written += done as u64;
+                    t_depth.fetch_sub(done as u64, AtomicOrdering::Release);
+                    let rest: Vec<Vec<u8>> = batch.split_off(done);
+                    if let Some(p) = &pool {
+                        for f in batch.drain(..) {
+                            p.put(f);
+                        }
+                    } else {
+                        batch.clear();
+                    }
+                    if failed || severed {
+                        if severed && !failed {
+                            // FIN flushes everything already written; the
+                            // unsent frames go to the salvage like a
+                            // failure.
+                            conn.shutdown_write();
+                        }
+                        t_depth.fetch_sub(rest.len() as u64, AtomicOrdering::Release);
+                        t_salvage.lock().extend(rest);
                         t_dead.store(true, AtomicOrdering::Release);
                         // Keep salvaging until every sender hangs up so
                         // nothing queued behind the failure is lost.
                         while let Ok(f) = rx.recv() {
+                            t_depth.fetch_sub(1, AtomicOrdering::Release);
                             t_salvage.lock().push(f);
                         }
                         return;
                     }
-                    written += 1;
                 }
                 let _ = conn.flush();
             })
@@ -314,6 +524,8 @@ impl LinkWriter {
             tx,
             dead,
             salvage,
+            depth,
+            ctl,
             thread: Some(thread),
         }
     }
@@ -325,7 +537,9 @@ impl LinkWriter {
             self.salvage.lock().push(frame);
             return false;
         }
+        self.depth.fetch_add(1, AtomicOrdering::Release);
         if self.tx.send(frame).is_err() {
+            self.depth.fetch_sub(1, AtomicOrdering::Release);
             return false;
         }
         true
@@ -334,6 +548,21 @@ impl LinkWriter {
     /// Whether the writer thread has died on a write error or sever.
     pub fn is_dead(&self) -> bool {
         self.dead.load(AtomicOrdering::Acquire)
+    }
+
+    /// Whether every accepted frame has been written (and tx-metered) or
+    /// salvaged — the teardown quiesce polls this before half-closing.
+    pub fn idle(&self) -> bool {
+        self.depth.load(AtomicOrdering::Acquire) == 0
+    }
+
+    /// Half-closes the link's write direction from outside the writer
+    /// thread (which may be blocked on a peer that stopped reading): the
+    /// peer observes EOF after everything already written.
+    pub fn half_close(&self) {
+        if let Some(c) = &self.ctl {
+            c.shutdown_write();
+        }
     }
 
     /// Tears the writer down and returns every unwritten frame in send
@@ -369,8 +598,12 @@ impl fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
-/// The receiving half of a link: reads socket bytes into a
-/// [`FrameDecoder`] and yields whole frames.
+/// How much a frame reader asks the socket for per `read` syscall.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// The receiving half of a link: reads socket bytes straight into a
+/// [`FrameDecoder`] (no intermediate stack buffer) and yields frames as
+/// zero-copy slots over the decoder's compacting buffer.
 pub struct FrameReader {
     conn: Conn,
     dec: FrameDecoder,
@@ -390,17 +623,23 @@ impl FrameReader {
         &self.conn
     }
 
-    /// Returns the next frame, `Ok(None)` on a clean EOF. A frame whose
-    /// checksum fails is *skipped* — `reject` is called once per skip (the
-    /// caller meters `net_codec_rejects`) and reading continues, because a
-    /// corrupt body leaves the stream framing intact. Structural errors
-    /// (bad magic, bad version, oversized length) poison the decoder and
-    /// surface as [`NetError::Wire`].
-    pub fn next(&mut self, reject: &mut dyn FnMut()) -> Result<Option<Frame>, NetError> {
-        let mut buf = [0u8; 64 * 1024];
+    /// Peak bytes the receive buffer ever held (the `net_rx_buf` gauge).
+    pub fn buffered_hwm(&self) -> usize {
+        self.dec.buffered_hwm()
+    }
+
+    /// Returns the next frame as a [`FrameSlot`] over the internal buffer
+    /// (resolve it with [`FrameReader::body`] — no per-frame copy), or
+    /// `Ok(None)` on a clean EOF. A frame whose checksum fails is
+    /// *skipped* — `reject` is called once per skip (the caller meters
+    /// `net_codec_rejects`) and reading continues, because a corrupt body
+    /// leaves the stream framing intact. Structural errors (bad magic, bad
+    /// version, oversized length) poison the decoder and surface as
+    /// [`NetError::Wire`].
+    pub fn next_slot(&mut self, reject: &mut dyn FnMut()) -> Result<Option<FrameSlot>, NetError> {
         loop {
-            match self.dec.next_frame() {
-                Ok(Some(frame)) => return Ok(Some(frame)),
+            match self.dec.poll_frame() {
+                Ok(Some(slot)) => return Ok(Some(slot)),
                 Ok(None) => {}
                 Err(WireError::BadChecksum) => {
                     reject();
@@ -408,12 +647,29 @@ impl FrameReader {
                 }
                 Err(e) => return Err(NetError::Wire(e)),
             }
-            match self.conn.read(&mut buf) {
+            match self.dec.read_from(&mut self.conn, READ_CHUNK) {
                 Ok(0) => return Ok(None),
-                Ok(n) => self.dec.extend(&buf[..n]),
+                Ok(_) => {}
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(NetError::Io(e)),
             }
+        }
+    }
+
+    /// The body bytes of a slot returned by [`FrameReader::next_slot`].
+    pub fn body(&self, slot: &FrameSlot) -> &[u8] {
+        self.dec.body(slot)
+    }
+
+    /// [`FrameReader::next_slot`] materialized into an owned [`Frame`] —
+    /// the convenience API for bootstrap and replay paths.
+    pub fn next(&mut self, reject: &mut dyn FnMut()) -> Result<Option<Frame>, NetError> {
+        match self.next_slot(reject)? {
+            Some(slot) => Ok(Some(Frame {
+                kind: slot.kind,
+                body: self.dec.body(&slot).to_vec(),
+            })),
+            None => Ok(None),
         }
     }
 }

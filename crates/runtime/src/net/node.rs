@@ -76,7 +76,9 @@ use crate::threaded::fabric::{ExportAccess, Net, RemoteLinks, WalHandle};
 use crate::threaded::{ExecutorOptions, FabricOptions, SessionSet};
 
 use super::codec::{self, NodeFault, NodeReport};
-use super::link::{frame_kind, Addr, Conn, FrameReader, LinkWriter, Listener, SocketBackend};
+use super::link::{
+    frame_kind, net_legacy, Addr, BufPool, Conn, FrameReader, LinkWriter, Listener, SocketBackend,
+};
 use super::wal::FileWal;
 
 /// How long the child waits on any single bootstrap step before giving up.
@@ -141,6 +143,10 @@ struct SocketLinks {
     /// Set once the session exists; frames sent before that are counted
     /// nowhere (none are — traffic starts after `GO` or journal replay).
     metrics: OnceLock<Arc<EngineMetrics>>,
+    /// Frame buffers recycled between the payload encoder and the writer
+    /// threads (`net_frames`/`net_bytes` are metered by the writers when
+    /// bytes reach the socket, not here at enqueue).
+    pool: Arc<BufPool>,
     /// Synced before any control or ack frame escapes: an acked delivery
     /// must already be durable, because the sender never retransmits an
     /// acked message.
@@ -148,20 +154,22 @@ struct SocketLinks {
 }
 
 impl SocketLinks {
-    fn new(n: usize, conn_importer: Vec<usize>, wal: Option<WalHandle>) -> SocketLinks {
+    fn new(
+        n: usize,
+        conn_importer: Vec<usize>,
+        wal: Option<WalHandle>,
+        pool: Arc<BufPool>,
+    ) -> SocketLinks {
         SocketLinks {
             slots: (0..n).map(|_| Mutex::new(SlotState::default())).collect(),
             conn_importer,
             metrics: OnceLock::new(),
+            pool,
             wal,
         }
     }
 
     fn send(&self, prog: usize, frame: Vec<u8>) {
-        if let Some(m) = self.metrics.get() {
-            m.net_frames.inc();
-            m.net_bytes.add(frame.len() as u64);
-        }
         if let Some(wal) = &self.wal {
             if matches!(
                 frame_kind(&frame),
@@ -203,6 +211,32 @@ impl SocketLinks {
         }
         st.writer = Some(writer);
     }
+
+    /// Flushes the data plane for the counter snapshot: waits (bounded)
+    /// until every writer has drained its queue — so every frame that will
+    /// ever be tx-metered has been — then half-closes each link so peers
+    /// observe EOF after the last real frame. The bound covers the
+    /// pathological case of a peer that stopped reading (stall fault): its
+    /// link is cut mid-stream, which such a run cannot tell apart from the
+    /// fault itself.
+    fn quiesce(&self, deadline: Duration) {
+        let start = Instant::now();
+        loop {
+            let busy = self.slots.iter().any(|s| {
+                let st = s.lock();
+                !st.pending.is_empty() || st.writer.as_ref().is_some_and(|w| !w.idle())
+            });
+            if !busy || start.elapsed() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for s in &self.slots {
+            if let Some(w) = &s.lock().writer {
+                w.half_close();
+            }
+        }
+    }
 }
 
 impl RemoteLinks for SocketLinks {
@@ -222,25 +256,31 @@ impl RemoteLinks for SocketLinks {
         rect: Rect,
         payload: &SharedArray,
     ) {
-        let frame = wire::encode_payload(
+        let data = payload.as_slice();
+        // Header + ids + two rects + length prefix, then the data bytes.
+        let est = wire::HEADER_LEN + 8 + 8 + 2 * 32 + 8 + 8 * data.len();
+        let frame = wire::encode_payload_with(
+            self.pool.take(est),
             conn,
             Rank(dst as u32),
             req,
             codec::wire_rect(rect),
             codec::wire_rect(payload.owned()),
-            payload.as_slice(),
+            data,
         );
         self.send(self.conn_importer[conn.0 as usize], frame);
     }
 }
 
-/// Injects one inbound mesh frame into the local session. Returns a fatal
-/// description when the frame is structurally wrong for this layer.
-fn dispatch(frame: &Frame, net: &Net, drop_answers: Option<u32>) -> Result<(), String> {
-    match frame.kind {
+/// Injects one inbound mesh frame into the local session. The body is
+/// borrowed straight from the reader's receive buffer — only the payload
+/// decode copies, and that copy *is* the importer-side array. Returns a
+/// fatal description when the frame is structurally wrong for this layer.
+fn dispatch(kind: u8, body: &[u8], net: &Net, drop_answers: Option<u32>) -> Result<(), String> {
+    match kind {
         codec::KIND_CTRL => {
             let (to, meta, msg) =
-                codec::decode_ctrl_env(&frame.body).map_err(|e| format!("ctrl envelope: {e}"))?;
+                codec::decode_ctrl_env(body).map_err(|e| format!("ctrl envelope: {e}"))?;
             if let (Some(dropped), CtrlMsg::Answer { conn, .. }) = (drop_answers, &msg) {
                 if conn.0 == dropped {
                     // Injected codec bug: the collective answer vanishes
@@ -254,12 +294,12 @@ fn dispatch(frame: &Frame, net: &Net, drop_answers: Option<u32>) -> Result<(), S
         }
         codec::KIND_ACK => {
             let (sender, acker, seq) =
-                codec::decode_ack_env(&frame.body).map_err(|e| format!("ack envelope: {e}"))?;
+                codec::decode_ack_env(body).map_err(|e| format!("ack envelope: {e}"))?;
             net.apply_remote_ack(sender, acker, seq);
             Ok(())
         }
         wire::KIND_PAYLOAD => {
-            let p = wire::decode_payload(&frame.body).map_err(|e| format!("payload: {e}"))?;
+            let p = wire::decode_payload(body).map_err(|e| format!("payload: {e}"))?;
             let rect = codec::rect_from(p.rect);
             let payload = SharedArray::from_parts(codec::rect_from(p.owned), p.data)
                 .ok_or("payload data disagrees with its owned rect")?;
@@ -306,8 +346,16 @@ fn reconnect_dial(ctx: &MeshCtx, addr: &Addr, peer: usize) -> Result<Conn, Strin
     ))
     .map_err(|e| format!("mesh hello: {e}"))?;
     let wconn = conn.try_clone().map_err(|e| format!("mesh clone: {e}"))?;
-    ctx.links
-        .install_writer(peer, LinkWriter::spawn(wconn, format!("{}-{peer}", ctx.me)));
+    ctx.links.install_writer(
+        peer,
+        LinkWriter::spawn_with(
+            wconn,
+            format!("{}-{peer}", ctx.me),
+            None,
+            Some(Arc::clone(&ctx.metrics)),
+            Some(Arc::clone(&ctx.links.pool)),
+        ),
+    );
     ctx.metrics.net_reconnects.inc();
     Ok(conn)
 }
@@ -324,9 +372,19 @@ fn mesh_reader_loop(mut reader: FrameReader, peer: usize, ctx: Arc<MeshCtx>) {
     let mut reject = || metrics.net_codec_rejects.inc();
     loop {
         let down = loop {
-            match reader.next(&mut reject) {
-                Ok(Some(frame)) => {
-                    if let Err(detail) = dispatch(&frame, &ctx.net, ctx.drop_answers) {
+            match reader.next_slot(&mut reject) {
+                Ok(Some(slot)) => {
+                    // Receive-side mirror of the writer's tx meters; mesh
+                    // hellos are excluded on both sides, so on a clean run
+                    // the merged rx sums equal the merged tx sums.
+                    metrics.net_rx_frames.inc();
+                    metrics
+                        .net_rx_bytes
+                        .add((wire::HEADER_LEN + slot.body.len()) as u64);
+                    metrics.net_rx_buf.set(reader.buffered_hwm() as u64);
+                    if let Err(detail) =
+                        dispatch(slot.kind, reader.body(&slot), &ctx.net, ctx.drop_answers)
+                    {
                         ctx.set
                             .lock()
                             .fail_session(ctx.sid, format!("link to program {peer}: {detail}"));
@@ -403,8 +461,16 @@ fn accept_loop(listener: Listener, ctx: Arc<MeshCtx>) {
         let Ok(wconn) = r.conn().try_clone() else {
             continue;
         };
-        ctx.links
-            .install_writer(from, LinkWriter::spawn(wconn, format!("{}-{from}", ctx.me)));
+        ctx.links.install_writer(
+            from,
+            LinkWriter::spawn_with(
+                wconn,
+                format!("{}-{from}", ctx.me),
+                None,
+                Some(Arc::clone(&ctx.metrics)),
+                Some(Arc::clone(&ctx.links.pool)),
+            ),
+        );
         ctx.metrics.net_reconnects.inc();
         let ctx2 = Arc::clone(&ctx);
         if std::thread::Builder::new()
@@ -443,6 +509,9 @@ pub fn node_main(args: NodeArgs) -> i32 {
 }
 
 fn run_node(args: &NodeArgs) -> Result<(), String> {
+    // The legacy-data-plane switch covers both halves: per-frame writes
+    // (link layer) and the reference per-element codec (proto layer).
+    wire::set_legacy_codec(net_legacy());
     std::thread::Builder::new()
         .name("couplink-node-watchdog".into())
         .spawn(|| {
@@ -515,10 +584,12 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
     // --- fabric session ---
     // Built *before* the mesh so a restarted node can replay its journal
     // into the session while no live frame can possibly arrive.
+    let pool = BufPool::new(Some(Arc::clone(&metrics)));
     let links = Arc::new(SocketLinks::new(
         n,
         topo.conns.iter().map(|c| c.importer_prog).collect(),
         wal_handle.clone(),
+        Arc::clone(&pool),
     ));
     let opts = FabricOptions {
         buddy_help: plan.buddy_help,
@@ -659,7 +730,13 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
     };
     let boot_writer = |peer: usize, conn: Conn| {
         let sev = sever.and_then(|(p, after)| (p == peer).then_some(after));
-        LinkWriter::spawn_severing(conn, format!("{me}-{peer}"), sev)
+        LinkWriter::spawn_with(
+            conn,
+            format!("{me}-{peer}"),
+            sev,
+            Some(Arc::clone(&metrics)),
+            Some(Arc::clone(&pool)),
+        )
     };
 
     // Form the mesh: dial the lower-indexed programs (their listeners are
@@ -749,13 +826,16 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
             None
         },
     });
+    let mut reader_threads = Vec::new();
     for (peer, slot) in readers.iter_mut().enumerate() {
         let Some(reader) = slot.take() else { continue };
         let ctx = Arc::clone(&ctx);
-        std::thread::Builder::new()
-            .name(format!("couplink-net-rd-{me}-{peer}"))
-            .spawn(move || mesh_reader_loop(reader, peer, ctx))
-            .map_err(|e| format!("spawning mesh reader: {e}"))?;
+        reader_threads.push(
+            std::thread::Builder::new()
+                .name(format!("couplink-net-rd-{me}-{peer}"))
+                .spawn(move || mesh_reader_loop(reader, peer, ctx))
+                .map_err(|e| format!("spawning mesh reader: {e}"))?,
+        );
     }
     if reconnect {
         // The listener outlives boot: higher-indexed peers re-dial here
@@ -919,6 +999,20 @@ fn run_node(args: &NodeArgs) -> Result<(), String> {
             // everything is acked *and* consumed, so sealed segments go.
             w.sync();
             w.prune();
+        }
+    }
+    // Flush the data plane before the counter snapshot: the quiesce lets
+    // every writer drain (so every tx frame is metered), then half-closes
+    // the links; joining the readers waits for the peers' symmetric
+    // half-close, so every frame a peer wrote has been rx-metered here.
+    // On a clean run the merged snapshots then satisfy exact tx/rx
+    // conservation. A stalled reader fault never reaches EOF — its node
+    // skips the join (the snapshot is already as complete as that run can
+    // make it); crashed peers produce EOF/reset when the OS closes them.
+    links.quiesce(Duration::from_secs(5));
+    if !stall {
+        for t in reader_threads {
+            let _ = t.join();
         }
     }
     let report = NodeReport {

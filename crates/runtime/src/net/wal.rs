@@ -37,7 +37,7 @@
 use crate::engine::reliable::{Wal, WalRecord};
 use crate::engine::{Endpoint, WireMeta};
 use couplink_metrics::EngineMetrics;
-use couplink_proto::wire::{self, BodyReader, BodyWriter, FrameDecoder, WireError};
+use couplink_proto::wire::{self, BodyReader, FrameDecoder, WireError};
 use couplink_proto::CtrlMsg;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -108,8 +108,8 @@ fn io_err(path: &Path, source: std::io::Error) -> WalError {
 // Record codec: one wire frame per record.
 // ---------------------------------------------------------------------------
 
-fn put_meta(w: &mut BodyWriter, meta: &WireMeta) {
-    super::codec::put_endpoint(w, meta.from);
+fn put_meta(w: &mut wire::FrameWriter, meta: &WireMeta) {
+    super::codec::put_endpoint_frame(w, meta.from);
     w.u64(meta.seq);
     match meta.ord {
         None => w.u8(0),
@@ -141,18 +141,18 @@ pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
     match rec {
         WalRecord::Delivered { ep, meta, msg } => {
             let ctrl = wire::encode_ctrl(msg);
-            let mut w = BodyWriter::with_capacity(32 + ctrl.len());
-            super::codec::put_endpoint(&mut w, *ep);
+            let mut w = wire::FrameWriter::with_capacity(KIND_WAL_DELIVERED, 32 + ctrl.len());
+            super::codec::put_endpoint_frame(&mut w, *ep);
             put_meta(&mut w, meta);
             w.bytes(&ctrl);
-            wire::encode_frame(KIND_WAL_DELIVERED, &w.into_body())
+            w.finish()
         }
         WalRecord::AppExport { ep, region, ts } => {
-            let mut w = BodyWriter::with_capacity(24);
-            super::codec::put_endpoint(&mut w, *ep);
+            let mut w = wire::FrameWriter::with_capacity(KIND_WAL_EXPORT, 24);
+            super::codec::put_endpoint_frame(&mut w, *ep);
             w.u32(*region);
             w.f64(ts.value());
-            wire::encode_frame(KIND_WAL_EXPORT, &w.into_body())
+            w.finish()
         }
     }
 }

@@ -607,6 +607,28 @@ pub fn run_socket(
                 detail: "no frames crossed the socket transport".into(),
             });
         }
+        // Tx/rx conservation: every frame any writer metered must have
+        // been read and metered by the peer it was written to — the
+        // merged rx sums equal the merged tx sums. Only provable when no
+        // link ever degraded: a reconnect replays salvage (double-count),
+        // loss/timeouts mean frames died with a link, and a stalled
+        // reader never consumes. All of those leave fingerprints in the
+        // merged counters, so the run self-selects.
+        let c = &rep.counters;
+        let healthy = c.net_reconnects == 0
+            && c.net_codec_rejects == 0
+            && c.retransmits == 0
+            && c.timeouts == 0;
+        if healthy && (c.net_rx_frames != c.net_frames || c.net_rx_bytes != c.net_bytes) {
+            violations.push(OracleViolation::MetricConsistency {
+                conn: ConnectionId(0),
+                detail: format!(
+                    "tx/rx conservation broken: sent {} frames / {} bytes, \
+                     received {} frames / {} bytes",
+                    c.net_frames, c.net_bytes, c.net_rx_frames, c.net_rx_bytes
+                ),
+            });
+        }
         counters = Some(rep.counters);
     }
     Ok((rep.matches, counters, violations))
